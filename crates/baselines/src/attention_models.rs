@@ -1,0 +1,254 @@
+//! Attention-based baselines: STAN (Luo et al., WWW'21) and STiSAN
+//! (Wang et al., ICDE'22).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tspn_data::{LbsnDataset, Sample};
+use tspn_tensor::nn::{EmbeddingTable, Linear, Module};
+use tspn_tensor::Tensor;
+
+use crate::common::{distance_bucket, recent, time_gap_bucket};
+use crate::neural::{NeuralBaseline, SeqEncoder, SeqModelConfig};
+
+const BUCKETS: usize = 16;
+
+/// Builds a learnable pairwise bias matrix `[n, n]` from per-pair bucket
+/// ids via a `[BUCKETS, 1]` embedding table.
+fn pairwise_bias(table: &EmbeddingTable, buckets: &[usize], n: usize) -> Tensor {
+    debug_assert_eq!(buckets.len(), n * n);
+    table.lookup(buckets).reshape(vec![n, n])
+}
+
+/// STAN: bi-layer spatio-temporal attention. Both layers bias their
+/// attention logits with discretised pairwise time-interval and
+/// geo-distance embeddings — the model's signature explicit
+/// spatio-temporal correlation.
+pub struct StanEncoder {
+    q1: Linear,
+    q2: Linear,
+    time_bias: EmbeddingTable,
+    dist_bias: EmbeddingTable,
+    max_prefix: usize,
+}
+
+impl StanEncoder {
+    /// Creates the encoder.
+    pub fn new(seed: u64, dim: usize, max_prefix: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        StanEncoder {
+            q1: Linear::new(&mut rng, dim, dim),
+            q2: Linear::new(&mut rng, dim, dim),
+            time_bias: EmbeddingTable::new(&mut rng, BUCKETS, 1),
+            dist_bias: EmbeddingTable::new(&mut rng, BUCKETS, 1),
+            max_prefix,
+        }
+    }
+
+    fn attention_layer(
+        &self,
+        proj: &Linear,
+        x: &Tensor,
+        bias: &Tensor,
+        dim: usize,
+    ) -> Tensor {
+        let q = proj.forward(x);
+        let scores = q
+            .matmul(&x.transpose())
+            .scale(1.0 / (dim as f32).sqrt())
+            .add(bias);
+        scores.softmax_rows().matmul(x)
+    }
+}
+
+impl SeqEncoder for StanEncoder {
+    fn name(&self) -> &'static str {
+        "STAN"
+    }
+
+    fn encode(&self, ds: &LbsnDataset, s: &Sample, table: &EmbeddingTable) -> Tensor {
+        let prefix = recent(ds.sample_prefix(s), self.max_prefix);
+        let n = prefix.len();
+        let rows: Vec<usize> = prefix.iter().map(|v| v.poi.0).collect();
+        let x = table.lookup(&rows);
+        // Pairwise interval buckets.
+        let mut t_buckets = Vec::with_capacity(n * n);
+        let mut d_buckets = Vec::with_capacity(n * n);
+        for a in prefix {
+            for b in prefix {
+                t_buckets.push(time_gap_bucket((a.time - b.time).abs(), BUCKETS));
+                let km = ds.poi_loc(a.poi).equirectangular_km(&ds.poi_loc(b.poi));
+                d_buckets.push(distance_bucket(km, BUCKETS));
+            }
+        }
+        let bias = pairwise_bias(&self.time_bias, &t_buckets, n)
+            .add(&pairwise_bias(&self.dist_bias, &d_buckets, n));
+        let dim = table.dim();
+        let h1 = self.attention_layer(&self.q1, &x, &bias, dim);
+        let h2 = self.attention_layer(&self.q2, &h1, &bias, dim);
+        h2.slice_rows(n - 1, n)
+    }
+
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.q1.params();
+        p.extend(self.q2.params());
+        p.extend(self.time_bias.params());
+        p.extend(self.dist_bias.params());
+        p
+    }
+}
+
+/// Builds the STAN baseline.
+pub fn stan(num_pois: usize, config: SeqModelConfig) -> NeuralBaseline<StanEncoder> {
+    NeuralBaseline::new(
+        StanEncoder::new(config.seed ^ 0x5A, config.dim, config.max_prefix),
+        num_pois,
+        config,
+    )
+}
+
+/// STiSAN: Time-Aware Position Encoder (absolute-timestamp sinusoids added
+/// to the sequence) plus an Interval-Aware Attention Block (pairwise Δt
+/// bias on self-attention logits).
+pub struct StisanEncoder {
+    q: Linear,
+    ff: Linear,
+    interval_bias: EmbeddingTable,
+    max_prefix: usize,
+}
+
+impl StisanEncoder {
+    /// Creates the encoder.
+    pub fn new(seed: u64, dim: usize, max_prefix: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        StisanEncoder {
+            q: Linear::new(&mut rng, dim, dim),
+            ff: Linear::new(&mut rng, dim, dim),
+            interval_bias: EmbeddingTable::new(&mut rng, BUCKETS, 1),
+            max_prefix,
+        }
+    }
+
+    /// The Time-Aware Position Encoding: sinusoids of the absolute
+    /// timestamp (hour-of-week phase) per channel.
+    fn tape(times: &[i64], dim: usize) -> Tensor {
+        let week = 7.0 * 86_400.0;
+        let mut data = Vec::with_capacity(times.len() * dim);
+        for &t in times {
+            let phase = (t as f64 % week) / week * std::f64::consts::TAU;
+            for c in 0..dim {
+                let freq = (c / 2 + 1) as f64;
+                let v = if c % 2 == 0 {
+                    (phase * freq).sin()
+                } else {
+                    (phase * freq).cos()
+                };
+                data.push(v as f32 * 0.3);
+            }
+        }
+        Tensor::from_vec(data, vec![times.len(), dim])
+    }
+}
+
+impl SeqEncoder for StisanEncoder {
+    fn name(&self) -> &'static str {
+        "STiSAN"
+    }
+
+    fn encode(&self, ds: &LbsnDataset, s: &Sample, table: &EmbeddingTable) -> Tensor {
+        let prefix = recent(ds.sample_prefix(s), self.max_prefix);
+        let n = prefix.len();
+        let rows: Vec<usize> = prefix.iter().map(|v| v.poi.0).collect();
+        let times: Vec<i64> = prefix.iter().map(|v| v.time).collect();
+        let dim = table.dim();
+        let x = table.lookup(&rows).add(&Self::tape(&times, dim));
+        // Interval-aware attention bias from pairwise |Δt| buckets.
+        let mut buckets = Vec::with_capacity(n * n);
+        for a in &times {
+            for b in &times {
+                buckets.push(time_gap_bucket((a - b).abs(), BUCKETS));
+            }
+        }
+        let bias = pairwise_bias(&self.interval_bias, &buckets, n);
+        let scores = self
+            .q
+            .forward(&x)
+            .matmul(&x.transpose())
+            .scale(1.0 / (dim as f32).sqrt())
+            .add(&bias);
+        let h = scores.softmax_rows().matmul(&x);
+        let out = self.ff.forward(&h).relu().add(&h);
+        out.slice_rows(n - 1, n)
+    }
+
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.q.params();
+        p.extend(self.ff.params());
+        p.extend(self.interval_bias.params());
+        p
+    }
+}
+
+/// Builds the STiSAN baseline.
+pub fn stisan(num_pois: usize, config: SeqModelConfig) -> NeuralBaseline<StisanEncoder> {
+    NeuralBaseline::new(
+        StisanEncoder::new(config.seed ^ 0x51, config.dim, config.max_prefix),
+        num_pois,
+        config,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::NextPoiModel;
+    use tspn_data::presets::nyc_mini;
+    use tspn_data::synth::generate_dataset;
+
+    fn tiny() -> (LbsnDataset, Vec<Sample>) {
+        let mut cfg = nyc_mini(0.08);
+        cfg.days = 15;
+        let (ds, _) = generate_dataset(cfg);
+        let samples = ds.all_samples();
+        (ds, samples)
+    }
+
+    #[test]
+    fn stan_ranks_and_names() {
+        let (ds, samples) = tiny();
+        let model = stan(ds.pois.len(), SeqModelConfig::default());
+        assert_eq!(model.name(), "STAN");
+        assert_eq!(model.rank(&ds, &samples[0]).len(), ds.pois.len());
+    }
+
+    #[test]
+    fn stisan_tape_differs_across_times() {
+        let a = StisanEncoder::tape(&[0, 3 * 86_400], 8).to_vec();
+        assert_ne!(&a[..8], &a[8..]);
+    }
+
+    #[test]
+    fn stisan_ranks() {
+        let (ds, samples) = tiny();
+        let model = stisan(ds.pois.len(), SeqModelConfig::default());
+        assert_eq!(model.rank(&ds, &samples[0]).len(), ds.pois.len());
+    }
+
+    #[test]
+    fn interval_bias_receives_gradient() {
+        let (ds, samples) = tiny();
+        let model = stisan(ds.pois.len(), SeqModelConfig::default());
+        // Find a multi-visit prefix so pairwise intervals exist.
+        let s = samples
+            .iter()
+            .find(|s| s.prefix_len >= 3)
+            .expect("multi-visit prefix");
+        let target = ds.sample_target(s).poi.0;
+        let q = model.encoder.encode(&ds, s, &model.table);
+        let logits = crate::common::catalog_logits(&q, &model.table);
+        let loss = logits.cross_entropy_logits(&[target]);
+        loss.backward();
+        let g = model.encoder.interval_bias.weight.grad();
+        assert!(g.iter().any(|x| x.abs() > 0.0), "interval bias unused");
+    }
+}

@@ -1,0 +1,146 @@
+//! Shared interface and sequence-model plumbing for the ten baselines of
+//! the paper's Tables II/III.
+//!
+//! Each baseline is a simplified-but-mechanism-faithful implementation:
+//! it keeps the signature idea of the published model (transition
+//! matrices, history attention, interval-aware attention, …) at the scale
+//! of this reproduction's substrate.
+
+use tspn_data::{LbsnDataset, PoiId, Sample, Visit};
+use tspn_tensor::nn::EmbeddingTable;
+use tspn_tensor::Tensor;
+
+/// A next-POI predictor competing in the evaluation harness.
+pub trait NextPoiModel {
+    /// Display name used in result tables.
+    fn name(&self) -> &'static str;
+
+    /// Trains on the given samples.
+    fn fit(&mut self, dataset: &LbsnDataset, train: &[Sample]);
+
+    /// Ranks POIs for a sample, best first. May return a truncated list;
+    /// targets missing from it are scored as unranked.
+    fn rank(&self, dataset: &LbsnDataset, sample: &Sample) -> Vec<PoiId>;
+
+    /// Scalar parameter count (0 for non-neural models).
+    fn num_params(&self) -> usize {
+        0
+    }
+}
+
+/// Evaluates a model: 0-based rank of each sample's target (`None` if the
+/// model did not rank it).
+pub fn evaluate_model(
+    model: &dyn NextPoiModel,
+    dataset: &LbsnDataset,
+    samples: &[Sample],
+) -> Vec<Option<usize>> {
+    samples
+        .iter()
+        .map(|s| {
+            let target = dataset.sample_target(s).poi;
+            model
+                .rank(dataset, s)
+                .iter()
+                .position(|&p| p == target)
+        })
+        .collect()
+}
+
+/// Truncates a prefix to its most recent `max_len` visits.
+pub fn recent(visits: &[Visit], max_len: usize) -> &[Visit] {
+    let start = visits.len().saturating_sub(max_len);
+    &visits[start..]
+}
+
+/// Concatenated history visits of a sample, most recent `max_len`.
+pub fn history_visits(dataset: &LbsnDataset, sample: &Sample, max_len: usize) -> Vec<Visit> {
+    let mut v: Vec<Visit> = dataset
+        .sample_history(sample)
+        .iter()
+        .flat_map(|t| t.visits.iter().copied())
+        .collect();
+    if v.len() > max_len {
+        v.drain(..v.len() - max_len);
+    }
+    v
+}
+
+/// Scores every POI as the dot product of a query vector with the shared
+/// embedding table → full-catalogue logits `[1, P]`.
+pub fn catalog_logits(query: &Tensor, table: &EmbeddingTable) -> Tensor {
+    query.matmul(&table.weight.transpose())
+}
+
+/// Converts `[1, P]` logits (data) into a best-first POI ranking.
+pub fn logits_to_ranking(logits: &Tensor) -> Vec<PoiId> {
+    let scores = logits.to_vec();
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.into_iter().map(PoiId).collect()
+}
+
+/// Distance bucket for spatio-temporal transition models: log-scaled km.
+pub fn distance_bucket(km: f64, buckets: usize) -> usize {
+    let b = (km.max(1e-3).ln() + 7.0).max(0.0) as usize;
+    b.min(buckets - 1)
+}
+
+/// Time-gap bucket: log-scaled seconds.
+pub fn time_gap_bucket(secs: i64, buckets: usize) -> usize {
+    let b = ((secs.max(1) as f64).ln() / 1.5) as usize;
+    b.min(buckets - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recent_truncates_front() {
+        let visits: Vec<Visit> = (0..5)
+            .map(|i| Visit {
+                poi: PoiId(i),
+                time: i as i64,
+            })
+            .collect();
+        let r = recent(&visits, 2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].poi, PoiId(3));
+    }
+
+    #[test]
+    fn logits_ranking_order() {
+        let logits = Tensor::from_vec(vec![0.1, 0.9, 0.5], vec![1, 3]);
+        let ranked = logits_to_ranking(&logits);
+        assert_eq!(ranked, vec![PoiId(1), PoiId(2), PoiId(0)]);
+    }
+
+    #[test]
+    fn catalog_logits_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let table = EmbeddingTable::new(&mut rng, 7, 4);
+        let q = Tensor::zeros(vec![1, 4]);
+        assert_eq!(catalog_logits(&q, &table).shape().0, vec![1, 7]);
+    }
+
+    #[test]
+    fn buckets_are_monotone_and_bounded() {
+        let mut prev = 0;
+        for km in [0.01, 0.1, 1.0, 10.0, 100.0, 10_000.0] {
+            let b = distance_bucket(km, 16);
+            assert!(b >= prev);
+            assert!(b < 16);
+            prev = b;
+        }
+        assert!(time_gap_bucket(1, 16) <= time_gap_bucket(86_400, 16));
+        assert!(time_gap_bucket(i64::MAX, 16) < 16);
+    }
+}

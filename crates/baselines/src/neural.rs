@@ -1,0 +1,233 @@
+//! Shared training harness for the neural baselines: every sequence model
+//! owns a POI embedding table, encodes `(history, prefix)` into a query
+//! vector, scores the full catalogue by dot product, and trains with
+//! cross-entropy + Adam.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use tspn_data::{LbsnDataset, PoiId, Sample};
+use tspn_tensor::nn::{EmbeddingTable, Module};
+use tspn_tensor::{optim, Tensor};
+
+use crate::common::{catalog_logits, logits_to_ranking, NextPoiModel};
+
+/// Hyper-parameters shared by all neural baselines.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SeqModelConfig {
+    /// Embedding / hidden dimension.
+    pub dim: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Longest prefix consumed.
+    pub max_prefix: usize,
+    /// Longest history window consumed.
+    pub max_history: usize,
+    /// Samples per gradient step.
+    pub batch: usize,
+    /// Init/shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for SeqModelConfig {
+    fn default() -> Self {
+        SeqModelConfig {
+            dim: 24,
+            epochs: 3,
+            lr: 4e-3,
+            max_prefix: 12,
+            max_history: 32,
+            batch: 8,
+            seed: 11,
+        }
+    }
+}
+
+/// The model-specific part of a neural baseline.
+pub trait SeqEncoder {
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// Hook called once per `fit` before training (e.g. Graph-Flashback
+    /// builds its transition graph here).
+    fn prepare(&mut self, _dataset: &LbsnDataset, _train: &[Sample]) {}
+
+    /// Encodes a sample into a query vector `[1, dim]`.
+    fn encode(&self, dataset: &LbsnDataset, sample: &Sample, table: &EmbeddingTable) -> Tensor;
+
+    /// Additional logits bias `[1, P]` (data tensor), e.g. SAE-NAD's
+    /// neighbour-aware term. Default: none.
+    fn logit_bias(&self, _dataset: &LbsnDataset, _sample: &Sample) -> Option<Tensor> {
+        None
+    }
+
+    /// Trainable parameters beyond the shared embedding table.
+    fn params(&self) -> Vec<Tensor>;
+}
+
+/// Generic neural baseline: embedding table + encoder + CE training.
+pub struct NeuralBaseline<E: SeqEncoder> {
+    /// Shared POI embedding table.
+    pub table: EmbeddingTable,
+    /// The model-specific encoder.
+    pub encoder: E,
+    /// Hyper-parameters.
+    pub config: SeqModelConfig,
+}
+
+impl<E: SeqEncoder> NeuralBaseline<E> {
+    /// Builds the baseline for a dataset size.
+    pub fn new(encoder: E, num_pois: usize, config: SeqModelConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        NeuralBaseline {
+            table: EmbeddingTable::new(&mut rng, num_pois, config.dim),
+            encoder,
+            config,
+        }
+    }
+
+    fn all_params(&self) -> Vec<Tensor> {
+        let mut p = self.table.params();
+        p.extend(self.encoder.params());
+        p
+    }
+
+    fn logits(&self, dataset: &LbsnDataset, sample: &Sample) -> Tensor {
+        let query = self.encoder.encode(dataset, sample, &self.table);
+        let mut logits = catalog_logits(&query, &self.table);
+        if let Some(bias) = self.encoder.logit_bias(dataset, sample) {
+            logits = logits.add(&bias);
+        }
+        logits
+    }
+}
+
+impl<E: SeqEncoder> NextPoiModel for NeuralBaseline<E> {
+    fn name(&self) -> &'static str {
+        self.encoder.name()
+    }
+
+    fn fit(&mut self, dataset: &LbsnDataset, train: &[Sample]) {
+        self.encoder.prepare(dataset, train);
+        let params = self.all_params();
+        let mut opt = optim::Adam::new(self.config.lr);
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xF17);
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        for _ in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(self.config.batch) {
+                optim::zero_grad(&params);
+                let mut batch_loss: Option<Tensor> = None;
+                for &i in chunk {
+                    let sample = &train[i];
+                    let target = dataset.sample_target(sample).poi.0;
+                    let loss = self.logits(dataset, sample).cross_entropy_logits(&[target]);
+                    batch_loss = Some(match batch_loss {
+                        Some(acc) => acc.add(&loss),
+                        None => loss,
+                    });
+                }
+                let loss = batch_loss
+                    .expect("non-empty batch")
+                    .scale(1.0 / chunk.len() as f32);
+                loss.backward();
+                optim::clip_grad_norm(&params, 5.0);
+                opt.step(&params);
+            }
+            opt.decay_lr(0.95);
+        }
+    }
+
+    fn rank(&self, dataset: &LbsnDataset, sample: &Sample) -> Vec<PoiId> {
+        logits_to_ranking(&self.logits(dataset, sample))
+    }
+
+    fn num_params(&self) -> usize {
+        self.all_params().iter().map(Tensor::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::evaluate_model;
+    use rand::Rng;
+    use tspn_data::presets::nyc_mini;
+    use tspn_data::synth::generate_dataset;
+    use tspn_tensor::init;
+
+    /// Trivial encoder: mean of prefix embeddings.
+    struct MeanEncoder {
+        proj: Tensor,
+    }
+
+    impl MeanEncoder {
+        fn new(rng: &mut impl Rng, dim: usize) -> Self {
+            MeanEncoder {
+                proj: init::xavier(rng, dim, dim),
+            }
+        }
+    }
+
+    impl SeqEncoder for MeanEncoder {
+        fn name(&self) -> &'static str {
+            "Mean"
+        }
+        fn encode(&self, ds: &LbsnDataset, s: &Sample, table: &EmbeddingTable) -> Tensor {
+            let rows: Vec<usize> = ds.sample_prefix(s).iter().map(|v| v.poi.0).collect();
+            let e = table.lookup(&rows);
+            let n = e.rows();
+            e.sum_axis0()
+                .scale(1.0 / n as f32)
+                .reshape(vec![1, table.dim()])
+                .matmul(&self.proj)
+        }
+        fn params(&self) -> Vec<Tensor> {
+            vec![self.proj.clone()]
+        }
+    }
+
+    #[test]
+    fn generic_harness_learns_something() {
+        let mut cfg = nyc_mini(0.1);
+        cfg.days = 25;
+        let (ds, _) = generate_dataset(cfg);
+        let samples = ds.all_samples();
+        let (train, test) = samples.split_at(samples.len() * 8 / 10);
+        let mut rng = StdRng::seed_from_u64(0);
+        let config = SeqModelConfig {
+            epochs: 3,
+            ..SeqModelConfig::default()
+        };
+        let mut model = NeuralBaseline::new(
+            MeanEncoder::new(&mut rng, config.dim),
+            ds.pois.len(),
+            config,
+        );
+        // Pre-training performance as control.
+        let before = evaluate_model(&model, &ds, test);
+        let hits_before = before.iter().filter(|r| matches!(r, Some(x) if *x < 10)).count();
+        model.fit(&ds, train);
+        let after = evaluate_model(&model, &ds, test);
+        let hits_after = after.iter().filter(|r| matches!(r, Some(x) if *x < 10)).count();
+        assert!(
+            hits_after > hits_before,
+            "training did not improve hit@10: {hits_before} → {hits_after}"
+        );
+    }
+
+    #[test]
+    fn num_params_counts_table_and_encoder() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = SeqModelConfig::default();
+        let model = NeuralBaseline::new(MeanEncoder::new(&mut rng, config.dim), 10, config);
+        assert_eq!(
+            model.num_params(),
+            10 * config.dim + config.dim * config.dim
+        );
+    }
+}

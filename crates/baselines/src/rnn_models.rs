@@ -1,0 +1,182 @@
+//! Recurrent baselines: GRU (Cho et al.) and STRNN (Liu et al., AAAI'16).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tspn_data::{LbsnDataset, Sample};
+use tspn_tensor::nn::{EmbeddingTable, GruCell, Module};
+use tspn_tensor::Tensor;
+
+use crate::common::{distance_bucket, recent, time_gap_bucket};
+use crate::neural::{NeuralBaseline, SeqEncoder, SeqModelConfig};
+
+/// Plain GRU encoder over the prefix sequence.
+pub struct GruEncoder {
+    cell: GruCell,
+    max_prefix: usize,
+}
+
+impl GruEncoder {
+    /// Creates the encoder.
+    pub fn new(seed: u64, dim: usize, max_prefix: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        GruEncoder {
+            cell: GruCell::new(&mut rng, dim, dim),
+            max_prefix,
+        }
+    }
+}
+
+impl SeqEncoder for GruEncoder {
+    fn name(&self) -> &'static str {
+        "GRU"
+    }
+
+    fn encode(&self, ds: &LbsnDataset, s: &Sample, table: &EmbeddingTable) -> Tensor {
+        let prefix = recent(ds.sample_prefix(s), self.max_prefix);
+        let rows: Vec<usize> = prefix.iter().map(|v| v.poi.0).collect();
+        let embeds = table.lookup(&rows);
+        let hs = self.cell.run(&embeds);
+        hs.slice_rows(hs.rows() - 1, hs.rows())
+    }
+
+    fn params(&self) -> Vec<Tensor> {
+        self.cell.params()
+    }
+}
+
+/// Builds the GRU baseline.
+pub fn gru(num_pois: usize, config: SeqModelConfig) -> NeuralBaseline<GruEncoder> {
+    NeuralBaseline::new(
+        GruEncoder::new(config.seed ^ 0x62, config.dim, config.max_prefix),
+        num_pois,
+        config,
+    )
+}
+
+/// STRNN: an RNN whose step input is modulated by discretised
+/// time-interval and distance-interval transition embeddings between
+/// consecutive visits — the signature mechanism of Liu et al.'s
+/// spatio-temporal RNN.
+pub struct StrnnEncoder {
+    cell: GruCell,
+    time_table: EmbeddingTable,
+    dist_table: EmbeddingTable,
+    max_prefix: usize,
+}
+
+/// Number of discretisation buckets for Δt and Δd.
+const BUCKETS: usize = 16;
+
+impl StrnnEncoder {
+    /// Creates the encoder.
+    pub fn new(seed: u64, dim: usize, max_prefix: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        StrnnEncoder {
+            cell: GruCell::new(&mut rng, dim, dim),
+            time_table: EmbeddingTable::new(&mut rng, BUCKETS, dim),
+            dist_table: EmbeddingTable::new(&mut rng, BUCKETS, dim),
+            max_prefix,
+        }
+    }
+}
+
+impl SeqEncoder for StrnnEncoder {
+    fn name(&self) -> &'static str {
+        "STRNN"
+    }
+
+    fn encode(&self, ds: &LbsnDataset, s: &Sample, table: &EmbeddingTable) -> Tensor {
+        let prefix = recent(ds.sample_prefix(s), self.max_prefix);
+        let rows: Vec<usize> = prefix.iter().map(|v| v.poi.0).collect();
+        let embeds = table.lookup(&rows);
+        // Transition context relative to the previous visit.
+        let mut t_buckets = Vec::with_capacity(prefix.len());
+        let mut d_buckets = Vec::with_capacity(prefix.len());
+        for (i, v) in prefix.iter().enumerate() {
+            if i == 0 {
+                t_buckets.push(0);
+                d_buckets.push(0);
+            } else {
+                let prev = &prefix[i - 1];
+                t_buckets.push(time_gap_bucket(v.time - prev.time, BUCKETS));
+                let km = ds
+                    .poi_loc(prev.poi)
+                    .equirectangular_km(&ds.poi_loc(v.poi));
+                d_buckets.push(distance_bucket(km, BUCKETS));
+            }
+        }
+        let st = self
+            .time_table
+            .lookup(&t_buckets)
+            .add(&self.dist_table.lookup(&d_buckets));
+        let inputs = embeds.add(&st);
+        let hs = self.cell.run(&inputs);
+        hs.slice_rows(hs.rows() - 1, hs.rows())
+    }
+
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.cell.params();
+        p.extend(self.time_table.params());
+        p.extend(self.dist_table.params());
+        p
+    }
+}
+
+/// Builds the STRNN baseline.
+pub fn strnn(num_pois: usize, config: SeqModelConfig) -> NeuralBaseline<StrnnEncoder> {
+    NeuralBaseline::new(
+        StrnnEncoder::new(config.seed ^ 0x57, config.dim, config.max_prefix),
+        num_pois,
+        config,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::NextPoiModel;
+    use tspn_data::presets::nyc_mini;
+    use tspn_data::synth::generate_dataset;
+
+    fn tiny() -> (LbsnDataset, Vec<Sample>) {
+        let mut cfg = nyc_mini(0.08);
+        cfg.days = 15;
+        let (ds, _) = generate_dataset(cfg);
+        let samples = ds.all_samples();
+        (ds, samples)
+    }
+
+    #[test]
+    fn gru_ranks_full_catalogue() {
+        let (ds, samples) = tiny();
+        let model = gru(ds.pois.len(), SeqModelConfig::default());
+        assert_eq!(model.rank(&ds, &samples[0]).len(), ds.pois.len());
+        assert_eq!(model.name(), "GRU");
+    }
+
+    #[test]
+    fn strnn_uses_interval_tables() {
+        let (ds, samples) = tiny();
+        let model = strnn(ds.pois.len(), SeqModelConfig::default());
+        assert_eq!(model.name(), "STRNN");
+        // Interval tables are part of the parameter budget.
+        let plain = gru(ds.pois.len(), SeqModelConfig::default());
+        assert!(model.num_params() > plain.num_params());
+        assert_eq!(model.rank(&ds, &samples[0]).len(), ds.pois.len());
+    }
+
+    #[test]
+    fn one_epoch_of_training_runs() {
+        let (ds, samples) = tiny();
+        let cfg = SeqModelConfig {
+            epochs: 1,
+            ..SeqModelConfig::default()
+        };
+        let train: Vec<Sample> = samples.iter().take(16).copied().collect();
+        let mut model = gru(ds.pois.len(), cfg);
+        model.fit(&ds, &train);
+        let ranked = model.rank(&ds, &samples[0]);
+        assert_eq!(ranked.len(), ds.pois.len());
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests over all baselines: every model must emit a valid
+//! ranking (a permutation prefix of the POI catalogue) for any sample of
+//! any dataset, trained or not.
+
+use proptest::prelude::*;
+use tspn_baselines::{all_baselines, MarkovChain, NextPoiModel, SeqModelConfig};
+use tspn_data::presets::nyc_mini;
+use tspn_data::synth::generate_dataset;
+use tspn_data::{LbsnDataset, Sample};
+
+fn fixture() -> (LbsnDataset, Vec<Sample>) {
+    let mut cfg = nyc_mini(0.08);
+    cfg.days = 12;
+    let (ds, _) = generate_dataset(cfg);
+    let samples = ds.all_samples();
+    (ds, samples)
+}
+
+fn assert_valid_ranking(ds: &LbsnDataset, ranking: &[tspn_data::PoiId]) {
+    let mut seen = vec![false; ds.pois.len()];
+    for p in ranking {
+        assert!(p.0 < ds.pois.len(), "ranked unknown POI {p:?}");
+        assert!(!seen[p.0], "POI {p:?} ranked twice");
+        seen[p.0] = true;
+    }
+}
+
+#[test]
+fn untrained_models_emit_valid_rankings() {
+    let (ds, samples) = fixture();
+    // Markov is the only model meaningfully usable untrained; neural
+    // models still must not crash or emit duplicates.
+    let mc = MarkovChain::new();
+    for s in samples.iter().take(5) {
+        assert_valid_ranking(&ds, &mc.rank(&ds, s));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn every_baseline_ranks_validly_after_brief_training(seed in 0u64..1000) {
+        let (ds, samples) = fixture();
+        let cfg = SeqModelConfig {
+            epochs: 1,
+            seed,
+            ..SeqModelConfig::default()
+        };
+        let train: Vec<Sample> = samples.iter().take(12).copied().collect();
+        for mut model in all_baselines(&ds, cfg) {
+            model.fit(&ds, &train);
+            for s in samples.iter().take(3) {
+                let ranking = model.rank(&ds, s);
+                assert_valid_ranking(&ds, &ranking);
+                prop_assert_eq!(
+                    ranking.len(),
+                    ds.pois.len(),
+                    "{} returned a truncated ranking", model.name()
+                );
+            }
+        }
+    }
+}

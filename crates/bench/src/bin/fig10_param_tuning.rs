@@ -1,0 +1,78 @@
+//! Fig. 10 — hyper-parameter sensitivity: sweeps over the training-time
+//! top-K, embedding dimension, learning rate and batch size, reporting
+//! Recall@5 and MRR on the NYC analogue (the paper's tuning figure).
+
+use tspn_bench::{prepare, run_tspn, tspn_config, ExperimentOpts};
+use tspn_core::TspnVariant;
+use tspn_data::presets::nyc_mini;
+use tspn_metrics::TableBuilder;
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    let prepared = prepare(nyc_mini(opts.scale));
+    let seed = opts.seeds[0];
+    let base = tspn_config(&prepared.dataset.name, &opts, seed);
+    let mut table = TableBuilder::new(&["Parameter", "Value", "Recall@5", "MRR"]);
+
+    println!("=== Fig. 10 parameter sweeps (NYC analogue) ===");
+
+    // (a) K during training: the paper samples {5, 10, 15, 20, 25}.
+    for k in [2usize, 4, 6, 10] {
+        let mut cfg = base.clone();
+        cfg.top_k = k;
+        let row = run_tspn(&prepared, cfg, TspnVariant::default(), "K");
+        println!("  K={k:<3} recall@5 {:.4}  mrr {:.4}", row.metrics.recall[0], row.metrics.mrr);
+        table.row(vec![
+            "K".into(),
+            k.to_string(),
+            format!("{:.4}", row.metrics.recall[0]),
+            format!("{:.4}", row.metrics.mrr),
+        ]);
+    }
+    // (b) embedding dimension (paper: 128…1024; scaled ×16 down).
+    for dm in [16usize, 32, 64] {
+        let mut cfg = base.clone();
+        cfg.dm = dm;
+        let row = run_tspn(&prepared, cfg, TspnVariant::default(), "dm");
+        println!("  dm={dm:<3} recall@5 {:.4}  mrr {:.4}", row.metrics.recall[0], row.metrics.mrr);
+        table.row(vec![
+            "dm".into(),
+            dm.to_string(),
+            format!("{:.4}", row.metrics.recall[0]),
+            format!("{:.4}", row.metrics.mrr),
+        ]);
+    }
+    // (c) learning rate (paper: 1e-6…1e-3 around 2e-5 at dm=512).
+    for lr in [3e-4f32, 1e-3, 3e-3, 1e-2] {
+        let mut cfg = base.clone();
+        cfg.lr = lr;
+        let row = run_tspn(&prepared, cfg, TspnVariant::default(), "lr");
+        println!("  lr={lr:<7} recall@5 {:.4}  mrr {:.4}", row.metrics.recall[0], row.metrics.mrr);
+        table.row(vec![
+            "lr".into(),
+            format!("{lr}"),
+            format!("{:.4}", row.metrics.recall[0]),
+            format!("{:.4}", row.metrics.mrr),
+        ]);
+    }
+    // (d) batch size (paper: 1…16).
+    for bs in [2usize, 8, 16] {
+        let mut cfg = base.clone();
+        cfg.batch_size = bs;
+        let row = run_tspn(&prepared, cfg, TspnVariant::default(), "batch");
+        println!("  batch={bs:<3} recall@5 {:.4}  mrr {:.4} ({:.1}s)", row.metrics.recall[0], row.metrics.mrr, row.train_secs);
+        table.row(vec![
+            "batch".into(),
+            bs.to_string(),
+            format!("{:.4}", row.metrics.recall[0]),
+            format!("{:.4}", row.metrics.mrr),
+        ]);
+    }
+
+    println!("\n{}", table.to_markdown());
+    let out = opts.out_path("fig10_param_tuning.csv");
+    table
+        .write_csv_to(std::fs::File::create(&out).expect("create csv"))
+        .expect("write csv");
+    println!("wrote {}", out.display());
+}

@@ -1,0 +1,76 @@
+//! Fig. 11 — interaction between the two prediction steps at inference:
+//! sweeping K over exponential steps and reporting (a) top-K tile accuracy
+//! and top-5 POI recall, (b) candidate-set size, (c) the two selection
+//! rates whose crossover the paper aligns with the POI-accuracy peak.
+
+use tspn_bench::{prepare, tspn_config, ExperimentOpts};
+use tspn_core::{SpatialContext, Trainer, TspnVariant};
+use tspn_data::presets::nyc_mini;
+use tspn_metrics::{evaluate_ranks, TableBuilder};
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    let prepared = prepare(nyc_mini(opts.scale));
+    let seed = opts.seeds[0];
+    let mut cfg = tspn_config(&prepared.dataset.name, &opts, seed);
+    cfg.variant = TspnVariant::default();
+    let ctx = SpatialContext::build(prepared.dataset.clone(), prepared.world.clone(), &cfg);
+    let num_leaves = ctx.num_leaves();
+    let num_pois = prepared.dataset.pois.len() as f64;
+    let mut trainer = Trainer::new(cfg, ctx);
+    println!("training once, then sweeping K at inference…");
+    trainer.fit(&prepared.train);
+
+    let mut table = TableBuilder::new(&[
+        "K",
+        "tile_acc@K",
+        "poi_recall@5",
+        "mean_candidates",
+        "tile_selection_rate",
+        "poi_selection_rate",
+    ]);
+    println!("\n=== Fig. 11 sweep (leaves = {num_leaves}) ===");
+    // Exponential K ladder like the paper's 1..320 ×2 steps, capped at the
+    // number of leaves.
+    let mut k = 1usize;
+    let mut ladder = Vec::new();
+    while k < num_leaves {
+        ladder.push(k);
+        k *= 2;
+    }
+    ladder.push(num_leaves);
+    for &k in &ladder {
+        let outcomes = trainer.evaluate_with_k(&prepared.test, k);
+        let tile_acc = outcomes
+            .iter()
+            .filter(|o| matches!(o.tile_rank, Some(r) if r < k))
+            .count() as f64
+            / outcomes.len().max(1) as f64;
+        let metrics = evaluate_ranks(outcomes.iter().map(|o| o.rank));
+        let mean_cand = outcomes.iter().map(|o| o.candidate_count).sum::<usize>() as f64
+            / outcomes.len().max(1) as f64;
+        // Difficulty measures from the paper's (c) panel: selecting K tiles
+        // out of all leaves, then 5 POIs out of the candidate set.
+        let tile_rate = k as f64 / num_leaves as f64;
+        let poi_rate = 5.0 / mean_cand.max(1.0);
+        println!(
+            "  K={k:<4} tile_acc {tile_acc:.3}  recall@5 {:.3}  candidates {mean_cand:.1}",
+            metrics.recall[0]
+        );
+        table.row(vec![
+            k.to_string(),
+            format!("{tile_acc:.4}"),
+            format!("{:.4}", metrics.recall[0]),
+            format!("{mean_cand:.1}"),
+            format!("{tile_rate:.4}"),
+            format!("{poi_rate:.4}"),
+        ]);
+    }
+    let _ = num_pois;
+    println!("\n{}", table.to_markdown());
+    let out = opts.out_path("fig11_topk.csv");
+    table
+        .write_csv_to(std::fs::File::create(&out).expect("create csv"))
+        .expect("write csv");
+    println!("wrote {}", out.display());
+}

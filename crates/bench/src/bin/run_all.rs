@@ -1,0 +1,58 @@
+//! Runs the complete experiment suite — every table and figure — in
+//! sequence with shared options. Equivalent to invoking each binary, but
+//! convenient for a single reproducibility command:
+//!
+//! ```text
+//! cargo run --release -p tspn-bench --bin run_all -- --quick
+//! ```
+
+use std::process::Command;
+
+use tspn_bench::ExperimentOpts;
+
+const BINARIES: [&str; 9] = [
+    "table1_datasets",
+    "table2_foursquare",
+    "table3_weeplaces",
+    "table4_ablation",
+    "table5_efficiency",
+    "fig8_spatial_encoding",
+    "fig10_param_tuning",
+    "fig11_topk",
+    "fig12_case_study",
+];
+
+fn main() {
+    // Validate the flags once up front (run_all forwards them verbatim).
+    let _ = ExperimentOpts::from_env();
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir");
+
+    let mut failures = Vec::new();
+    for bin in BINARIES {
+        println!("\n───────────────────────────────────────────────");
+        println!("▶ {bin} {}", forwarded.join(" "));
+        println!("───────────────────────────────────────────────");
+        let status = Command::new(bin_dir.join(bin))
+            .args(&forwarded)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("✗ {bin} exited with {s}");
+                failures.push(bin);
+            }
+            Err(e) => {
+                eprintln!("✗ could not launch {bin}: {e} (build with --release first)");
+                failures.push(bin);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments completed", BINARIES.len());
+    } else {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

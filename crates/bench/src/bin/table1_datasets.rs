@@ -1,0 +1,87 @@
+//! Table I — dataset statistics for the four presets.
+//!
+//! The paper's table reports check-ins / users / POIs / categories /
+//! coverage for Foursquare NYC, Foursquare TKY, Weeplaces California and
+//! Weeplaces Florida. This binary prints the same columns for the
+//! synthetic analogues, and additionally the paper's original values for
+//! side-by-side comparison.
+
+use tspn_bench::ExperimentOpts;
+use tspn_data::presets::all_presets;
+use tspn_data::synth::generate_dataset;
+use tspn_metrics::TableBuilder;
+
+/// The paper's Table I rows (for the shape comparison printed below ours).
+const PAPER: [(&str, u64, u64, u64, u64, f64); 4] = [
+    ("Foursquare(NYC)", 227_428, 1083, 38_333, 400, 482.75),
+    ("Foursquare(TKY)", 573_703, 2293, 61_858, 385, 211.98),
+    ("Weeplaces(California)", 971_794, 5250, 99_733, 679, 423_967.5),
+    ("Weeplaces(Florida)", 136_754, 2064, 25_287, 589, 139_670.0),
+];
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    let mut table = TableBuilder::new(&[
+        "Dataset", "Check-in", "User", "POI", "Category", "Coverage km2",
+    ]);
+    for cfg in all_presets(opts.scale) {
+        let (ds, _) = generate_dataset(cfg);
+        let s = ds.stats();
+        table.row(vec![
+            ds.name.clone(),
+            s.checkins.to_string(),
+            s.users.to_string(),
+            s.pois.to_string(),
+            s.categories.to_string(),
+            format!("{:.1}", s.coverage_km2),
+        ]);
+    }
+    println!("## Table I (synthetic analogues at scale {})\n", opts.scale);
+    println!("{}", table.to_markdown());
+
+    let mut paper_table = TableBuilder::new(&[
+        "Dataset", "Check-in", "User", "POI", "Category", "Coverage km2",
+    ]);
+    for (name, c, u, p, k, cov) in PAPER {
+        paper_table.row(vec![
+            name.to_string(),
+            c.to_string(),
+            u.to_string(),
+            p.to_string(),
+            k.to_string(),
+            format!("{cov:.1}"),
+        ]);
+    }
+    println!("## Table I (paper originals)\n");
+    println!("{}", paper_table.to_markdown());
+
+    // Mobility stylized facts — the evidence that the synthetic data
+    // carries the behavioural structure LBSN models exploit.
+    let mut mob = TableBuilder::new(&[
+        "Dataset",
+        "revisit_ratio",
+        "r_gyration_km",
+        "mean_hop_km",
+        "checkins_per_user",
+        "entropy_bits",
+    ]);
+    for cfg in all_presets(opts.scale) {
+        let (ds, _) = generate_dataset(cfg);
+        let p = tspn_data::mobility::mobility_profile(&ds);
+        mob.row(vec![
+            ds.name.clone(),
+            format!("{:.3}", p.revisit_ratio),
+            format!("{:.1}", p.radius_of_gyration_km),
+            format!("{:.1}", p.mean_hop_km),
+            format!("{:.1}", p.checkins_per_user),
+            format!("{:.2}", p.visit_entropy_bits),
+        ]);
+    }
+    println!("## Mobility profile of the synthetic analogues\n");
+    println!("{}", mob.to_markdown());
+
+    let out = opts.out_path("table1.csv");
+    let file = std::fs::File::create(&out).expect("create csv");
+    table.write_csv_to(file).expect("write csv");
+    println!("wrote {}", out.display());
+}

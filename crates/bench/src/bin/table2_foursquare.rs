@@ -1,0 +1,34 @@
+//! Table II — model comparison on the Foursquare-style urban datasets
+//! (TKY / NYC): ten baselines + TSPN-RA on Recall@{5,10,20},
+//! NDCG@{5,10,20} and MRR, averaged over seeds.
+
+use tspn_bench::harness::{render_comparison, run_full_comparison};
+use tspn_bench::{prepare, ExperimentOpts};
+use tspn_data::presets::{nyc_mini, tky_mini};
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    for (title, cfg, csv) in [
+        (
+            "Foursquare TKY analogue",
+            tky_mini(opts.scale),
+            "table2_tky.csv",
+        ),
+        (
+            "Foursquare NYC analogue",
+            nyc_mini(opts.scale),
+            "table2_nyc.csv",
+        ),
+    ] {
+        println!("\n=== {title} (scale {}, {} seed(s)) ===", opts.scale, opts.seeds.len());
+        let prepared = prepare(cfg);
+        println!(
+            "dataset: {} check-ins, {} train / {} test samples",
+            prepared.dataset.stats().checkins,
+            prepared.train.len(),
+            prepared.test.len()
+        );
+        let results = run_full_comparison(&prepared, &opts);
+        println!("{}", render_comparison(&results, &opts, csv));
+    }
+}

@@ -1,0 +1,33 @@
+//! Table III — model comparison on the Weeplaces-style state-scale
+//! datasets (California / Florida), same metrics and lineup as Table II.
+
+use tspn_bench::harness::{render_comparison, run_full_comparison};
+use tspn_bench::{prepare, ExperimentOpts};
+use tspn_data::presets::{california_mini, florida_mini};
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    for (title, cfg, csv) in [
+        (
+            "Weeplaces California analogue",
+            california_mini(opts.scale),
+            "table3_california.csv",
+        ),
+        (
+            "Weeplaces Florida analogue",
+            florida_mini(opts.scale),
+            "table3_florida.csv",
+        ),
+    ] {
+        println!("\n=== {title} (scale {}, {} seed(s)) ===", opts.scale, opts.seeds.len());
+        let prepared = prepare(cfg);
+        println!(
+            "dataset: {} check-ins, {} train / {} test samples",
+            prepared.dataset.stats().checkins,
+            prepared.train.len(),
+            prepared.test.len()
+        );
+        let results = run_full_comparison(&prepared, &opts);
+        println!("{}", render_comparison(&results, &opts, csv));
+    }
+}

@@ -1,0 +1,76 @@
+//! Table IV — ablation study: each row disables one TSPN-RA component
+//! (partitioning, two-step pipeline, QR-P graph, edge families, imagery,
+//! spatio-temporal encoders, POI category) and reports Recall@5, NDCG@5,
+//! MRR and the average degradation against the full model.
+
+use tspn_bench::{prepare, run_tspn, tspn_config, ExperimentOpts};
+use tspn_core::{Partition, TspnVariant};
+use tspn_data::presets::nyc_mini;
+use tspn_metrics::TableBuilder;
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    let prepared = prepare(nyc_mini(opts.scale));
+    println!(
+        "=== Table IV ablations on NYC analogue (scale {}, {} epochs) ===",
+        opts.scale, opts.epochs
+    );
+
+    let seed = opts.seeds[0];
+    let base_cfg = tspn_config(&prepared.dataset.name, &opts, seed);
+
+    // Full model first: its metrics anchor the degradation column.
+    let mut rows = Vec::new();
+    for (label, variant) in TspnVariant::ablations() {
+        let row = run_tspn(&prepared, base_cfg.clone(), variant, label);
+        println!(
+            "  {label:<18} recall@5 {:.4}  mrr {:.4}  ({:.1}s train)",
+            row.metrics.recall[0], row.metrics.mrr, row.train_secs
+        );
+        rows.push(row);
+    }
+    // The grid-partition ablation changes the config rather than the
+    // variant: uniform tree of comparable leaf count.
+    let grid_cfg = {
+        let mut c = base_cfg.clone();
+        c.partition = Partition::UniformGrid { depth: 4 };
+        c
+    };
+    let grid_row = run_tspn(
+        &prepared,
+        grid_cfg,
+        TspnVariant::default(),
+        "Grid Replace Quad-tree",
+    );
+    println!(
+        "  {:<18} recall@5 {:.4}  mrr {:.4}",
+        grid_row.model, grid_row.metrics.recall[0], grid_row.metrics.mrr
+    );
+    rows.insert(1, grid_row);
+
+    let full_avg = rows[0].metrics.average();
+    let mut table = TableBuilder::new(&["Variant", "Recall@5", "NDCG@5", "MRR", "impro@avg"]);
+    for row in &rows {
+        let degradation = if row.model == "TSPN-RA" {
+            "-".to_string()
+        } else {
+            format!(
+                "{:+.2}%",
+                (row.metrics.average() - full_avg) / full_avg.max(1e-9) * 100.0
+            )
+        };
+        table.row(vec![
+            row.model.clone(),
+            format!("{:.4}", row.metrics.recall[0]),
+            format!("{:.4}", row.metrics.ndcg[0]),
+            format!("{:.4}", row.metrics.mrr),
+            degradation,
+        ]);
+    }
+    println!("\n{}", table.to_markdown());
+    let out = opts.out_path("table4_ablation.csv");
+    table
+        .write_csv_to(std::fs::File::create(&out).expect("create csv"))
+        .expect("write csv");
+    println!("wrote {}", out.display());
+}

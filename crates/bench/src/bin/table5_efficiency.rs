@@ -1,0 +1,42 @@
+//! Table V — efficiency comparison: estimated memory, training time and
+//! inference time for TSPN-RA and the baselines on the two urban datasets.
+
+use tspn_bench::{prepare, run_baseline_comparison, run_tspn, tspn_config, ExperimentOpts};
+use tspn_core::TspnVariant;
+use tspn_data::presets::{nyc_mini, tky_mini};
+use tspn_metrics::{format_bytes, format_duration, TableBuilder};
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    let seed = opts.seeds[0];
+    for (title, cfg, csv) in [
+        ("NYC analogue", nyc_mini(opts.scale), "table5_nyc.csv"),
+        ("TKY analogue", tky_mini(opts.scale), "table5_tky.csv"),
+    ] {
+        println!("\n=== Table V efficiency: {title} ===");
+        let prepared = prepare(cfg);
+        let mut rows = vec![run_tspn(
+            &prepared,
+            tspn_config(&prepared.dataset.name, &opts, seed),
+            TspnVariant::default(),
+            "TSPN-RA",
+        )];
+        rows.extend(run_baseline_comparison(&prepared, &opts, seed));
+        let mut table = TableBuilder::new(&["Model", "Memory", "Train", "Infer", "Recall@5"]);
+        for r in &rows {
+            table.row(vec![
+                r.model.clone(),
+                format_bytes(r.memory_bytes),
+                format_duration(std::time::Duration::from_secs_f64(r.train_secs)),
+                format_duration(std::time::Duration::from_secs_f64(r.infer_secs)),
+                format!("{:.4}", r.metrics.recall[0]),
+            ]);
+        }
+        println!("{}", table.to_markdown());
+        let out = opts.out_path(csv);
+        table
+            .write_csv_to(std::fs::File::create(&out).expect("create csv"))
+            .expect("write csv");
+        println!("wrote {}", out.display());
+    }
+}

@@ -1,0 +1,30 @@
+//! # tspn-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation section (Sec. VI), plus criterion micro-benchmarks.
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table1_datasets` | Table I dataset statistics |
+//! | `table2_foursquare` | Table II (TKY / NYC model comparison) |
+//! | `table3_weeplaces` | Table III (California / Florida comparison) |
+//! | `table4_ablation` | Table IV ablation study |
+//! | `table5_efficiency` | Table V memory / train / infer efficiency |
+//! | `fig8_spatial_encoding` | Fig. 8 spatial-encoding similarity maps |
+//! | `fig10_param_tuning` | Fig. 10 hyper-parameter sweeps |
+//! | `fig11_topk` | Fig. 11 two-step interaction vs K |
+//! | `fig12_case_study` | Fig. 12 Florida coastline case study |
+//!
+//! Every binary accepts `--scale`, `--epochs`, `--seeds`, `--dim`,
+//! `--quick` and writes both human-readable tables (stdout) and JSON/CSV
+//! artefacts under `results/`.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod opts;
+
+pub use harness::{
+    prepare, run_baseline_comparison, run_tspn, scaled_settings, tspn_config, ComparisonRow, Prepared,
+};
+pub use opts::ExperimentOpts;

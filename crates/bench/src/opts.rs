@@ -1,0 +1,122 @@
+//! Tiny CLI option parsing shared by the experiment binaries (flag-style,
+//! no external dependency).
+
+use std::path::PathBuf;
+
+/// Options accepted by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct ExperimentOpts {
+    /// Dataset scale multiplier (1.0 = the mini presets as defined).
+    pub scale: f64,
+    /// Training epochs for TSPN-RA and the neural baselines.
+    pub epochs: usize,
+    /// Seeds to average over (the paper uses five).
+    pub seeds: Vec<u64>,
+    /// Embedding dimension for TSPN-RA.
+    pub dim: usize,
+    /// Output directory for JSON/CSV artefacts.
+    pub out_dir: PathBuf,
+}
+
+impl Default for ExperimentOpts {
+    fn default() -> Self {
+        ExperimentOpts {
+            scale: 0.35,
+            epochs: 3,
+            seeds: vec![11, 23],
+            dim: 48,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl ExperimentOpts {
+    /// Parses `std::env::args()`-style flags:
+    /// `--scale F --epochs N --seeds a,b,c --dim N --quick --out DIR`.
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed flags.
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut opts = ExperimentOpts::default();
+        let argv: Vec<String> = args.collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let take_value = |i: &mut usize| -> &str {
+                *i += 1;
+                argv.get(*i)
+                    .unwrap_or_else(|| panic!("flag {} needs a value", argv[*i - 1]))
+            };
+            match argv[i].as_str() {
+                "--scale" => opts.scale = take_value(&mut i).parse().expect("bad --scale"),
+                "--epochs" => opts.epochs = take_value(&mut i).parse().expect("bad --epochs"),
+                "--dim" => opts.dim = take_value(&mut i).parse().expect("bad --dim"),
+                "--seeds" => {
+                    opts.seeds = take_value(&mut i)
+                        .split(',')
+                        .map(|s| s.parse().expect("bad --seeds"))
+                        .collect();
+                }
+                "--out" => opts.out_dir = PathBuf::from(take_value(&mut i)),
+                "--quick" => {
+                    opts.scale = 0.22;
+                    opts.epochs = 2;
+                    opts.seeds = vec![11];
+                }
+                other => panic!("unknown flag {other:?} (see crate docs for usage)"),
+            }
+            i += 1;
+        }
+        assert!(!opts.seeds.is_empty(), "need at least one seed");
+        opts
+    }
+
+    /// Parses the process arguments (skipping the program name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Ensures the output directory exists and returns a path inside it.
+    pub fn out_path(&self, filename: &str) -> PathBuf {
+        std::fs::create_dir_all(&self.out_dir).expect("create results dir");
+        self.out_dir.join(filename)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> ExperimentOpts {
+        ExperimentOpts::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        let o = parse("");
+        assert_eq!(o.epochs, 3);
+        assert!(o.scale > 0.0);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = parse("--scale 0.5 --epochs 7 --seeds 1,2,3 --dim 64 --out /tmp/x");
+        assert_eq!(o.scale, 0.5);
+        assert_eq!(o.epochs, 7);
+        assert_eq!(o.seeds, vec![1, 2, 3]);
+        assert_eq!(o.dim, 64);
+        assert_eq!(o.out_dir, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn quick_flag_shrinks_everything() {
+        let o = parse("--quick");
+        assert!(o.scale < 0.3);
+        assert_eq!(o.seeds.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown() {
+        parse("--bogus");
+    }
+}

@@ -1,0 +1,247 @@
+//! Model and training configuration, including every ablation switch the
+//! paper studies in Table IV.
+
+use serde::{Deserialize, Serialize};
+
+/// Spatial partitioning strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Partition {
+    /// The paper's adaptive region quad-tree with `(D, Ω)`.
+    QuadTree {
+        /// Maximum tree height `D`.
+        max_depth: usize,
+        /// Leaf capacity `Ω`.
+        leaf_capacity: usize,
+    },
+    /// Fixed-granularity grid (Table IV's "Grid Replace Quad-tree"):
+    /// a uniform tree of the given depth (`4^(depth−1)` leaves).
+    UniformGrid {
+        /// Uniform subdivision depth.
+        depth: usize,
+    },
+}
+
+/// Ablation switches (Table IV rows). The default is the full model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TspnVariant {
+    /// Run the two-step tile→POI pipeline; `false` ranks all POIs directly
+    /// ("No Two-step").
+    pub two_step: bool,
+    /// Build and encode the QR-P graph ("No QR-P graph" when false).
+    pub use_graph: bool,
+    /// Include road edges in the QR-P graph ("QR-P with no Road").
+    pub road_edges: bool,
+    /// Include contain edges ("QR-P with no Contain").
+    pub contain_edges: bool,
+    /// Embed tiles from remote-sensing imagery; `false` uses plain
+    /// learnable per-tile embeddings ("No Remote Sensing").
+    pub use_imagery: bool,
+    /// Apply the spatial & temporal encoders ("No S&T Encoder").
+    pub st_encoders: bool,
+    /// Blend category embeddings into POI embeddings ("No POI Category").
+    pub use_category: bool,
+}
+
+impl Default for TspnVariant {
+    fn default() -> Self {
+        TspnVariant {
+            two_step: true,
+            use_graph: true,
+            road_edges: true,
+            contain_edges: true,
+            use_imagery: true,
+            st_encoders: true,
+            use_category: true,
+        }
+    }
+}
+
+impl TspnVariant {
+    /// The named ablations of Table IV, as `(label, variant, partition_override)`.
+    pub fn ablations() -> Vec<(&'static str, TspnVariant)> {
+        let full = TspnVariant::default();
+        vec![
+            ("TSPN-RA", full),
+            (
+                "No Two-step",
+                TspnVariant {
+                    two_step: false,
+                    ..full
+                },
+            ),
+            (
+                "No QR-P Graph",
+                TspnVariant {
+                    use_graph: false,
+                    ..full
+                },
+            ),
+            (
+                "QR-P No Contain",
+                TspnVariant {
+                    contain_edges: false,
+                    ..full
+                },
+            ),
+            (
+                "QR-P No Road",
+                TspnVariant {
+                    road_edges: false,
+                    ..full
+                },
+            ),
+            (
+                "No Imagery",
+                TspnVariant {
+                    use_imagery: false,
+                    ..full
+                },
+            ),
+            (
+                "No S&T Encoder",
+                TspnVariant {
+                    st_encoders: false,
+                    ..full
+                },
+            ),
+            (
+                "No POI Category",
+                TspnVariant {
+                    use_category: false,
+                    ..full
+                },
+            ),
+        ]
+    }
+}
+
+/// Full model + training configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TspnConfig {
+    /// Embedding dimension `d_m` (paper default 512; laptop default 32).
+    pub dm: usize,
+    /// Remote-sensing tile image side in pixels (paper 256; default 16).
+    pub image_size: usize,
+    /// POI id/category merge ratio `α` (Eq. 5).
+    pub alpha: f32,
+    /// ArcFace scale `s` (Eq. 8).
+    pub arcface_s: f32,
+    /// ArcFace angular margin `m` (Eq. 8).
+    pub arcface_m: f32,
+    /// Tile-loss weight `β`.
+    pub beta: f32,
+    /// Top-K tiles kept by the tile selector.
+    pub top_k: usize,
+    /// Number of attention blocks `N` in `MP1`/`MP2`.
+    pub attn_blocks: usize,
+    /// HGAT aggregation iterations `n`.
+    pub hgat_layers: usize,
+    /// Dropout probability.
+    pub dropout: f32,
+    /// Longest prefix the sequence encoders consume (older visits dropped).
+    pub max_prefix: usize,
+    /// Most recent history visits used for the QR-P graph.
+    pub max_history: usize,
+    /// Spatial partitioning.
+    pub partition: Partition,
+    /// Adam learning rate (paper: 2e-5 at dm=512; scaled default 3e-3).
+    pub lr: f32,
+    /// Per-epoch multiplicative LR decay (paper: 0.95).
+    pub lr_decay: f32,
+    /// Samples per gradient step.
+    pub batch_size: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Master seed for init, dropout and shuffling.
+    pub seed: u64,
+    /// Ablation switches.
+    pub variant: TspnVariant,
+}
+
+impl Default for TspnConfig {
+    fn default() -> Self {
+        TspnConfig {
+            dm: 32,
+            image_size: 16,
+            alpha: 0.7,
+            arcface_s: 16.0,
+            arcface_m: 0.2,
+            beta: 1.0,
+            top_k: 10,
+            attn_blocks: 2,
+            hgat_layers: 2,
+            dropout: 0.1,
+            max_prefix: 16,
+            max_history: 48,
+            partition: Partition::QuadTree {
+                max_depth: 6,
+                leaf_capacity: 30,
+            },
+            lr: 3e-3,
+            lr_decay: 0.95,
+            batch_size: 8,
+            epochs: 6,
+            seed: 7,
+            variant: TspnVariant::default(),
+        }
+    }
+}
+
+impl TspnConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics on impossible settings; called by the model constructor.
+    pub fn validate(&self) {
+        assert!(self.dm >= 4, "dm too small");
+        assert!(
+            self.image_size >= 8 && self.image_size.is_power_of_two(),
+            "image_size must be a power of two ≥ 8 (three stride-2 convs)"
+        );
+        assert!((0.0..=1.0).contains(&self.alpha), "alpha out of range");
+        assert!(self.top_k >= 1, "top_k must be positive");
+        assert!(self.attn_blocks >= 1, "need at least one attention block");
+        assert!(self.hgat_layers >= 1, "need at least one HGAT layer");
+        assert!(self.batch_size >= 1, "batch_size must be positive");
+        assert!(self.max_prefix >= 1, "max_prefix must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        TspnConfig::default().validate();
+    }
+
+    #[test]
+    fn ablations_include_all_table_iv_rows() {
+        let rows = TspnVariant::ablations();
+        assert_eq!(rows.len(), 8);
+        assert_eq!(rows[0].0, "TSPN-RA");
+        assert!(rows.iter().any(|(n, v)| *n == "No Two-step" && !v.two_step));
+        assert!(rows.iter().any(|(n, v)| *n == "No QR-P Graph" && !v.use_graph));
+        assert!(rows.iter().any(|(n, v)| *n == "No Imagery" && !v.use_imagery));
+    }
+
+    #[test]
+    #[should_panic(expected = "image_size")]
+    fn rejects_odd_image_size() {
+        let cfg = TspnConfig {
+            image_size: 17,
+            ..TspnConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let cfg = TspnConfig::default();
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        let back: TspnConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.dm, cfg.dm);
+        assert_eq!(back.variant, cfg.variant);
+    }
+}

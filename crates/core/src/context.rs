@@ -1,0 +1,231 @@
+//! The spatial context: everything the model needs about the study region,
+//! prepared once per dataset — quad-tree (or grid), rendered imagery,
+//! road-derived tile adjacency, and POI↔tile mappings.
+
+use std::collections::HashSet;
+
+use tspn_data::{LbsnDataset, PoiId};
+use tspn_geo::{NodeId, QuadTree};
+use tspn_imagery::ImageryDataset;
+use tspn_roadnet::{generate_roads, road_tile_adjacency, RoadGenConfig};
+use tspn_tensor::Tensor;
+use tspn_world::World;
+
+use crate::config::{Partition, TspnConfig};
+
+/// Pre-computed spatial structures for one dataset.
+pub struct SpatialContext {
+    /// The dataset.
+    pub dataset: LbsnDataset,
+    /// The world model the dataset was generated from.
+    pub world: World,
+    /// The spatial partition (adaptive or uniform, per config).
+    pub tree: QuadTree,
+    /// Dense leaf ordering: `leaves[i]` is leaf number `i`.
+    pub leaves: Vec<NodeId>,
+    /// Dense leaf index per tree node (usize::MAX for non-leaves).
+    leaf_rank: Vec<usize>,
+    /// Leaf index of each POI (`poi_leaf[poi.0]`).
+    pub poi_leaf: Vec<usize>,
+    /// POIs contained in each leaf.
+    pub leaf_pois: Vec<Vec<PoiId>>,
+    /// Rendered imagery for every tree node.
+    pub imagery: ImageryDataset,
+    /// Tile pairs directly connected by a road.
+    pub road_adjacency: HashSet<(NodeId, NodeId)>,
+    /// Pre-converted CHW float image tensors, indexed by `NodeId.0`.
+    pub image_tensors: Vec<Tensor>,
+}
+
+impl SpatialContext {
+    /// Builds the context for a dataset + world under a model config.
+    pub fn build(dataset: LbsnDataset, world: World, config: &TspnConfig) -> Self {
+        let locations = dataset.poi_locations();
+        let tree = match config.partition {
+            Partition::QuadTree {
+                max_depth,
+                leaf_capacity,
+            } => QuadTree::build(
+                dataset.region,
+                &locations,
+                tspn_geo::QuadTreeConfig {
+                    max_depth,
+                    leaf_capacity,
+                },
+            ),
+            Partition::UniformGrid { depth } => {
+                QuadTree::build_uniform(dataset.region, &locations, depth)
+            }
+        };
+        let leaves = tree.leaves();
+        let mut leaf_rank = vec![usize::MAX; tree.num_nodes()];
+        for (rank, &leaf) in leaves.iter().enumerate() {
+            leaf_rank[leaf.0] = rank;
+        }
+        let mut poi_leaf = vec![usize::MAX; dataset.pois.len()];
+        let mut leaf_pois = vec![Vec::new(); leaves.len()];
+        for (rank, &leaf) in leaves.iter().enumerate() {
+            for &pi in &tree.node(leaf).points {
+                poi_leaf[pi] = rank;
+                leaf_pois[rank].push(PoiId(pi));
+            }
+        }
+        debug_assert!(poi_leaf.iter().all(|&r| r != usize::MAX));
+
+        let imagery = if config.variant.use_imagery {
+            ImageryDataset::render_all_nodes(&world, dataset.region, &tree, config.image_size)
+        } else {
+            // Imagery disabled: keep an empty dataset; the model falls back
+            // to learnable tile-id embeddings.
+            ImageryDataset::render_all_nodes(&world, dataset.region, &tree, 8)
+        };
+
+        let roads = generate_roads(&world, RoadGenConfig::default());
+        let road_adjacency = road_tile_adjacency(&roads, &tree, &dataset.region);
+
+        let image_tensors = Self::image_tensors_from(&imagery, &tree, config.image_size);
+
+        SpatialContext {
+            dataset,
+            world,
+            tree,
+            leaves,
+            leaf_rank,
+            poi_leaf,
+            leaf_pois,
+            imagery,
+            road_adjacency,
+            image_tensors,
+        }
+    }
+
+    fn image_tensors_from(
+        imagery: &ImageryDataset,
+        tree: &QuadTree,
+        expect_size: usize,
+    ) -> Vec<Tensor> {
+        let size = imagery.image_size();
+        (0..tree.num_nodes())
+            .map(|i| {
+                let img = imagery
+                    .get(NodeId(i))
+                    .unwrap_or_else(|| panic!("missing imagery for node {i}"));
+                debug_assert!(size == expect_size || size == 8);
+                Tensor::from_vec(img.to_chw_f32(), vec![3, size, size])
+            })
+            .collect()
+    }
+
+    /// Replaces the imagery (e.g. with a corrupted copy for the Fig. 12b
+    /// study), re-deriving the cached tensors.
+    pub fn swap_imagery(&mut self, imagery: ImageryDataset) {
+        self.image_tensors =
+            Self::image_tensors_from(&imagery, &self.tree, imagery.image_size());
+        self.imagery = imagery;
+    }
+
+    /// Number of leaf tiles.
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Total tree nodes (all of which have imagery).
+    pub fn num_tiles(&self) -> usize {
+        self.tree.num_nodes()
+    }
+
+    /// Dense leaf rank of a tree node, if it is a leaf.
+    pub fn leaf_rank_of(&self, node: NodeId) -> Option<usize> {
+        let r = self.leaf_rank[node.0];
+        (r != usize::MAX).then_some(r)
+    }
+
+    /// Leaf rank containing a POI.
+    pub fn poi_leaf_rank(&self, poi: PoiId) -> usize {
+        self.poi_leaf[poi.0]
+    }
+
+    /// The `NodeId` of the leaf containing a POI.
+    pub fn poi_leaf_node(&self, poi: PoiId) -> NodeId {
+        self.leaves[self.poi_leaf[poi.0]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspn_data::presets::nyc_mini;
+    use tspn_data::synth::generate_dataset;
+
+    fn tiny_context() -> SpatialContext {
+        let mut cfg = nyc_mini(0.12);
+        cfg.days = 10;
+        let (ds, world) = generate_dataset(cfg);
+        let model_cfg = TspnConfig {
+            image_size: 8,
+            partition: Partition::QuadTree {
+                max_depth: 5,
+                leaf_capacity: 12,
+            },
+            ..TspnConfig::default()
+        };
+        SpatialContext::build(ds, world, &model_cfg)
+    }
+
+    #[test]
+    fn every_poi_has_a_leaf() {
+        let ctx = tiny_context();
+        for (i, _) in ctx.dataset.pois.iter().enumerate() {
+            let rank = ctx.poi_leaf_rank(PoiId(i));
+            assert!(rank < ctx.num_leaves());
+            assert!(ctx.leaf_pois[rank].contains(&PoiId(i)));
+        }
+    }
+
+    #[test]
+    fn leaf_pois_partition_poi_set() {
+        let ctx = tiny_context();
+        let total: usize = ctx.leaf_pois.iter().map(Vec::len).sum();
+        assert_eq!(total, ctx.dataset.pois.len());
+    }
+
+    #[test]
+    fn imagery_covers_all_nodes() {
+        let ctx = tiny_context();
+        assert_eq!(ctx.image_tensors.len(), ctx.num_tiles());
+        assert_eq!(ctx.imagery.len(), ctx.num_tiles());
+    }
+
+    #[test]
+    fn leaf_rank_roundtrip() {
+        let ctx = tiny_context();
+        for (rank, &leaf) in ctx.leaves.iter().enumerate() {
+            assert_eq!(ctx.leaf_rank_of(leaf), Some(rank));
+        }
+        assert_eq!(ctx.leaf_rank_of(ctx.tree.root()), None);
+    }
+
+    #[test]
+    fn grid_partition_builds() {
+        let mut cfg = nyc_mini(0.1);
+        cfg.days = 8;
+        let (ds, world) = generate_dataset(cfg);
+        let model_cfg = TspnConfig {
+            image_size: 8,
+            partition: Partition::UniformGrid { depth: 4 },
+            ..TspnConfig::default()
+        };
+        let ctx = SpatialContext::build(ds, world, &model_cfg);
+        assert_eq!(ctx.num_leaves(), 64); // 8×8 grid
+    }
+
+    #[test]
+    fn swap_imagery_replaces_tensors() {
+        let mut ctx = tiny_context();
+        let before = ctx.image_tensors[0].to_vec();
+        let noisy = ctx.imagery.with_noise(0.5, 3);
+        ctx.swap_imagery(noisy);
+        let after = ctx.image_tensors[0].to_vec();
+        assert_ne!(before, after);
+    }
+}

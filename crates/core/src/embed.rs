@@ -1,0 +1,358 @@
+//! Feature embedding modules (paper Sec. IV):
+//!
+//! * [`Me1`] — the remote-sensing image encoder (Fig. 6): three successive
+//!   stride-2 convolutions (the paper's memory-saving replacement for
+//!   max-pooling), flatten, feed-forward to `d_m`, then L2 normalisation,
+//! * [`Me2`] — POI embeddings `E_P(p) = α·embed(id) + (1−α)·embed(cate)`
+//!   (Eq. 5),
+//! * [`SpatialEncoder`] — the 2-D sinusoidal location encoding (Eq. 4),
+//! * [`TemporalEncoder`] — 48 learnable half-hour slot embeddings.
+
+use rand::Rng;
+
+use tspn_data::{time_slot, Timestamp, TIME_SLOTS};
+use tspn_geo::{BBox, GeoPoint};
+use tspn_tensor::nn::{Conv2d, EmbeddingTable, Linear, Module};
+use tspn_tensor::Tensor;
+
+/// Remote-sensing image embedding module (`Me1`).
+pub struct Me1 {
+    conv1: Conv2d,
+    conv2: Conv2d,
+    conv3: Conv2d,
+    project: Linear,
+    image_size: usize,
+    dm: usize,
+}
+
+impl Me1 {
+    /// Channel plan of the three stride-2 convolutions.
+    const CHANNELS: [usize; 4] = [3, 8, 16, 16];
+
+    /// Creates the encoder for `image_size²` RGB inputs and `dm` outputs.
+    pub fn new(rng: &mut impl Rng, image_size: usize, dm: usize) -> Self {
+        assert!(
+            image_size >= 8 && image_size.is_power_of_two(),
+            "image_size must be a power of two ≥ 8"
+        );
+        let c = Self::CHANNELS;
+        let final_side = image_size / 8; // three stride-2 halvings
+        Me1 {
+            conv1: Conv2d::new(rng, c[0], c[1], 3, 2, 1),
+            conv2: Conv2d::new(rng, c[1], c[2], 3, 2, 1),
+            conv3: Conv2d::new(rng, c[2], c[3], 3, 2, 1),
+            project: Linear::new(rng, c[3] * final_side * final_side, dm),
+            image_size,
+            dm,
+        }
+    }
+
+    /// Embedding dimension.
+    pub fn dm(&self) -> usize {
+        self.dm
+    }
+
+    /// Embeds one CHW image tensor `[3, s, s]` → `[1, dm]` (unnormalised).
+    fn embed_one(&self, image: &Tensor) -> Tensor {
+        let h1 = self.conv1.forward(image).relu();
+        let h2 = self.conv2.forward(&h1).relu();
+        let h3 = self.conv3.forward(&h2).relu();
+        let flat = h3.flatten().reshape(vec![1, self.project.in_dim()]);
+        self.project.forward(&flat)
+    }
+
+    /// Embeds a batch of images into unnormalised rows `[n, dm]` — used
+    /// when the model mixes in a learnable per-tile correction before the
+    /// final normalisation.
+    pub fn embed_tiles_raw(&self, images: &[Tensor]) -> Tensor {
+        assert!(!images.is_empty(), "no tile images given");
+        for img in images {
+            assert_eq!(
+                img.shape().0,
+                vec![3, self.image_size, self.image_size],
+                "image shape mismatch"
+            );
+        }
+        let rows: Vec<Tensor> = images.iter().map(|img| self.embed_one(img)).collect();
+        Tensor::concat_rows(&rows)
+    }
+
+    /// Embeds a batch of images into the tile embedding table
+    /// `E_T [n, dm]`, L2-normalised per row as in the paper.
+    pub fn embed_tiles(&self, images: &[Tensor]) -> Tensor {
+        self.embed_tiles_raw(images).l2_normalize_rows()
+    }
+}
+
+impl Module for Me1 {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.conv1.params();
+        p.extend(self.conv2.params());
+        p.extend(self.conv3.params());
+        p.extend(self.project.params());
+        p
+    }
+}
+
+/// POI information embedding module (`Me2`).
+pub struct Me2 {
+    /// Per-POI id embeddings `[num_pois, dm]`.
+    pub id_table: EmbeddingTable,
+    /// Per-category embeddings `[num_categories, dm]`.
+    pub cate_table: EmbeddingTable,
+    alpha: f32,
+}
+
+impl Me2 {
+    /// Creates the module. `alpha` is the id/category merge ratio; pass
+    /// `1.0` for the "No POI Category" ablation.
+    pub fn new(
+        rng: &mut impl Rng,
+        num_pois: usize,
+        num_categories: usize,
+        dm: usize,
+        alpha: f32,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha out of range");
+        Me2 {
+            id_table: EmbeddingTable::new(rng, num_pois, dm),
+            cate_table: EmbeddingTable::new(rng, num_categories, dm),
+            alpha,
+        }
+    }
+
+    /// The merge ratio α.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+
+    /// Embeds POIs given parallel id and category index slices → `[n, dm]`.
+    pub fn embed(&self, poi_ids: &[usize], cate_ids: &[usize]) -> Tensor {
+        assert_eq!(poi_ids.len(), cate_ids.len(), "id/category length mismatch");
+        let ids = self.id_table.lookup(poi_ids);
+        if self.alpha >= 1.0 {
+            return ids;
+        }
+        let cates = self.cate_table.lookup(cate_ids);
+        ids.scale(self.alpha).add(&cates.scale(1.0 - self.alpha))
+    }
+}
+
+impl Module for Me2 {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.id_table.params();
+        p.extend(self.cate_table.params());
+        p
+    }
+}
+
+/// The sinusoidal spatial encoder `M_s` (Eq. 4): the first `d_m/2`
+/// channels encode normalised x, the rest encode normalised y, with
+/// interleaved sin/cos at geometrically spaced frequencies.
+#[derive(Debug, Clone)]
+pub struct SpatialEncoder {
+    dm: usize,
+    region: BBox,
+}
+
+impl SpatialEncoder {
+    /// Creates an encoder emitting `dm`-dimensional codes for locations in
+    /// `region`.
+    pub fn new(dm: usize, region: BBox) -> Self {
+        assert!(dm >= 4 && dm.is_multiple_of(4), "spatial encoder needs dm divisible by 4");
+        SpatialEncoder { dm, region }
+    }
+
+    /// Raw positional code `h_loc` for a location (paper Eq. 4), without
+    /// any learnable component.
+    pub fn encode(&self, loc: &GeoPoint) -> Vec<f32> {
+        let (x, y) = self.region.normalize(&self.region.clamp(loc));
+        self.encode_normalized(x as f32, y as f32)
+    }
+
+    /// Encoding of already-normalised unit-square coordinates — the form
+    /// plotted in the paper's Fig. 8.
+    ///
+    /// Note on fidelity: Eq. 4 as printed continues the denominator
+    /// exponent `2i/d_m` into the y half (`i ≥ d_m/4`), which would give y
+    /// only the low-frequency tail and make similarity almost insensitive
+    /// to latitude — contradicting the radially symmetric decay the paper
+    /// itself shows in Fig. 8. We therefore restart the frequency ladder
+    /// for the y half so both axes cover the full `1 … 10000` denominator
+    /// range, which reproduces Fig. 8's behaviour.
+    pub fn encode_normalized(&self, x: f32, y: f32) -> Vec<f32> {
+        let dm = self.dm;
+        let mut h = vec![0.0f32; dm];
+        // Positions are scaled up so city-scale differences fall in the
+        // sensitive range of the sinusoids.
+        let scale = 20.0;
+        let quarter = dm / 4;
+        for i in 0..quarter {
+            let denom = 10_000f32.powf(i as f32 / quarter as f32);
+            h[2 * i] = (scale * x / denom).sin();
+            h[2 * i + 1] = (scale * x / denom).cos();
+        }
+        for j in 0..quarter {
+            let i = quarter + j;
+            let denom = 10_000f32.powf(j as f32 / quarter as f32);
+            h[2 * i] = (scale * y / denom).sin();
+            h[2 * i + 1] = (scale * y / denom).cos();
+        }
+        h
+    }
+
+    /// Stacks encodings for a location sequence → `[n, dm]` (data tensor;
+    /// the encoding has no trainable parameters).
+    pub fn encode_seq(&self, locs: &[GeoPoint]) -> Tensor {
+        assert!(!locs.is_empty(), "empty location sequence");
+        let mut data = Vec::with_capacity(locs.len() * self.dm);
+        for loc in locs {
+            data.extend(self.encode(loc));
+        }
+        Tensor::from_vec(data, vec![locs.len(), self.dm])
+    }
+
+    /// Cosine similarity between the encodings of two normalised points —
+    /// the quantity visualised in Fig. 8.
+    pub fn cosine(&self, a: (f32, f32), b: (f32, f32)) -> f32 {
+        let ha = self.encode_normalized(a.0, a.1);
+        let hb = self.encode_normalized(b.0, b.1);
+        let dot: f32 = ha.iter().zip(&hb).map(|(p, q)| p * q).sum();
+        let na: f32 = ha.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let nb: f32 = hb.iter().map(|v| v * v).sum::<f32>().sqrt();
+        dot / (na * nb).max(1e-9)
+    }
+}
+
+/// The temporal encoder `M_t`: a learnable embedding per half-hour slot.
+pub struct TemporalEncoder {
+    /// `[48, dm]` slot table.
+    pub slots: EmbeddingTable,
+}
+
+impl TemporalEncoder {
+    /// Creates the encoder.
+    pub fn new(rng: &mut impl Rng, dm: usize) -> Self {
+        TemporalEncoder {
+            slots: EmbeddingTable::new(rng, TIME_SLOTS, dm),
+        }
+    }
+
+    /// Slot embeddings for a timestamp sequence → `[n, dm]`.
+    pub fn encode_seq(&self, times: &[Timestamp]) -> Tensor {
+        assert!(!times.is_empty(), "empty time sequence");
+        let idx: Vec<usize> = times.iter().map(|&t| time_slot(t)).collect();
+        self.slots.lookup(&idx)
+    }
+}
+
+impl Module for TemporalEncoder {
+    fn params(&self) -> Vec<Tensor> {
+        self.slots.params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn me1_shapes_and_normalisation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let me1 = Me1::new(&mut rng, 16, 24);
+        let imgs: Vec<Tensor> = (0..3)
+            .map(|i| Tensor::full(0.1 * (i as f32 + 1.0), vec![3, 16, 16]))
+            .collect();
+        let et = me1.embed_tiles(&imgs);
+        assert_eq!(et.shape().0, vec![3, 24]);
+        // Rows are unit-norm.
+        let v = et.to_vec();
+        for r in 0..3 {
+            let norm: f32 = v[r * 24..(r + 1) * 24].iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-3, "row {r} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn me1_distinguishes_different_images() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let me1 = Me1::new(&mut rng, 16, 16);
+        let a = Tensor::full(0.9, vec![3, 16, 16]);
+        let mut checker = vec![0.0f32; 3 * 16 * 16];
+        for (i, v) in checker.iter_mut().enumerate() {
+            *v = if (i / 16 + i % 16) % 2 == 0 { 1.0 } else { 0.0 };
+        }
+        let b = Tensor::from_vec(checker, vec![3, 16, 16]);
+        let et = me1.embed_tiles(&[a, b]).to_vec();
+        let dist: f32 = (0..16).map(|i| (et[i] - et[16 + i]).abs()).sum();
+        assert!(dist > 0.05, "embeddings too close: {dist}");
+    }
+
+    #[test]
+    fn me2_blends_id_and_category() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let me2 = Me2::new(&mut rng, 10, 4, 8, 0.5);
+        // Two POIs sharing a category are pulled together relative to the
+        // pure-id distance.
+        let same_cat = me2.embed(&[0, 1], &[2, 2]).to_vec();
+        let id_only = Me2::new(&mut rng, 10, 4, 8, 1.0);
+        assert_eq!(same_cat.len(), 16);
+        assert_eq!(id_only.embed(&[0], &[0]).cols(), 8);
+    }
+
+    #[test]
+    fn me2_alpha_one_ignores_category_table() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let me2 = Me2::new(&mut rng, 5, 3, 6, 1.0);
+        let a = me2.embed(&[2], &[0]).to_vec();
+        let b = me2.embed(&[2], &[2]).to_vec();
+        assert_eq!(a, b, "alpha=1 must not depend on category");
+    }
+
+    #[test]
+    fn spatial_similarity_decays_with_distance() {
+        // The Fig. 8 property: nearby points have higher cosine similarity.
+        let enc = SpatialEncoder::new(32, BBox::new(0.0, 0.0, 1.0, 1.0));
+        let anchor = (0.42, 0.38);
+        let near = enc.cosine(anchor, (0.44, 0.40));
+        let mid = enc.cosine(anchor, (0.60, 0.55));
+        let far = enc.cosine(anchor, (0.95, 0.90));
+        assert!(near > mid, "near {near} vs mid {mid}");
+        assert!(mid > far, "mid {mid} vs far {far}");
+        assert!(near > 0.8, "adjacent points should be highly similar: {near}");
+    }
+
+    #[test]
+    fn spatial_encoding_separates_x_and_y() {
+        let enc = SpatialEncoder::new(16, BBox::new(0.0, 0.0, 1.0, 1.0));
+        let a = enc.encode_normalized(0.2, 0.7);
+        let b = enc.encode_normalized(0.7, 0.2);
+        assert_ne!(a, b, "x/y swapped encodings must differ");
+        // First half encodes x only.
+        let c = enc.encode_normalized(0.2, 0.9);
+        assert_eq!(&a[..8], &c[..8], "x half should be independent of y");
+    }
+
+    #[test]
+    fn temporal_encoder_is_slot_periodic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let enc = TemporalEncoder::new(&mut rng, 8);
+        let day = 86_400;
+        let same = enc.encode_seq(&[3_600, day + 3_600]).to_vec();
+        assert_eq!(&same[..8], &same[8..], "same slot next day must match");
+        let differ = enc.encode_seq(&[3_600, 13 * 3_600]).to_vec();
+        assert_ne!(&differ[..8], &differ[8..]);
+    }
+
+    #[test]
+    fn temporal_encoder_is_trainable() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let enc = TemporalEncoder::new(&mut rng, 4);
+        let out = enc.encode_seq(&[0]);
+        let loss = out.square().sum_all();
+        loss.backward();
+        assert!(enc.slots.weight.grad().iter().any(|g| g.abs() > 0.0));
+    }
+}

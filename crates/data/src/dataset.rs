@@ -1,0 +1,265 @@
+//! The assembled LBSN dataset: POI table + per-user trajectory histories,
+//! with Table-I-style statistics and the 80/10/10 trajectory split used by
+//! the paper's implementation details.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tspn_geo::{BBox, GeoPoint};
+
+use crate::poi::{CategoryId, Poi, PoiId, UserId};
+use crate::trajectory::{enumerate_samples, Sample, Trajectory, UserHistory, Visit};
+
+/// A complete dataset for one study region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LbsnDataset {
+    /// Human-readable name (e.g. `"nyc-mini"`).
+    pub name: String,
+    /// Study region bounding box.
+    pub region: BBox,
+    /// POI table; `PoiId(i)` indexes row `i`.
+    pub pois: Vec<Poi>,
+    /// Number of distinct categories.
+    pub num_categories: usize,
+    /// Per-user histories.
+    pub users: Vec<UserHistory>,
+}
+
+/// Table-I statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Total check-ins.
+    pub checkins: usize,
+    /// Users with at least one check-in.
+    pub users: usize,
+    /// POIs in the table.
+    pub pois: usize,
+    /// Distinct categories.
+    pub categories: usize,
+    /// Region coverage in km².
+    pub coverage_km2: f64,
+}
+
+/// Train/validation/test partition of prediction samples.
+#[derive(Debug, Clone, Default)]
+pub struct SampleSplit {
+    /// Training samples.
+    pub train: Vec<Sample>,
+    /// Validation samples.
+    pub val: Vec<Sample>,
+    /// Test samples.
+    pub test: Vec<Sample>,
+}
+
+impl LbsnDataset {
+    /// POI accessor.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id.
+    pub fn poi(&self, id: PoiId) -> &Poi {
+        &self.pois[id.0]
+    }
+
+    /// Location of a POI.
+    pub fn poi_loc(&self, id: PoiId) -> GeoPoint {
+        self.pois[id.0].loc
+    }
+
+    /// Category of a POI.
+    pub fn poi_cate(&self, id: PoiId) -> CategoryId {
+        self.pois[id.0].cate
+    }
+
+    /// A user's history.
+    pub fn user(&self, id: UserId) -> &UserHistory {
+        &self.users[id.0]
+    }
+
+    /// A specific trajectory.
+    pub fn trajectory(&self, sample: &Sample) -> &Trajectory {
+        &self.users[sample.user_index].trajectories[sample.traj_index]
+    }
+
+    /// The prefix visits of a sample.
+    pub fn sample_prefix(&self, sample: &Sample) -> &[Visit] {
+        &self.trajectory(sample).visits[..sample.prefix_len]
+    }
+
+    /// The ground-truth next visit of a sample.
+    pub fn sample_target(&self, sample: &Sample) -> Visit {
+        self.trajectory(sample).visits[sample.prefix_len]
+    }
+
+    /// Historical trajectories of a sample (all windows before the current
+    /// one, per Sec. II-D).
+    pub fn sample_history(&self, sample: &Sample) -> &[Trajectory] {
+        &self.users[sample.user_index].trajectories[..sample.traj_index]
+    }
+
+    /// Dataset statistics in the layout of the paper's Table I.
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats {
+            checkins: self.users.iter().map(UserHistory::num_checkins).sum(),
+            users: self.users.iter().filter(|u| u.num_checkins() > 0).count(),
+            pois: self.pois.len(),
+            categories: self.num_categories,
+            coverage_km2: self.region.area_km2(),
+        }
+    }
+
+    /// Every prediction sample in the dataset.
+    pub fn all_samples(&self) -> Vec<Sample> {
+        self.users
+            .iter()
+            .enumerate()
+            .flat_map(|(ui, h)| enumerate_samples(ui, h))
+            .collect()
+    }
+
+    /// Random 80/10/10 split of prediction samples, shuffled by `rng`
+    /// (matching the paper's implementation details).
+    pub fn split_samples(&self, rng: &mut impl Rng) -> SampleSplit {
+        let mut samples = self.all_samples();
+        samples.shuffle(rng);
+        let n = samples.len();
+        let train_end = n * 8 / 10;
+        let val_end = n * 9 / 10;
+        SampleSplit {
+            train: samples[..train_end].to_vec(),
+            val: samples[train_end..val_end].to_vec(),
+            test: samples[val_end..].to_vec(),
+        }
+    }
+
+    /// Locations of all POIs (quad-tree build input).
+    pub fn poi_locations(&self) -> Vec<GeoPoint> {
+        self.pois.iter().map(|p| p.loc).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poi::Timestamp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> LbsnDataset {
+        let region = BBox::new(0.0, 0.0, 1.0, 1.0);
+        let pois = vec![
+            Poi {
+                id: PoiId(0),
+                loc: GeoPoint::new(0.2, 0.2),
+                cate: CategoryId(0),
+            },
+            Poi {
+                id: PoiId(1),
+                loc: GeoPoint::new(0.8, 0.8),
+                cate: CategoryId(1),
+            },
+        ];
+        let mk_visit = |poi: usize, t: Timestamp| Visit {
+            poi: PoiId(poi),
+            time: t,
+        };
+        let users = vec![UserHistory {
+            user: UserId(0),
+            trajectories: vec![
+                Trajectory {
+                    user: UserId(0),
+                    visits: vec![mk_visit(0, 0), mk_visit(1, 3600)],
+                },
+                Trajectory {
+                    user: UserId(0),
+                    visits: vec![mk_visit(1, 1_000_000), mk_visit(0, 1_003_600), mk_visit(1, 1_007_200)],
+                },
+            ],
+        }];
+        LbsnDataset {
+            name: "toy".into(),
+            region,
+            pois,
+            num_categories: 2,
+            users,
+        }
+    }
+
+    #[test]
+    fn stats_count_everything() {
+        let ds = toy();
+        let s = ds.stats();
+        assert_eq!(s.checkins, 5);
+        assert_eq!(s.users, 1);
+        assert_eq!(s.pois, 2);
+        assert_eq!(s.categories, 2);
+        assert!(s.coverage_km2 > 0.0);
+    }
+
+    #[test]
+    fn samples_enumerate_prefixes() {
+        let ds = toy();
+        let all = ds.all_samples();
+        // Trajectory 0 gives 1 sample, trajectory 1 gives 2.
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn sample_accessors_agree() {
+        let ds = toy();
+        let s = Sample {
+            user_index: 0,
+            traj_index: 1,
+            prefix_len: 2,
+        };
+        assert_eq!(ds.sample_prefix(&s).len(), 2);
+        assert_eq!(ds.sample_target(&s).poi, PoiId(1));
+        assert_eq!(ds.sample_history(&s).len(), 1);
+    }
+
+    #[test]
+    fn split_is_partition() {
+        let ds = toy();
+        let mut rng = StdRng::seed_from_u64(1);
+        let split = ds.split_samples(&mut rng);
+        let total = split.train.len() + split.val.len() + split.test.len();
+        assert_eq!(total, ds.all_samples().len());
+    }
+
+    #[test]
+    fn split_proportions_on_larger_sets() {
+        // Synthesise 100 single-trajectory users with 11 visits each
+        // → 1000 samples, expect 800/100/100.
+        let region = BBox::new(0.0, 0.0, 1.0, 1.0);
+        let pois = vec![Poi {
+            id: PoiId(0),
+            loc: GeoPoint::new(0.5, 0.5),
+            cate: CategoryId(0),
+        }];
+        let users: Vec<UserHistory> = (0..100)
+            .map(|u| UserHistory {
+                user: UserId(u),
+                trajectories: vec![Trajectory {
+                    user: UserId(u),
+                    visits: (0..11)
+                        .map(|i| Visit {
+                            poi: PoiId(0),
+                            time: i * 60,
+                        })
+                        .collect(),
+                }],
+            })
+            .collect();
+        let ds = LbsnDataset {
+            name: "big".into(),
+            region,
+            pois,
+            num_categories: 1,
+            users,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let split = ds.split_samples(&mut rng);
+        assert_eq!(split.train.len(), 800);
+        assert_eq!(split.val.len(), 100);
+        assert_eq!(split.test.len(), 100);
+    }
+}

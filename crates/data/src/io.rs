@@ -1,0 +1,182 @@
+//! CSV import/export for datasets — the interchange format every LBSN
+//! paper pipeline (including this one) speaks: one POI table and one
+//! check-in table.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use tspn_geo::{BBox, GeoPoint};
+
+use crate::dataset::LbsnDataset;
+use crate::poi::{CategoryId, Checkin, Poi, PoiId, UserId};
+use crate::trajectory::{UserHistory, Visit, DEFAULT_GAP_SECS};
+
+/// Writes the POI table as `poi_id,lat,lon,category`.
+pub fn write_pois(ds: &LbsnDataset, out: impl Write) -> std::io::Result<()> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "poi_id,lat,lon,category")?;
+    for p in &ds.pois {
+        writeln!(w, "{},{},{},{}", p.id.0, p.loc.lat, p.loc.lon, p.cate.0)?;
+    }
+    w.flush()
+}
+
+/// Writes check-ins as `user_id,poi_id,timestamp`, time-ordered per user.
+pub fn write_checkins(ds: &LbsnDataset, out: impl Write) -> std::io::Result<()> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "user_id,poi_id,timestamp")?;
+    for u in &ds.users {
+        for t in &u.trajectories {
+            for v in &t.visits {
+                writeln!(w, "{},{},{}", u.user.0, v.poi.0, v.time)?;
+            }
+        }
+    }
+    w.flush()
+}
+
+/// Parse error with line context.
+fn bad_line(line_no: usize, msg: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("line {line_no}: {msg}"),
+    )
+}
+
+/// Reads a POI table written by [`write_pois`].
+pub fn read_pois(input: impl Read) -> std::io::Result<Vec<Poi>> {
+    let reader = BufReader::new(input);
+    let mut pois = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if i == 0 || line.trim().is_empty() {
+            continue; // header / trailing newline
+        }
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 4 {
+            return Err(bad_line(i + 1, "expected 4 fields"));
+        }
+        let id: usize = parts[0].parse().map_err(|_| bad_line(i + 1, "bad poi_id"))?;
+        let lat: f64 = parts[1].parse().map_err(|_| bad_line(i + 1, "bad lat"))?;
+        let lon: f64 = parts[2].parse().map_err(|_| bad_line(i + 1, "bad lon"))?;
+        let cate: usize = parts[3].parse().map_err(|_| bad_line(i + 1, "bad category"))?;
+        if id != pois.len() {
+            return Err(bad_line(i + 1, "poi ids must be dense and ordered"));
+        }
+        pois.push(Poi {
+            id: PoiId(id),
+            loc: GeoPoint::new(lat, lon),
+            cate: CategoryId(cate),
+        });
+    }
+    Ok(pois)
+}
+
+/// Reads a check-in table written by [`write_checkins`].
+pub fn read_checkins(input: impl Read) -> std::io::Result<Vec<Checkin>> {
+    let reader = BufReader::new(input);
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if i == 0 || line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 3 {
+            return Err(bad_line(i + 1, "expected 3 fields"));
+        }
+        out.push(Checkin {
+            user: UserId(parts[0].parse().map_err(|_| bad_line(i + 1, "bad user_id"))?),
+            poi: PoiId(parts[1].parse().map_err(|_| bad_line(i + 1, "bad poi_id"))?),
+            time: parts[2].parse().map_err(|_| bad_line(i + 1, "bad timestamp"))?,
+        });
+    }
+    Ok(out)
+}
+
+/// Reassembles a dataset from tables (recomputing the trajectory split).
+pub fn assemble(
+    name: &str,
+    region: BBox,
+    pois: Vec<Poi>,
+    mut checkins: Vec<Checkin>,
+    num_categories: usize,
+) -> LbsnDataset {
+    checkins.sort_by_key(|c| (c.user, c.time));
+    let num_users = checkins.iter().map(|c| c.user.0 + 1).max().unwrap_or(0);
+    let mut per_user: Vec<Vec<Visit>> = vec![Vec::new(); num_users];
+    for c in checkins {
+        per_user[c.user.0].push(Visit {
+            poi: c.poi,
+            time: c.time,
+        });
+    }
+    let users = per_user
+        .into_iter()
+        .enumerate()
+        .map(|(u, visits)| UserHistory::from_visits(UserId(u), &visits, DEFAULT_GAP_SECS))
+        .collect();
+    LbsnDataset {
+        name: name.to_string(),
+        region,
+        pois,
+        num_categories,
+        users,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::nyc_mini;
+    use crate::synth::generate_dataset;
+
+    fn tiny_dataset() -> LbsnDataset {
+        let mut cfg = nyc_mini(0.1);
+        cfg.days = 8;
+        generate_dataset(cfg).0
+    }
+
+    #[test]
+    fn poi_roundtrip() {
+        let ds = tiny_dataset();
+        let mut buf = Vec::new();
+        write_pois(&ds, &mut buf).expect("write");
+        let back = read_pois(&buf[..]).expect("read");
+        assert_eq!(back.len(), ds.pois.len());
+        for (a, b) in back.iter().zip(&ds.pois) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.cate, b.cate);
+            assert!((a.loc.lat - b.loc.lat).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn checkin_roundtrip_preserves_stats() {
+        let ds = tiny_dataset();
+        let mut pbuf = Vec::new();
+        let mut cbuf = Vec::new();
+        write_pois(&ds, &mut pbuf).expect("write pois");
+        write_checkins(&ds, &mut cbuf).expect("write checkins");
+        let pois = read_pois(&pbuf[..]).expect("read pois");
+        let checkins = read_checkins(&cbuf[..]).expect("read checkins");
+        let back = assemble("roundtrip", ds.region, pois, checkins, ds.num_categories);
+        let a = ds.stats();
+        let b = back.stats();
+        assert_eq!(a.checkins, b.checkins);
+        assert_eq!(a.pois, b.pois);
+    }
+
+    #[test]
+    fn read_rejects_malformed_rows() {
+        let bad = "poi_id,lat,lon,category\n0,1.0,2.0\n";
+        assert!(read_pois(bad.as_bytes()).is_err());
+        let bad2 = "user_id,poi_id,timestamp\nx,0,0\n";
+        assert!(read_checkins(bad2.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn read_rejects_sparse_poi_ids() {
+        let bad = "poi_id,lat,lon,category\n5,1.0,2.0,0\n";
+        assert!(read_pois(bad.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! # tspn-data
+//!
+//! LBSN data substrate for the TSPN-RA reproduction:
+//!
+//! * core types ([`Poi`], [`Checkin`], [`Visit`], [`Trajectory`]) with the
+//!   paper's 72-hour trajectory windowing (Sec. II-A) and prediction-sample
+//!   extraction (history + current prefix → next visit),
+//! * [`LbsnDataset`] with Table-I statistics and the 80/10/10 split,
+//! * an agent-based check-in simulator ([`synth::SynthGenerator`]) that
+//!   replaces the unavailable Foursquare/Weeplaces data while preserving
+//!   the generating factors models learn from (revisit habit, temporal
+//!   routine, spatial locality, environmental affinity),
+//! * four presets mirroring the paper's datasets at laptop scale
+//!   ([`presets::nyc_mini`] etc.),
+//! * CSV interchange ([`io`]).
+
+#![warn(missing_docs)]
+
+mod dataset;
+pub mod io;
+pub mod mobility;
+mod poi;
+pub mod presets;
+pub mod synth;
+mod trajectory;
+
+pub use dataset::{DatasetStats, LbsnDataset, SampleSplit};
+pub use poi::{time_slot, CategoryId, Checkin, Poi, PoiId, Timestamp, UserId, DAY_SECS, TIME_SLOTS};
+pub use trajectory::{
+    enumerate_samples, split_trajectories, Sample, Trajectory, UserHistory, Visit,
+    DEFAULT_GAP_SECS,
+};

@@ -1,0 +1,222 @@
+//! Mobility statistics — the stylized facts of LBSN data used to validate
+//! that the synthetic generator produces human-like check-in behaviour
+//! (the properties next-POI models actually exploit).
+
+use serde::{Deserialize, Serialize};
+use tspn_geo::GeoPoint;
+
+use crate::dataset::LbsnDataset;
+use crate::trajectory::UserHistory;
+
+/// Per-dataset mobility profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MobilityProfile {
+    /// Mean fraction of a user's check-ins that revisit an already-seen
+    /// POI (real LBSN data: typically 0.5–0.8).
+    pub revisit_ratio: f64,
+    /// Mean radius of gyration in km (spread of a user's activity).
+    pub radius_of_gyration_km: f64,
+    /// Mean distance between consecutive visits within a trajectory, km.
+    pub mean_hop_km: f64,
+    /// Mean number of distinct POIs per user.
+    pub distinct_pois_per_user: f64,
+    /// Mean check-ins per active user.
+    pub checkins_per_user: f64,
+    /// Shannon entropy (bits) of the visit distribution over a user's
+    /// POIs, averaged over users — lower means more habitual behaviour.
+    pub visit_entropy_bits: f64,
+}
+
+fn user_revisit_ratio(user: &UserHistory) -> Option<f64> {
+    let visits: Vec<_> = user
+        .trajectories
+        .iter()
+        .flat_map(|t| t.visits.iter())
+        .collect();
+    if visits.len() < 2 {
+        return None;
+    }
+    let mut seen = std::collections::HashSet::new();
+    let mut revisits = 0usize;
+    for v in &visits {
+        if !seen.insert(v.poi) {
+            revisits += 1;
+        }
+    }
+    Some(revisits as f64 / (visits.len() - 1) as f64)
+}
+
+fn user_radius_of_gyration(ds: &LbsnDataset, user: &UserHistory) -> Option<f64> {
+    let locs: Vec<GeoPoint> = user
+        .trajectories
+        .iter()
+        .flat_map(|t| t.visits.iter())
+        .map(|v| ds.poi_loc(v.poi))
+        .collect();
+    if locs.is_empty() {
+        return None;
+    }
+    let center = GeoPoint::new(
+        locs.iter().map(|l| l.lat).sum::<f64>() / locs.len() as f64,
+        locs.iter().map(|l| l.lon).sum::<f64>() / locs.len() as f64,
+    );
+    let msd = locs
+        .iter()
+        .map(|l| l.equirectangular_km(&center).powi(2))
+        .sum::<f64>()
+        / locs.len() as f64;
+    Some(msd.sqrt())
+}
+
+fn user_entropy_bits(user: &UserHistory) -> Option<f64> {
+    let mut counts = std::collections::HashMap::new();
+    let mut total = 0usize;
+    for t in &user.trajectories {
+        for v in &t.visits {
+            *counts.entry(v.poi).or_insert(0usize) += 1;
+            total += 1;
+        }
+    }
+    if total == 0 {
+        return None;
+    }
+    let h = counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            -p * p.log2()
+        })
+        .sum();
+    Some(h)
+}
+
+/// Computes the mobility profile of a dataset.
+pub fn mobility_profile(ds: &LbsnDataset) -> MobilityProfile {
+    let mut revisit = Vec::new();
+    let mut gyration = Vec::new();
+    let mut entropy = Vec::new();
+    let mut distinct = Vec::new();
+    let mut per_user = Vec::new();
+    let mut hops = Vec::new();
+    for user in &ds.users {
+        if let Some(r) = user_revisit_ratio(user) {
+            revisit.push(r);
+        }
+        if let Some(g) = user_radius_of_gyration(ds, user) {
+            gyration.push(g);
+        }
+        if let Some(e) = user_entropy_bits(user) {
+            entropy.push(e);
+        }
+        let n = user.num_checkins();
+        if n > 0 {
+            per_user.push(n as f64);
+            let d: std::collections::HashSet<_> = user
+                .trajectories
+                .iter()
+                .flat_map(|t| t.visits.iter().map(|v| v.poi))
+                .collect();
+            distinct.push(d.len() as f64);
+        }
+        for t in &user.trajectories {
+            for w in t.visits.windows(2) {
+                hops.push(ds.poi_loc(w[0].poi).equirectangular_km(&ds.poi_loc(w[1].poi)));
+            }
+        }
+    }
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    MobilityProfile {
+        revisit_ratio: mean(&revisit),
+        radius_of_gyration_km: mean(&gyration),
+        mean_hop_km: mean(&hops),
+        distinct_pois_per_user: mean(&distinct),
+        checkins_per_user: mean(&per_user),
+        visit_entropy_bits: mean(&entropy),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{california_mini, nyc_mini};
+    use crate::synth::generate_dataset;
+
+    fn profile_for(cfg: crate::synth::SynthConfig) -> MobilityProfile {
+        let (ds, _) = generate_dataset(cfg);
+        mobility_profile(&ds)
+    }
+
+    #[test]
+    fn synthetic_users_show_lbsn_revisit_band() {
+        let mut cfg = nyc_mini(0.15);
+        cfg.days = 40;
+        let p = profile_for(cfg);
+        // Real LBSN revisit ratios sit around 0.5–0.8; the generator's
+        // explore_prob 0.30 should land in that band.
+        assert!(
+            (0.35..=0.9).contains(&p.revisit_ratio),
+            "revisit ratio out of band: {}",
+            p.revisit_ratio
+        );
+    }
+
+    #[test]
+    fn activity_radius_far_below_region_size() {
+        let mut cfg = nyc_mini(0.15);
+        cfg.days = 30;
+        let (ds, _) = generate_dataset(cfg.clone());
+        let p = mobility_profile(&ds);
+        let region_diag = GeoPoint::new(ds.region.min_lat, ds.region.min_lon)
+            .equirectangular_km(&GeoPoint::new(ds.region.max_lat, ds.region.max_lon));
+        assert!(
+            p.radius_of_gyration_km < region_diag / 2.0,
+            "users roam the whole region: r_g {} vs diag {}",
+            p.radius_of_gyration_km,
+            region_diag
+        );
+        assert!(p.radius_of_gyration_km > 0.0);
+    }
+
+    #[test]
+    fn state_scale_users_have_larger_radius_than_urban() {
+        let mut urban = nyc_mini(0.15);
+        urban.days = 30;
+        let mut state = california_mini(0.15);
+        state.days = 30;
+        let pu = profile_for(urban);
+        let ps = profile_for(state);
+        assert!(
+            ps.radius_of_gyration_km > pu.radius_of_gyration_km * 5.0,
+            "state-scale gyration {} should dwarf urban {}",
+            ps.radius_of_gyration_km,
+            pu.radius_of_gyration_km
+        );
+    }
+
+    #[test]
+    fn entropy_is_bounded_by_distinct_pois() {
+        let mut cfg = nyc_mini(0.12);
+        cfg.days = 25;
+        let p = profile_for(cfg);
+        // H ≤ log2(distinct POIs); habitual users sit well below.
+        assert!(p.visit_entropy_bits <= p.distinct_pois_per_user.log2() + 1e-9);
+        assert!(p.visit_entropy_bits > 0.0);
+    }
+
+    #[test]
+    fn hops_shorter_than_gyration_scale() {
+        let mut cfg = nyc_mini(0.15);
+        cfg.days = 30;
+        let p = profile_for(cfg);
+        assert!(p.mean_hop_km > 0.0);
+        // Consecutive hops are a local phenomenon relative to overall
+        // activity spread (spatial locality signal).
+        assert!(p.mean_hop_km < p.radius_of_gyration_km * 4.0 + 5.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! POIs, users, categories and check-in records — the core LBSN data types
+//! (paper Sec. II-A: `p = (id, loc, cate)`).
+
+use serde::{Deserialize, Serialize};
+use tspn_geo::GeoPoint;
+
+/// POI identifier: index into the dataset's POI table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PoiId(pub usize);
+
+/// Category identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CategoryId(pub usize);
+
+/// User identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub usize);
+
+/// Seconds since the synthetic epoch.
+pub type Timestamp = i64;
+
+/// Seconds per day.
+pub const DAY_SECS: i64 = 86_400;
+
+/// The paper divides a day into 48 half-hour intervals for the temporal
+/// encoder (Sec. IV-A).
+pub const TIME_SLOTS: usize = 48;
+
+/// Half-hour slot of the day for a timestamp.
+pub fn time_slot(t: Timestamp) -> usize {
+    let within = t.rem_euclid(DAY_SECS);
+    (within / (DAY_SECS / TIME_SLOTS as i64)) as usize
+}
+
+/// A point of interest.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Poi {
+    /// Identifier (equals its index in the dataset POI table).
+    pub id: PoiId,
+    /// Geographic coordinates.
+    pub loc: GeoPoint,
+    /// Venue category.
+    pub cate: CategoryId,
+}
+
+/// One check-in record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Checkin {
+    /// Who checked in.
+    pub user: UserId,
+    /// Where.
+    pub poi: PoiId,
+    /// When.
+    pub time: Timestamp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_cover_the_day() {
+        assert_eq!(time_slot(0), 0);
+        assert_eq!(time_slot(30 * 60), 1);
+        assert_eq!(time_slot(DAY_SECS - 1), TIME_SLOTS - 1);
+    }
+
+    #[test]
+    fn slot_wraps_across_days() {
+        assert_eq!(time_slot(DAY_SECS + 45 * 60), time_slot(45 * 60));
+    }
+
+    #[test]
+    fn negative_timestamps_still_map() {
+        let s = time_slot(-1);
+        assert_eq!(s, TIME_SLOTS - 1);
+    }
+
+    #[test]
+    fn eight_am_is_slot_16() {
+        assert_eq!(time_slot(8 * 3600), 16);
+    }
+}

@@ -1,0 +1,253 @@
+//! Dataset presets mirroring the paper's Table I at laptop scale.
+//!
+//! The real datasets (Foursquare NYC/TKY, Weeplaces California/Florida) are
+//! unavailable; these presets reproduce their *shape*: the Foursquare pair
+//! is urban and dense (high POI concentration, small coverage), the
+//! Weeplaces pair is state-scale and dispersed (coverage ~1000× larger,
+//! POIs spread along coasts and corridors). Counts are scaled down ~100×
+//! so every experiment binary runs in minutes on a CPU; pass a larger
+//! `scale` to move toward paper-size datasets.
+
+use tspn_geo::BBox;
+use tspn_world::{Coast, WorldConfig};
+
+use crate::synth::SynthConfig;
+
+/// Applies an integer scale factor to a base preset (users, POIs and days
+/// grow with scale; behavioural parameters stay fixed).
+fn scaled(mut cfg: SynthConfig, scale: f64) -> SynthConfig {
+    assert!(scale > 0.0, "scale must be positive");
+    cfg.num_pois = ((cfg.num_pois as f64) * scale).round().max(20.0) as usize;
+    cfg.num_users = ((cfg.num_users as f64) * scale).round().max(4.0) as usize;
+    cfg.days = ((cfg.days as f64) * scale.sqrt()).round().max(20.0) as usize;
+    cfg
+}
+
+/// Foursquare-NYC analogue: one dense urban core, land-locked window,
+/// moderate category diversity. Paper setting: {D=8, Ω=50, K=15}.
+pub fn nyc_mini(scale: f64) -> SynthConfig {
+    scaled(
+        SynthConfig {
+            seed: 1001,
+            name: "nyc-mini".into(),
+            world: WorldConfig {
+                seed: 1001,
+                coast: Coast::None,
+                ocean_fraction: 0.25,
+                num_districts: 4,
+                density_falloff: 7.0,
+            },
+            region: BBox::new(40.55, -74.10, 40.95, -73.65),
+            num_pois: 380,
+            num_categories: 40,
+            num_users: 48,
+            days: 80,
+            active_day_prob: 0.45,
+            visits_per_active_day: 2.2,
+            explore_prob: 0.30,
+            favorites_per_user: 10,
+        },
+        scale,
+    )
+}
+
+/// Foursquare-TKY analogue: larger and denser than NYC, more users,
+/// slightly fewer categories. Paper setting: {D=8, Ω=100, K=15}.
+pub fn tky_mini(scale: f64) -> SynthConfig {
+    scaled(
+        SynthConfig {
+            seed: 2002,
+            name: "tky-mini".into(),
+            world: WorldConfig {
+                seed: 2002,
+                coast: Coast::None,
+                ocean_fraction: 0.25,
+                num_districts: 5,
+                density_falloff: 6.0,
+            },
+            region: BBox::new(35.50, 139.40, 35.85, 139.95),
+            num_pois: 560,
+            num_categories: 36,
+            num_users: 64,
+            days: 90,
+            active_day_prob: 0.50,
+            visits_per_active_day: 2.4,
+            explore_prob: 0.28,
+            favorites_per_user: 12,
+        },
+        scale,
+    )
+}
+
+/// Weeplaces-California analogue: state-scale, west coast, dispersed
+/// districts (low density falloff). Paper setting: {D=9, Ω=100, K=10}.
+pub fn california_mini(scale: f64) -> SynthConfig {
+    scaled(
+        SynthConfig {
+            seed: 3003,
+            name: "california-mini".into(),
+            world: WorldConfig {
+                seed: 3003,
+                coast: Coast::West,
+                ocean_fraction: 0.22,
+                num_districts: 6,
+                density_falloff: 3.0,
+            },
+            region: BBox::new(32.5, -124.4, 42.0, -114.1),
+            num_pois: 440,
+            num_categories: 44,
+            num_users: 44,
+            days: 90,
+            active_day_prob: 0.40,
+            visits_per_active_day: 2.0,
+            explore_prob: 0.33,
+            favorites_per_user: 9,
+        },
+        scale,
+    )
+}
+
+/// Weeplaces-Florida analogue: state-scale, Atlantic (east) coastline with
+/// beachfront venue strips — the Fig. 12 case-study region.
+/// Paper setting: {D=8, Ω=50, K=10}.
+pub fn florida_mini(scale: f64) -> SynthConfig {
+    scaled(
+        SynthConfig {
+            seed: 4004,
+            name: "florida-mini".into(),
+            world: WorldConfig {
+                seed: 4004,
+                coast: Coast::East,
+                ocean_fraction: 0.28,
+                num_districts: 4,
+                density_falloff: 3.5,
+            },
+            region: BBox::new(25.0, -87.6, 30.8, -80.0),
+            num_pois: 300,
+            num_categories: 40,
+            num_users: 36,
+            days: 90,
+            active_day_prob: 0.40,
+            visits_per_active_day: 2.0,
+            explore_prob: 0.33,
+            favorites_per_user: 8,
+        },
+        scale,
+    )
+}
+
+/// All four presets (Table I order) at a given scale.
+pub fn all_presets(scale: f64) -> Vec<SynthConfig> {
+    vec![
+        nyc_mini(scale),
+        tky_mini(scale),
+        california_mini(scale),
+        florida_mini(scale),
+    ]
+}
+
+/// The quad-tree / K settings the paper pairs with each dataset
+/// (Implementation Details, Sec. VI-A): returns `(D, Ω, K)`.
+pub fn paper_settings(name: &str) -> (usize, usize, usize) {
+    match name {
+        "tky-mini" => (8, 100, 15),
+        "nyc-mini" => (8, 50, 15),
+        "california-mini" => (9, 100, 10),
+        "florida-mini" => (8, 50, 10),
+        other => panic!("unknown preset {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::generate_dataset;
+
+    #[test]
+    fn presets_have_distinct_shapes() {
+        let nyc = nyc_mini(1.0);
+        let ca = california_mini(1.0);
+        // State coverage ~1000× urban coverage (Table I's key contrast).
+        let urban = nyc.region.area_km2();
+        let state = ca.region.area_km2();
+        assert!(state / urban > 500.0, "coverage ratio only {}", state / urban);
+    }
+
+    #[test]
+    fn scaling_grows_counts() {
+        let base = nyc_mini(1.0);
+        let big = nyc_mini(2.0);
+        assert_eq!(big.num_pois, base.num_pois * 2);
+        assert_eq!(big.num_users, base.num_users * 2);
+    }
+
+    #[test]
+    fn paper_settings_cover_all_presets() {
+        for cfg in all_presets(1.0) {
+            let (d, omega, k) = paper_settings(&cfg.name);
+            assert!(d >= 8 && omega >= 50 && k >= 10);
+        }
+    }
+
+    #[test]
+    fn tiny_florida_generates_coastal_pois() {
+        // Scaled-down generation sanity: coastal bonus should place a
+        // noticeable share of venues on the shoreline band.
+        let mut cfg = florida_mini(0.3);
+        cfg.days = 10;
+        let g = crate::synth::SynthGenerator::new(cfg);
+        let ds = g.generate();
+        let coastal = ds
+            .pois
+            .iter()
+            .filter(|p| {
+                let (x, y) = ds.region.normalize(&p.loc);
+                g.world().is_coastal(x, y)
+            })
+            .count();
+        assert!(
+            coastal * 8 > ds.pois.len(),
+            "only {coastal}/{} POIs coastal",
+            ds.pois.len()
+        );
+    }
+
+    #[test]
+    fn florida_has_coastal_active_population() {
+        // Regression guard for the Fig. 12 case-study premise: coastal
+        // worlds must produce users who actually visit the shoreline.
+        let mut cfg = florida_mini(0.3);
+        cfg.days = 30;
+        let g = crate::synth::SynthGenerator::new(cfg);
+        let ds = g.generate();
+        let (mut coastal, mut total) = (0usize, 0usize);
+        for u in &ds.users {
+            for t in &u.trajectories {
+                for v in &t.visits {
+                    total += 1;
+                    let (x, y) = ds.region.normalize(&ds.poi_loc(v.poi));
+                    if g.world().is_coastal(x, y) {
+                        coastal += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 0);
+        let frac = coastal as f64 / total as f64;
+        assert!(
+            frac > 0.06,
+            "coastal visits too rare for the case study: {frac:.3}"
+        );
+    }
+
+    #[test]
+    fn all_presets_generate_at_tiny_scale() {
+        for mut cfg in all_presets(0.15) {
+            cfg.days = 8;
+            let (ds, _) = generate_dataset(cfg);
+            let stats = ds.stats();
+            assert!(stats.checkins > 0, "{} generated no check-ins", ds.name);
+            assert!(stats.pois >= 20);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for trajectory windowing and sample extraction — the
+//! invariants the training pipeline silently relies on.
+
+use proptest::prelude::*;
+use tspn_data::{
+    enumerate_samples, split_trajectories, PoiId, UserHistory, UserId, Visit, DEFAULT_GAP_SECS,
+};
+
+/// Random sorted visit streams with gap structure.
+fn arb_visits() -> impl Strategy<Value = Vec<Visit>> {
+    proptest::collection::vec((0usize..50, 0i64..200), 0..60).prop_map(|raw| {
+        let mut t = 0i64;
+        raw.into_iter()
+            .map(|(poi, gap_hours)| {
+                t += gap_hours * 3600;
+                Visit {
+                    poi: PoiId(poi),
+                    time: t,
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn splitting_preserves_every_visit_in_order(visits in arb_visits()) {
+        let trajs = split_trajectories(UserId(0), &visits, DEFAULT_GAP_SECS);
+        let rejoined: Vec<Visit> = trajs.iter().flat_map(|t| t.visits.iter().copied()).collect();
+        prop_assert_eq!(rejoined, visits);
+    }
+
+    #[test]
+    fn no_window_contains_a_gap(visits in arb_visits()) {
+        let trajs = split_trajectories(UserId(0), &visits, DEFAULT_GAP_SECS);
+        for t in &trajs {
+            for w in t.visits.windows(2) {
+                prop_assert!(w[1].time - w[0].time < DEFAULT_GAP_SECS);
+            }
+        }
+    }
+
+    #[test]
+    fn windows_are_separated_by_real_gaps(visits in arb_visits()) {
+        let trajs = split_trajectories(UserId(0), &visits, DEFAULT_GAP_SECS);
+        for pair in trajs.windows(2) {
+            let last = pair[0].visits.last().expect("non-empty window");
+            let first = pair[1].visits.first().expect("non-empty window");
+            prop_assert!(first.time - last.time >= DEFAULT_GAP_SECS);
+        }
+    }
+
+    #[test]
+    fn no_empty_trajectories(visits in arb_visits()) {
+        let trajs = split_trajectories(UserId(0), &visits, DEFAULT_GAP_SECS);
+        prop_assert!(trajs.iter().all(|t| !t.is_empty()));
+        if visits.is_empty() {
+            prop_assert!(trajs.is_empty());
+        }
+    }
+
+    #[test]
+    fn sample_count_is_checkins_minus_windows(visits in arb_visits()) {
+        let history = UserHistory::from_visits(UserId(3), &visits, DEFAULT_GAP_SECS);
+        let samples = enumerate_samples(0, &history);
+        // Every trajectory of length L ≥ 2 yields L−1 samples; singletons 0.
+        let expected: usize = history
+            .trajectories
+            .iter()
+            .map(|t| t.len().saturating_sub(1))
+            .sum();
+        prop_assert_eq!(samples.len(), expected);
+    }
+
+    #[test]
+    fn samples_index_valid_targets(visits in arb_visits()) {
+        let history = UserHistory::from_visits(UserId(1), &visits, DEFAULT_GAP_SECS);
+        for s in enumerate_samples(0, &history) {
+            let traj = &history.trajectories[s.traj_index];
+            prop_assert!(s.prefix_len >= 1);
+            prop_assert!(s.prefix_len < traj.len(), "target must exist after the prefix");
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Axis-aligned geographic bounding boxes with quadrant subdivision.
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::GeoPoint;
+
+/// Quadrant labels, in the order the quad-tree stores children.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quadrant {
+    /// North-west (upper-left on a north-up map).
+    Nw = 0,
+    /// North-east.
+    Ne = 1,
+    /// South-west.
+    Sw = 2,
+    /// South-east.
+    Se = 3,
+}
+
+/// Rectangle in (lat, lon) space.
+///
+/// Point-membership uses half-open semantics on the south/west edges so a
+/// point on a shared boundary belongs to exactly one of two adjacent boxes;
+/// the north/east *outer* edges of a root region are closed so that the
+/// region as a whole covers its boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BBox {
+    /// Southern edge (inclusive).
+    pub min_lat: f64,
+    /// Western edge (inclusive).
+    pub min_lon: f64,
+    /// Northern edge.
+    pub max_lat: f64,
+    /// Eastern edge.
+    pub max_lon: f64,
+}
+
+impl BBox {
+    /// Creates a box.
+    ///
+    /// # Panics
+    /// Panics when the box is inverted or degenerate.
+    pub fn new(min_lat: f64, min_lon: f64, max_lat: f64, max_lon: f64) -> Self {
+        assert!(
+            min_lat < max_lat && min_lon < max_lon,
+            "degenerate bbox [{min_lat}, {min_lon}, {max_lat}, {max_lon}]"
+        );
+        BBox {
+            min_lat,
+            min_lon,
+            max_lat,
+            max_lon,
+        }
+    }
+
+    /// Smallest box covering all points.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn covering(points: &[GeoPoint]) -> Self {
+        assert!(!points.is_empty(), "covering() of zero points");
+        let mut min_lat = f64::INFINITY;
+        let mut min_lon = f64::INFINITY;
+        let mut max_lat = f64::NEG_INFINITY;
+        let mut max_lon = f64::NEG_INFINITY;
+        for p in points {
+            min_lat = min_lat.min(p.lat);
+            min_lon = min_lon.min(p.lon);
+            max_lat = max_lat.max(p.lat);
+            max_lon = max_lon.max(p.lon);
+        }
+        // Pad degenerate extents so the box is always 2-dimensional.
+        let pad = 1e-6;
+        BBox::new(min_lat - pad, min_lon - pad, max_lat + pad, max_lon + pad)
+    }
+
+    /// Centre point.
+    pub fn center(&self) -> GeoPoint {
+        GeoPoint {
+            lat: (self.min_lat + self.max_lat) / 2.0,
+            lon: (self.min_lon + self.max_lon) / 2.0,
+        }
+    }
+
+    /// Latitude extent in degrees.
+    pub fn lat_span(&self) -> f64 {
+        self.max_lat - self.min_lat
+    }
+
+    /// Longitude extent in degrees.
+    pub fn lon_span(&self) -> f64 {
+        self.max_lon - self.min_lon
+    }
+
+    /// Approximate area in km² (equirectangular).
+    pub fn area_km2(&self) -> f64 {
+        let sw = GeoPoint::new(self.min_lat, self.min_lon);
+        let se = GeoPoint::new(self.min_lat, self.max_lon);
+        let nw = GeoPoint::new(self.max_lat, self.min_lon);
+        sw.equirectangular_km(&se) * sw.equirectangular_km(&nw)
+    }
+
+    /// Half-open membership: south/west inclusive, north/east exclusive.
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        p.lat >= self.min_lat && p.lat < self.max_lat && p.lon >= self.min_lon && p.lon < self.max_lon
+    }
+
+    /// Closed membership, used at a root region's outer boundary.
+    pub fn contains_closed(&self, p: &GeoPoint) -> bool {
+        p.lat >= self.min_lat
+            && p.lat <= self.max_lat
+            && p.lon >= self.min_lon
+            && p.lon <= self.max_lon
+    }
+
+    /// Which quadrant the point falls into (points on the split lines go
+    /// north/east, mirroring the half-open edge rule).
+    pub fn quadrant_of(&self, p: &GeoPoint) -> Quadrant {
+        let c = self.center();
+        match (p.lat >= c.lat, p.lon >= c.lon) {
+            (true, false) => Quadrant::Nw,
+            (true, true) => Quadrant::Ne,
+            (false, false) => Quadrant::Sw,
+            (false, true) => Quadrant::Se,
+        }
+    }
+
+    /// The sub-box of a quadrant.
+    pub fn quadrant_bbox(&self, q: Quadrant) -> BBox {
+        let c = self.center();
+        match q {
+            Quadrant::Nw => BBox::new(c.lat, self.min_lon, self.max_lat, c.lon),
+            Quadrant::Ne => BBox::new(c.lat, c.lon, self.max_lat, self.max_lon),
+            Quadrant::Sw => BBox::new(self.min_lat, self.min_lon, c.lat, c.lon),
+            Quadrant::Se => BBox::new(self.min_lat, c.lon, c.lat, self.max_lon),
+        }
+    }
+
+    /// True when the boxes share area or touch along an edge/corner.
+    pub fn touches(&self, other: &BBox) -> bool {
+        self.min_lat <= other.max_lat
+            && other.min_lat <= self.max_lat
+            && self.min_lon <= other.max_lon
+            && other.min_lon <= self.max_lon
+    }
+
+    /// True when the interiors overlap (not merely touching edges).
+    pub fn intersects(&self, other: &BBox) -> bool {
+        self.min_lat < other.max_lat
+            && other.min_lat < self.max_lat
+            && self.min_lon < other.max_lon
+            && other.min_lon < self.max_lon
+    }
+
+    /// Normalises a point into `[0, 1]²` within this box (used by the
+    /// sinusoidal spatial encoder, paper Eq. 4 / Fig. 8).
+    pub fn normalize(&self, p: &GeoPoint) -> (f64, f64) {
+        (
+            (p.lon - self.min_lon) / self.lon_span(),
+            (p.lat - self.min_lat) / self.lat_span(),
+        )
+    }
+
+    /// Clamps a point into the (closed) box.
+    pub fn clamp(&self, p: &GeoPoint) -> GeoPoint {
+        GeoPoint {
+            lat: p.lat.clamp(self.min_lat, self.max_lat),
+            lon: p.lon.clamp(self.min_lon, self.max_lon),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> BBox {
+        BBox::new(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn quadrants_tile_the_box() {
+        let b = unit();
+        let quads = [Quadrant::Nw, Quadrant::Ne, Quadrant::Sw, Quadrant::Se];
+        let total: f64 = quads
+            .iter()
+            .map(|&q| {
+                let s = b.quadrant_bbox(q);
+                s.lat_span() * s.lon_span()
+            })
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_belongs_to_exactly_one_quadrant_box() {
+        let b = unit();
+        let samples = [
+            GeoPoint::new(0.25, 0.25),
+            GeoPoint::new(0.5, 0.5), // on both split lines
+            GeoPoint::new(0.75, 0.25),
+            GeoPoint::new(0.5, 0.1),
+            GeoPoint::new(0.1, 0.5),
+        ];
+        for p in samples {
+            let owning: Vec<Quadrant> = [Quadrant::Nw, Quadrant::Ne, Quadrant::Sw, Quadrant::Se]
+                .into_iter()
+                .filter(|&q| b.quadrant_bbox(q).contains(&p))
+                .collect();
+            assert_eq!(owning.len(), 1, "point {p:?} in {owning:?}");
+            assert_eq!(owning[0], b.quadrant_of(&p));
+        }
+    }
+
+    #[test]
+    fn covering_contains_all_inputs() {
+        let pts = vec![
+            GeoPoint::new(1.0, 2.0),
+            GeoPoint::new(-1.0, 5.0),
+            GeoPoint::new(0.5, -3.0),
+        ];
+        let b = BBox::covering(&pts);
+        for p in &pts {
+            assert!(b.contains(p));
+        }
+    }
+
+    #[test]
+    fn covering_single_point_is_nondegenerate() {
+        let b = BBox::covering(&[GeoPoint::new(10.0, 10.0)]);
+        assert!(b.lat_span() > 0.0 && b.lon_span() > 0.0);
+        assert!(b.contains(&GeoPoint::new(10.0, 10.0)));
+    }
+
+    #[test]
+    fn touches_vs_intersects() {
+        let a = unit();
+        let edge_neighbor = BBox::new(0.0, 1.0, 1.0, 2.0); // shares the lon=1 edge
+        assert!(a.touches(&edge_neighbor));
+        assert!(!a.intersects(&edge_neighbor));
+        let overlapping = BBox::new(0.5, 0.5, 1.5, 1.5);
+        assert!(a.intersects(&overlapping));
+        let distant = BBox::new(5.0, 5.0, 6.0, 6.0);
+        assert!(!a.touches(&distant));
+    }
+
+    #[test]
+    fn normalize_maps_corners() {
+        let b = BBox::new(10.0, 20.0, 30.0, 40.0);
+        let (x0, y0) = b.normalize(&GeoPoint::new(10.0, 20.0));
+        let (x1, y1) = b.normalize(&GeoPoint::new(30.0, 40.0));
+        assert!((x0, y0) == (0.0, 0.0));
+        assert!((x1, y1) == (1.0, 1.0));
+    }
+
+    #[test]
+    fn area_of_equatorial_degree_square() {
+        // 1° × 1° at the equator ≈ 111.2 km × 111.2 km.
+        let b = BBox::new(-0.5, -0.5, 0.5, 0.5);
+        let a = b.area_km2();
+        assert!((a - 111.2 * 111.2).abs() / a < 0.02, "area {a}");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate bbox")]
+    fn rejects_inverted() {
+        BBox::new(1.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn clamp_moves_outside_points_in() {
+        let b = unit();
+        let p = b.clamp(&GeoPoint::new(2.0, -1.0));
+        assert_eq!((p.lat, p.lon), (1.0, 0.0));
+    }
+}

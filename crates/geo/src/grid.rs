@@ -1,0 +1,172 @@
+//! Fixed-granularity grid index — the partitioning scheme the paper's
+//! "Grid Replace Quad-tree" ablation swaps in (Table IV row 1), and the
+//! strategy used by prior work such as HMT-GRN.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bbox::BBox;
+use crate::point::GeoPoint;
+
+/// A `g × g` uniform grid over a region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridIndex {
+    bbox: BBox,
+    granularity: usize,
+}
+
+/// A grid cell handle: `(row, col)` flattened to `row * g + col`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellId(pub usize);
+
+impl GridIndex {
+    /// Creates a grid with `granularity × granularity` cells.
+    ///
+    /// # Panics
+    /// Panics when granularity is zero.
+    pub fn new(bbox: BBox, granularity: usize) -> Self {
+        assert!(granularity > 0, "grid granularity must be positive");
+        GridIndex { bbox, granularity }
+    }
+
+    /// Cells per side.
+    pub fn granularity(&self) -> usize {
+        self.granularity
+    }
+
+    /// Total number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.granularity * self.granularity
+    }
+
+    /// The region covered.
+    pub fn bbox(&self) -> &BBox {
+        &self.bbox
+    }
+
+    /// Maps a point to its cell (points outside are clamped in).
+    pub fn cell_for(&self, p: &GeoPoint) -> CellId {
+        let (x, y) = self.bbox.normalize(&self.bbox.clamp(p));
+        let g = self.granularity;
+        let col = ((x * g as f64) as usize).min(g - 1);
+        let row = ((y * g as f64) as usize).min(g - 1);
+        CellId(row * g + col)
+    }
+
+    /// Bounding box of a cell.
+    pub fn cell_bbox(&self, cell: CellId) -> BBox {
+        let g = self.granularity;
+        assert!(cell.0 < g * g, "cell {cell:?} out of range");
+        let row = cell.0 / g;
+        let col = cell.0 % g;
+        let lat0 = self.bbox.min_lat + self.bbox.lat_span() * row as f64 / g as f64;
+        let lat1 = self.bbox.min_lat + self.bbox.lat_span() * (row + 1) as f64 / g as f64;
+        let lon0 = self.bbox.min_lon + self.bbox.lon_span() * col as f64 / g as f64;
+        let lon1 = self.bbox.min_lon + self.bbox.lon_span() * (col + 1) as f64 / g as f64;
+        BBox::new(lat0, lon0, lat1, lon1)
+    }
+
+    /// 4-neighbourhood of a cell (N/S/E/W, clipped at borders).
+    pub fn neighbors(&self, cell: CellId) -> Vec<CellId> {
+        let g = self.granularity;
+        let row = cell.0 / g;
+        let col = cell.0 % g;
+        let mut out = Vec::with_capacity(4);
+        if row > 0 {
+            out.push(CellId((row - 1) * g + col));
+        }
+        if row + 1 < g {
+            out.push(CellId((row + 1) * g + col));
+        }
+        if col > 0 {
+            out.push(CellId(row * g + col - 1));
+        }
+        if col + 1 < g {
+            out.push(CellId(row * g + col + 1));
+        }
+        out
+    }
+
+    /// Occupancy histogram for a point set — contrasted with
+    /// [`crate::QuadTree::leaf_occupancy`] in the partitioning benchmarks.
+    pub fn occupancy(&self, points: &[GeoPoint]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_cells()];
+        for p in points {
+            counts[self.cell_for(p).0] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GridIndex {
+        GridIndex::new(BBox::new(0.0, 0.0, 1.0, 1.0), 4)
+    }
+
+    #[test]
+    fn cell_count() {
+        assert_eq!(grid().num_cells(), 16);
+    }
+
+    #[test]
+    fn corners_map_to_corner_cells() {
+        let g = grid();
+        assert_eq!(g.cell_for(&GeoPoint::new(0.0, 0.0)).0, 0);
+        assert_eq!(g.cell_for(&GeoPoint::new(0.99, 0.99)).0, 15);
+    }
+
+    #[test]
+    fn boundary_point_clamps_to_last_cell() {
+        let g = grid();
+        assert_eq!(g.cell_for(&GeoPoint::new(1.0, 1.0)).0, 15);
+    }
+
+    #[test]
+    fn cell_bbox_contains_cell_points() {
+        let g = grid();
+        let p = GeoPoint::new(0.3, 0.6);
+        let cell = g.cell_for(&p);
+        assert!(g.cell_bbox(cell).contains(&p));
+    }
+
+    #[test]
+    fn cells_tile_region() {
+        let g = grid();
+        let total: f64 = (0..16)
+            .map(|i| {
+                let b = g.cell_bbox(CellId(i));
+                b.lat_span() * b.lon_span()
+            })
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interior_cell_has_four_neighbors() {
+        let g = grid();
+        assert_eq!(g.neighbors(CellId(5)).len(), 4);
+    }
+
+    #[test]
+    fn corner_cell_has_two_neighbors() {
+        let g = grid();
+        assert_eq!(g.neighbors(CellId(0)).len(), 2);
+        assert_eq!(g.neighbors(CellId(15)).len(), 2);
+    }
+
+    #[test]
+    fn occupancy_counts_all_points() {
+        let g = grid();
+        let pts = vec![
+            GeoPoint::new(0.1, 0.1),
+            GeoPoint::new(0.1, 0.15),
+            GeoPoint::new(0.9, 0.9),
+        ];
+        let occ = g.occupancy(&pts);
+        assert_eq!(occ.iter().sum::<usize>(), 3);
+        assert_eq!(occ[0], 2);
+        assert_eq!(occ[15], 1);
+    }
+}

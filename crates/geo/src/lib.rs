@@ -1,0 +1,38 @@
+//! # tspn-geo
+//!
+//! Geospatial primitives for the TSPN-RA reproduction:
+//!
+//! * [`GeoPoint`] / [`BBox`] — WGS-84 coordinates, distances, quadrant
+//!   subdivision and unit-square normalisation,
+//! * [`QuadTree`] — the paper's region quad-tree (Sec. II-A): recursive
+//!   splitting until leaf tiles hold ≤ `Ω` POIs or the height cap `D`,
+//!   plus minimal-subtree extraction for QR-P graph construction,
+//! * [`GridIndex`] — the fixed-granularity alternative used by the
+//!   "Grid Replace Quad-tree" ablation.
+//!
+//! ## Example
+//!
+//! ```
+//! use tspn_geo::{BBox, GeoPoint, QuadTree, QuadTreeConfig};
+//!
+//! let region = BBox::new(40.55, -74.1, 40.95, -73.65); // ~NYC
+//! let pois: Vec<GeoPoint> = (0..1000)
+//!     .map(|i| GeoPoint::new(40.55 + 0.4 * ((i * 37 % 100) as f64) / 100.0,
+//!                            -74.1 + 0.45 * ((i * 61 % 100) as f64) / 100.0))
+//!     .collect();
+//! let tree = QuadTree::build(region, &pois, QuadTreeConfig { max_depth: 8, leaf_capacity: 50 });
+//! let leaf = tree.leaf_for(&pois[0]);
+//! assert!(tree.node(leaf).is_leaf());
+//! ```
+
+#![warn(missing_docs)]
+
+mod bbox;
+mod grid;
+mod point;
+mod quadtree;
+
+pub use bbox::{BBox, Quadrant};
+pub use grid::{CellId, GridIndex};
+pub use point::{GeoPoint, EARTH_RADIUS_KM};
+pub use quadtree::{NodeId, QuadNode, QuadTree, QuadTreeConfig};

@@ -1,0 +1,116 @@
+//! Geographic points and distance computations.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// A WGS-84 coordinate (degrees).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point, validating coordinate ranges.
+    ///
+    /// # Panics
+    /// Panics on out-of-range coordinates — upstream data generation is
+    /// expected to produce valid coordinates, so a violation is a bug.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        assert!((-90.0..=90.0).contains(&lat), "latitude {lat} out of range");
+        assert!((-180.0..=180.0).contains(&lon), "longitude {lon} out of range");
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle distance via the haversine formula, in kilometres.
+    pub fn haversine_km(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+
+    /// Fast flat-earth approximation in kilometres, accurate for the
+    /// city-scale distances this project works with.
+    pub fn equirectangular_km(&self, other: &GeoPoint) -> f64 {
+        let mean_lat = ((self.lat + other.lat) / 2.0).to_radians();
+        let dx = (other.lon - self.lon).to_radians() * mean_lat.cos();
+        let dy = (other.lat - self.lat).to_radians();
+        EARTH_RADIUS_KM * (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Linear interpolation between two points (used by the trajectory
+    /// simulator for intermediate stops).
+    pub fn lerp(&self, other: &GeoPoint, t: f64) -> GeoPoint {
+        GeoPoint {
+            lat: self.lat + (other.lat - self.lat) * t,
+            lon: self.lon + (other.lon - self.lon) * t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = GeoPoint::new(40.7, -74.0);
+        assert!(p.haversine_km(&p) < 1e-9);
+    }
+
+    #[test]
+    fn known_distance_nyc_to_tokyo() {
+        let nyc = GeoPoint::new(40.7128, -74.0060);
+        let tky = GeoPoint::new(35.6762, 139.6503);
+        let d = nyc.haversine_km(&tky);
+        // Real-world value ≈ 10,850 km.
+        assert!((d - 10_850.0).abs() < 100.0, "distance {d}");
+    }
+
+    #[test]
+    fn equirectangular_close_to_haversine_at_city_scale() {
+        let a = GeoPoint::new(40.70, -74.00);
+        let b = GeoPoint::new(40.80, -73.90);
+        let h = a.haversine_km(&b);
+        let e = a.equirectangular_km(&b);
+        assert!((h - e).abs() / h < 0.01, "haversine {h} vs equirect {e}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = GeoPoint::new(35.0, 139.0);
+        let b = GeoPoint::new(35.5, 139.5);
+        assert!((a.haversine_km(&b) - b.haversine_km(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(10.0, 20.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        let mid = a.lerp(&b, 0.5);
+        assert!((mid.lat - 5.0).abs() < 1e-12);
+        assert!((mid.lon - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude")]
+    fn rejects_bad_latitude() {
+        GeoPoint::new(91.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "longitude")]
+    fn rejects_bad_longitude() {
+        GeoPoint::new(0.0, 200.0);
+    }
+}

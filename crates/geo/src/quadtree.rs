@@ -1,0 +1,656 @@
+//! The region quad-tree of Sec. II-A: recursive spatial subdivision until
+//! every leaf tile holds at most `Ω` POIs or the depth cap `D` is reached.
+//!
+//! The tree is arena-allocated: nodes live in a `Vec` and reference each
+//! other by [`NodeId`], which keeps traversal allocation-free and makes the
+//! structure trivially serialisable.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bbox::{BBox, Quadrant};
+use crate::point::GeoPoint;
+
+/// Index of a node in the tree arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Tuning parameters: the paper's `D` (maximum tree height) and `Ω`
+/// (maximum POIs per leaf tile).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QuadTreeConfig {
+    /// Maximum tree height `D`; the root is at depth 0.
+    pub max_depth: usize,
+    /// Leaf capacity `Ω`: a tile splits when it holds more than this many POIs.
+    pub leaf_capacity: usize,
+}
+
+impl Default for QuadTreeConfig {
+    fn default() -> Self {
+        // The paper's most common setting: {D=8, Ω=100}.
+        QuadTreeConfig {
+            max_depth: 8,
+            leaf_capacity: 100,
+        }
+    }
+}
+
+/// One tile node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuadNode {
+    /// This node's arena id.
+    pub id: NodeId,
+    /// Spatial extent.
+    pub bbox: BBox,
+    /// Depth below the root (root = 0).
+    pub depth: usize,
+    /// Parent tile (None for the root).
+    pub parent: Option<NodeId>,
+    /// Children in [NW, NE, SW, SE] order; None for leaves.
+    pub children: Option<[NodeId; 4]>,
+    /// Indices (into the build-time point slice) of POIs in this tile.
+    /// Only leaves own points.
+    pub points: Vec<usize>,
+}
+
+impl QuadNode {
+    /// True when the node has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_none()
+    }
+}
+
+/// The region quad-tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuadTree {
+    nodes: Vec<QuadNode>,
+    config: QuadTreeConfig,
+    bbox: BBox,
+}
+
+impl QuadTree {
+    /// Builds the tree over `points`, splitting tiles holding more than
+    /// `Ω` points until the depth cap.
+    ///
+    /// Points outside `bbox` are clamped in (matching how the data pipeline
+    /// snaps stray check-ins to the study region).
+    pub fn build(bbox: BBox, points: &[GeoPoint], config: QuadTreeConfig) -> Self {
+        assert!(config.max_depth >= 1, "max_depth must be at least 1");
+        assert!(config.leaf_capacity >= 1, "leaf_capacity must be at least 1");
+        let mut tree = QuadTree {
+            nodes: vec![QuadNode {
+                id: NodeId(0),
+                bbox,
+                depth: 0,
+                parent: None,
+                children: None,
+                points: Vec::new(),
+            }],
+            config,
+            bbox,
+        };
+        let clamped: Vec<GeoPoint> = points
+            .iter()
+            .map(|p| {
+                // Keep strictly inside so half-open membership holds at the
+                // north/east outer edge.
+                let eps_lat = bbox.lat_span() * 1e-9;
+                let eps_lon = bbox.lon_span() * 1e-9;
+                let c = bbox.clamp(p);
+                GeoPoint {
+                    lat: c.lat.min(bbox.max_lat - eps_lat),
+                    lon: c.lon.min(bbox.max_lon - eps_lon),
+                }
+            })
+            .collect();
+        tree.nodes[0].points = (0..clamped.len()).collect();
+        tree.split_recursively(NodeId(0), &clamped);
+        tree
+    }
+
+    /// Builds a *uniform* tree: every node splits down to exactly
+    /// `depth` levels regardless of occupancy, yielding a fixed
+    /// `2^(depth−1) × 2^(depth−1)` grid of leaves. This is the
+    /// fixed-granularity partitioning of prior work that the paper's
+    /// "Grid Replace Quad-tree" ablation swaps in (Table IV).
+    pub fn build_uniform(bbox: BBox, points: &[GeoPoint], depth: usize) -> Self {
+        assert!((1..=10).contains(&depth), "uniform depth out of range");
+        let config = QuadTreeConfig {
+            max_depth: depth,
+            leaf_capacity: usize::MAX,
+        };
+        let mut tree = QuadTree {
+            nodes: vec![QuadNode {
+                id: NodeId(0),
+                bbox,
+                depth: 0,
+                parent: None,
+                children: None,
+                points: Vec::new(),
+            }],
+            config,
+            bbox,
+        };
+        tree.split_uniform(NodeId(0), depth);
+        // Assign points to leaves.
+        for (i, p) in points.iter().enumerate() {
+            let leaf = tree.leaf_for(p);
+            tree.nodes[leaf.0].points.push(i);
+        }
+        tree
+    }
+
+    fn split_uniform(&mut self, id: NodeId, depth: usize) {
+        let node_depth = self.nodes[id.0].depth;
+        if node_depth + 1 >= depth {
+            return;
+        }
+        let parent_bbox = self.nodes[id.0].bbox;
+        let quads = [Quadrant::Nw, Quadrant::Ne, Quadrant::Sw, Quadrant::Se];
+        let mut child_ids = [NodeId(0); 4];
+        for (slot, &q) in quads.iter().enumerate() {
+            let cid = NodeId(self.nodes.len());
+            child_ids[slot] = cid;
+            self.nodes.push(QuadNode {
+                id: cid,
+                bbox: parent_bbox.quadrant_bbox(q),
+                depth: node_depth + 1,
+                parent: Some(id),
+                children: None,
+                points: Vec::new(),
+            });
+        }
+        self.nodes[id.0].children = Some(child_ids);
+        for cid in child_ids {
+            self.split_uniform(cid, depth);
+        }
+    }
+
+    fn split_recursively(&mut self, id: NodeId, points: &[GeoPoint]) {
+        let (depth, count) = {
+            let n = &self.nodes[id.0];
+            (n.depth, n.points.len())
+        };
+        if count <= self.config.leaf_capacity || depth + 1 >= self.config.max_depth {
+            return;
+        }
+        // Create the four children.
+        let parent_bbox = self.nodes[id.0].bbox;
+        let quads = [Quadrant::Nw, Quadrant::Ne, Quadrant::Sw, Quadrant::Se];
+        let mut child_ids = [NodeId(0); 4];
+        for (slot, &q) in quads.iter().enumerate() {
+            let cid = NodeId(self.nodes.len());
+            child_ids[slot] = cid;
+            self.nodes.push(QuadNode {
+                id: cid,
+                bbox: parent_bbox.quadrant_bbox(q),
+                depth: depth + 1,
+                parent: Some(id),
+                children: None,
+                points: Vec::new(),
+            });
+        }
+        // Distribute the parent's points.
+        let owned = std::mem::take(&mut self.nodes[id.0].points);
+        for pi in owned {
+            let q = parent_bbox.quadrant_of(&points[pi]) as usize;
+            self.nodes[child_ids[q].0].points.push(pi);
+        }
+        self.nodes[id.0].children = Some(child_ids);
+        for cid in child_ids {
+            self.split_recursively(cid, points);
+        }
+    }
+
+    /// The region covered by the tree.
+    pub fn bbox(&self) -> &BBox {
+        &self.bbox
+    }
+
+    /// Build parameters.
+    pub fn config(&self) -> &QuadTreeConfig {
+        &self.config
+    }
+
+    /// Total node count (internal + leaves).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Node accessor.
+    ///
+    /// # Panics
+    /// Panics on an id from a different tree.
+    pub fn node(&self, id: NodeId) -> &QuadNode {
+        &self.nodes[id.0]
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Iterates over every node.
+    pub fn iter(&self) -> impl Iterator<Item = &QuadNode> {
+        self.nodes.iter()
+    }
+
+    /// Ids of all leaf tiles, in arena order.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_leaf())
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Maximum depth present in the tree.
+    pub fn height(&self) -> usize {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0) + 1
+    }
+
+    /// Descends from the root to the leaf tile containing `p`.
+    ///
+    /// Points outside the region are clamped onto it first, so every point
+    /// maps to exactly one leaf.
+    pub fn leaf_for(&self, p: &GeoPoint) -> NodeId {
+        let eps_lat = self.bbox.lat_span() * 1e-9;
+        let eps_lon = self.bbox.lon_span() * 1e-9;
+        let c = self.bbox.clamp(p);
+        let q = GeoPoint {
+            lat: c.lat.min(self.bbox.max_lat - eps_lat),
+            lon: c.lon.min(self.bbox.max_lon - eps_lon),
+        };
+        let mut cur = NodeId(0);
+        loop {
+            match self.nodes[cur.0].children {
+                None => return cur,
+                Some(children) => {
+                    let quad = self.nodes[cur.0].bbox.quadrant_of(&q) as usize;
+                    cur = children[quad];
+                }
+            }
+        }
+    }
+
+    /// Path of node ids from the root down to `id` (inclusive).
+    pub fn path_to_root(&self, id: NodeId) -> Vec<NodeId> {
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.nodes[cur.0].parent {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// The minimal sub-tree covering the given leaves (paper Sec. II-B
+    /// step 1): the union of root-to-leaf paths, returned as a sorted,
+    /// deduplicated id list. Internal nodes appear so `branch` edges can be
+    /// reconstructed, and no smaller subtree covers the same leaves.
+    pub fn minimal_subtree(&self, leaf_ids: &[NodeId]) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = leaf_ids
+            .iter()
+            .flat_map(|&l| self.path_to_root(l))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// All (parent, child) pairs within a node subset — the `branch` edges
+    /// of the QR-P graph.
+    pub fn branch_edges_within(&self, subset: &[NodeId]) -> Vec<(NodeId, NodeId)> {
+        let set: std::collections::HashSet<NodeId> = subset.iter().copied().collect();
+        let mut edges = Vec::new();
+        for &id in subset {
+            if let Some(parent) = self.nodes[id.0].parent {
+                if set.contains(&parent) {
+                    edges.push((parent, id));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Histogram of leaf POI counts — used to demonstrate the uniform
+    /// dispersion property the paper argues for (Sec. II-A discussion).
+    pub fn leaf_occupancy(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_leaf())
+            .map(|n| n.points.len())
+            .collect()
+    }
+
+    /// Range query: indices of all points (from the build-time slice)
+    /// whose location lies inside `query`, found by pruning subtrees whose
+    /// bounding boxes miss the query rectangle.
+    ///
+    /// `points` must be the same slice the tree was built from.
+    pub fn range_query(&self, query: &BBox, points: &[GeoPoint]) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![NodeId(0)];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id.0];
+            if !node.bbox.touches(query) {
+                continue;
+            }
+            match node.children {
+                Some(children) => stack.extend(children),
+                None => {
+                    for &pi in &node.points {
+                        if query.contains_closed(&points[pi]) {
+                            out.push(pi);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Nearest point to `query` by best-first search with bounding-box
+    /// distance pruning. Returns `(point_index, distance_km)`; `None` on
+    /// an empty tree.
+    ///
+    /// `points` must be the same slice the tree was built from.
+    pub fn nearest(&self, query: &GeoPoint, points: &[GeoPoint]) -> Option<(usize, f64)> {
+        use std::cmp::Ordering;
+        use std::collections::BinaryHeap;
+
+        /// Min-distance from a point to a bbox, km (0 when inside).
+        fn bbox_distance_km(b: &BBox, p: &GeoPoint) -> f64 {
+            let clamped = b.clamp(p);
+            p.equirectangular_km(&clamped)
+        }
+
+        #[derive(PartialEq)]
+        struct Entry(f64, NodeId);
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> Ordering {
+                other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
+            }
+        }
+
+        let mut best: Option<(usize, f64)> = None;
+        let mut heap = BinaryHeap::new();
+        heap.push(Entry(bbox_distance_km(&self.nodes[0].bbox, query), NodeId(0)));
+        while let Some(Entry(lower_bound, id)) = heap.pop() {
+            if let Some((_, d)) = best {
+                if lower_bound >= d {
+                    break; // no remaining subtree can improve
+                }
+            }
+            let node = &self.nodes[id.0];
+            match node.children {
+                Some(children) => {
+                    for c in children {
+                        heap.push(Entry(bbox_distance_km(&self.nodes[c.0].bbox, query), c));
+                    }
+                }
+                None => {
+                    for &pi in &node.points {
+                        let d = query.equirectangular_km(&points[pi]);
+                        if best.is_none_or(|(_, bd)| d < bd) {
+                            best = Some((pi, d));
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn region() -> BBox {
+        BBox::new(0.0, 0.0, 1.0, 1.0)
+    }
+
+    fn random_points(n: usize, seed: u64) -> Vec<GeoPoint> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| GeoPoint::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn single_node_when_under_capacity() {
+        let pts = random_points(5, 1);
+        let t = QuadTree::build(
+            region(),
+            &pts,
+            QuadTreeConfig {
+                max_depth: 8,
+                leaf_capacity: 10,
+            },
+        );
+        assert_eq!(t.num_nodes(), 1);
+        assert!(t.node(t.root()).is_leaf());
+        assert_eq!(t.node(t.root()).points.len(), 5);
+    }
+
+    #[test]
+    fn splits_when_over_capacity() {
+        let pts = random_points(100, 2);
+        let t = QuadTree::build(
+            region(),
+            &pts,
+            QuadTreeConfig {
+                max_depth: 8,
+                leaf_capacity: 10,
+            },
+        );
+        assert!(t.num_nodes() > 1);
+        for leaf in t.leaves() {
+            let n = t.node(leaf);
+            assert!(
+                n.points.len() <= 10 || n.depth + 1 == 8,
+                "leaf over capacity below the depth cap"
+            );
+        }
+    }
+
+    #[test]
+    fn every_point_lands_in_exactly_one_leaf() {
+        let pts = random_points(500, 3);
+        let t = QuadTree::build(
+            region(),
+            &pts,
+            QuadTreeConfig {
+                max_depth: 7,
+                leaf_capacity: 8,
+            },
+        );
+        let mut seen = vec![0usize; pts.len()];
+        for leaf in t.leaves() {
+            for &pi in &t.node(leaf).points {
+                seen[pi] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "point ownership not a partition");
+    }
+
+    #[test]
+    fn leaf_for_agrees_with_ownership() {
+        let pts = random_points(200, 4);
+        let t = QuadTree::build(
+            region(),
+            &pts,
+            QuadTreeConfig {
+                max_depth: 6,
+                leaf_capacity: 5,
+            },
+        );
+        for (i, p) in pts.iter().enumerate() {
+            let leaf = t.leaf_for(p);
+            assert!(
+                t.node(leaf).points.contains(&i),
+                "leaf_for disagreed with build ownership for point {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_cap_is_respected() {
+        // All points identical → would split forever without the cap.
+        let pts = vec![GeoPoint::new(0.5, 0.5); 50];
+        let t = QuadTree::build(
+            region(),
+            &pts,
+            QuadTreeConfig {
+                max_depth: 4,
+                leaf_capacity: 1,
+            },
+        );
+        assert!(t.height() <= 4);
+    }
+
+    #[test]
+    fn leaves_tile_the_region() {
+        let pts = random_points(300, 5);
+        let t = QuadTree::build(region(), &pts, QuadTreeConfig::default());
+        let total_area: f64 = t
+            .leaves()
+            .iter()
+            .map(|&l| {
+                let b = t.node(l).bbox;
+                b.lat_span() * b.lon_span()
+            })
+            .sum();
+        assert!((total_area - 1.0).abs() < 1e-9, "leaf areas sum to {total_area}");
+    }
+
+    #[test]
+    fn path_to_root_starts_at_root() {
+        let pts = random_points(200, 6);
+        let t = QuadTree::build(
+            region(),
+            &pts,
+            QuadTreeConfig {
+                max_depth: 6,
+                leaf_capacity: 5,
+            },
+        );
+        let leaf = *t.leaves().last().expect("has leaves");
+        let path = t.path_to_root(leaf);
+        assert_eq!(path[0], t.root());
+        assert_eq!(*path.last().expect("non-empty"), leaf);
+        for w in path.windows(2) {
+            assert_eq!(t.node(w[1]).parent, Some(w[0]));
+        }
+    }
+
+    #[test]
+    fn minimal_subtree_covers_and_is_minimal() {
+        let pts = random_points(400, 7);
+        let t = QuadTree::build(
+            region(),
+            &pts,
+            QuadTreeConfig {
+                max_depth: 6,
+                leaf_capacity: 10,
+            },
+        );
+        let leaves = t.leaves();
+        let chosen = [leaves[0], leaves[leaves.len() / 2], leaves[leaves.len() - 1]];
+        let sub = t.minimal_subtree(&chosen);
+        // Every chosen leaf present with its full ancestry.
+        for &l in &chosen {
+            for anc in t.path_to_root(l) {
+                assert!(sub.contains(&anc));
+            }
+        }
+        // Minimality: every node in the subtree lies on a path to a chosen leaf.
+        for &id in &sub {
+            let on_path = chosen.iter().any(|&l| t.path_to_root(l).contains(&id));
+            assert!(on_path, "node {id:?} is not on any chosen path");
+        }
+    }
+
+    #[test]
+    fn branch_edges_connect_subtree() {
+        let pts = random_points(400, 8);
+        let t = QuadTree::build(
+            region(),
+            &pts,
+            QuadTreeConfig {
+                max_depth: 6,
+                leaf_capacity: 10,
+            },
+        );
+        let leaves = t.leaves();
+        let sub = t.minimal_subtree(&leaves[..3.min(leaves.len())]);
+        let edges = t.branch_edges_within(&sub);
+        // A tree on n nodes has n − 1 edges.
+        assert_eq!(edges.len(), sub.len() - 1);
+    }
+
+    #[test]
+    fn uniform_tree_is_a_grid() {
+        let pts = random_points(50, 10);
+        let t = QuadTree::build_uniform(region(), &pts, 3);
+        // Depth 3 → 4×4 = 16 leaves, 1 + 4 + 16 = 21 nodes.
+        assert_eq!(t.leaves().len(), 16);
+        assert_eq!(t.num_nodes(), 21);
+        assert_eq!(t.height(), 3);
+        // All leaves the same size.
+        let areas: Vec<f64> = t
+            .leaves()
+            .iter()
+            .map(|&l| {
+                let b = t.node(l).bbox;
+                b.lat_span() * b.lon_span()
+            })
+            .collect();
+        for a in &areas {
+            assert!((a - areas[0]).abs() < 1e-12);
+        }
+        // Points all assigned.
+        let total: usize = t.leaves().iter().map(|&l| t.node(l).points.len()).sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn occupancy_more_uniform_than_grid() {
+        // Clustered points: quad-tree leaf occupancy variance should be far
+        // below a coarse fixed grid's — this is the paper's motivation for
+        // the quad-tree (challenge 2).
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut pts = Vec::new();
+        for _ in 0..900 {
+            // Dense cluster near (0.2, 0.2).
+            pts.push(GeoPoint::new(
+                (0.2 + rng.gen_range(-0.05..0.05f64)).clamp(0.0, 0.999),
+                (0.2 + rng.gen_range(-0.05..0.05f64)).clamp(0.0, 0.999),
+            ));
+        }
+        for _ in 0..100 {
+            pts.push(GeoPoint::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)));
+        }
+        let t = QuadTree::build(
+            region(),
+            &pts,
+            QuadTreeConfig {
+                max_depth: 9,
+                leaf_capacity: 50,
+            },
+        );
+        let occ = t.leaf_occupancy();
+        let max = *occ.iter().max().expect("leaves");
+        assert!(max <= 50, "quad-tree failed to keep tiles under capacity: {max}");
+    }
+}

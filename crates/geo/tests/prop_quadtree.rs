@@ -1,0 +1,156 @@
+//! Property tests for the region quad-tree invariants the paper relies on:
+//! leaves partition the region, every POI lives in exactly one leaf, and
+//! the Ω/D bounds hold.
+
+use proptest::prelude::*;
+use tspn_geo::{BBox, GeoPoint, GridIndex, QuadTree, QuadTreeConfig};
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<GeoPoint>> {
+    proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..max)
+        .prop_map(|v| v.into_iter().map(|(a, b)| GeoPoint::new(a, b)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn points_partitioned_exactly_once(
+        pts in arb_points(300),
+        cap in 1usize..40,
+        depth in 2usize..9,
+    ) {
+        let bbox = BBox::new(0.0, 0.0, 1.0, 1.0);
+        let tree = QuadTree::build(bbox, &pts, QuadTreeConfig { max_depth: depth, leaf_capacity: cap });
+        let mut owners = vec![0usize; pts.len()];
+        for leaf in tree.leaves() {
+            for &pi in &tree.node(leaf).points {
+                owners[pi] += 1;
+            }
+        }
+        prop_assert!(owners.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn capacity_or_depth_bound_holds(
+        pts in arb_points(300),
+        cap in 1usize..30,
+        depth in 2usize..8,
+    ) {
+        let bbox = BBox::new(0.0, 0.0, 1.0, 1.0);
+        let tree = QuadTree::build(bbox, &pts, QuadTreeConfig { max_depth: depth, leaf_capacity: cap });
+        prop_assert!(tree.height() <= depth);
+        for leaf in tree.leaves() {
+            let n = tree.node(leaf);
+            prop_assert!(
+                n.points.len() <= cap || n.depth + 1 == depth,
+                "leaf at depth {} holds {} > cap {}", n.depth, n.points.len(), cap
+            );
+        }
+    }
+
+    #[test]
+    fn leaf_areas_sum_to_region(pts in arb_points(200)) {
+        let bbox = BBox::new(0.0, 0.0, 1.0, 1.0);
+        let tree = QuadTree::build(bbox, &pts, QuadTreeConfig { max_depth: 7, leaf_capacity: 5 });
+        let area: f64 = tree.leaves().iter().map(|&l| {
+            let b = tree.node(l).bbox;
+            b.lat_span() * b.lon_span()
+        }).sum();
+        prop_assert!((area - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leaf_for_is_total_and_consistent(
+        pts in arb_points(150),
+        query in (0.0f64..1.0, 0.0f64..1.0),
+    ) {
+        let bbox = BBox::new(0.0, 0.0, 1.0, 1.0);
+        let tree = QuadTree::build(bbox, &pts, QuadTreeConfig { max_depth: 7, leaf_capacity: 5 });
+        let q = GeoPoint::new(query.0, query.1);
+        let leaf = tree.leaf_for(&q);
+        prop_assert!(tree.node(leaf).is_leaf());
+        prop_assert!(tree.node(leaf).bbox.contains_closed(&q));
+    }
+
+    #[test]
+    fn minimal_subtree_is_superset_closed_under_parents(pts in arb_points(200)) {
+        let bbox = BBox::new(0.0, 0.0, 1.0, 1.0);
+        let tree = QuadTree::build(bbox, &pts, QuadTreeConfig { max_depth: 7, leaf_capacity: 5 });
+        let leaves = tree.leaves();
+        let chosen: Vec<_> = leaves.iter().step_by(3).copied().collect();
+        let sub = tree.minimal_subtree(&chosen);
+        for &id in &sub {
+            if let Some(parent) = tree.node(id).parent {
+                prop_assert!(sub.contains(&parent), "subtree not parent-closed");
+            }
+        }
+        // Branch edges form a tree on the subset.
+        let edges = tree.branch_edges_within(&sub);
+        prop_assert_eq!(edges.len(), sub.len().saturating_sub(1));
+    }
+
+    #[test]
+    fn range_query_matches_linear_scan(
+        pts in arb_points(200),
+        window in (0.0f64..0.8, 0.0f64..0.8, 0.05f64..0.4, 0.05f64..0.4),
+    ) {
+        let bbox = BBox::new(0.0, 0.0, 1.0, 1.0);
+        let tree = QuadTree::build(bbox, &pts, QuadTreeConfig { max_depth: 7, leaf_capacity: 6 });
+        let q = BBox::new(
+            window.0,
+            window.1,
+            (window.0 + window.2).min(1.0),
+            (window.1 + window.3).min(1.0),
+        );
+        let mut expected: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.contains_closed(p))
+            .map(|(i, _)| i)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(tree.range_query(&q, &pts), expected);
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan(
+        pts in arb_points(150),
+        query in (0.0f64..1.0, 0.0f64..1.0),
+    ) {
+        let bbox = BBox::new(0.0, 0.0, 1.0, 1.0);
+        let tree = QuadTree::build(bbox, &pts, QuadTreeConfig { max_depth: 7, leaf_capacity: 5 });
+        let q = GeoPoint::new(query.0, query.1);
+        let (found, d) = tree.nearest(&q, &pts).expect("non-empty");
+        let brute = pts
+            .iter()
+            .map(|p| q.equirectangular_km(p))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((d - brute).abs() < 1e-9, "tree {d} vs brute {brute}");
+        prop_assert!((q.equirectangular_km(&pts[found]) - brute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadtree_peak_occupancy_never_worse_than_matched_grid(
+        cluster_n in 50usize..200,
+        spread_n in 10usize..50,
+    ) {
+        // Clustered workload: quad-tree adapts granularity, fixed grid
+        // cannot — this is the paper's challenge-2 claim quantified.
+        let mut pts = Vec::new();
+        for i in 0..cluster_n {
+            let t = i as f64 / cluster_n as f64;
+            pts.push(GeoPoint::new(0.1 + 0.05 * t, 0.1 + 0.05 * ((t * 7.0) % 1.0)));
+        }
+        for i in 0..spread_n {
+            let t = i as f64 / spread_n as f64;
+            pts.push(GeoPoint::new(t.min(0.999), ((t * 3.7) % 1.0).min(0.999)));
+        }
+        let bbox = BBox::new(0.0, 0.0, 1.0, 1.0);
+        let tree = QuadTree::build(bbox, &pts, QuadTreeConfig { max_depth: 9, leaf_capacity: 10 });
+        let grid = GridIndex::new(bbox, 4); // 16 cells ≈ coarse grid baseline
+        let tree_max = tree.leaf_occupancy().into_iter().max().unwrap_or(0);
+        let grid_max = grid.occupancy(&pts).into_iter().max().unwrap_or(0);
+        prop_assert!(tree_max <= grid_max,
+            "quad-tree peak {tree_max} worse than grid peak {grid_max}");
+    }
+}

@@ -1,0 +1,21 @@
+//! # tspn-graph
+//!
+//! The QR-P graph and its heterogeneous graph attention encoder — the
+//! historical-knowledge machinery of TSPN-RA (paper Secs. II-B and IV-C).
+//!
+//! * [`build_qrp`] constructs `G_S` from a quad-tree, road-derived tile
+//!   adjacency, and a visit sequence: the minimal sub-tree's tile nodes,
+//!   the trajectory's POI nodes, and `branch` / `road` / `contain` edges,
+//! * [`HgatLayer`] / [`Hgat`] implement Eq. 6: per-edge-type attention
+//!   aggregation producing tile-level (`H_T◁`) and POI-level (`H_P◁`)
+//!   historical knowledge embeddings,
+//! * [`QrpOptions`] exposes the edge-family switches for the Table IV
+//!   fine-grained ablations.
+
+#![warn(missing_docs)]
+
+mod hgat;
+mod qrp;
+
+pub use hgat::{Hgat, HgatLayer};
+pub use qrp::{build_qrp, EdgeType, QrpGraph, QrpNode, QrpOptions};

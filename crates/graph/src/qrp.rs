@@ -1,0 +1,329 @@
+//! QR-P graph construction (paper Sec. II-B).
+//!
+//! Given a quad-tree `Q`, the road network's tile adjacency, and a user
+//! trajectory `S`, the QR-P graph `G_S = ⟨V_S, E_S, Φ_S, Ψ_S⟩` contains
+//!
+//! * **tile** nodes — the minimal sub-tree `Q_S` whose leaves cover every
+//!   POI of `S`,
+//! * **POI** nodes — the distinct POIs of `S`,
+//! * **branch** edges — parent/child pairs of `Q_S`,
+//! * **road** edges — leaf pairs of `Q_S` directly linked by the road
+//!   network,
+//! * **contain** edges — leaf tile → the POIs lying inside it.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+use tspn_data::{LbsnDataset, PoiId, Visit};
+use tspn_geo::{NodeId, QuadTree};
+
+/// A vertex of the QR-P graph (`Φ_S` assigns the type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum QrpNode {
+    /// A quad-tree tile node.
+    Tile(NodeId),
+    /// A POI visited in the trajectory.
+    Poi(PoiId),
+}
+
+/// Edge categories (`Ψ_S`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeType {
+    /// Quad-tree parent ↔ child.
+    Branch = 0,
+    /// Road-connected leaf tiles.
+    Road = 1,
+    /// Leaf tile ↔ contained POI.
+    Contain = 2,
+}
+
+impl EdgeType {
+    /// All edge types, in index order.
+    pub const ALL: [EdgeType; 3] = [EdgeType::Branch, EdgeType::Road, EdgeType::Contain];
+}
+
+/// Which edge families to include — the knobs for the paper's fine-grained
+/// ablations ("QR-P with no Road" / "no Contain", Table IV).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QrpOptions {
+    /// Include road edges.
+    pub road_edges: bool,
+    /// Include contain edges.
+    pub contain_edges: bool,
+}
+
+impl Default for QrpOptions {
+    fn default() -> Self {
+        QrpOptions {
+            road_edges: true,
+            contain_edges: true,
+        }
+    }
+}
+
+/// The heterogeneous QR-P graph with per-type adjacency lists
+/// (undirected: each edge is stored in both directions).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QrpGraph {
+    /// Vertices; index into this table is the node's dense id.
+    pub nodes: Vec<QrpNode>,
+    index: HashMap<QrpNode, usize>,
+    /// `adj[edge_type][node] → neighbour node indices`.
+    adj: Vec<Vec<Vec<usize>>>,
+    edge_counts: [usize; 3],
+}
+
+impl QrpGraph {
+    fn new(nodes: Vec<QrpNode>) -> Self {
+        let index = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i))
+            .collect::<HashMap<_, _>>();
+        let n = nodes.len();
+        QrpGraph {
+            nodes,
+            index,
+            adj: vec![vec![Vec::new(); n]; 3],
+            edge_counts: [0; 3],
+        }
+    }
+
+    fn add_edge(&mut self, ty: EdgeType, a: usize, b: usize) {
+        self.adj[ty as usize][a].push(b);
+        self.adj[ty as usize][b].push(a);
+        self.edge_counts[ty as usize] += 1;
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Undirected edge count of a type.
+    pub fn num_edges(&self, ty: EdgeType) -> usize {
+        self.edge_counts[ty as usize]
+    }
+
+    /// Dense index of a vertex, if present.
+    pub fn index_of(&self, node: QrpNode) -> Option<usize> {
+        self.index.get(&node).copied()
+    }
+
+    /// Neighbours of dense node `i` along `ty` edges.
+    pub fn neighbors(&self, ty: EdgeType, i: usize) -> &[usize] {
+        &self.adj[ty as usize][i]
+    }
+
+    /// Iterator over `(dense_index, node)` of tile vertices.
+    pub fn tile_nodes(&self) -> impl Iterator<Item = (usize, NodeId)> + '_ {
+        self.nodes.iter().enumerate().filter_map(|(i, n)| match n {
+            QrpNode::Tile(t) => Some((i, *t)),
+            QrpNode::Poi(_) => None,
+        })
+    }
+
+    /// Iterator over `(dense_index, poi)` of POI vertices.
+    pub fn poi_nodes(&self) -> impl Iterator<Item = (usize, PoiId)> + '_ {
+        self.nodes.iter().enumerate().filter_map(|(i, n)| match n {
+            QrpNode::Poi(p) => Some((i, *p)),
+            QrpNode::Tile(_) => None,
+        })
+    }
+}
+
+/// Builds the QR-P graph for a visit sequence (the concatenated historical
+/// trajectories, per the paper's phase-1 data extraction).
+pub fn build_qrp(
+    tree: &QuadTree,
+    road_adjacency: &HashSet<(NodeId, NodeId)>,
+    visits: &[Visit],
+    dataset: &LbsnDataset,
+    options: QrpOptions,
+) -> QrpGraph {
+    // Distinct POIs in first-visit order.
+    let mut seen = HashSet::new();
+    let mut pois: Vec<PoiId> = Vec::new();
+    for v in visits {
+        if seen.insert(v.poi) {
+            pois.push(v.poi);
+        }
+    }
+    // Leaf tile of every POI.
+    let poi_leaf: Vec<NodeId> = pois
+        .iter()
+        .map(|&p| tree.leaf_for(&dataset.poi_loc(p)))
+        .collect();
+    let mut leaf_set: Vec<NodeId> = poi_leaf.clone();
+    leaf_set.sort_unstable();
+    leaf_set.dedup();
+    // Step 1: minimal subtree.
+    let subtree = tree.minimal_subtree(&leaf_set);
+    // Vertex table: tiles first, then POIs.
+    let mut nodes: Vec<QrpNode> = subtree.iter().map(|&t| QrpNode::Tile(t)).collect();
+    nodes.extend(pois.iter().map(|&p| QrpNode::Poi(p)));
+    let mut graph = QrpGraph::new(nodes);
+
+    // Branch edges (tree edges of the subtree).
+    for (parent, child) in tree.branch_edges_within(&subtree) {
+        let a = graph.index_of(QrpNode::Tile(parent)).expect("in subtree");
+        let b = graph.index_of(QrpNode::Tile(child)).expect("in subtree");
+        graph.add_edge(EdgeType::Branch, a, b);
+    }
+    // Step 2: road edges between subtree leaves.
+    if options.road_edges {
+        let in_subtree: HashSet<NodeId> = leaf_set.iter().copied().collect();
+        for &(ta, tb) in road_adjacency {
+            if in_subtree.contains(&ta) && in_subtree.contains(&tb) {
+                let a = graph.index_of(QrpNode::Tile(ta)).expect("leaf in graph");
+                let b = graph.index_of(QrpNode::Tile(tb)).expect("leaf in graph");
+                graph.add_edge(EdgeType::Road, a, b);
+            }
+        }
+    }
+    // Step 3: contain edges.
+    if options.contain_edges {
+        for (pi, &poi) in pois.iter().enumerate() {
+            let tile = poi_leaf[pi];
+            let a = graph.index_of(QrpNode::Tile(tile)).expect("leaf in graph");
+            let b = graph.index_of(QrpNode::Poi(poi)).expect("poi in graph");
+            graph.add_edge(EdgeType::Contain, a, b);
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspn_data::presets::nyc_mini;
+    use tspn_data::synth::generate_dataset;
+    use tspn_geo::QuadTreeConfig;
+
+    fn fixture() -> (LbsnDataset, QuadTree, HashSet<(NodeId, NodeId)>, Vec<Visit>) {
+        let mut cfg = nyc_mini(0.15);
+        cfg.days = 12;
+        let (ds, _world) = generate_dataset(cfg);
+        let tree = QuadTree::build(
+            ds.region,
+            &ds.poi_locations(),
+            QuadTreeConfig {
+                max_depth: 6,
+                leaf_capacity: 10,
+            },
+        );
+        // Fabricated road adjacency: link consecutive leaves pairwise.
+        let leaves = tree.leaves();
+        let mut road = HashSet::new();
+        for w in leaves.windows(2) {
+            let (a, b) = (w[0].min(w[1]), w[0].max(w[1]));
+            road.insert((a, b));
+        }
+        // A trajectory: the first user's full history concatenated.
+        let visits: Vec<Visit> = ds.users[0]
+            .trajectories
+            .iter()
+            .flat_map(|t| t.visits.iter().copied())
+            .collect();
+        (ds, tree, road, visits)
+    }
+
+    #[test]
+    fn nodes_cover_distinct_pois_and_subtree() {
+        let (ds, tree, road, visits) = fixture();
+        let g = build_qrp(&tree, &road, &visits, &ds, QrpOptions::default());
+        let distinct: HashSet<PoiId> = visits.iter().map(|v| v.poi).collect();
+        assert_eq!(g.poi_nodes().count(), distinct.len());
+        assert!(g.tile_nodes().count() >= 1);
+        // Every POI node reachable via exactly one contain edge.
+        for (i, _p) in g.poi_nodes() {
+            assert_eq!(g.neighbors(EdgeType::Contain, i).len(), 1);
+        }
+    }
+
+    #[test]
+    fn branch_edges_form_subtree() {
+        let (ds, tree, road, visits) = fixture();
+        let g = build_qrp(&tree, &road, &visits, &ds, QrpOptions::default());
+        let tiles = g.tile_nodes().count();
+        assert_eq!(g.num_edges(EdgeType::Branch), tiles - 1);
+    }
+
+    #[test]
+    fn ablation_flags_remove_edge_families() {
+        let (ds, tree, road, visits) = fixture();
+        let no_road = build_qrp(
+            &tree,
+            &road,
+            &visits,
+            &ds,
+            QrpOptions {
+                road_edges: false,
+                contain_edges: true,
+            },
+        );
+        assert_eq!(no_road.num_edges(EdgeType::Road), 0);
+        assert!(no_road.num_edges(EdgeType::Contain) > 0);
+        let no_contain = build_qrp(
+            &tree,
+            &road,
+            &visits,
+            &ds,
+            QrpOptions {
+                road_edges: true,
+                contain_edges: false,
+            },
+        );
+        assert_eq!(no_contain.num_edges(EdgeType::Contain), 0);
+    }
+
+    #[test]
+    fn contain_edge_matches_poi_location() {
+        let (ds, tree, road, visits) = fixture();
+        let g = build_qrp(&tree, &road, &visits, &ds, QrpOptions::default());
+        for (i, p) in g.poi_nodes() {
+            let tile_idx = g.neighbors(EdgeType::Contain, i)[0];
+            match g.nodes[tile_idx] {
+                QrpNode::Tile(t) => {
+                    assert_eq!(t, tree.leaf_for(&ds.poi_loc(p)), "POI linked to wrong tile")
+                }
+                QrpNode::Poi(_) => panic!("contain edge must reach a tile"),
+            }
+        }
+    }
+
+    #[test]
+    fn road_edges_only_between_graph_leaves() {
+        let (ds, tree, road, visits) = fixture();
+        let g = build_qrp(&tree, &road, &visits, &ds, QrpOptions::default());
+        for (i, t) in g.tile_nodes() {
+            for &j in g.neighbors(EdgeType::Road, i) {
+                match g.nodes[j] {
+                    QrpNode::Tile(o) => {
+                        assert!(tree.node(t).is_leaf());
+                        assert!(tree.node(o).is_leaf());
+                    }
+                    QrpNode::Poi(_) => panic!("road edge to a POI"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trajectory_gives_root_only() {
+        let (ds, tree, road, _) = fixture();
+        let g = build_qrp(&tree, &road, &[], &ds, QrpOptions::default());
+        // No POIs; minimal subtree of no leaves is empty.
+        assert_eq!(g.poi_nodes().count(), 0);
+    }
+
+    #[test]
+    fn repeated_visits_deduplicate() {
+        let (ds, tree, road, visits) = fixture();
+        let doubled: Vec<Visit> = visits.iter().chain(visits.iter()).copied().collect();
+        let a = build_qrp(&tree, &road, &visits, &ds, QrpOptions::default());
+        let b = build_qrp(&tree, &road, &doubled, &ds, QrpOptions::default());
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(EdgeType::Contain), b.num_edges(EdgeType::Contain));
+    }
+}

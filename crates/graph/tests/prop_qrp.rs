@@ -1,0 +1,148 @@
+//! Property tests for QR-P graph construction over randomised trajectories
+//! and road adjacencies.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use tspn_data::{CategoryId, LbsnDataset, Poi, PoiId, UserId, Visit};
+use tspn_geo::{BBox, GeoPoint, NodeId, QuadTree, QuadTreeConfig};
+use tspn_graph::{build_qrp, EdgeType, QrpNode, QrpOptions};
+
+fn dataset_with_pois(locs: &[(f64, f64)]) -> LbsnDataset {
+    let region = BBox::new(0.0, 0.0, 1.0, 1.0);
+    let pois: Vec<Poi> = locs
+        .iter()
+        .enumerate()
+        .map(|(i, &(lat, lon))| Poi {
+            id: PoiId(i),
+            loc: GeoPoint::new(lat, lon),
+            cate: CategoryId(i % 5),
+        })
+        .collect();
+    LbsnDataset {
+        name: "prop".into(),
+        region,
+        pois,
+        num_categories: 5,
+        users: vec![tspn_data::UserHistory {
+            user: UserId(0),
+            trajectories: Vec::new(),
+        }],
+    }
+}
+
+fn arb_world() -> impl Strategy<Value = (Vec<(f64, f64)>, Vec<usize>, u64)> {
+    (
+        proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 5..60),
+        proptest::collection::vec(0usize..1000, 2..40),
+        any::<u64>(),
+    )
+        .prop_map(|(locs, visit_raw, seed)| (locs, visit_raw, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn qrp_structure_invariants((locs, visit_raw, seed) in arb_world()) {
+        let ds = dataset_with_pois(&locs);
+        let tree = QuadTree::build(
+            ds.region,
+            &ds.poi_locations(),
+            QuadTreeConfig { max_depth: 6, leaf_capacity: 4 },
+        );
+        // Random road adjacency among leaves.
+        let leaves = tree.leaves();
+        let mut road: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let mut x = seed | 1;
+        for _ in 0..leaves.len() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = leaves[(x as usize >> 3) % leaves.len()];
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = leaves[(x as usize >> 3) % leaves.len()];
+            if a != b {
+                road.insert((a.min(b), a.max(b)));
+            }
+        }
+        let visits: Vec<Visit> = visit_raw
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| Visit { poi: PoiId(r % locs.len()), time: i as i64 * 3600 })
+            .collect();
+        let g = build_qrp(&tree, &road, &visits, &ds, QrpOptions::default());
+
+        // 1. POI nodes = distinct visited POIs.
+        let distinct: HashSet<PoiId> = visits.iter().map(|v| v.poi).collect();
+        prop_assert_eq!(g.poi_nodes().count(), distinct.len());
+
+        // 2. Exactly one contain edge per POI node, landing on its leaf.
+        for (i, p) in g.poi_nodes() {
+            let n = g.neighbors(EdgeType::Contain, i);
+            prop_assert_eq!(n.len(), 1);
+            match g.nodes[n[0]] {
+                QrpNode::Tile(t) => {
+                    prop_assert_eq!(t, tree.leaf_for(&ds.poi_loc(p)));
+                }
+                QrpNode::Poi(_) => prop_assert!(false, "contain edge must reach a tile"),
+            }
+        }
+
+        // 3. Branch edges form a spanning tree of the tile nodes.
+        let tiles = g.tile_nodes().count();
+        prop_assert_eq!(g.num_edges(EdgeType::Branch), tiles.saturating_sub(1));
+
+        // 4. Road edges only between leaf tiles that are road-adjacent.
+        for (i, t) in g.tile_nodes() {
+            for &j in g.neighbors(EdgeType::Road, i) {
+                match g.nodes[j] {
+                    QrpNode::Tile(o) => {
+                        let key = (t.min(o), t.max(o));
+                        prop_assert!(road.contains(&key), "road edge not in adjacency");
+                    }
+                    QrpNode::Poi(_) => prop_assert!(false, "road edge to POI"),
+                }
+            }
+        }
+
+        // 5. Adjacency symmetry for every edge type.
+        for ty in EdgeType::ALL {
+            for i in 0..g.num_nodes() {
+                for &j in g.neighbors(ty, i) {
+                    prop_assert!(
+                        g.neighbors(ty, j).contains(&i),
+                        "edge {:?} {}→{} not symmetric", ty, i, j
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn visit_order_does_not_change_structure((locs, visit_raw, _seed) in arb_world()) {
+        let ds = dataset_with_pois(&locs);
+        let tree = QuadTree::build(
+            ds.region,
+            &ds.poi_locations(),
+            QuadTreeConfig { max_depth: 5, leaf_capacity: 4 },
+        );
+        let road = HashSet::new();
+        let visits: Vec<Visit> = visit_raw
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| Visit { poi: PoiId(r % locs.len()), time: i as i64 })
+            .collect();
+        let mut reversed = visits.clone();
+        reversed.reverse();
+        for (i, v) in reversed.iter_mut().enumerate() {
+            v.time = i as i64; // keep times sorted
+        }
+        let a = build_qrp(&tree, &road, &visits, &ds, QrpOptions::default());
+        let b = build_qrp(&tree, &road, &reversed, &ds, QrpOptions::default());
+        prop_assert_eq!(a.num_nodes(), b.num_nodes());
+        prop_assert_eq!(
+            a.num_edges(EdgeType::Contain),
+            b.num_edges(EdgeType::Contain)
+        );
+        prop_assert_eq!(a.num_edges(EdgeType::Branch), b.num_edges(EdgeType::Branch));
+    }
+}

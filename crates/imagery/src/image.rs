@@ -1,0 +1,252 @@
+//! RGB tile images: the in-memory representation of remote-sensing tiles.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// A square RGB image (row-major, 3 bytes per pixel).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileImage {
+    /// Side length in pixels.
+    pub size: usize,
+    /// Pixel buffer, `size * size * 3` bytes.
+    pub pixels: Vec<u8>,
+}
+
+impl TileImage {
+    /// All-black image.
+    pub fn black(size: usize) -> Self {
+        TileImage {
+            size,
+            pixels: vec![0; size * size * 3],
+        }
+    }
+
+    /// Builds from a pixel buffer.
+    ///
+    /// # Panics
+    /// Panics when the buffer length is not `size² · 3`.
+    pub fn from_pixels(size: usize, pixels: Vec<u8>) -> Self {
+        assert_eq!(
+            pixels.len(),
+            size * size * 3,
+            "pixel buffer length {} does not match {size}×{size}×3",
+            pixels.len()
+        );
+        TileImage { size, pixels }
+    }
+
+    /// Pixel accessor.
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        let i = (y * self.size + x) * 3;
+        [self.pixels[i], self.pixels[i + 1], self.pixels[i + 2]]
+    }
+
+    /// Pixel mutator.
+    pub fn set(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        let i = (y * self.size + x) * 3;
+        self.pixels[i..i + 3].copy_from_slice(&rgb);
+    }
+
+    /// Converts to channel-first normalised floats `[3, size, size]` in
+    /// `[0, 1]` — the layout `tspn-core`'s CNN embedding module consumes.
+    pub fn to_chw_f32(&self) -> Vec<f32> {
+        let s = self.size;
+        let mut out = vec![0.0f32; 3 * s * s];
+        for y in 0..s {
+            for x in 0..s {
+                let px = self.get(x, y);
+                for c in 0..3 {
+                    out[c * s * s + y * s + x] = px[c] as f32 / 255.0;
+                }
+            }
+        }
+        out
+    }
+
+    /// Mean RGB value (useful for cheap image statistics in tests).
+    pub fn mean_rgb(&self) -> [f32; 3] {
+        let mut acc = [0.0f64; 3];
+        for chunk in self.pixels.chunks_exact(3) {
+            for c in 0..3 {
+                acc[c] += chunk[c] as f64;
+            }
+        }
+        let n = (self.size * self.size) as f64;
+        [
+            (acc[0] / n) as f32,
+            (acc[1] / n) as f32,
+            (acc[2] / n) as f32,
+        ]
+    }
+
+    /// Box-filter downsample by an integer factor (e.g. paper-scale 256 →
+    /// default training scale 64 with factor 4).
+    pub fn downsample(&self, factor: usize) -> TileImage {
+        assert!(factor >= 1 && self.size.is_multiple_of(factor), "bad downsample factor");
+        let ns = self.size / factor;
+        let mut out = TileImage::black(ns);
+        for y in 0..ns {
+            for x in 0..ns {
+                let mut acc = [0u32; 3];
+                for dy in 0..factor {
+                    for dx in 0..factor {
+                        let p = self.get(x * factor + dx, y * factor + dy);
+                        for c in 0..3 {
+                            acc[c] += p[c] as u32;
+                        }
+                    }
+                }
+                let n = (factor * factor) as u32;
+                out.set(x, y, [(acc[0] / n) as u8, (acc[1] / n) as u8, (acc[2] / n) as u8]);
+            }
+        }
+        out
+    }
+
+    /// Zero-copy view of the raw bytes (for storage / hashing).
+    pub fn as_bytes(&self) -> Bytes {
+        Bytes::copy_from_slice(&self.pixels)
+    }
+
+    /// Writes the image as binary PPM (P6) — viewable with any image
+    /// viewer, no codec dependencies.
+    pub fn write_ppm(&self, mut out: impl std::io::Write) -> std::io::Result<()> {
+        writeln!(out, "P6\n{} {}\n255", self.size, self.size)?;
+        out.write_all(&self.pixels)?;
+        out.flush()
+    }
+
+    /// Reads a binary PPM (P6) produced by [`TileImage::write_ppm`].
+    ///
+    /// # Errors
+    /// Returns an error for non-P6 files, non-square sizes or truncated
+    /// pixel data.
+    pub fn read_ppm(mut input: impl std::io::Read) -> std::io::Result<TileImage> {
+        let mut raw = Vec::new();
+        input.read_to_end(&mut raw)?;
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+
+        // Four whitespace-separated header tokens: magic, width, height,
+        // max value — then exactly one whitespace byte before the pixels.
+        let mut idx = 0usize;
+        let mut tokens: Vec<String> = Vec::with_capacity(4);
+        while tokens.len() < 4 {
+            while idx < raw.len() && raw[idx].is_ascii_whitespace() {
+                idx += 1;
+            }
+            let start = idx;
+            while idx < raw.len() && !raw[idx].is_ascii_whitespace() {
+                idx += 1;
+            }
+            if start == idx {
+                return Err(bad("truncated header"));
+            }
+            tokens.push(
+                std::str::from_utf8(&raw[start..idx])
+                    .map_err(|_| bad("non-UTF8 header"))?
+                    .to_string(),
+            );
+        }
+        idx += 1; // the single whitespace after the max value
+        if tokens[0] != "P6" {
+            return Err(bad("not a P6 PPM"));
+        }
+        let w: usize = tokens[1].parse().map_err(|_| bad("bad width"))?;
+        let h: usize = tokens[2].parse().map_err(|_| bad("bad height"))?;
+        if w != h {
+            return Err(bad("tile images must be square"));
+        }
+        if raw.len() < idx + w * h * 3 {
+            return Err(bad("truncated pixel data"));
+        }
+        Ok(TileImage::from_pixels(w, raw[idx..idx + w * h * 3].to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn black_is_zeroed() {
+        let img = TileImage::black(4);
+        assert_eq!(img.pixels.len(), 48);
+        assert_eq!(img.get(2, 3), [0, 0, 0]);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut img = TileImage::black(8);
+        img.set(3, 5, [10, 20, 30]);
+        assert_eq!(img.get(3, 5), [10, 20, 30]);
+        assert_eq!(img.get(5, 3), [0, 0, 0]);
+    }
+
+    #[test]
+    fn chw_layout_and_normalisation() {
+        let mut img = TileImage::black(2);
+        img.set(1, 0, [255, 0, 127]);
+        let f = img.to_chw_f32();
+        assert_eq!(f.len(), 12);
+        // Pixel (x=1, y=0) is index 1 in each 2×2 channel plane.
+        assert!((f[1] - 1.0).abs() < 1e-6); // R plane
+        assert!((f[4 + 1] - 0.0).abs() < 1e-6); // G plane
+        assert!((f[8 + 1] - 127.0 / 255.0).abs() < 1e-6); // B plane
+    }
+
+    #[test]
+    fn mean_rgb_average() {
+        let mut img = TileImage::black(2);
+        for y in 0..2 {
+            for x in 0..2 {
+                img.set(x, y, [100, 0, 200]);
+            }
+        }
+        let m = img.mean_rgb();
+        assert_eq!(m, [100.0, 0.0, 200.0]);
+    }
+
+    #[test]
+    fn downsample_averages_blocks() {
+        let mut img = TileImage::black(4);
+        // Top-left 2×2 block all at 100.
+        for y in 0..2 {
+            for x in 0..2 {
+                img.set(x, y, [100, 100, 100]);
+            }
+        }
+        let half = img.downsample(2);
+        assert_eq!(half.size, 2);
+        assert_eq!(half.get(0, 0), [100, 100, 100]);
+        assert_eq!(half.get(1, 1), [0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_pixels_validates_length() {
+        TileImage::from_pixels(2, vec![0; 5]);
+    }
+
+    #[test]
+    fn ppm_roundtrip() {
+        let mut img = TileImage::black(4);
+        for y in 0..4 {
+            for x in 0..4 {
+                img.set(x, y, [(x * 60) as u8, (y * 60) as u8, 200]);
+            }
+        }
+        let mut buf = Vec::new();
+        img.write_ppm(&mut buf).expect("write");
+        assert!(buf.starts_with(b"P6\n4 4\n255\n"));
+        let back = TileImage::read_ppm(&buf[..]).expect("read");
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn ppm_rejects_garbage() {
+        assert!(TileImage::read_ppm(&b"P5\n2 2\n255\nxxxx"[..]).is_err());
+        assert!(TileImage::read_ppm(&b"P6\n2 3\n255\n"[..]).is_err()); // non-square
+        assert!(TileImage::read_ppm(&b"P6\n2 2\n255\nxy"[..]).is_err()); // truncated
+        assert!(TileImage::read_ppm(&b""[..]).is_err());
+    }
+}

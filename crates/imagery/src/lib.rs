@@ -1,0 +1,25 @@
+//! # tspn-imagery
+//!
+//! Synthetic remote-sensing imagery — the stand-in for the Google-Maps
+//! satellite tiles the paper crops per quad-tree tile (Sec. II-C, III).
+//!
+//! * [`TileImage`] — square RGB images with CHW float export for the CNN
+//!   embedding module `Me1`,
+//! * [`TileRenderer`] — renders a tile's bounding box from the shared
+//!   [`tspn_world::World`] land-use/road fields, so coastlines, parks and
+//!   district structure are visible in pixels exactly as they are in the
+//!   underlying "geography",
+//! * [`ImageryDataset`] — one image per quad-tree leaf (`D_I` in the
+//!   paper), with deterministic noise injection for the Fig. 12b study.
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod image;
+mod noise_injection;
+mod render;
+
+pub use dataset::ImageryDataset;
+pub use image::TileImage;
+pub use noise_injection::{corrupt_pixels, gaussian_noise, pixel_diff_fraction};
+pub use render::TileRenderer;

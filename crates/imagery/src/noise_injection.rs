@@ -1,0 +1,115 @@
+//! Imagery corruption for the robustness study.
+//!
+//! The paper's case study (Fig. 12b) adds 20 % noise to the satellite
+//! imagery and shows the coastline signal collapse. This module provides
+//! the same perturbations.
+
+use rand::Rng;
+
+use crate::image::TileImage;
+
+/// Replaces `fraction` of the pixels with uniform random colours
+/// (salt-and-pepper style, matching "20 % noise" in the paper).
+pub fn corrupt_pixels(img: &TileImage, fraction: f64, rng: &mut impl Rng) -> TileImage {
+    assert!((0.0..=1.0).contains(&fraction), "noise fraction out of range");
+    let mut out = img.clone();
+    for y in 0..img.size {
+        for x in 0..img.size {
+            if rng.gen::<f64>() < fraction {
+                out.set(x, y, [rng.gen(), rng.gen(), rng.gen()]);
+            }
+        }
+    }
+    out
+}
+
+/// Adds zero-mean Gaussian noise with the given standard deviation
+/// (in 0–255 units) to every channel.
+pub fn gaussian_noise(img: &TileImage, std: f64, rng: &mut impl Rng) -> TileImage {
+    let mut out = img.clone();
+    for px in out.pixels.iter_mut() {
+        // Box–Muller on demand; speed is irrelevant at these sizes.
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        *px = (*px as f64 + std * z).clamp(0.0, 255.0) as u8;
+    }
+    out
+}
+
+/// Fraction of pixels differing between two images of the same size.
+pub fn pixel_diff_fraction(a: &TileImage, b: &TileImage) -> f64 {
+    assert_eq!(a.size, b.size, "image sizes differ");
+    let total = a.size * a.size;
+    let mut diff = 0usize;
+    for y in 0..a.size {
+        for x in 0..a.size {
+            if a.get(x, y) != b.get(x, y) {
+                diff += 1;
+            }
+        }
+    }
+    diff as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_image() -> TileImage {
+        let mut img = TileImage::black(32);
+        for y in 0..32 {
+            for x in 0..32 {
+                img.set(x, y, [(x * 8) as u8, (y * 8) as u8, 128]);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let img = sample_image();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(corrupt_pixels(&img, 0.0, &mut rng), img);
+    }
+
+    #[test]
+    fn twenty_percent_corrupts_roughly_twenty_percent() {
+        let img = sample_image();
+        let mut rng = StdRng::seed_from_u64(2);
+        let noisy = corrupt_pixels(&img, 0.2, &mut rng);
+        let frac = pixel_diff_fraction(&img, &noisy);
+        assert!((frac - 0.2).abs() < 0.05, "corruption fraction {frac}");
+    }
+
+    #[test]
+    fn full_fraction_corrupts_almost_everything() {
+        let img = sample_image();
+        let mut rng = StdRng::seed_from_u64(3);
+        let noisy = corrupt_pixels(&img, 1.0, &mut rng);
+        assert!(pixel_diff_fraction(&img, &noisy) > 0.95);
+    }
+
+    #[test]
+    fn gaussian_noise_perturbs_but_preserves_mean() {
+        let img = sample_image();
+        let mut rng = StdRng::seed_from_u64(4);
+        let noisy = gaussian_noise(&img, 10.0, &mut rng);
+        let m0 = img.mean_rgb();
+        let m1 = noisy.mean_rgb();
+        for c in 0..3 {
+            assert!((m0[c] - m1[c]).abs() < 5.0, "channel {c} mean moved too far");
+        }
+        assert!(pixel_diff_fraction(&img, &noisy) > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise fraction")]
+    fn rejects_bad_fraction() {
+        let img = sample_image();
+        let mut rng = StdRng::seed_from_u64(5);
+        corrupt_pixels(&img, 1.5, &mut rng);
+    }
+}

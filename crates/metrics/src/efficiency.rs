@@ -1,0 +1,88 @@
+//! Efficiency accounting for the Table V reproduction: wall-clock training
+//! and inference time plus a memory estimate.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// One model's efficiency figures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EfficiencyReport {
+    /// Model label.
+    pub model: String,
+    /// Dataset label.
+    pub dataset: String,
+    /// Estimated resident memory in bytes (parameters + optimizer state +
+    /// cached inputs).
+    pub memory_bytes: usize,
+    /// Total training wall-clock seconds.
+    pub train_secs: f64,
+    /// Total inference wall-clock seconds over the test set.
+    pub infer_secs: f64,
+}
+
+impl EfficiencyReport {
+    /// Formats as a Table-V-style row: `model  memory  mm:ss  mm:ss`.
+    pub fn row(&self) -> Vec<String> {
+        vec![
+            self.model.clone(),
+            format_bytes(self.memory_bytes),
+            format_duration(Duration::from_secs_f64(self.train_secs)),
+            format_duration(Duration::from_secs_f64(self.infer_secs)),
+        ]
+    }
+}
+
+/// Human-readable byte counts (`14,111M` style like the paper's table uses
+/// mega-bytes).
+pub fn format_bytes(bytes: usize) -> String {
+    if bytes >= 1024 * 1024 {
+        format!("{:.1}MB", bytes as f64 / (1024.0 * 1024.0))
+    } else if bytes >= 1024 {
+        format!("{:.1}KB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// `mm:ss.s` duration formatting (the paper reports `minute:second`).
+pub fn format_duration(d: Duration) -> String {
+    let total = d.as_secs_f64();
+    let minutes = (total / 60.0).floor() as u64;
+    let seconds = total - minutes as f64 * 60.0;
+    format!("{minutes:02}:{seconds:04.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(format_bytes(512), "512B");
+        assert_eq!(format_bytes(2048), "2.0KB");
+        assert_eq!(format_bytes(3 * 1024 * 1024), "3.0MB");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_secs_f64(0.0)), "00:00.0");
+        assert_eq!(format_duration(Duration::from_secs_f64(61.5)), "01:01.5");
+        assert_eq!(format_duration(Duration::from_secs_f64(125.04)), "02:05.0");
+    }
+
+    #[test]
+    fn report_row_layout() {
+        let r = EfficiencyReport {
+            model: "TSPN-RA".into(),
+            dataset: "nyc-mini".into(),
+            memory_bytes: 1024,
+            train_secs: 60.0,
+            infer_secs: 1.25,
+        };
+        let row = r.row();
+        assert_eq!(row.len(), 4);
+        assert_eq!(row[0], "TSPN-RA");
+        assert_eq!(row[2], "01:00.0");
+    }
+}

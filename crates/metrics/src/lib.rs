@@ -1,0 +1,16 @@
+//! # tspn-metrics
+//!
+//! Evaluation metrics and reporting for the TSPN-RA experiments:
+//! Recall@K, NDCG@K and MRR with K ∈ {5, 10, 20} (paper Sec. VI-A),
+//! multi-seed aggregation, efficiency accounting for Table V, and
+//! markdown/CSV table writers used by the experiment binaries.
+
+#![warn(missing_docs)]
+
+mod efficiency;
+mod ranking;
+mod report;
+
+pub use efficiency::{format_bytes, format_duration, EfficiencyReport};
+pub use ranking::{evaluate_ranks, MetricsSummary, RankingMetrics, KS};
+pub use report::{markdown_table, write_csv, TableBuilder};

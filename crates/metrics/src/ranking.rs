@@ -1,0 +1,214 @@
+//! Ranking quality metrics.
+//!
+//! The paper evaluates Recall@K (hit rate of the ground truth in the top
+//! K), NDCG@K (position-discounted gain) and MRR (mean reciprocal rank).
+//! A sample whose target was filtered out of the ranking (e.g. by tile
+//! selection) contributes zero to every metric, matching the paper's
+//! `index(p_j, R_P) = |R_P| + 1` convention.
+
+use serde::{Deserialize, Serialize};
+
+/// The cut-offs the paper reports.
+pub const KS: [usize; 3] = [5, 10, 20];
+
+/// Metric values from one evaluation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankingMetrics {
+    /// Recall@5, @10, @20.
+    pub recall: [f64; 3],
+    /// NDCG@5, @10, @20.
+    pub ndcg: [f64; 3],
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+    /// Number of evaluated samples.
+    pub n: usize,
+}
+
+impl RankingMetrics {
+    /// Returns `(metric_name, value)` pairs in the paper's column order.
+    pub fn columns(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::with_capacity(7);
+        for (i, k) in KS.iter().enumerate() {
+            out.push((format!("Recall@{k}"), self.recall[i]));
+        }
+        for (i, k) in KS.iter().enumerate() {
+            out.push((format!("NDCG@{k}"), self.ndcg[i]));
+        }
+        out.push(("MRR".to_string(), self.mrr));
+        out
+    }
+
+    /// Unweighted mean over all seven reported metrics — the paper's
+    /// "impro@avg" aggregations compare these.
+    pub fn average(&self) -> f64 {
+        let sum: f64 = self.recall.iter().sum::<f64>() + self.ndcg.iter().sum::<f64>() + self.mrr;
+        sum / 7.0
+    }
+}
+
+/// Computes metrics from 0-based ranks (`None` = target not ranked).
+pub fn evaluate_ranks<I>(ranks: I) -> RankingMetrics
+where
+    I: IntoIterator<Item = Option<usize>>,
+{
+    let mut n = 0usize;
+    let mut recall = [0.0f64; 3];
+    let mut ndcg = [0.0f64; 3];
+    let mut mrr = 0.0f64;
+    for rank in ranks {
+        n += 1;
+        if let Some(r) = rank {
+            for (i, &k) in KS.iter().enumerate() {
+                if r < k {
+                    recall[i] += 1.0;
+                    // Single relevant item → ideal DCG = 1, DCG = 1/log2(r+2).
+                    ndcg[i] += 1.0 / ((r + 2) as f64).log2();
+                }
+            }
+            mrr += 1.0 / (r + 1) as f64;
+        }
+    }
+    if n > 0 {
+        for i in 0..3 {
+            recall[i] /= n as f64;
+            ndcg[i] /= n as f64;
+        }
+        mrr /= n as f64;
+    }
+    RankingMetrics {
+        recall,
+        ndcg,
+        mrr,
+        n,
+    }
+}
+
+/// Mean ± population-std aggregation over multiple seeds/runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsSummary {
+    /// Per-metric means in [`RankingMetrics::columns`] order.
+    pub mean: Vec<f64>,
+    /// Per-metric standard deviations.
+    pub std: Vec<f64>,
+    /// Column names.
+    pub names: Vec<String>,
+    /// Number of runs aggregated.
+    pub runs: usize,
+}
+
+impl MetricsSummary {
+    /// Aggregates runs (the paper averages five random seeds).
+    ///
+    /// # Panics
+    /// Panics on an empty run list.
+    pub fn from_runs(runs: &[RankingMetrics]) -> Self {
+        assert!(!runs.is_empty(), "no runs to summarise");
+        let names: Vec<String> = runs[0].columns().iter().map(|(n, _)| n.clone()).collect();
+        let k = names.len();
+        let mut mean = vec![0.0; k];
+        for r in runs {
+            for (i, (_, v)) in r.columns().iter().enumerate() {
+                mean[i] += v;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= runs.len() as f64;
+        }
+        let mut std = vec![0.0; k];
+        for r in runs {
+            for (i, (_, v)) in r.columns().iter().enumerate() {
+                std[i] += (v - mean[i]).powi(2);
+            }
+        }
+        for s in std.iter_mut() {
+            *s = (*s / runs.len() as f64).sqrt();
+        }
+        MetricsSummary {
+            mean,
+            std,
+            names,
+            runs: runs.len(),
+        }
+    }
+
+    /// Mean of a named column.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.mean[i])
+    }
+
+    /// Mean over all seven metrics.
+    pub fn average(&self) -> f64 {
+        self.mean.iter().sum::<f64>() / self.mean.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let m = evaluate_ranks(vec![Some(0), Some(0), Some(0)]);
+        assert_eq!(m.recall, [1.0, 1.0, 1.0]);
+        assert_eq!(m.ndcg, [1.0, 1.0, 1.0]);
+        assert_eq!(m.mrr, 1.0);
+        assert_eq!(m.n, 3);
+    }
+
+    #[test]
+    fn complete_misses() {
+        let m = evaluate_ranks(vec![None, None]);
+        assert_eq!(m.recall, [0.0, 0.0, 0.0]);
+        assert_eq!(m.mrr, 0.0);
+    }
+
+    #[test]
+    fn rank_between_cutoffs() {
+        // Rank 7 (0-based) counts for @10 and @20 but not @5.
+        let m = evaluate_ranks(vec![Some(7)]);
+        assert_eq!(m.recall, [0.0, 1.0, 1.0]);
+        assert!(m.ndcg[0] == 0.0 && m.ndcg[1] > 0.0);
+        assert!((m.mrr - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_discounts_by_position() {
+        let first = evaluate_ranks(vec![Some(0)]);
+        let third = evaluate_ranks(vec![Some(2)]);
+        assert!(first.ndcg[0] > third.ndcg[0]);
+        assert!((third.ndcg[0] - 1.0 / 4f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_is_monotone_in_k() {
+        let m = evaluate_ranks(vec![Some(3), Some(8), Some(15), None]);
+        assert!(m.recall[0] <= m.recall[1]);
+        assert!(m.recall[1] <= m.recall[2]);
+    }
+
+    #[test]
+    fn summary_mean_and_std() {
+        let a = evaluate_ranks(vec![Some(0), None]);
+        let b = evaluate_ranks(vec![Some(0), Some(0)]);
+        let s = MetricsSummary::from_runs(&[a, b]);
+        assert_eq!(s.runs, 2);
+        assert!((s.get("Recall@5").expect("col") - 0.75).abs() < 1e-12);
+        assert!(s.std[0] > 0.0);
+    }
+
+    #[test]
+    fn average_covers_seven_metrics() {
+        let m = evaluate_ranks(vec![Some(0)]);
+        assert!((m.average() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_zeroes() {
+        let m = evaluate_ranks(Vec::<Option<usize>>::new());
+        assert_eq!(m.n, 0);
+        assert_eq!(m.mrr, 0.0);
+    }
+}

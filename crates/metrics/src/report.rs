@@ -1,0 +1,150 @@
+//! Plain-text table rendering for experiment binaries.
+
+use std::io::Write;
+
+/// Incremental table builder: header + rows of strings.
+#[derive(Debug, Clone, Default)]
+pub struct TableBuilder {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableBuilder {
+    /// Starts a table with the given column names.
+    pub fn new(header: &[&str]) -> Self {
+        TableBuilder {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row.
+    ///
+    /// # Panics
+    /// Panics when the arity differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Convenience: row of formatted floats after a label.
+    pub fn metric_row(&mut self, label: &str, values: &[f64]) -> &mut Self {
+        let mut cells = vec![label.to_string()];
+        cells.extend(values.iter().map(|v| format!("{v:.4}")));
+        self.row(cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        markdown_table(&self.header, &self.rows)
+    }
+
+    /// Writes rows as CSV.
+    pub fn write_csv_to(&self, out: impl Write) -> std::io::Result<()> {
+        write_csv(&self.header, &self.rows, out)
+    }
+}
+
+/// Renders a markdown table from header + rows.
+pub fn markdown_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&render_row(header, &widths));
+    out.push('|');
+    for w in &widths {
+        out.push_str(&format!("{:-<1$}|", "", w + 2));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    let _ = cols;
+    out
+}
+
+/// Writes header + rows as CSV (no quoting; cells must not contain commas).
+pub fn write_csv(
+    header: &[String],
+    rows: &[Vec<String>],
+    out: impl Write,
+) -> std::io::Result<()> {
+    let mut w = std::io::BufWriter::new(out);
+    writeln!(w, "{}", header.join(","))?;
+    for row in rows {
+        debug_assert!(row.iter().all(|c| !c.contains(',')), "CSV cell contains comma");
+        writeln!(w, "{}", row.join(","))?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_renders_aligned() {
+        let mut t = TableBuilder::new(&["Model", "Recall@5"]);
+        t.metric_row("MC", &[0.0982]);
+        t.metric_row("TSPN-RA", &[0.3480]);
+        let md = t.to_markdown();
+        assert!(md.contains("| Model"));
+        assert!(md.contains("0.3480"));
+        assert!(md.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = TableBuilder::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = TableBuilder::new(&["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let mut buf = Vec::new();
+        t.write_csv_to(&mut buf).expect("write");
+        let s = String::from_utf8(buf).expect("utf8");
+        assert_eq!(s, "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = TableBuilder::new(&["a"]);
+        assert!(t.is_empty());
+        t.row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

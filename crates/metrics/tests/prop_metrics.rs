@@ -1,0 +1,87 @@
+//! Property tests for the ranking metrics: bounds, monotonicity and
+//! consistency relations that must hold for any rank distribution.
+
+use proptest::prelude::*;
+use tspn_metrics::{evaluate_ranks, MetricsSummary, KS};
+
+fn arb_ranks() -> impl Strategy<Value = Vec<Option<usize>>> {
+    proptest::collection::vec(
+        proptest::option::weighted(0.7, 0usize..100),
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn all_metrics_bounded_in_unit_interval(ranks in arb_ranks()) {
+        let m = evaluate_ranks(ranks);
+        for r in m.recall {
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+        for n in m.ndcg {
+            prop_assert!((0.0..=1.0).contains(&n));
+        }
+        prop_assert!((0.0..=1.0).contains(&m.mrr));
+    }
+
+    #[test]
+    fn recall_monotone_in_k(ranks in arb_ranks()) {
+        let m = evaluate_ranks(ranks);
+        prop_assert!(m.recall[0] <= m.recall[1]);
+        prop_assert!(m.recall[1] <= m.recall[2]);
+        prop_assert!(m.ndcg[0] <= m.ndcg[1]);
+        prop_assert!(m.ndcg[1] <= m.ndcg[2]);
+    }
+
+    #[test]
+    fn ndcg_never_exceeds_recall(ranks in arb_ranks()) {
+        // With one relevant item, per-sample NDCG@K ≤ 1{rank < K},
+        // so the averages obey NDCG@K ≤ Recall@K.
+        let m = evaluate_ranks(ranks);
+        for i in 0..KS.len() {
+            prop_assert!(m.ndcg[i] <= m.recall[i] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn mrr_bounded_by_recall_at_1_and_recall_any(ranks in arb_ranks()) {
+        let m = evaluate_ranks(ranks.clone());
+        // MRR ≥ fraction at rank 0 (each contributes 1), and MRR > 0 iff
+        // any rank present.
+        let at0 = ranks.iter().filter(|r| matches!(r, Some(0))).count() as f64
+            / ranks.len() as f64;
+        prop_assert!(m.mrr + 1e-12 >= at0);
+        let any = ranks.iter().any(Option::is_some);
+        prop_assert_eq!(m.mrr > 0.0, any);
+    }
+
+    #[test]
+    fn improving_one_rank_never_hurts(ranks in arb_ranks(), idx in 0usize..200) {
+        prop_assume!(!ranks.is_empty());
+        let idx = idx % ranks.len();
+        prop_assume!(matches!(ranks[idx], Some(r) if r > 0));
+        let mut better = ranks.clone();
+        if let Some(r) = better[idx] {
+            better[idx] = Some(r - 1);
+        }
+        let base = evaluate_ranks(ranks);
+        let improved = evaluate_ranks(better);
+        prop_assert!(improved.mrr >= base.mrr - 1e-12);
+        for i in 0..3 {
+            prop_assert!(improved.recall[i] >= base.recall[i] - 1e-12);
+            prop_assert!(improved.ndcg[i] >= base.ndcg[i] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn summary_mean_of_identical_runs_has_zero_std(ranks in arb_ranks()) {
+        let m = evaluate_ranks(ranks);
+        let s = MetricsSummary::from_runs(&[m, m, m]);
+        for sd in &s.std {
+            prop_assert!(sd.abs() < 1e-9);
+        }
+        prop_assert!((s.average() - m.average()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,186 @@
+//! Procedural road-network generation from the world model.
+//!
+//! Standing in for the paper's OpenStreetMap extract: a lattice street grid
+//! thinned by the world's road-density field, arterials connecting each
+//! district to its neighbourhood, and highways linking district centres.
+
+use tspn_world::World;
+
+use crate::network::{RoadClass, RoadNetwork, RoadNodeId};
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RoadGenConfig {
+    /// Lattice resolution: candidate junctions per side.
+    pub lattice: usize,
+    /// Road-density threshold below which no junction exists.
+    pub density_threshold: f64,
+}
+
+impl Default for RoadGenConfig {
+    fn default() -> Self {
+        RoadGenConfig {
+            lattice: 24,
+            density_threshold: 0.18,
+        }
+    }
+}
+
+/// Generates a road network for a world.
+pub fn generate_roads(world: &World, config: RoadGenConfig) -> RoadNetwork {
+    assert!(config.lattice >= 2, "lattice must be at least 2");
+    let mut net = RoadNetwork::new();
+    let n = config.lattice;
+    // Place junctions on lattice points with enough road density.
+    let mut grid: Vec<Option<RoadNodeId>> = vec![None; n * n];
+    for gy in 0..n {
+        for gx in 0..n {
+            let x = (gx as f64 + 0.5) / n as f64;
+            let y = (gy as f64 + 0.5) / n as f64;
+            if world.road_density(x, y) >= config.density_threshold {
+                grid[gy * n + gx] = Some(net.add_node(x, y));
+            }
+        }
+    }
+    // Street edges between 4-neighbours.
+    for gy in 0..n {
+        for gx in 0..n {
+            if let Some(a) = grid[gy * n + gx] {
+                if gx + 1 < n {
+                    if let Some(b) = grid[gy * n + gx + 1] {
+                        net.add_segment(a, b, RoadClass::Street);
+                    }
+                }
+                if gy + 1 < n {
+                    if let Some(b) = grid[(gy + 1) * n + gx] {
+                        net.add_segment(a, b, RoadClass::Street);
+                    }
+                }
+            }
+        }
+    }
+    // Arterials: connect each district centre's nearest junction outward
+    // along the lattice diagonal neighbours to densify downtown connectivity.
+    for &(dx, dy) in world.districts() {
+        if let Some(center) = net.nearest_node(dx, dy) {
+            let cn = net.node(center);
+            let (cx, cy) = (cn.x, cn.y);
+            let gx = ((cx * n as f64) as usize).min(n - 1);
+            let gy = ((cy * n as f64) as usize).min(n - 1);
+            for (ox, oy) in [(1i64, 1i64), (1, -1), (-1, 1), (-1, -1)] {
+                let tx = gx as i64 + ox;
+                let ty = gy as i64 + oy;
+                if tx >= 0 && ty >= 0 && (tx as usize) < n && (ty as usize) < n {
+                    if let Some(b) = grid[ty as usize * n + tx as usize] {
+                        if b != center {
+                            net.add_segment(center, b, RoadClass::Arterial);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Highways: chain district centres (by nearest junction) in index order;
+    // long straight links that also bridge any water in between.
+    let district_nodes: Vec<RoadNodeId> = world
+        .districts()
+        .iter()
+        .filter_map(|&(dx, dy)| net.nearest_node(dx, dy))
+        .collect();
+    for w in district_nodes.windows(2) {
+        if w[0] != w[1] {
+            net.add_segment(w[0], w[1], RoadClass::Highway);
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspn_world::{Coast, WorldConfig};
+
+    fn world() -> World {
+        World::new(WorldConfig {
+            seed: 21,
+            coast: Coast::East,
+            ocean_fraction: 0.25,
+            num_districts: 3,
+            density_falloff: 4.0,
+        })
+    }
+
+    #[test]
+    fn generates_nonempty_network() {
+        let net = generate_roads(&world(), RoadGenConfig::default());
+        assert!(net.num_nodes() > 20, "only {} junctions", net.num_nodes());
+        assert!(net.num_segments() > 20, "only {} segments", net.num_segments());
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = world();
+        let a = generate_roads(&w, RoadGenConfig::default());
+        let b = generate_roads(&w, RoadGenConfig::default());
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_segments(), b.num_segments());
+    }
+
+    #[test]
+    fn junctions_avoid_open_water() {
+        let w = world();
+        let net = generate_roads(&w, RoadGenConfig::default());
+        for i in 0..net.num_nodes() {
+            let n = net.node(RoadNodeId(i));
+            assert!(
+                !w.is_water_at(n.x, n.y),
+                "junction at ({}, {}) is in the ocean",
+                n.x,
+                n.y
+            );
+        }
+    }
+
+    #[test]
+    fn includes_all_road_classes() {
+        let net = generate_roads(&world(), RoadGenConfig::default());
+        let classes: std::collections::HashSet<_> =
+            net.segments().iter().map(|s| s.class).collect();
+        assert!(classes.contains(&RoadClass::Street));
+        assert!(classes.contains(&RoadClass::Highway));
+    }
+
+    #[test]
+    fn downtown_is_well_connected() {
+        let w = world();
+        let net = generate_roads(&w, RoadGenConfig::default());
+        let (dx, dy) = w.districts()[0];
+        let start = net.nearest_node(dx, dy).expect("junctions exist");
+        let size = net.component_size(start);
+        assert!(
+            size > net.num_nodes() / 3,
+            "downtown component only {size} of {} junctions",
+            net.num_nodes()
+        );
+    }
+
+    #[test]
+    fn denser_threshold_gives_sparser_network() {
+        let w = world();
+        let dense = generate_roads(
+            &w,
+            RoadGenConfig {
+                lattice: 24,
+                density_threshold: 0.1,
+            },
+        );
+        let sparse = generate_roads(
+            &w,
+            RoadGenConfig {
+                lattice: 24,
+                density_threshold: 0.5,
+            },
+        );
+        assert!(sparse.num_nodes() < dense.num_nodes());
+    }
+}

@@ -1,0 +1,22 @@
+//! # tspn-roadnet
+//!
+//! Synthetic road networks — the stand-in for the paper's OpenStreetMap
+//! extracts. Provides:
+//!
+//! * [`RoadNetwork`] — an undirected junction/segment graph with Dijkstra
+//!   queries (streets, arterials, district-linking highways),
+//! * [`generate_roads`] — deterministic generation from the shared
+//!   [`tspn_world::World`] road-density field,
+//! * [`road_tile_adjacency`] — the QR-P `road`-edge derivation: which
+//!   pairs of quad-tree leaf tiles a road directly connects
+//!   (paper Sec. II-B, construction step 2).
+
+#![warn(missing_docs)]
+
+mod generate;
+mod network;
+mod tile_adjacency;
+
+pub use generate::{generate_roads, RoadGenConfig};
+pub use network::{RoadClass, RoadNetwork, RoadNode, RoadNodeId, RoadSegment};
+pub use tile_adjacency::{restrict_adjacency, road_tile_adjacency};

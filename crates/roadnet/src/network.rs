@@ -1,0 +1,254 @@
+//! Road-network graph structure and shortest-path queries.
+//!
+//! Coordinates are normalised `[0, 1]²` world coordinates; callers map to
+//! lat/lon through their region bounding box (as `tile_adjacency` does).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a road junction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RoadNodeId(pub usize);
+
+/// Functional class of a road segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoadClass {
+    /// Inter-district, long-range links.
+    Highway,
+    /// District-level connectors.
+    Arterial,
+    /// Local street grid.
+    Street,
+}
+
+/// A junction.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RoadNode {
+    /// Id in the network arena.
+    pub id: RoadNodeId,
+    /// Normalised x (longitude direction).
+    pub x: f64,
+    /// Normalised y (latitude direction).
+    pub y: f64,
+}
+
+/// An undirected road segment between two junctions.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RoadSegment {
+    /// One endpoint.
+    pub a: RoadNodeId,
+    /// Other endpoint.
+    pub b: RoadNodeId,
+    /// Functional class.
+    pub class: RoadClass,
+}
+
+/// An undirected road graph with Euclidean edge weights.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RoadNetwork {
+    nodes: Vec<RoadNode>,
+    segments: Vec<RoadSegment>,
+    adjacency: Vec<Vec<(RoadNodeId, f64)>>,
+}
+
+impl RoadNetwork {
+    /// Empty network.
+    pub fn new() -> Self {
+        RoadNetwork::default()
+    }
+
+    /// Adds a junction, returning its id.
+    pub fn add_node(&mut self, x: f64, y: f64) -> RoadNodeId {
+        let id = RoadNodeId(self.nodes.len());
+        self.nodes.push(RoadNode { id, x, y });
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected segment.
+    ///
+    /// # Panics
+    /// Panics on unknown node ids or a self-loop.
+    pub fn add_segment(&mut self, a: RoadNodeId, b: RoadNodeId, class: RoadClass) {
+        assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len(), "unknown node");
+        assert_ne!(a, b, "self-loop segment");
+        let w = self.distance(a, b);
+        self.segments.push(RoadSegment { a, b, class });
+        self.adjacency[a.0].push((b, w));
+        self.adjacency[b.0].push((a, w));
+    }
+
+    /// Euclidean distance between two junctions (normalised units).
+    pub fn distance(&self, a: RoadNodeId, b: RoadNodeId) -> f64 {
+        let (na, nb) = (&self.nodes[a.0], &self.nodes[b.0]);
+        ((na.x - nb.x).powi(2) + (na.y - nb.y).powi(2)).sqrt()
+    }
+
+    /// Number of junctions.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Junction accessor.
+    pub fn node(&self, id: RoadNodeId) -> &RoadNode {
+        &self.nodes[id.0]
+    }
+
+    /// All segments.
+    pub fn segments(&self) -> &[RoadSegment] {
+        &self.segments
+    }
+
+    /// Neighbours of a junction with edge weights.
+    pub fn neighbors(&self, id: RoadNodeId) -> &[(RoadNodeId, f64)] {
+        &self.adjacency[id.0]
+    }
+
+    /// Nearest junction to a normalised point (linear scan; networks here
+    /// stay small). Returns `None` on an empty network.
+    pub fn nearest_node(&self, x: f64, y: f64) -> Option<RoadNodeId> {
+        self.nodes
+            .iter()
+            .min_by(|a, b| {
+                let da = (a.x - x).powi(2) + (a.y - y).powi(2);
+                let db = (b.x - x).powi(2) + (b.y - y).powi(2);
+                da.partial_cmp(&db).unwrap_or(Ordering::Equal)
+            })
+            .map(|n| n.id)
+    }
+
+    /// Dijkstra shortest-path distance, `None` when disconnected.
+    pub fn shortest_path_len(&self, from: RoadNodeId, to: RoadNodeId) -> Option<f64> {
+        #[derive(PartialEq)]
+        struct Entry(f64, RoadNodeId);
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Min-heap via reversed comparison on distance.
+                other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
+            }
+        }
+        let mut dist = vec![f64::INFINITY; self.nodes.len()];
+        dist[from.0] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(Entry(0.0, from));
+        while let Some(Entry(d, u)) = heap.pop() {
+            if u == to {
+                return Some(d);
+            }
+            if d > dist[u.0] {
+                continue;
+            }
+            for &(v, w) in &self.adjacency[u.0] {
+                let nd = d + w;
+                if nd < dist[v.0] {
+                    dist[v.0] = nd;
+                    heap.push(Entry(nd, v));
+                }
+            }
+        }
+        None
+    }
+
+    /// Size of the connected component containing `start`.
+    pub fn component_size(&self, start: RoadNodeId) -> usize {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![start];
+        seen[start.0] = true;
+        let mut count = 0;
+        while let Some(u) = stack.pop() {
+            count += 1;
+            for &(v, _) in &self.adjacency[u.0] {
+                if !seen[v.0] {
+                    seen[v.0] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (RoadNetwork, RoadNodeId, RoadNodeId, RoadNodeId) {
+        let mut net = RoadNetwork::new();
+        let a = net.add_node(0.0, 0.0);
+        let b = net.add_node(1.0, 0.0);
+        let c = net.add_node(0.0, 1.0);
+        net.add_segment(a, b, RoadClass::Street);
+        net.add_segment(b, c, RoadClass::Street);
+        net.add_segment(a, c, RoadClass::Arterial);
+        (net, a, b, c)
+    }
+
+    #[test]
+    fn counts() {
+        let (net, ..) = triangle();
+        assert_eq!(net.num_nodes(), 3);
+        assert_eq!(net.num_segments(), 3);
+    }
+
+    #[test]
+    fn shortest_path_prefers_direct_edge() {
+        let (net, a, _b, c) = triangle();
+        let d = net.shortest_path_len(a, c).expect("connected");
+        assert!((d - 1.0).abs() < 1e-9, "should use the direct edge, got {d}");
+    }
+
+    #[test]
+    fn shortest_path_routes_through_intermediate() {
+        let mut net = RoadNetwork::new();
+        let a = net.add_node(0.0, 0.0);
+        let b = net.add_node(0.5, 0.0);
+        let c = net.add_node(1.0, 0.0);
+        net.add_segment(a, b, RoadClass::Street);
+        net.add_segment(b, c, RoadClass::Street);
+        let d = net.shortest_path_len(a, c).expect("connected");
+        assert!((d - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let mut net = RoadNetwork::new();
+        let a = net.add_node(0.0, 0.0);
+        let b = net.add_node(1.0, 1.0);
+        assert_eq!(net.shortest_path_len(a, b), None);
+        assert_eq!(net.component_size(a), 1);
+    }
+
+    #[test]
+    fn nearest_node_picks_closest() {
+        let (net, a, b, _c) = triangle();
+        assert_eq!(net.nearest_node(0.1, 0.05), Some(a));
+        assert_eq!(net.nearest_node(0.9, 0.1), Some(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let mut net = RoadNetwork::new();
+        let a = net.add_node(0.0, 0.0);
+        net.add_segment(a, a, RoadClass::Street);
+    }
+
+    #[test]
+    fn component_size_counts_reachable() {
+        let (net, a, ..) = triangle();
+        assert_eq!(net.component_size(a), 3);
+    }
+}

@@ -1,0 +1,100 @@
+//! Finite-difference gradient checking, used by the property-test suite to
+//! validate every differentiable operator against numerical derivatives.
+
+use crate::tensor::Tensor;
+
+/// Result of a gradient check: largest absolute and relative error seen.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheckReport {
+    /// Max |analytic − numeric| over all parameters.
+    pub max_abs_err: f32,
+    /// Max |analytic − numeric| / (|analytic| + |numeric| + 1e-6).
+    pub max_rel_err: f32,
+}
+
+/// Compares the autograd gradient of `f` (a scalar-valued function of the
+/// given parameters) against central finite differences.
+///
+/// `f` must be deterministic and must rebuild its graph on every call — it
+/// receives the same parameter tensors whose data is perturbed in place.
+pub fn grad_check(params: &[Tensor], f: impl Fn() -> Tensor, epsilon: f32) -> GradCheckReport {
+    // Analytic pass.
+    for p in params {
+        p.zero_grad();
+    }
+    let loss = f();
+    loss.backward();
+    let analytic: Vec<Vec<f32>> = params.iter().map(|p| p.grad()).collect();
+
+    let mut max_abs: f32 = 0.0;
+    let mut max_rel: f32 = 0.0;
+    for (pi, p) in params.iter().enumerate() {
+        let original = p.to_vec();
+        for i in 0..original.len() {
+            let mut plus = original.clone();
+            plus[i] += epsilon;
+            p.set_data(&plus);
+            let up = f().item();
+
+            let mut minus = original.clone();
+            minus[i] -= epsilon;
+            p.set_data(&minus);
+            let down = f().item();
+
+            p.set_data(&original);
+
+            let numeric = (up - down) / (2.0 * epsilon);
+            let a = analytic[pi][i];
+            let abs = (a - numeric).abs();
+            let rel = abs / (a.abs() + numeric.abs() + 1e-6);
+            max_abs = max_abs.max(abs);
+            max_rel = max_rel.max(rel);
+        }
+    }
+    GradCheckReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+    }
+}
+
+/// Asserts a gradient check passes with the given relative tolerance.
+///
+/// # Panics
+/// Panics (with the report embedded) when the check fails.
+pub fn assert_grads_close(params: &[Tensor], f: impl Fn() -> Tensor, tol: f32) {
+    let report = grad_check(params, f, 1e-2);
+    assert!(
+        report.max_rel_err < tol || report.max_abs_err < tol,
+        "gradient check failed: {report:?} (tol {tol})"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_correct_gradient() {
+        let p = Tensor::param(vec![0.7, -0.3], vec![2]);
+        let pc = p.clone();
+        assert_grads_close(&[p], move || pc.square().sum_all(), 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient check failed")]
+    fn detects_wrong_gradient() {
+        // Build a deliberately wrong op via detach: forward uses x but the
+        // graph sees a detached constant, so the analytic grad is 0 while
+        // the numeric grad is 2x ≠ 0.
+        let p = Tensor::param(vec![1.0], vec![1]);
+        let pc = p.clone();
+        assert_grads_close(
+            &[p],
+            move || {
+                let frozen = pc.detach();
+                frozen.square().sum_all().add(&pc.scale(0.0).sum_all())
+            },
+            1e-3,
+        );
+    }
+}

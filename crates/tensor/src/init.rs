@@ -1,0 +1,112 @@
+//! Parameter initialisation helpers (all deterministic given an RNG).
+
+use rand::Rng;
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Uniform samples in `[lo, hi)`.
+pub fn uniform(rng: &mut impl Rng, lo: f32, hi: f32, shape: impl Into<Shape>) -> Tensor {
+    let shape = shape.into();
+    let data = (0..shape.len()).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::param(data, shape)
+}
+
+/// Gaussian samples with the given mean and standard deviation
+/// (Box–Muller; avoids pulling in `rand_distr`).
+pub fn normal(rng: &mut impl Rng, mean: f32, std: f32, shape: impl Into<Shape>) -> Tensor {
+    let shape = shape.into();
+    let n = shape.len();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(1e-9f32..1.0);
+        let u2: f32 = rng.gen_range(0.0f32..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(mean + std * r * theta.cos());
+        if data.len() < n {
+            data.push(mean + std * r * theta.sin());
+        }
+    }
+    Tensor::param(data, shape)
+}
+
+/// Xavier/Glorot uniform init for a `[fan_in, fan_out]` weight matrix.
+pub fn xavier(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(rng, -limit, limit, vec![fan_in, fan_out])
+}
+
+/// Kaiming/He init for conv kernels `[out_c, in_c, kh, kw]`.
+pub fn kaiming_conv(
+    rng: &mut impl Rng,
+    out_c: usize,
+    in_c: usize,
+    kh: usize,
+    kw: usize,
+) -> Tensor {
+    let fan_in = (in_c * kh * kw) as f32;
+    let std = (2.0 / fan_in).sqrt();
+    normal(rng, 0.0, std, vec![out_c, in_c, kh, kw])
+}
+
+/// Small-scale embedding table init `[vocab, dim]`.
+pub fn embedding(rng: &mut impl Rng, vocab: usize, dim: usize) -> Tensor {
+    normal(rng, 0.0, 0.1, vec![vocab, dim])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = uniform(&mut rng, -0.5, 0.5, vec![100]);
+        for v in t.to_vec() {
+            assert!((-0.5..0.5).contains(&v));
+        }
+        assert!(t.requires_grad());
+    }
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = normal(&mut rng, 1.0, 2.0, vec![4000]);
+        let v = t.to_vec();
+        let mean: f32 = v.iter().sum::<f32>() / v.len() as f32;
+        let var: f32 = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / v.len() as f32;
+        assert!((mean - 1.0).abs() < 0.15, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.2, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn xavier_limit_scales_with_fans() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = xavier(&mut rng, 100, 100, );
+        let limit = (6.0f32 / 200.0).sqrt();
+        for v in t.to_vec() {
+            assert!(v.abs() <= limit);
+        }
+        assert_eq!(t.shape().0, vec![100, 100]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(
+            uniform(&mut a, 0.0, 1.0, vec![8]).to_vec(),
+            uniform(&mut b, 0.0, 1.0, vec![8]).to_vec()
+        );
+    }
+
+    #[test]
+    fn kaiming_conv_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = kaiming_conv(&mut rng, 8, 3, 3, 3);
+        assert_eq!(t.shape().0, vec![8, 3, 3, 3]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Convolution layer module wrapping the `conv2d` op.
+
+use rand::Rng;
+
+use crate::init;
+use crate::nn::Module;
+use crate::ops::conv_out_dim;
+use crate::tensor::Tensor;
+
+/// Strided 2-D convolution layer: `[C, H, W] → [O, H', W']`.
+pub struct Conv2d {
+    /// Kernel `[out_c, in_c, k, k]`.
+    pub weight: Tensor,
+    /// Per-output-channel bias `[out_c]`.
+    pub bias: Tensor,
+    /// Spatial stride.
+    pub stride: usize,
+    /// Zero padding on each border.
+    pub padding: usize,
+}
+
+impl Conv2d {
+    /// He-initialised square-kernel conv layer.
+    pub fn new(
+        rng: &mut impl Rng,
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        Conv2d {
+            weight: init::kaiming_conv(rng, out_c, in_c, kernel, kernel),
+            bias: Tensor::param(vec![0.0; out_c], vec![out_c]),
+            stride,
+            padding,
+        }
+    }
+
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        self.weight.shape().dim(0)
+    }
+
+    /// Spatial output size for a given input size.
+    pub fn out_size(&self, input: usize) -> usize {
+        conv_out_dim(input, self.weight.shape().dim(2), self.stride, self.padding)
+    }
+
+    /// Applies the convolution.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        x.conv2d(&self.weight, &self.bias, self.stride, self.padding)
+    }
+}
+
+impl Module for Conv2d {
+    fn params(&self) -> Vec<Tensor> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stride2_chain_compresses_like_the_paper() {
+        // Three successive stride-2 convs: 64 → 32 → 16 → 8, the
+        // scaled-down analogue of the paper's 256 → … → 64 hyper-image.
+        let mut rng = StdRng::seed_from_u64(11);
+        let c1 = Conv2d::new(&mut rng, 3, 4, 3, 2, 1);
+        let c2 = Conv2d::new(&mut rng, 4, 8, 3, 2, 1);
+        let c3 = Conv2d::new(&mut rng, 8, 8, 3, 2, 1);
+        let x = Tensor::zeros(vec![3, 64, 64]);
+        let y = c3.forward(&c2.forward(&c1.forward(&x)));
+        assert_eq!(y.shape().0, vec![8, 8, 8]);
+    }
+
+    #[test]
+    fn params_exposed() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let c = Conv2d::new(&mut rng, 3, 4, 3, 2, 1);
+        assert_eq!(c.num_params(), 4 * 3 * 3 * 3 + 4);
+        assert_eq!(c.out_channels(), 4);
+        assert_eq!(c.out_size(64), 32);
+    }
+
+    #[test]
+    fn learns_a_mean_filter() {
+        // Train a 1-channel 1×1 conv to multiply by 3.
+        let mut rng = StdRng::seed_from_u64(12);
+        let c = Conv2d::new(&mut rng, 1, 1, 1, 1, 0);
+        let mut opt = crate::optim::Adam::new(0.2);
+        let params = c.params();
+        let mut final_loss = f32::INFINITY;
+        for _ in 0..1500 {
+            crate::optim::zero_grad(&params);
+            let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![1, 2, 2]);
+            let target = Tensor::from_vec(vec![3.0, 6.0, 9.0, 12.0], vec![1, 2, 2]);
+            let loss = c.forward(&x).sub(&target).square().sum_all();
+            final_loss = loss.item();
+            loss.backward();
+            opt.step(&params);
+        }
+        assert!(final_loss < 1e-2, "loss did not converge: {final_loss}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Inverted dropout (paper trains with dropout = 0.1).
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Dropout layer. Holds no parameters; the caller supplies the RNG so runs
+/// stay reproducible.
+pub struct Dropout {
+    /// Probability of zeroing an activation during training.
+    pub p: f32,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p ∈ [0, 1)`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1), got {p}");
+        Dropout { p }
+    }
+
+    /// Applies inverted dropout when `training`, identity otherwise.
+    pub fn forward(&self, x: &Tensor, training: bool, rng: &mut impl Rng) -> Tensor {
+        if !training || self.p == 0.0 {
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..x.len())
+            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let mask_t = Tensor::from_vec(mask, x.shape().clone());
+        x.mul(&mask_t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let d = Dropout::new(0.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], vec![3]);
+        assert_eq!(d.forward(&x, false, &mut rng).to_vec(), x.to_vec());
+    }
+
+    #[test]
+    fn training_preserves_expectation() {
+        let d = Dropout::new(0.3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::ones(vec![10_000]);
+        let y = d.forward(&x, true, &mut rng);
+        let mean: f32 = y.to_vec().iter().sum::<f32>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_p_is_identity_even_in_training() {
+        let d = Dropout::new(0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Tensor::from_vec(vec![5.0], vec![1]);
+        assert_eq!(d.forward(&x, true, &mut rng).to_vec(), vec![5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout p must be in [0, 1)")]
+    fn rejects_invalid_probability() {
+        Dropout::new(1.0);
+    }
+}

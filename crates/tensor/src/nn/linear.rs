@@ -1,0 +1,105 @@
+//! Fully-connected layer.
+
+use rand::Rng;
+
+use crate::init;
+use crate::nn::Module;
+use crate::tensor::Tensor;
+
+/// Affine map `y = x·W + b` for `x: [n, in]`, `W: [in, out]`, `b: [out]`.
+pub struct Linear {
+    /// Weight matrix `[in, out]`.
+    pub weight: Tensor,
+    /// Bias vector `[out]`.
+    pub bias: Tensor,
+}
+
+impl Linear {
+    /// Xavier-initialised layer.
+    pub fn new(rng: &mut impl Rng, in_dim: usize, out_dim: usize) -> Self {
+        Linear {
+            weight: init::xavier(rng, in_dim, out_dim),
+            bias: Tensor::param(vec![0.0; out_dim], vec![out_dim]),
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Applies the layer to a `[n, in]` batch (or `[in]` vector).
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        x.matmul(&self.weight).add(&self.bias)
+    }
+}
+
+impl Module for Linear {
+    fn params(&self) -> Vec<Tensor> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = Linear::new(&mut rng, 3, 4);
+        let x = Tensor::zeros(vec![2, 3]);
+        let y = l.forward(&x);
+        assert_eq!(y.shape().0, vec![2, 4]);
+    }
+
+    #[test]
+    fn known_weights_compute_affine_map() {
+        let l = Linear {
+            weight: Tensor::param(vec![1.0, 0.0, 0.0, 1.0], vec![2, 2]),
+            bias: Tensor::param(vec![10.0, 20.0], vec![2]),
+        };
+        let x = Tensor::from_vec(vec![1.0, 2.0], vec![1, 2]);
+        assert_eq!(l.forward(&x).to_vec(), vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn gradients_flow_to_both_params() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let l = Linear::new(&mut rng, 2, 2);
+        let x = Tensor::from_vec(vec![1.0, -1.0], vec![1, 2]);
+        let loss = l.forward(&x).sum_all();
+        loss.backward();
+        assert!(l.weight.grad().iter().any(|g| g.abs() > 0.0));
+        assert_eq!(l.bias.grad(), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn trains_to_fit_linear_function() {
+        // Fit y = 2x − 1 from samples.
+        let mut rng = StdRng::seed_from_u64(3);
+        let l = Linear::new(&mut rng, 1, 1);
+        let mut opt = crate::optim::Adam::new(0.05);
+        let params = l.params();
+        for step in 0..400 {
+            let xv = (step % 10) as f32 / 10.0;
+            let x = Tensor::from_vec(vec![xv], vec![1, 1]);
+            let target = Tensor::from_vec(vec![2.0 * xv - 1.0], vec![1, 1]);
+            crate::optim::zero_grad(&params);
+            let loss = l.forward(&x).sub(&target).square().sum_all();
+            loss.backward();
+            opt.step(&params);
+        }
+        let w = l.weight.to_vec()[0];
+        let b = l.bias.to_vec()[0];
+        assert!((w - 2.0).abs() < 0.1, "w = {w}");
+        assert!((b + 1.0).abs() < 0.1, "b = {b}");
+    }
+}

@@ -1,0 +1,65 @@
+//! Neural-network building blocks layered over the tensor ops.
+
+mod conv;
+mod dropout;
+mod embedding;
+mod linear;
+mod norm;
+mod rnn;
+
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use embedding::EmbeddingTable;
+pub use linear::Linear;
+pub use norm::LayerNorm;
+pub use rnn::{GruCell, LstmCell};
+
+use crate::tensor::Tensor;
+
+/// Anything holding trainable parameters.
+pub trait Module {
+    /// All trainable parameters of the module (used by optimizers and
+    /// serialization).
+    fn params(&self) -> Vec<Tensor>;
+
+    /// Total scalar parameter count.
+    fn num_params(&self) -> usize {
+        self.params().iter().map(Tensor::len).sum()
+    }
+}
+
+/// Collects parameters from several modules.
+pub fn collect_params(modules: &[&dyn Module]) -> Vec<Tensor> {
+    let mut out = Vec::new();
+    for m in modules {
+        out.extend(m.params());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn collect_params_concatenates() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Linear::new(&mut rng, 2, 3);
+        let b = Linear::new(&mut rng, 3, 1);
+        let all = collect_params(&[&a, &b]);
+        assert_eq!(all.len(), 4); // two weights + two biases
+        assert_eq!(
+            all.iter().map(Tensor::len).sum::<usize>(),
+            2 * 3 + 3 + 3 + 1
+        );
+    }
+
+    #[test]
+    fn num_params_counts_scalars() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(&mut rng, 4, 5);
+        assert_eq!(l.num_params(), 4 * 5 + 5);
+    }
+}

@@ -1,0 +1,103 @@
+//! Layer normalisation (Ba et al.), used in the paper's Add & Normalize
+//! blocks (Sec. V-A component 2).
+
+use crate::nn::Module;
+use crate::tensor::Tensor;
+
+/// Per-row layer norm with learnable gain/shift.
+pub struct LayerNorm {
+    /// Learnable per-feature gain `[dim]`.
+    pub gamma: Tensor,
+    /// Learnable per-feature shift `[dim]`.
+    pub beta: Tensor,
+    /// Variance epsilon.
+    pub eps: f32,
+}
+
+impl LayerNorm {
+    /// Identity-initialised layer norm over `dim` features.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Tensor::param(vec![1.0; dim], vec![dim]),
+            beta: Tensor::param(vec![0.0; dim], vec![dim]),
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalises each row of `[n, dim]` to zero mean / unit variance, then
+    /// applies the learnable affine transform.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mu = x.mean_rows(); // [n, 1]
+        let centered = x.sub(&mu); // col broadcast
+        let var = centered.square().mean_rows(); // [n, 1]
+        let std = var.add_scalar(self.eps).sqrt();
+        let xhat = centered.div(&std);
+        xhat.mul(&self.gamma).add(&self.beta)
+    }
+}
+
+impl Module for LayerNorm {
+    fn params(&self) -> Vec<Tensor> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_rows_are_standardised() {
+        let ln = LayerNorm::new(4);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, -10.0, 0.0, 10.0, 20.0], vec![2, 4]);
+        let y = ln.forward(&x).to_vec();
+        for r in 0..2 {
+            let row = &y[r * 4..(r + 1) * 4];
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_apply_affine() {
+        let ln = LayerNorm {
+            gamma: Tensor::param(vec![2.0, 2.0], vec![2]),
+            beta: Tensor::param(vec![5.0, 5.0], vec![2]),
+            eps: 1e-5,
+        };
+        let x = Tensor::from_vec(vec![-1.0, 1.0], vec![1, 2]);
+        let y = ln.forward(&x).to_vec();
+        // Standardised row is [-1, 1]; affine → [3, 7].
+        assert!((y[0] - 3.0).abs() < 1e-2);
+        assert!((y[1] - 7.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn gradients_reach_gain_and_shift() {
+        let ln = LayerNorm::new(3);
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0], vec![1, 3]);
+        let loss = ln.forward(&x).square().sum_all();
+        loss.backward();
+        assert!(ln.gamma.grad().iter().any(|g| g.abs() > 0.0));
+        // beta grad = 2*(output) summed; non-zero in general.
+        assert!(ln.beta.grad().iter().any(|g| g.abs() > 0.0));
+    }
+
+    #[test]
+    fn constant_row_is_stable() {
+        // Zero variance must not divide by zero.
+        let ln = LayerNorm::new(3);
+        let x = Tensor::param(vec![5.0, 5.0, 5.0], vec![1, 3]);
+        let y = ln.forward(&x);
+        for v in y.to_vec() {
+            assert!(v.is_finite());
+        }
+        let loss = y.sum_all();
+        loss.backward();
+        for g in x.grad() {
+            assert!(g.is_finite());
+        }
+    }
+}

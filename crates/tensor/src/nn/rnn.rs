@@ -1,0 +1,275 @@
+//! Recurrent cells used by the sequence baselines (GRU, STRNN, DeepMove,
+//! LSTPM, …). TSPN-RA itself is attention-only, but the paper's evaluation
+//! section compares against several RNN models, so the cells live here.
+
+use rand::Rng;
+
+use crate::nn::{Linear, Module};
+use crate::tensor::Tensor;
+
+/// Gated recurrent unit cell (Cho et al. 2014).
+pub struct GruCell {
+    update_x: Linear,
+    update_h: Linear,
+    reset_x: Linear,
+    reset_h: Linear,
+    cand_x: Linear,
+    cand_h: Linear,
+    hidden: usize,
+}
+
+impl GruCell {
+    /// Creates a GRU cell mapping `input_dim` → `hidden_dim`.
+    pub fn new(rng: &mut impl Rng, input_dim: usize, hidden_dim: usize) -> Self {
+        GruCell {
+            update_x: Linear::new(rng, input_dim, hidden_dim),
+            update_h: Linear::new(rng, hidden_dim, hidden_dim),
+            reset_x: Linear::new(rng, input_dim, hidden_dim),
+            reset_h: Linear::new(rng, hidden_dim, hidden_dim),
+            cand_x: Linear::new(rng, input_dim, hidden_dim),
+            cand_h: Linear::new(rng, hidden_dim, hidden_dim),
+            hidden: hidden_dim,
+        }
+    }
+
+    /// Hidden state dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// Fresh all-zero hidden state `[1, hidden]`.
+    pub fn init_state(&self) -> Tensor {
+        Tensor::zeros(vec![1, self.hidden])
+    }
+
+    /// One step: `(x [1, in], h [1, hidden]) → h' [1, hidden]`.
+    pub fn step(&self, x: &Tensor, h: &Tensor) -> Tensor {
+        let z = self.update_x.forward(x).add(&self.update_h.forward(h)).sigmoid();
+        let r = self.reset_x.forward(x).add(&self.reset_h.forward(h)).sigmoid();
+        let h_cand = self
+            .cand_x
+            .forward(x)
+            .add(&self.cand_h.forward(&r.mul(h)))
+            .tanh();
+        // h' = (1 − z)·h + z·ĥ
+        let one = Tensor::ones(z.shape().clone());
+        one.sub(&z).mul(h).add(&z.mul(&h_cand))
+    }
+
+    /// Runs the cell over a `[T, in]` sequence, returning all hidden states
+    /// stacked as `[T, hidden]`.
+    pub fn run(&self, xs: &Tensor) -> Tensor {
+        let t = xs.rows();
+        let mut h = self.init_state();
+        let mut outs = Vec::with_capacity(t);
+        for i in 0..t {
+            h = self.step(&xs.row(i), &h);
+            outs.push(h.clone());
+        }
+        Tensor::concat_rows(&outs)
+    }
+}
+
+impl Module for GruCell {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = Vec::with_capacity(12);
+        for l in [
+            &self.update_x,
+            &self.update_h,
+            &self.reset_x,
+            &self.reset_h,
+            &self.cand_x,
+            &self.cand_h,
+        ] {
+            p.extend(l.params());
+        }
+        p
+    }
+}
+
+/// Long short-term memory cell (used by the LSTPM baseline).
+pub struct LstmCell {
+    input_x: Linear,
+    input_h: Linear,
+    forget_x: Linear,
+    forget_h: Linear,
+    output_x: Linear,
+    output_h: Linear,
+    cell_x: Linear,
+    cell_h: Linear,
+    hidden: usize,
+}
+
+impl LstmCell {
+    /// Creates an LSTM cell mapping `input_dim` → `hidden_dim`.
+    pub fn new(rng: &mut impl Rng, input_dim: usize, hidden_dim: usize) -> Self {
+        LstmCell {
+            input_x: Linear::new(rng, input_dim, hidden_dim),
+            input_h: Linear::new(rng, hidden_dim, hidden_dim),
+            forget_x: Linear::new(rng, input_dim, hidden_dim),
+            forget_h: Linear::new(rng, hidden_dim, hidden_dim),
+            output_x: Linear::new(rng, input_dim, hidden_dim),
+            output_h: Linear::new(rng, hidden_dim, hidden_dim),
+            cell_x: Linear::new(rng, input_dim, hidden_dim),
+            cell_h: Linear::new(rng, hidden_dim, hidden_dim),
+            hidden: hidden_dim,
+        }
+    }
+
+    /// Hidden state dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// Fresh `(h, c)` zero state.
+    pub fn init_state(&self) -> (Tensor, Tensor) {
+        (
+            Tensor::zeros(vec![1, self.hidden]),
+            Tensor::zeros(vec![1, self.hidden]),
+        )
+    }
+
+    /// One step: returns the next `(h, c)`.
+    pub fn step(&self, x: &Tensor, h: &Tensor, c: &Tensor) -> (Tensor, Tensor) {
+        let i = self.input_x.forward(x).add(&self.input_h.forward(h)).sigmoid();
+        let f = self.forget_x.forward(x).add(&self.forget_h.forward(h)).sigmoid();
+        let o = self.output_x.forward(x).add(&self.output_h.forward(h)).sigmoid();
+        let g = self.cell_x.forward(x).add(&self.cell_h.forward(h)).tanh();
+        let c_next = f.mul(c).add(&i.mul(&g));
+        let h_next = o.mul(&c_next.tanh());
+        (h_next, c_next)
+    }
+
+    /// Runs the cell over a `[T, in]` sequence → `[T, hidden]` hidden states.
+    pub fn run(&self, xs: &Tensor) -> Tensor {
+        let t = xs.rows();
+        let (mut h, mut c) = self.init_state();
+        let mut outs = Vec::with_capacity(t);
+        for i in 0..t {
+            let (h2, c2) = self.step(&xs.row(i), &h, &c);
+            h = h2;
+            c = c2;
+            outs.push(h.clone());
+        }
+        Tensor::concat_rows(&outs)
+    }
+}
+
+impl Module for LstmCell {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = Vec::with_capacity(16);
+        for l in [
+            &self.input_x,
+            &self.input_h,
+            &self.forget_x,
+            &self.forget_h,
+            &self.output_x,
+            &self.output_h,
+            &self.cell_x,
+            &self.cell_h,
+        ] {
+            p.extend(l.params());
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gru_run_shapes() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let cell = GruCell::new(&mut rng, 3, 5);
+        let xs = Tensor::zeros(vec![4, 3]);
+        let hs = cell.run(&xs);
+        assert_eq!(hs.shape().0, vec![4, 5]);
+    }
+
+    #[test]
+    fn gru_state_changes_with_input() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let cell = GruCell::new(&mut rng, 2, 4);
+        let h0 = cell.init_state();
+        let x1 = Tensor::from_vec(vec![1.0, -1.0], vec![1, 2]);
+        let x2 = Tensor::from_vec(vec![-1.0, 1.0], vec![1, 2]);
+        let h1 = cell.step(&x1, &h0);
+        let h2 = cell.step(&x2, &h0);
+        let diff: f32 = h1
+            .to_vec()
+            .iter()
+            .zip(h2.to_vec())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-4, "different inputs should produce different states");
+    }
+
+    #[test]
+    fn gru_learns_sequence_parity() {
+        // Classify whether a ±1 sequence has positive sum — requires memory.
+        let mut rng = StdRng::seed_from_u64(23);
+        let cell = GruCell::new(&mut rng, 1, 8);
+        let head = Linear::new(&mut rng, 8, 2);
+        let mut params = cell.params();
+        params.extend(head.params());
+        let mut opt = crate::optim::Adam::new(0.02);
+        let seqs: Vec<(Vec<f32>, usize)> = vec![
+            (vec![1.0, 1.0, -1.0], 1),
+            (vec![-1.0, -1.0, 1.0], 0),
+            (vec![1.0, 1.0, 1.0], 1),
+            (vec![-1.0, 1.0, -1.0], 0),
+        ];
+        for _ in 0..120 {
+            for (seq, label) in &seqs {
+                crate::optim::zero_grad(&params);
+                let xs = Tensor::from_vec(seq.clone(), vec![seq.len(), 1]);
+                let hs = cell.run(&xs);
+                let last = hs.row(seq.len() - 1);
+                let logits = head.forward(&last);
+                let loss = logits.cross_entropy_logits(&[*label]);
+                loss.backward();
+                opt.step(&params);
+            }
+        }
+        let mut correct = 0;
+        for (seq, label) in &seqs {
+            let xs = Tensor::from_vec(seq.clone(), vec![seq.len(), 1]);
+            let logits = head.forward(&cell.run(&xs).row(seq.len() - 1)).to_vec();
+            let pred = if logits[1] > logits[0] { 1 } else { 0 };
+            if pred == *label {
+                correct += 1;
+            }
+        }
+        assert_eq!(correct, 4, "GRU failed to learn a 4-sample toy task");
+    }
+
+    #[test]
+    fn lstm_run_shapes_and_grads() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let cell = LstmCell::new(&mut rng, 2, 3);
+        let xs = Tensor::from_vec(vec![0.1, -0.2, 0.4, 0.3], vec![2, 2]);
+        let hs = cell.run(&xs);
+        assert_eq!(hs.shape().0, vec![2, 3]);
+        let loss = hs.square().sum_all();
+        loss.backward();
+        let grads_nonzero = cell
+            .params()
+            .iter()
+            .filter(|p| p.grad().iter().any(|g| g.abs() > 0.0))
+            .count();
+        assert!(grads_nonzero >= 12, "most LSTM params should receive gradient");
+    }
+
+    #[test]
+    fn param_counts() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let gru = GruCell::new(&mut rng, 4, 8);
+        // 3 gates × (4·8 + 8 + 8·8 + 8)
+        assert_eq!(gru.num_params(), 3 * (4 * 8 + 8 + 8 * 8 + 8));
+        let lstm = LstmCell::new(&mut rng, 4, 8);
+        assert_eq!(lstm.num_params(), 4 * (4 * 8 + 8 + 8 * 8 + 8));
+    }
+}

@@ -1,0 +1,258 @@
+//! 2-D convolution over single-image `[C, H, W]` tensors.
+//!
+//! TSPN-RA's `Me1` image encoder replaces 2×2 max-pooling with stride-2
+//! convolutions to avoid retaining redundant gradients (Sec. IV-A / Fig. 6),
+//! so strided convolution is the only spatial primitive the model needs.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Output spatial size for one dimension.
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    assert!(
+        input + 2 * padding >= kernel,
+        "kernel {kernel} larger than padded input {}",
+        input + 2 * padding
+    );
+    (input + 2 * padding - kernel) / stride + 1
+}
+
+impl Tensor {
+    /// Convolves `self [C, H, W]` with `weight [O, C, kh, kw]` plus
+    /// `bias [O]`, producing `[O, OH, OW]`.
+    ///
+    /// Direct (non-im2col) implementation: image sizes in this project are
+    /// ≤ 256² with ≤ 3 layers, where the simple loops are fast enough and
+    /// keep the backward pass obviously correct.
+    pub fn conv2d(&self, weight: &Tensor, bias: &Tensor, stride: usize, padding: usize) -> Tensor {
+        let in_shape = self.shape();
+        assert_eq!(in_shape.rank(), 3, "conv2d input must be [C, H, W], got {in_shape}");
+        let (c, h, w) = (in_shape.dim(0), in_shape.dim(1), in_shape.dim(2));
+        let w_shape = weight.shape();
+        assert_eq!(w_shape.rank(), 4, "conv2d weight must be [O, C, kh, kw], got {w_shape}");
+        let (o, wc, kh, kw) = (
+            w_shape.dim(0),
+            w_shape.dim(1),
+            w_shape.dim(2),
+            w_shape.dim(3),
+        );
+        assert_eq!(c, wc, "conv2d channel mismatch: input {c}, weight {wc}");
+        assert_eq!(bias.len(), o, "conv2d bias must have one entry per out channel");
+        let oh = conv_out_dim(h, kh, stride, padding);
+        let ow = conv_out_dim(w, kw, stride, padding);
+
+        let input = self.data();
+        let wv = weight.data();
+        let bv = bias.data();
+        let mut out = vec![0.0; o * oh * ow];
+        for oc in 0..o {
+            let b = bv[oc];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b;
+                    for ic in 0..c {
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky) as isize - padding as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx) as isize - padding as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += input[ic * h * w + iy as usize * w + ix as usize]
+                                    * wv[((oc * c + ic) * kh + ky) * kw + kx];
+                            }
+                        }
+                    }
+                    out[oc * oh * ow + oy * ow + ox] = acc;
+                }
+            }
+        }
+        drop(input);
+        drop(wv);
+        drop(bv);
+
+        let (pi, pw, pb) = (self.clone(), weight.clone(), bias.clone());
+        Tensor::from_op(
+            out,
+            Shape::new(vec![o, oh, ow]),
+            vec![self.clone(), weight.clone(), bias.clone()],
+            Box::new(move |out_t: &Tensor| {
+                let og = out_t.inner.grad.borrow();
+                let g = og.as_ref().expect("grad");
+                let input = pi.data();
+                let wv = pw.data();
+                if pb.requires_grad() {
+                    pb.with_grad_mut(|gb| {
+                        for oc in 0..o {
+                            let mut acc = 0.0;
+                            for k in 0..oh * ow {
+                                acc += g[oc * oh * ow + k];
+                            }
+                            gb[oc] += acc;
+                        }
+                    });
+                }
+                if pw.requires_grad() {
+                    pw.with_grad_mut(|gw| {
+                        for oc in 0..o {
+                            for oy in 0..oh {
+                                for ox in 0..ow {
+                                    let go = g[oc * oh * ow + oy * ow + ox];
+                                    if go == 0.0 {
+                                        continue;
+                                    }
+                                    for ic in 0..c {
+                                        for ky in 0..kh {
+                                            let iy = (oy * stride + ky) as isize - padding as isize;
+                                            if iy < 0 || iy >= h as isize {
+                                                continue;
+                                            }
+                                            for kx in 0..kw {
+                                                let ix =
+                                                    (ox * stride + kx) as isize - padding as isize;
+                                                if ix < 0 || ix >= w as isize {
+                                                    continue;
+                                                }
+                                                gw[((oc * c + ic) * kh + ky) * kw + kx] += go
+                                                    * input
+                                                        [ic * h * w + iy as usize * w + ix as usize];
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+                if pi.requires_grad() {
+                    pi.with_grad_mut(|gi| {
+                        for oc in 0..o {
+                            for oy in 0..oh {
+                                for ox in 0..ow {
+                                    let go = g[oc * oh * ow + oy * ow + ox];
+                                    if go == 0.0 {
+                                        continue;
+                                    }
+                                    for ic in 0..c {
+                                        for ky in 0..kh {
+                                            let iy = (oy * stride + ky) as isize - padding as isize;
+                                            if iy < 0 || iy >= h as isize {
+                                                continue;
+                                            }
+                                            for kx in 0..kw {
+                                                let ix =
+                                                    (ox * stride + kx) as isize - padding as isize;
+                                                if ix < 0 || ix >= w as isize {
+                                                    continue;
+                                                }
+                                                gi[ic * h * w + iy as usize * w + ix as usize] +=
+                                                    go * wv[((oc * c + ic) * kh + ky) * kw + kx];
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_dim_formula() {
+        assert_eq!(conv_out_dim(64, 3, 2, 1), 32);
+        assert_eq!(conv_out_dim(5, 3, 1, 0), 3);
+        assert_eq!(conv_out_dim(5, 3, 2, 0), 2);
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // 1×1 kernel with weight 1 and bias 0 is the identity map.
+        let x = Tensor::from_vec((0..9).map(|v| v as f32).collect(), vec![1, 3, 3]);
+        let w = Tensor::from_vec(vec![1.0], vec![1, 1, 1, 1]);
+        let b = Tensor::from_vec(vec![0.0], vec![1]);
+        let y = x.conv2d(&w, &b, 1, 0);
+        assert_eq!(y.to_vec(), x.to_vec());
+    }
+
+    #[test]
+    fn stride_two_halves_resolution() {
+        let x = Tensor::ones(vec![1, 4, 4]);
+        let w = Tensor::ones(vec![1, 1, 2, 2]);
+        let b = Tensor::zeros(vec![1]);
+        let y = x.conv2d(&w, &b, 2, 0);
+        assert_eq!(y.shape().0, vec![1, 2, 2]);
+        assert_eq!(y.to_vec(), vec![4.0; 4]); // each window sums 4 ones
+    }
+
+    #[test]
+    fn padding_extends_borders_with_zeros() {
+        let x = Tensor::ones(vec![1, 2, 2]);
+        let w = Tensor::ones(vec![1, 1, 3, 3]);
+        let b = Tensor::zeros(vec![1]);
+        let y = x.conv2d(&w, &b, 1, 1);
+        assert_eq!(y.shape().0, vec![1, 2, 2]);
+        // Every 3×3 window over the padded 4×4 catches exactly the 4 ones.
+        assert_eq!(y.to_vec(), vec![4.0; 4]);
+    }
+
+    #[test]
+    fn bias_offsets_every_output() {
+        let x = Tensor::zeros(vec![1, 2, 2]);
+        let w = Tensor::zeros(vec![2, 1, 1, 1]);
+        let b = Tensor::from_vec(vec![1.5, -2.0], vec![2]);
+        let y = x.conv2d(&w, &b, 1, 0);
+        let v = y.to_vec();
+        assert_eq!(&v[0..4], &[1.5; 4]);
+        assert_eq!(&v[4..8], &[-2.0; 4]);
+    }
+
+    #[test]
+    fn multi_channel_accumulates() {
+        let x = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0], vec![2, 2, 2]);
+        let w = Tensor::from_vec(vec![1.0, 1.0], vec![1, 2, 1, 1]);
+        let b = Tensor::zeros(vec![1]);
+        let y = x.conv2d(&w, &b, 1, 0);
+        assert_eq!(y.to_vec(), vec![3.0; 4]);
+    }
+
+    #[test]
+    fn conv_backward_bias_counts_outputs() {
+        let x = Tensor::from_vec(vec![1.0; 9], vec![1, 3, 3]);
+        let w = Tensor::param(vec![0.5], vec![1, 1, 1, 1]);
+        let b = Tensor::param(vec![0.0], vec![1]);
+        let loss = x.conv2d(&w, &b, 1, 0).sum_all();
+        loss.backward();
+        assert_eq!(b.grad(), vec![9.0]);
+        assert_eq!(w.grad(), vec![9.0]); // sum of all inputs
+    }
+
+    #[test]
+    fn conv_backward_input_grad() {
+        let x = Tensor::param(vec![0.0; 4], vec![1, 2, 2]);
+        let w = Tensor::from_vec(vec![2.0], vec![1, 1, 1, 1]);
+        let b = Tensor::zeros(vec![1]);
+        let loss = x.conv2d(&w, &b, 1, 0).sum_all();
+        loss.backward();
+        assert_eq!(x.grad(), vec![2.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn conv_validates_channels() {
+        let x = Tensor::zeros(vec![2, 4, 4]);
+        let w = Tensor::zeros(vec![1, 3, 2, 2]);
+        let b = Tensor::zeros(vec![1]);
+        x.conv2d(&w, &b, 1, 0);
+    }
+}

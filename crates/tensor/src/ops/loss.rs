@@ -1,0 +1,198 @@
+//! Fused loss functions: cross-entropy over logits and the ArcFace-style
+//! additive angular margin loss of TSPN-RA (paper Eq. 8).
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Mean cross-entropy of `[n, c]` logits against one target class per row.
+    ///
+    /// Fused softmax + NLL with the standard `p − onehot` backward; this is
+    /// the training loss used by the sequence baselines.
+    pub fn cross_entropy_logits(&self, targets: &[usize]) -> Tensor {
+        let (n, c) = (self.rows(), self.cols());
+        assert_eq!(targets.len(), n, "one target per logit row required");
+        for &t in targets {
+            assert!(t < c, "target {t} out of range for {c} classes");
+        }
+        let data = self.data();
+        let mut probs = vec![0.0; n * c];
+        let mut loss = 0.0;
+        for r in 0..n {
+            let row = &data[r * c..(r + 1) * c];
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for (j, &z) in row.iter().enumerate() {
+                let e = (z - max).exp();
+                probs[r * c + j] = e;
+                sum += e;
+            }
+            let inv = 1.0 / sum.max(1e-20);
+            for j in 0..c {
+                probs[r * c + j] *= inv;
+            }
+            loss -= probs[r * c + targets[r]].max(1e-20).ln();
+        }
+        loss /= n as f32;
+        drop(data);
+        let pa = self.clone();
+        let tgt = targets.to_vec();
+        Tensor::from_op(
+            vec![loss],
+            Shape::scalar(),
+            vec![self.clone()],
+            Box::new(move |o: &Tensor| {
+                let og = o.inner.grad.borrow();
+                let g = og.as_ref().expect("grad")[0];
+                if pa.requires_grad() {
+                    let scale = g / tgt.len() as f32;
+                    pa.with_grad_mut(|ga| {
+                        for (r, &t) in tgt.iter().enumerate() {
+                            for j in 0..c {
+                                let indicator = if j == t { 1.0 } else { 0.0 };
+                                ga[r * c + j] += scale * (probs[r * c + j] - indicator);
+                            }
+                        }
+                    });
+                }
+            }),
+        )
+    }
+
+    /// ArcFace-style margin loss over cosine similarities (paper Eq. 8).
+    ///
+    /// Given per-candidate cosines `cos θ_i` (a `[n]` tensor), the target
+    /// candidate index, scale `s` and angular margin `m`, computes
+    ///
+    /// ```text
+    /// loss = −log( e^{s·cos(θ_t + m)} / (e^{s·cos(θ_t + m)} + Σ_{i≠t} e^{s·cos θ_i}) )
+    /// ```
+    ///
+    /// The margin pushes the model output towards the target embedding while
+    /// repelling the other candidates.
+    pub fn arcface_loss(&self, target: usize, s: f32, m: f32) -> Tensor {
+        let n = self.len();
+        assert!(target < n, "arcface target {target} out of range {n}");
+        assert!(s > 0.0, "arcface scale must be positive");
+        let cosines = self.data().clone();
+        let (sin_m, cos_m) = m.sin_cos();
+        // Clamp keeps sqrt(1−c²) and its derivative finite.
+        let ct = cosines[target].clamp(-1.0 + 1e-4, 1.0 - 1e-4);
+        let sin_t = (1.0 - ct * ct).sqrt();
+        let mut logits: Vec<f32> = cosines.iter().map(|&c| s * c).collect();
+        logits[target] = s * (ct * cos_m - sin_t * sin_m);
+        let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = logits.iter().map(|&z| (z - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let probs: Vec<f32> = exps.iter().map(|&e| e / sum.max(1e-20)).collect();
+        let loss = -(probs[target].max(1e-20)).ln();
+        let pa = self.clone();
+        Tensor::from_op(
+            vec![loss],
+            Shape::scalar(),
+            vec![self.clone()],
+            Box::new(move |o: &Tensor| {
+                let og = o.inner.grad.borrow();
+                let g = og.as_ref().expect("grad")[0];
+                if pa.requires_grad() {
+                    pa.with_grad_mut(|ga| {
+                        for i in 0..n {
+                            let dl_dz = probs[i] - if i == target { 1.0 } else { 0.0 };
+                            // dz/dcos: s for non-targets; for the target,
+                            // d[s(c·cos m − sqrt(1−c²)·sin m)]/dc
+                            //   = s(cos m + c·sin m / sqrt(1−c²)).
+                            let dz_dc = if i == target {
+                                s * (cos_m + ct * sin_m / sin_t.max(1e-4))
+                            } else {
+                                s
+                            };
+                            ga[i] += g * dl_dz * dz_dc;
+                        }
+                    });
+                }
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let logits = Tensor::param(vec![0.0; 6], vec![2, 3]);
+        let loss = logits.cross_entropy_logits(&[0, 2]);
+        assert!((loss.item() - 3.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_backward_sums_to_zero_per_row() {
+        let logits = Tensor::param(vec![0.5, -0.2, 1.0, 0.0, 0.0, 0.0], vec![2, 3]);
+        let loss = logits.cross_entropy_logits(&[1, 0]);
+        loss.backward();
+        let g = logits.grad();
+        let row0: f32 = g[0..3].iter().sum();
+        let row1: f32 = g[3..6].iter().sum();
+        assert!(row0.abs() < 1e-6);
+        assert!(row1.abs() < 1e-6);
+        // Gradient at the target must be negative (pulls logit up).
+        assert!(g[1] < 0.0);
+        assert!(g[3] < 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_confident_correct_is_small() {
+        let logits = Tensor::param(vec![10.0, -10.0], vec![1, 2]);
+        let loss = logits.cross_entropy_logits(&[0]);
+        assert!(loss.item() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_entropy_validates_targets() {
+        Tensor::zeros(vec![1, 2]).cross_entropy_logits(&[5]);
+    }
+
+    #[test]
+    fn arcface_zero_margin_equals_scaled_softmax_ce() {
+        let cos = Tensor::param(vec![0.9, 0.1, -0.3], vec![3]);
+        let loss = cos.arcface_loss(0, 10.0, 0.0);
+        // Reference: cross entropy over 10*cos.
+        let z: Vec<f32> = vec![9.0, 1.0, -3.0];
+        let max = 9.0f32;
+        let sum: f32 = z.iter().map(|&v| (v - max).exp()).sum();
+        let expected = -((0.0f32).exp() / sum).ln();
+        assert!((loss.item() - expected).abs() < 1e-4);
+    }
+
+    #[test]
+    fn arcface_margin_increases_loss() {
+        let cos = Tensor::from_vec(vec![0.8, 0.2], vec![2]);
+        let no_margin = Tensor::param(cos.to_vec(), vec![2]).arcface_loss(0, 16.0, 0.0);
+        let with_margin = Tensor::param(cos.to_vec(), vec![2]).arcface_loss(0, 16.0, 0.3);
+        assert!(with_margin.item() > no_margin.item());
+    }
+
+    #[test]
+    fn arcface_gradient_pulls_target_up_and_others_down() {
+        let cos = Tensor::param(vec![0.1, 0.5, 0.2], vec![3]);
+        let loss = cos.arcface_loss(0, 8.0, 0.2);
+        loss.backward();
+        let g = cos.grad();
+        assert!(g[0] < 0.0, "target grad should be negative, got {}", g[0]);
+        assert!(g[1] > 0.0 && g[2] > 0.0, "competitors should be pushed down");
+    }
+
+    #[test]
+    fn arcface_handles_extreme_cosines() {
+        // cos θ at the clamp boundary must not produce NaNs.
+        let cos = Tensor::param(vec![1.0, -1.0], vec![2]);
+        let loss = cos.arcface_loss(0, 32.0, 0.5);
+        loss.backward();
+        assert!(loss.item().is_finite());
+        for g in cos.grad() {
+            assert!(g.is_finite());
+        }
+    }
+}

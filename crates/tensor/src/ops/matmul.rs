@@ -1,0 +1,205 @@
+//! Matrix multiplication and transpose.
+
+use crate::ops::elementwise::matrix_shape;
+use crate::tensor::Tensor;
+
+/// Row-major GEMM: `c[n×m] += a[n×k] · b[k×m]`, ikj loop order for cache
+/// friendliness (see the Rust Performance Book's advice on iteration).
+pub(crate) fn gemm(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
+    debug_assert_eq!(a.len(), n * k);
+    debug_assert_eq!(b.len(), k * m);
+    debug_assert_eq!(c.len(), n * m);
+    for i in 0..n {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * m..(i + 1) * m];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * m..(p + 1) * m];
+            for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
+                *c_ij += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// `c[n×m] += a[k×n]ᵀ · b[k×m]` without materialising the transpose.
+fn gemm_at_b(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
+    for p in 0..k {
+        let a_row = &a[p * n..(p + 1) * n];
+        let b_row = &b[p * m..(p + 1) * m];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * m..(i + 1) * m];
+            for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
+                *c_ij += a_pi * b_pj;
+            }
+        }
+    }
+}
+
+/// `c[n×m] += a[n×k] · b[m×k]ᵀ` without materialising the transpose.
+fn gemm_a_bt(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
+    for i in 0..n {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * m..(i + 1) * m];
+        for (j, c_ij) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (a_ip, b_jp) in a_row.iter().zip(b_row) {
+                acc += a_ip * b_jp;
+            }
+            *c_ij += acc;
+        }
+    }
+}
+
+impl Tensor {
+    /// Matrix product `self[n×k] · rhs[k×m] → [n×m]`.
+    ///
+    /// 1-D operands are treated as a single row (`[k]` ≡ `[1, k]`).
+    ///
+    /// # Panics
+    /// Panics when the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        let (n, k) = (self.rows(), self.cols());
+        let (k2, m) = (rhs.rows(), rhs.cols());
+        assert_eq!(
+            k,
+            k2,
+            "matmul inner dimension mismatch: {} vs {}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = vec![0.0; n * m];
+        gemm(&self.data(), &rhs.data(), &mut out, n, k, m);
+        let (pa, pb) = (self.clone(), rhs.clone());
+        Tensor::from_op(
+            out,
+            matrix_shape(n, m),
+            vec![self.clone(), rhs.clone()],
+            Box::new(move |o: &Tensor| {
+                let og = o.inner.grad.borrow();
+                let g = og.as_ref().expect("grad");
+                if pa.requires_grad() {
+                    // dA = dC · Bᵀ
+                    let bv = pb.data();
+                    pa.with_grad_mut(|ga| gemm_a_bt(g, &bv, ga, n, m, k));
+                }
+                if pb.requires_grad() {
+                    // dB = Aᵀ · dC
+                    let av = pa.data();
+                    pb.with_grad_mut(|gb| gemm_at_b(&av, g, gb, k, n, m));
+                }
+            }),
+        )
+    }
+
+    /// 2-D transpose `[n×m] → [m×n]`.
+    pub fn transpose(&self) -> Tensor {
+        let (n, m) = (self.rows(), self.cols());
+        let data = self.data();
+        let mut out = vec![0.0; n * m];
+        for i in 0..n {
+            for j in 0..m {
+                out[j * n + i] = data[i * m + j];
+            }
+        }
+        drop(data);
+        let pa = self.clone();
+        Tensor::from_op(
+            out,
+            matrix_shape(m, n),
+            vec![self.clone()],
+            Box::new(move |o: &Tensor| {
+                let og = o.inner.grad.borrow();
+                let g = og.as_ref().expect("grad");
+                if pa.requires_grad() {
+                    pa.with_grad_mut(|ga| {
+                        for i in 0..n {
+                            for j in 0..m {
+                                ga[i * m + j] += g[j * n + i];
+                            }
+                        }
+                    });
+                }
+            }),
+        )
+    }
+
+    /// Dot product between two equal-length vectors, as a scalar tensor.
+    pub fn dot(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.len(), rhs.len(), "dot length mismatch");
+        self.mul(rhs).sum_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_2x3_3x2() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], vec![3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape().0, vec![2, 2]);
+        assert_eq!(c.to_vec(), vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_vector_lhs() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], vec![2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], vec![2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.to_vec(), vec![13.0, 16.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dimension mismatch")]
+    fn matmul_rejects_mismatch() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![2, 3]);
+        a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_backward_matches_manual() {
+        // loss = sum(A·B); dA = 1·Bᵀ (row sums of B per column), dB = Aᵀ·1.
+        let a = Tensor::param(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]);
+        let b = Tensor::param(vec![5.0, 6.0, 7.0, 8.0], vec![2, 2]);
+        let loss = a.matmul(&b).sum_all();
+        loss.backward();
+        assert_eq!(a.grad(), vec![11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(b.grad(), vec![4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![2, 3]);
+        let t = a.transpose();
+        assert_eq!(t.shape().0, vec![3, 2]);
+        assert_eq!(t.to_vec(), vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(t.transpose().to_vec(), a.to_vec());
+    }
+
+    #[test]
+    fn transpose_backward() {
+        let a = Tensor::param(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]);
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0], vec![2, 2]);
+        let loss = a.transpose().mul(&w).sum_all();
+        loss.backward();
+        // Only position (0,0) of the transpose contributes → a[0][0].
+        assert_eq!(a.grad(), vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], vec![3]);
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], vec![3]);
+        assert_eq!(a.dot(&b).item(), 32.0);
+    }
+}

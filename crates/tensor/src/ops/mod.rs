@@ -1,0 +1,15 @@
+//! Tensor operators, grouped by family. All ops are methods on
+//! [`crate::Tensor`] so model code composes them fluently.
+
+pub mod conv;
+pub mod elementwise;
+pub mod loss;
+pub mod matmul;
+pub mod norm;
+pub mod reduce;
+pub mod shapeops;
+pub mod softmax;
+
+pub use conv::conv_out_dim;
+pub use norm::cosine_scores;
+pub use softmax::causal_mask;

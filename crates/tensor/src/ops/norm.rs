@@ -1,0 +1,161 @@
+//! Normalisation primitives: row-wise L2 normalisation and cosine similarity.
+//!
+//! The paper L2-normalises tile/POI embeddings (Sec. IV-A) and ranks
+//! candidates by cosine similarity (Sec. V-B); both live here.
+
+use crate::tensor::Tensor;
+
+const NORM_EPS: f32 = 1e-8;
+
+impl Tensor {
+    /// Normalises every row to unit L2 norm: `y_r = x_r / (‖x_r‖ + ε)`.
+    ///
+    /// The backward pass uses the closed form
+    /// `dx = (g − y·(g·y)) / ‖x‖` per row.
+    pub fn l2_normalize_rows(&self) -> Tensor {
+        let (n, m) = (self.rows(), self.cols());
+        let data = self.data();
+        let mut out = vec![0.0; n * m];
+        let mut norms = vec![0.0; n];
+        for r in 0..n {
+            let row = &data[r * m..(r + 1) * m];
+            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt() + NORM_EPS;
+            norms[r] = norm;
+            for j in 0..m {
+                out[r * m + j] = row[j] / norm;
+            }
+        }
+        drop(data);
+        let pa = self.clone();
+        let saved_y = out.clone();
+        Tensor::from_op(
+            out,
+            self.shape().clone(),
+            vec![self.clone()],
+            Box::new(move |o: &Tensor| {
+                let og = o.inner.grad.borrow();
+                let g = og.as_ref().expect("grad");
+                if pa.requires_grad() {
+                    pa.with_grad_mut(|ga| {
+                        for r in 0..n {
+                            let y = &saved_y[r * m..(r + 1) * m];
+                            let gr = &g[r * m..(r + 1) * m];
+                            let dot: f32 = y.iter().zip(gr).map(|(yi, gi)| yi * gi).sum();
+                            let inv = 1.0 / norms[r];
+                            for j in 0..m {
+                                ga[r * m + j] += (gr[j] - y[j] * dot) * inv;
+                            }
+                        }
+                    });
+                }
+            }),
+        )
+    }
+
+    /// Cosine similarity between a query vector `[d]` (or `[1, d]`) and each
+    /// row of `candidates [n, d]`, producing `[n]` — differentiable through
+    /// both operands.
+    pub fn cosine_to_rows(&self, candidates: &Tensor) -> Tensor {
+        let d = self.len();
+        assert_eq!(
+            candidates.cols(),
+            d,
+            "cosine_to_rows dim mismatch: query {} vs candidates {}",
+            self.shape(),
+            candidates.shape()
+        );
+        let q = self.reshape(vec![1, d]).l2_normalize_rows();
+        let c = candidates.l2_normalize_rows();
+        let n = candidates.rows();
+        c.matmul(&q.transpose()).reshape(vec![n])
+    }
+}
+
+/// Non-differentiable fast path: cosine similarities between `query` and each
+/// row of a flat candidate buffer. Used in inference-time ranking where
+/// autograd bookkeeping would be pure overhead.
+pub fn cosine_scores(query: &[f32], candidates: &[f32], dim: usize) -> Vec<f32> {
+    assert_eq!(query.len(), dim);
+    assert_eq!(candidates.len() % dim, 0, "candidate buffer not a multiple of dim");
+    let qn = query.iter().map(|x| x * x).sum::<f32>().sqrt() + NORM_EPS;
+    candidates
+        .chunks_exact(dim)
+        .map(|row| {
+            let mut dot = 0.0;
+            let mut nn = 0.0;
+            for (a, b) in query.iter().zip(row) {
+                dot += a * b;
+                nn += b * b;
+            }
+            dot / (qn * (nn.sqrt() + NORM_EPS))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_rows_have_unit_norm() {
+        let x = Tensor::from_vec(vec![3.0, 4.0, 0.0, 5.0], vec![2, 2]);
+        let y = x.l2_normalize_rows();
+        let v = y.to_vec();
+        assert!((v[0] - 0.6).abs() < 1e-5);
+        assert!((v[1] - 0.8).abs() < 1e-5);
+        assert!((v[3] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn l2_normalize_is_scale_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], vec![1, 2]).l2_normalize_rows();
+        let b = Tensor::from_vec(vec![10.0, 20.0], vec![1, 2]).l2_normalize_rows();
+        for (x, y) in a.to_vec().iter().zip(b.to_vec()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn l2_backward_orthogonal_to_output() {
+        // For y = x/|x|, the gradient of any loss wrt x is orthogonal to y
+        // when upstream grad is y itself (scale invariance).
+        let x = Tensor::param(vec![1.0, 2.0, 2.0], vec![1, 3]);
+        let y = x.l2_normalize_rows();
+        let target = y.detach();
+        let loss = y.mul(&target).sum_all();
+        loss.backward();
+        // loss = |y|² = 1 regardless of scale of x → zero gradient.
+        for g in x.grad() {
+            assert!(g.abs() < 1e-5, "grad should vanish, got {g}");
+        }
+    }
+
+    #[test]
+    fn cosine_to_rows_identity() {
+        let q = Tensor::from_vec(vec![1.0, 0.0], vec![2]);
+        let c = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, -1.0, 0.0], vec![3, 2]);
+        let s = q.cosine_to_rows(&c).to_vec();
+        assert!((s[0] - 1.0).abs() < 1e-5);
+        assert!(s[1].abs() < 1e-5);
+        assert!((s[2] + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cosine_scores_fast_path_matches_tensor_path() {
+        let q = vec![0.3, -0.7, 0.2];
+        let c = vec![1.0, 0.5, -0.2, -0.3, 0.9, 0.4];
+        let fast = cosine_scores(&q, &c, 3);
+        let qt = Tensor::from_vec(q, vec![3]);
+        let ct = Tensor::from_vec(c, vec![2, 3]);
+        let slow = qt.cosine_to_rows(&ct).to_vec();
+        for (f, s) in fast.iter().zip(slow) {
+            assert!((f - s).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of dim")]
+    fn cosine_scores_validates_buffer() {
+        cosine_scores(&[1.0, 2.0], &[1.0, 2.0, 3.0], 2);
+    }
+}

@@ -1,0 +1,151 @@
+//! Reductions: full sums/means and row/column reductions.
+
+use crate::ops::elementwise::matrix_shape;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sum of all elements → scalar.
+    pub fn sum_all(&self) -> Tensor {
+        let s: f32 = self.data().iter().sum();
+        let pa = self.clone();
+        Tensor::from_op(
+            vec![s],
+            Shape::scalar(),
+            vec![self.clone()],
+            Box::new(move |o: &Tensor| {
+                let og = o.inner.grad.borrow();
+                let g = og.as_ref().expect("grad")[0];
+                if pa.requires_grad() {
+                    pa.with_grad_mut(|ga| {
+                        for gi in ga.iter_mut() {
+                            *gi += g;
+                        }
+                    });
+                }
+            }),
+        )
+    }
+
+    /// Mean of all elements → scalar.
+    pub fn mean_all(&self) -> Tensor {
+        let n = self.len() as f32;
+        self.sum_all().scale(1.0 / n)
+    }
+
+    /// Column sums: `[n, m] → [m]`.
+    pub fn sum_axis0(&self) -> Tensor {
+        let (n, m) = (self.rows(), self.cols());
+        let data = self.data();
+        let mut out = vec![0.0; m];
+        for i in 0..n {
+            for j in 0..m {
+                out[j] += data[i * m + j];
+            }
+        }
+        drop(data);
+        let pa = self.clone();
+        Tensor::from_op(
+            out,
+            Shape::new(vec![m]),
+            vec![self.clone()],
+            Box::new(move |o: &Tensor| {
+                let og = o.inner.grad.borrow();
+                let g = og.as_ref().expect("grad");
+                if pa.requires_grad() {
+                    pa.with_grad_mut(|ga| {
+                        for i in 0..n {
+                            for j in 0..m {
+                                ga[i * m + j] += g[j];
+                            }
+                        }
+                    });
+                }
+            }),
+        )
+    }
+
+    /// Row sums as a column vector: `[n, m] → [n, 1]`.
+    pub fn sum_rows(&self) -> Tensor {
+        let (n, m) = (self.rows(), self.cols());
+        let data = self.data();
+        let out: Vec<f32> = (0..n).map(|i| data[i * m..(i + 1) * m].iter().sum()).collect();
+        drop(data);
+        let pa = self.clone();
+        Tensor::from_op(
+            out,
+            matrix_shape(n, 1),
+            vec![self.clone()],
+            Box::new(move |o: &Tensor| {
+                let og = o.inner.grad.borrow();
+                let g = og.as_ref().expect("grad");
+                if pa.requires_grad() {
+                    pa.with_grad_mut(|ga| {
+                        for i in 0..n {
+                            for j in 0..m {
+                                ga[i * m + j] += g[i];
+                            }
+                        }
+                    });
+                }
+            }),
+        )
+    }
+
+    /// Row means as a column vector: `[n, m] → [n, 1]`.
+    pub fn mean_rows(&self) -> Tensor {
+        let m = self.cols() as f32;
+        self.sum_rows().scale(1.0 / m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_all_forward_backward() {
+        let a = Tensor::param(vec![1.0, 2.0, 3.0], vec![3]);
+        let s = a.sum_all();
+        assert_eq!(s.item(), 6.0);
+        s.backward();
+        assert_eq!(a.grad(), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn mean_all() {
+        let a = Tensor::param(vec![2.0, 4.0], vec![2]);
+        let m = a.mean_all();
+        assert_eq!(m.item(), 3.0);
+        m.backward();
+        assert_eq!(a.grad(), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn sum_axis0_forward_backward() {
+        let a = Tensor::param(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]);
+        let s = a.sum_axis0();
+        assert_eq!(s.to_vec(), vec![4.0, 6.0]);
+        let loss = s.mul(&Tensor::from_vec(vec![1.0, 10.0], vec![2])).sum_all();
+        loss.backward();
+        assert_eq!(a.grad(), vec![1.0, 10.0, 1.0, 10.0]);
+    }
+
+    #[test]
+    fn sum_rows_shape_and_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![2, 3]);
+        let s = a.sum_rows();
+        assert_eq!(s.shape().0, vec![2, 1]);
+        assert_eq!(s.to_vec(), vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn mean_rows_backward() {
+        let a = Tensor::param(vec![0.0; 6], vec![2, 3]);
+        let loss = a.mean_rows().sum_all();
+        loss.backward();
+        for g in a.grad() {
+            assert!((g - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+}

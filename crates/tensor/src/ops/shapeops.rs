@@ -1,0 +1,236 @@
+//! Shape manipulation: reshape, row slicing/gathering, concatenation.
+
+use crate::ops::elementwise::matrix_shape;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Reinterprets the flat buffer under a new shape of equal length.
+    ///
+    /// # Panics
+    /// Panics when the element counts differ.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            self.len(),
+            shape.len(),
+            "cannot reshape {} into {shape}",
+            self.shape()
+        );
+        let pa = self.clone();
+        Tensor::from_op(
+            self.to_vec(),
+            shape,
+            vec![self.clone()],
+            Box::new(move |o: &Tensor| {
+                let og = o.inner.grad.borrow();
+                let g = og.as_ref().expect("grad");
+                if pa.requires_grad() {
+                    pa.accumulate_grad(g);
+                }
+            }),
+        )
+    }
+
+    /// Flattens to a 1-D vector.
+    pub fn flatten(&self) -> Tensor {
+        let n = self.len();
+        self.reshape(vec![n])
+    }
+
+    /// Copies rows `[start, end)` of a matrix.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
+        let (n, m) = (self.rows(), self.cols());
+        assert!(
+            start <= end && end <= n,
+            "slice_rows [{start}, {end}) out of bounds for {n} rows"
+        );
+        let data = self.data();
+        let out = data[start * m..end * m].to_vec();
+        drop(data);
+        let pa = self.clone();
+        Tensor::from_op(
+            out,
+            matrix_shape(end - start, m),
+            vec![self.clone()],
+            Box::new(move |o: &Tensor| {
+                let og = o.inner.grad.borrow();
+                let g = og.as_ref().expect("grad");
+                if pa.requires_grad() {
+                    pa.with_grad_mut(|ga| {
+                        for (k, gi) in g.iter().enumerate() {
+                            ga[start * m + k] += gi;
+                        }
+                    });
+                }
+            }),
+        )
+    }
+
+    /// A single row of a matrix as `[1, m]`.
+    pub fn row(&self, i: usize) -> Tensor {
+        self.slice_rows(i, i + 1)
+    }
+
+    /// Gathers rows by index (rows may repeat) — this is also the embedding
+    /// lookup primitive: the backward pass scatter-adds into the source rows.
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        let (n, m) = (self.rows(), self.cols());
+        for &ix in indices {
+            assert!(ix < n, "gather_rows index {ix} out of bounds for {n} rows");
+        }
+        let data = self.data();
+        let mut out = Vec::with_capacity(indices.len() * m);
+        for &ix in indices {
+            out.extend_from_slice(&data[ix * m..(ix + 1) * m]);
+        }
+        drop(data);
+        let pa = self.clone();
+        let idx: Vec<usize> = indices.to_vec();
+        Tensor::from_op(
+            out,
+            matrix_shape(idx.len(), m),
+            vec![self.clone()],
+            Box::new(move |o: &Tensor| {
+                let og = o.inner.grad.borrow();
+                let g = og.as_ref().expect("grad");
+                if pa.requires_grad() {
+                    pa.with_grad_mut(|ga| {
+                        for (r, &ix) in idx.iter().enumerate() {
+                            for j in 0..m {
+                                ga[ix * m + j] += g[r * m + j];
+                            }
+                        }
+                    });
+                }
+            }),
+        )
+    }
+
+    /// Concatenates matrices with equal column counts along the row axis.
+    ///
+    /// # Panics
+    /// Panics on an empty input list or mismatched column counts.
+    pub fn concat_rows(parts: &[Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_rows of zero tensors");
+        let m = parts[0].cols();
+        let mut total_rows = 0;
+        for p in parts {
+            assert_eq!(p.cols(), m, "concat_rows column mismatch");
+            total_rows += p.rows();
+        }
+        let mut out = Vec::with_capacity(total_rows * m);
+        for p in parts {
+            out.extend_from_slice(&p.data());
+        }
+        let owned: Vec<Tensor> = parts.to_vec();
+        let row_counts: Vec<usize> = parts.iter().map(|p| p.rows()).collect();
+        Tensor::from_op(
+            out,
+            matrix_shape(total_rows, m),
+            owned.clone(),
+            Box::new(move |o: &Tensor| {
+                let og = o.inner.grad.borrow();
+                let g = og.as_ref().expect("grad");
+                let mut offset = 0;
+                for (p, &rc) in owned.iter().zip(&row_counts) {
+                    let span = rc * m;
+                    if p.requires_grad() {
+                        p.accumulate_grad(&g[offset..offset + span]);
+                    }
+                    offset += span;
+                }
+            }),
+        )
+    }
+
+    /// Stacks 1-D vectors of equal length into a `[n, m]` matrix.
+    pub fn stack_rows(parts: &[Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "stack_rows of zero tensors");
+        let m = parts[0].len();
+        let reshaped: Vec<Tensor> = parts
+            .iter()
+            .map(|p| {
+                assert_eq!(p.len(), m, "stack_rows length mismatch");
+                p.reshape(vec![1, m])
+            })
+            .collect();
+        Tensor::concat_rows(&reshaped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reshape_preserves_data_and_grad() {
+        let a = Tensor::param(vec![1.0, 2.0, 3.0, 4.0], vec![4]);
+        let b = a.reshape(vec![2, 2]);
+        assert_eq!(b.rows(), 2);
+        let loss = b.sum_all();
+        loss.backward();
+        assert_eq!(a.grad(), vec![1.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshape")]
+    fn reshape_rejects_bad_len() {
+        Tensor::zeros(vec![4]).reshape(vec![3]);
+    }
+
+    #[test]
+    fn slice_rows_values() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), vec![4, 3]);
+        let s = a.slice_rows(1, 3);
+        assert_eq!(s.to_vec(), vec![3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn slice_rows_backward_targets_region() {
+        let a = Tensor::param(vec![0.0; 9], vec![3, 3]);
+        let loss = a.slice_rows(1, 2).sum_all();
+        loss.backward();
+        assert_eq!(a.grad(), vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gather_rows_with_repeats() {
+        let a = Tensor::param(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]);
+        let g = a.gather_rows(&[1, 1, 0]);
+        assert_eq!(g.to_vec(), vec![3.0, 4.0, 3.0, 4.0, 1.0, 2.0]);
+        let loss = g.sum_all();
+        loss.backward();
+        // Row 1 gathered twice → grad 2, row 0 once → grad 1.
+        assert_eq!(a.grad(), vec![1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn gather_rows_bounds_checked() {
+        Tensor::zeros(vec![2, 2]).gather_rows(&[5]);
+    }
+
+    #[test]
+    fn concat_rows_forward_backward() {
+        let a = Tensor::param(vec![1.0, 2.0], vec![1, 2]);
+        let b = Tensor::param(vec![3.0, 4.0, 5.0, 6.0], vec![2, 2]);
+        let c = Tensor::concat_rows(&[a.clone(), b.clone()]);
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.to_vec(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![3, 2]);
+        let loss = c.mul(&w).sum_all();
+        loss.backward();
+        assert_eq!(a.grad(), vec![1.0, 2.0]);
+        assert_eq!(b.grad(), vec![3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn stack_rows_builds_matrix() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], vec![2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], vec![2]);
+        let s = Tensor::stack_rows(&[a, b]);
+        assert_eq!(s.shape().0, vec![2, 2]);
+        assert_eq!(s.to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+}

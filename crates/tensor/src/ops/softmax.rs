@@ -1,0 +1,160 @@
+//! Row-wise softmax with optional additive attention masks.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Numerically-stable softmax over each row of `[n, m]`.
+    pub fn softmax_rows(&self) -> Tensor {
+        self.softmax_rows_masked(None)
+    }
+
+    /// Softmax over rows after adding an (non-differentiable) additive mask.
+    ///
+    /// The mask uses `0.0` for valid positions and a large negative value
+    /// (e.g. `-1e9`) for invalid ones, matching the inverted-triangle mask
+    /// `M_mask` of the paper's sequential self-attention (Sec. V-A).
+    pub fn softmax_rows_masked(&self, mask: Option<&Tensor>) -> Tensor {
+        let (n, m) = (self.rows(), self.cols());
+        if let Some(mk) = mask {
+            assert_eq!(
+                mk.len(),
+                n * m,
+                "mask shape {} does not cover input {}",
+                mk.shape(),
+                self.shape()
+            );
+        }
+        let data = self.data();
+        let mut out = vec![0.0; n * m];
+        {
+            let mask_data = mask.map(|m| m.data());
+            for r in 0..n {
+                let row = &data[r * m..(r + 1) * m];
+                let mut masked: Vec<f32> = row.to_vec();
+                if let Some(md) = &mask_data {
+                    for (v, &mv) in masked.iter_mut().zip(&md[r * m..(r + 1) * m]) {
+                        *v += mv;
+                    }
+                }
+                let max = masked.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0;
+                for v in masked.iter_mut() {
+                    *v = (*v - max).exp();
+                    sum += *v;
+                }
+                let inv = 1.0 / sum.max(1e-20);
+                for (j, v) in masked.iter().enumerate() {
+                    out[r * m + j] = v * inv;
+                }
+            }
+        }
+        drop(data);
+        let pa = self.clone();
+        let saved = out.clone();
+        Tensor::from_op(
+            out,
+            self.shape().clone(),
+            vec![self.clone()],
+            Box::new(move |o: &Tensor| {
+                let og = o.inner.grad.borrow();
+                let g = og.as_ref().expect("grad");
+                if pa.requires_grad() {
+                    pa.with_grad_mut(|ga| {
+                        for r in 0..n {
+                            let y = &saved[r * m..(r + 1) * m];
+                            let gr = &g[r * m..(r + 1) * m];
+                            let dot: f32 = y.iter().zip(gr).map(|(yi, gi)| yi * gi).sum();
+                            for j in 0..m {
+                                ga[r * m + j] += y[j] * (gr[j] - dot);
+                            }
+                        }
+                    });
+                }
+            }),
+        )
+    }
+}
+
+/// Builds the paper's inverted-triangle causal mask for a length-`n`
+/// self-attention: position `u` may attend to positions `v ≤ u`.
+///
+/// Valid entries are `0.0`; future positions get `-1e9`.
+pub fn causal_mask(n: usize) -> Tensor {
+    let mut data = vec![0.0; n * n];
+    for u in 0..n {
+        for v in (u + 1)..n {
+            data[u * n + v] = -1e9;
+        }
+    }
+    Tensor::from_vec(data, vec![n, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0, 1.0, 1.0], vec![2, 3]);
+        let y = x.softmax_rows();
+        let v = y.to_vec();
+        let s0: f32 = v[0..3].iter().sum();
+        let s1: f32 = v[3..6].iter().sum();
+        assert!((s0 - 1.0).abs() < 1e-5);
+        assert!((s1 - 1.0).abs() < 1e-5);
+        // Uniform row → uniform probabilities.
+        assert!((v[3] - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], vec![1, 3]).softmax_rows();
+        let b = Tensor::from_vec(vec![101.0, 102.0, 103.0], vec![1, 3]).softmax_rows();
+        for (x, y) in a.to_vec().iter().zip(b.to_vec()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn causal_mask_zeroes_future() {
+        let m = causal_mask(3);
+        let y = Tensor::from_vec(vec![1.0; 9], vec![3, 3]).softmax_rows_masked(Some(&m));
+        let v = y.to_vec();
+        // Row 0 can only see position 0.
+        assert!((v[0] - 1.0).abs() < 1e-5);
+        assert!(v[1].abs() < 1e-5 && v[2].abs() < 1e-5);
+        // Row 1 sees positions 0 and 1 equally.
+        assert!((v[3] - 0.5).abs() < 1e-5);
+        assert!((v[4] - 0.5).abs() < 1e-5);
+        assert!(v[5].abs() < 1e-5);
+        // Row 2 sees everything.
+        assert!((v[6] - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_backward_is_zero_for_uniform_upstream() {
+        // With g = 1 for every output, softmax grad is y*(1 - 1) = 0.
+        let x = Tensor::param(vec![0.3, -0.6, 1.1], vec![1, 3]);
+        let loss = x.softmax_rows().sum_all();
+        loss.backward();
+        for g in x.grad() {
+            assert!(g.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_backward_selective() {
+        // loss = softmax(x)[0]; numeric check.
+        let x = Tensor::param(vec![0.1, 0.2, 0.3], vec![1, 3]);
+        let y = x.softmax_rows();
+        let pick = Tensor::from_vec(vec![1.0, 0.0, 0.0], vec![1, 3]);
+        let loss = y.mul(&pick).sum_all();
+        loss.backward();
+        let p = y.to_vec();
+        // Analytic: dp0/dx_j = p0*(δ0j − pj).
+        let expected = [p[0] * (1.0 - p[0]), -p[0] * p[1], -p[0] * p[2]];
+        for (g, e) in x.grad().iter().zip(expected) {
+            assert!((g - e).abs() < 1e-5, "{g} vs {e}");
+        }
+    }
+}

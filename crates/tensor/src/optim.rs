@@ -1,0 +1,239 @@
+//! Optimizers: SGD and Adam (the paper trains with Adam + decaying LR).
+
+use std::collections::HashMap;
+
+use crate::tensor::Tensor;
+
+/// Clears the gradient of every parameter.
+pub fn zero_grad(params: &[Tensor]) {
+    for p in params {
+        p.zero_grad();
+    }
+}
+
+/// Global L2 gradient-norm clipping. Returns the pre-clip norm.
+pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> f32 {
+    let mut total = 0.0f32;
+    for p in params {
+        for g in p.grad() {
+            total += g * g;
+        }
+    }
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params {
+            p.with_grad_mut(|g| {
+                for gi in g.iter_mut() {
+                    *gi *= scale;
+                }
+            });
+        }
+    }
+    norm
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum factor (0 disables).
+    pub momentum: f32,
+    velocity: HashMap<u64, Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
+    }
+
+    /// Applies one update step to every parameter.
+    pub fn step(&mut self, params: &[Tensor]) {
+        for p in params {
+            let grad = p.grad();
+            if self.momentum > 0.0 {
+                let v = self
+                    .velocity
+                    .entry(p.id())
+                    .or_insert_with(|| vec![0.0; grad.len()]);
+                p.update_data(|data| {
+                    for i in 0..data.len() {
+                        v[i] = self.momentum * v[i] + grad[i];
+                        data[i] -= self.lr * v[i];
+                    }
+                });
+            } else {
+                p.update_data(|data| {
+                    for (d, g) in data.iter_mut().zip(&grad) {
+                        *d -= self.lr * g;
+                    }
+                });
+            }
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with optional multiplicative LR decay per
+/// epoch, matching the paper's `lr = 2e-5 with 0.95 decay`.
+pub struct Adam {
+    /// Current learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Decoupled weight decay (0 disables).
+    pub weight_decay: f32,
+    t: u64,
+    moments: HashMap<u64, (Vec<f32>, Vec<f32>)>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard betas.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            moments: HashMap::new(),
+        }
+    }
+
+    /// Builder-style weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Multiplies the learning rate by `factor` (the paper uses 0.95/epoch).
+    pub fn decay_lr(&mut self, factor: f32) {
+        self.lr *= factor;
+    }
+
+    /// Applies one Adam update to every parameter.
+    pub fn step(&mut self, params: &[Tensor]) {
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for p in params {
+            let grad = p.grad();
+            let (m, v) = self
+                .moments
+                .entry(p.id())
+                .or_insert_with(|| (vec![0.0; grad.len()], vec![0.0; grad.len()]));
+            p.update_data(|data| {
+                for i in 0..data.len() {
+                    let g = grad[i] + self.weight_decay * data[i];
+                    m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+                    v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+                    let m_hat = m[i] / b1t;
+                    let v_hat = v[i] / b2t;
+                    data[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_loss(p: &Tensor) -> Tensor {
+        // loss = Σ (p − 3)²
+        let target = Tensor::full(3.0, p.shape().clone());
+        p.sub(&target).square().sum_all()
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let p = Tensor::param(vec![0.0, 10.0], vec![2]);
+        let mut opt = Sgd::new(0.1, 0.0);
+        for _ in 0..100 {
+            zero_grad(&[p.clone()]);
+            let loss = quadratic_loss(&p);
+            loss.backward();
+            opt.step(&[p.clone()]);
+        }
+        for v in p.to_vec() {
+            assert!((v - 3.0).abs() < 1e-3, "did not converge: {v}");
+        }
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let p = Tensor::param(vec![-5.0], vec![1]);
+        let mut opt = Sgd::new(0.05, 0.9);
+        for _ in 0..200 {
+            zero_grad(&[p.clone()]);
+            quadratic_loss(&p).backward();
+            opt.step(&[p.clone()]);
+        }
+        assert!((p.item() - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let p = Tensor::param(vec![20.0], vec![1]);
+        let mut opt = Adam::new(0.5);
+        for _ in 0..300 {
+            zero_grad(&[p.clone()]);
+            quadratic_loss(&p).backward();
+            opt.step(&[p.clone()]);
+        }
+        assert!((p.item() - 3.0).abs() < 1e-2, "adam did not converge: {}", p.item());
+    }
+
+    #[test]
+    fn adam_lr_decay() {
+        let mut opt = Adam::new(1.0);
+        opt.decay_lr(0.95);
+        opt.decay_lr(0.95);
+        assert!((opt.lr - 0.9025).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_grad_norm_rescales() {
+        let p = Tensor::param(vec![0.0, 0.0], vec![2]);
+        p.accumulate_grad(&[3.0, 4.0]); // norm 5
+        let norm = clip_grad_norm(&[p.clone()], 1.0);
+        assert!((norm - 5.0).abs() < 1e-5);
+        let g = p.grad();
+        let new_norm = (g[0] * g[0] + g[1] * g[1]).sqrt();
+        assert!((new_norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_grad_norm_noop_below_threshold() {
+        let p = Tensor::param(vec![0.0], vec![1]);
+        p.accumulate_grad(&[0.5]);
+        clip_grad_norm(&[p.clone()], 1.0);
+        assert_eq!(p.grad(), vec![0.5]);
+    }
+
+    #[test]
+    fn zero_grad_clears_all() {
+        let a = Tensor::param(vec![0.0], vec![1]);
+        let b = Tensor::param(vec![0.0], vec![1]);
+        a.accumulate_grad(&[1.0]);
+        b.accumulate_grad(&[2.0]);
+        zero_grad(&[a.clone(), b.clone()]);
+        assert_eq!(a.grad(), vec![0.0]);
+        assert_eq!(b.grad(), vec![0.0]);
+    }
+}

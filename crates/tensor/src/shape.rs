@@ -1,0 +1,260 @@
+//! Shape bookkeeping for dense row-major tensors.
+//!
+//! Tensors in this crate are rank 0–4 and always stored contiguously in
+//! row-major order. [`Shape`] is a thin wrapper over the dimension vector
+//! that centralises element counting, index arithmetic and the (restricted)
+//! broadcast rules used by the elementwise operators.
+
+use std::fmt;
+
+/// Dimensions of a tensor, row-major.
+///
+/// A scalar is represented as `Shape(vec![1])` for uniformity: every tensor
+/// owns at least one element.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Creates a shape, normalising the empty dims list to `[1]` (a scalar).
+    pub fn new(dims: Vec<usize>) -> Self {
+        if dims.is_empty() {
+            Shape(vec![1])
+        } else {
+            Shape(dims)
+        }
+    }
+
+    /// Scalar shape `[1]`.
+    pub fn scalar() -> Self {
+        Shape(vec![1])
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// True when the tensor holds exactly one element.
+    pub fn is_scalar(&self) -> bool {
+        self.len() == 1
+    }
+
+    /// Never true: shapes always describe at least one element.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Dimension at `i`, panicking with a readable message when out of range.
+    pub fn dim(&self, i: usize) -> usize {
+        assert!(
+            i < self.0.len(),
+            "shape {self} has no dimension {i}"
+        );
+        self.0[i]
+    }
+
+    /// Rows of a matrix ( `[n, m]` → `n` ). Vectors are treated as a single row.
+    pub fn rows(&self) -> usize {
+        match self.0.len() {
+            1 => 1,
+            _ => self.0[0],
+        }
+    }
+
+    /// Columns of a matrix ( `[n, m]` → `m` ). Vectors are their own row.
+    pub fn cols(&self) -> usize {
+        match self.0.len() {
+            1 => self.0[0],
+            _ => self.0[1..].iter().product(),
+        }
+    }
+
+    /// True when both shapes describe identical dims.
+    pub fn same(&self, other: &Shape) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+/// How the right-hand operand of an elementwise binary op lines up with the
+/// left-hand operand.
+///
+/// Only the patterns actually used by the model code are supported; anything
+/// else is a programming error and panics eagerly with both shapes in the
+/// message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Broadcast {
+    /// Identical shapes; index `i` on the left pairs with index `i` on the right.
+    Same,
+    /// Right side is a single element applied to every left element.
+    Scalar,
+    /// Left is `[n, m]`, right is `[m]` (or `[1, m]`): the row vector is added
+    /// to every row.
+    Row,
+    /// Left is `[n, m]`, right is `[n, 1]`: the column vector is applied
+    /// across every column of its row.
+    Col,
+}
+
+impl Broadcast {
+    /// Determines the broadcast pattern for `lhs ∘ rhs`.
+    pub fn infer(lhs: &Shape, rhs: &Shape) -> Broadcast {
+        if lhs.same(rhs) {
+            return Broadcast::Same;
+        }
+        if rhs.is_scalar() {
+            return Broadcast::Scalar;
+        }
+        let (n, m) = (lhs.rows(), lhs.cols());
+        if rhs.rank() == 1 && rhs.dim(0) == m {
+            return Broadcast::Row;
+        }
+        if rhs.rank() == 2 && rhs.dim(0) == 1 && rhs.dim(1) == m {
+            return Broadcast::Row;
+        }
+        if rhs.rank() == 2 && rhs.dim(0) == n && rhs.dim(1) == 1 {
+            return Broadcast::Col;
+        }
+        panic!("cannot broadcast {rhs} onto {lhs}");
+    }
+
+    /// Maps a flat index on the left operand to the matching flat index on
+    /// the right operand.
+    #[inline]
+    pub fn rhs_index(self, lhs_index: usize, lhs_cols: usize) -> usize {
+        match self {
+            Broadcast::Same => lhs_index,
+            Broadcast::Scalar => 0,
+            Broadcast::Row => lhs_index % lhs_cols,
+            Broadcast::Col => lhs_index / lhs_cols,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.len(), 1);
+        assert!(s.is_scalar());
+        assert_eq!(s.rank(), 1);
+    }
+
+    #[test]
+    fn empty_dims_normalise_to_scalar() {
+        let s = Shape::new(vec![]);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn matrix_rows_cols() {
+        let s = Shape::new(vec![3, 4]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.cols(), 4);
+        assert_eq!(s.len(), 12);
+    }
+
+    #[test]
+    fn vector_is_single_row() {
+        let s = Shape::new(vec![5]);
+        assert_eq!(s.rows(), 1);
+        assert_eq!(s.cols(), 5);
+    }
+
+    #[test]
+    fn rank3_cols_flatten_trailing_dims() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.cols(), 12);
+    }
+
+    #[test]
+    fn broadcast_same() {
+        let a = Shape::new(vec![2, 3]);
+        let b = Shape::new(vec![2, 3]);
+        assert_eq!(Broadcast::infer(&a, &b), Broadcast::Same);
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        let a = Shape::new(vec![2, 3]);
+        let b = Shape::scalar();
+        assert_eq!(Broadcast::infer(&a, &b), Broadcast::Scalar);
+        assert_eq!(Broadcast::Scalar.rhs_index(5, 3), 0);
+    }
+
+    #[test]
+    fn broadcast_row() {
+        let a = Shape::new(vec![2, 3]);
+        let b = Shape::new(vec![3]);
+        assert_eq!(Broadcast::infer(&a, &b), Broadcast::Row);
+        assert_eq!(Broadcast::Row.rhs_index(4, 3), 1);
+    }
+
+    #[test]
+    fn broadcast_row_2d() {
+        let a = Shape::new(vec![2, 3]);
+        let b = Shape::new(vec![1, 3]);
+        assert_eq!(Broadcast::infer(&a, &b), Broadcast::Row);
+    }
+
+    #[test]
+    fn broadcast_col() {
+        let a = Shape::new(vec![2, 3]);
+        let b = Shape::new(vec![2, 1]);
+        assert_eq!(Broadcast::infer(&a, &b), Broadcast::Col);
+        assert_eq!(Broadcast::Col.rhs_index(4, 3), 1);
+        assert_eq!(Broadcast::Col.rhs_index(2, 3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot broadcast")]
+    fn broadcast_mismatch_panics() {
+        let a = Shape::new(vec![2, 3]);
+        let b = Shape::new(vec![4]);
+        Broadcast::infer(&a, &b);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", Shape::new(vec![2, 3])), "[2, 3]");
+    }
+}

@@ -1,0 +1,283 @@
+//! Property-based gradient verification: every differentiable operator is
+//! checked against central finite differences on randomly generated inputs.
+
+use proptest::prelude::*;
+use tspn_tensor::gradcheck::grad_check;
+use tspn_tensor::{causal_mask, Tensor};
+
+/// Strategy: a well-conditioned parameter vector (values away from the
+/// non-differentiable kinks of relu/clamp and the poles of div/ln).
+fn values(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(
+        (-20i32..=20).prop_filter("avoid kinks", |v| v.abs() >= 2),
+        n,
+    )
+    .prop_map(|vs| vs.into_iter().map(|v| v as f32 * 0.1).collect())
+}
+
+fn check(params: &[Tensor], f: impl Fn() -> Tensor) {
+    let report = grad_check(params, f, 1e-2);
+    prop_assert_fine(report.max_rel_err, report.max_abs_err);
+}
+
+fn prop_assert_fine(rel: f32, abs: f32) {
+    assert!(
+        rel < 5e-2 || abs < 5e-3,
+        "gradient mismatch: rel {rel}, abs {abs}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn grad_add(a in values(6), b in values(6)) {
+        let x = Tensor::param(a, vec![2, 3]);
+        let y = Tensor::param(b, vec![2, 3]);
+        let (xc, yc) = (x.clone(), y.clone());
+        check(&[x, y], move || xc.add(&yc).square().sum_all());
+    }
+
+    #[test]
+    fn grad_sub_mul(a in values(6), b in values(6)) {
+        let x = Tensor::param(a, vec![2, 3]);
+        let y = Tensor::param(b, vec![2, 3]);
+        let (xc, yc) = (x.clone(), y.clone());
+        check(&[x, y], move || xc.sub(&yc).mul(&yc).sum_all());
+    }
+
+    #[test]
+    fn grad_div(a in values(4), b in values(4)) {
+        let x = Tensor::param(a, vec![4]);
+        let y = Tensor::param(b, vec![4]);
+        let (xc, yc) = (x.clone(), y.clone());
+        check(&[x, y], move || xc.div(&yc).sum_all());
+    }
+
+    #[test]
+    fn grad_row_broadcast(a in values(6), b in values(3)) {
+        let x = Tensor::param(a, vec![2, 3]);
+        let y = Tensor::param(b, vec![3]);
+        let (xc, yc) = (x.clone(), y.clone());
+        check(&[x, y], move || xc.mul(&yc).square().sum_all());
+    }
+
+    #[test]
+    fn grad_col_broadcast(a in values(6), b in values(2)) {
+        let x = Tensor::param(a, vec![2, 3]);
+        let y = Tensor::param(b, vec![2, 1]);
+        let (xc, yc) = (x.clone(), y.clone());
+        check(&[x, y], move || xc.add(&yc).square().sum_all());
+    }
+
+    #[test]
+    fn grad_matmul(a in values(6), b in values(6)) {
+        let x = Tensor::param(a, vec![2, 3]);
+        let y = Tensor::param(b, vec![3, 2]);
+        let (xc, yc) = (x.clone(), y.clone());
+        check(&[x, y], move || xc.matmul(&yc).square().sum_all());
+    }
+
+    #[test]
+    fn grad_transpose(a in values(6)) {
+        let x = Tensor::param(a, vec![2, 3]);
+        let xc = x.clone();
+        check(&[x], move || xc.transpose().matmul(&xc).sum_all());
+    }
+
+    #[test]
+    fn grad_activations(a in values(5)) {
+        let x = Tensor::param(a, vec![5]);
+        let xc = x.clone();
+        check(&[x], move || {
+            xc.tanh().add(&xc.sigmoid()).add(&xc.leaky_relu(0.2)).square().sum_all()
+        });
+    }
+
+    #[test]
+    fn grad_exp_ln_sqrt(a in values(4)) {
+        // Shift into positive territory for ln/sqrt.
+        let pos: Vec<f32> = a.iter().map(|v| v.abs() + 0.5).collect();
+        let x = Tensor::param(pos, vec![4]);
+        let xc = x.clone();
+        check(&[x], move || xc.ln().add(&xc.sqrt()).add(&xc.scale(0.1).exp()).sum_all());
+    }
+
+    #[test]
+    fn grad_reductions(a in values(6)) {
+        let x = Tensor::param(a, vec![2, 3]);
+        let xc = x.clone();
+        check(&[x], move || {
+            xc.sum_rows().square().sum_all()
+                .add(&xc.sum_axis0().square().sum_all())
+                .add(&xc.mean_all())
+        });
+    }
+
+    #[test]
+    fn grad_softmax(a in values(6)) {
+        let x = Tensor::param(a, vec![2, 3]);
+        let xc = x.clone();
+        let pick = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0], vec![2, 3]);
+        check(&[x], move || xc.softmax_rows().mul(&pick).sum_all());
+    }
+
+    #[test]
+    fn grad_masked_softmax(a in values(9)) {
+        let x = Tensor::param(a, vec![3, 3]);
+        let xc = x.clone();
+        let mask = causal_mask(3);
+        let pick = Tensor::from_vec(vec![0.7, 0.1, 0.0, 0.3, 0.5, 0.0, 0.2, 0.2, 0.6], vec![3, 3]);
+        check(&[x], move || xc.softmax_rows_masked(Some(&mask)).mul(&pick).sum_all());
+    }
+
+    #[test]
+    fn grad_l2_normalize(a in values(6)) {
+        let x = Tensor::param(a, vec![2, 3]);
+        let xc = x.clone();
+        let pick = Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.1, 0.9, -0.4], vec![2, 3]);
+        check(&[x], move || xc.l2_normalize_rows().mul(&pick).sum_all());
+    }
+
+    #[test]
+    fn grad_cosine(a in values(3), b in values(6)) {
+        let q = Tensor::param(a, vec![3]);
+        let c = Tensor::param(b, vec![2, 3]);
+        let (qc, cc) = (q.clone(), c.clone());
+        let pick = Tensor::from_vec(vec![1.0, -0.5], vec![2]);
+        check(&[q, c], move || qc.cosine_to_rows(&cc).mul(&pick).sum_all());
+    }
+
+    #[test]
+    fn grad_gather_slice_concat(a in values(8)) {
+        let x = Tensor::param(a, vec![4, 2]);
+        let xc = x.clone();
+        check(&[x], move || {
+            let g = xc.gather_rows(&[0, 2, 2]);
+            let s = xc.slice_rows(1, 3);
+            Tensor::concat_rows(&[g, s]).square().sum_all()
+        });
+    }
+
+    #[test]
+    fn grad_cross_entropy(a in values(6)) {
+        let x = Tensor::param(a, vec![2, 3]);
+        let xc = x.clone();
+        check(&[x], move || xc.cross_entropy_logits(&[1, 2]));
+    }
+
+    #[test]
+    fn grad_arcface(raw in proptest::collection::vec(-8i32..=8, 4), t in 0usize..4) {
+        // Cosines strictly inside (−1, 1).
+        let cos: Vec<f32> = raw.iter().map(|v| *v as f32 * 0.1).collect();
+        let x = Tensor::param(cos, vec![4]);
+        let xc = x.clone();
+        check(&[x], move || xc.arcface_loss(t, 8.0, 0.25));
+    }
+
+    #[test]
+    fn grad_conv2d(a in values(16), w in values(4)) {
+        let x = Tensor::param(a, vec![1, 4, 4]);
+        let k = Tensor::param(w, vec![1, 1, 2, 2]);
+        let b = Tensor::param(vec![0.1], vec![1]);
+        let (xc, kc, bc) = (x.clone(), k.clone(), b.clone());
+        check(&[x, k, b], move || xc.conv2d(&kc, &bc, 2, 1).square().sum_all());
+    }
+
+    #[test]
+    fn grad_layernorm_composition(a in values(6)) {
+        // Layer-norm built from primitives (as the LayerNorm module does).
+        let x = Tensor::param(a, vec![2, 3]);
+        let xc = x.clone();
+        let pick = Tensor::from_vec(vec![0.9, -0.2, 0.3, 0.4, 0.1, -0.7], vec![2, 3]);
+        check(&[x], move || {
+            let mu = xc.mean_rows();
+            let centered = xc.sub(&mu);
+            let var = centered.square().mean_rows();
+            let xhat = centered.div(&var.add_scalar(1e-3).sqrt());
+            xhat.mul(&pick).sum_all()
+        });
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn grad_conv2d_stride1_padded(a in values(18), w in values(8)) {
+        // 2-channel input, 1 output channel, 2×2 kernel, stride 1, pad 1.
+        let x = Tensor::param(a, vec![2, 3, 3]);
+        let k = Tensor::param(w, vec![1, 2, 2, 2]);
+        let b = Tensor::param(vec![-0.2], vec![1]);
+        let (xc, kc, bc) = (x.clone(), k.clone(), b.clone());
+        check(&[x, k, b], move || xc.conv2d(&kc, &bc, 1, 1).square().sum_all());
+    }
+
+    #[test]
+    fn grad_conv2d_multichannel_out(a in values(16), w in values(16)) {
+        // 1→4 channels, 2×2 kernel, stride 2, no padding.
+        let x = Tensor::param(a, vec![1, 4, 4]);
+        let k = Tensor::param(w, vec![4, 1, 2, 2]);
+        let b = Tensor::param(vec![0.1, -0.1, 0.2, 0.0], vec![4]);
+        let (xc, kc, bc) = (x.clone(), k.clone(), b.clone());
+        check(&[x, k, b], move || xc.conv2d(&kc, &bc, 2, 0).square().sum_all());
+    }
+
+    #[test]
+    fn grad_three_way_concat_and_stack(a in values(4), b in values(4), c in values(4)) {
+        let x = Tensor::param(a, vec![2, 2]);
+        let y = Tensor::param(b, vec![2, 2]);
+        let z = Tensor::param(c, vec![4]);
+        let (xc, yc, zc) = (x.clone(), y.clone(), z.clone());
+        check(&[x, y, z], move || {
+            let cat = Tensor::concat_rows(&[xc.clone(), yc.clone()]);
+            let stacked = Tensor::stack_rows(&[zc.clone()]);
+            cat.square().sum_all().add(&stacked.square().sum_all())
+        });
+    }
+
+    #[test]
+    fn adam_is_noop_on_zero_gradient(init in values(6)) {
+        // A parameter untouched by the loss must not move under Adam.
+        let active = Tensor::param(init.clone(), vec![6]);
+        let frozen = Tensor::param(init, vec![6]);
+        let before = frozen.to_vec();
+        let mut opt = tspn_tensor::optim::Adam::new(0.1);
+        for _ in 0..5 {
+            tspn_tensor::optim::zero_grad(&[active.clone(), frozen.clone()]);
+            let loss = active.square().sum_all();
+            loss.backward();
+            opt.step(&[active.clone(), frozen.clone()]);
+        }
+        prop_assert_eq!(frozen.to_vec(), before);
+    }
+
+    #[test]
+    fn backward_twice_accumulates_exactly(a in values(4)) {
+        // Two independent backward passes double the gradient.
+        let x = Tensor::param(a, vec![4]);
+        let loss1 = x.square().sum_all();
+        loss1.backward();
+        let g1 = x.grad();
+        let loss2 = x.square().sum_all();
+        loss2.backward();
+        let g2 = x.grad();
+        for (one, two) in g1.iter().zip(&g2) {
+            prop_assert!((two - 2.0 * one).abs() < 1e-5);
+        }
+    }
+}
+
+#[test]
+fn deep_chain_does_not_overflow_stack() {
+    // RNN-style unrolls build graphs thousands of nodes deep; the topological
+    // sort must be iterative.
+    let x = Tensor::param(vec![0.5], vec![1]);
+    let mut y = x.clone();
+    for _ in 0..5_000 {
+        y = y.add_scalar(0.0001);
+    }
+    let loss = y.sum_all();
+    loss.backward();
+    assert!((x.grad()[0] - 1.0).abs() < 1e-5);
+}

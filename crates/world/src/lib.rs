@@ -1,0 +1,28 @@
+//! # tspn-world
+//!
+//! A deterministic procedural "city" shared by every substrate of the
+//! TSPN-RA reproduction. The paper consumes three external geographic data
+//! sources — Google-Maps satellite imagery, OpenStreetMap road networks,
+//! and LBSN check-ins — none of which are available here, so this crate
+//! provides the single consistent ground truth they are all derived from:
+//!
+//! * a land-use field ([`World::land_use`]) with water/coastlines, parks,
+//!   commercial districts, residential belts, industrial pockets and
+//!   suburban outskirts,
+//! * a road-density field ([`World::road_density`]) concentrated around
+//!   district centres,
+//! * a POI-attractiveness field ([`World::attractiveness`]) that drives
+//!   venue placement in `tspn-data`.
+//!
+//! Coordinates are normalised to the unit square; callers map from
+//! lat/lon through their region bounding box. Everything is a pure
+//! function of the seed, so imagery pixels, road segments and simulated
+//! check-ins always agree about where the ocean is.
+
+#![warn(missing_docs)]
+
+mod noise;
+mod world;
+
+pub use noise::ValueNoise;
+pub use world::{Coast, LandUse, World, WorldConfig};

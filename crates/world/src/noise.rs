@@ -1,0 +1,123 @@
+//! Deterministic value noise — the texture generator behind land-use
+//! fields and synthetic satellite imagery. Pure function of (seed, x, y),
+//! so every crate that samples the world sees the same terrain.
+
+/// Seeded 2-D value noise with fractal Brownian motion stacking.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueNoise {
+    seed: u64,
+}
+
+impl ValueNoise {
+    /// Creates a noise field for a seed.
+    pub fn new(seed: u64) -> Self {
+        ValueNoise { seed }
+    }
+
+    /// Hashes an integer lattice point into `[0, 1)`.
+    fn lattice(&self, xi: i64, yi: i64) -> f64 {
+        // SplitMix64-style mixing of the lattice coordinates and seed.
+        let mut z = self
+            .seed
+            .wrapping_add((xi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((yi as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Smoothly interpolated noise at continuous coordinates, in `[0, 1)`.
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        let xf = x.floor();
+        let yf = y.floor();
+        let (xi, yi) = (xf as i64, yf as i64);
+        let (fx, fy) = (x - xf, y - yf);
+        // Quintic smoothstep keeps the field C² — avoids visible lattice lines.
+        let sx = fx * fx * fx * (fx * (fx * 6.0 - 15.0) + 10.0);
+        let sy = fy * fy * fy * (fy * (fy * 6.0 - 15.0) + 10.0);
+        let v00 = self.lattice(xi, yi);
+        let v10 = self.lattice(xi + 1, yi);
+        let v01 = self.lattice(xi, yi + 1);
+        let v11 = self.lattice(xi + 1, yi + 1);
+        let top = v00 + (v10 - v00) * sx;
+        let bottom = v01 + (v11 - v01) * sx;
+        top + (bottom - top) * sy
+    }
+
+    /// Fractal Brownian motion: `octaves` layers of noise at doubling
+    /// frequency and halving amplitude, normalised back into `[0, 1)`.
+    pub fn fbm(&self, x: f64, y: f64, octaves: u32) -> f64 {
+        assert!(octaves >= 1, "fbm needs at least one octave");
+        let mut total = 0.0;
+        let mut amplitude = 1.0;
+        let mut frequency = 1.0;
+        let mut norm = 0.0;
+        for o in 0..octaves {
+            // Different octaves sample shifted coordinates so they decorrelate.
+            let offset = o as f64 * 17.31;
+            total += amplitude * self.sample(x * frequency + offset, y * frequency + offset);
+            norm += amplitude;
+            amplitude *= 0.5;
+            frequency *= 2.0;
+        }
+        total / norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = ValueNoise::new(7);
+        let b = ValueNoise::new(7);
+        for i in 0..50 {
+            let (x, y) = (i as f64 * 0.37, i as f64 * 0.73);
+            assert_eq!(a.sample(x, y), b.sample(x, y));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ValueNoise::new(1);
+        let b = ValueNoise::new(2);
+        let diffs = (0..20)
+            .filter(|&i| {
+                let (x, y) = (i as f64 * 0.5, i as f64 * 0.25);
+                (a.sample(x, y) - b.sample(x, y)).abs() > 1e-6
+            })
+            .count();
+        assert!(diffs > 15, "seeds produce nearly identical noise");
+    }
+
+    #[test]
+    fn values_in_unit_interval() {
+        let n = ValueNoise::new(42);
+        for i in 0..200 {
+            let v = n.fbm(i as f64 * 0.173, i as f64 * 0.311, 4);
+            assert!((0.0..1.0).contains(&v), "fbm out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn continuity_between_nearby_points() {
+        let n = ValueNoise::new(5);
+        for i in 0..100 {
+            let x = i as f64 * 0.1;
+            let a = n.sample(x, 0.5);
+            let b = n.sample(x + 1e-4, 0.5);
+            assert!((a - b).abs() < 1e-2, "noise discontinuity at {x}");
+        }
+    }
+
+    #[test]
+    fn matches_lattice_at_integers() {
+        let n = ValueNoise::new(11);
+        // At integer coordinates the interpolation collapses to the lattice value.
+        let s = n.sample(3.0, 4.0);
+        assert!((0.0..1.0).contains(&s));
+        assert_eq!(n.sample(3.0, 4.0), s);
+    }
+}

@@ -1,0 +1,85 @@
+//! Head-to-head comparison on one dataset: TSPN-RA against the ten
+//! baselines of the paper's Tables II/III, at a size that finishes in a
+//! couple of minutes.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example model_shootout
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tspn::baselines::{all_baselines, evaluate_model, SeqModelConfig};
+use tspn::core::{SpatialContext, Trainer, TspnConfig};
+use tspn::data::presets::tky_mini;
+use tspn::data::synth::generate_dataset;
+use tspn::metrics::{evaluate_ranks, TableBuilder};
+
+fn main() {
+    let mut preset = tky_mini(0.2);
+    preset.days = 40;
+    let (dataset, world) = generate_dataset(preset);
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let split = dataset.split_samples(&mut rng);
+    println!(
+        "{}: {} train / {} test samples, {} POIs",
+        dataset.name,
+        split.train.len(),
+        split.test.len(),
+        dataset.pois.len()
+    );
+
+    let mut table = TableBuilder::new(&["Model", "Recall@5", "Recall@10", "MRR"]);
+
+    // The ten baselines.
+    let cfg = SeqModelConfig {
+        epochs: 2,
+        ..SeqModelConfig::default()
+    };
+    for mut model in all_baselines(&dataset, cfg) {
+        let t = std::time::Instant::now();
+        model.fit(&dataset, &split.train);
+        let ranks = evaluate_model(model.as_ref(), &dataset, &split.test);
+        let m = evaluate_ranks(ranks);
+        println!(
+            "{:<16} recall@5 {:.3}  mrr {:.3}  ({:.1}s)",
+            model.name(),
+            m.recall[0],
+            m.mrr,
+            t.elapsed().as_secs_f64()
+        );
+        table.row(vec![
+            model.name().to_string(),
+            format!("{:.4}", m.recall[0]),
+            format!("{:.4}", m.recall[1]),
+            format!("{:.4}", m.mrr),
+        ]);
+    }
+
+    // TSPN-RA.
+    let config = TspnConfig {
+        epochs: 2,
+        ..TspnConfig::default()
+    };
+    let ctx = SpatialContext::build(dataset, world, &config);
+    let mut trainer = Trainer::new(config, ctx);
+    let t = std::time::Instant::now();
+    trainer.fit(&split.train);
+    let outcomes = trainer.evaluate(&split.test);
+    let m = evaluate_ranks(outcomes.iter().map(|o| o.rank));
+    println!(
+        "{:<16} recall@5 {:.3}  mrr {:.3}  ({:.1}s)",
+        "TSPN-RA",
+        m.recall[0],
+        m.mrr,
+        t.elapsed().as_secs_f64()
+    );
+    table.row(vec![
+        "TSPN-RA".into(),
+        format!("{:.4}", m.recall[0]),
+        format!("{:.4}", m.recall[1]),
+        format!("{:.4}", m.mrr),
+    ]);
+
+    println!("\n{}", table.to_markdown());
+}

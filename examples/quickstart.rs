@@ -1,0 +1,81 @@
+//! Quickstart: generate a small synthetic city, train TSPN-RA for a couple
+//! of epochs, and produce a next-POI recommendation for one user.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tspn::core::{SpatialContext, Trainer, TspnConfig};
+use tspn::data::presets::nyc_mini;
+use tspn::data::synth::generate_dataset;
+use tspn::metrics::evaluate_ranks;
+
+fn main() {
+    // 1. Data: a scaled-down Foursquare-NYC-style synthetic dataset.
+    //    The generator also returns the world model so imagery and roads
+    //    stay consistent with the check-ins.
+    let mut preset = nyc_mini(0.2);
+    preset.days = 40;
+    let (dataset, world) = generate_dataset(preset);
+    let stats = dataset.stats();
+    println!(
+        "generated {}: {} check-ins, {} users, {} POIs, {} categories",
+        dataset.name, stats.checkins, stats.users, stats.pois, stats.categories
+    );
+
+    // 2. Model: default laptop-scale configuration (dm=32, 16×16 imagery).
+    let config = TspnConfig {
+        epochs: 2,
+        ..TspnConfig::default()
+    };
+    let ctx = SpatialContext::build(dataset, world, &config);
+    println!(
+        "quad-tree: {} tiles ({} leaves), imagery {}×{} px per tile",
+        ctx.num_tiles(),
+        ctx.num_leaves(),
+        config.image_size,
+        config.image_size
+    );
+
+    // 3. Train.
+    let mut trainer = Trainer::new(config, ctx);
+    let samples = trainer.ctx.dataset.all_samples();
+    let split = samples.len() * 9 / 10;
+    let (train, test) = samples.split_at(split);
+    for stat in trainer.fit(train) {
+        println!(
+            "epoch {}: loss {:.4} ({:.1}s)",
+            stat.epoch, stat.mean_loss, stat.seconds
+        );
+    }
+
+    // 4. Evaluate on held-out samples.
+    let outcomes = trainer.evaluate(test);
+    let metrics = evaluate_ranks(outcomes.iter().map(|o| o.rank));
+    println!(
+        "test: recall@5 {:.3}, recall@10 {:.3}, MRR {:.3} over {} samples",
+        metrics.recall[0], metrics.recall[1], metrics.mrr, metrics.n
+    );
+
+    // 5. Recommend: the two-step prediction for the last test sample.
+    let sample = test.last().expect("non-empty test split");
+    let tables = trainer.model.batch_tables(&trainer.ctx);
+    let prediction = trainer.model.predict(&trainer.ctx, sample, &tables);
+    let target = trainer.ctx.dataset.sample_target(sample);
+    println!(
+        "\nuser {} — top-5 recommendations (truth: POI {}):",
+        sample.user_index, target.poi.0
+    );
+    for (i, poi) in prediction.poi_ranking.iter().take(5).enumerate() {
+        let p = trainer.ctx.dataset.poi(*poi);
+        println!(
+            "  #{} POI {:<4} category {:<3} at ({:.4}, {:.4})",
+            i + 1,
+            p.id.0,
+            p.cate.0,
+            p.loc.lat,
+            p.loc.lon
+        );
+    }
+}

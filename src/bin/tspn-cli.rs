@@ -1,0 +1,196 @@
+//! `tspn-cli` — command-line workflows over the TSPN-RA reproduction.
+//!
+//! ```text
+//! tspn-cli generate --preset nyc --scale 0.3 --out data/      # export CSVs
+//! tspn-cli train    --preset nyc --scale 0.3 --epochs 8 \
+//!                   --model model.json                        # train + save
+//! tspn-cli predict  --preset nyc --scale 0.3 --model model.json \
+//!                   --user 3                                  # recommend
+//! ```
+//!
+//! The synthetic presets are deterministic, so `predict` regenerates the
+//! identical dataset the checkpoint was trained on.
+
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tspn::core::{SpatialContext, Trainer, TspnConfig, TspnRa};
+use tspn::data::presets;
+use tspn::data::synth::{generate_dataset, SynthConfig};
+use tspn::metrics::evaluate_ranks;
+
+struct Args {
+    command: String,
+    preset: String,
+    scale: f64,
+    epochs: usize,
+    model_path: PathBuf,
+    out_dir: PathBuf,
+    user: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tspn-cli <generate|train|predict> [--preset nyc|tky|california|florida] \
+         [--scale F] [--epochs N] [--model FILE] [--out DIR] [--user N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        usage();
+    }
+    let mut args = Args {
+        command: argv[0].clone(),
+        preset: "nyc".into(),
+        scale: 0.3,
+        epochs: 8,
+        model_path: PathBuf::from("tspn-model.json"),
+        out_dir: PathBuf::from("data"),
+        user: 0,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--preset" => args.preset = value(&mut i),
+            "--scale" => args.scale = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--epochs" => args.epochs = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--model" => args.model_path = PathBuf::from(value(&mut i)),
+            "--out" => args.out_dir = PathBuf::from(value(&mut i)),
+            "--user" => args.user = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn preset_config(name: &str, scale: f64) -> SynthConfig {
+    match name {
+        "nyc" => presets::nyc_mini(scale),
+        "tky" => presets::tky_mini(scale),
+        "california" => presets::california_mini(scale),
+        "florida" => presets::florida_mini(scale),
+        other => {
+            eprintln!("unknown preset {other:?}");
+            usage()
+        }
+    }
+}
+
+fn model_config(epochs: usize) -> TspnConfig {
+    TspnConfig {
+        epochs,
+        dm: 48,
+        lr: 1e-3,
+        lr_decay: 0.9,
+        ..TspnConfig::default()
+    }
+}
+
+fn cmd_generate(args: &Args) {
+    let (ds, _) = generate_dataset(preset_config(&args.preset, args.scale));
+    std::fs::create_dir_all(&args.out_dir).expect("create output dir");
+    let pois_path = args.out_dir.join(format!("{}_pois.csv", ds.name));
+    let checkins_path = args.out_dir.join(format!("{}_checkins.csv", ds.name));
+    tspn::data::io::write_pois(&ds, std::fs::File::create(&pois_path).expect("create"))
+        .expect("write pois");
+    tspn::data::io::write_checkins(&ds, std::fs::File::create(&checkins_path).expect("create"))
+        .expect("write checkins");
+    let s = ds.stats();
+    println!(
+        "{}: {} check-ins, {} users, {} POIs → {} / {}",
+        ds.name,
+        s.checkins,
+        s.users,
+        s.pois,
+        pois_path.display(),
+        checkins_path.display()
+    );
+}
+
+fn cmd_train(args: &Args) {
+    let (ds, world) = generate_dataset(preset_config(&args.preset, args.scale));
+    let cfg = model_config(args.epochs);
+    let ctx = SpatialContext::build(ds, world, &cfg);
+    let mut trainer = Trainer::new(cfg, ctx);
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let split = trainer.ctx.dataset.split_samples(&mut rng);
+    println!(
+        "training on {} samples ({} epochs, validated)…",
+        split.train.len(),
+        args.epochs
+    );
+    trainer.fit_validated(&split.train, &split.val, args.epochs);
+    let outcomes = trainer.evaluate(&split.test);
+    let m = evaluate_ranks(outcomes.iter().map(|o| o.rank));
+    println!(
+        "test: recall@5 {:.3}  recall@10 {:.3}  MRR {:.3}  ({} samples)",
+        m.recall[0], m.recall[1], m.mrr, m.n
+    );
+    let ckpt = trainer.model.save();
+    let json = serde_json::to_string(&ckpt).expect("serialise checkpoint");
+    std::fs::write(&args.model_path, json).expect("write model file");
+    println!(
+        "saved {} parameters to {}",
+        trainer.model.num_params(),
+        args.model_path.display()
+    );
+}
+
+fn cmd_predict(args: &Args) {
+    let (ds, world) = generate_dataset(preset_config(&args.preset, args.scale));
+    let cfg = model_config(args.epochs);
+    let ctx = SpatialContext::build(ds, world, &cfg);
+    let model = TspnRa::new(cfg, &ctx);
+    let json = std::fs::read_to_string(&args.model_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", args.model_path.display()));
+    let ckpt: tspn::tensor::serialize::Checkpoint =
+        serde_json::from_str(&json).expect("parse checkpoint");
+    model
+        .load(&ckpt)
+        .expect("checkpoint incompatible with this preset/scale/epochs config");
+    // The user's most recent predictable situation.
+    let sample = ctx
+        .dataset
+        .all_samples()
+        .into_iter().rfind(|s| s.user_index == args.user)
+        .unwrap_or_else(|| panic!("user {} has no predictable samples", args.user));
+    let tables = model.batch_tables(&ctx);
+    let pred = model.predict(&ctx, &sample, &tables);
+    println!(
+        "user {} — top-10 next-POI recommendations (from {} candidates in top-{} tiles):",
+        args.user,
+        pred.candidate_count,
+        model.config.top_k
+    );
+    for (i, poi) in pred.poi_ranking.iter().take(10).enumerate() {
+        let p = ctx.dataset.poi(*poi);
+        println!(
+            "  #{:<2} POI {:<5} category {:<3} at ({:.4}, {:.4})",
+            i + 1,
+            p.id.0,
+            p.cate.0,
+            p.loc.lat,
+            p.loc.lon
+        );
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    match args.command.as_str() {
+        "generate" => cmd_generate(&args),
+        "train" => cmd_train(&args),
+        "predict" => cmd_predict(&args),
+        _ => usage(),
+    }
+}

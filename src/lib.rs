@@ -1,0 +1,52 @@
+//! # tspn — TSPN-RA, reproduced in Rust
+//!
+//! A from-scratch reproduction of *"Towards Effective Next POI Prediction:
+//! Spatial and Semantic Augmentation with Remote Sensing Data"*
+//! (Jiang et al., ICDE 2024): a two-step next-POI prediction network that
+//! augments location and semantics with remote-sensing imagery, a region
+//! quad-tree partition, and a heterogeneous QR-P graph over historical
+//! trajectories.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`tensor`] — pure-Rust autodiff substrate (the DL framework stand-in),
+//! * [`geo`] — geographic primitives, the region quad-tree, grid baseline,
+//! * [`world`] — the deterministic procedural city model,
+//! * [`imagery`] — synthetic remote-sensing tile rendering + noise,
+//! * [`roadnet`] — procedural road networks + QR-P tile adjacency,
+//! * [`data`] — LBSN types, trajectory windowing, the check-in simulator,
+//! * [`graph`] — QR-P graph construction + heterogeneous graph attention,
+//! * [`core`] — the TSPN-RA model, trainer, ablation variants,
+//! * [`baselines`] — the ten comparison models of Tables II/III,
+//! * [`metrics`] — Recall@K / NDCG@K / MRR and reporting.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use tspn::core::{SpatialContext, Trainer, TspnConfig};
+//! use tspn::data::presets::nyc_mini;
+//! use tspn::data::synth::generate_dataset;
+//!
+//! let (dataset, world) = generate_dataset(nyc_mini(0.2));
+//! let config = TspnConfig::default();
+//! let ctx = SpatialContext::build(dataset, world, &config);
+//! let mut trainer = Trainer::new(config, ctx);
+//! let samples = trainer.ctx.dataset.all_samples();
+//! trainer.fit_epochs(&samples, 2);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
+//! the per-table/per-figure experiment reproductions.
+
+#![warn(missing_docs)]
+
+pub use tspn_baselines as baselines;
+pub use tspn_core as core;
+pub use tspn_data as data;
+pub use tspn_geo as geo;
+pub use tspn_graph as graph;
+pub use tspn_imagery as imagery;
+pub use tspn_metrics as metrics;
+pub use tspn_roadnet as roadnet;
+pub use tspn_tensor as tensor;
+pub use tspn_world as world;

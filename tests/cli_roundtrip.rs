@@ -1,0 +1,74 @@
+//! End-to-end exercise of the `tspn-cli` workflows through the library
+//! API (the binary is a thin wrapper over these calls): generate → CSV →
+//! reload → train → checkpoint → reload → identical predictions.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tspn::core::{SpatialContext, Trainer, TspnConfig, TspnRa};
+use tspn::data::presets::florida_mini;
+use tspn::data::synth::generate_dataset;
+use tspn::data::io;
+
+fn tiny_cfg() -> TspnConfig {
+    TspnConfig {
+        dm: 16,
+        image_size: 8,
+        epochs: 1,
+        attn_blocks: 1,
+        hgat_layers: 1,
+        ..TspnConfig::default()
+    }
+}
+
+#[test]
+fn csv_export_reimport_preserves_learning_problem() {
+    let mut preset = florida_mini(0.1);
+    preset.days = 15;
+    let (ds, _world) = generate_dataset(preset);
+
+    let mut pois_csv = Vec::new();
+    let mut checkins_csv = Vec::new();
+    io::write_pois(&ds, &mut pois_csv).expect("write pois");
+    io::write_checkins(&ds, &mut checkins_csv).expect("write checkins");
+
+    let pois = io::read_pois(&pois_csv[..]).expect("read pois");
+    let checkins = io::read_checkins(&checkins_csv[..]).expect("read checkins");
+    let back = io::assemble("reimported", ds.region, pois, checkins, ds.num_categories);
+
+    assert_eq!(back.stats().checkins, ds.stats().checkins);
+    assert_eq!(back.all_samples().len(), ds.all_samples().len());
+}
+
+#[test]
+fn checkpoint_json_roundtrip_preserves_predictions() {
+    let mut preset = florida_mini(0.1);
+    preset.days = 15;
+    let (ds, world) = generate_dataset(preset);
+    let cfg = tiny_cfg();
+    let ctx = SpatialContext::build(ds, world, &cfg);
+    let mut trainer = Trainer::new(cfg.clone(), ctx);
+    let mut rng = StdRng::seed_from_u64(1);
+    let split = trainer.ctx.dataset.split_samples(&mut rng);
+    let train: Vec<_> = split.train.iter().take(16).copied().collect();
+    trainer.fit_epochs(&train, 1);
+
+    // Save through JSON exactly as the CLI does.
+    let json = serde_json::to_string(&trainer.model.save()).expect("serialise");
+    let ckpt: tspn::tensor::serialize::Checkpoint =
+        serde_json::from_str(&json).expect("parse");
+
+    // Fresh model with a different seed, restored from the JSON.
+    let mut cfg2 = cfg;
+    cfg2.seed = 31337;
+    let model2 = TspnRa::new(cfg2, &trainer.ctx);
+    model2.load(&ckpt).expect("load");
+
+    let sample = split.test.first().or(split.train.first()).expect("samples");
+    let t1 = trainer.model.batch_tables(&trainer.ctx);
+    let t2 = model2.batch_tables(&trainer.ctx);
+    let p1 = trainer.model.predict(&trainer.ctx, sample, &t1);
+    let p2 = model2.predict(&trainer.ctx, sample, &t2);
+    assert_eq!(p1.poi_ranking, p2.poi_ranking);
+    assert_eq!(p1.tile_ranking, p2.tile_ranking);
+}

@@ -1,0 +1,108 @@
+//! Cross-substrate consistency: the world model, imagery, road network and
+//! check-in data must all agree about the same geography — the property
+//! that makes the synthetic substitution meaningful.
+
+use std::collections::HashSet;
+
+use tspn::data::presets::florida_mini;
+use tspn::data::synth::{generate_dataset, SynthGenerator};
+use tspn::geo::{QuadTree, QuadTreeConfig};
+use tspn::imagery::ImageryDataset;
+use tspn::roadnet::{generate_roads, road_tile_adjacency, RoadGenConfig};
+
+#[test]
+fn imagery_agrees_with_world_about_water() {
+    let mut preset = florida_mini(0.15);
+    preset.days = 10;
+    let gen = SynthGenerator::new(preset);
+    let ds = gen.generate();
+    let world = gen.world();
+    let tree = QuadTree::build(
+        ds.region,
+        &ds.poi_locations(),
+        QuadTreeConfig {
+            max_depth: 5,
+            leaf_capacity: 15,
+        },
+    );
+    let imagery = ImageryDataset::render_for_tree(world, ds.region, &tree, 16);
+    // Leaves whose centre is ocean must render blue-dominant.
+    for leaf in tree.leaves() {
+        let bbox = tree.node(leaf).bbox;
+        let c = bbox.center();
+        let (x, y) = ds.region.normalize(&c);
+        if world.coast_depth(x, y) > 0.05 {
+            let [r, _g, b] = imagery.get(leaf).expect("rendered").mean_rgb();
+            assert!(b > r, "ocean tile {leaf:?} is not blue (R {r}, B {b})");
+        }
+    }
+    // The quad-tree only refines where POIs are, so a small preset may
+    // leave no leaf centred in deep ocean — check an explicit far-east
+    // ocean tile directly against the renderer as the definitive probe.
+    let renderer = tspn::imagery::TileRenderer::new(world, ds.region);
+    let ocean_bbox = tspn::geo::BBox::new(
+        ds.region.min_lat + 0.4 * ds.region.lat_span(),
+        ds.region.min_lon + 0.97 * ds.region.lon_span(),
+        ds.region.min_lat + 0.6 * ds.region.lat_span(),
+        ds.region.min_lon + 0.999 * ds.region.lon_span(),
+    );
+    let [r, _g, b] = renderer.render(&ocean_bbox, 16).mean_rgb();
+    assert!(b > r * 1.3, "far-east ocean probe is not blue (R {r}, B {b})");
+}
+
+#[test]
+fn pois_never_in_water_roads_never_in_water() {
+    let mut preset = florida_mini(0.15);
+    preset.days = 10;
+    let gen = SynthGenerator::new(preset);
+    let ds = gen.generate();
+    let world = gen.world();
+    for p in &ds.pois {
+        let (x, y) = ds.region.normalize(&p.loc);
+        assert!(!world.is_water_at(x, y), "POI {:?} in the ocean", p.id);
+    }
+    let net = generate_roads(world, RoadGenConfig::default());
+    for i in 0..net.num_nodes() {
+        let n = net.node(tspn::roadnet::RoadNodeId(i));
+        assert!(!world.is_water_at(n.x, n.y), "road junction in the ocean");
+    }
+}
+
+#[test]
+fn road_adjacency_covers_visited_tiles() {
+    // The QR-P road edges must connect tiles that users actually travel
+    // between (roads exist where the data generator routes people).
+    let mut preset = florida_mini(0.2);
+    preset.days = 20;
+    let gen = SynthGenerator::new(preset);
+    let ds = gen.generate();
+    let world = gen.world();
+    let tree = QuadTree::build(
+        ds.region,
+        &ds.poi_locations(),
+        QuadTreeConfig {
+            max_depth: 6,
+            leaf_capacity: 10,
+        },
+    );
+    let net = generate_roads(world, RoadGenConfig::default());
+    let adjacency = road_tile_adjacency(&net, &tree, &ds.region);
+    assert!(!adjacency.is_empty(), "no road-connected tile pairs at all");
+    // Tiles that appear in the adjacency are real leaves.
+    let leaves: HashSet<_> = tree.leaves().into_iter().collect();
+    for (a, b) in &adjacency {
+        assert!(leaves.contains(a) && leaves.contains(b));
+    }
+}
+
+#[test]
+fn regenerating_the_same_preset_is_bit_identical() {
+    let preset = florida_mini(0.1);
+    let (a, _) = generate_dataset(preset.clone());
+    let (b, _) = generate_dataset(preset);
+    assert_eq!(a.pois, b.pois);
+    assert_eq!(a.stats(), b.stats());
+    for (ua, ub) in a.users.iter().zip(&b.users) {
+        assert_eq!(ua.trajectories, ub.trajectories);
+    }
+}
