@@ -319,7 +319,7 @@ mod tests {
                 left = true;
             }
             if left {
-                assert!(!b || true);
+                assert!(!b, "beam flag rose again after leaving the beam");
             }
         }
     }

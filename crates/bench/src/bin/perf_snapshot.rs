@@ -1,0 +1,188 @@
+//! Performance snapshot: times the hot paths (quad-tree build, HGAT
+//! forward, GEMM 256³, one end-to-end prediction, a training epoch, and a
+//! full test-split evaluation) and records them as JSON so successive PRs
+//! have a wall-clock trajectory to compare against.
+//!
+//! ```text
+//! cargo run --release -p tspn-bench --bin perf_snapshot            # writes BENCH_1.json
+//! cargo run --release -p tspn-bench --bin perf_snapshot -- --check # quick run, no file
+//! cargo run --release -p tspn-bench --bin perf_snapshot -- --out results/bench.json
+//! ```
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use tspn_core::{Partition, SpatialContext, Trainer, TspnConfig};
+use tspn_data::presets::nyc_mini;
+use tspn_data::synth::generate_dataset;
+use tspn_data::Visit;
+use tspn_geo::{NodeId, QuadTree, QuadTreeConfig};
+use tspn_graph::{build_qrp, Hgat, QrpOptions};
+use tspn_tensor::{gemm, init, parallel, pool};
+
+/// One timed metric: best-of-N wall-clock seconds.
+#[derive(Debug, Clone, Serialize)]
+struct Metric {
+    name: String,
+    seconds: f64,
+    repeats: usize,
+}
+
+/// The whole snapshot, serialised to `BENCH_1.json`.
+#[derive(Debug, Clone, Serialize)]
+struct Snapshot {
+    /// Snapshot schema/PR generation marker.
+    generation: usize,
+    threads: usize,
+    metrics: Vec<Metric>,
+    pool_hit_rate: f64,
+}
+
+/// Best-of-`repeats` timing.
+fn time_best(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_only = args.iter().any(|a| a == "--check");
+    // `run_all` forwards its flags verbatim: `--out` names a *directory*
+    // there, so accept either a directory (snapshot lands inside it) or a
+    // file path; `--quick` shrinks the workload without skipping the write.
+    let quick = check_only || args.iter().any(|a| a == "--quick");
+    let out_arg = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_1.json".to_string());
+    let out_path = if std::path::Path::new(&out_arg).is_dir() {
+        std::path::Path::new(&out_arg)
+            .join("BENCH_1.json")
+            .to_string_lossy()
+            .into_owned()
+    } else {
+        out_arg
+    };
+    let repeats = if quick { 2 } else { 5 };
+    let scale = if quick { 0.15 } else { 0.35 };
+
+    let mut metrics = Vec::new();
+    let mut record = |name: &str, seconds: f64, repeats: usize| {
+        println!("{name:<28} {:>10.3} ms", seconds * 1e3);
+        metrics.push(Metric { name: name.to_string(), seconds, repeats });
+    };
+
+    // --- Quad-tree construction ---
+    let mut dcfg = nyc_mini(scale);
+    dcfg.days = if quick { 8 } else { 15 };
+    let (ds, world) = generate_dataset(dcfg);
+    let locs = ds.poi_locations();
+    let qt_secs = time_best(repeats, || {
+        std::hint::black_box(QuadTree::build(
+            ds.region,
+            &locs,
+            QuadTreeConfig { max_depth: 7, leaf_capacity: 6 },
+        ));
+    });
+    record("quadtree_build", qt_secs, repeats);
+
+    // --- HGAT forward ---
+    let tree = QuadTree::build(
+        ds.region,
+        &locs,
+        QuadTreeConfig { max_depth: 6, leaf_capacity: 10 },
+    );
+    let leaves = tree.leaves();
+    let mut road: HashSet<(NodeId, NodeId)> = HashSet::new();
+    for w in leaves.windows(2) {
+        road.insert((w[0].min(w[1]), w[0].max(w[1])));
+    }
+    let visits: Vec<Visit> = ds.users[0]
+        .trajectories
+        .iter()
+        .flat_map(|t| t.visits.iter().copied())
+        .collect();
+    let graph = build_qrp(&tree, &road, &visits, &ds, QrpOptions::default());
+    let mut rng = StdRng::seed_from_u64(1);
+    let hgat = Hgat::new(&mut rng, 32, 2);
+    let h0 = init::normal(&mut rng, 0.0, 0.5, vec![graph.num_nodes(), 32]).detach();
+    let hgat_secs = time_best(repeats, || {
+        std::hint::black_box(hgat.forward(&graph, &h0));
+    });
+    record("hgat_forward_2layer", hgat_secs, repeats);
+
+    // --- GEMM 256³ ---
+    let n = 256usize;
+    let a: Vec<f32> = (0..n * n).map(|i| (i % 17) as f32 * 0.1).collect();
+    let b: Vec<f32> = (0..n * n).map(|i| (i % 13) as f32 * 0.1).collect();
+    let mut c = vec![0.0f32; n * n];
+    let gemm_secs = time_best(repeats.max(3), || {
+        c.fill(0.0);
+        gemm(&a, &b, &mut c, n, n, n);
+        std::hint::black_box(&c);
+    });
+    record("gemm_256", gemm_secs, repeats.max(3));
+    let gflops = 2.0 * (n * n * n) as f64 / gemm_secs / 1e9;
+    println!("{:<28} {gflops:>10.2} GFLOP/s", "  (gemm_256 throughput)");
+
+    // --- End-to-end model paths ---
+    let cfg = TspnConfig {
+        dm: 16,
+        image_size: 8,
+        attn_blocks: 1,
+        hgat_layers: 1,
+        batch_size: 8,
+        partition: Partition::QuadTree { max_depth: 5, leaf_capacity: 12 },
+        ..TspnConfig::default()
+    };
+    let ctx = SpatialContext::build(ds, world, &cfg);
+    let mut trainer = Trainer::new(cfg, ctx);
+    let samples = trainer.ctx.dataset.all_samples();
+    let sample = samples[samples.len() / 2];
+    let tables = trainer.model.batch_tables(&trainer.ctx);
+    let predict_secs = time_best(repeats, || {
+        std::hint::black_box(trainer.model.predict(&trainer.ctx, &sample, &tables));
+    });
+    drop(tables);
+    record("predict_one", predict_secs, repeats);
+
+    let train: Vec<_> = samples.iter().take(if quick { 16 } else { 64 }).copied().collect();
+    let t0 = Instant::now();
+    trainer.fit_epochs(&train, 1);
+    record("train_epoch", t0.elapsed().as_secs_f64(), 1);
+
+    let eval: Vec<_> = samples
+        .iter()
+        .take(if quick { 32 } else { 256 })
+        .copied()
+        .collect();
+    let eval_secs = time_best(repeats.min(3), || {
+        std::hint::black_box(trainer.evaluate(&eval));
+    });
+    record("evaluate_test_split", eval_secs, repeats.min(3));
+
+    let snapshot = Snapshot {
+        generation: 1,
+        threads: parallel::num_threads(),
+        metrics,
+        pool_hit_rate: pool::stats().hit_rate(),
+    };
+    let json = serde_json::to_string(&snapshot).expect("serialise snapshot");
+    if check_only {
+        println!("--check: snapshot not written ({} metrics ok)", snapshot.metrics.len());
+    } else {
+        std::fs::write(&out_path, &json).expect("write snapshot file");
+        println!("wrote {out_path}");
+    }
+}

@@ -10,7 +10,7 @@ use std::process::Command;
 
 use tspn_bench::ExperimentOpts;
 
-const BINARIES: [&str; 9] = [
+const BINARIES: [&str; 10] = [
     "table1_datasets",
     "table2_foursquare",
     "table3_weeplaces",
@@ -20,6 +20,7 @@ const BINARIES: [&str; 9] = [
     "fig10_param_tuning",
     "fig11_topk",
     "fig12_case_study",
+    "perf_snapshot",
 ];
 
 fn main() {

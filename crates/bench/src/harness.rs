@@ -229,9 +229,9 @@ mod tests {
     #[test]
     fn scaled_settings_shrink_paper_values() {
         let (d, omega, k) = scaled_settings("nyc-mini");
-        assert!(d <= 8 && d >= 4);
+        assert!((4..=8).contains(&d));
         assert!(omega <= 50);
-        assert!(k <= 15 && k >= 3);
+        assert!((3..=15).contains(&k));
     }
 
     #[test]

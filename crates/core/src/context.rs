@@ -8,7 +8,6 @@ use tspn_data::{LbsnDataset, PoiId};
 use tspn_geo::{NodeId, QuadTree};
 use tspn_imagery::ImageryDataset;
 use tspn_roadnet::{generate_roads, road_tile_adjacency, RoadGenConfig};
-use tspn_tensor::Tensor;
 use tspn_world::World;
 
 use crate::config::{Partition, TspnConfig};
@@ -33,9 +32,26 @@ pub struct SpatialContext {
     pub imagery: ImageryDataset,
     /// Tile pairs directly connected by a road.
     pub road_adjacency: HashSet<(NodeId, NodeId)>,
-    /// Pre-converted CHW float image tensors, indexed by `NodeId.0`.
-    pub image_tensors: Vec<Tensor>,
+    /// Pre-converted CHW float image buffers, indexed by `NodeId.0`.
+    ///
+    /// Stored as plain `Vec<f32>` (not tensors) so the whole context is
+    /// `Sync` and can be shared by reference across the data-parallel
+    /// trainer's worker threads; each model replica wraps them in
+    /// (non-differentiable) tensors on demand.
+    pub image_chw: Vec<Vec<f32>>,
+    /// Image side length of the buffers in [`SpatialContext::image_chw`].
+    pub image_chw_size: usize,
+    /// Bumped on every content mutation (e.g. [`SpatialContext::swap_imagery`]);
+    /// consumers caching context-derived state key on this.
+    revision: u64,
 }
+
+// The trainer shares `&SpatialContext` across worker threads; keep the
+// context free of interior mutability and `Rc`-based types.
+const _: fn() = || {
+    fn assert_sync<T: Sync + Send>() {}
+    assert_sync::<SpatialContext>();
+};
 
 impl SpatialContext {
     /// Builds the context for a dataset + world under a model config.
@@ -83,7 +99,8 @@ impl SpatialContext {
         let roads = generate_roads(&world, RoadGenConfig::default());
         let road_adjacency = road_tile_adjacency(&roads, &tree, &dataset.region);
 
-        let image_tensors = Self::image_tensors_from(&imagery, &tree, config.image_size);
+        let (image_chw, image_chw_size) =
+            Self::image_buffers_from(&imagery, &tree, config.image_size);
 
         SpatialContext {
             dataset,
@@ -95,33 +112,45 @@ impl SpatialContext {
             leaf_pois,
             imagery,
             road_adjacency,
-            image_tensors,
+            image_chw,
+            image_chw_size,
+            revision: 0,
         }
     }
 
-    fn image_tensors_from(
+    fn image_buffers_from(
         imagery: &ImageryDataset,
         tree: &QuadTree,
         expect_size: usize,
-    ) -> Vec<Tensor> {
+    ) -> (Vec<Vec<f32>>, usize) {
         let size = imagery.image_size();
-        (0..tree.num_nodes())
+        let buffers = (0..tree.num_nodes())
             .map(|i| {
                 let img = imagery
                     .get(NodeId(i))
                     .unwrap_or_else(|| panic!("missing imagery for node {i}"));
                 debug_assert!(size == expect_size || size == 8);
-                Tensor::from_vec(img.to_chw_f32(), vec![3, size, size])
+                img.to_chw_f32()
             })
-            .collect()
+            .collect();
+        (buffers, size)
     }
 
     /// Replaces the imagery (e.g. with a corrupted copy for the Fig. 12b
-    /// study), re-deriving the cached tensors.
+    /// study), re-deriving the cached buffers.
     pub fn swap_imagery(&mut self, imagery: ImageryDataset) {
-        self.image_tensors =
-            Self::image_tensors_from(&imagery, &self.tree, imagery.image_size());
+        let (chw, size) =
+            Self::image_buffers_from(&imagery, &self.tree, imagery.image_size());
+        self.image_chw = chw;
+        self.image_chw_size = size;
         self.imagery = imagery;
+        self.revision += 1;
+    }
+
+    /// Monotonic content revision; changes whenever the context's derived
+    /// inputs (currently the imagery) are replaced.
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// Number of leaf tiles.
@@ -192,7 +221,7 @@ mod tests {
     #[test]
     fn imagery_covers_all_nodes() {
         let ctx = tiny_context();
-        assert_eq!(ctx.image_tensors.len(), ctx.num_tiles());
+        assert_eq!(ctx.image_chw.len(), ctx.num_tiles());
         assert_eq!(ctx.imagery.len(), ctx.num_tiles());
     }
 
@@ -220,12 +249,12 @@ mod tests {
     }
 
     #[test]
-    fn swap_imagery_replaces_tensors() {
+    fn swap_imagery_replaces_buffers() {
         let mut ctx = tiny_context();
-        let before = ctx.image_tensors[0].to_vec();
+        let before = ctx.image_chw[0].clone();
         let noisy = ctx.imagery.with_noise(0.5, 3);
         ctx.swap_imagery(noisy);
-        let after = ctx.image_tensors[0].to_vec();
+        let after = ctx.image_chw[0].clone();
         assert_ne!(before, after);
     }
 }

@@ -77,6 +77,25 @@ impl Me1 {
         Tensor::concat_rows(&rows)
     }
 
+    /// Like [`Me1::embed_tiles_raw`], but over raw CHW float buffers
+    /// (`3·s·s` each) as stored in the spatial context. Buffers are
+    /// wrapped in non-differentiable tensors via the buffer pool, so
+    /// repeated batch passes allocate nothing new; keeping the context
+    /// tensor-free is what lets the trainer share it across threads.
+    pub fn embed_tiles_chw(&self, images: &[Vec<f32>]) -> Tensor {
+        assert!(!images.is_empty(), "no tile images given");
+        let s = self.image_size;
+        let rows: Vec<Tensor> = images
+            .iter()
+            .map(|chw| {
+                assert_eq!(chw.len(), 3 * s * s, "image buffer length mismatch");
+                let t = Tensor::from_vec(tspn_tensor::pool::take_copied(chw), vec![3, s, s]);
+                self.embed_one(&t)
+            })
+            .collect();
+        Tensor::concat_rows(&rows)
+    }
+
     /// Embeds a batch of images into the tile embedding table
     /// `E_T [n, dm]`, L2-normalised per row as in the paper.
     pub fn embed_tiles(&self, images: &[Tensor]) -> Tensor {

@@ -175,7 +175,7 @@ impl TspnRa {
         let identity = self.tile_fallback.lookup(&all);
         let tiles = if self.config.variant.use_imagery {
             self.me1
-                .embed_tiles_raw(&ctx.image_tensors)
+                .embed_tiles_chw(&ctx.image_chw)
                 .add(&identity)
                 .l2_normalize_rows()
         } else {
@@ -454,6 +454,14 @@ impl TspnRa {
     /// structures stay valid, but tests use this to force rebuilds).
     pub fn clear_cache(&self) {
         self.qrp_cache.borrow_mut().clear();
+    }
+
+    /// Reseeds the dropout RNG. The data-parallel trainer gives every
+    /// gradient shard a seed derived from `(config.seed, step, shard)`, so
+    /// training is reproducible for a fixed seed and thread count no
+    /// matter which worker executes which shard.
+    pub fn reseed_dropout(&self, seed: u64) {
+        *self.rng.borrow_mut() = StdRng::seed_from_u64(seed);
     }
 }
 

@@ -1,18 +1,43 @@
 //! Training and evaluation driver for TSPN-RA.
+//!
+//! Both evaluation and per-batch gradient computation are data-parallel:
+//! samples are sharded across worker threads, each of which owns a full
+//! model **replica** (the autodiff tape is single-threaded `Rc`, so
+//! replicas — built once per fit/evaluate call and synchronised by
+//! parameter snapshot — are how the tape scales across cores).
+//!
+//! ## Determinism contract
+//!
+//! * **Evaluation** is bitwise identical for every thread count: replicas
+//!   restore the exact parameter values, forward passes are deterministic
+//!   (the GEMM kernels are bitwise thread-count-invariant), and outcomes
+//!   are reassembled in sample order.
+//! * **Training** is deterministic for a fixed `(seed, thread count)`:
+//!   each batch is split into `min(threads, batch)` contiguous shards,
+//!   every shard's dropout RNG is seeded from `(seed, step, shard)`, and
+//!   shard gradients merge into the optimizer in shard order.
+//!
+//! Thread count comes from [`tspn_tensor::parallel::num_threads`]
+//! (`TSPN_NUM_THREADS` to override; `1` forces the serial path).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::sync::{mpsc, Arc};
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use tspn_data::Sample;
-use tspn_tensor::{optim, Tensor};
+use tspn_tensor::serialize::Checkpoint;
+use tspn_tensor::{optim, parallel, pool, Tensor};
 
 use crate::config::TspnConfig;
 use crate::context::SpatialContext;
-use crate::model::TspnRa;
+use crate::model::{BatchTables, TspnRa};
 
 /// Outcome of evaluating one sample.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvalOutcome {
     /// 0-based rank of the true POI in `R_P`; `None` when tile selection
     /// filtered it out (scored as `|R_P| + 1` per the paper's objective).
@@ -36,6 +61,45 @@ pub struct EpochStats {
     pub seconds: f64,
 }
 
+/// One gradient shard's work order (main → worker).
+struct ShardJob {
+    /// Parameter values to load before computing (one `Vec` per param, in
+    /// `params()` order).
+    snapshot: Arc<Vec<Vec<f32>>>,
+    /// The shard's samples.
+    samples: Vec<Sample>,
+    /// `1 / batch_len` — pre-applied so shard gradients merge by plain sum.
+    inv_batch: f32,
+    /// Seed for this shard's dropout stream.
+    dropout_seed: u64,
+    /// Shard index within the batch (merge order).
+    shard_id: usize,
+}
+
+/// One gradient shard's result (worker → main). `Err` carries a panic
+/// message from the worker so the main thread can re-raise it instead of
+/// deadlocking on a result that will never arrive.
+struct ShardResult {
+    shard_id: usize,
+    /// `(loss scaled by inv_batch, per-parameter gradients)`; gradient
+    /// buffers come from the pool and are returned after merging.
+    outcome: Result<(f32, Vec<Vec<f32>>), String>,
+}
+
+/// Renders a caught panic payload for re-raising on the main thread.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+/// Batch-tables cache key: `(parameter version, context revision)`.
+type CacheKey = (u64, u64);
+
 /// Owns the model, the spatial context and the optimizer state.
 pub struct Trainer {
     /// The model under training.
@@ -44,6 +108,12 @@ pub struct Trainer {
     pub ctx: SpatialContext,
     opt: optim::Adam,
     rng: StdRng,
+    /// Monotonic counter bumped whenever parameters change; keys the
+    /// batch-tables cache together with the context revision.
+    version: Cell<u64>,
+    /// Cached `batch_tables` for evaluation, keyed by
+    /// `(param version, ctx revision)`.
+    tables_cache: RefCell<Option<(CacheKey, Rc<BatchTables>)>>,
 }
 
 impl Trainer {
@@ -57,7 +127,32 @@ impl Trainer {
             ctx,
             opt,
             rng,
+            version: Cell::new(0),
+            tables_cache: RefCell::new(None),
         }
+    }
+
+    /// Invalidates cached derived state (the evaluation batch tables).
+    /// The fit/restore paths call this automatically; call it manually
+    /// after mutating `model` parameters from outside the trainer.
+    pub fn mark_model_dirty(&self) {
+        self.version.set(self.version.get() + 1);
+    }
+
+    /// The batch tables for the current parameters and context, computed
+    /// at most once per `(param version, ctx revision)` pair — so both
+    /// optimizer steps and `ctx.swap_imagery` invalidate it.
+    fn shared_tables(&self) -> Rc<BatchTables> {
+        let key = (self.version.get(), self.ctx.revision());
+        let mut cache = self.tables_cache.borrow_mut();
+        if let Some((k, tables)) = cache.as_ref() {
+            if *k == key {
+                return Rc::clone(tables);
+            }
+        }
+        let tables = Rc::new(self.model.batch_tables(&self.ctx));
+        *cache = Some((key, Rc::clone(&tables)));
+        tables
     }
 
     /// Trains for the configured number of epochs, returning per-epoch stats.
@@ -67,7 +162,23 @@ impl Trainer {
     }
 
     /// Trains for an explicit number of epochs.
+    ///
+    /// With more than one thread available, each batch's gradient is
+    /// computed across per-thread model replicas (see the module docs for
+    /// the determinism contract).
     pub fn fit_epochs(&mut self, train: &[Sample], epochs: usize) -> Vec<EpochStats> {
+        let workers = parallel::num_threads();
+        let stats = if workers > 1 && train.len() >= 2 && epochs > 0 {
+            self.fit_epochs_sharded(train, epochs, workers)
+        } else {
+            self.fit_epochs_serial(train, epochs)
+        };
+        self.mark_model_dirty();
+        stats
+    }
+
+    /// Single-threaded reference path: one loss tape over the whole batch.
+    fn fit_epochs_serial(&mut self, train: &[Sample], epochs: usize) -> Vec<EpochStats> {
         let mut stats = Vec::with_capacity(epochs);
         let params = self.model.params();
         let batch_size = self.model.config.batch_size;
@@ -109,6 +220,195 @@ impl Trainer {
         stats
     }
 
+    /// Data-parallel path: persistent workers own model replicas; each
+    /// batch is sharded, gradients merge in shard order on this thread.
+    fn fit_epochs_sharded(
+        &mut self,
+        train: &[Sample],
+        epochs: usize,
+        workers: usize,
+    ) -> Vec<EpochStats> {
+        let params = self.model.params();
+        let batch_size = self.model.config.batch_size;
+        let lr_decay = self.model.config.lr_decay;
+        let seed = self.model.config.seed;
+        let cfg = self.model.config.clone();
+        let ctx = &self.ctx;
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        let mut stats = Vec::with_capacity(epochs);
+
+        std::thread::scope(|scope| {
+            let (res_tx, res_rx) = mpsc::channel::<ShardResult>();
+            let mut job_txs: Vec<mpsc::Sender<ShardJob>> = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let (job_tx, job_rx) = mpsc::channel::<ShardJob>();
+                job_txs.push(job_tx);
+                let res_tx = res_tx.clone();
+                let cfg = cfg.clone();
+                scope.spawn(move || parallel::with_worker_scope(|| {
+                    // Replica construction once per fit call; parameters
+                    // are overwritten from the snapshot every batch. A
+                    // panic here must also surface as per-job errors, or
+                    // the main loop would wait forever on this worker's
+                    // results.
+                    let built = std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(|| {
+                            let replica = TspnRa::new(cfg, ctx);
+                            let rparams = replica.params();
+                            (replica, rparams)
+                        }),
+                    );
+                    let (replica, rparams) = match built {
+                        Ok(ok) => ok,
+                        Err(payload) => {
+                            let msg = panic_message(payload);
+                            while let Ok(job) = job_rx.recv() {
+                                let poisoned = ShardResult {
+                                    shard_id: job.shard_id,
+                                    outcome: Err(msg.clone()),
+                                };
+                                if res_tx.send(poisoned).is_err() {
+                                    break;
+                                }
+                            }
+                            return;
+                        }
+                    };
+                    while let Ok(job) = job_rx.recv() {
+                        let shard_id = job.shard_id;
+                        // A panic inside the tape must reach the main
+                        // thread as an error result; silently losing the
+                        // shard would leave `recv` below waiting forever.
+                        let outcome = std::panic::catch_unwind(
+                            std::panic::AssertUnwindSafe(|| {
+                                for (p, values) in
+                                    rparams.iter().zip(job.snapshot.iter())
+                                {
+                                    p.set_data(values);
+                                }
+                                optim::zero_grad(&rparams);
+                                replica.reseed_dropout(job.dropout_seed);
+                                let tables = replica.batch_tables(ctx);
+                                let mut acc: Option<Tensor> = None;
+                                for sample in &job.samples {
+                                    let loss = replica.loss(ctx, sample, &tables);
+                                    acc = Some(match acc {
+                                        Some(a) => a.add(&loss),
+                                        None => loss,
+                                    });
+                                }
+                                let loss =
+                                    acc.expect("non-empty shard").scale(job.inv_batch);
+                                let value = loss.item();
+                                loss.backward();
+                                let grads: Vec<Vec<f32>> = rparams
+                                    .iter()
+                                    .map(|p| {
+                                        p.with_grad_ref(|g| match g {
+                                            Some(g) => pool::take_copied(g),
+                                            None => pool::take_zeroed(p.len()),
+                                        })
+                                    })
+                                    .collect();
+                                (value, grads)
+                            }),
+                        )
+                        .map_err(panic_message);
+                        let failed = outcome.is_err();
+                        let sent = res_tx.send(ShardResult { shard_id, outcome });
+                        if sent.is_err() || failed {
+                            break;
+                        }
+                    }
+                }));
+            }
+            drop(res_tx);
+
+            let mut step = self.opt.steps();
+            for epoch in 0..epochs {
+                let started = std::time::Instant::now();
+                order.shuffle(&mut self.rng);
+                let mut total_loss = 0.0f64;
+                let mut batches = 0usize;
+                for chunk in order.chunks(batch_size) {
+                    // Pool-backed copies: the buffers return to the pool
+                    // after the batch, so steady-state batches do not
+                    // allocate for the snapshot either.
+                    let snapshot: Arc<Vec<Vec<f32>>> = Arc::new(
+                        params
+                            .iter()
+                            .map(|p| pool::take_copied(&p.data()))
+                            .collect(),
+                    );
+                    // Shard layout depends only on (batch len, workers), so
+                    // a fixed thread count reproduces exactly.
+                    let shards = workers.min(chunk.len());
+                    let per_shard = chunk.len().div_ceil(shards);
+                    let mut sent = 0usize;
+                    for (shard_id, shard) in chunk.chunks(per_shard).enumerate() {
+                        let job = ShardJob {
+                            snapshot: Arc::clone(&snapshot),
+                            samples: shard.iter().map(|&i| train[i]).collect(),
+                            inv_batch: 1.0 / chunk.len() as f32,
+                            dropout_seed: seed
+                                ^ step.wrapping_mul(0x9E3779B97F4A7C15)
+                                ^ (shard_id as u64).wrapping_mul(0xD1B54A32D192ED03),
+                            shard_id,
+                        };
+                        job_txs[shard_id].send(job).expect("worker alive");
+                        sent += 1;
+                    }
+                    let mut results: Vec<Option<ShardResult>> =
+                        (0..sent).map(|_| None).collect();
+                    for _ in 0..sent {
+                        let r = res_rx.recv().expect("worker result");
+                        let id = r.shard_id;
+                        results[id] = Some(r);
+                    }
+                    optim::zero_grad(&params);
+                    let mut batch_loss = 0.0f32;
+                    for result in results.into_iter().map(|r| r.expect("all shards")) {
+                        let (loss, grads) = match result.outcome {
+                            Ok(ok) => ok,
+                            Err(msg) => panic!(
+                                "gradient shard {} panicked: {msg}",
+                                result.shard_id
+                            ),
+                        };
+                        batch_loss += loss;
+                        for (p, g) in params.iter().zip(&grads) {
+                            p.accumulate_grad(g);
+                        }
+                        for g in grads {
+                            pool::give(g);
+                        }
+                    }
+                    total_loss += batch_loss as f64;
+                    batches += 1;
+                    optim::clip_grad_norm(&params, 5.0);
+                    self.opt.step(&params);
+                    step += 1;
+                    // All shard results are in, so worker clones are (all
+                    // but momentarily) gone; recycle the snapshot buffers.
+                    // A rare in-flight clone just skips the recycle.
+                    if let Ok(buffers) = Arc::try_unwrap(snapshot) {
+                        for buf in buffers {
+                            pool::give(buf);
+                        }
+                    }
+                }
+                self.opt.decay_lr(lr_decay);
+                stats.push(EpochStats {
+                    epoch,
+                    mean_loss: (total_loss / batches.max(1) as f64) as f32,
+                    seconds: started.elapsed().as_secs_f64(),
+                });
+            }
+            drop(job_txs); // workers exit their recv loops
+        });
+        stats
+    }
+
     /// Trains with per-epoch validation-based model selection: after every
     /// epoch the model is scored on `val` (MRR), and the best parameter
     /// snapshot is restored at the end. This is how long anneal schedules
@@ -120,9 +420,6 @@ impl Trainer {
         val: &[Sample],
         epochs: usize,
     ) -> Vec<EpochStats> {
-        use tspn_tensor::serialize::Checkpoint;
-        let params = self.model.params();
-        let names: Vec<String> = (0..params.len()).map(|i| format!("p{i}")).collect();
         let mut best_mrr = f64::NEG_INFINITY;
         let mut best: Option<Checkpoint> = None;
         let mut all_stats = Vec::with_capacity(epochs);
@@ -139,14 +436,14 @@ impl Trainer {
             mrr /= outcomes.len().max(1) as f64;
             if mrr > best_mrr {
                 best_mrr = mrr;
-                best = Some(Checkpoint::capture(
-                    names.iter().map(String::as_str).zip(params.iter()),
-                ));
+                best = Some(self.model.save());
             }
         }
         if let Some(ckpt) = best {
-            ckpt.restore(names.iter().map(String::as_str).zip(params.iter()))
+            self.model
+                .load(&ckpt)
                 .expect("restoring own snapshot cannot fail");
+            self.mark_model_dirty();
         }
         all_stats
     }
@@ -157,25 +454,76 @@ impl Trainer {
     }
 
     /// Evaluates samples with an explicit tile-selection K (Fig. 11 sweep).
+    ///
+    /// Shards samples across threads (forward-only model replicas);
+    /// results are bitwise identical for every thread count.
     pub fn evaluate_with_k(&self, samples: &[Sample], k: usize) -> Vec<EvalOutcome> {
-        let tables = self.model.batch_tables(&self.ctx);
+        let workers = parallel::num_threads();
+        // Each worker pays a replica-build cost, so sharding only wins
+        // once per-shard sample work dominates it; small sets stay on the
+        // cached serial path.
+        if workers <= 1 || samples.len() < 4 * workers {
+            return self.evaluate_with_k_serial(samples, k);
+        }
+        // The batch tables are computed (or served from cache) exactly
+        // once here; workers receive the raw values and wrap them in
+        // non-differentiable tensors, so the expensive CNN pass over all
+        // tiles never runs per worker — and repeated evaluations with
+        // unchanged parameters (the Fig. 11 K-sweep) stay cached.
+        let tables = self.shared_tables();
+        let tiles_data = tables.tiles.to_vec();
+        let tiles_shape = tables.tiles.shape().0.clone();
+        let pois_data = tables.pois.to_vec();
+        let pois_shape = tables.pois.shape().0.clone();
+        drop(tables);
+        let ckpt = self.model.save();
+        let cfg = self.model.config.clone();
+        let ctx = &self.ctx;
+        let per_shard = samples.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = samples
+                .chunks(per_shard)
+                .map(|shard| {
+                    let cfg = cfg.clone();
+                    let ckpt = &ckpt;
+                    let (tiles_data, tiles_shape) = (&tiles_data, &tiles_shape);
+                    let (pois_data, pois_shape) = (&pois_data, &pois_shape);
+                    scope.spawn(move || parallel::with_worker_scope(|| {
+                        let replica = TspnRa::new(cfg, ctx);
+                        replica
+                            .load(ckpt)
+                            .expect("replica has identical parameter shapes");
+                        let tables = BatchTables {
+                            tiles: Tensor::from_vec(
+                                tiles_data.clone(),
+                                tiles_shape.clone(),
+                            ),
+                            pois: Tensor::from_vec(
+                                pois_data.clone(),
+                                pois_shape.clone(),
+                            ),
+                        };
+                        shard
+                            .iter()
+                            .map(|s| eval_one(&replica, ctx, s, &tables, k))
+                            .collect::<Vec<EvalOutcome>>()
+                    }))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("evaluation worker"))
+                .collect()
+        })
+    }
+
+    /// The single-threaded evaluation path (kept callable for determinism
+    /// tests); uses the version-keyed batch-tables cache.
+    pub fn evaluate_with_k_serial(&self, samples: &[Sample], k: usize) -> Vec<EvalOutcome> {
+        let tables = self.shared_tables();
         samples
             .iter()
-            .map(|s| {
-                let pred = self.model.predict_with_k(&self.ctx, s, &tables, k);
-                let target = self.ctx.dataset.sample_target(s);
-                let tile_rank = if pred.tile_ranking.is_empty() {
-                    None
-                } else {
-                    pred.tile_rank_of(self.ctx.poi_leaf_rank(target.poi))
-                };
-                EvalOutcome {
-                    rank: pred.rank_of(target.poi),
-                    num_ranked: pred.poi_ranking.len(),
-                    tile_rank,
-                    candidate_count: pred.candidate_count,
-                }
-            })
+            .map(|s| eval_one(&self.model, &self.ctx, s, &tables, k))
             .collect()
     }
 
@@ -185,6 +533,29 @@ impl Trainer {
         let param_floats = self.model.num_params();
         // data + grad + two Adam moments
         param_floats * 4 * 4 + self.ctx.imagery.pixel_bytes()
+    }
+}
+
+/// Evaluates one sample against prepared tables.
+fn eval_one(
+    model: &TspnRa,
+    ctx: &SpatialContext,
+    sample: &Sample,
+    tables: &BatchTables,
+    k: usize,
+) -> EvalOutcome {
+    let pred = model.predict_with_k(ctx, sample, tables, k);
+    let target = ctx.dataset.sample_target(sample);
+    let tile_rank = if pred.tile_ranking.is_empty() {
+        None
+    } else {
+        pred.tile_rank_of(ctx.poi_leaf_rank(target.poi))
+    };
+    EvalOutcome {
+        rank: pred.rank_of(target.poi),
+        num_ranked: pred.poi_ranking.len(),
+        tile_rank,
+        candidate_count: pred.candidate_count,
     }
 }
 
@@ -250,6 +621,75 @@ mod tests {
     }
 
     #[test]
+    fn parallel_evaluation_matches_serial_exactly() {
+        // The acceptance contract: sharded evaluation must return the
+        // same ranks as the single-thread path, bitwise. On a single-core
+        // machine both calls take the serial path and the test is trivial.
+        let (mut trainer, samples) = tiny_trainer();
+        let train: Vec<Sample> = samples.iter().take(16).copied().collect();
+        trainer.fit_epochs(&train, 1);
+        let eval: Vec<Sample> = samples.iter().take(40).copied().collect();
+        let parallel = trainer.evaluate(&eval);
+        let serial = trainer.evaluate_with_k_serial(&eval, trainer.model.config.top_k);
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn training_is_deterministic_for_fixed_seed_and_threads() {
+        let run = || {
+            let (mut trainer, samples) = tiny_trainer();
+            let train: Vec<Sample> = samples.iter().take(16).copied().collect();
+            trainer.fit_epochs(&train, 2);
+            trainer
+                .model
+                .params()
+                .iter()
+                .flat_map(|p| p.to_vec())
+                .collect::<Vec<f32>>()
+        };
+        assert_eq!(run(), run(), "same seed + thread count must reproduce bitwise");
+    }
+
+    #[test]
+    fn evaluate_caches_tables_between_calls() {
+        let (mut trainer, samples) = tiny_trainer();
+        let eval: Vec<Sample> = samples.iter().take(3).copied().collect();
+        let _ = trainer.evaluate_with_k_serial(&eval, 4);
+        let v1 = trainer.tables_cache.borrow().as_ref().map(|(k, _)| *k);
+        let _ = trainer.evaluate_with_k_serial(&eval, 4);
+        let v2 = trainer.tables_cache.borrow().as_ref().map(|(k, _)| *k);
+        assert_eq!(v1, v2, "unchanged params must reuse the cached tables");
+        trainer.mark_model_dirty();
+        let _ = trainer.evaluate_with_k_serial(&eval, 4);
+        let v3 = trainer.tables_cache.borrow().as_ref().map(|(k, _)| *k);
+        assert_ne!(v1, v3, "dirty marker must invalidate the cache");
+        // Context mutation (the Fig. 12b noise sweep path) must also
+        // invalidate: scoring noisy imagery against clean-imagery tables
+        // would silently flatten the dose-response curve.
+        let noisy = trainer.ctx.imagery.with_noise(0.5, 3);
+        trainer.ctx.swap_imagery(noisy);
+        let clean = trainer.evaluate_with_k_serial(&eval, 4);
+        let v4 = trainer.tables_cache.borrow().as_ref().map(|(k, _)| *k);
+        assert_ne!(v3, v4, "swap_imagery must invalidate the cache");
+        let _ = clean;
+    }
+
+    #[test]
+    #[should_panic(expected = "")]
+    fn invalid_sample_panics_rather_than_hanging() {
+        // A poisoned shard must surface its panic on the calling thread —
+        // on the sharded path a lost worker must not deadlock the batch
+        // loop (the serial path panics directly).
+        let (mut trainer, _) = tiny_trainer();
+        let bogus = Sample {
+            user_index: usize::MAX,
+            traj_index: 0,
+            prefix_len: 1,
+        };
+        trainer.fit_epochs(&[bogus, bogus], 1);
+    }
+
+    #[test]
     fn full_k_guarantees_target_is_ranked() {
         let (trainer, samples) = tiny_trainer();
         let eval: Vec<Sample> = samples.iter().take(6).copied().collect();
@@ -292,4 +732,5 @@ mod tests {
         let after = trainer.model.params()[0].to_vec();
         assert_ne!(before, after);
     }
+
 }

@@ -1,0 +1,56 @@
+//! Pool acceptance at the full-model level: after a warm-up epoch, the
+//! training loop must be served overwhelmingly from recycled buffers.
+//!
+//! Lives in its own integration binary (= its own process) so the
+//! process-global pool counters see only this test's traffic; an exact
+//! zero-miss assertion for a fixed-shape loop lives in tspn-tensor's
+//! `steady_state_alloc` test. Full model training keeps a small miss tail
+//! because per-sample candidate sets produce occasional first-seen buffer
+//! lengths.
+
+use tspn_core::{Partition, SpatialContext, Trainer, TspnConfig};
+use tspn_data::presets::nyc_mini;
+use tspn_data::synth::generate_dataset;
+use tspn_data::Sample;
+use tspn_tensor::pool;
+
+#[test]
+fn steady_state_training_mostly_hits_the_buffer_pool() {
+    let mut dcfg = nyc_mini(0.1);
+    dcfg.days = 12;
+    let (ds, world) = generate_dataset(dcfg);
+    let cfg = TspnConfig {
+        dm: 16,
+        image_size: 8,
+        top_k: 4,
+        attn_blocks: 1,
+        hgat_layers: 1,
+        batch_size: 4,
+        epochs: 1,
+        lr: 5e-3,
+        max_prefix: 6,
+        max_history: 16,
+        partition: Partition::QuadTree {
+            max_depth: 5,
+            leaf_capacity: 10,
+        },
+        ..TspnConfig::default()
+    };
+    let ctx = SpatialContext::build(ds, world, &cfg);
+    let samples = ctx.dataset.all_samples();
+    let mut trainer = Trainer::new(cfg, ctx);
+    let train: Vec<Sample> = samples.iter().take(16).copied().collect();
+
+    trainer.fit_epochs(&train, 1); // warm-up: first-seen lengths allocate
+    pool::reset_stats();
+    trainer.fit_epochs(&train, 1);
+    let stats = pool::stats();
+    assert!(
+        stats.hits + stats.misses > 1000,
+        "expected substantial pool traffic, saw {stats:?}"
+    );
+    assert!(
+        stats.hit_rate() > 0.9,
+        "steady-state hit rate too low: {stats:?}"
+    );
+}

@@ -42,10 +42,13 @@ pub mod init;
 pub mod nn;
 pub mod ops;
 pub mod optim;
+pub mod parallel;
+pub mod pool;
 pub mod serialize;
 mod shape;
 mod tensor;
 
+pub use ops::matmul::{gemm, gemm_ex, GemmLayout};
 pub use ops::{causal_mask, conv_out_dim, cosine_scores};
 pub use shape::{Broadcast, Shape};
 pub use tensor::Tensor;

@@ -2,6 +2,7 @@
 
 use rand::Rng;
 
+use crate::pool;
 use crate::tensor::Tensor;
 
 /// Dropout layer. Holds no parameters; the caller supplies the RNG so runs
@@ -25,9 +26,10 @@ impl Dropout {
         }
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mask: Vec<f32> = (0..x.len())
-            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
-            .collect();
+        let mut mask = pool::take_uninit(x.len());
+        for v in mask.iter_mut() {
+            *v = if rng.gen::<f32>() < keep { scale } else { 0.0 };
+        }
         let mask_t = Tensor::from_vec(mask, x.shape().clone());
         x.mul(&mask_t)
     }

@@ -4,6 +4,7 @@
 //! convolutions to avoid retaining redundant gradients (Sec. IV-A / Fig. 6),
 //! so strided convolution is the only spatial primitive the model needs.
 
+use crate::pool;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -45,7 +46,7 @@ impl Tensor {
         let input = self.data();
         let wv = weight.data();
         let bv = bias.data();
-        let mut out = vec![0.0; o * oh * ow];
+        let mut out = pool::take_uninit(o * oh * ow);
         for oc in 0..o {
             let b = bv[oc];
             for oy in 0..oh {

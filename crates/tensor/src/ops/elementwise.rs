@@ -1,5 +1,6 @@
 //! Elementwise unary and binary operators with restricted broadcasting.
 
+use crate::pool;
 use crate::shape::{Broadcast, Shape};
 use crate::tensor::Tensor;
 
@@ -15,14 +16,14 @@ where
 {
     let bc = Broadcast::infer(a.shape(), b.shape());
     let cols = a.shape().cols();
-    let out: Vec<f32> = {
+    let mut out = pool::take_uninit(a.len());
+    {
         let av = a.data();
         let bv = b.data();
-        av.iter()
-            .enumerate()
-            .map(|(i, &x)| f(x, bv[bc.rhs_index(i, cols)]))
-            .collect()
-    };
+        for (i, (o, &x)) in out.iter_mut().zip(av.iter()).enumerate() {
+            *o = f(x, bv[bc.rhs_index(i, cols)]);
+        }
+    }
     let (pa, pb) = (a.clone(), b.clone());
     Tensor::from_op(
         out,
@@ -58,9 +59,12 @@ where
     F: Fn(f32) -> f32,
     Df: Fn(f32, f32) -> f32 + 'static, // (input, output) -> d out / d in
 {
-    let out: Vec<f32> = a.data().iter().map(|&x| f(x)).collect();
+    let mut out = pool::take_uninit(a.len());
+    for (o, &x) in out.iter_mut().zip(a.data().iter()) {
+        *o = f(x);
+    }
     let pa = a.clone();
-    let saved_out = out.clone();
+    let saved_out = pool::scratch_copied(&out);
     Tensor::from_op(
         out,
         a.shape().clone(),

@@ -1,6 +1,7 @@
 //! Fused loss functions: cross-entropy over logits and the ArcFace-style
 //! additive angular margin loss of TSPN-RA (paper Eq. 8).
 
+use crate::pool;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -16,7 +17,7 @@ impl Tensor {
             assert!(t < c, "target {t} out of range for {c} classes");
         }
         let data = self.data();
-        let mut probs = vec![0.0; n * c];
+        let mut probs = pool::scratch_zeroed(n * c);
         let mut loss = 0.0;
         for r in 0..n {
             let row = &data[r * c..(r + 1) * c];
@@ -38,7 +39,7 @@ impl Tensor {
         let pa = self.clone();
         let tgt = targets.to_vec();
         Tensor::from_op(
-            vec![loss],
+            pool::take_copied(&[loss]),
             Shape::scalar(),
             vec![self.clone()],
             Box::new(move |o: &Tensor| {
@@ -74,21 +75,33 @@ impl Tensor {
         let n = self.len();
         assert!(target < n, "arcface target {target} out of range {n}");
         assert!(s > 0.0, "arcface scale must be positive");
-        let cosines = self.data().clone();
         let (sin_m, cos_m) = m.sin_cos();
         // Clamp keeps sqrt(1−c²) and its derivative finite.
-        let ct = cosines[target].clamp(-1.0 + 1e-4, 1.0 - 1e-4);
+        let ct = self.data()[target].clamp(-1.0 + 1e-4, 1.0 - 1e-4);
         let sin_t = (1.0 - ct * ct).sqrt();
-        let mut logits: Vec<f32> = cosines.iter().map(|&c| s * c).collect();
-        logits[target] = s * (ct * cos_m - sin_t * sin_m);
-        let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let exps: Vec<f32> = logits.iter().map(|&z| (z - max).exp()).collect();
-        let sum: f32 = exps.iter().sum();
-        let probs: Vec<f32> = exps.iter().map(|&e| e / sum.max(1e-20)).collect();
+        let mut probs = pool::scratch_uninit(n);
+        {
+            let cosines = self.data();
+            for (z, &c) in probs.iter_mut().zip(cosines.iter()) {
+                *z = s * c;
+            }
+        }
+        probs[target] = s * (ct * cos_m - sin_t * sin_m);
+        // In-place softmax: logits → exps → probabilities.
+        let max = probs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for z in probs.iter_mut() {
+            *z = (*z - max).exp();
+            sum += *z;
+        }
+        let inv = 1.0 / sum.max(1e-20);
+        for z in probs.iter_mut() {
+            *z *= inv;
+        }
         let loss = -(probs[target].max(1e-20)).ln();
         let pa = self.clone();
         Tensor::from_op(
-            vec![loss],
+            pool::take_copied(&[loss]),
             Shape::scalar(),
             vec![self.clone()],
             Box::new(move |o: &Tensor| {

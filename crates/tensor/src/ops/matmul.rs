@@ -1,14 +1,247 @@
 //! Matrix multiplication and transpose.
+//!
+//! All three GEMM variants the autodiff needs — `A·B` (forward),
+//! `Aᵀ·B` and `A·Bᵀ` (the two backward products) — route through one
+//! dispatcher, [`gemm_ex`], over a shared cache-blocked kernel:
+//!
+//! * operand panels are packed into contiguous micro-panels
+//!   (`MR`-row strips of A, `NR`-column strips of B), so the transpose
+//!   variants never materialise a transposed matrix and the inner loop
+//!   always streams unit-stride memory;
+//! * a register-tiled `MR×NR` microkernel accumulates in local arrays
+//!   with fixed bounds, which the compiler unrolls and vectorises;
+//! * the row dimension is sharded across threads above a flop threshold
+//!   (see [`crate::parallel`]). Each output row's accumulation order is
+//!   independent of the sharding, so results are **bitwise identical for
+//!   every thread count** — the determinism contract the trainer's
+//!   data-parallel evaluation relies on.
+//!
+//! Small products (the `[1, dm]`-style vectors that dominate model
+//! forward passes) skip packing entirely and use straight ikj loops.
 
 use crate::ops::elementwise::matrix_shape;
+use crate::parallel;
+use crate::pool;
 use crate::tensor::Tensor;
 
-/// Row-major GEMM: `c[n×m] += a[n×k] · b[k×m]`, ikj loop order for cache
-/// friendliness (see the Rust Performance Book's advice on iteration).
-pub(crate) fn gemm(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
-    debug_assert_eq!(a.len(), n * k);
-    debug_assert_eq!(b.len(), k * m);
-    debug_assert_eq!(c.len(), n * m);
+/// Operand layout for [`gemm_ex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmLayout {
+    /// `C += A[n×k] · B[k×m]`.
+    NN,
+    /// `C += A[k×n]ᵀ · B[k×m]` (A stored k-major, read transposed).
+    TN,
+    /// `C += A[n×k] · B[m×k]ᵀ` (B stored m-major, read transposed).
+    NT,
+}
+
+/// Microkernel tile height (rows of A per strip).
+const MR: usize = 4;
+/// Microkernel tile width (columns of B per strip).
+const NR: usize = 16;
+/// k-dimension cache block.
+const KC: usize = 256;
+/// Row-dimension cache block.
+const MC: usize = 64;
+/// Products with `n·k·m` at or below this run the naive loops (packing
+/// overhead loses at these sizes).
+const SMALL_ELEMS: usize = 32 * 1024;
+/// Minimum `n·k·m` before threads are spawned (~8 MFLOP).
+const PAR_ELEMS: usize = 2 * 1024 * 1024;
+
+/// Row-major GEMM: `c[n×m] += a[n×k] · b[k×m]`.
+pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
+    gemm_ex(GemmLayout::NN, a, b, c, n, k, m);
+}
+
+/// The GEMM dispatcher: `c[n×m] += op(A) · op(B)` per `layout`.
+///
+/// Zero-sized dimensions are valid and leave `c` untouched.
+///
+/// # Panics
+/// Panics (in debug builds) when slice lengths disagree with the shape.
+pub fn gemm_ex(
+    layout: GemmLayout,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    n: usize,
+    k: usize,
+    m: usize,
+) {
+    debug_assert_eq!(a.len(), n * k, "A buffer length");
+    debug_assert_eq!(
+        b.len(),
+        k * m,
+        "B buffer length (layout {layout:?})"
+    );
+    debug_assert_eq!(c.len(), n * m, "C buffer length");
+    if n == 0 || m == 0 || k == 0 {
+        return;
+    }
+    let elems = n * k * m;
+    if elems <= SMALL_ELEMS {
+        match layout {
+            GemmLayout::NN => small_nn(a, b, c, n, k, m),
+            GemmLayout::TN => small_tn(a, b, c, n, k, m),
+            GemmLayout::NT => small_nt(a, b, c, n, k, m),
+        }
+        return;
+    }
+    // `effective_threads` is 1 inside a trainer worker, so replica-local
+    // GEMMs never nest another thread fan-out on top of the shard pool.
+    let workers = parallel::effective_threads();
+    if elems >= PAR_ELEMS && workers > 1 && n >= 2 * MR {
+        // Shard rows of C. Row results do not depend on which shard a row
+        // lands in, so any worker count produces bitwise-identical output.
+        let shards = workers.min(n / MR);
+        let rows_per = n.div_ceil(shards).next_multiple_of(MR);
+        std::thread::scope(|s| {
+            let mut rest = c;
+            let mut row0 = 0usize;
+            while row0 < n {
+                let rows = rows_per.min(n - row0);
+                let (head, tail) = rest.split_at_mut(rows * m);
+                rest = tail;
+                let r0 = row0;
+                s.spawn(move || gemm_blocked(layout, a, b, head, r0, rows, n, k, m));
+                row0 += rows;
+            }
+        });
+    } else {
+        gemm_blocked(layout, a, b, c, 0, n, n, k, m);
+    }
+}
+
+/// A element `(i, p)` under `layout` (`n`/`k` are logical dims of op(A)).
+#[inline(always)]
+fn a_at(layout: GemmLayout, a: &[f32], i: usize, p: usize, n: usize, k: usize) -> f32 {
+    match layout {
+        GemmLayout::NN | GemmLayout::NT => a[i * k + p],
+        GemmLayout::TN => a[p * n + i],
+    }
+}
+
+/// B element `(p, j)` under `layout` (`k`/`m` are logical dims of op(B)).
+#[inline(always)]
+fn b_at(layout: GemmLayout, b: &[f32], p: usize, j: usize, k: usize, m: usize) -> f32 {
+    match layout {
+        GemmLayout::NN | GemmLayout::TN => b[p * m + j],
+        GemmLayout::NT => b[j * k + p],
+    }
+}
+
+/// Blocked GEMM over the row window `[row0, row0 + rows)`; `c` is the
+/// window's slice (local row 0 = global row `row0`).
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked(
+    layout: GemmLayout,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    row0: usize,
+    rows: usize,
+    n: usize,
+    k: usize,
+    m: usize,
+) {
+    let m_strips = m.div_ceil(NR);
+    let mut bpack = pool::scratch_uninit(KC.min(k) * m_strips * NR);
+    let mut apack = pool::scratch_uninit(KC.min(k) * MC.next_multiple_of(MR));
+
+    let mut pc = 0;
+    while pc < k {
+        let kc = KC.min(k - pc);
+        // Pack B[pc..pc+kc, :] into NR-column strips, zero-padding the tail.
+        for s in 0..m_strips {
+            let j0 = s * NR;
+            let cols = NR.min(m - j0);
+            let strip = &mut bpack[s * kc * NR..(s + 1) * kc * NR];
+            for p in 0..kc {
+                for jj in 0..cols {
+                    strip[p * NR + jj] = b_at(layout, b, pc + p, j0 + jj, k, m);
+                }
+                for jj in cols..NR {
+                    strip[p * NR + jj] = 0.0;
+                }
+            }
+        }
+        let mut ic = 0;
+        while ic < rows {
+            let mc = MC.min(rows - ic);
+            let r_strips = mc.div_ceil(MR);
+            // Pack A[row0+ic .., pc..pc+kc] into MR-row strips.
+            for s in 0..r_strips {
+                let i0 = ic + s * MR;
+                let live = MR.min(mc - s * MR);
+                let strip = &mut apack[s * kc * MR..(s + 1) * kc * MR];
+                for p in 0..kc {
+                    for rr in 0..live {
+                        strip[p * MR + rr] =
+                            a_at(layout, a, row0 + i0 + rr, pc + p, n, k);
+                    }
+                    for rr in live..MR {
+                        strip[p * MR + rr] = 0.0;
+                    }
+                }
+            }
+            for s in 0..r_strips {
+                let i0 = ic + s * MR;
+                let live_rows = MR.min(mc - s * MR);
+                let astrip = &apack[s * kc * MR..(s + 1) * kc * MR];
+                for js in 0..m_strips {
+                    let j0 = js * NR;
+                    let cols = NR.min(m - j0);
+                    let bstrip = &bpack[js * kc * NR..(js + 1) * kc * NR];
+                    microkernel(astrip, bstrip, kc, c, i0, j0, m, live_rows, cols);
+                }
+            }
+            ic += mc;
+        }
+        pc += kc;
+    }
+}
+
+/// `MR×NR` register-tiled core: accumulates one packed A strip against one
+/// packed B strip and adds the tile into `c` at `(i0, j0)`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn microkernel(
+    apack: &[f32],
+    bpack: &[f32],
+    kc: usize,
+    c: &mut [f32],
+    i0: usize,
+    j0: usize,
+    ldc: usize,
+    rows: usize,
+    cols: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let bv: &[f32; NR] = bpack[p * NR..(p + 1) * NR]
+            .try_into()
+            .expect("packed B strip chunk");
+        let av: &[f32; MR] = apack[p * MR..(p + 1) * MR]
+            .try_into()
+            .expect("packed A strip chunk");
+        for r in 0..MR {
+            let ar = av[r];
+            for j in 0..NR {
+                acc[r][j] += ar * bv[j];
+            }
+        }
+    }
+    for r in 0..rows {
+        let row = &mut c[(i0 + r) * ldc + j0..(i0 + r) * ldc + j0 + cols];
+        for (dst, src) in row.iter_mut().zip(&acc[r][..cols]) {
+            *dst += src;
+        }
+    }
+}
+
+/// Naive ikj kernel for small `A·B`.
+fn small_nn(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
     for i in 0..n {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * m..(i + 1) * m];
@@ -24,8 +257,8 @@ pub(crate) fn gemm(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: u
     }
 }
 
-/// `c[n×m] += a[k×n]ᵀ · b[k×m]` without materialising the transpose.
-fn gemm_at_b(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
+/// Naive kernel for small `Aᵀ·B` (no transpose materialised).
+fn small_tn(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
     for p in 0..k {
         let a_row = &a[p * n..(p + 1) * n];
         let b_row = &b[p * m..(p + 1) * m];
@@ -41,8 +274,8 @@ fn gemm_at_b(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) 
     }
 }
 
-/// `c[n×m] += a[n×k] · b[m×k]ᵀ` without materialising the transpose.
-fn gemm_a_bt(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
+/// Naive kernel for small `A·Bᵀ` (no transpose materialised).
+fn small_nt(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
     for i in 0..n {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * m..(i + 1) * m];
@@ -74,8 +307,8 @@ impl Tensor {
             self.shape(),
             rhs.shape()
         );
-        let mut out = vec![0.0; n * m];
-        gemm(&self.data(), &rhs.data(), &mut out, n, k, m);
+        let mut out = pool::take_zeroed(n * m);
+        gemm_ex(GemmLayout::NN, &self.data(), &rhs.data(), &mut out, n, k, m);
         let (pa, pb) = (self.clone(), rhs.clone());
         Tensor::from_op(
             out,
@@ -87,12 +320,12 @@ impl Tensor {
                 if pa.requires_grad() {
                     // dA = dC · Bᵀ
                     let bv = pb.data();
-                    pa.with_grad_mut(|ga| gemm_a_bt(g, &bv, ga, n, m, k));
+                    pa.with_grad_mut(|ga| gemm_ex(GemmLayout::NT, g, &bv, ga, n, m, k));
                 }
                 if pb.requires_grad() {
                     // dB = Aᵀ · dC
                     let av = pa.data();
-                    pb.with_grad_mut(|gb| gemm_at_b(&av, g, gb, k, n, m));
+                    pb.with_grad_mut(|gb| gemm_ex(GemmLayout::TN, &av, g, gb, k, n, m));
                 }
             }),
         )
@@ -102,7 +335,7 @@ impl Tensor {
     pub fn transpose(&self) -> Tensor {
         let (n, m) = (self.rows(), self.cols());
         let data = self.data();
-        let mut out = vec![0.0; n * m];
+        let mut out = pool::take_uninit(n * m);
         for i in 0..n {
             for j in 0..m {
                 out[j * n + i] = data[i * m + j];
@@ -201,5 +434,100 @@ mod tests {
         let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], vec![3]);
         let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], vec![3]);
         assert_eq!(a.dot(&b).item(), 32.0);
+    }
+
+    /// Reference implementation for kernel validation.
+    fn reference(
+        layout: GemmLayout,
+        a: &[f32],
+        b: &[f32],
+        n: usize,
+        k: usize,
+        m: usize,
+    ) -> Vec<f32> {
+        let mut c = vec![0.0; n * m];
+        for i in 0..n {
+            for j in 0..m {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a_at(layout, a, i, p, n, k) * b_at(layout, b, p, j, k, m);
+                }
+                c[i * m + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn filled(len: usize, seed: u32) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i as u32).wrapping_mul(2654435761).wrapping_add(seed) % 17) as f32 - 8.0)
+            .collect()
+    }
+
+    #[test]
+    fn blocked_kernels_match_reference_past_block_edges() {
+        // Sizes straddling MR/NR/KC/MC boundaries and the small/blocked cut.
+        for &(n, k, m) in &[
+            (1, 7, 5),
+            (4, 16, 16),
+            (65, 37, 19),
+            (33, 300, 18),
+            (70, 70, 70),
+        ] {
+            for layout in [GemmLayout::NN, GemmLayout::TN, GemmLayout::NT] {
+                let a = filled(n * k, 1);
+                let b = filled(k * m, 2);
+                let mut c = vec![0.5; n * m];
+                gemm_ex(layout, &a, &b, &mut c, n, k, m);
+                let want = reference(layout, &a, &b, n, k, m);
+                for (got, w) in c.iter().zip(&want) {
+                    assert!(
+                        (got - (w + 0.5)).abs() <= 1e-3 * w.abs().max(1.0),
+                        "{layout:?} {n}x{k}x{m}: {got} vs {}",
+                        w + 0.5
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_dimensions_are_noops() {
+        let mut empty: Vec<f32> = Vec::new();
+        gemm_ex(GemmLayout::NN, &[], &[], &mut empty, 0, 0, 0);
+        gemm_ex(GemmLayout::NN, &[], &[1.0, 2.0], &mut empty, 0, 1, 2);
+        let mut c = vec![3.0; 4];
+        // k = 0: C must stay untouched.
+        gemm_ex(GemmLayout::NN, &[], &[], &mut c, 2, 0, 2);
+        assert_eq!(c, vec![3.0; 4]);
+    }
+
+    #[test]
+    fn parallel_dispatch_is_bitwise_identical_to_single_threaded() {
+        // 160³ = 4.1M elements crosses PAR_ELEMS, so on a multi-core
+        // machine (or under TSPN_NUM_THREADS>1) gemm_ex shards rows; the
+        // result must match the serial blocked path bit for bit.
+        let (n, k, m) = (160usize, 160usize, 160usize);
+        let a = filled(n * k, 3);
+        let b = filled(k * m, 7);
+        for layout in [GemmLayout::NN, GemmLayout::TN, GemmLayout::NT] {
+            let mut c_dispatch = vec![0.0f32; n * m];
+            gemm_ex(layout, &a, &b, &mut c_dispatch, n, k, m);
+            let mut c_serial = vec![0.0f32; n * m];
+            gemm_blocked(layout, &a, &b, &mut c_serial, 0, n, n, k, m);
+            assert!(
+                c_dispatch == c_serial,
+                "{layout:?}: parallel dispatch diverged from the serial kernel"
+            );
+        }
+    }
+
+    #[test]
+    fn accumulates_into_existing_c() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![2.0, 3.0, 4.0, 5.0];
+        let mut c = vec![10.0; 4];
+        gemm(&a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, vec![12.0, 13.0, 14.0, 15.0]);
     }
 }

@@ -3,6 +3,7 @@
 //! The paper L2-normalises tile/POI embeddings (Sec. IV-A) and ranks
 //! candidates by cosine similarity (Sec. V-B); both live here.
 
+use crate::pool;
 use crate::tensor::Tensor;
 
 const NORM_EPS: f32 = 1e-8;
@@ -15,8 +16,8 @@ impl Tensor {
     pub fn l2_normalize_rows(&self) -> Tensor {
         let (n, m) = (self.rows(), self.cols());
         let data = self.data();
-        let mut out = vec![0.0; n * m];
-        let mut norms = vec![0.0; n];
+        let mut out = pool::take_uninit(n * m);
+        let mut norms = pool::scratch_uninit(n);
         for r in 0..n {
             let row = &data[r * m..(r + 1) * m];
             let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt() + NORM_EPS;
@@ -27,7 +28,7 @@ impl Tensor {
         }
         drop(data);
         let pa = self.clone();
-        let saved_y = out.clone();
+        let saved_y = pool::scratch_copied(&out);
         Tensor::from_op(
             out,
             self.shape().clone(),

@@ -1,6 +1,7 @@
 //! Reductions: full sums/means and row/column reductions.
 
 use crate::ops::elementwise::matrix_shape;
+use crate::pool;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -10,7 +11,7 @@ impl Tensor {
         let s: f32 = self.data().iter().sum();
         let pa = self.clone();
         Tensor::from_op(
-            vec![s],
+            pool::take_copied(&[s]),
             Shape::scalar(),
             vec![self.clone()],
             Box::new(move |o: &Tensor| {
@@ -37,7 +38,7 @@ impl Tensor {
     pub fn sum_axis0(&self) -> Tensor {
         let (n, m) = (self.rows(), self.cols());
         let data = self.data();
-        let mut out = vec![0.0; m];
+        let mut out = pool::take_zeroed(m);
         for i in 0..n {
             for j in 0..m {
                 out[j] += data[i * m + j];
@@ -69,7 +70,10 @@ impl Tensor {
     pub fn sum_rows(&self) -> Tensor {
         let (n, m) = (self.rows(), self.cols());
         let data = self.data();
-        let out: Vec<f32> = (0..n).map(|i| data[i * m..(i + 1) * m].iter().sum()).collect();
+        let mut out = pool::take_uninit(n);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = data[i * m..(i + 1) * m].iter().sum();
+        }
         drop(data);
         let pa = self.clone();
         Tensor::from_op(

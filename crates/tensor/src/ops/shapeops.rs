@@ -1,6 +1,7 @@
 //! Shape manipulation: reshape, row slicing/gathering, concatenation.
 
 use crate::ops::elementwise::matrix_shape;
+use crate::pool;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -19,7 +20,7 @@ impl Tensor {
         );
         let pa = self.clone();
         Tensor::from_op(
-            self.to_vec(),
+            pool::take_copied(&self.data()),
             shape,
             vec![self.clone()],
             Box::new(move |o: &Tensor| {
@@ -46,7 +47,7 @@ impl Tensor {
             "slice_rows [{start}, {end}) out of bounds for {n} rows"
         );
         let data = self.data();
-        let out = data[start * m..end * m].to_vec();
+        let out = pool::take_copied(&data[start * m..end * m]);
         drop(data);
         let pa = self.clone();
         Tensor::from_op(
@@ -80,9 +81,9 @@ impl Tensor {
             assert!(ix < n, "gather_rows index {ix} out of bounds for {n} rows");
         }
         let data = self.data();
-        let mut out = Vec::with_capacity(indices.len() * m);
-        for &ix in indices {
-            out.extend_from_slice(&data[ix * m..(ix + 1) * m]);
+        let mut out = pool::take_uninit(indices.len() * m);
+        for (r, &ix) in indices.iter().enumerate() {
+            out[r * m..(r + 1) * m].copy_from_slice(&data[ix * m..(ix + 1) * m]);
         }
         drop(data);
         let pa = self.clone();
@@ -119,9 +120,12 @@ impl Tensor {
             assert_eq!(p.cols(), m, "concat_rows column mismatch");
             total_rows += p.rows();
         }
-        let mut out = Vec::with_capacity(total_rows * m);
+        let mut out = pool::take_uninit(total_rows * m);
+        let mut offset = 0;
         for p in parts {
-            out.extend_from_slice(&p.data());
+            let pd = p.data();
+            out[offset..offset + pd.len()].copy_from_slice(&pd);
+            offset += pd.len();
         }
         let owned: Vec<Tensor> = parts.to_vec();
         let row_counts: Vec<usize> = parts.iter().map(|p| p.rows()).collect();

@@ -1,5 +1,6 @@
 //! Row-wise softmax with optional additive attention masks.
 
+use crate::pool;
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -25,12 +26,13 @@ impl Tensor {
             );
         }
         let data = self.data();
-        let mut out = vec![0.0; n * m];
+        let mut out = pool::take_uninit(n * m);
         {
             let mask_data = mask.map(|m| m.data());
+            let mut masked = pool::scratch_uninit(m);
             for r in 0..n {
                 let row = &data[r * m..(r + 1) * m];
-                let mut masked: Vec<f32> = row.to_vec();
+                masked.copy_from_slice(row);
                 if let Some(md) = &mask_data {
                     for (v, &mv) in masked.iter_mut().zip(&md[r * m..(r + 1) * m]) {
                         *v += mv;
@@ -50,7 +52,7 @@ impl Tensor {
         }
         drop(data);
         let pa = self.clone();
-        let saved = out.clone();
+        let saved = pool::scratch_copied(&out);
         Tensor::from_op(
             out,
             self.shape().clone(),
@@ -80,7 +82,7 @@ impl Tensor {
 ///
 /// Valid entries are `0.0`; future positions get `-1e9`.
 pub fn causal_mask(n: usize) -> Tensor {
-    let mut data = vec![0.0; n * n];
+    let mut data = pool::take_zeroed(n * n);
     for u in 0..n {
         for v in (u + 1)..n {
             data[u * n + v] = -1e9;

@@ -15,9 +15,13 @@ pub fn zero_grad(params: &[Tensor]) {
 pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> f32 {
     let mut total = 0.0f32;
     for p in params {
-        for g in p.grad() {
-            total += g * g;
-        }
+        p.with_grad_ref(|g| {
+            if let Some(g) = g {
+                for gi in g {
+                    total += gi * gi;
+                }
+            }
+        });
     }
     let norm = total.sqrt();
     if norm > max_norm && norm > 0.0 {
@@ -53,24 +57,31 @@ impl Sgd {
     }
 
     /// Applies one update step to every parameter.
+    ///
+    /// Gradients are read in place (no copies); a parameter with no
+    /// accumulated gradient is treated as having gradient zero, exactly
+    /// as before.
     pub fn step(&mut self, params: &[Tensor]) {
+        let (lr, momentum) = (self.lr, self.momentum);
         for p in params {
-            let grad = p.grad();
-            if self.momentum > 0.0 {
+            if momentum > 0.0 {
                 let v = self
                     .velocity
                     .entry(p.id())
-                    .or_insert_with(|| vec![0.0; grad.len()]);
-                p.update_data(|data| {
+                    .or_insert_with(|| vec![0.0; p.len()]);
+                p.with_data_grad_mut(|data, grad| {
                     for i in 0..data.len() {
-                        v[i] = self.momentum * v[i] + grad[i];
-                        data[i] -= self.lr * v[i];
+                        let gi = grad.map_or(0.0, |g| g[i]);
+                        v[i] = momentum * v[i] + gi;
+                        data[i] -= lr * v[i];
                     }
                 });
             } else {
-                p.update_data(|data| {
-                    for (d, g) in data.iter_mut().zip(&grad) {
-                        *d -= self.lr * g;
+                p.with_data_grad_mut(|data, grad| {
+                    if let Some(g) = grad {
+                        for (d, gi) in data.iter_mut().zip(g) {
+                            *d -= lr * gi;
+                        }
                     }
                 });
             }
@@ -126,24 +137,29 @@ impl Adam {
     }
 
     /// Applies one Adam update to every parameter.
+    ///
+    /// Gradients are read in place (no copies); a parameter with no
+    /// accumulated gradient is treated as having gradient zero, which
+    /// keeps the moment decay identical to the previous behaviour.
     pub fn step(&mut self, params: &[Tensor]) {
         self.t += 1;
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, beta1, beta2, eps, wd) =
+            (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
         for p in params {
-            let grad = p.grad();
             let (m, v) = self
                 .moments
                 .entry(p.id())
-                .or_insert_with(|| (vec![0.0; grad.len()], vec![0.0; grad.len()]));
-            p.update_data(|data| {
+                .or_insert_with(|| (vec![0.0; p.len()], vec![0.0; p.len()]));
+            p.with_data_grad_mut(|data, grad| {
                 for i in 0..data.len() {
-                    let g = grad[i] + self.weight_decay * data[i];
-                    m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
-                    v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+                    let g = grad.map_or(0.0, |g| g[i]) + wd * data[i];
+                    m[i] = beta1 * m[i] + (1.0 - beta1) * g;
+                    v[i] = beta2 * v[i] + (1.0 - beta2) * g * g;
                     let m_hat = m[i] / b1t;
                     let v_hat = v[i] / b2t;
-                    data[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                    data[i] -= lr * m_hat / (v_hat.sqrt() + eps);
                 }
             });
         }
@@ -165,10 +181,10 @@ mod tests {
         let p = Tensor::param(vec![0.0, 10.0], vec![2]);
         let mut opt = Sgd::new(0.1, 0.0);
         for _ in 0..100 {
-            zero_grad(&[p.clone()]);
+            zero_grad(std::slice::from_ref(&p));
             let loss = quadratic_loss(&p);
             loss.backward();
-            opt.step(&[p.clone()]);
+            opt.step(std::slice::from_ref(&p));
         }
         for v in p.to_vec() {
             assert!((v - 3.0).abs() < 1e-3, "did not converge: {v}");
@@ -180,9 +196,9 @@ mod tests {
         let p = Tensor::param(vec![-5.0], vec![1]);
         let mut opt = Sgd::new(0.05, 0.9);
         for _ in 0..200 {
-            zero_grad(&[p.clone()]);
+            zero_grad(std::slice::from_ref(&p));
             quadratic_loss(&p).backward();
-            opt.step(&[p.clone()]);
+            opt.step(std::slice::from_ref(&p));
         }
         assert!((p.item() - 3.0).abs() < 1e-2);
     }
@@ -192,9 +208,9 @@ mod tests {
         let p = Tensor::param(vec![20.0], vec![1]);
         let mut opt = Adam::new(0.5);
         for _ in 0..300 {
-            zero_grad(&[p.clone()]);
+            zero_grad(std::slice::from_ref(&p));
             quadratic_loss(&p).backward();
-            opt.step(&[p.clone()]);
+            opt.step(std::slice::from_ref(&p));
         }
         assert!((p.item() - 3.0).abs() < 1e-2, "adam did not converge: {}", p.item());
     }
@@ -211,7 +227,7 @@ mod tests {
     fn clip_grad_norm_rescales() {
         let p = Tensor::param(vec![0.0, 0.0], vec![2]);
         p.accumulate_grad(&[3.0, 4.0]); // norm 5
-        let norm = clip_grad_norm(&[p.clone()], 1.0);
+        let norm = clip_grad_norm(std::slice::from_ref(&p), 1.0);
         assert!((norm - 5.0).abs() < 1e-5);
         let g = p.grad();
         let new_norm = (g[0] * g[0] + g[1] * g[1]).sqrt();
@@ -222,7 +238,7 @@ mod tests {
     fn clip_grad_norm_noop_below_threshold() {
         let p = Tensor::param(vec![0.0], vec![1]);
         p.accumulate_grad(&[0.5]);
-        clip_grad_norm(&[p.clone()], 1.0);
+        clip_grad_norm(std::slice::from_ref(&p), 1.0);
         assert_eq!(p.grad(), vec![0.5]);
     }
 

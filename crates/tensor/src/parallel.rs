@@ -1,0 +1,91 @@
+//! Thread-count policy shared by the GEMM kernels and the higher-level
+//! trainer.
+//!
+//! The actual data-parallel dispatch lives next to its data: the GEMM
+//! row-sharding in `ops/matmul.rs` and the trainer's replica workers in
+//! `tspn-core` both use `std::thread::scope` directly, so closures can
+//! borrow stack data (including handing out disjoint `&mut` row windows)
+//! without unsafe lifetime juggling. What they share is the thread-count
+//! decision below.
+//!
+//! Thread count resolution (cached for the process lifetime):
+//! `TSPN_NUM_THREADS` environment variable when set, otherwise
+//! `std::thread::available_parallelism()`. Setting `TSPN_NUM_THREADS=1`
+//! forces fully serial execution everywhere.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True on a thread that is already executing inside a data-parallel
+/// worker (see [`with_worker_scope`]).
+pub fn in_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// Marks the current thread as a data-parallel worker for the duration of
+/// `f`. Nested parallel dispatch (e.g. a big GEMM inside a trainer
+/// replica) sees [`effective_threads`] `== 1` and stays serial instead of
+/// oversubscribing the machine with `threads²` runnable threads.
+pub fn with_worker_scope<T>(f: impl FnOnce() -> T) -> T {
+    IN_WORKER.with(|flag| {
+        let previous = flag.replace(true);
+        let result = f();
+        flag.set(previous);
+        result
+    })
+}
+
+/// The thread budget available at this call site: [`num_threads`] at top
+/// level, `1` inside a worker (no nested parallelism).
+pub fn effective_threads() -> usize {
+    if in_worker() {
+        1
+    } else {
+        num_threads()
+    }
+}
+
+/// The number of worker threads this process uses for data-parallel work.
+pub fn num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("TSPN_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_threads_is_positive_and_stable() {
+        let a = num_threads();
+        assert!(a >= 1);
+        assert_eq!(a, num_threads());
+    }
+
+    #[test]
+    fn worker_scope_suppresses_nested_parallelism() {
+        assert!(!in_worker());
+        let inner = with_worker_scope(|| {
+            assert!(in_worker());
+            // Nesting stays suppressed and unwinds correctly.
+            with_worker_scope(effective_threads)
+        });
+        assert_eq!(inner, 1);
+        assert!(!in_worker());
+        assert_eq!(effective_threads(), num_threads());
+    }
+}

@@ -1,0 +1,380 @@
+//! A process-wide recycling pool for `Vec<f32>` tensor buffers.
+//!
+//! Every op node in the autodiff graph owns a data buffer (and often a
+//! gradient buffer); a training step therefore used to perform one heap
+//! allocation per op. The pool removes that: buffers are checked out by
+//! exact length ([`take_uninit`]/[`take_zeroed`]/[`take_copied`]) and
+//! returned either explicitly ([`give`]), by a [`Scratch`] guard, or
+//! automatically when a tensor node drops (see `tensor::Inner`'s `Drop`).
+//! After the first epoch warms the buckets, steady-state training performs
+//! **zero heap allocation on the tensor data path** — asserted by
+//! `steady_state_training_step_allocates_nothing` in
+//! `tests/steady_state_alloc.rs`.
+//!
+//! Buffers keep their stale contents: [`take_uninit`] is for callers that
+//! overwrite every element, [`take_zeroed`] memsets first (still
+//! allocation-free on a hit). Safety is never at stake — recycled buffers
+//! are fully initialised `f32`s, just with garbage values.
+//!
+//! The pool is sharded `Mutex<HashMap<len, Vec<buffer>>>` and therefore
+//! thread-safe: worker threads of the data-parallel trainer share it.
+//! Hit/miss counters are exposed through [`stats`] so tests and benches
+//! can verify allocation behaviour.
+
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Per-bucket retention budget in floats (16 MiB per distinct length):
+/// whole training tapes return their buffers at once when they drop, so
+/// small-length buckets must hold thousands of buffers without
+/// discarding, while a bucket of huge buffers keeps at most a handful
+/// (but always at least one, or recycling would never occur).
+const MAX_BUCKET_FLOATS: usize = 1 << 22;
+/// Ceiling on the per-bucket buffer count derived from the budget.
+const MAX_PER_BUCKET: usize = 1 << 16;
+/// Longest buffer the pool retains (16M floats = 64 MiB).
+const MAX_POOLED_LEN: usize = 1 << 24;
+/// Aggregate retention budget across all buckets (64M floats = 256 MiB):
+/// workloads with many distinct buffer lengths cannot pin unbounded
+/// memory — once the pool holds this much, further returns are dropped.
+const MAX_TOTAL_FLOATS: usize = 64 << 20;
+const SHARDS: usize = 8;
+
+/// Retained-buffer cap for buffers of length `len`.
+#[inline]
+fn bucket_cap(len: usize) -> usize {
+    (MAX_BUCKET_FLOATS / len.max(1)).clamp(1, MAX_PER_BUCKET)
+}
+
+#[derive(Default)]
+struct Shard {
+    buckets: HashMap<usize, Vec<Vec<f32>>>,
+}
+
+struct PoolInner {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    returned: AtomicU64,
+    discarded: AtomicU64,
+    /// Total floats currently retained across all buckets (approximate —
+    /// relaxed updates — but bounded).
+    retained_floats: AtomicU64,
+}
+
+fn pool() -> &'static PoolInner {
+    static POOL: OnceLock<PoolInner> = OnceLock::new();
+    POOL.get_or_init(|| PoolInner {
+        shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+        returned: AtomicU64::new(0),
+        discarded: AtomicU64::new(0),
+        retained_floats: AtomicU64::new(0),
+    })
+}
+
+#[inline]
+fn shard_for(len: usize) -> usize {
+    (len.wrapping_mul(2654435761)) >> 16 & (SHARDS - 1)
+}
+
+/// Counter snapshot for the process-wide pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Checkouts served from a recycled buffer.
+    pub hits: u64,
+    /// Checkouts that had to allocate.
+    pub misses: u64,
+    /// Buffers accepted back into the pool.
+    pub returned: u64,
+    /// Buffers dropped on return (bucket full or over the size cap).
+    pub discarded: u64,
+}
+
+impl PoolStats {
+    /// Fraction of checkouts served without allocating (1.0 when no
+    /// checkouts happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Snapshot of the pool counters.
+pub fn stats() -> PoolStats {
+    let p = pool();
+    PoolStats {
+        hits: p.hits.load(Ordering::Relaxed),
+        misses: p.misses.load(Ordering::Relaxed),
+        returned: p.returned.load(Ordering::Relaxed),
+        discarded: p.discarded.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the counters (buffers stay pooled).
+pub fn reset_stats() {
+    let p = pool();
+    p.hits.store(0, Ordering::Relaxed);
+    p.misses.store(0, Ordering::Relaxed);
+    p.returned.store(0, Ordering::Relaxed);
+    p.discarded.store(0, Ordering::Relaxed);
+}
+
+/// Drops every pooled buffer (counters stay).
+pub fn clear() {
+    let p = pool();
+    for shard in &p.shards {
+        shard.lock().expect("pool shard").buckets.clear();
+    }
+    p.retained_floats.store(0, Ordering::Relaxed);
+}
+
+/// Checks out a buffer of exactly `len` elements with **unspecified
+/// (stale but initialised) contents**. Use when every element is written.
+pub fn take_uninit(len: usize) -> Vec<f32> {
+    if len == 0 || len > MAX_POOLED_LEN {
+        return vec![0.0; len];
+    }
+    let p = pool();
+    let recycled = p.shards[shard_for(len)]
+        .lock()
+        .expect("pool shard")
+        .buckets
+        .get_mut(&len)
+        .and_then(Vec::pop);
+    match recycled {
+        Some(buf) => {
+            debug_assert_eq!(buf.len(), len);
+            p.hits.fetch_add(1, Ordering::Relaxed);
+            p.retained_floats.fetch_sub(len as u64, Ordering::Relaxed);
+            buf
+        }
+        None => {
+            p.misses.fetch_add(1, Ordering::Relaxed);
+            vec![0.0; len]
+        }
+    }
+}
+
+/// Checks out an all-zero buffer of exactly `len` elements.
+pub fn take_zeroed(len: usize) -> Vec<f32> {
+    let mut buf = take_uninit(len);
+    buf.fill(0.0);
+    buf
+}
+
+/// Checks out a buffer holding a copy of `src`.
+pub fn take_copied(src: &[f32]) -> Vec<f32> {
+    let mut buf = take_uninit(src.len());
+    buf.copy_from_slice(src);
+    buf
+}
+
+/// Returns a buffer to the pool (dropped when empty, oversized, or the
+/// bucket is full).
+pub fn give(buf: Vec<f32>) {
+    let len = buf.len();
+    if len == 0 || len > MAX_POOLED_LEN {
+        return;
+    }
+    let p = pool();
+    let over_budget =
+        p.retained_floats.load(Ordering::Relaxed) + len as u64 > MAX_TOTAL_FLOATS as u64;
+    let mut shard = p.shards[shard_for(len)].lock().expect("pool shard");
+    let bucket = shard.buckets.entry(len).or_default();
+    if !over_budget && bucket.len() < bucket_cap(len) {
+        bucket.push(buf);
+        p.returned.fetch_add(1, Ordering::Relaxed);
+        p.retained_floats.fetch_add(len as u64, Ordering::Relaxed);
+    } else {
+        p.discarded.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A pooled buffer that returns itself on drop — for op-internal
+/// temporaries and saved-forward values captured by backward closures.
+pub struct Scratch(Option<Vec<f32>>);
+
+impl Scratch {
+    /// Consumes the guard, keeping the buffer out of the pool.
+    pub fn into_vec(mut self) -> Vec<f32> {
+        self.0.take().expect("scratch buffer present")
+    }
+}
+
+impl Deref for Scratch {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        self.0.as_deref().expect("scratch buffer present")
+    }
+}
+
+impl DerefMut for Scratch {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        self.0.as_deref_mut().expect("scratch buffer present")
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        if let Some(buf) = self.0.take() {
+            give(buf);
+        }
+    }
+}
+
+/// [`take_uninit`] wrapped in a [`Scratch`] guard.
+pub fn scratch_uninit(len: usize) -> Scratch {
+    Scratch(Some(take_uninit(len)))
+}
+
+/// [`take_zeroed`] wrapped in a [`Scratch`] guard.
+pub fn scratch_zeroed(len: usize) -> Scratch {
+    Scratch(Some(take_zeroed(len)))
+}
+
+/// [`take_copied`] wrapped in a [`Scratch`] guard.
+pub fn scratch_copied(src: &[f32]) -> Scratch {
+    Scratch(Some(take_copied(src)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The counters are process-global and the test harness runs tests on
+    /// multiple threads; tests that reset and exactly assert the counters
+    /// serialize behind this lock. (Pool traffic from *other* modules'
+    /// tests is avoided by using lengths nothing else in this crate
+    /// allocates — the odd four-digit sizes below.)
+    fn counter_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().expect("counter test lock")
+    }
+
+    #[test]
+    fn recycles_by_exact_length() {
+        let _guard = counter_lock();
+        clear();
+        reset_stats();
+        let a = take_uninit(1234);
+        give(a);
+        let b = take_uninit(1234);
+        assert_eq!(b.len(), 1234);
+        let s = stats();
+        assert!(s.hits >= 1);
+        assert!(s.returned >= 1);
+        give(b);
+    }
+
+    #[test]
+    fn zeroed_buffers_are_zero_even_when_recycled() {
+        clear();
+        let mut a = take_uninit(333);
+        a.iter_mut().for_each(|v| *v = 7.0);
+        give(a);
+        let b = take_zeroed(333);
+        assert!(b.iter().all(|&v| v == 0.0));
+        give(b);
+    }
+
+    #[test]
+    fn copied_matches_source() {
+        let src = [1.0, 2.0, 3.0];
+        let b = take_copied(&src);
+        assert_eq!(&b[..], &src);
+        give(b);
+    }
+
+    #[test]
+    fn scratch_returns_on_drop() {
+        let _guard = counter_lock();
+        clear();
+        reset_stats();
+        {
+            let mut s = scratch_zeroed(5557);
+            s[0] = 1.0;
+        }
+        let returned_before = stats().returned;
+        assert!(returned_before >= 1);
+        let hits_before = stats().hits;
+        let again = take_uninit(5557);
+        assert!(stats().hits > hits_before);
+        give(again);
+    }
+
+    #[test]
+    fn empty_and_oversized_buffers_bypass_the_pool() {
+        // No counter assertions here (other tests run concurrently);
+        // bypass is observable through the returned buffers themselves.
+        give(Vec::new());
+        let z = take_uninit(0);
+        assert!(z.is_empty());
+        let huge = take_uninit(MAX_POOLED_LEN + 1);
+        assert_eq!(huge.len(), MAX_POOLED_LEN + 1);
+        give(huge); // dropped, not retained — must not panic
+    }
+
+    #[test]
+    fn aggregate_budget_bounds_total_retention() {
+        let _guard = counter_lock();
+        clear();
+        // 80 distinct ~1M-float lengths (320 MiB offered, one bucket
+        // each, so the per-bucket cap never triggers); only ~256 MiB may
+        // be kept before the aggregate budget rejects returns.
+        let before = stats().discarded;
+        for i in 0..80usize {
+            give(vec![0.0; (1 << 20) + i]);
+        }
+        let kept = pool().retained_floats.load(Ordering::Relaxed);
+        assert!(
+            kept <= MAX_TOTAL_FLOATS as u64,
+            "retained {kept} floats exceeds the global budget"
+        );
+        assert!(
+            stats().discarded > before,
+            "offering over budget must discard"
+        );
+        clear();
+    }
+
+    #[test]
+    fn large_buffers_get_small_retention_caps() {
+        // The 16 MiB per-length budget must bound big buckets: a 1M-float
+        // buffer bucket keeps at most 4, never a fixed 64-buffer floor.
+        assert_eq!(bucket_cap(1 << 20), 4);
+        assert_eq!(bucket_cap(MAX_POOLED_LEN), 1);
+        // Small lengths still retain thousands.
+        assert!(bucket_cap(16) >= 1 << 10);
+        assert_eq!(bucket_cap(0), MAX_PER_BUCKET);
+    }
+
+    #[test]
+    fn hit_rate_formula() {
+        let s = PoolStats { hits: 3, misses: 1, returned: 0, discarded: 0 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        let empty = PoolStats { hits: 0, misses: 0, returned: 0, discarded: 0 };
+        assert_eq!(empty.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 1..200usize {
+                        let b = take_zeroed(i * 3);
+                        give(b);
+                    }
+                });
+            }
+        });
+    }
+}

@@ -16,6 +16,7 @@ use std::fmt;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::pool;
 use crate::shape::Shape;
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
@@ -36,6 +37,17 @@ pub(crate) struct Inner {
     pub(crate) parents: Vec<Tensor>,
     pub(crate) backward: Option<BackwardFn>,
     pub(crate) requires_grad: bool,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // Recycle both buffers: with the ops drawing from the pool, a
+        // steady-state training step allocates nothing on the data path.
+        pool::give(std::mem::take(self.data.get_mut()));
+        if let Some(g) = self.grad.get_mut().take() {
+            pool::give(g);
+        }
+    }
 }
 
 /// A dense `f32` tensor participating in a reverse-mode autodiff graph.
@@ -125,21 +137,21 @@ impl Tensor {
     pub fn zeros(shape: impl Into<Shape>) -> Tensor {
         let shape = shape.into();
         let n = shape.len();
-        Tensor::from_vec(vec![0.0; n], shape)
+        Tensor::from_vec(pool::take_zeroed(n), shape)
     }
 
     /// All-ones tensor.
     pub fn ones(shape: impl Into<Shape>) -> Tensor {
-        let shape = shape.into();
-        let n = shape.len();
-        Tensor::from_vec(vec![1.0; n], shape)
+        Tensor::full(1.0, shape)
     }
 
     /// Constant-filled tensor.
     pub fn full(value: f32, shape: impl Into<Shape>) -> Tensor {
         let shape = shape.into();
         let n = shape.len();
-        Tensor::from_vec(vec![value; n], shape)
+        let mut data = pool::take_uninit(n);
+        data.fill(value);
+        Tensor::from_vec(data, shape)
     }
 
     /// Single-element tensor.
@@ -242,8 +254,10 @@ impl Tensor {
             .unwrap_or_else(|| vec![0.0; self.len()])
     }
 
-    /// Adds `delta` into this node's gradient buffer.
-    pub(crate) fn accumulate_grad(&self, delta: &[f32]) {
+    /// Adds `delta` into this node's gradient buffer. Public so external
+    /// drivers (e.g. the data-parallel trainer merging shard gradients)
+    /// can feed gradients computed elsewhere.
+    pub fn accumulate_grad(&self, delta: &[f32]) {
         debug_assert_eq!(delta.len(), self.len());
         let mut slot = self.inner.grad.borrow_mut();
         match slot.as_mut() {
@@ -252,7 +266,7 @@ impl Tensor {
                     *gi += di;
                 }
             }
-            None => *slot = Some(delta.to_vec()),
+            None => *slot = Some(pool::take_copied(delta)),
         }
     }
 
@@ -260,20 +274,37 @@ impl Tensor {
     pub(crate) fn with_grad_mut(&self, f: impl FnOnce(&mut [f32])) {
         let mut slot = self.inner.grad.borrow_mut();
         if slot.is_none() {
-            *slot = Some(vec![0.0; self.len()]);
+            *slot = Some(pool::take_zeroed(self.len()));
         }
         f(slot.as_mut().expect("grad allocated above"));
     }
 
-    /// Clears the gradient buffer.
+    /// Borrows the gradient without copying (`None` when no gradient has
+    /// accumulated). Used by the optimizers to stay allocation-free.
+    pub fn with_grad_ref<T>(&self, f: impl FnOnce(Option<&[f32]>) -> T) -> T {
+        f(self.inner.grad.borrow().as_deref())
+    }
+
+    /// Borrows the data mutably together with the gradient immutably —
+    /// the optimizer update-step access pattern. The gradient is `None`
+    /// when nothing has accumulated since the last [`Tensor::zero_grad`].
+    pub fn with_data_grad_mut(&self, f: impl FnOnce(&mut [f32], Option<&[f32]>)) {
+        let grad = self.inner.grad.borrow();
+        let mut data = self.inner.data.borrow_mut();
+        f(&mut data, grad.as_deref());
+    }
+
+    /// Clears the gradient buffer (recycling it through the pool).
     pub fn zero_grad(&self) {
-        *self.inner.grad.borrow_mut() = None;
+        if let Some(g) = self.inner.grad.borrow_mut().take() {
+            pool::give(g);
+        }
     }
 
     /// Cuts this tensor out of the autodiff graph: the result shares no
     /// history (but copies the data).
     pub fn detach(&self) -> Tensor {
-        Tensor::from_vec(self.to_vec(), self.inner.shape.clone())
+        Tensor::from_vec(pool::take_copied(&self.data()), self.inner.shape.clone())
     }
 
     /// Runs reverse-mode differentiation from this scalar.

@@ -231,7 +231,7 @@ proptest! {
         let (xc, yc, zc) = (x.clone(), y.clone(), z.clone());
         check(&[x, y, z], move || {
             let cat = Tensor::concat_rows(&[xc.clone(), yc.clone()]);
-            let stacked = Tensor::stack_rows(&[zc.clone()]);
+            let stacked = Tensor::stack_rows(std::slice::from_ref(&zc));
             cat.square().sum_all().add(&stacked.square().sum_all())
         });
     }

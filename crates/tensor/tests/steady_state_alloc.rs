@@ -1,0 +1,54 @@
+//! Acceptance test for the buffer pool: a steady-state training step must
+//! perform **zero** heap allocation on the tensor data path.
+//!
+//! This lives in its own integration binary so the process-global pool
+//! counters see only this test's traffic (the library unit tests run many
+//! pool users concurrently).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tspn_tensor::nn::{Linear, Module};
+use tspn_tensor::{optim, pool, Tensor};
+
+#[test]
+fn steady_state_training_step_allocates_nothing() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let l1 = Linear::new(&mut rng, 16, 32);
+    let l2 = Linear::new(&mut rng, 32, 8);
+    let params = [l1.params(), l2.params()].concat();
+    let mut adam = optim::Adam::new(1e-3);
+
+    let mut step = || {
+        optim::zero_grad(&params);
+        // All tensor constructors here draw from the pool; shapes repeat
+        // every step, so after warm-up every checkout must hit.
+        let x = Tensor::full(0.25, vec![4, 16]);
+        let target = Tensor::full(0.5, vec![4, 8]);
+        let hidden = l1.forward(&x).relu();
+        let out = l2.forward(&hidden).tanh();
+        let loss = out.sub(&target).square().sum_all().scale(0.125);
+        loss.backward();
+        optim::clip_grad_norm(&params, 5.0);
+        adam.step(&params);
+    };
+
+    // Warm-up: first-seen buffer lengths and Adam moments allocate here.
+    for _ in 0..3 {
+        step();
+    }
+
+    pool::reset_stats();
+    for _ in 0..20 {
+        step();
+    }
+    let stats = pool::stats();
+    assert!(stats.hits > 100, "expected real pool traffic, saw {stats:?}");
+    assert_eq!(
+        stats.misses, 0,
+        "steady-state training must not allocate tensor buffers: {stats:?}"
+    );
+    assert_eq!(
+        stats.discarded, 0,
+        "steady-state buffers must all be retained: {stats:?}"
+    );
+}

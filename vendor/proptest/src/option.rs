@@ -1,0 +1,30 @@
+//! `Option<T>` strategies.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Strategy yielding `Some(value)` with probability `p` and `None`
+/// otherwise.
+pub fn weighted<S: Strategy>(p: f64, inner: S) -> Weighted<S> {
+    assert!((0.0..=1.0).contains(&p), "weighted probability out of range");
+    Weighted { p, inner }
+}
+
+/// See [`weighted`].
+pub struct Weighted<S> {
+    p: f64,
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for Weighted<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        if rng.gen_bool(self.p) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

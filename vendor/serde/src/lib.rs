@@ -1,0 +1,308 @@
+//! Minimal stand-in for `serde`: a JSON-shaped value tree with
+//! [`Serialize`]/[`Deserialize`] traits and derive macros.
+//!
+//! The real serde is a zero-copy visitor framework; this workspace only
+//! needs "turn a config/checkpoint into JSON text and back", so the local
+//! model is much simpler: types convert to and from an owned [`Value`]
+//! tree, and `serde_json` renders/parses the tree as text. The derive
+//! macros (re-exported from the local `serde_derive`) generate those
+//! conversions for plain structs and enums.
+//!
+//! Encoding conventions (self-consistent; no compatibility with upstream
+//! serde_json is promised, or needed, anywhere in this repository):
+//!
+//! * named-field structs → JSON objects,
+//! * tuple structs → JSON arrays,
+//! * unit enum variants → the variant name as a string,
+//! * data-carrying variants → `{"Variant": payload}` single-key objects,
+//! * maps → arrays of `[key, value]` pairs (keys need not be strings).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON-shaped value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (stored as `f64`; integers round-trip up to 2⁵³).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered list.
+    Array(Vec<Value>),
+    /// Key/value pairs in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// (De)serialization error: a human-readable message.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Shorthand error constructor used by generated code.
+pub fn err(msg: impl Into<String>) -> Error {
+    Error(msg.into())
+}
+
+/// Conversion into the value tree.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the value tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`].
+    ///
+    /// # Errors
+    /// Returns a message describing the first structural mismatch.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Helpers used by derive-generated code
+// ---------------------------------------------------------------------
+
+/// Looks up a field in an object value.
+pub fn obj_get<'a>(v: &'a Value, key: &str) -> Result<&'a Value, Error> {
+    match v {
+        Value::Object(pairs) => pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| err(format!("missing field {key:?}"))),
+        other => Err(err(format!("expected object with field {key:?}, got {other:?}"))),
+    }
+}
+
+/// Indexes into an array value.
+pub fn arr_get(v: &Value, i: usize) -> Result<&Value, Error> {
+    match v {
+        Value::Array(items) => items
+            .get(i)
+            .ok_or_else(|| err(format!("array too short: no index {i}"))),
+        other => Err(err(format!("expected array, got {other:?}"))),
+    }
+}
+
+/// Decomposes an enum encoding into `(variant_name, payload)`.
+pub fn variant(v: &Value) -> Result<(&str, Option<&Value>), Error> {
+    match v {
+        Value::Str(name) => Ok((name, None)),
+        Value::Object(pairs) if pairs.len() == 1 => {
+            Ok((pairs[0].0.as_str(), Some(&pairs[0].1)))
+        }
+        other => Err(err(format!("expected enum encoding, got {other:?}"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! num_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    other => Err(err(format!(
+                        "expected number for {}, got {other:?}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+num_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(err(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(err(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(err(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| err(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                Ok(($($name::from_value(arr_get(v, $idx)?)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impl! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Pairs are sorted by encoded key so output is deterministic.
+        let mut pairs: Vec<Value> = self
+            .iter()
+            .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+            .collect();
+        pairs.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Value::Array(pairs)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items
+                .iter()
+                .map(|pair| Ok((K::from_value(arr_get(pair, 0)?)?, V::from_value(arr_get(pair, 1)?)?)))
+                .collect(),
+            other => Err(err(format!("expected map-as-array, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1usize, 2, 3];
+        assert_eq!(Vec::<usize>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&o.to_value()).unwrap(), None);
+        let a = [1.0f64, 2.0, 3.0];
+        assert_eq!(<[f64; 3]>::from_value(&a.to_value()).unwrap(), a);
+        let t = (3usize, 0.5f64);
+        assert_eq!(<(usize, f64)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m = HashMap::new();
+        m.insert(1usize, "a".to_string());
+        m.insert(2, "b".to_string());
+        let back = HashMap::<usize, String>::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        let e = u64::from_value(&Value::Str("x".into())).unwrap_err();
+        assert!(e.0.contains("expected number"));
+        assert!(obj_get(&Value::Object(vec![]), "k").is_err());
+    }
+}

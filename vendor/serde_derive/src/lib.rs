@@ -1,0 +1,398 @@
+//! Derive macros for the local `serde` stand-in.
+//!
+//! Implemented directly over `proc_macro::TokenStream` (the offline build
+//! has no `syn`/`quote`). The parser handles exactly the type shapes this
+//! workspace derives on: named-field structs, tuple structs, unit structs,
+//! and enums whose variants are unit (optionally with discriminants),
+//! tuple, or named-field. Generics are not supported and produce a
+//! compile-time error naming the type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Cursor over a flat token list.
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { tokens: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips `#[...]` attribute groups (including doc comments).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.pos += 1;
+                }
+                _ => panic!("expected [...] after # in attribute"),
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`, etc.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Consumes tokens until a top-level `,` (angle-bracket aware) or the
+    /// end of the stream. Leaves the cursor after the comma.
+    fn skip_until_top_level_comma(&mut self) {
+        let mut angle_depth: i64 = 0;
+        while let Some(tt) = self.peek() {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        self.pos += 1;
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(group);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        let name = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field {name}, found {other:?}"),
+        }
+        c.skip_until_top_level_comma();
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut c = Cursor::new(group);
+    let mut count = 0;
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        if c.at_end() {
+            break;
+        }
+        c.skip_until_top_level_comma();
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(group);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.pos += 1;
+                Fields::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.pos += 1;
+                Fields::Tuple(n)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        c.skip_until_top_level_comma();
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kind = c.expect_ident("struct or enum");
+    let name = c.expect_ident("type name");
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive (local): generic type {name} is not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let variants = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("expected enum body for {name}, found {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive (local): cannot derive for {other} {name}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+/// `by_ref` distinguishes `self.field` access (needs `&`) from match
+/// bindings, which are already references.
+fn ser_named_body(expr_prefix: &str, by_ref: bool, fields: &[String]) -> String {
+    let amp = if by_ref { "&" } else { "" };
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({amp}{expr_prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => ser_named_body("self.", true, fs),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({bind}) => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from({vn:?}), \
+                                 ::serde::Value::Array(::std::vec![{items}]))]),",
+                                bind = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let payload = ser_named_body("", false, fs);
+                            format!(
+                                "{name}::{vn} {{ {bind} }} => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from({vn:?}), {payload})]),",
+                                bind = fs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}",
+                arms = arms.join("\n")
+            )
+        }
+    }
+}
+
+fn de_named_body(ctor: &str, source: &str, fields: &[String]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!("{f}: ::serde::Deserialize::from_value(::serde::obj_get({source}, {f:?})?)?")
+        })
+        .collect();
+    format!("{ctor} {{ {} }}", inits.join(", "))
+}
+
+fn de_tuple_body(ctor: &str, source: &str, n: usize) -> String {
+    let inits: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(::serde::arr_get({source}, {i})?)?"))
+        .collect();
+    format!("{ctor}({})", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    format!("::std::result::Result::Ok({})", de_named_body(name, "v", fs))
+                }
+                Fields::Tuple(n) => {
+                    format!("::std::result::Result::Ok({})", de_tuple_body(name, "v", *n))
+                }
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}),"
+                        ),
+                        Fields::Tuple(n) => format!(
+                            "{vn:?} => {{\n\
+                                 let p = payload.ok_or_else(|| ::serde::err(\
+                                     ::std::format!(\"variant {vn} expects a payload\")))?;\n\
+                                 ::std::result::Result::Ok({})\n\
+                             }},",
+                            de_tuple_body(&format!("{name}::{vn}"), "p", *n)
+                        ),
+                        Fields::Named(fs) => format!(
+                            "{vn:?} => {{\n\
+                                 let p = payload.ok_or_else(|| ::serde::err(\
+                                     ::std::format!(\"variant {vn} expects a payload\")))?;\n\
+                                 ::std::result::Result::Ok({})\n\
+                             }},",
+                            de_named_body(&format!("{name}::{vn}"), "p", fs)
+                        ),
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let (variant_name, payload) = ::serde::variant(v)?;\n\
+                         let _ = &payload;\n\
+                         match variant_name {{\n{arms}\n\
+                             other => ::std::result::Result::Err(::serde::err(\
+                                 ::std::format!(\"unknown variant {{other:?}} for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms = arms.join("\n")
+            )
+        }
+    }
+}
+
+/// Derives the local `serde::Serialize` (value-tree conversion).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives the local `serde::Deserialize` (value-tree conversion).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
