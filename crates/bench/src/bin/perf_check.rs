@@ -1,0 +1,98 @@
+//! Compares two `perf_snapshot` JSON files and fails (exit code 1) on a
+//! regression of the end-to-end metrics: more than 20% slower
+//! `train_epoch` or `evaluate_test_split` (configurable). Other shared
+//! metrics are reported for context but only warn.
+//!
+//! ```text
+//! cargo run --release -p tspn-bench --bin perf_check -- BENCH_1.json BENCH_2.json
+//! cargo run --release -p tspn-bench --bin perf_check -- BENCH_1.json BENCH_2.json --max-ratio 1.1
+//! ```
+
+use serde::Deserialize;
+
+/// One timed metric, mirroring `perf_snapshot`'s output schema.
+#[derive(Debug, Clone, Deserialize)]
+struct Metric {
+    name: String,
+    seconds: f64,
+    #[allow(dead_code)]
+    repeats: f64,
+}
+
+/// A deserialised snapshot (unknown fields ignored, so older and newer
+/// generations both parse).
+#[derive(Debug, Clone, Deserialize)]
+struct Snapshot {
+    generation: f64,
+    threads: f64,
+    metrics: Vec<Metric>,
+}
+
+/// Metrics whose regression fails the check (the end-to-end hot paths).
+const GATED: &[&str] = &["train_epoch", "evaluate_test_split"];
+
+fn load(path: &str) -> Snapshot {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read snapshot {path}: {e}"));
+    serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("cannot parse snapshot {path}: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    assert!(
+        paths.len() == 2,
+        "usage: perf_check <baseline.json> <candidate.json> [--max-ratio R]"
+    );
+    let max_ratio = args
+        .iter()
+        .position(|a| a == "--max-ratio")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.2);
+
+    let base = load(paths[0]);
+    let cand = load(paths[1]);
+    println!(
+        "baseline {} (gen {}, {} threads) vs candidate {} (gen {}, {} threads)",
+        paths[0], base.generation, base.threads, paths[1], cand.generation, cand.threads
+    );
+    if base.threads != cand.threads {
+        println!("warning: thread counts differ; wall-clock ratios are not like-for-like");
+    }
+
+    let mut failed = false;
+    for new in &cand.metrics {
+        let Some(old) = base.metrics.iter().find(|m| m.name == new.name) else {
+            println!("{:<24} {:>10.3} ms  (new metric, no baseline)", new.name, new.seconds * 1e3);
+            continue;
+        };
+        let ratio = new.seconds / old.seconds;
+        let gated = GATED.contains(&new.name.as_str());
+        let verdict = if ratio <= max_ratio {
+            "ok"
+        } else if gated {
+            failed = true;
+            "FAIL"
+        } else {
+            "warn"
+        };
+        println!(
+            "{:<24} {:>10.3} ms -> {:>10.3} ms  ({:>5.2}x) {}",
+            new.name,
+            old.seconds * 1e3,
+            new.seconds * 1e3,
+            ratio,
+            verdict
+        );
+    }
+    if failed {
+        eprintln!(
+            "perf_check: gated metric regressed more than {:.0}% vs baseline",
+            (max_ratio - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("perf_check: no gated regressions (threshold {max_ratio:.2}x)");
+}

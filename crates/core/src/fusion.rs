@@ -53,7 +53,7 @@ impl AttentionBlock {
     /// Scaled dot-product attention: `softmax(QKᵀ/√dm [+ mask])·V`.
     fn attend(&self, q: &Tensor, k: &Tensor, v: &Tensor, mask: Option<&Tensor>) -> Tensor {
         let scale = 1.0 / (self.dm as f32).sqrt();
-        let scores = q.matmul(&k.transpose()).scale(scale);
+        let scores = q.matmul_nt(k).scale(scale);
         let att = scores.softmax_rows_masked(mask);
         att.matmul(v)
     }

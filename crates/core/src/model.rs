@@ -10,7 +10,6 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use tspn_data::{PoiId, Sample, Timestamp, Visit};
-use tspn_geo::GeoPoint;
 use tspn_graph::{build_qrp, Hgat, QrpGraph, QrpNode, QrpOptions};
 use tspn_tensor::nn::{Dropout, EmbeddingTable, Module};
 use tspn_tensor::{cosine_scores, Tensor};
@@ -44,6 +43,13 @@ impl Prediction {
     }
 }
 
+/// One trajectory's cached history encodings `(H_T◁, H_P◁)`.
+type HistoryEncodings = (Option<Tensor>, Option<Tensor>);
+
+/// The inference-time history memo: `(tile-table tensor id, per-(user,
+/// trajectory) encodings)`.
+type HistoryCache = (u64, HashMap<(usize, usize), HistoryEncodings>);
+
 /// Per-batch shared tensors (tile and POI embedding tables).
 pub struct BatchTables {
     /// `E_T [num_tree_nodes, dm]`, row `i` = tile `NodeId(i)`.
@@ -59,14 +65,23 @@ pub struct TspnRa {
     me1: Me1,
     tile_fallback: EmbeddingTable,
     me2: Me2,
-    spatial: SpatialEncoder,
     temporal_tile: TemporalEncoder,
     temporal_poi: TemporalEncoder,
     hgat: Hgat,
     mp1: FusionModule,
     mp2: FusionModule,
     dropout: Dropout,
+    /// Pre-scaled sinusoidal code per POI location (`0.1 · M_s(loc)`),
+    /// gathered per prefix instead of re-running the trig encoder on
+    /// every forward pass. Row `i` = POI `i`.
+    spatial_codes: Tensor,
     qrp_cache: RefCell<HashMap<(usize, usize), Rc<QrpGraph>>>,
+    /// Inference-only memo of [`TspnRa::encode_history`] outputs, keyed by
+    /// the tile-table tensor id it was computed against (history encodings
+    /// are pure functions of `(graph, tables)`): `(tables id, per-(user,
+    /// trajectory) encodings)`. Populated only under
+    /// [`Tensor::no_grad`], where the cached tensors carry no tape.
+    history_cache: RefCell<HistoryCache>,
     rng: RefCell<StdRng>,
 }
 
@@ -81,6 +96,12 @@ impl TspnRa {
         } else {
             1.0
         };
+        let spatial = SpatialEncoder::new(dm, ctx.dataset.region);
+        let mut codes = Vec::with_capacity(ctx.dataset.pois.len() * dm);
+        for poi in &ctx.dataset.pois {
+            codes.extend(spatial.encode(&poi.loc).into_iter().map(|v| 0.1 * v));
+        }
+        let spatial_codes = Tensor::from_vec(codes, vec![ctx.dataset.pois.len(), dm]);
         TspnRa {
             me1: Me1::new(&mut rng, config.image_size, dm),
             tile_fallback: EmbeddingTable::new(&mut rng, ctx.num_tiles(), dm),
@@ -91,16 +112,16 @@ impl TspnRa {
                 dm,
                 alpha,
             ),
-            spatial: SpatialEncoder::new(dm, ctx.dataset.region),
             temporal_tile: TemporalEncoder::new(&mut rng, dm),
             temporal_poi: TemporalEncoder::new(&mut rng, dm),
             hgat: Hgat::new(&mut rng, dm, config.hgat_layers),
             mp1: FusionModule::new(&mut rng, dm, config.attn_blocks),
             mp2: FusionModule::new(&mut rng, dm, config.attn_blocks),
             dropout: Dropout::new(config.dropout),
+            spatial_codes,
             qrp_cache: RefCell::new(HashMap::new()),
-            rng: RefCell::new(StdRng::seed_from_u64(config.seed ^ 0xD20))
-            ,
+            history_cache: RefCell::new((0, HashMap::new())),
+            rng: RefCell::new(StdRng::seed_from_u64(config.seed ^ 0xD20)),
             config,
         }
     }
@@ -244,16 +265,43 @@ impl TspnRa {
         graph: &QrpGraph,
         tables: &BatchTables,
     ) -> (Option<Tensor>, Option<Tensor>) {
-        // Initial features: tiles from E_T, POIs from E_P (Eq. 7).
-        let rows: Vec<Tensor> = graph
-            .nodes
-            .iter()
-            .map(|n| match n {
-                QrpNode::Tile(t) => tables.tiles.gather_rows(&[t.0]),
-                QrpNode::Poi(p) => tables.pois.gather_rows(&[p.0]),
-            })
-            .collect();
-        let h0 = Tensor::concat_rows(&rows);
+        // Initial features: tiles from E_T, POIs from E_P (Eq. 7). One
+        // gather per table plus a permutation gather back into node order —
+        // a fixed four tape nodes instead of one gather per graph node.
+        let mut tile_rows: Vec<usize> = Vec::new();
+        let mut poi_rows: Vec<usize> = Vec::new();
+        for n in &graph.nodes {
+            match n {
+                QrpNode::Tile(t) => tile_rows.push(t.0),
+                QrpNode::Poi(p) => poi_rows.push(p.0),
+            }
+        }
+        // POI features follow the tile block in the concat; map each node
+        // back to its row there.
+        let mut perm = Vec::with_capacity(graph.nodes.len());
+        let (mut next_tile, mut next_poi) = (0usize, tile_rows.len());
+        for n in &graph.nodes {
+            match n {
+                QrpNode::Tile(_) => {
+                    perm.push(next_tile);
+                    next_tile += 1;
+                }
+                QrpNode::Poi(_) => {
+                    perm.push(next_poi);
+                    next_poi += 1;
+                }
+            }
+        }
+        let h0 = match (tile_rows.is_empty(), poi_rows.is_empty()) {
+            (false, false) => Tensor::concat_rows(&[
+                tables.tiles.gather_rows(&tile_rows),
+                tables.pois.gather_rows(&poi_rows),
+            ])
+            .gather_rows(&perm),
+            (false, true) => tables.tiles.gather_rows(&tile_rows),
+            (true, false) => tables.pois.gather_rows(&poi_rows),
+            (true, true) => unreachable!("QR-P graphs are non-empty"),
+        };
         let h = self.hgat.forward(graph, &h0);
         let tile_idx: Vec<usize> = graph.tile_nodes().map(|(i, _)| i).collect();
         let poi_idx: Vec<usize> = graph.poi_nodes().map(|(i, _)| i).collect();
@@ -286,14 +334,11 @@ impl TspnRa {
         let mut h_poi = tables.pois.gather_rows(&poi_rows);
 
         if self.config.variant.st_encoders {
-            let locs: Vec<GeoPoint> = prefix
-                .iter()
-                .map(|v| ctx.dataset.poi_loc(v.poi))
-                .collect();
             let times: Vec<Timestamp> = prefix.iter().map(|v| v.time).collect();
-            // h_τk = M_t(M_s(E_T(τ_k), loc_k), t_k)  (Eq. 2)
+            // h_τk = M_t(M_s(E_T(τ_k), loc_k), t_k)  (Eq. 2); the spatial
+            // codes are pre-computed per POI (locations never change).
             h_tile = h_tile
-                .add(&self.spatial.encode_seq(&locs).scale(0.1))
+                .add(&self.spatial_codes.gather_rows(&poi_rows))
                 .add(&self.temporal_tile.encode_seq(&times));
             // h_pk = M_t(E_P(p_k), t_k)
             h_poi = h_poi.add(&self.temporal_poi.encode_seq(&times));
@@ -306,8 +351,31 @@ impl TspnRa {
         debug_assert_eq!(h_tile.cols(), dm);
 
         // --- Historical graph knowledge ---
+        // Under no-grad inference the encodings are pure functions of
+        // (graph, tables); memoise them per trajectory so evaluating many
+        // prefixes of one trajectory runs the HGAT once.
         let (hist_t, hist_p) = match self.qrp_graph(ctx, sample) {
-            Some(graph) => self.encode_history(&graph, tables),
+            Some(graph) => {
+                if !training && Tensor::grad_suspended() {
+                    let key = (sample.user_index, sample.traj_index);
+                    let tables_id = tables.tiles.id();
+                    let mut cache = self.history_cache.borrow_mut();
+                    if cache.0 != tables_id {
+                        cache.0 = tables_id;
+                        cache.1.clear();
+                    }
+                    match cache.1.get(&key) {
+                        Some((t, p)) => (t.clone(), p.clone()),
+                        None => {
+                            let enc = self.encode_history(&graph, tables);
+                            cache.1.insert(key, enc.clone());
+                            enc
+                        }
+                    }
+                } else {
+                    self.encode_history(&graph, tables)
+                }
+            }
             None => (None, None),
         };
 
@@ -350,7 +418,7 @@ impl TspnRa {
             return h.clone();
         }
         let memory = table.gather_rows(rows); // [m, dm]
-        let scores = h.matmul(&memory.transpose()).scale(2.0); // sharper pointing
+        let scores = h.matmul_nt(&memory).scale(2.0); // sharper pointing
         let alpha = scores.softmax_rows(); // [1, m]
         h.add(&alpha.matmul(&memory).scale(4.0))
     }
@@ -369,13 +437,13 @@ impl TspnRa {
 
         if !self.config.variant.two_step {
             // Single-step ablation: rank every POI directly.
-            let cos = h_out_p.flatten().cosine_to_rows(&tables.pois);
+            let cos = h_out_p.cosine_to_rows(&tables.pois);
             return cos.arcface_loss(target.poi.0, self.config.arcface_s, self.config.arcface_m);
         }
 
         // Step 1: tile loss over all leaf candidates.
         let leaf_table = self.leaf_table(ctx, tables);
-        let cos_t = h_out_t.flatten().cosine_to_rows(&leaf_table);
+        let cos_t = h_out_t.cosine_to_rows(&leaf_table);
         let loss_t = cos_t.arcface_loss(target_leaf, self.config.arcface_s, self.config.arcface_m);
 
         // Step 2: POI loss over candidates from the current top-K tiles —
@@ -395,7 +463,7 @@ impl TspnRa {
             .iter()
             .position(|&p| p == target.poi)
             .expect("target ensured above");
-        let cos_p = h_out_p.flatten().cosine_to_rows(&cand_table);
+        let cos_p = h_out_p.cosine_to_rows(&cand_table);
         let loss_p = cos_p.arcface_loss(target_idx, self.config.arcface_s, self.config.arcface_m);
 
         loss_t.scale(self.config.beta).add(&loss_p)
@@ -408,7 +476,20 @@ impl TspnRa {
     }
 
     /// Inference with an explicit K — the knob swept in Fig. 11.
+    ///
+    /// Runs under [`Tensor::no_grad`]: prediction returns rankings, never
+    /// tensors, so tape bookkeeping would be pure overhead.
     pub fn predict_with_k(
+        &self,
+        ctx: &SpatialContext,
+        sample: &Sample,
+        tables: &BatchTables,
+        k: usize,
+    ) -> Prediction {
+        Tensor::no_grad(|| self.predict_with_k_inner(ctx, sample, tables, k))
+    }
+
+    fn predict_with_k_inner(
         &self,
         ctx: &SpatialContext,
         sample: &Sample,
@@ -451,9 +532,13 @@ impl TspnRa {
     }
 
     /// Clears the QR-P structure cache (e.g. after swapping imagery the
-    /// structures stay valid, but tests use this to force rebuilds).
+    /// structures stay valid, but tests use this to force rebuilds) and
+    /// the inference-time history-encoding memo.
     pub fn clear_cache(&self) {
         self.qrp_cache.borrow_mut().clear();
+        let mut hist = self.history_cache.borrow_mut();
+        hist.0 = 0;
+        hist.1.clear();
     }
 
     /// Reseeds the dropout RNG. The data-parallel trainer gives every

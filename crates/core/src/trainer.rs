@@ -1,10 +1,13 @@
 //! Training and evaluation driver for TSPN-RA.
 //!
 //! Both evaluation and per-batch gradient computation are data-parallel:
-//! samples are sharded across worker threads, each of which owns a full
-//! model **replica** (the autodiff tape is single-threaded `Rc`, so
-//! replicas — built once per fit/evaluate call and synchronised by
-//! parameter snapshot — are how the tape scales across cores).
+//! samples are sharded across the persistent worker pool
+//! ([`tspn_tensor::parallel`]), and every pool thread owns a full model
+//! **replica** (the autodiff tape is single-threaded `Rc`, so replicas —
+//! cached per thread and synchronised by parameter snapshot — are how the
+//! tape scales across cores). Shard work is dispatched per batch; nothing
+//! occupies a worker between batches, so concurrent trainers and
+//! evaluations interleave freely on the shared pool.
 //!
 //! ## Determinism contract
 //!
@@ -15,14 +18,17 @@
 //! * **Training** is deterministic for a fixed `(seed, thread count)`:
 //!   each batch is split into `min(threads, batch)` contiguous shards,
 //!   every shard's dropout RNG is seeded from `(seed, step, shard)`, and
-//!   shard gradients merge into the optimizer in shard order.
+//!   shard gradients merge into the optimizer in shard order. A shard's
+//!   result never depends on which pool thread computes it (replica
+//!   parameters are overwritten from the snapshot, and every task runs
+//!   under the worker scope), so the schedule is irrelevant.
 //!
 //! Thread count comes from [`tspn_tensor::parallel::num_threads`]
 //! (`TSPN_NUM_THREADS` to override; `1` forces the serial path).
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -35,6 +41,56 @@ use tspn_tensor::{optim, parallel, pool, Tensor};
 use crate::config::TspnConfig;
 use crate::context::SpatialContext;
 use crate::model::{BatchTables, TspnRa};
+
+/// Identity source for trainer instances; keys the per-thread replica
+/// cache.
+static NEXT_TRAINER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// How many distinct trainers' replicas one pool thread keeps alive. Two
+/// covers the common case (a trainer plus a second model under
+/// comparison) without letting long test runs pin arbitrary memory.
+const MAX_CACHED_REPLICAS: usize = 2;
+
+/// One cached model replica, pinned to the thread that built it (the tape
+/// is `Rc`-based and must never migrate).
+struct ReplicaSlot {
+    trainer_id: u64,
+    replica: TspnRa,
+    /// `replica.params()`, in the same order as the owning trainer's.
+    params: Vec<Tensor>,
+}
+
+thread_local! {
+    /// LRU cache (most recent last) of model replicas on this pool thread.
+    static REPLICAS: RefCell<Vec<ReplicaSlot>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with this thread's replica for `trainer_id`, building one on
+/// first use. The replica survives across batches and fit/evaluate calls,
+/// so the per-shard cost is one parameter overwrite, not a model build.
+fn with_replica<R>(
+    trainer_id: u64,
+    cfg: &TspnConfig,
+    ctx: &SpatialContext,
+    f: impl FnOnce(&TspnRa, &[Tensor]) -> R,
+) -> R {
+    REPLICAS.with(|cell| {
+        let mut cache = cell.borrow_mut();
+        if let Some(i) = cache.iter().position(|s| s.trainer_id == trainer_id) {
+            let slot = cache.remove(i);
+            cache.push(slot);
+        } else {
+            if cache.len() >= MAX_CACHED_REPLICAS {
+                cache.remove(0);
+            }
+            let replica = TspnRa::new(cfg.clone(), ctx);
+            let params = replica.params();
+            cache.push(ReplicaSlot { trainer_id, replica, params });
+        }
+        let slot = cache.last().expect("replica cached above");
+        f(&slot.replica, &slot.params)
+    })
+}
 
 /// Outcome of evaluating one sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,42 +117,6 @@ pub struct EpochStats {
     pub seconds: f64,
 }
 
-/// One gradient shard's work order (main → worker).
-struct ShardJob {
-    /// Parameter values to load before computing (one `Vec` per param, in
-    /// `params()` order).
-    snapshot: Arc<Vec<Vec<f32>>>,
-    /// The shard's samples.
-    samples: Vec<Sample>,
-    /// `1 / batch_len` — pre-applied so shard gradients merge by plain sum.
-    inv_batch: f32,
-    /// Seed for this shard's dropout stream.
-    dropout_seed: u64,
-    /// Shard index within the batch (merge order).
-    shard_id: usize,
-}
-
-/// One gradient shard's result (worker → main). `Err` carries a panic
-/// message from the worker so the main thread can re-raise it instead of
-/// deadlocking on a result that will never arrive.
-struct ShardResult {
-    shard_id: usize,
-    /// `(loss scaled by inv_batch, per-parameter gradients)`; gradient
-    /// buffers come from the pool and are returned after merging.
-    outcome: Result<(f32, Vec<Vec<f32>>), String>,
-}
-
-/// Renders a caught panic payload for re-raising on the main thread.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "worker panicked with a non-string payload".to_string()
-    }
-}
-
 /// Batch-tables cache key: `(parameter version, context revision)`.
 type CacheKey = (u64, u64);
 
@@ -106,6 +126,8 @@ pub struct Trainer {
     pub model: TspnRa,
     /// The prepared spatial context.
     pub ctx: SpatialContext,
+    /// Process-unique identity; keys the pool threads' replica caches.
+    id: u64,
     opt: optim::Adam,
     rng: StdRng,
     /// Monotonic counter bumped whenever parameters change; keys the
@@ -125,6 +147,7 @@ impl Trainer {
         Trainer {
             model,
             ctx,
+            id: NEXT_TRAINER_ID.fetch_add(1, Ordering::Relaxed),
             opt,
             rng,
             version: Cell::new(0),
@@ -150,7 +173,9 @@ impl Trainer {
                 return Rc::clone(tables);
             }
         }
-        let tables = Rc::new(self.model.batch_tables(&self.ctx));
+        // Evaluation never differentiates through the tables, so skip the
+        // tape entirely (the CNN forward over every tile dominates here).
+        let tables = Rc::new(Tensor::no_grad(|| self.model.batch_tables(&self.ctx)));
         *cache = Some((key, Rc::clone(&tables)));
         tables
     }
@@ -220,8 +245,9 @@ impl Trainer {
         stats
     }
 
-    /// Data-parallel path: persistent workers own model replicas; each
-    /// batch is sharded, gradients merge in shard order on this thread.
+    /// Data-parallel path: each batch's gradient shards are dispatched to
+    /// the persistent worker pool (pool threads reuse cached model
+    /// replicas); gradients merge in shard order on this thread.
     fn fit_epochs_sharded(
         &mut self,
         train: &[Sample],
@@ -234,63 +260,50 @@ impl Trainer {
         let seed = self.model.config.seed;
         let cfg = self.model.config.clone();
         let ctx = &self.ctx;
+        let trainer_id = self.id;
         let mut order: Vec<usize> = (0..train.len()).collect();
         let mut stats = Vec::with_capacity(epochs);
 
-        std::thread::scope(|scope| {
-            let (res_tx, res_rx) = mpsc::channel::<ShardResult>();
-            let mut job_txs: Vec<mpsc::Sender<ShardJob>> = Vec::with_capacity(workers);
-            for _ in 0..workers {
-                let (job_tx, job_rx) = mpsc::channel::<ShardJob>();
-                job_txs.push(job_tx);
-                let res_tx = res_tx.clone();
-                let cfg = cfg.clone();
-                scope.spawn(move || parallel::with_worker_scope(|| {
-                    // Replica construction once per fit call; parameters
-                    // are overwritten from the snapshot every batch. A
-                    // panic here must also surface as per-job errors, or
-                    // the main loop would wait forever on this worker's
-                    // results.
-                    let built = std::panic::catch_unwind(
-                        std::panic::AssertUnwindSafe(|| {
-                            let replica = TspnRa::new(cfg, ctx);
-                            let rparams = replica.params();
-                            (replica, rparams)
-                        }),
-                    );
-                    let (replica, rparams) = match built {
-                        Ok(ok) => ok,
-                        Err(payload) => {
-                            let msg = panic_message(payload);
-                            while let Ok(job) = job_rx.recv() {
-                                let poisoned = ShardResult {
-                                    shard_id: job.shard_id,
-                                    outcome: Err(msg.clone()),
-                                };
-                                if res_tx.send(poisoned).is_err() {
-                                    break;
-                                }
-                            }
-                            return;
-                        }
-                    };
-                    while let Ok(job) = job_rx.recv() {
-                        let shard_id = job.shard_id;
-                        // A panic inside the tape must reach the main
-                        // thread as an error result; silently losing the
-                        // shard would leave `recv` below waiting forever.
-                        let outcome = std::panic::catch_unwind(
-                            std::panic::AssertUnwindSafe(|| {
-                                for (p, values) in
-                                    rparams.iter().zip(job.snapshot.iter())
-                                {
+        let mut step = self.opt.steps();
+        for epoch in 0..epochs {
+            let started = std::time::Instant::now();
+            order.shuffle(&mut self.rng);
+            let mut total_loss = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in order.chunks(batch_size) {
+                // Pool-backed copies: the buffers return to the pool after
+                // the batch, so steady-state batches do not allocate for
+                // the snapshot either.
+                let snapshot: Vec<Vec<f32>> = params
+                    .iter()
+                    .map(|p| pool::take_copied(&p.data()))
+                    .collect();
+                // Shard layout depends only on (batch len, workers), so a
+                // fixed thread count reproduces exactly; shard results are
+                // additionally independent of which pool thread runs them.
+                let shards = workers.min(chunk.len());
+                let per_shard = chunk.len().div_ceil(shards);
+                let inv_batch = 1.0 / chunk.len() as f32;
+                let jobs: Vec<_> = chunk
+                    .chunks(per_shard)
+                    .enumerate()
+                    .map(|(shard_id, shard)| {
+                        let samples: Vec<Sample> =
+                            shard.iter().map(|&i| train[i]).collect();
+                        let dropout_seed = seed
+                            ^ step.wrapping_mul(0x9E3779B97F4A7C15)
+                            ^ (shard_id as u64).wrapping_mul(0xD1B54A32D192ED03);
+                        let (snapshot, cfg) = (&snapshot, &cfg);
+                        move || {
+                            with_replica(trainer_id, cfg, ctx, |replica, rparams| {
+                                for (p, values) in rparams.iter().zip(snapshot) {
                                     p.set_data(values);
                                 }
-                                optim::zero_grad(&rparams);
-                                replica.reseed_dropout(job.dropout_seed);
+                                optim::zero_grad(rparams);
+                                replica.reseed_dropout(dropout_seed);
                                 let tables = replica.batch_tables(ctx);
                                 let mut acc: Option<Tensor> = None;
-                                for sample in &job.samples {
+                                for sample in &samples {
                                     let loss = replica.loss(ctx, sample, &tables);
                                     acc = Some(match acc {
                                         Some(a) => a.add(&loss),
@@ -298,7 +311,7 @@ impl Trainer {
                                     });
                                 }
                                 let loss =
-                                    acc.expect("non-empty shard").scale(job.inv_batch);
+                                    acc.expect("non-empty shard").scale(inv_batch);
                                 let value = loss.item();
                                 loss.backward();
                                 let grads: Vec<Vec<f32>> = rparams
@@ -311,101 +324,40 @@ impl Trainer {
                                     })
                                     .collect();
                                 (value, grads)
-                            }),
-                        )
-                        .map_err(panic_message);
-                        let failed = outcome.is_err();
-                        let sent = res_tx.send(ShardResult { shard_id, outcome });
-                        if sent.is_err() || failed {
-                            break;
+                            })
                         }
+                    })
+                    .collect();
+                // Dispatch and merge; a panicking shard re-raises here
+                // after the batch drains (no half-applied updates).
+                let results = parallel::map_scoped(jobs);
+                optim::zero_grad(&params);
+                let mut batch_loss = 0.0f32;
+                for (loss, grads) in results {
+                    batch_loss += loss;
+                    for (p, g) in params.iter().zip(&grads) {
+                        p.accumulate_grad(g);
                     }
-                }));
-            }
-            drop(res_tx);
-
-            let mut step = self.opt.steps();
-            for epoch in 0..epochs {
-                let started = std::time::Instant::now();
-                order.shuffle(&mut self.rng);
-                let mut total_loss = 0.0f64;
-                let mut batches = 0usize;
-                for chunk in order.chunks(batch_size) {
-                    // Pool-backed copies: the buffers return to the pool
-                    // after the batch, so steady-state batches do not
-                    // allocate for the snapshot either.
-                    let snapshot: Arc<Vec<Vec<f32>>> = Arc::new(
-                        params
-                            .iter()
-                            .map(|p| pool::take_copied(&p.data()))
-                            .collect(),
-                    );
-                    // Shard layout depends only on (batch len, workers), so
-                    // a fixed thread count reproduces exactly.
-                    let shards = workers.min(chunk.len());
-                    let per_shard = chunk.len().div_ceil(shards);
-                    let mut sent = 0usize;
-                    for (shard_id, shard) in chunk.chunks(per_shard).enumerate() {
-                        let job = ShardJob {
-                            snapshot: Arc::clone(&snapshot),
-                            samples: shard.iter().map(|&i| train[i]).collect(),
-                            inv_batch: 1.0 / chunk.len() as f32,
-                            dropout_seed: seed
-                                ^ step.wrapping_mul(0x9E3779B97F4A7C15)
-                                ^ (shard_id as u64).wrapping_mul(0xD1B54A32D192ED03),
-                            shard_id,
-                        };
-                        job_txs[shard_id].send(job).expect("worker alive");
-                        sent += 1;
-                    }
-                    let mut results: Vec<Option<ShardResult>> =
-                        (0..sent).map(|_| None).collect();
-                    for _ in 0..sent {
-                        let r = res_rx.recv().expect("worker result");
-                        let id = r.shard_id;
-                        results[id] = Some(r);
-                    }
-                    optim::zero_grad(&params);
-                    let mut batch_loss = 0.0f32;
-                    for result in results.into_iter().map(|r| r.expect("all shards")) {
-                        let (loss, grads) = match result.outcome {
-                            Ok(ok) => ok,
-                            Err(msg) => panic!(
-                                "gradient shard {} panicked: {msg}",
-                                result.shard_id
-                            ),
-                        };
-                        batch_loss += loss;
-                        for (p, g) in params.iter().zip(&grads) {
-                            p.accumulate_grad(g);
-                        }
-                        for g in grads {
-                            pool::give(g);
-                        }
-                    }
-                    total_loss += batch_loss as f64;
-                    batches += 1;
-                    optim::clip_grad_norm(&params, 5.0);
-                    self.opt.step(&params);
-                    step += 1;
-                    // All shard results are in, so worker clones are (all
-                    // but momentarily) gone; recycle the snapshot buffers.
-                    // A rare in-flight clone just skips the recycle.
-                    if let Ok(buffers) = Arc::try_unwrap(snapshot) {
-                        for buf in buffers {
-                            pool::give(buf);
-                        }
+                    for g in grads {
+                        pool::give(g);
                     }
                 }
-                self.opt.decay_lr(lr_decay);
-                stats.push(EpochStats {
-                    epoch,
-                    mean_loss: (total_loss / batches.max(1) as f64) as f32,
-                    seconds: started.elapsed().as_secs_f64(),
-                });
+                total_loss += batch_loss as f64;
+                batches += 1;
+                optim::clip_grad_norm(&params, 5.0);
+                self.opt.step(&params);
+                step += 1;
+                for buf in snapshot {
+                    pool::give(buf);
+                }
             }
-            drop(job_txs); // workers exit their recv loops
-        });
+            self.opt.decay_lr(lr_decay);
+            stats.push(EpochStats {
+                epoch,
+                mean_loss: (total_loss / batches.max(1) as f64) as f32,
+                seconds: started.elapsed().as_secs_f64(),
+            });
+        }
         stats
     }
 
@@ -455,18 +407,18 @@ impl Trainer {
 
     /// Evaluates samples with an explicit tile-selection K (Fig. 11 sweep).
     ///
-    /// Shards samples across threads (forward-only model replicas);
-    /// results are bitwise identical for every thread count.
+    /// Shards samples across the persistent worker pool (forward-only
+    /// model replicas, cached per pool thread); results are bitwise
+    /// identical for every thread count.
     pub fn evaluate_with_k(&self, samples: &[Sample], k: usize) -> Vec<EvalOutcome> {
         let workers = parallel::num_threads();
-        // Each worker pays a replica-build cost, so sharding only wins
-        // once per-shard sample work dominates it; small sets stay on the
-        // cached serial path.
+        // Dispatch is cheap but each shard still pays a parameter
+        // overwrite; tiny sets stay on the cached serial path.
         if workers <= 1 || samples.len() < 4 * workers {
             return self.evaluate_with_k_serial(samples, k);
         }
         // The batch tables are computed (or served from cache) exactly
-        // once here; workers receive the raw values and wrap them in
+        // once here; shards receive the raw values and wrap them in
         // non-differentiable tensors, so the expensive CNN pass over all
         // tiles never runs per worker — and repeated evaluations with
         // unchanged parameters (the Fig. 11 K-sweep) stay cached.
@@ -476,45 +428,47 @@ impl Trainer {
         let pois_data = tables.pois.to_vec();
         let pois_shape = tables.pois.shape().0.clone();
         drop(tables);
-        let ckpt = self.model.save();
-        let cfg = self.model.config.clone();
+        let params = self.model.params();
+        let snapshot: Vec<Vec<f32>> =
+            params.iter().map(|p| pool::take_copied(&p.data())).collect();
+        let cfg = &self.model.config;
         let ctx = &self.ctx;
+        let trainer_id = self.id;
         let per_shard = samples.len().div_ceil(workers);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = samples
-                .chunks(per_shard)
-                .map(|shard| {
-                    let cfg = cfg.clone();
-                    let ckpt = &ckpt;
-                    let (tiles_data, tiles_shape) = (&tiles_data, &tiles_shape);
-                    let (pois_data, pois_shape) = (&pois_data, &pois_shape);
-                    scope.spawn(move || parallel::with_worker_scope(|| {
-                        let replica = TspnRa::new(cfg, ctx);
-                        replica
-                            .load(ckpt)
-                            .expect("replica has identical parameter shapes");
+        let jobs: Vec<_> = samples
+            .chunks(per_shard)
+            .map(|shard| {
+                let snapshot = &snapshot;
+                let (tiles_data, tiles_shape) = (&tiles_data, &tiles_shape);
+                let (pois_data, pois_shape) = (&pois_data, &pois_shape);
+                move || {
+                    with_replica(trainer_id, cfg, ctx, |replica, rparams| {
+                        for (p, values) in rparams.iter().zip(snapshot) {
+                            p.set_data(values);
+                        }
                         let tables = BatchTables {
                             tiles: Tensor::from_vec(
-                                tiles_data.clone(),
+                                pool::take_copied(tiles_data),
                                 tiles_shape.clone(),
                             ),
                             pois: Tensor::from_vec(
-                                pois_data.clone(),
+                                pool::take_copied(pois_data),
                                 pois_shape.clone(),
                             ),
                         };
                         shard
                             .iter()
-                            .map(|s| eval_one(&replica, ctx, s, &tables, k))
+                            .map(|s| eval_one(replica, ctx, s, &tables, k))
                             .collect::<Vec<EvalOutcome>>()
-                    }))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("evaluation worker"))
-                .collect()
-        })
+                    })
+                }
+            })
+            .collect();
+        let outcomes = parallel::map_scoped(jobs).into_iter().flatten().collect();
+        for buf in snapshot {
+            pool::give(buf);
+        }
+        outcomes
     }
 
     /// The single-threaded evaluation path (kept callable for determinism

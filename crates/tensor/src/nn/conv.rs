@@ -47,9 +47,15 @@ impl Conv2d {
         conv_out_dim(input, self.weight.shape().dim(2), self.stride, self.padding)
     }
 
-    /// Applies the convolution.
+    /// Applies the convolution to one `[C, H, W]` image.
     pub fn forward(&self, x: &Tensor) -> Tensor {
         x.conv2d(&self.weight, &self.bias, self.stride, self.padding)
+    }
+
+    /// Applies the convolution to a whole `[N, C, H, W]` batch through a
+    /// single im2col + GEMM (see [`Tensor::conv2d_batch`]).
+    pub fn forward_batch(&self, x: &Tensor) -> Tensor {
+        x.conv2d_batch(&self.weight, &self.bias, self.stride, self.padding)
     }
 }
 
@@ -85,6 +91,25 @@ mod tests {
         assert_eq!(c.num_params(), 4 * 3 * 3 * 3 + 4);
         assert_eq!(c.out_channels(), 4);
         assert_eq!(c.out_size(64), 32);
+    }
+
+    #[test]
+    fn forward_batch_stacks_single_image_forwards() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let c = Conv2d::new(&mut rng, 3, 4, 3, 2, 1);
+        let data: Vec<f32> = (0..2 * 3 * 8 * 8).map(|v| (v as f32 * 0.11).cos()).collect();
+        let batch = Tensor::from_vec(data.clone(), vec![2, 3, 8, 8]);
+        let y = c.forward_batch(&batch);
+        assert_eq!(y.shape().0, vec![2, 4, 4, 4]);
+        let yv = y.to_vec();
+        for img in 0..2 {
+            let x = Tensor::from_vec(data[img * 192..(img + 1) * 192].to_vec(), vec![3, 8, 8]);
+            let single = c.forward(&x).to_vec();
+            let got = &yv[img * single.len()..(img + 1) * single.len()];
+            for (g, s) in got.iter().zip(&single) {
+                assert!((g - s).abs() < 1e-5, "image {img}: {g} vs {s}");
+            }
+        }
     }
 
     #[test]

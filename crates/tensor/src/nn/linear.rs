@@ -33,9 +33,10 @@ impl Linear {
         self.weight.cols()
     }
 
-    /// Applies the layer to a `[n, in]` batch (or `[in]` vector).
+    /// Applies the layer to a `[n, in]` batch (or `[in]` vector), as one
+    /// fused tape node (see [`Tensor::affine`]).
     pub fn forward(&self, x: &Tensor) -> Tensor {
-        x.matmul(&self.weight).add(&self.bias)
+        x.affine(&self.weight, &self.bias)
     }
 }
 

@@ -25,14 +25,10 @@ impl LayerNorm {
     }
 
     /// Normalises each row of `[n, dim]` to zero mean / unit variance, then
-    /// applies the learnable affine transform.
+    /// applies the learnable affine transform — as a single fused tape node
+    /// (see [`Tensor::layer_norm`]).
     pub fn forward(&self, x: &Tensor) -> Tensor {
-        let mu = x.mean_rows(); // [n, 1]
-        let centered = x.sub(&mu); // col broadcast
-        let var = centered.square().mean_rows(); // [n, 1]
-        let std = var.add_scalar(self.eps).sqrt();
-        let xhat = centered.div(&std);
-        xhat.mul(&self.gamma).add(&self.beta)
+        x.layer_norm(&self.gamma, &self.beta, self.eps)
     }
 }
 

@@ -46,8 +46,10 @@ const MC: usize = 64;
 /// Products with `n·k·m` at or below this run the naive loops (packing
 /// overhead loses at these sizes).
 const SMALL_ELEMS: usize = 32 * 1024;
-/// Minimum `n·k·m` before threads are spawned (~8 MFLOP).
-const PAR_ELEMS: usize = 2 * 1024 * 1024;
+/// Minimum `n·k·m` before work is sharded across the persistent worker
+/// pool (~0.5 MFLOP). Dispatch through the pool costs a few µs, not the
+/// ~50 µs of spawning scoped threads, so medium GEMMs parallelise too.
+const PAR_ELEMS: usize = 256 * 1024;
 
 /// Row-major GEMM: `c[n×m] += a[n×k] · b[k×m]`.
 pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
@@ -88,26 +90,31 @@ pub fn gemm_ex(
         }
         return;
     }
-    // `effective_threads` is 1 inside a trainer worker, so replica-local
-    // GEMMs never nest another thread fan-out on top of the shard pool.
+    // `effective_threads` is 1 inside a pool worker, so replica-local and
+    // nested GEMMs never fan out a second time.
     let workers = parallel::effective_threads();
     if elems >= PAR_ELEMS && workers > 1 && n >= 2 * MR {
-        // Shard rows of C. Row results do not depend on which shard a row
-        // lands in, so any worker count produces bitwise-identical output.
+        // Shard rows of C across the persistent worker pool, k-block by
+        // k-block: each block's B panel is packed **once** here and shared
+        // read-only by every row shard (the old per-thread repacking was
+        // duplicated `O(k·m)` work per worker). Row results do not depend
+        // on which shard a row lands in, so any worker count produces
+        // bitwise-identical output.
         let shards = workers.min(n / MR);
         let rows_per = n.div_ceil(shards).next_multiple_of(MR);
-        std::thread::scope(|s| {
-            let mut rest = c;
-            let mut row0 = 0usize;
-            while row0 < n {
-                let rows = rows_per.min(n - row0);
-                let (head, tail) = rest.split_at_mut(rows * m);
-                rest = tail;
-                let r0 = row0;
-                s.spawn(move || gemm_blocked(layout, a, b, head, r0, rows, n, k, m));
-                row0 += rows;
-            }
-        });
+        let m_strips = m.div_ceil(NR);
+        let mut bpack = pool::scratch_uninit(KC.min(k) * m_strips * NR);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            pack_b_block(layout, b, &mut bpack, pc, kc, k, m);
+            let bpack = &bpack[..];
+            parallel::parallel_for_rows(c, m, rows_per, |row0, window| {
+                let rows = window.len() / m;
+                process_rows(layout, a, bpack, window, row0, rows, pc, kc, n, k, m);
+            });
+            pc += kc;
+        }
     } else {
         gemm_blocked(layout, a, b, c, 0, n, n, k, m);
     }
@@ -131,8 +138,90 @@ fn b_at(layout: GemmLayout, b: &[f32], p: usize, j: usize, k: usize, m: usize) -
     }
 }
 
+/// Packs `B[pc..pc+kc, :]` into `NR`-column strips, zero-padding the tail.
+fn pack_b_block(
+    layout: GemmLayout,
+    b: &[f32],
+    bpack: &mut [f32],
+    pc: usize,
+    kc: usize,
+    k: usize,
+    m: usize,
+) {
+    let m_strips = m.div_ceil(NR);
+    for s in 0..m_strips {
+        let j0 = s * NR;
+        let cols = NR.min(m - j0);
+        let strip = &mut bpack[s * kc * NR..(s + 1) * kc * NR];
+        for p in 0..kc {
+            for jj in 0..cols {
+                strip[p * NR + jj] = b_at(layout, b, pc + p, j0 + jj, k, m);
+            }
+            for jj in cols..NR {
+                strip[p * NR + jj] = 0.0;
+            }
+        }
+    }
+}
+
+/// Accumulates one k-block (`pc..pc+kc`, B already packed into `bpack`)
+/// into the row window `[row0, row0 + rows)`; `c` is the window's slice
+/// (local row 0 = global row `row0`). A strips are packed here, into
+/// pool scratch local to the calling shard.
+#[allow(clippy::too_many_arguments)]
+fn process_rows(
+    layout: GemmLayout,
+    a: &[f32],
+    bpack: &[f32],
+    c: &mut [f32],
+    row0: usize,
+    rows: usize,
+    pc: usize,
+    kc: usize,
+    n: usize,
+    k: usize,
+    m: usize,
+) {
+    let m_strips = m.div_ceil(NR);
+    let mut apack = pool::scratch_uninit(kc * MC.next_multiple_of(MR));
+    let mut ic = 0;
+    while ic < rows {
+        let mc = MC.min(rows - ic);
+        let r_strips = mc.div_ceil(MR);
+        // Pack A[row0+ic .., pc..pc+kc] into MR-row strips.
+        for s in 0..r_strips {
+            let i0 = ic + s * MR;
+            let live = MR.min(mc - s * MR);
+            let strip = &mut apack[s * kc * MR..(s + 1) * kc * MR];
+            for p in 0..kc {
+                for rr in 0..live {
+                    strip[p * MR + rr] = a_at(layout, a, row0 + i0 + rr, pc + p, n, k);
+                }
+                for rr in live..MR {
+                    strip[p * MR + rr] = 0.0;
+                }
+            }
+        }
+        for s in 0..r_strips {
+            let i0 = ic + s * MR;
+            let live_rows = MR.min(mc - s * MR);
+            let astrip = &apack[s * kc * MR..(s + 1) * kc * MR];
+            for js in 0..m_strips {
+                let j0 = js * NR;
+                let cols = NR.min(m - j0);
+                let bstrip = &bpack[js * kc * NR..(js + 1) * kc * NR];
+                microkernel(astrip, bstrip, kc, c, i0, j0, m, live_rows, cols);
+            }
+        }
+        ic += mc;
+    }
+}
+
 /// Blocked GEMM over the row window `[row0, row0 + rows)`; `c` is the
-/// window's slice (local row 0 = global row `row0`).
+/// window's slice (local row 0 = global row `row0`). This is the serial
+/// path; the parallel dispatcher runs the same `pack_b_block` +
+/// `process_rows` pair per k-block, so both paths share one arithmetic
+/// order and stay bitwise identical.
 #[allow(clippy::too_many_arguments)]
 fn gemm_blocked(
     layout: GemmLayout,
@@ -147,57 +236,11 @@ fn gemm_blocked(
 ) {
     let m_strips = m.div_ceil(NR);
     let mut bpack = pool::scratch_uninit(KC.min(k) * m_strips * NR);
-    let mut apack = pool::scratch_uninit(KC.min(k) * MC.next_multiple_of(MR));
-
     let mut pc = 0;
     while pc < k {
         let kc = KC.min(k - pc);
-        // Pack B[pc..pc+kc, :] into NR-column strips, zero-padding the tail.
-        for s in 0..m_strips {
-            let j0 = s * NR;
-            let cols = NR.min(m - j0);
-            let strip = &mut bpack[s * kc * NR..(s + 1) * kc * NR];
-            for p in 0..kc {
-                for jj in 0..cols {
-                    strip[p * NR + jj] = b_at(layout, b, pc + p, j0 + jj, k, m);
-                }
-                for jj in cols..NR {
-                    strip[p * NR + jj] = 0.0;
-                }
-            }
-        }
-        let mut ic = 0;
-        while ic < rows {
-            let mc = MC.min(rows - ic);
-            let r_strips = mc.div_ceil(MR);
-            // Pack A[row0+ic .., pc..pc+kc] into MR-row strips.
-            for s in 0..r_strips {
-                let i0 = ic + s * MR;
-                let live = MR.min(mc - s * MR);
-                let strip = &mut apack[s * kc * MR..(s + 1) * kc * MR];
-                for p in 0..kc {
-                    for rr in 0..live {
-                        strip[p * MR + rr] =
-                            a_at(layout, a, row0 + i0 + rr, pc + p, n, k);
-                    }
-                    for rr in live..MR {
-                        strip[p * MR + rr] = 0.0;
-                    }
-                }
-            }
-            for s in 0..r_strips {
-                let i0 = ic + s * MR;
-                let live_rows = MR.min(mc - s * MR);
-                let astrip = &apack[s * kc * MR..(s + 1) * kc * MR];
-                for js in 0..m_strips {
-                    let j0 = js * NR;
-                    let cols = NR.min(m - j0);
-                    let bstrip = &bpack[js * kc * NR..(js + 1) * kc * NR];
-                    microkernel(astrip, bstrip, kc, c, i0, j0, m, live_rows, cols);
-                }
-            }
-            ic += mc;
-        }
+        pack_b_block(layout, b, &mut bpack, pc, kc, k, m);
+        process_rows(layout, a, &bpack, c, row0, rows, pc, kc, n, k, m);
         pc += kc;
     }
 }
@@ -326,6 +369,97 @@ impl Tensor {
                     // dB = Aᵀ · dC
                     let av = pa.data();
                     pb.with_grad_mut(|gb| gemm_ex(GemmLayout::TN, &av, g, gb, k, n, m));
+                }
+            }),
+        )
+    }
+
+    /// Fused affine map `self[n×k] · w[k×m] + b[m]` (bias broadcast over
+    /// rows) — the `Linear` layer as **one** tape node instead of a
+    /// matmul + broadcast-add pair. Dense layers run a dozen times per
+    /// sample forward, so halving their node count is a real win.
+    pub fn affine(&self, w: &Tensor, b: &Tensor) -> Tensor {
+        let (n, k) = (self.rows(), self.cols());
+        let (k2, m) = (w.rows(), w.cols());
+        assert_eq!(
+            k,
+            k2,
+            "affine inner dimension mismatch: {} vs {}",
+            self.shape(),
+            w.shape()
+        );
+        assert_eq!(b.len(), m, "affine bias length mismatch");
+        let mut out = pool::take_uninit(n * m);
+        {
+            let bv = b.data();
+            for r in 0..n {
+                out[r * m..(r + 1) * m].copy_from_slice(&bv);
+            }
+        }
+        gemm_ex(GemmLayout::NN, &self.data(), &w.data(), &mut out, n, k, m);
+        let (pa, pw, pb) = (self.clone(), w.clone(), b.clone());
+        Tensor::from_op(
+            out,
+            matrix_shape(n, m),
+            vec![self.clone(), w.clone(), b.clone()],
+            Box::new(move |o: &Tensor| {
+                let og = o.inner.grad.borrow();
+                let g = og.as_ref().expect("grad");
+                if pb.requires_grad() {
+                    pb.with_grad_mut(|gb| {
+                        for r in 0..n {
+                            for (gbj, gj) in gb.iter_mut().zip(&g[r * m..(r + 1) * m]) {
+                                *gbj += gj;
+                            }
+                        }
+                    });
+                }
+                if pa.requires_grad() {
+                    // dX = dY · Wᵀ
+                    let wv = pw.data();
+                    pa.with_grad_mut(|ga| gemm_ex(GemmLayout::NT, g, &wv, ga, n, m, k));
+                }
+                if pw.requires_grad() {
+                    // dW = Xᵀ · dY
+                    let av = pa.data();
+                    pw.with_grad_mut(|gw| gemm_ex(GemmLayout::TN, &av, g, gw, k, n, m));
+                }
+            }),
+        )
+    }
+
+    /// Matrix product against a transposed right operand:
+    /// `self[n×k] · rhs[m×k]ᵀ → [n×m]`, without materialising the
+    /// transpose (attention scores `Q·Kᵀ` and pointer scores `h·Eᵀ`).
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        let (n, k) = (self.rows(), self.cols());
+        let (m, k2) = (rhs.rows(), rhs.cols());
+        assert_eq!(
+            k,
+            k2,
+            "matmul_nt inner dimension mismatch: {} vs {}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = pool::take_zeroed(n * m);
+        gemm_ex(GemmLayout::NT, &self.data(), &rhs.data(), &mut out, n, k, m);
+        let (pa, pb) = (self.clone(), rhs.clone());
+        Tensor::from_op(
+            out,
+            matrix_shape(n, m),
+            vec![self.clone(), rhs.clone()],
+            Box::new(move |o: &Tensor| {
+                let og = o.inner.grad.borrow();
+                let g = og.as_ref().expect("grad");
+                if pa.requires_grad() {
+                    // dA = dC · B  (dC [n×m], B [m×k])
+                    let bv = pb.data();
+                    pa.with_grad_mut(|ga| gemm_ex(GemmLayout::NN, g, &bv, ga, n, m, k));
+                }
+                if pb.requires_grad() {
+                    // dB = dCᵀ · A  (dC stored [n×m] read transposed)
+                    let av = pa.data();
+                    pb.with_grad_mut(|gb| gemm_ex(GemmLayout::TN, g, &av, gb, m, n, k));
                 }
             }),
         )

@@ -4,6 +4,7 @@
 //! candidates by cosine similarity (Sec. V-B); both live here.
 
 use crate::pool;
+use crate::shape::Shape;
 use crate::tensor::Tensor;
 
 const NORM_EPS: f32 = 1e-8;
@@ -53,9 +54,100 @@ impl Tensor {
         )
     }
 
+    /// Fused per-row layer normalisation with learnable gain/shift:
+    /// `y_r = γ ⊙ (x_r − μ_r)/√(σ²_r + ε) + β` — one tape node instead of
+    /// the nine a composed mean/var/affine chain costs, which matters
+    /// because the attention stack runs it six times per sample forward.
+    ///
+    /// Backward uses the closed form (with `x̂` the normalised input and
+    /// `h = g ⊙ γ`): `dx = (h − mean(h) − x̂·mean(h ⊙ x̂)) / σ`,
+    /// `dγ = Σ_r g ⊙ x̂`, `dβ = Σ_r g`.
+    pub fn layer_norm(&self, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
+        let (n, m) = (self.rows(), self.cols());
+        assert_eq!(gamma.len(), m, "layer_norm gamma length mismatch");
+        assert_eq!(beta.len(), m, "layer_norm beta length mismatch");
+        let data = self.data();
+        let gv = gamma.data();
+        let bv = beta.data();
+        let mut out = pool::take_uninit(n * m);
+        let mut xhat = pool::scratch_uninit(n * m);
+        let mut inv_std = pool::scratch_uninit(n);
+        for r in 0..n {
+            let row = &data[r * m..(r + 1) * m];
+            let mu = row.iter().sum::<f32>() / m as f32;
+            let var = row.iter().map(|x| (x - mu) * (x - mu)).sum::<f32>() / m as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            inv_std[r] = inv;
+            for j in 0..m {
+                let h = (row[j] - mu) * inv;
+                xhat[r * m + j] = h;
+                out[r * m + j] = gv[j] * h + bv[j];
+            }
+        }
+        drop(data);
+        drop(gv);
+        drop(bv);
+        let (pa, pg, pb) = (self.clone(), gamma.clone(), beta.clone());
+        Tensor::from_op(
+            out,
+            self.shape().clone(),
+            vec![self.clone(), gamma.clone(), beta.clone()],
+            Box::new(move |o: &Tensor| {
+                let og = o.inner.grad.borrow();
+                let g = og.as_ref().expect("grad");
+                if pb.requires_grad() {
+                    pb.with_grad_mut(|gb| {
+                        for r in 0..n {
+                            for j in 0..m {
+                                gb[j] += g[r * m + j];
+                            }
+                        }
+                    });
+                }
+                if pg.requires_grad() {
+                    pg.with_grad_mut(|gg| {
+                        for r in 0..n {
+                            for j in 0..m {
+                                gg[j] += g[r * m + j] * xhat[r * m + j];
+                            }
+                        }
+                    });
+                }
+                if pa.requires_grad() {
+                    let gv = pg.data();
+                    pa.with_grad_mut(|ga| {
+                        for r in 0..n {
+                            let gr = &g[r * m..(r + 1) * m];
+                            let xr = &xhat[r * m..(r + 1) * m];
+                            let mut mean_h = 0.0f32;
+                            let mut mean_hx = 0.0f32;
+                            for j in 0..m {
+                                let h = gr[j] * gv[j];
+                                mean_h += h;
+                                mean_hx += h * xr[j];
+                            }
+                            mean_h /= m as f32;
+                            mean_hx /= m as f32;
+                            let inv = inv_std[r];
+                            for j in 0..m {
+                                let h = gr[j] * gv[j];
+                                ga[r * m + j] += (h - mean_h - xr[j] * mean_hx) * inv;
+                            }
+                        }
+                    });
+                }
+            }),
+        )
+    }
+
     /// Cosine similarity between a query vector `[d]` (or `[1, d]`) and each
     /// row of `candidates [n, d]`, producing `[n]` — differentiable through
     /// both operands.
+    ///
+    /// Fused into a single tape node (it used to be a seven-op chain of
+    /// reshapes, two row normalisations, a transpose and a matmul); the
+    /// backward mirrors the composed chain's per-operand closed forms, so
+    /// gradients are unchanged. Runs twice per training loss.
     pub fn cosine_to_rows(&self, candidates: &Tensor) -> Tensor {
         let d = self.len();
         assert_eq!(
@@ -65,10 +157,79 @@ impl Tensor {
             self.shape(),
             candidates.shape()
         );
-        let q = self.reshape(vec![1, d]).l2_normalize_rows();
-        let c = candidates.l2_normalize_rows();
         let n = candidates.rows();
-        c.matmul(&q.transpose()).reshape(vec![n])
+        let q = self.data();
+        let c = candidates.data();
+        // Normalised operands are saved for the backward closed form.
+        let mut qhat = pool::scratch_copied(&q);
+        let nq = q.iter().map(|x| x * x).sum::<f32>().sqrt() + NORM_EPS;
+        for v in qhat.iter_mut() {
+            *v /= nq;
+        }
+        let mut chat = pool::scratch_copied(&c);
+        let mut cnorms = pool::scratch_uninit(n);
+        let mut out = pool::take_uninit(n);
+        for r in 0..n {
+            let row = &mut chat[r * d..(r + 1) * d];
+            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt() + NORM_EPS;
+            cnorms[r] = norm;
+            let mut dot = 0.0;
+            for (v, qh) in row.iter_mut().zip(qhat.iter()) {
+                *v /= norm;
+                dot += *v * qh;
+            }
+            out[r] = dot;
+        }
+        drop(q);
+        drop(c);
+        let (pq, pc) = (self.clone(), candidates.clone());
+        Tensor::from_op(
+            out,
+            Shape::new(vec![n]),
+            vec![self.clone(), candidates.clone()],
+            Box::new(move |o: &Tensor| {
+                let og = o.inner.grad.borrow();
+                let g = og.as_ref().expect("grad");
+                let y = o.inner.data.borrow();
+                if pq.requires_grad() {
+                    // dq̂ = Σ_r g_r ĉ_r, then dq = (dq̂ − q̂(dq̂·q̂))/(‖q‖+ε).
+                    let mut dqhat = pool::scratch_zeroed(d);
+                    for r in 0..n {
+                        let row = &chat[r * d..(r + 1) * d];
+                        let gr = g[r];
+                        if gr == 0.0 {
+                            continue;
+                        }
+                        for (dst, &cv) in dqhat.iter_mut().zip(row) {
+                            *dst += gr * cv;
+                        }
+                    }
+                    let dot: f32 = dqhat.iter().zip(qhat.iter()).map(|(a, b)| a * b).sum();
+                    pq.with_grad_mut(|gq| {
+                        for j in 0..d {
+                            gq[j] += (dqhat[j] - qhat[j] * dot) / nq;
+                        }
+                    });
+                }
+                if pc.requires_grad() {
+                    // Per row: dc_r = (g_r q̂ − ĉ_r g_r y_r)/(‖c_r‖+ε).
+                    pc.with_grad_mut(|gc| {
+                        for r in 0..n {
+                            let gr = g[r];
+                            if gr == 0.0 {
+                                continue;
+                            }
+                            let row = &chat[r * d..(r + 1) * d];
+                            let inv = 1.0 / cnorms[r];
+                            let yr = y[r];
+                            for j in 0..d {
+                                gc[r * d + j] += gr * (qhat[j] - row[j] * yr) * inv;
+                            }
+                        }
+                    });
+                }
+            }),
+        )
     }
 }
 

@@ -1,20 +1,41 @@
-//! Thread-count policy shared by the GEMM kernels and the higher-level
-//! trainer.
+//! Thread-count policy and the persistent worker pool shared by the GEMM
+//! kernels and the higher-level trainer.
 //!
-//! The actual data-parallel dispatch lives next to its data: the GEMM
-//! row-sharding in `ops/matmul.rs` and the trainer's replica workers in
-//! `tspn-core` both use `std::thread::scope` directly, so closures can
-//! borrow stack data (including handing out disjoint `&mut` row windows)
-//! without unsafe lifetime juggling. What they share is the thread-count
-//! decision below.
+//! ## Worker pool
+//!
+//! Data-parallel callers used to spawn `std::thread::scope` threads per
+//! call, paying ~50 µs of spawn/join latency each time — enough to make
+//! parallelising medium GEMMs a loss. The pool replaces that with
+//! long-lived workers and a scoped dispatch, [`run_scoped`]:
+//!
+//! * tasks may borrow stack data (including disjoint `&mut` row windows —
+//!   see [`parallel_for_rows`]) because the call blocks until every task
+//!   has finished before any borrow can expire;
+//! * the **calling thread participates**: it drains its own task queue
+//!   while workers steal from the shared injector. Even when every worker
+//!   is busy with somebody else's batch, a dispatch therefore always makes
+//!   progress and can never deadlock;
+//! * every task body runs inside [`with_worker_scope`], on workers and on
+//!   the caller alike, so nested dispatch degrades to serial execution
+//!   (no `threads²` oversubscription) and a task computes bitwise the same
+//!   result whichever thread picks it up;
+//! * a panicking task is caught, the remaining tasks still run, and the
+//!   first payload is re-raised on the calling thread after the batch
+//!   drains — borrowed data is never observed by a half-finished batch.
+//!
+//! Workers are spawned lazily on the first multi-task dispatch:
+//! `num_threads() - 1` of them, so together with the participating caller
+//! the process never has more than `num_threads()` compute threads.
 //!
 //! Thread count resolution (cached for the process lifetime):
 //! `TSPN_NUM_THREADS` environment variable when set, otherwise
 //! `std::thread::available_parallelism()`. Setting `TSPN_NUM_THREADS=1`
 //! forces fully serial execution everywhere.
 
+use std::any::Any;
 use std::cell::Cell;
-use std::sync::OnceLock;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 thread_local! {
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
@@ -65,9 +86,226 @@ pub fn num_threads() -> usize {
     })
 }
 
+// ---------------------------------------------------------------------
+// Persistent worker pool
+// ---------------------------------------------------------------------
+
+/// A lifetime-erased task. Safety: [`run_scoped`] blocks until every task
+/// of its batch has completed, so the erased borrows outlive execution.
+struct Task(Box<dyn FnOnce() + Send>);
+
+/// One `run_scoped` batch: its pending tasks plus completion bookkeeping.
+struct Batch {
+    /// Tasks not yet started (drained by workers and the caller alike).
+    queue: Mutex<VecDeque<Task>>,
+    /// `(unfinished task count, first panic payload)`.
+    state: Mutex<(usize, Option<Box<dyn Any + Send>>)>,
+    /// Signalled when the unfinished count reaches zero.
+    done: Condvar,
+}
+
+impl Batch {
+    /// Pops one pending task, if any.
+    fn pop(&self) -> Option<Task> {
+        self.queue.lock().expect("batch queue").pop_front()
+    }
+
+    /// Runs one task under the worker scope, recording completion and any
+    /// panic payload.
+    fn run(&self, task: Task) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_worker_scope(|| (task.0)())
+        }));
+        let mut state = self.state.lock().expect("batch state");
+        state.0 -= 1;
+        if let Err(payload) = result {
+            state.1.get_or_insert(payload);
+        }
+        if state.0 == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// The process-wide injector feeding the persistent workers.
+struct Injector {
+    /// Batches with pending tasks, oldest first.
+    backlog: Mutex<VecDeque<Arc<Batch>>>,
+    /// Signalled whenever a batch is pushed.
+    ready: Condvar,
+}
+
+fn injector() -> &'static Injector {
+    static POOL: OnceLock<&'static Injector> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let inj: &'static Injector = Box::leak(Box::new(Injector {
+            backlog: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        }));
+        for i in 0..num_threads().saturating_sub(1) {
+            std::thread::Builder::new()
+                .name(format!("tspn-worker-{i}"))
+                .spawn(move || worker_loop(inj))
+                .expect("spawn pool worker");
+        }
+        inj
+    })
+}
+
+/// Worker main loop: take one task at a time from the oldest batch that
+/// still has pending work, dropping batches from the backlog once empty.
+fn worker_loop(inj: &'static Injector) {
+    loop {
+        let (batch, task) = {
+            let mut backlog = inj.backlog.lock().expect("injector");
+            loop {
+                // Front batches may have been fully claimed already (the
+                // caller drains its own queue too) — discard those.
+                if let Some(front) = backlog.front().cloned() {
+                    if let Some(task) = front.pop() {
+                        break (front, task);
+                    }
+                    backlog.pop_front();
+                    continue;
+                }
+                backlog = inj.ready.wait(backlog).expect("injector wait");
+            }
+        };
+        batch.run(task);
+    }
+}
+
+/// Runs every closure to completion, fanning out across the persistent
+/// worker pool, and returns once all have finished. Closures may borrow
+/// from the caller's stack — the borrows remain live for the whole call.
+///
+/// Every task body executes inside [`with_worker_scope`] (on the
+/// participating caller too), so nested dispatch stays serial and task
+/// results cannot depend on which thread ran them. When the pool is
+/// effectively serial (`num_threads() == 1`, a single task, or a call from
+/// inside a worker) the tasks simply run inline in order.
+///
+/// # Panics
+/// Re-raises the first panic raised by any task, after the whole batch has
+/// drained.
+pub fn run_scoped(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    let n = tasks.len();
+    if n == 0 {
+        return;
+    }
+    if n == 1 || num_threads() == 1 || in_worker() {
+        // Inline execution keeps the pool's batch semantics: every task
+        // runs, and the first panic re-raises only after the batch drains.
+        let mut first_panic = None;
+        for task in tasks {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                with_worker_scope(task)
+            }));
+            if let Err(payload) = result {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        return;
+    }
+    // Erase the borrow lifetime: safe because this frame blocks until the
+    // batch's unfinished count reaches zero, and panics unwind only after
+    // that same wait.
+    let erased: VecDeque<Task> = tasks
+        .into_iter()
+        .map(|t| {
+            let t: Box<dyn FnOnce() + Send + 'static> =
+                unsafe { std::mem::transmute(t) };
+            Task(t)
+        })
+        .collect();
+    let batch = Arc::new(Batch {
+        queue: Mutex::new(erased),
+        state: Mutex::new((n, None)),
+        done: Condvar::new(),
+    });
+    let inj = injector();
+    {
+        let mut backlog = inj.backlog.lock().expect("injector");
+        backlog.push_back(Arc::clone(&batch));
+    }
+    inj.ready.notify_all();
+    // Participate: drain our own queue alongside the workers.
+    while let Some(task) = batch.pop() {
+        batch.run(task);
+    }
+    let mut state = batch.state.lock().expect("batch state");
+    while state.0 > 0 {
+        state = batch.done.wait(state).expect("batch wait");
+    }
+    if let Some(payload) = state.1.take() {
+        drop(state);
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Runs `jobs` on the pool (see [`run_scoped`]) and collects their results
+/// in job order.
+pub fn map_scoped<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = jobs
+        .into_iter()
+        .zip(results.iter_mut())
+        .map(|(job, slot)| {
+            Box::new(move || {
+                *slot = Some(job());
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    run_scoped(tasks);
+    results
+        .into_iter()
+        .map(|r| r.expect("pool task completed"))
+        .collect()
+}
+
+/// Splits the row-major matrix `data` (rows of length `row_len`) into
+/// contiguous windows of `rows_per_shard` rows and runs
+/// `f(first_row, window)` for every window on the pool. The windows are
+/// disjoint `&mut` slices, so shards can write their rows freely; `f` must
+/// not depend on which thread runs it (it executes under the worker
+/// scope on caller and workers alike).
+pub fn parallel_for_rows<F>(data: &mut [f32], row_len: usize, rows_per_shard: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(rows_per_shard > 0, "rows_per_shard must be positive");
+    if row_len == 0 {
+        return;
+    }
+    debug_assert_eq!(data.len() % row_len, 0, "data must be whole rows");
+    let n_rows = data.len() / row_len;
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+    let mut rest = data;
+    let mut row0 = 0usize;
+    let f = &f;
+    while row0 < n_rows {
+        let rows = rows_per_shard.min(n_rows - row0);
+        let (head, tail) = rest.split_at_mut(rows * row_len);
+        rest = tail;
+        let r0 = row0;
+        tasks.push(Box::new(move || f(r0, head)));
+        row0 += rows;
+    }
+    run_scoped(tasks);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn num_threads_is_positive_and_stable() {
@@ -87,5 +325,113 @@ mod tests {
         assert_eq!(inner, 1);
         assert!(!in_worker());
         assert_eq!(effective_threads(), num_threads());
+    }
+
+    #[test]
+    fn run_scoped_executes_every_task_with_stack_borrows() {
+        let mut slots = vec![0usize; 23];
+        {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    Box::new(move || {
+                        assert!(in_worker(), "tasks must run under the worker scope");
+                        *slot = i + 1;
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            run_scoped(tasks);
+        }
+        assert_eq!(slots, (1..=23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_scoped_preserves_job_order() {
+        let jobs: Vec<_> = (0..17).map(|i| move || i * 3).collect();
+        assert_eq!(map_scoped(jobs), (0..17).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_for_rows_covers_disjoint_windows() {
+        let mut data = vec![0.0f32; 7 * 5];
+        parallel_for_rows(&mut data, 5, 2, |row0, window| {
+            for (r, row) in window.chunks_mut(5).enumerate() {
+                row.fill((row0 + r) as f32);
+            }
+        });
+        for (r, row) in data.chunks(5).enumerate() {
+            assert!(row.iter().all(|&v| v == r as f32), "row {r}: {row:?}");
+        }
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline() {
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..4)
+            .map(|_| {
+                let counter = &counter;
+                move || {
+                    // A nested dispatch from inside a task must run inline.
+                    let inner: Vec<_> = (0..3)
+                        .map(|_| {
+                            move || {
+                                assert!(in_worker());
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            }
+                        })
+                        .collect();
+                    map_scoped(inner);
+                }
+            })
+            .collect();
+        map_scoped(jobs);
+        assert_eq!(counter.load(Ordering::Relaxed), 12);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_batch_drains() {
+        let done = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..6)
+                .map(|i| {
+                    let done = &done;
+                    Box::new(move || {
+                        if i == 2 {
+                            panic!("task {i} exploded");
+                        }
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            run_scoped(tasks);
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("exploded"), "unexpected payload: {msg}");
+        // All non-panicking tasks still ran before the unwind.
+        assert_eq!(done.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn concurrent_batches_from_many_threads_complete() {
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                s.spawn(move || {
+                    for round in 0..20 {
+                        let jobs: Vec<_> =
+                            (0..5).map(|i| move || t * 1000 + round * 10 + i).collect();
+                        let got = map_scoped(jobs);
+                        let want: Vec<_> =
+                            (0..5).map(|i| t * 1000 + round * 10 + i).collect();
+                        assert_eq!(got, want);
+                    }
+                });
+            }
+        });
     }
 }

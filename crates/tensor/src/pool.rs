@@ -21,10 +21,34 @@
 //! Hit/miss counters are exposed through [`stats`] so tests and benches
 //! can verify allocation behaviour.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
+
+/// Trivial hasher for buffer-length keys: lengths are small, well spread
+/// integers, so multiplying by a large odd constant beats SipHash by an
+/// order of magnitude on the pool's hottest path.
+#[derive(Default)]
+struct LenHasher(u64);
+
+impl Hasher for LenHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = self.0.wrapping_mul(0x9E3779B97F4A7C15) ^ b as u64;
+        }
+    }
+    fn write_usize(&mut self, n: usize) {
+        self.0 = (n as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    }
+}
+
+type LenMap<V> = HashMap<usize, V, BuildHasherDefault<LenHasher>>;
 
 /// Per-bucket retention budget in floats (16 MiB per distinct length):
 /// whole training tapes return their buffers at once when they drop, so
@@ -48,9 +72,39 @@ fn bucket_cap(len: usize) -> usize {
     (MAX_BUCKET_FLOATS / len.max(1)).clamp(1, MAX_PER_BUCKET)
 }
 
+/// Largest buffer the thread-local front cache retains (64 Ki floats =
+/// 256 KiB). Bigger buffers go straight to the shared shards, where any
+/// thread can pick them up — important for producer/consumer flows like
+/// the trainer's snapshot and gradient hand-offs.
+const TL_MAX_LEN: usize = 64 * 1024;
+/// Per-length buffer cap in the thread-local cache. Deliberately small:
+/// a thread keeps its working set close, and everything beyond spills to
+/// the shared pool for other threads to reuse.
+const TL_PER_BUCKET: usize = 16;
+/// Total float budget of one thread-local cache (4M floats = 16 MiB).
+const TL_MAX_FLOATS: usize = 4 << 20;
+
+/// The lock-free thread-local front of the pool: `(buckets, total floats)`.
+///
+/// Tape-heavy workloads check buffers in and out hundreds of times per
+/// training step; serving those from a thread-local map removes the shard
+/// mutex and keeps recently used buffers cache-warm. Checkouts served here
+/// still count as pool hits.
+struct TlCache {
+    buckets: LenMap<Vec<Vec<f32>>>,
+    floats: usize,
+}
+
+thread_local! {
+    static TL_CACHE: RefCell<TlCache> = RefCell::new(TlCache {
+        buckets: LenMap::default(),
+        floats: 0,
+    });
+}
+
 #[derive(Default)]
 struct Shard {
-    buckets: HashMap<usize, Vec<Vec<f32>>>,
+    buckets: LenMap<Vec<Vec<f32>>>,
 }
 
 struct PoolInner {
@@ -127,13 +181,20 @@ pub fn reset_stats() {
     p.discarded.store(0, Ordering::Relaxed);
 }
 
-/// Drops every pooled buffer (counters stay).
+/// Drops every pooled buffer (counters stay). Clears the shared shards
+/// and the **calling thread's** local cache; other threads' local caches
+/// drain through normal reuse.
 pub fn clear() {
     let p = pool();
     for shard in &p.shards {
         shard.lock().expect("pool shard").buckets.clear();
     }
     p.retained_floats.store(0, Ordering::Relaxed);
+    TL_CACHE.with(|cell| {
+        let mut tl = cell.borrow_mut();
+        tl.buckets.clear();
+        tl.floats = 0;
+    });
 }
 
 /// Checks out a buffer of exactly `len` elements with **unspecified
@@ -141,6 +202,22 @@ pub fn clear() {
 pub fn take_uninit(len: usize) -> Vec<f32> {
     if len == 0 || len > MAX_POOLED_LEN {
         return vec![0.0; len];
+    }
+    // Fast path: the thread-local cache, no locking.
+    if len <= TL_MAX_LEN {
+        let hit = TL_CACHE.with(|cell| {
+            let mut tl = cell.borrow_mut();
+            let buf = tl.buckets.get_mut(&len).and_then(Vec::pop);
+            if buf.is_some() {
+                tl.floats -= len;
+            }
+            buf
+        });
+        if let Some(buf) = hit {
+            debug_assert_eq!(buf.len(), len);
+            pool().hits.fetch_add(1, Ordering::Relaxed);
+            return buf;
+        }
     }
     let p = pool();
     let recycled = p.shards[shard_for(len)]
@@ -184,6 +261,33 @@ pub fn give(buf: Vec<f32>) {
     if len == 0 || len > MAX_POOLED_LEN {
         return;
     }
+    // Fast path: keep small buffers thread-local; spill to the shared
+    // shards once the local bucket or budget fills, so other threads can
+    // still recycle what this one over-produces.
+    let buf = if len <= TL_MAX_LEN {
+        let rejected = TL_CACHE.with(|cell| {
+            let mut tl = cell.borrow_mut();
+            if tl.floats + len > TL_MAX_FLOATS {
+                return Some(buf);
+            }
+            let bucket = tl.buckets.entry(len).or_default();
+            if bucket.len() >= TL_PER_BUCKET {
+                return Some(buf);
+            }
+            bucket.push(buf);
+            tl.floats += len;
+            None
+        });
+        match rejected {
+            None => {
+                pool().returned.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Some(buf) => buf,
+        }
+    } else {
+        buf
+    };
     let p = pool();
     let over_budget =
         p.retained_floats.load(Ordering::Relaxed) + len as u64 > MAX_TOTAL_FLOATS as u64;

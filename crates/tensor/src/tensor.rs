@@ -10,9 +10,10 @@
 //! deep-learning frameworks so the model code in `tspn-core` reads like the
 //! equations in the paper.
 
-use std::cell::{Ref, RefCell};
+use std::cell::{Cell, Ref, RefCell};
 use std::collections::HashSet;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -23,6 +24,33 @@ static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
 fn fresh_id() -> u64 {
     NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Multiplicative hasher for node ids (sequential `u64`s): the default
+/// SipHash dominates the backward pass's visited-set bookkeeping on big
+/// tapes, and ids need no DoS resistance.
+#[derive(Default)]
+struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = self.0.wrapping_mul(0x9E3779B97F4A7C15) ^ b as u64;
+        }
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E3779B97F4A7C15);
+    }
+}
+
+type IdSet = HashSet<u64, BuildHasherDefault<IdHasher>>;
+
+thread_local! {
+    /// When > 0, op outputs record no tape (see [`Tensor::no_grad`]).
+    static NO_GRAD_DEPTH: Cell<u32> = const { Cell::new(0) };
 }
 
 /// Backward closure: given the finished output node, scatter its gradient
@@ -111,6 +139,29 @@ impl Tensor {
         }
     }
 
+    /// Runs `f` with tape recording suspended: every op inside produces
+    /// plain data tensors (no parents, no backward closures), so
+    /// intermediates free their buffers as soon as they go out of scope.
+    /// Inference paths (evaluation, prediction) use this to skip autograd
+    /// bookkeeping entirely. Nests; parameters created inside still have
+    /// `requires_grad == true` — only op *outputs* are detached.
+    pub fn no_grad<T>(f: impl FnOnce() -> T) -> T {
+        struct Guard;
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                NO_GRAD_DEPTH.with(|d| d.set(d.get() - 1));
+            }
+        }
+        NO_GRAD_DEPTH.with(|d| d.set(d.get() + 1));
+        let _restore = Guard;
+        f()
+    }
+
+    /// True while a [`Tensor::no_grad`] scope is active on this thread.
+    pub fn grad_suspended() -> bool {
+        NO_GRAD_DEPTH.with(Cell::get) > 0
+    }
+
     /// Internal: creates an op output node.
     pub(crate) fn from_op(
         data: Vec<f32>,
@@ -119,7 +170,8 @@ impl Tensor {
         backward: BackwardFn,
     ) -> Tensor {
         assert_eq!(data.len(), shape.len());
-        let requires_grad = parents.iter().any(|p| p.inner.requires_grad);
+        let requires_grad =
+            !Self::grad_suspended() && parents.iter().any(|p| p.inner.requires_grad);
         Tensor {
             inner: Rc::new(Inner {
                 id: fresh_id(),
@@ -336,7 +388,7 @@ impl Tensor {
     /// Topological order of the reachable subgraph (parents before children).
     fn topo_order(&self) -> Vec<Tensor> {
         let mut order: Vec<Tensor> = Vec::new();
-        let mut visited: HashSet<u64> = HashSet::new();
+        let mut visited: IdSet = IdSet::default();
         // Iterative post-order DFS to avoid stack overflow on long chains
         // (RNN unrolls produce graphs thousands of nodes deep).
         enum Frame {

@@ -86,6 +86,38 @@ proptest! {
     }
 
     #[test]
+    fn grad_matmul_nt(a in values(6), b in values(6)) {
+        // A [2,3] · (B [2,3])ᵀ — the fused transposed product.
+        let x = Tensor::param(a, vec![2, 3]);
+        let y = Tensor::param(b, vec![2, 3]);
+        let (xc, yc) = (x.clone(), y.clone());
+        check(&[x, y], move || xc.matmul_nt(&yc).square().sum_all());
+    }
+
+    #[test]
+    fn grad_affine(a in values(6), w in values(6), b in values(2)) {
+        // The fused x·W + b node behind Linear::forward.
+        let x = Tensor::param(a, vec![2, 3]);
+        let wt = Tensor::param(w, vec![3, 2]);
+        let bt = Tensor::param(b, vec![2]);
+        let (xc, wc, bc) = (x.clone(), wt.clone(), bt.clone());
+        check(&[x, wt, bt], move || xc.affine(&wc, &bc).square().sum_all());
+    }
+
+    #[test]
+    fn grad_layer_norm_fused(a in values(6), g in values(3), b in values(3)) {
+        // The single-node layer_norm op, through input, gain and shift.
+        let x = Tensor::param(a, vec![2, 3]);
+        let gamma = Tensor::param(g, vec![3]);
+        let beta = Tensor::param(b, vec![3]);
+        let (xc, gc, bc) = (x.clone(), gamma.clone(), beta.clone());
+        let pick = Tensor::from_vec(vec![0.9, -0.2, 0.3, 0.4, 0.1, -0.7], vec![2, 3]);
+        check(&[x, gamma, beta], move || {
+            xc.layer_norm(&gc, &bc, 1e-3).mul(&pick).sum_all()
+        });
+    }
+
+    #[test]
     fn grad_activations(a in values(5)) {
         let x = Tensor::param(a, vec![5]);
         let xc = x.clone();

@@ -5,13 +5,66 @@
 //! counters see only this test's traffic (the library unit tests run many
 //! pool users concurrently).
 
+use std::sync::Mutex;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tspn_tensor::nn::{Linear, Module};
+use tspn_tensor::nn::{Conv2d, Linear, Module};
 use tspn_tensor::{optim, pool, Tensor};
+
+/// The pool counters are process-global; the two steady-state tests must
+/// not interleave their reset/assert windows.
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn steady_state_conv_training_step_allocates_nothing() {
+    let _guard = COUNTER_LOCK.lock().expect("counter lock");
+    // The batched im2col + GEMM convolution draws all its scratch (the
+    // column matrix, GEMM staging, packed panels) from the pool; a warmed
+    // conv-bearing training step must therefore be allocation-free too.
+    let mut rng = StdRng::seed_from_u64(7);
+    let conv1 = Conv2d::new(&mut rng, 3, 4, 3, 2, 1);
+    let conv2 = Conv2d::new(&mut rng, 4, 8, 3, 2, 1);
+    let head = Linear::new(&mut rng, 8 * 4 * 4, 6);
+    let params = [conv1.params(), conv2.params(), head.params()].concat();
+    let mut adam = optim::Adam::new(1e-3);
+
+    let mut step = || {
+        optim::zero_grad(&params);
+        let x = Tensor::full(0.3, vec![5, 3, 16, 16]);
+        let h1 = conv1.forward_batch(&x).relu();
+        let h2 = conv2.forward_batch(&h1).relu();
+        let flat = h2.reshape(vec![5, 8 * 4 * 4]);
+        let out = head.forward(&flat).tanh();
+        let loss = out.square().sum_all().scale(0.1);
+        loss.backward();
+        optim::clip_grad_norm(&params, 5.0);
+        adam.step(&params);
+    };
+
+    for _ in 0..3 {
+        step();
+    }
+
+    pool::reset_stats();
+    for _ in 0..20 {
+        step();
+    }
+    let stats = pool::stats();
+    assert!(stats.hits > 200, "expected real pool traffic, saw {stats:?}");
+    assert_eq!(
+        stats.misses, 0,
+        "steady-state conv training must not allocate tensor buffers: {stats:?}"
+    );
+    assert_eq!(
+        stats.discarded, 0,
+        "steady-state conv buffers must all be retained: {stats:?}"
+    );
+}
 
 #[test]
 fn steady_state_training_step_allocates_nothing() {
+    let _guard = COUNTER_LOCK.lock().expect("counter lock");
     let mut rng = StdRng::seed_from_u64(1);
     let l1 = Linear::new(&mut rng, 16, 32);
     let l2 = Linear::new(&mut rng, 32, 8);
