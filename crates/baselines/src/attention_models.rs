@@ -45,13 +45,7 @@ impl StanEncoder {
         }
     }
 
-    fn attention_layer(
-        &self,
-        proj: &Linear,
-        x: &Tensor,
-        bias: &Tensor,
-        dim: usize,
-    ) -> Tensor {
+    fn attention_layer(&self, proj: &Linear, x: &Tensor, bias: &Tensor, dim: usize) -> Tensor {
         let q = proj.forward(x);
         let scores = q
             .matmul(&x.transpose())
@@ -81,8 +75,11 @@ impl SeqEncoder for StanEncoder {
                 d_buckets.push(distance_bucket(km, BUCKETS));
             }
         }
-        let bias = pairwise_bias(&self.time_bias, &t_buckets, n)
-            .add(&pairwise_bias(&self.dist_bias, &d_buckets, n));
+        let bias = pairwise_bias(&self.time_bias, &t_buckets, n).add(&pairwise_bias(
+            &self.dist_bias,
+            &d_buckets,
+            n,
+        ));
         let dim = table.dim();
         let h1 = self.attention_layer(&self.q1, &x, &bias, dim);
         let h2 = self.attention_layer(&self.q2, &h1, &bias, dim);

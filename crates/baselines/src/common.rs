@@ -39,10 +39,7 @@ pub fn evaluate_model(
         .iter()
         .map(|s| {
             let target = dataset.sample_target(s).poi;
-            model
-                .rank(dataset, s)
-                .iter()
-                .position(|&p| p == target)
+            model.rank(dataset, s).iter().position(|&p| p == target)
         })
         .collect()
 }

@@ -83,8 +83,8 @@ impl SeqEncoder for GraphFlashbackEncoder {
         let smoothed = self.smoothed(table);
         let x = smoothed.gather_rows(&rows);
         let hs = self.cell.run(&x); // [n, d]
-        // Flashback: weight each hidden state by temporal proximity to the
-        // prediction time (exponential decay over hours).
+                                    // Flashback: weight each hidden state by temporal proximity to the
+                                    // prediction time (exponential decay over hours).
         let last_t = prefix.last().expect("non-empty prefix").time;
         let weights: Vec<f32> = prefix
             .iter()
@@ -232,8 +232,7 @@ impl NextPoiModel for HmtGrn {
                 .partial_cmp(&region_scores[a])
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        let beam: std::collections::HashSet<usize> =
-            regions.into_iter().take(self.beam).collect();
+        let beam: std::collections::HashSet<usize> = regions.into_iter().take(self.beam).collect();
         let in_beam = logits_to_ranking(&Tensor::from_vec(
             poi_scores.clone(),
             vec![1, poi_scores.len()],
@@ -277,7 +276,10 @@ mod tests {
         let n = ds.pois.len();
         for r in 0..n {
             let sum: f32 = v[r * n..(r + 1) * n].iter().sum();
-            assert!(sum.abs() < 1e-4 || (sum - 1.0).abs() < 1e-4, "row {r} sums {sum}");
+            assert!(
+                sum.abs() < 1e-4 || (sum - 1.0).abs() < 1e-4,
+                "row {r} sums {sum}"
+            );
         }
     }
 

@@ -47,10 +47,7 @@ use tspn_data::LbsnDataset;
 
 /// Instantiates every baseline for a dataset with shared hyper-parameters
 /// — the lineup of Tables II/III (TSPN-RA itself lives in `tspn-core`).
-pub fn all_baselines(
-    dataset: &LbsnDataset,
-    config: SeqModelConfig,
-) -> Vec<Box<dyn NextPoiModel>> {
+pub fn all_baselines(dataset: &LbsnDataset, config: SeqModelConfig) -> Vec<Box<dyn NextPoiModel>> {
     let n = dataset.pois.len();
     vec![
         Box::new(MarkovChain::new()),
@@ -82,8 +79,16 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "MC", "GRU", "STRNN", "DeepMove", "LSTPM", "STAN", "SAE-NAD", "HMT-GRN",
-                "Graph-Flashback", "STiSAN"
+                "MC",
+                "GRU",
+                "STRNN",
+                "DeepMove",
+                "LSTPM",
+                "STAN",
+                "SAE-NAD",
+                "HMT-GRN",
+                "Graph-Flashback",
+                "STiSAN"
             ]
         );
     }

@@ -210,10 +210,16 @@ mod tests {
         );
         // Pre-training performance as control.
         let before = evaluate_model(&model, &ds, test);
-        let hits_before = before.iter().filter(|r| matches!(r, Some(x) if *x < 10)).count();
+        let hits_before = before
+            .iter()
+            .filter(|r| matches!(r, Some(x) if *x < 10))
+            .count();
         model.fit(&ds, train);
         let after = evaluate_model(&model, &ds, test);
-        let hits_after = after.iter().filter(|r| matches!(r, Some(x) if *x < 10)).count();
+        let hits_after = after
+            .iter()
+            .filter(|r| matches!(r, Some(x) if *x < 10))
+            .count();
         assert!(
             hits_after > hits_before,
             "training did not improve hit@10: {hits_before} → {hits_after}"

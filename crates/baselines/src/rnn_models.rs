@@ -100,9 +100,7 @@ impl SeqEncoder for StrnnEncoder {
             } else {
                 let prev = &prefix[i - 1];
                 t_buckets.push(time_gap_bucket(v.time - prev.time, BUCKETS));
-                let km = ds
-                    .poi_loc(prev.poi)
-                    .equirectangular_km(&ds.poi_loc(v.poi));
+                let km = ds.poi_loc(prev.poi).equirectangular_km(&ds.poi_loc(v.poi));
                 d_buckets.push(distance_bucket(km, BUCKETS));
             }
         }

@@ -42,7 +42,11 @@ impl SaeNadEncoder {
             .iter()
             .map(|v| v.poi.0)
             .collect();
-        rows.extend(recent(ds.sample_prefix(s), self.max_prefix).iter().map(|v| v.poi.0));
+        rows.extend(
+            recent(ds.sample_prefix(s), self.max_prefix)
+                .iter()
+                .map(|v| v.poi.0),
+        );
         rows.sort_unstable();
         rows.dedup();
         rows
@@ -72,7 +76,7 @@ impl SeqEncoder for SaeNadEncoder {
     fn encode(&self, ds: &LbsnDataset, s: &Sample, table: &EmbeddingTable) -> Tensor {
         let rows = self.visible_set(ds, s);
         let x = table.lookup(&rows); // [m, d]
-        // Self-attentive pooling: a = softmax(v·tanh(Wx)).
+                                     // Self-attentive pooling: a = softmax(v·tanh(Wx)).
         let scores = self.attn_v.forward(&self.attn_w.forward(&x).tanh()); // [m, 1]
         let att = scores.transpose().softmax_rows(); // [1, m]
         att.matmul(&x)

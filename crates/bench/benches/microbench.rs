@@ -92,7 +92,9 @@ fn bench_qrp(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let hgat = Hgat::new(&mut rng, 32, 2);
     let h0 = init::normal(&mut rng, 0.0, 0.5, vec![graph.num_nodes(), 32]).detach();
-    c.bench_function("hgat_forward_2layer", |b| b.iter(|| hgat.forward(&graph, &h0)));
+    c.bench_function("hgat_forward_2layer", |b| {
+        b.iter(|| hgat.forward(&graph, &h0))
+    });
 }
 
 fn bench_attention(c: &mut Criterion) {
@@ -111,7 +113,9 @@ fn bench_me1(c: &mut Criterion) {
     let images: Vec<Tensor> = (0..32)
         .map(|i| Tensor::full(i as f32 / 32.0, vec![3, 16, 16]))
         .collect();
-    c.bench_function("me1_embed_32_tiles_16px", |b| b.iter(|| me1.embed_tiles(&images)));
+    c.bench_function("me1_embed_32_tiles_16px", |b| {
+        b.iter(|| me1.embed_tiles(&images))
+    });
 }
 
 fn bench_ranking(c: &mut Criterion) {

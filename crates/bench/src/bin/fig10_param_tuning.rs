@@ -21,7 +21,10 @@ fn main() {
         let mut cfg = base.clone();
         cfg.top_k = k;
         let row = run_tspn(&prepared, cfg, TspnVariant::default(), "K");
-        println!("  K={k:<3} recall@5 {:.4}  mrr {:.4}", row.metrics.recall[0], row.metrics.mrr);
+        println!(
+            "  K={k:<3} recall@5 {:.4}  mrr {:.4}",
+            row.metrics.recall[0], row.metrics.mrr
+        );
         table.row(vec![
             "K".into(),
             k.to_string(),
@@ -34,7 +37,10 @@ fn main() {
         let mut cfg = base.clone();
         cfg.dm = dm;
         let row = run_tspn(&prepared, cfg, TspnVariant::default(), "dm");
-        println!("  dm={dm:<3} recall@5 {:.4}  mrr {:.4}", row.metrics.recall[0], row.metrics.mrr);
+        println!(
+            "  dm={dm:<3} recall@5 {:.4}  mrr {:.4}",
+            row.metrics.recall[0], row.metrics.mrr
+        );
         table.row(vec![
             "dm".into(),
             dm.to_string(),
@@ -47,7 +53,10 @@ fn main() {
         let mut cfg = base.clone();
         cfg.lr = lr;
         let row = run_tspn(&prepared, cfg, TspnVariant::default(), "lr");
-        println!("  lr={lr:<7} recall@5 {:.4}  mrr {:.4}", row.metrics.recall[0], row.metrics.mrr);
+        println!(
+            "  lr={lr:<7} recall@5 {:.4}  mrr {:.4}",
+            row.metrics.recall[0], row.metrics.mrr
+        );
         table.row(vec![
             "lr".into(),
             format!("{lr}"),
@@ -60,7 +69,10 @@ fn main() {
         let mut cfg = base.clone();
         cfg.batch_size = bs;
         let row = run_tspn(&prepared, cfg, TspnVariant::default(), "batch");
-        println!("  batch={bs:<3} recall@5 {:.4}  mrr {:.4} ({:.1}s)", row.metrics.recall[0], row.metrics.mrr, row.train_secs);
+        println!(
+            "  batch={bs:<3} recall@5 {:.4}  mrr {:.4} ({:.1}s)",
+            row.metrics.recall[0], row.metrics.mrr, row.train_secs
+        );
         table.row(vec![
             "batch".into(),
             bs.to_string(),

@@ -20,11 +20,7 @@ use tspn_world::World;
 
 const TOP_N: usize = 50;
 
-fn coastal_fraction(
-    dataset: &tspn_data::LbsnDataset,
-    world: &World,
-    ranking: &[PoiId],
-) -> f64 {
+fn coastal_fraction(dataset: &tspn_data::LbsnDataset, world: &World, ranking: &[PoiId]) -> f64 {
     let top: Vec<PoiId> = ranking.iter().copied().take(TOP_N).collect();
     if top.is_empty() {
         return 0.0;
@@ -95,7 +91,10 @@ fn main() {
     let tables = trainer.model.batch_tables(&trainer.ctx);
 
     let candidates = coastal_candidates(&prepared);
-    assert!(!candidates.is_empty(), "florida preset generates coastal targets");
+    assert!(
+        !candidates.is_empty(),
+        "florida preset generates coastal targets"
+    );
     let (sample, pred) = candidates
         .iter()
         .map(|s| {
@@ -140,12 +139,17 @@ fn main() {
         two_step: false,
         ..TspnVariant::default()
     };
-    let ctx_nf =
-        SpatialContext::build(prepared.dataset.clone(), prepared.world.clone(), &cfg_nofilter);
+    let ctx_nf = SpatialContext::build(
+        prepared.dataset.clone(),
+        prepared.world.clone(),
+        &cfg_nofilter,
+    );
     let mut trainer_nf = Trainer::new(cfg_nofilter, ctx_nf);
     trainer_nf.fit(&prepared.train);
     let tables_nf = trainer_nf.model.batch_tables(&trainer_nf.ctx);
-    let pred_nf = trainer_nf.model.predict(&trainer_nf.ctx, &sample, &tables_nf);
+    let pred_nf = trainer_nf
+        .model
+        .predict(&trainer_nf.ctx, &sample, &tables_nf);
     run_arm("TSPN-RA (no tile filter)", pred_nf.poi_ranking);
 
     // (d) LSTPM baseline.

@@ -21,7 +21,13 @@ fn main() {
     println!("training once on clean imagery…");
     trainer.fit_validated(&prepared.train, &prepared.val, epochs);
 
-    let mut table = TableBuilder::new(&["noise_fraction", "recall@5", "recall@20", "mrr", "tile_acc@K"]);
+    let mut table = TableBuilder::new(&[
+        "noise_fraction",
+        "recall@5",
+        "recall@20",
+        "mrr",
+        "tile_acc@K",
+    ]);
     println!("\n=== imagery noise dose-response (Florida analogue) ===");
     for noise in [0.0, 0.1, 0.2, 0.4, 0.6, 0.8] {
         let imagery = if noise == 0.0 {

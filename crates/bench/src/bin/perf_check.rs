@@ -1,59 +1,157 @@
 //! Compares two `perf_snapshot` JSON files and fails (exit code 1) on a
-//! regression of the end-to-end metrics: more than 20% slower
-//! `train_epoch` or `evaluate_test_split` (configurable). Other shared
-//! metrics are reported for context but only warn.
+//! regression of the gated metrics:
+//!
+//! * `train_epoch` / `evaluate_test_split` — more than `--max-ratio`
+//!   (default 1.2×) slower;
+//! * `serve_p50_us` / `serve_p99_us` / `serve_qps` — the serving-layer
+//!   metrics merged in by `serve_bench`, gated at the *lenient*
+//!   `--serve-max-ratio` (default 1.5×, CI machines are noisy about
+//!   socket latency). `serve_qps` is a throughput: it fails when it
+//!   *drops* by the ratio, not when it rises.
+//!
+//! Metrics present in only one snapshot are reported and never fail the
+//! check (snapshots grow new metrics across generations — `serve_*` keys
+//! exist from `BENCH_3.json` on), and metric entries may carry their
+//! magnitude as `seconds` (timings) or `value` + `unit` (anything else).
 //!
 //! ```text
-//! cargo run --release -p tspn-bench --bin perf_check -- BENCH_1.json BENCH_2.json
-//! cargo run --release -p tspn-bench --bin perf_check -- BENCH_1.json BENCH_2.json --max-ratio 1.1
+//! cargo run --release -p tspn-bench --bin perf_check -- BENCH_2.json BENCH_3.json
+//! cargo run --release -p tspn-bench --bin perf_check -- BENCH_2.json BENCH_3.json \
+//!     --max-ratio 1.1 --serve-max-ratio 2.0
 //! ```
 
-use serde::Deserialize;
+use serde::{Deserialize, Error, Value};
 
-/// One timed metric, mirroring `perf_snapshot`'s output schema.
-#[derive(Debug, Clone, Deserialize)]
+/// One metric, tolerant of schema differences across generations: the
+/// magnitude lives in `seconds` (timings, implied unit `s`) or `value`
+/// (with an optional `unit` tag); other fields are ignored.
+#[derive(Debug, Clone)]
 struct Metric {
     name: String,
-    seconds: f64,
-    #[allow(dead_code)]
-    repeats: f64,
+    magnitude: f64,
+    unit: String,
+}
+
+impl Deserialize for Metric {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| serde::err("metric entry without a name"))?
+            .to_string();
+        let (magnitude, default_unit) = if let Some(s) = v.get("seconds") {
+            (s.as_f64(), "s")
+        } else {
+            (v.get("value").and_then(Value::as_f64), "")
+        };
+        let magnitude =
+            magnitude.ok_or_else(|| serde::err(format!("metric {name:?} has no seconds/value")))?;
+        let unit = v
+            .get("unit")
+            .and_then(Value::as_str)
+            .unwrap_or(default_unit)
+            .to_string();
+        Ok(Metric {
+            name,
+            magnitude,
+            unit,
+        })
+    }
 }
 
 /// A deserialised snapshot (unknown fields ignored, so older and newer
 /// generations both parse).
-#[derive(Debug, Clone, Deserialize)]
+#[derive(Debug, Clone)]
 struct Snapshot {
     generation: f64,
     threads: f64,
     metrics: Vec<Metric>,
 }
 
-/// Metrics whose regression fails the check (the end-to-end hot paths).
-const GATED: &[&str] = &["train_epoch", "evaluate_test_split"];
+impl Deserialize for Snapshot {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let num = |name: &str| v.get(name).and_then(Value::as_f64).unwrap_or(0.0);
+        let metrics = match v.get("metrics") {
+            Some(Value::Array(items)) => items
+                .iter()
+                .map(Metric::from_value)
+                .collect::<Result<_, _>>()?,
+            _ => return Err(serde::err("snapshot without a metrics array")),
+        };
+        Ok(Snapshot {
+            generation: num("generation"),
+            threads: num("threads"),
+            metrics,
+        })
+    }
+}
+
+/// Gate direction for a metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Gate {
+    /// Strictly timed hot paths: fail above `max_ratio`.
+    LowerIsBetter,
+    /// Serving latencies: fail above the lenient `serve_max_ratio`.
+    ServeLowerIsBetter,
+    /// Serving throughput: fail when it *drops* below `1/serve_max_ratio`.
+    ServeHigherIsBetter,
+    /// Context only: report, never fail.
+    Informational,
+}
+
+fn gate_for(name: &str) -> Gate {
+    match name {
+        "train_epoch" | "evaluate_test_split" => Gate::LowerIsBetter,
+        "serve_p50_us" | "serve_p99_us" => Gate::ServeLowerIsBetter,
+        "serve_qps" => Gate::ServeHigherIsBetter,
+        _ => Gate::Informational,
+    }
+}
 
 fn load(path: &str) -> Snapshot {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read snapshot {path}: {e}"));
-    serde_json::from_str(&text)
-        .unwrap_or_else(|e| panic!("cannot parse snapshot {path}: {e}"))
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse snapshot {path}: {e}"))
+}
+
+/// Pretty magnitude with its unit (`seconds` entries print as ms).
+fn fmt_magnitude(m: &Metric) -> String {
+    match m.unit.as_str() {
+        "s" => format!("{:.3} ms", m.magnitude * 1e3),
+        "" => format!("{:.3}", m.magnitude),
+        unit => format!("{:.1} {unit}", m.magnitude),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str, default: f64) -> f64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let mut paths = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2; // every flag takes a value
+        } else {
+            paths.push(args[i].clone());
+            i += 1;
+        }
+    }
     assert!(
         paths.len() == 2,
-        "usage: perf_check <baseline.json> <candidate.json> [--max-ratio R]"
+        "usage: perf_check <baseline.json> <candidate.json> [--max-ratio R] [--serve-max-ratio R]"
     );
-    let max_ratio = args
-        .iter()
-        .position(|a| a == "--max-ratio")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse::<f64>().ok())
-        .unwrap_or(1.2);
+    let max_ratio = flag_value(&args, "--max-ratio", 1.2);
+    let serve_max_ratio = flag_value(&args, "--serve-max-ratio", 1.5);
 
-    let base = load(paths[0]);
-    let cand = load(paths[1]);
+    let base = load(&paths[0]);
+    let cand = load(&paths[1]);
     println!(
         "baseline {} (gen {}, {} threads) vs candidate {} (gen {}, {} threads)",
         paths[0], base.generation, base.threads, paths[1], cand.generation, cand.threads
@@ -65,34 +163,57 @@ fn main() {
     let mut failed = false;
     for new in &cand.metrics {
         let Some(old) = base.metrics.iter().find(|m| m.name == new.name) else {
-            println!("{:<24} {:>10.3} ms  (new metric, no baseline)", new.name, new.seconds * 1e3);
+            println!(
+                "{:<24} {:>14}  (new metric, no baseline)",
+                new.name,
+                fmt_magnitude(new)
+            );
             continue;
         };
-        let ratio = new.seconds / old.seconds;
-        let gated = GATED.contains(&new.name.as_str());
-        let verdict = if ratio <= max_ratio {
+        if old.magnitude <= 0.0 {
+            println!("{:<24} baseline magnitude is zero; skipping", new.name);
+            continue;
+        }
+        let ratio = new.magnitude / old.magnitude;
+        let gate = gate_for(&new.name);
+        let (ok, threshold) = match gate {
+            Gate::LowerIsBetter => (ratio <= max_ratio, max_ratio),
+            Gate::ServeLowerIsBetter => (ratio <= serve_max_ratio, serve_max_ratio),
+            Gate::ServeHigherIsBetter => (ratio >= 1.0 / serve_max_ratio, serve_max_ratio),
+            Gate::Informational => (ratio <= max_ratio, max_ratio),
+        };
+        let verdict = if ok {
             "ok"
-        } else if gated {
+        } else if gate == Gate::Informational {
+            "warn"
+        } else {
             failed = true;
             "FAIL"
-        } else {
-            "warn"
         };
         println!(
-            "{:<24} {:>10.3} ms -> {:>10.3} ms  ({:>5.2}x) {}",
+            "{:<24} {:>14} -> {:>14}  ({ratio:>5.2}x, gate {threshold:.2}) {verdict}",
             new.name,
-            old.seconds * 1e3,
-            new.seconds * 1e3,
-            ratio,
-            verdict
+            fmt_magnitude(old),
+            fmt_magnitude(new),
         );
+    }
+    for old in &base.metrics {
+        if !cand.metrics.iter().any(|m| m.name == old.name) {
+            println!(
+                "{:<24} {:>14}  (dropped from candidate; not gated)",
+                old.name,
+                fmt_magnitude(old)
+            );
+        }
     }
     if failed {
         eprintln!(
-            "perf_check: gated metric regressed more than {:.0}% vs baseline",
-            (max_ratio - 1.0) * 100.0
+            "perf_check: gated metric regressed (time gate {:.2}x, serve gate {:.2}x)",
+            max_ratio, serve_max_ratio
         );
         std::process::exit(1);
     }
-    println!("perf_check: no gated regressions (threshold {max_ratio:.2}x)");
+    println!(
+        "perf_check: no gated regressions (time gate {max_ratio:.2}x, serve gate {serve_max_ratio:.2}x)"
+    );
 }

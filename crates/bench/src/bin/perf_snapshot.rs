@@ -9,10 +9,14 @@
 //! Compare two snapshots with the `perf_check` binary.
 //!
 //! ```text
-//! cargo run --release -p tspn-bench --bin perf_snapshot            # writes BENCH_2.json
+//! cargo run --release -p tspn-bench --bin perf_snapshot            # writes BENCH_3.json
 //! cargo run --release -p tspn-bench --bin perf_snapshot -- --check # quick run, no file
 //! cargo run --release -p tspn-bench --bin perf_snapshot -- --out results/bench.json
 //! ```
+//!
+//! The serving-layer metrics (`serve_p50_us`/`serve_p99_us`/`serve_qps`)
+//! are appended into the same snapshot file by the `serve_bench` binary
+//! (`--merge BENCH_3.json`), which drives a real `tspn-serve` socket loop.
 
 use std::collections::HashSet;
 use std::time::Instant;
@@ -38,7 +42,7 @@ struct Metric {
     repeats: usize,
 }
 
-/// The whole snapshot, serialised to `BENCH_2.json`.
+/// The whole snapshot, serialised to `BENCH_3.json`.
 #[derive(Debug, Clone, Serialize)]
 struct Snapshot {
     /// Snapshot schema/PR generation marker.
@@ -71,10 +75,10 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_2.json".to_string());
+        .unwrap_or_else(|| "BENCH_3.json".to_string());
     let out_path = if std::path::Path::new(&out_arg).is_dir() {
         std::path::Path::new(&out_arg)
-            .join("BENCH_2.json")
+            .join("BENCH_3.json")
             .to_string_lossy()
             .into_owned()
     } else {
@@ -86,7 +90,11 @@ fn main() {
     let mut metrics = Vec::new();
     let mut record = |name: &str, seconds: f64, repeats: usize| {
         println!("{name:<28} {:>10.3} ms", seconds * 1e3);
-        metrics.push(Metric { name: name.to_string(), seconds, repeats });
+        metrics.push(Metric {
+            name: name.to_string(),
+            seconds,
+            repeats,
+        });
     };
 
     // --- Quad-tree construction ---
@@ -98,7 +106,10 @@ fn main() {
         std::hint::black_box(QuadTree::build(
             ds.region,
             &locs,
-            QuadTreeConfig { max_depth: 7, leaf_capacity: 6 },
+            QuadTreeConfig {
+                max_depth: 7,
+                leaf_capacity: 6,
+            },
         ));
     });
     record("quadtree_build", qt_secs, repeats);
@@ -107,7 +118,10 @@ fn main() {
     let tree = QuadTree::build(
         ds.region,
         &locs,
-        QuadTreeConfig { max_depth: 6, leaf_capacity: 10 },
+        QuadTreeConfig {
+            max_depth: 6,
+            leaf_capacity: 10,
+        },
     );
     let leaves = tree.leaves();
     let mut road: HashSet<(NodeId, NodeId)> = HashSet::new();
@@ -149,7 +163,10 @@ fn main() {
         attn_blocks: 1,
         hgat_layers: 1,
         batch_size: 8,
-        partition: Partition::QuadTree { max_depth: 5, leaf_capacity: 12 },
+        partition: Partition::QuadTree {
+            max_depth: 5,
+            leaf_capacity: 12,
+        },
         ..TspnConfig::default()
     };
     let ctx = SpatialContext::build(ds, world, &cfg);
@@ -165,7 +182,11 @@ fn main() {
 
     // --- Batched CNN tile embedding (the Me1 hot path) ---
     let mut rng = StdRng::seed_from_u64(2);
-    let me1 = Me1::new(&mut rng, trainer.model.config.image_size, trainer.model.config.dm);
+    let me1 = Me1::new(
+        &mut rng,
+        trainer.model.config.image_size,
+        trainer.model.config.dm,
+    );
     let embed_secs = time_best(repeats, || {
         std::hint::black_box(me1.embed_tiles_chw(&trainer.ctx.image_chw));
     });
@@ -173,7 +194,11 @@ fn main() {
 
     // Warm the pool and every model/replica cache, then reset the pool
     // counters so the reported hit rate is the steady-state one.
-    let train: Vec<_> = samples.iter().take(if quick { 16 } else { 64 }).copied().collect();
+    let train: Vec<_> = samples
+        .iter()
+        .take(if quick { 16 } else { 64 })
+        .copied()
+        .collect();
     let eval: Vec<_> = samples
         .iter()
         .take(if quick { 32 } else { 256 })
@@ -193,14 +218,17 @@ fn main() {
     record("evaluate_test_split", eval_secs, repeats.min(3));
 
     let snapshot = Snapshot {
-        generation: 2,
+        generation: 3,
         threads: parallel::num_threads(),
         metrics,
         pool_hit_rate: pool::stats().hit_rate(),
     };
     let json = serde_json::to_string(&snapshot).expect("serialise snapshot");
     if check_only {
-        println!("--check: snapshot not written ({} metrics ok)", snapshot.metrics.len());
+        println!(
+            "--check: snapshot not written ({} metrics ok)",
+            snapshot.metrics.len()
+        );
     } else {
         std::fs::write(&out_path, &json).expect("write snapshot file");
         println!("wrote {out_path}");

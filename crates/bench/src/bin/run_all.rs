@@ -35,9 +35,7 @@ fn main() {
         println!("\n───────────────────────────────────────────────");
         println!("▶ {bin} {}", forwarded.join(" "));
         println!("───────────────────────────────────────────────");
-        let status = Command::new(bin_dir.join(bin))
-            .args(&forwarded)
-            .status();
+        let status = Command::new(bin_dir.join(bin)).args(&forwarded).status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => {

@@ -1,0 +1,337 @@
+//! `serve_bench` — load generator and smoke driver for `tspn-serve`.
+//!
+//! ```text
+//! # self-hosted: spin up an in-process server, drive it, merge metrics
+//! cargo run --release -p tspn-bench --bin serve_bench -- --merge BENCH_3.json
+//!
+//! # CI smoke against an externally started `tspn-serve` process
+//! cargo run --release -p tspn-bench --bin serve_bench -- \
+//!     --addr 127.0.0.1:7878 --smoke --ckpt boot_ckpt.json
+//! ```
+//!
+//! The load phase drives `--connections` (default 8) concurrent
+//! keep-alive connections, `--requests` (default 50) `/predict` calls
+//! each, and reports `serve_p50_us` / `serve_p99_us` (client-observed
+//! request latency) and `serve_qps` (aggregate throughput). `--merge`
+//! appends those metrics into an existing `perf_snapshot` JSON so
+//! `perf_check` gates them alongside the training/evaluation timings.
+//!
+//! `--smoke` additionally asserts protocol correctness: `/healthz`,
+//! valid and *bitwise-reference-identical* top-k answers, `/admin/reload`
+//! hot-swap (with `--ckpt`), and rejection of corrupt checkpoints.
+
+use std::time::{Duration, Instant};
+
+use serde::Value;
+use tspn_core::{Predictor, Query, SpatialContext, TspnConfig};
+use tspn_data::synth::{generate_dataset, SynthConfig};
+use tspn_data::{PoiId, Sample};
+use tspn_serve::{protocol, server, BatchConfig, Client, ServerConfig, ServerHandle};
+
+struct Args {
+    addr: Option<String>,
+    connections: usize,
+    requests: usize,
+    smoke: bool,
+    merge: Option<String>,
+    preset: String,
+    scale: f64,
+    days: usize,
+    ckpt: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_bench [--addr HOST:PORT] [--connections N] [--requests N] [--smoke] \
+         [--merge SNAPSHOT.json] [--preset P] [--scale F] [--days N] [--ckpt FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        addr: None,
+        connections: 8,
+        requests: 50,
+        smoke: false,
+        merge: None,
+        preset: "nyc".into(),
+        scale: 0.15,
+        days: 12,
+        ckpt: None,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--addr" => args.addr = Some(value(&mut i)),
+            "--connections" => {
+                args.connections = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--requests" => args.requests = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--smoke" => args.smoke = true,
+            "--merge" => args.merge = Some(value(&mut i)),
+            "--preset" => args.preset = value(&mut i),
+            "--scale" => args.scale = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--days" => args.days = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--ckpt" => args.ckpt = Some(value(&mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn preset_config(name: &str, scale: f64) -> SynthConfig {
+    tspn_serve::preset_dataset_config(name, scale).unwrap_or_else(|| {
+        eprintln!("unknown preset {name:?}");
+        usage()
+    })
+}
+
+/// The dataset/model the server serves, regenerated deterministically so
+/// this process can address samples and build a bitwise reference.
+fn build_context(args: &Args) -> (TspnConfig, SpatialContext) {
+    let mut dcfg = preset_config(&args.preset, args.scale);
+    dcfg.days = args.days;
+    let model_cfg = tspn_serve::default_model_config();
+    let (ds, world) = generate_dataset(dcfg);
+    let ctx = SpatialContext::build(ds, world, &model_cfg);
+    (model_cfg, ctx)
+}
+
+fn predict_body(s: &Sample, k: usize, top: usize) -> String {
+    protocol::predict_request_body(s, k, top)
+}
+
+fn pois_of(v: &Value) -> Vec<PoiId> {
+    protocol::pois_of(v).unwrap_or_else(|| panic!("predict answer without pois array: {v:?}"))
+}
+
+fn main() {
+    let args = parse_args();
+    let (model_cfg, ctx) = build_context(&args);
+    let samples = ctx.dataset.all_samples();
+    assert!(!samples.is_empty(), "dataset has no samples");
+    println!(
+        "serve_bench: dataset {} ({} samples, {} POIs)",
+        ctx.dataset.name,
+        samples.len(),
+        ctx.dataset.pois.len()
+    );
+
+    // The first context feeds whichever consumer needs one: the bitwise
+    // reference predictor (smoke only — the plain load/merge path never
+    // needs the model) and then the self-hosted server; only smoke +
+    // self-host genuinely needs a second build.
+    let mut spare_ctx = Some(ctx);
+    let reference = args.smoke.then(|| {
+        Predictor::new(
+            model_cfg.clone(),
+            spare_ctx.take().expect("first context unused"),
+        )
+    });
+
+    // Self-host unless an external server was named.
+    let (addr, hosted): (String, Option<ServerHandle>) = match &args.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let server_ctx = spare_ctx.take().unwrap_or_else(|| build_context(&args).1);
+            let handle = server::start(
+                ServerConfig {
+                    batch: BatchConfig::default(),
+                    ..ServerConfig::default()
+                },
+                model_cfg.clone(),
+                server_ctx,
+                None,
+            )
+            .unwrap_or_else(|e| panic!("self-hosted server failed to start: {e}"));
+            (handle.local_addr().to_string(), Some(handle))
+        }
+    };
+    drop(spare_ctx);
+    println!("serve_bench: driving {addr}");
+
+    if let Some(reference) = &reference {
+        smoke(&addr, reference, &samples, args.ckpt.as_deref());
+    }
+
+    let (p50_us, p99_us, qps) = load_phase(&addr, &samples, args.connections, args.requests);
+    println!("serve_p50_us            {p50_us:>12.1}");
+    println!("serve_p99_us            {p99_us:>12.1}");
+    println!("serve_qps               {qps:>12.1}");
+
+    if let Some(path) = &args.merge {
+        merge_metrics(
+            path,
+            &[
+                ("serve_p50_us", p50_us, "us"),
+                ("serve_p99_us", p99_us, "us"),
+                ("serve_qps", qps, "qps"),
+            ],
+        );
+        println!("serve_bench: merged serve metrics into {path}");
+    }
+
+    if let Some(handle) = hosted {
+        handle.shutdown();
+        handle.join();
+    }
+    println!("serve_bench: done");
+}
+
+/// Protocol smoke: health, validity, bitwise identity, hot swap, corrupt
+/// rejection. Panics (non-zero exit) on any violation.
+fn smoke(addr: &str, reference: &Predictor, samples: &[Sample], ckpt: Option<&str>) {
+    let mut client = Client::connect(addr).expect("smoke: connect");
+
+    // Health.
+    let (status, text) = client.get("/healthz").expect("smoke: healthz I/O");
+    assert_eq!(status, 200, "healthz failed: {text}");
+    let health: Value = serde_json::from_str(&text).expect("healthz JSON");
+    assert_eq!(
+        health.get("status").and_then(Value::as_str),
+        Some("ok"),
+        "healthz body {text}"
+    );
+
+    // If a known-good checkpoint was provided, hot-swap it in and align
+    // the local reference to it; a fresh server is already aligned.
+    if let Some(path) = ckpt {
+        let body = format!("{{\"path\":{path:?}}}");
+        let (status, text) = client
+            .post("/admin/reload", &body)
+            .expect("smoke: reload I/O");
+        assert_eq!(status, 200, "reload of {path} failed: {text}");
+        let text = std::fs::read_to_string(path).expect("smoke: read ckpt");
+        let parsed = serde_json::from_str(&text).expect("smoke: parse ckpt");
+        reference
+            .load_checkpoint(&parsed)
+            .expect("smoke: reference load");
+        println!("serve_bench: hot-swapped {path}");
+    }
+
+    // Valid + bitwise-identical top-k answers.
+    for (i, s) in samples.iter().take(5).enumerate() {
+        let (status, text) = client
+            .post("/predict", &predict_body(s, 4, 10))
+            .expect("smoke: predict I/O");
+        assert_eq!(status, 200, "predict {i} failed: {text}");
+        let v: Value = serde_json::from_str(&text).expect("predict JSON");
+        let served = pois_of(&v);
+        assert!(!served.is_empty(), "empty top-k for {s:?}");
+        let mut unique: Vec<usize> = served.iter().map(|p| p.0).collect();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), served.len(), "duplicate POIs in top-k");
+        let offline = reference.predict_one(&Query::with_top(*s, 4, 10));
+        assert_eq!(
+            served, offline.pois,
+            "served ranking diverged from offline predict"
+        );
+    }
+    println!("serve_bench: top-k answers bitwise-identical to offline predict");
+
+    // Corrupt checkpoints must be rejected (400) and leave serving intact.
+    let corrupt =
+        std::env::temp_dir().join(format!("serve-bench-corrupt-{}.json", std::process::id()));
+    std::fs::write(&corrupt, "{ definitely not a checkpoint").expect("write corrupt file");
+    let body = format!("{{\"path\":{:?}}}", corrupt.display().to_string());
+    let (status, text) = client
+        .post("/admin/reload", &body)
+        .expect("smoke: corrupt reload I/O");
+    assert_eq!(status, 400, "corrupt checkpoint accepted: {text}");
+    std::fs::remove_file(&corrupt).ok();
+    let s = samples[0];
+    let (status, text) = client
+        .post("/predict", &predict_body(&s, 4, 10))
+        .expect("smoke I/O");
+    assert_eq!(
+        status, 200,
+        "server unhealthy after rejected reload: {text}"
+    );
+    let v: Value = serde_json::from_str(&text).expect("predict JSON");
+    assert_eq!(
+        pois_of(&v),
+        reference.predict_one(&Query::with_top(s, 4, 10)).pois,
+        "old snapshot not serving after rejected reload"
+    );
+    println!("serve_bench: corrupt checkpoint rejected; old snapshot kept serving");
+}
+
+/// Drives the load: `connections` threads, `requests` keep-alive predicts
+/// each; returns `(p50_us, p99_us, qps)` from client-observed latencies.
+fn load_phase(
+    addr: &str,
+    samples: &[Sample],
+    connections: usize,
+    requests: usize,
+) -> (f64, f64, f64) {
+    assert!(connections >= 1 && requests >= 1);
+    let started = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for c in 0..connections {
+            let addr = addr.to_string();
+            joins.push(scope.spawn(move || {
+                let mut client = Client::connect(&addr).expect("load: connect");
+                let mut lat = Vec::with_capacity(requests);
+                for r in 0..requests {
+                    let s = samples[(c * requests + r) % samples.len()];
+                    let body = predict_body(&s, 4, 10);
+                    let t0 = Instant::now();
+                    let (status, text) = client.post("/predict", &body).expect("load: predict I/O");
+                    let dt = t0.elapsed();
+                    assert_eq!(status, 200, "load predict failed: {text}");
+                    lat.push(dt.as_micros() as u64);
+                }
+                lat
+            }));
+        }
+        joins
+            .into_iter()
+            .flat_map(|j| j.join().expect("load client thread"))
+            .collect()
+    });
+    let wall = started.elapsed().max(Duration::from_micros(1));
+    latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len()) - 1;
+        latencies[idx] as f64
+    };
+    let total = (connections * requests) as f64;
+    (pct(0.50), pct(0.99), total / wall.as_secs_f64())
+}
+
+/// Appends (or replaces) the serve metrics inside a `perf_snapshot` JSON.
+fn merge_metrics(path: &str, metrics: &[(&str, f64, &str)]) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read snapshot {path}: {e}"));
+    let mut snapshot: Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse snapshot {path}: {e}"));
+    let Value::Object(pairs) = &mut snapshot else {
+        panic!("snapshot {path} is not a JSON object");
+    };
+    let Some((_, Value::Array(entries))) = pairs.iter_mut().find(|(k, _)| k == "metrics") else {
+        panic!("snapshot {path} has no metrics array");
+    };
+    entries.retain(|m| {
+        m.get("name")
+            .and_then(Value::as_str)
+            .is_none_or(|name| !metrics.iter().any(|(n, _, _)| *n == name))
+    });
+    for (name, value, unit) in metrics {
+        entries.push(Value::Object(vec![
+            ("name".to_string(), Value::Str((*name).to_string())),
+            ("value".to_string(), Value::Num(*value)),
+            ("unit".to_string(), Value::Str((*unit).to_string())),
+        ]));
+    }
+    let out = serde_json::to_string(&snapshot).expect("serialise snapshot");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write snapshot {path}: {e}"));
+}

@@ -15,14 +15,26 @@ use tspn_metrics::TableBuilder;
 const PAPER: [(&str, u64, u64, u64, u64, f64); 4] = [
     ("Foursquare(NYC)", 227_428, 1083, 38_333, 400, 482.75),
     ("Foursquare(TKY)", 573_703, 2293, 61_858, 385, 211.98),
-    ("Weeplaces(California)", 971_794, 5250, 99_733, 679, 423_967.5),
+    (
+        "Weeplaces(California)",
+        971_794,
+        5250,
+        99_733,
+        679,
+        423_967.5,
+    ),
     ("Weeplaces(Florida)", 136_754, 2064, 25_287, 589, 139_670.0),
 ];
 
 fn main() {
     let opts = ExperimentOpts::from_env();
     let mut table = TableBuilder::new(&[
-        "Dataset", "Check-in", "User", "POI", "Category", "Coverage km2",
+        "Dataset",
+        "Check-in",
+        "User",
+        "POI",
+        "Category",
+        "Coverage km2",
     ]);
     for cfg in all_presets(opts.scale) {
         let (ds, _) = generate_dataset(cfg);
@@ -40,7 +52,12 @@ fn main() {
     println!("{}", table.to_markdown());
 
     let mut paper_table = TableBuilder::new(&[
-        "Dataset", "Check-in", "User", "POI", "Category", "Coverage km2",
+        "Dataset",
+        "Check-in",
+        "User",
+        "POI",
+        "Category",
+        "Coverage km2",
     ]);
     for (name, c, u, p, k, cov) in PAPER {
         paper_table.row(vec![

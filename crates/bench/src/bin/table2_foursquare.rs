@@ -20,7 +20,11 @@ fn main() {
             "table2_nyc.csv",
         ),
     ] {
-        println!("\n=== {title} (scale {}, {} seed(s)) ===", opts.scale, opts.seeds.len());
+        println!(
+            "\n=== {title} (scale {}, {} seed(s)) ===",
+            opts.scale,
+            opts.seeds.len()
+        );
         let prepared = prepare(cfg);
         println!(
             "dataset: {} check-ins, {} train / {} test samples",

@@ -19,7 +19,11 @@ fn main() {
             "table3_florida.csv",
         ),
     ] {
-        println!("\n=== {title} (scale {}, {} seed(s)) ===", opts.scale, opts.seeds.len());
+        println!(
+            "\n=== {title} (scale {}, {} seed(s)) ===",
+            opts.scale,
+            opts.seeds.len()
+        );
         let prepared = prepare(cfg);
         println!(
             "dataset: {} check-ins, {} train / {} test samples",

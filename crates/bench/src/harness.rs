@@ -53,7 +53,11 @@ pub fn scaled_settings(preset_name: &str) -> (usize, usize, usize) {
     // K keeps 2/3 of the paper's value: with only tens of leaf tiles the
     // optimum shifts to a larger K-to-leaves ratio (the Fig. 10/11 sweeps
     // in this reproduction place it at ~K=10 for the Foursquare presets).
-    (d.saturating_sub(2).max(4), (omega / 5).max(8), (k * 2 / 3).max(5))
+    (
+        d.saturating_sub(2).max(4),
+        (omega / 5).max(8),
+        (k * 2 / 3).max(5),
+    )
 }
 
 /// Builds the TSPN-RA config for a preset under the CLI options.
@@ -199,7 +203,14 @@ pub fn render_comparison(
     csv_name: &str,
 ) -> String {
     let mut table = tspn_metrics::TableBuilder::new(&[
-        "Model", "Recall@5", "Recall@10", "Recall@20", "NDCG@5", "NDCG@10", "NDCG@20", "MRR",
+        "Model",
+        "Recall@5",
+        "Recall@10",
+        "Recall@20",
+        "NDCG@5",
+        "NDCG@10",
+        "NDCG@20",
+        "MRR",
     ]);
     for (label, summary) in results {
         table.metric_row(label, &summary.mean);

@@ -25,6 +25,7 @@ pub mod harness;
 pub mod opts;
 
 pub use harness::{
-    prepare, run_baseline_comparison, run_tspn, scaled_settings, tspn_config, ComparisonRow, Prepared,
+    prepare, run_baseline_comparison, run_tspn, scaled_settings, tspn_config, ComparisonRow,
+    Prepared,
 };
 pub use opts::ExperimentOpts;

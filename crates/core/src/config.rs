@@ -222,8 +222,12 @@ mod tests {
         assert_eq!(rows.len(), 8);
         assert_eq!(rows[0].0, "TSPN-RA");
         assert!(rows.iter().any(|(n, v)| *n == "No Two-step" && !v.two_step));
-        assert!(rows.iter().any(|(n, v)| *n == "No QR-P Graph" && !v.use_graph));
-        assert!(rows.iter().any(|(n, v)| *n == "No Imagery" && !v.use_imagery));
+        assert!(rows
+            .iter()
+            .any(|(n, v)| *n == "No QR-P Graph" && !v.use_graph));
+        assert!(rows
+            .iter()
+            .any(|(n, v)| *n == "No Imagery" && !v.use_imagery));
     }
 
     #[test]

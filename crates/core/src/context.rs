@@ -139,8 +139,7 @@ impl SpatialContext {
     /// Replaces the imagery (e.g. with a corrupted copy for the Fig. 12b
     /// study), re-deriving the cached buffers.
     pub fn swap_imagery(&mut self, imagery: ImageryDataset) {
-        let (chw, size) =
-            Self::image_buffers_from(&imagery, &self.tree, imagery.image_size());
+        let (chw, size) = Self::image_buffers_from(&imagery, &self.tree, imagery.image_size());
         self.image_chw = chw;
         self.image_chw_size = size;
         self.imagery = imagery;

@@ -79,11 +79,7 @@ impl Me1 {
         let rows: Vec<Tensor> = images
             .iter()
             .map(|img| {
-                assert_eq!(
-                    img.shape().0,
-                    vec![3, s, s],
-                    "image shape mismatch"
-                );
+                assert_eq!(img.shape().0, vec![3, s, s], "image shape mismatch");
                 img.reshape(vec![1, 3 * s * s])
             })
             .collect();
@@ -193,7 +189,10 @@ impl SpatialEncoder {
     /// Creates an encoder emitting `dm`-dimensional codes for locations in
     /// `region`.
     pub fn new(dm: usize, region: BBox) -> Self {
-        assert!(dm >= 4 && dm.is_multiple_of(4), "spatial encoder needs dm divisible by 4");
+        assert!(
+            dm >= 4 && dm.is_multiple_of(4),
+            "spatial encoder needs dm divisible by 4"
+        );
         SpatialEncoder { dm, region }
     }
 
@@ -304,7 +303,11 @@ mod tests {
         // Rows are unit-norm.
         let v = et.to_vec();
         for r in 0..3 {
-            let norm: f32 = v[r * 24..(r + 1) * 24].iter().map(|x| x * x).sum::<f32>().sqrt();
+            let norm: f32 = v[r * 24..(r + 1) * 24]
+                .iter()
+                .map(|x| x * x)
+                .sum::<f32>()
+                .sqrt();
             assert!((norm - 1.0).abs() < 1e-3, "row {r} norm {norm}");
         }
     }
@@ -430,7 +433,10 @@ mod tests {
         let top = me1.embed_tiles_chw(&images).to_vec();
         let serial =
             tspn_tensor::parallel::with_worker_scope(|| me1.embed_tiles_chw(&images).to_vec());
-        assert!(top == serial, "Me1 embedding depends on the worker-pool thread count");
+        assert!(
+            top == serial,
+            "Me1 embedding depends on the worker-pool thread count"
+        );
     }
 
     #[test]
@@ -464,7 +470,10 @@ mod tests {
         let far = enc.cosine(anchor, (0.95, 0.90));
         assert!(near > mid, "near {near} vs mid {mid}");
         assert!(mid > far, "mid {mid} vs far {far}");
-        assert!(near > 0.8, "adjacent points should be highly similar: {near}");
+        assert!(
+            near > 0.8,
+            "adjacent points should be highly similar: {near}"
+        );
     }
 
     #[test]

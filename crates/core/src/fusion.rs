@@ -97,7 +97,9 @@ impl AttentionBlock {
 impl Module for AttentionBlock {
     fn params(&self) -> Vec<Tensor> {
         let mut p = Vec::new();
-        for l in [&self.wq0, &self.wk0, &self.wv0, &self.wq1, &self.wk1, &self.wv1, &self.ff] {
+        for l in [
+            &self.wq0, &self.wk0, &self.wv0, &self.wq1, &self.wk1, &self.wv1, &self.ff,
+        ] {
             p.extend(l.params());
         }
         for ln in [&self.ln1, &self.ln2, &self.ln3] {
@@ -118,7 +120,9 @@ impl FusionModule {
     pub fn new(rng: &mut impl Rng, dm: usize, num_blocks: usize) -> Self {
         assert!(num_blocks >= 1, "need at least one block");
         FusionModule {
-            blocks: (0..num_blocks).map(|_| AttentionBlock::new(rng, dm)).collect(),
+            blocks: (0..num_blocks)
+                .map(|_| AttentionBlock::new(rng, dm))
+                .collect(),
         }
     }
 
@@ -231,6 +235,9 @@ mod tests {
             .iter()
             .filter(|p| p.grad().iter().all(|g| g.abs() == 0.0))
             .count();
-        assert_eq!(zero_grads, 0, "{zero_grads} parameters received no gradient");
+        assert_eq!(
+            zero_grads, 0,
+            "{zero_grads} parameters received no gradient"
+        );
     }
 }

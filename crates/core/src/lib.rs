@@ -31,9 +31,11 @@ mod context;
 pub mod embed;
 pub mod fusion;
 mod model;
+mod predictor;
 mod trainer;
 
 pub use config::{Partition, TspnConfig, TspnVariant};
 pub use context::SpatialContext;
 pub use model::{descending_order, top_k_indices, BatchTables, Prediction, TspnRa};
+pub use predictor::{Predictor, Query, TopK};
 pub use trainer::{EpochStats, EvalOutcome, Trainer};

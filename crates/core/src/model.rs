@@ -166,9 +166,7 @@ impl TspnRa {
     /// Snapshots all parameters into a checkpoint.
     pub fn save(&self) -> tspn_tensor::serialize::Checkpoint {
         let named = self.named_params();
-        tspn_tensor::serialize::Checkpoint::capture(
-            named.iter().map(|(n, t)| (n.as_str(), t)),
-        )
+        tspn_tensor::serialize::Checkpoint::capture(named.iter().map(|(n, t)| (n.as_str(), t)))
     }
 
     /// Restores parameters from a checkpoint produced by [`TspnRa::save`]
@@ -253,9 +251,7 @@ impl TspnRa {
                 contain_edges: self.config.variant.contain_edges,
             },
         ));
-        self.qrp_cache
-            .borrow_mut()
-            .insert(key, Rc::clone(&graph));
+        self.qrp_cache.borrow_mut().insert(key, Rc::clone(&graph));
         Some(graph)
     }
 
@@ -324,10 +320,7 @@ impl TspnRa {
         let dm = self.config.dm;
 
         // --- Tile sequence embedding ---
-        let tile_rows: Vec<usize> = prefix
-            .iter()
-            .map(|v| ctx.poi_leaf_node(v.poi).0)
-            .collect();
+        let tile_rows: Vec<usize> = prefix.iter().map(|v| ctx.poi_leaf_node(v.poi).0).collect();
         let mut h_tile = tables.tiles.gather_rows(&tile_rows);
         // --- POI sequence embedding ---
         let poi_rows: Vec<usize> = prefix.iter().map(|v| v.poi.0).collect();
@@ -394,11 +387,7 @@ impl TspnRa {
         // makes it reliable at this reproduction's data scale (DESIGN.md).
         let mut visited_tiles: Vec<usize> = Vec::new();
         let mut visited_pois: Vec<usize> = Vec::new();
-        for v in self
-            .history_visits(ctx, sample)
-            .iter()
-            .chain(prefix.iter())
-        {
+        for v in self.history_visits(ctx, sample).iter().chain(prefix.iter()) {
             let t = ctx.poi_leaf_node(v.poi).0;
             if !visited_tiles.contains(&t) {
                 visited_tiles.push(t);
@@ -471,7 +460,12 @@ impl TspnRa {
 
     /// Inference: the full two-step ranking for a sample, using `top_k`
     /// from the config (see [`TspnRa::predict_with_k`] to override).
-    pub fn predict(&self, ctx: &SpatialContext, sample: &Sample, tables: &BatchTables) -> Prediction {
+    pub fn predict(
+        &self,
+        ctx: &SpatialContext,
+        sample: &Sample,
+        tables: &BatchTables,
+    ) -> Prediction {
         self.predict_with_k(ctx, sample, tables, self.config.top_k)
     }
 

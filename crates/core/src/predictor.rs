@@ -1,0 +1,378 @@
+//! The online-serving face of the model: batched queries, truncated
+//! top-k answers, and atomic (validate-then-apply) checkpoint loading.
+//!
+//! [`Predictor`] wraps a [`Trainer`] so the serving layer and the offline
+//! evaluation harness run the *same* batched prediction code path
+//! ([`Trainer::predict_batch`] / [`Trainer::evaluate_with_k`]): queries
+//! are sharded across the persistent worker pool onto cached per-thread
+//! model replicas, and every answer is bitwise identical to a single
+//! serial [`crate::TspnRa::predict`] call with the same parameters.
+//!
+//! Checkpoint loading is atomic at this level: [`Predictor::load_checkpoint`]
+//! first validates the checkpoint in full (every parameter present, every
+//! shape matching, every value finite) and only then writes any tensor, so
+//! a corrupt or mismatched file can never leave the model half-restored —
+//! the contract the serving layer's hot-swap relies on.
+
+use tspn_data::Sample;
+use tspn_tensor::serialize::Checkpoint;
+
+use crate::config::TspnConfig;
+use crate::context::SpatialContext;
+use crate::model::{Prediction, TspnRa};
+use crate::trainer::Trainer;
+
+/// One batched-prediction request: which sample to extend, the tile
+/// selector's K, and how many results to keep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Query {
+    /// The sample (user, trajectory, prefix length) to predict for. Unlike
+    /// evaluation samples, `prefix_len` may equal the trajectory length:
+    /// serving predicts the not-yet-observed *next* visit.
+    pub sample: Sample,
+    /// Top-K tiles kept by the tile selector (step 1).
+    pub k: usize,
+    /// How many POIs/tiles to keep in the returned [`TopK`].
+    pub top: usize,
+}
+
+impl Query {
+    /// A query returning the full ranking (no truncation).
+    pub fn new(sample: Sample, k: usize) -> Self {
+        Query {
+            sample,
+            k,
+            top: usize::MAX,
+        }
+    }
+
+    /// A query truncated to the best `top` results.
+    pub fn with_top(sample: Sample, k: usize, top: usize) -> Self {
+        Query { sample, k, top }
+    }
+}
+
+/// The truncated answer to one [`Query`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopK {
+    /// Best-first POI ids (`R_P`, truncated to the query's `top`).
+    pub pois: Vec<tspn_data::PoiId>,
+    /// Best-first leaf-tile ranks (`R_T`, truncated likewise; empty in
+    /// the single-step ablation).
+    pub tiles: Vec<usize>,
+    /// How many POI candidates the second step considered (pre-truncation
+    /// length of `R_P`).
+    pub candidate_count: usize,
+}
+
+impl TopK {
+    /// Truncates a full [`Prediction`] to its best `top` entries.
+    pub fn from_prediction(pred: Prediction, top: usize) -> Self {
+        let Prediction {
+            mut tile_ranking,
+            mut poi_ranking,
+            candidate_count,
+        } = pred;
+        poi_ranking.truncate(top);
+        tile_ranking.truncate(top);
+        TopK {
+            pois: poi_ranking,
+            tiles: tile_ranking,
+            candidate_count,
+        }
+    }
+}
+
+/// A model held for online serving: answers query batches and hot-swaps
+/// checkpoints without ever exposing a half-restored parameter state.
+pub struct Predictor {
+    trainer: Trainer,
+}
+
+impl Predictor {
+    /// Builds a predictor with freshly initialised parameters.
+    pub fn new(config: TspnConfig, ctx: SpatialContext) -> Self {
+        Predictor {
+            trainer: Trainer::new(config, ctx),
+        }
+    }
+
+    /// Wraps an existing trainer (e.g. to serve a just-trained model).
+    pub fn from_trainer(trainer: Trainer) -> Self {
+        Predictor { trainer }
+    }
+
+    /// Releases the wrapped trainer (e.g. to continue training).
+    pub fn into_trainer(self) -> Trainer {
+        self.trainer
+    }
+
+    /// The spatial context the model serves against.
+    pub fn ctx(&self) -> &SpatialContext {
+        &self.trainer.ctx
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &TspnConfig {
+        &self.trainer.model.config
+    }
+
+    /// The wrapped model (read access; mutate via checkpoints only).
+    pub fn model(&self) -> &TspnRa {
+        &self.trainer.model
+    }
+
+    /// Snapshots the current parameters ([`TspnRa::save`] format).
+    pub fn save(&self) -> Checkpoint {
+        self.trainer.model.save()
+    }
+
+    /// True when a sample addresses a real `(user, trajectory)` with a
+    /// servable prefix (`1 ≤ prefix_len ≤ len`; the upper bound is
+    /// inclusive because serving predicts the next, unseen visit).
+    pub fn sample_is_servable(&self, sample: &Sample) -> bool {
+        let ds = &self.trainer.ctx.dataset;
+        ds.users
+            .get(sample.user_index)
+            .and_then(|u| u.trajectories.get(sample.traj_index))
+            .is_some_and(|t| sample.prefix_len >= 1 && sample.prefix_len <= t.visits.len())
+    }
+
+    /// Validates a checkpoint against this model without touching any
+    /// parameter: every named parameter must be present with the exact
+    /// shape, and every stored value must be finite.
+    ///
+    /// # Errors
+    /// Returns a message naming the first violation.
+    pub fn validate_checkpoint(&self, ckpt: &Checkpoint) -> Result<(), String> {
+        for (name, tensor) in self.trainer.model.named_params() {
+            let rec = ckpt
+                .tensors
+                .iter()
+                .find(|r| r.name == name)
+                .ok_or_else(|| format!("checkpoint missing tensor {name:?}"))?;
+            if rec.shape != tensor.shape().0 {
+                return Err(format!(
+                    "shape mismatch for {name:?}: checkpoint {:?}, model {:?}",
+                    rec.shape,
+                    tensor.shape().0
+                ));
+            }
+            // A right-shaped record can still carry the wrong number of
+            // values (truncated file); without this check the restore
+            // below would panic mid-write and break atomicity.
+            if rec.data.len() != tensor.len() {
+                return Err(format!(
+                    "data length {} does not match shape {:?} for {name:?}",
+                    rec.data.len(),
+                    rec.shape
+                ));
+            }
+            if let Some(bad) = rec.data.iter().find(|v| !v.is_finite()) {
+                return Err(format!("non-finite value {bad} in tensor {name:?}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Atomically replaces the parameters from a checkpoint: validates
+    /// first ([`Predictor::validate_checkpoint`]), then restores, then
+    /// invalidates the cached batch tables. On error **no** parameter has
+    /// been modified and the predictor keeps serving the old snapshot.
+    ///
+    /// # Errors
+    /// Returns the validation message on a corrupt or mismatched file.
+    pub fn load_checkpoint(&self, ckpt: &Checkpoint) -> Result<(), String> {
+        self.validate_checkpoint(ckpt)?;
+        self.trainer
+            .model
+            .load(ckpt)
+            .expect("validated checkpoint cannot fail to restore");
+        self.trainer.mark_model_dirty();
+        Ok(())
+    }
+
+    /// Answers a batch of queries in order; see [`Trainer::predict_batch`].
+    pub fn predict_batch(&self, queries: &[Query]) -> Vec<TopK> {
+        self.trainer.predict_batch(queries)
+    }
+
+    /// Answers one query on the serial reference path.
+    pub fn predict_one(&self, query: &Query) -> TopK {
+        self.trainer.predict_one(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Partition;
+    use tspn_data::presets::nyc_mini;
+    use tspn_data::synth::generate_dataset;
+
+    fn tiny_predictor() -> (Predictor, Vec<Sample>) {
+        let mut dcfg = nyc_mini(0.1);
+        dcfg.days = 12;
+        let (ds, world) = generate_dataset(dcfg);
+        let cfg = TspnConfig {
+            dm: 16,
+            image_size: 8,
+            top_k: 4,
+            attn_blocks: 1,
+            hgat_layers: 1,
+            batch_size: 4,
+            epochs: 1,
+            max_prefix: 6,
+            max_history: 16,
+            partition: Partition::QuadTree {
+                max_depth: 5,
+                leaf_capacity: 10,
+            },
+            ..TspnConfig::default()
+        };
+        let ctx = SpatialContext::build(ds, world, &cfg);
+        let samples = ctx.dataset.all_samples();
+        (Predictor::new(cfg, ctx), samples)
+    }
+
+    #[test]
+    fn predict_batch_matches_single_calls_bitwise() {
+        let (pred, samples) = tiny_predictor();
+        let queries: Vec<Query> = samples
+            .iter()
+            .take(24)
+            .map(|&s| Query::with_top(s, 4, 10))
+            .collect();
+        let batched = pred.predict_batch(&queries);
+        for (q, got) in queries.iter().zip(&batched) {
+            assert_eq!(got, &pred.predict_one(q), "query {q:?} diverged");
+            assert!(got.pois.len() <= 10);
+            assert!(!got.pois.is_empty());
+        }
+    }
+
+    #[test]
+    fn truncation_is_a_prefix_of_the_full_ranking() {
+        let (pred, samples) = tiny_predictor();
+        let s = samples[0];
+        let full = pred.predict_one(&Query::new(s, 4));
+        let cut = pred.predict_one(&Query::with_top(s, 4, 3));
+        assert_eq!(cut.pois.as_slice(), &full.pois[..3.min(full.pois.len())]);
+        assert_eq!(cut.candidate_count, full.candidate_count);
+    }
+
+    #[test]
+    fn next_visit_queries_are_servable() {
+        // prefix_len == trajectory length is the true online-serving case
+        // (no ground-truth target exists yet); it must predict fine.
+        let (pred, samples) = tiny_predictor();
+        let (user_index, traj_index) = (samples[0].user_index, samples[0].traj_index);
+        let len = pred.ctx().dataset.users[user_index].trajectories[traj_index]
+            .visits
+            .len();
+        let s = Sample {
+            user_index,
+            traj_index,
+            prefix_len: len,
+        };
+        assert!(pred.sample_is_servable(&s));
+        let top = pred.predict_one(&Query::with_top(s, 4, 5));
+        assert!(!top.pois.is_empty());
+        // One past the end is not servable.
+        let bad = Sample {
+            user_index,
+            traj_index,
+            prefix_len: len + 1,
+        };
+        assert!(!pred.sample_is_servable(&bad));
+        assert!(!pred.sample_is_servable(&Sample {
+            user_index: usize::MAX,
+            traj_index: 0,
+            prefix_len: 1
+        }));
+    }
+
+    #[test]
+    fn load_checkpoint_is_atomic_on_corruption() {
+        let (pred, samples) = tiny_predictor();
+        let q = Query::with_top(samples[0], 4, 8);
+        let before = pred.predict_one(&q);
+        let good = pred.save();
+
+        // Missing tensor: rejected, nothing restored.
+        let mut missing = good.clone();
+        missing.tensors.remove(0);
+        assert!(pred
+            .load_checkpoint(&missing)
+            .unwrap_err()
+            .contains("missing"));
+        assert_eq!(pred.predict_one(&q), before);
+
+        // Non-finite value: rejected even though shapes all match.
+        let mut nan = good.clone();
+        let last = nan.tensors.len() - 1;
+        nan.tensors[last].data[0] = f32::NAN;
+        assert!(pred
+            .load_checkpoint(&nan)
+            .unwrap_err()
+            .contains("non-finite"));
+        assert_eq!(pred.predict_one(&q), before);
+
+        // Shape mismatch: rejected.
+        let mut reshaped = good.clone();
+        reshaped.tensors[0].shape = vec![1];
+        reshaped.tensors[0].data = vec![0.0];
+        assert!(pred
+            .load_checkpoint(&reshaped)
+            .unwrap_err()
+            .contains("shape mismatch"));
+        assert_eq!(pred.predict_one(&q), before);
+
+        // Right shape but truncated values (a partially written file):
+        // must be rejected here, not panic mid-restore after earlier
+        // tensors were already overwritten.
+        let mut truncated = good.clone();
+        truncated.tensors[last].data.pop();
+        assert!(pred
+            .load_checkpoint(&truncated)
+            .unwrap_err()
+            .contains("data length"));
+        assert_eq!(pred.predict_one(&q), before);
+
+        // The untouched checkpoint still loads and reproduces bitwise.
+        pred.load_checkpoint(&good).expect("valid checkpoint");
+        assert_eq!(pred.predict_one(&q), before);
+    }
+
+    #[test]
+    fn load_checkpoint_swaps_predictions() {
+        let (pred, samples) = tiny_predictor();
+        let q = Query::new(samples[0], 4);
+        let original = pred.predict_one(&q);
+        let ckpt_a = pred.save();
+
+        // A differently-seeded model ranks differently; loading its
+        // checkpoint must change the answers, and loading the original
+        // must restore them exactly.
+        let other = {
+            let mut dcfg = nyc_mini(0.1);
+            dcfg.days = 12;
+            let (ds, world) = generate_dataset(dcfg);
+            let cfg = TspnConfig {
+                seed: 999,
+                ..pred.config().clone()
+            };
+            let ctx = SpatialContext::build(ds, world, &cfg);
+            Predictor::new(cfg, ctx)
+        };
+        let ckpt_b = other.save();
+        pred.load_checkpoint(&ckpt_b).expect("same architecture");
+        let swapped = pred.predict_one(&q);
+        assert_ne!(
+            swapped, original,
+            "different parameters must rank differently"
+        );
+        pred.load_checkpoint(&ckpt_a).expect("restore original");
+        assert_eq!(pred.predict_one(&q), original);
+    }
+}

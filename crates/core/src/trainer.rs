@@ -40,7 +40,8 @@ use tspn_tensor::{optim, parallel, pool, Tensor};
 
 use crate::config::TspnConfig;
 use crate::context::SpatialContext;
-use crate::model::{BatchTables, TspnRa};
+use crate::model::{BatchTables, Prediction, TspnRa};
+use crate::predictor::{Query, TopK};
 
 /// Identity source for trainer instances; keys the per-thread replica
 /// cache.
@@ -85,7 +86,11 @@ fn with_replica<R>(
             }
             let replica = TspnRa::new(cfg.clone(), ctx);
             let params = replica.params();
-            cache.push(ReplicaSlot { trainer_id, replica, params });
+            cache.push(ReplicaSlot {
+                trainer_id,
+                replica,
+                params,
+            });
         }
         let slot = cache.last().expect("replica cached above");
         f(&slot.replica, &slot.params)
@@ -288,8 +293,7 @@ impl Trainer {
                     .chunks(per_shard)
                     .enumerate()
                     .map(|(shard_id, shard)| {
-                        let samples: Vec<Sample> =
-                            shard.iter().map(|&i| train[i]).collect();
+                        let samples: Vec<Sample> = shard.iter().map(|&i| train[i]).collect();
                         let dropout_seed = seed
                             ^ step.wrapping_mul(0x9E3779B97F4A7C15)
                             ^ (shard_id as u64).wrapping_mul(0xD1B54A32D192ED03);
@@ -310,8 +314,7 @@ impl Trainer {
                                         None => loss,
                                     });
                                 }
-                                let loss =
-                                    acc.expect("non-empty shard").scale(inv_batch);
+                                let loss = acc.expect("non-empty shard").scale(inv_batch);
                                 let value = loss.item();
                                 loss.backward();
                                 let grads: Vec<Vec<f32>> = rparams
@@ -409,13 +412,79 @@ impl Trainer {
     ///
     /// Shards samples across the persistent worker pool (forward-only
     /// model replicas, cached per pool thread); results are bitwise
-    /// identical for every thread count.
+    /// identical for every thread count. Evaluation and online serving
+    /// ([`Trainer::predict_batch`]) run through the same
+    /// [`Trainer::predict_mapped`] machinery, so a served ranking is the
+    /// offline ranking, bitwise.
     pub fn evaluate_with_k(&self, samples: &[Sample], k: usize) -> Vec<EvalOutcome> {
+        let queries: Vec<Query> = samples
+            .iter()
+            .map(|&sample| Query::new(sample, k))
+            .collect();
+        self.predict_mapped(&queries, outcome_of)
+    }
+
+    /// The single-threaded evaluation path (kept callable for determinism
+    /// tests); uses the version-keyed batch-tables cache.
+    pub fn evaluate_with_k_serial(&self, samples: &[Sample], k: usize) -> Vec<EvalOutcome> {
+        let queries: Vec<Query> = samples
+            .iter()
+            .map(|&sample| Query::new(sample, k))
+            .collect();
+        self.predict_mapped_serial(&queries, outcome_of)
+    }
+
+    /// Answers a batch of prediction queries, sharded across the
+    /// persistent worker pool exactly like [`Trainer::evaluate_with_k`];
+    /// results are in query order and bitwise identical to answering each
+    /// query alone on the serial path.
+    pub fn predict_batch(&self, queries: &[Query]) -> Vec<TopK> {
+        self.predict_mapped(queries, |_ctx, q, pred| TopK::from_prediction(pred, q.top))
+    }
+
+    /// Serial single-query reference for [`Trainer::predict_batch`].
+    pub fn predict_one(&self, query: &Query) -> TopK {
+        self.predict_mapped_serial(std::slice::from_ref(query), |_ctx, q, pred| {
+            TopK::from_prediction(pred, q.top)
+        })
+        .pop()
+        .expect("one query in, one answer out")
+    }
+
+    /// Serial prediction over the cached batch tables: runs the model on
+    /// this thread and maps each [`Prediction`] through `f`.
+    fn predict_mapped_serial<R>(
+        &self,
+        queries: &[Query],
+        f: impl Fn(&SpatialContext, &Query, Prediction) -> R,
+    ) -> Vec<R> {
+        let tables = self.shared_tables();
+        queries
+            .iter()
+            .map(|q| {
+                let pred = self
+                    .model
+                    .predict_with_k(&self.ctx, &q.sample, &tables, q.k);
+                f(&self.ctx, q, pred)
+            })
+            .collect()
+    }
+
+    /// The shared batched-prediction core: computes (or reuses) the batch
+    /// tables once, shards `queries` across the persistent worker pool,
+    /// runs each query's two-step prediction on a cached per-thread model
+    /// replica and maps it through `f` inside the shard. Falls back to the
+    /// serial path for tiny batches or a single-thread budget.
+    fn predict_mapped<R, F>(&self, queries: &[Query], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&SpatialContext, &Query, Prediction) -> R + Sync,
+    {
         let workers = parallel::num_threads();
         // Dispatch is cheap but each shard still pays a parameter
         // overwrite; tiny sets stay on the cached serial path.
-        if workers <= 1 || samples.len() < 4 * workers {
-            return self.evaluate_with_k_serial(samples, k);
+        if workers <= 1 || queries.len() < 4 * workers {
+            return self.predict_mapped_serial(queries, &f);
         }
         // The batch tables are computed (or served from cache) exactly
         // once here; shards receive the raw values and wrap them in
@@ -429,13 +498,16 @@ impl Trainer {
         let pois_shape = tables.pois.shape().0.clone();
         drop(tables);
         let params = self.model.params();
-        let snapshot: Vec<Vec<f32>> =
-            params.iter().map(|p| pool::take_copied(&p.data())).collect();
+        let snapshot: Vec<Vec<f32>> = params
+            .iter()
+            .map(|p| pool::take_copied(&p.data()))
+            .collect();
         let cfg = &self.model.config;
         let ctx = &self.ctx;
         let trainer_id = self.id;
-        let per_shard = samples.len().div_ceil(workers);
-        let jobs: Vec<_> = samples
+        let f = &f;
+        let per_shard = queries.len().div_ceil(workers);
+        let jobs: Vec<_> = queries
             .chunks(per_shard)
             .map(|shard| {
                 let snapshot = &snapshot;
@@ -458,27 +530,20 @@ impl Trainer {
                         };
                         shard
                             .iter()
-                            .map(|s| eval_one(replica, ctx, s, &tables, k))
-                            .collect::<Vec<EvalOutcome>>()
+                            .map(|q| {
+                                let pred = replica.predict_with_k(ctx, &q.sample, &tables, q.k);
+                                f(ctx, q, pred)
+                            })
+                            .collect::<Vec<R>>()
                     })
                 }
             })
             .collect();
-        let outcomes = parallel::map_scoped(jobs).into_iter().flatten().collect();
+        let results = parallel::map_scoped(jobs).into_iter().flatten().collect();
         for buf in snapshot {
             pool::give(buf);
         }
-        outcomes
-    }
-
-    /// The single-threaded evaluation path (kept callable for determinism
-    /// tests); uses the version-keyed batch-tables cache.
-    pub fn evaluate_with_k_serial(&self, samples: &[Sample], k: usize) -> Vec<EvalOutcome> {
-        let tables = self.shared_tables();
-        samples
-            .iter()
-            .map(|s| eval_one(&self.model, &self.ctx, s, &tables, k))
-            .collect()
+        results
     }
 
     /// Rough resident-memory estimate in bytes: parameters + Adam moments
@@ -490,16 +555,9 @@ impl Trainer {
     }
 }
 
-/// Evaluates one sample against prepared tables.
-fn eval_one(
-    model: &TspnRa,
-    ctx: &SpatialContext,
-    sample: &Sample,
-    tables: &BatchTables,
-    k: usize,
-) -> EvalOutcome {
-    let pred = model.predict_with_k(ctx, sample, tables, k);
-    let target = ctx.dataset.sample_target(sample);
+/// Scores one finished prediction against its sample's ground truth.
+fn outcome_of(ctx: &SpatialContext, query: &Query, pred: Prediction) -> EvalOutcome {
+    let target = ctx.dataset.sample_target(&query.sample);
     let tile_rank = if pred.tile_ranking.is_empty() {
         None
     } else {
@@ -601,7 +659,11 @@ mod tests {
                 .flat_map(|p| p.to_vec())
                 .collect::<Vec<f32>>()
         };
-        assert_eq!(run(), run(), "same seed + thread count must reproduce bitwise");
+        assert_eq!(
+            run(),
+            run(),
+            "same seed + thread count must reproduce bitwise"
+        );
     }
 
     #[test]
@@ -649,7 +711,10 @@ mod tests {
         let eval: Vec<Sample> = samples.iter().take(6).copied().collect();
         let outcomes = trainer.evaluate_with_k(&eval, trainer.ctx.num_leaves());
         for o in outcomes {
-            assert!(o.rank.is_some(), "with K = all leaves every POI is a candidate");
+            assert!(
+                o.rank.is_some(),
+                "with K = all leaves every POI is a candidate"
+            );
         }
     }
 
@@ -686,5 +751,4 @@ mod tests {
         let after = trainer.model.params()[0].to_vec();
         assert_ne!(before, after);
     }
-
 }

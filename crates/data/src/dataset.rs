@@ -171,7 +171,11 @@ mod tests {
                 },
                 Trajectory {
                     user: UserId(0),
-                    visits: vec![mk_visit(1, 1_000_000), mk_visit(0, 1_003_600), mk_visit(1, 1_007_200)],
+                    visits: vec![
+                        mk_visit(1, 1_000_000),
+                        mk_visit(0, 1_003_600),
+                        mk_visit(1, 1_007_200),
+                    ],
                 },
             ],
         }];

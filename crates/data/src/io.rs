@@ -55,10 +55,14 @@ pub fn read_pois(input: impl Read) -> std::io::Result<Vec<Poi>> {
         if parts.len() != 4 {
             return Err(bad_line(i + 1, "expected 4 fields"));
         }
-        let id: usize = parts[0].parse().map_err(|_| bad_line(i + 1, "bad poi_id"))?;
+        let id: usize = parts[0]
+            .parse()
+            .map_err(|_| bad_line(i + 1, "bad poi_id"))?;
         let lat: f64 = parts[1].parse().map_err(|_| bad_line(i + 1, "bad lat"))?;
         let lon: f64 = parts[2].parse().map_err(|_| bad_line(i + 1, "bad lon"))?;
-        let cate: usize = parts[3].parse().map_err(|_| bad_line(i + 1, "bad category"))?;
+        let cate: usize = parts[3]
+            .parse()
+            .map_err(|_| bad_line(i + 1, "bad category"))?;
         if id != pois.len() {
             return Err(bad_line(i + 1, "poi ids must be dense and ordered"));
         }
@@ -85,9 +89,19 @@ pub fn read_checkins(input: impl Read) -> std::io::Result<Vec<Checkin>> {
             return Err(bad_line(i + 1, "expected 3 fields"));
         }
         out.push(Checkin {
-            user: UserId(parts[0].parse().map_err(|_| bad_line(i + 1, "bad user_id"))?),
-            poi: PoiId(parts[1].parse().map_err(|_| bad_line(i + 1, "bad poi_id"))?),
-            time: parts[2].parse().map_err(|_| bad_line(i + 1, "bad timestamp"))?,
+            user: UserId(
+                parts[0]
+                    .parse()
+                    .map_err(|_| bad_line(i + 1, "bad user_id"))?,
+            ),
+            poi: PoiId(
+                parts[1]
+                    .parse()
+                    .map_err(|_| bad_line(i + 1, "bad poi_id"))?,
+            ),
+            time: parts[2]
+                .parse()
+                .map_err(|_| bad_line(i + 1, "bad timestamp"))?,
         });
     }
     Ok(out)

@@ -25,8 +25,9 @@ pub mod synth;
 mod trajectory;
 
 pub use dataset::{DatasetStats, LbsnDataset, SampleSplit};
-pub use poi::{time_slot, CategoryId, Checkin, Poi, PoiId, Timestamp, UserId, DAY_SECS, TIME_SLOTS};
+pub use poi::{
+    time_slot, CategoryId, Checkin, Poi, PoiId, Timestamp, UserId, DAY_SECS, TIME_SLOTS,
+};
 pub use trajectory::{
-    enumerate_samples, split_trajectories, Sample, Trajectory, UserHistory, Visit,
-    DEFAULT_GAP_SECS,
+    enumerate_samples, split_trajectories, Sample, Trajectory, UserHistory, Visit, DEFAULT_GAP_SECS,
 };

@@ -120,7 +120,10 @@ pub fn mobility_profile(ds: &LbsnDataset) -> MobilityProfile {
         }
         for t in &user.trajectories {
             for w in t.visits.windows(2) {
-                hops.push(ds.poi_loc(w[0].poi).equirectangular_km(&ds.poi_loc(w[1].poi)));
+                hops.push(
+                    ds.poi_loc(w[0].poi)
+                        .equirectangular_km(&ds.poi_loc(w[1].poi)),
+                );
             }
         }
     }

@@ -170,7 +170,11 @@ mod tests {
         // State coverage ~1000× urban coverage (Table I's key contrast).
         let urban = nyc.region.area_km2();
         let state = ca.region.area_km2();
-        assert!(state / urban > 500.0, "coverage ratio only {}", state / urban);
+        assert!(
+            state / urban > 500.0,
+            "coverage ratio only {}",
+            state / urban
+        );
     }
 
     #[test]

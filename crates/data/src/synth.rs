@@ -253,8 +253,8 @@ impl SynthGenerator {
             // In coastal worlds a quarter of the population lives on the
             // shoreline band (beach towns) — the coastal-active users of
             // the paper's Florida case study.
-            let coastal_dweller = self.world.config().coast != tspn_world::Coast::None
-                && urng.gen::<f64>() < 0.25;
+            let coastal_dweller =
+                self.world.config().coast != tspn_world::Coast::None && urng.gen::<f64>() < 0.25;
             let home = self.sample_location_by(&mut urng, |w, x, y| {
                 if coastal_dweller {
                     if w.is_coastal(x, y) {
@@ -268,12 +268,10 @@ impl SynthGenerator {
                     _ => 0.02,
                 }
             });
-            let work = self.sample_location_by(&mut urng, |w, x, y| {
-                match w.land_use(x, y) {
-                    LandUse::Commercial => 0.9,
-                    LandUse::Industrial => 0.3,
-                    _ => 0.02,
-                }
+            let work = self.sample_location_by(&mut urng, |w, x, y| match w.land_use(x, y) {
+                LandUse::Commercial => 0.9,
+                LandUse::Industrial => 0.3,
+                _ => 0.02,
             });
             // Favourite pool: popularity × proximity to home or work.
             let mut fav_weights: Vec<f64> = poi_norm
@@ -305,14 +303,8 @@ impl SynthGenerator {
                 let mut t = day as i64 * DAY_SECS + 7 * 3600 + urng.gen_range(0..3600 * 2);
                 for _ in 0..n_visits {
                     let slot = crate::poi::time_slot(t);
-                    let poi = self.pick_next_poi(
-                        &mut urng,
-                        &pois,
-                        &poi_norm,
-                        &favorites,
-                        current,
-                        slot,
-                    );
+                    let poi =
+                        self.pick_next_poi(&mut urng, &pois, &poi_norm, &favorites, current, slot);
                     visits.push(Visit { poi, time: t });
                     current = poi_norm[poi.0];
                     t += urng.gen_range(45 * 60..4 * 3600);
@@ -418,7 +410,11 @@ mod tests {
         assert_eq!(ds.pois.len(), 120);
         assert_eq!(ds.users.len(), 10);
         let stats = ds.stats();
-        assert!(stats.checkins > 100, "too few check-ins: {}", stats.checkins);
+        assert!(
+            stats.checkins > 100,
+            "too few check-ins: {}",
+            stats.checkins
+        );
         assert!(stats.categories == 24);
     }
 
@@ -491,7 +487,10 @@ mod tests {
         for u in &ds.users {
             for t in &u.trajectories {
                 for w in t.visits.windows(2) {
-                    hops.push(ds.poi_loc(w[0].poi).equirectangular_km(&ds.poi_loc(w[1].poi)));
+                    hops.push(
+                        ds.poi_loc(w[0].poi)
+                            .equirectangular_km(&ds.poi_loc(w[1].poi)),
+                    );
                 }
             }
         }
@@ -499,7 +498,10 @@ mod tests {
         let mean_hop = hops.iter().sum::<f64>() / hops.len() as f64;
         // Region is ~111 km wide; locality means hops far below random
         // (~52 km for uniform pairs).
-        assert!(mean_hop < 30.0, "mean hop {mean_hop} km too large — no locality");
+        assert!(
+            mean_hop < 30.0,
+            "mean hop {mean_hop} km too large — no locality"
+        );
     }
 
     #[test]

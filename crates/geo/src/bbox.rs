@@ -102,7 +102,10 @@ impl BBox {
 
     /// Half-open membership: south/west inclusive, north/east exclusive.
     pub fn contains(&self, p: &GeoPoint) -> bool {
-        p.lat >= self.min_lat && p.lat < self.max_lat && p.lon >= self.min_lon && p.lon < self.max_lon
+        p.lat >= self.min_lat
+            && p.lat < self.max_lat
+            && p.lon >= self.min_lon
+            && p.lon < self.max_lon
     }
 
     /// Closed membership, used at a root region's outer boundary.

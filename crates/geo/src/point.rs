@@ -22,7 +22,10 @@ impl GeoPoint {
     /// expected to produce valid coordinates, so a violation is a bug.
     pub fn new(lat: f64, lon: f64) -> Self {
         assert!((-90.0..=90.0).contains(&lat), "latitude {lat} out of range");
-        assert!((-180.0..=180.0).contains(&lon), "longitude {lon} out of range");
+        assert!(
+            (-180.0..=180.0).contains(&lon),
+            "longitude {lon} out of range"
+        );
         GeoPoint { lat, lon }
     }
 
@@ -32,8 +35,7 @@ impl GeoPoint {
         let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
     }
 

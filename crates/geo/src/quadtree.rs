@@ -75,7 +75,10 @@ impl QuadTree {
     /// snaps stray check-ins to the study region).
     pub fn build(bbox: BBox, points: &[GeoPoint], config: QuadTreeConfig) -> Self {
         assert!(config.max_depth >= 1, "max_depth must be at least 1");
-        assert!(config.leaf_capacity >= 1, "leaf_capacity must be at least 1");
+        assert!(
+            config.leaf_capacity >= 1,
+            "leaf_capacity must be at least 1"
+        );
         let mut tree = QuadTree {
             nodes: vec![QuadNode {
                 id: NodeId(0),
@@ -382,7 +385,10 @@ impl QuadTree {
 
         let mut best: Option<(usize, f64)> = None;
         let mut heap = BinaryHeap::new();
-        heap.push(Entry(bbox_distance_km(&self.nodes[0].bbox, query), NodeId(0)));
+        heap.push(Entry(
+            bbox_distance_km(&self.nodes[0].bbox, query),
+            NodeId(0),
+        ));
         while let Some(Entry(lower_bound, id)) = heap.pop() {
             if let Some((_, d)) = best {
                 if lower_bound >= d {
@@ -481,7 +487,10 @@ mod tests {
                 seen[pi] += 1;
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "point ownership not a partition");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "point ownership not a partition"
+        );
     }
 
     #[test]
@@ -531,7 +540,10 @@ mod tests {
                 b.lat_span() * b.lon_span()
             })
             .sum();
-        assert!((total_area - 1.0).abs() < 1e-9, "leaf areas sum to {total_area}");
+        assert!(
+            (total_area - 1.0).abs() < 1e-9,
+            "leaf areas sum to {total_area}"
+        );
     }
 
     #[test]
@@ -566,7 +578,11 @@ mod tests {
             },
         );
         let leaves = t.leaves();
-        let chosen = [leaves[0], leaves[leaves.len() / 2], leaves[leaves.len() - 1]];
+        let chosen = [
+            leaves[0],
+            leaves[leaves.len() / 2],
+            leaves[leaves.len() - 1],
+        ];
         let sub = t.minimal_subtree(&chosen);
         // Every chosen leaf present with its full ancestry.
         for &l in &chosen {
@@ -639,7 +655,10 @@ mod tests {
             ));
         }
         for _ in 0..100 {
-            pts.push(GeoPoint::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)));
+            pts.push(GeoPoint::new(
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+            ));
         }
         let t = QuadTree::build(
             region(),
@@ -651,6 +670,9 @@ mod tests {
         );
         let occ = t.leaf_occupancy();
         let max = *occ.iter().max().expect("leaves");
-        assert!(max <= 50, "quad-tree failed to keep tiles under capacity: {max}");
+        assert!(
+            max <= 50,
+            "quad-tree failed to keep tiles under capacity: {max}"
+        );
     }
 }

@@ -136,7 +136,9 @@ impl Hgat {
     pub fn new(rng: &mut impl Rng, dim: usize, num_layers: usize) -> Self {
         assert!(num_layers >= 1, "need at least one HGAT layer");
         Hgat {
-            layers: (0..num_layers).map(|_| HgatLayer::new(rng, dim, dim)).collect(),
+            layers: (0..num_layers)
+                .map(|_| HgatLayer::new(rng, dim, dim))
+                .collect(),
         }
     }
 
@@ -262,7 +264,10 @@ mod tests {
         let diff: f32 = (0..4)
             .map(|c| (out_a[neighbor * 4 + c] - out_b[neighbor * 4 + c]).abs())
             .sum();
-        assert!(diff > 1e-6, "neighbour output unchanged — no message passing");
+        assert!(
+            diff > 1e-6,
+            "neighbour output unchanged — no message passing"
+        );
     }
 
     #[test]
@@ -286,6 +291,9 @@ mod tests {
             opt.step(&params);
         }
         let first = first.expect("ran at least one step");
-        assert!(last < first * 0.9, "loss did not decrease: {first} → {last}");
+        assert!(
+            last < first * 0.9,
+            "loss did not decrease: {first} → {last}"
+        );
     }
 }

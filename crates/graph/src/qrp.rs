@@ -324,6 +324,9 @@ mod tests {
         let a = build_qrp(&tree, &road, &visits, &ds, QrpOptions::default());
         let b = build_qrp(&tree, &road, &doubled, &ds, QrpOptions::default());
         assert_eq!(a.num_nodes(), b.num_nodes());
-        assert_eq!(a.num_edges(EdgeType::Contain), b.num_edges(EdgeType::Contain));
+        assert_eq!(
+            a.num_edges(EdgeType::Contain),
+            b.num_edges(EdgeType::Contain)
+        );
     }
 }

@@ -82,7 +82,10 @@ impl TileImage {
     /// Box-filter downsample by an integer factor (e.g. paper-scale 256 →
     /// default training scale 64 with factor 4).
     pub fn downsample(&self, factor: usize) -> TileImage {
-        assert!(factor >= 1 && self.size.is_multiple_of(factor), "bad downsample factor");
+        assert!(
+            factor >= 1 && self.size.is_multiple_of(factor),
+            "bad downsample factor"
+        );
         let ns = self.size / factor;
         let mut out = TileImage::black(ns);
         for y in 0..ns {
@@ -97,7 +100,11 @@ impl TileImage {
                     }
                 }
                 let n = (factor * factor) as u32;
-                out.set(x, y, [(acc[0] / n) as u8, (acc[1] / n) as u8, (acc[2] / n) as u8]);
+                out.set(
+                    x,
+                    y,
+                    [(acc[0] / n) as u8, (acc[1] / n) as u8, (acc[2] / n) as u8],
+                );
             }
         }
         out
@@ -159,7 +166,10 @@ impl TileImage {
         if raw.len() < idx + w * h * 3 {
             return Err(bad("truncated pixel data"));
         }
-        Ok(TileImage::from_pixels(w, raw[idx..idx + w * h * 3].to_vec()))
+        Ok(TileImage::from_pixels(
+            w,
+            raw[idx..idx + w * h * 3].to_vec(),
+        ))
     }
 }
 

@@ -11,7 +11,10 @@ use crate::image::TileImage;
 /// Replaces `fraction` of the pixels with uniform random colours
 /// (salt-and-pepper style, matching "20 % noise" in the paper).
 pub fn corrupt_pixels(img: &TileImage, fraction: f64, rng: &mut impl Rng) -> TileImage {
-    assert!((0.0..=1.0).contains(&fraction), "noise fraction out of range");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "noise fraction out of range"
+    );
     let mut out = img.clone();
     for y in 0..img.size {
         for x in 0..img.size {
@@ -100,7 +103,10 @@ mod tests {
         let m0 = img.mean_rgb();
         let m1 = noisy.mean_rgb();
         for c in 0..3 {
-            assert!((m0[c] - m1[c]).abs() < 5.0, "channel {c} mean moved too far");
+            assert!(
+                (m0[c] - m1[c]).abs() < 5.0,
+                "channel {c} mean moved too far"
+            );
         }
         assert!(pixel_diff_fraction(&img, &noisy) > 0.5);
     }

@@ -94,15 +94,14 @@ pub fn markdown_table(header: &[String], rows: &[Vec<String>]) -> String {
 }
 
 /// Writes header + rows as CSV (no quoting; cells must not contain commas).
-pub fn write_csv(
-    header: &[String],
-    rows: &[Vec<String>],
-    out: impl Write,
-) -> std::io::Result<()> {
+pub fn write_csv(header: &[String], rows: &[Vec<String>], out: impl Write) -> std::io::Result<()> {
     let mut w = std::io::BufWriter::new(out);
     writeln!(w, "{}", header.join(","))?;
     for row in rows {
-        debug_assert!(row.iter().all(|c| !c.contains(',')), "CSV cell contains comma");
+        debug_assert!(
+            row.iter().all(|c| !c.contains(',')),
+            "CSV cell contains comma"
+        );
         writeln!(w, "{}", row.join(","))?;
     }
     w.flush()

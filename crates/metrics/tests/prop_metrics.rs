@@ -5,10 +5,7 @@ use proptest::prelude::*;
 use tspn_metrics::{evaluate_ranks, MetricsSummary, KS};
 
 fn arb_ranks() -> impl Strategy<Value = Vec<Option<usize>>> {
-    proptest::collection::vec(
-        proptest::option::weighted(0.7, 0usize..100),
-        1..200,
-    )
+    proptest::collection::vec(proptest::option::weighted(0.7, 0usize..100), 1..200)
 }
 
 proptest! {

@@ -114,7 +114,11 @@ mod tests {
     fn generates_nonempty_network() {
         let net = generate_roads(&world(), RoadGenConfig::default());
         assert!(net.num_nodes() > 20, "only {} junctions", net.num_nodes());
-        assert!(net.num_segments() > 20, "only {} segments", net.num_segments());
+        assert!(
+            net.num_segments() > 20,
+            "only {} segments",
+            net.num_segments()
+        );
     }
 
     #[test]

@@ -72,7 +72,10 @@ impl RoadNetwork {
     /// # Panics
     /// Panics on unknown node ids or a self-loop.
     pub fn add_segment(&mut self, a: RoadNodeId, b: RoadNodeId, class: RoadClass) {
-        assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len(), "unknown node");
+        assert!(
+            a.0 < self.nodes.len() && b.0 < self.nodes.len(),
+            "unknown node"
+        );
         assert_ne!(a, b, "self-loop segment");
         let w = self.distance(a, b);
         self.segments.push(RoadSegment { a, b, class });
@@ -207,7 +210,10 @@ mod tests {
     fn shortest_path_prefers_direct_edge() {
         let (net, a, _b, c) = triangle();
         let d = net.shortest_path_len(a, c).expect("connected");
-        assert!((d - 1.0).abs() < 1e-9, "should use the direct edge, got {d}");
+        assert!(
+            (d - 1.0).abs() < 1e-9,
+            "should use the direct edge, got {d}"
+        );
     }
 
     #[test]

@@ -1,0 +1,387 @@
+//! The request micro-batcher: a bounded queue that coalesces concurrent
+//! `/predict` requests into one batched `no_grad` forward.
+//!
+//! Handler threads [`Batcher::submit`] queries and block on a per-request
+//! channel; the single batcher thread collects a batch and answers it with
+//! one `Predictor::predict_batch` call (which shards across the persistent
+//! worker pool). A batch flushes when it reaches `max_batch` queries **or**
+//! when `deadline` has elapsed since the oldest queued query — so an idle
+//! server answers a lone request within ~`deadline`, and a busy server
+//! amortises the per-flush costs (parameter checks, table reuse, pool
+//! dispatch) across up to `max_batch` requests.
+//!
+//! The queue is bounded (`queue_cap`): submitters block when the server is
+//! `queue_cap` requests behind, which backpressures clients instead of
+//! growing memory without limit.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use tspn_core::{Query, TopK};
+
+/// Micro-batching knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Largest batch one flush may take.
+    pub max_batch: usize,
+    /// Longest a queued query may wait for companions before its batch
+    /// flushes anyway.
+    pub deadline: Duration,
+    /// Bound on queued (not yet flushed) queries; submitters block beyond
+    /// this.
+    pub queue_cap: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 32,
+            deadline: Duration::from_millis(2),
+            queue_cap: 1024,
+        }
+    }
+}
+
+/// The answer a waiting handler receives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Answered {
+    /// The prediction.
+    pub topk: TopK,
+    /// The parameter-snapshot version the whole batch ran under.
+    pub snapshot: u64,
+    /// The flush sequence number (all queries of one flush share it).
+    pub batch: u64,
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The batcher has been closed (server shutting down).
+    Closed,
+}
+
+struct Waiting {
+    query: Query,
+    tx: mpsc::SyncSender<Answered>,
+    /// When the query entered the queue; the flush deadline runs from the
+    /// oldest entry, not from when the batcher got around to looking.
+    enqueued: Instant,
+}
+
+struct Shared {
+    queue: Mutex<State>,
+    /// Signalled when the queue gains an element or closes.
+    nonempty: Condvar,
+    /// Signalled when the queue loses elements or closes.
+    space: Condvar,
+}
+
+struct State {
+    waiting: VecDeque<Waiting>,
+    open: bool,
+}
+
+/// Handle to the shared batching queue (clone-cheap).
+#[derive(Clone)]
+pub struct Batcher {
+    cfg: BatchConfig,
+    shared: Arc<Shared>,
+}
+
+impl Batcher {
+    /// A new, open batcher.
+    pub fn new(cfg: BatchConfig) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be positive");
+        assert!(cfg.queue_cap >= 1, "queue_cap must be positive");
+        Batcher {
+            cfg,
+            shared: Arc::new(Shared {
+                queue: Mutex::new(State {
+                    waiting: VecDeque::new(),
+                    open: true,
+                }),
+                nonempty: Condvar::new(),
+                space: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Enqueues one query, blocking while the queue is at capacity, and
+    /// returns the channel the answer will arrive on.
+    ///
+    /// # Errors
+    /// [`SubmitError::Closed`] once [`Batcher::close`] has been called.
+    pub fn submit(&self, query: Query) -> Result<mpsc::Receiver<Answered>, SubmitError> {
+        let (tx, rx) = mpsc::sync_channel(1);
+        let mut state = self.shared.queue.lock().expect("batcher queue");
+        while state.open && state.waiting.len() >= self.cfg.queue_cap {
+            state = self.shared.space.wait(state).expect("batcher queue");
+        }
+        if !state.open {
+            return Err(SubmitError::Closed);
+        }
+        state.waiting.push_back(Waiting {
+            query,
+            tx,
+            enqueued: Instant::now(),
+        });
+        drop(state);
+        self.shared.nonempty.notify_all();
+        Ok(rx)
+    }
+
+    /// Number of queries currently queued (diagnostics only).
+    pub fn queue_len(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("batcher queue")
+            .waiting
+            .len()
+    }
+
+    /// Closes the queue: pending queries still flush, new submissions are
+    /// refused, and [`Batcher::run_loop`] returns once drained.
+    pub fn close(&self) {
+        self.shared.queue.lock().expect("batcher queue").open = false;
+        self.shared.nonempty.notify_all();
+        self.shared.space.notify_all();
+    }
+
+    /// The batcher thread's main loop. `serve` answers one batch of
+    /// queries and names the parameter-snapshot version it ran under; it
+    /// is invoked strictly between flush boundaries, so one batch can
+    /// never observe two snapshots. Returns when the batcher is closed and
+    /// the queue has drained.
+    ///
+    /// A panicking `serve` call fails only its own batch (the waiters'
+    /// channels drop, surfacing an error to each handler); the loop keeps
+    /// serving subsequent batches.
+    pub fn run_loop(&self, mut serve: impl FnMut(&[Query]) -> (Vec<TopK>, u64)) {
+        let mut batch_id = 0u64;
+        loop {
+            let Some(pending) = self.collect_batch() else {
+                return;
+            };
+            batch_id += 1;
+            let queries: Vec<Query> = pending.iter().map(|w| w.query).collect();
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| serve(&queries)));
+            match outcome {
+                Ok((answers, snapshot)) => {
+                    debug_assert_eq!(answers.len(), pending.len());
+                    for (w, topk) in pending.into_iter().zip(answers) {
+                        // A handler that timed out and left is fine to miss.
+                        let _ = w.tx.send(Answered {
+                            topk,
+                            snapshot,
+                            batch: batch_id,
+                        });
+                    }
+                }
+                Err(_) => {
+                    // Dropping the waiters closes their channels; each
+                    // handler answers 500 for exactly this batch.
+                    drop(pending);
+                }
+            }
+        }
+    }
+
+    /// Blocks until a batch is ready (first query + deadline/max-batch
+    /// policy) or the batcher is closed and empty (`None`).
+    fn collect_batch(&self) -> Option<Vec<Waiting>> {
+        let mut state = self.shared.queue.lock().expect("batcher queue");
+        // Phase 1: wait for the first query (or close-and-drained).
+        loop {
+            if !state.waiting.is_empty() {
+                break;
+            }
+            if !state.open {
+                return None;
+            }
+            state = self.shared.nonempty.wait(state).expect("batcher queue");
+        }
+        // Phase 2: give companions `deadline` to arrive, up to `max_batch`.
+        // The clock runs from the *oldest* queued query, so work that
+        // queued while a previous flush was running is not re-penalised.
+        let oldest = state
+            .waiting
+            .front()
+            .expect("phase 1 leaves the queue non-empty")
+            .enqueued;
+        let flush_at = oldest + self.cfg.deadline;
+        while state.waiting.len() < self.cfg.max_batch && state.open {
+            let now = Instant::now();
+            if now >= flush_at {
+                break;
+            }
+            let (guard, _timeout) = self
+                .shared
+                .nonempty
+                .wait_timeout(state, flush_at - now)
+                .expect("batcher queue");
+            state = guard;
+        }
+        let take = state.waiting.len().min(self.cfg.max_batch);
+        let batch: Vec<Waiting> = state.waiting.drain(..take).collect();
+        drop(state);
+        self.shared.space.notify_all();
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspn_data::{PoiId, Sample};
+
+    fn query(tag: usize) -> Query {
+        // Encode an identity in the sample so the fake server can echo it.
+        Query::with_top(
+            Sample {
+                user_index: tag,
+                traj_index: 0,
+                prefix_len: 1,
+            },
+            1,
+            4,
+        )
+    }
+
+    /// Fake model: answers each query with its tag as a PoiId.
+    fn echo(queries: &[Query]) -> (Vec<TopK>, u64) {
+        let answers = queries
+            .iter()
+            .map(|q| TopK {
+                pois: vec![PoiId(q.sample.user_index)],
+                tiles: Vec::new(),
+                candidate_count: 1,
+            })
+            .collect();
+        (answers, 7)
+    }
+
+    #[test]
+    fn queued_backlog_flushes_in_max_batch_chunks_in_order() {
+        let batcher = Batcher::new(BatchConfig {
+            max_batch: 4,
+            deadline: Duration::from_millis(0),
+            queue_cap: 64,
+        });
+        let receivers: Vec<_> = (0..10)
+            .map(|i| batcher.submit(query(i)).expect("open"))
+            .collect();
+        batcher.close();
+        let mut sizes = Vec::new();
+        batcher.run_loop(|qs| {
+            sizes.push(qs.len());
+            echo(qs)
+        });
+        assert_eq!(sizes, vec![4, 4, 2], "backlog drains in max_batch chunks");
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let answered = rx.recv().expect("answered before close finished");
+            assert_eq!(answered.topk.pois, vec![PoiId(i)], "answers follow queries");
+            assert_eq!(answered.snapshot, 7);
+        }
+    }
+
+    #[test]
+    fn batch_ids_partition_the_backlog() {
+        let batcher = Batcher::new(BatchConfig {
+            max_batch: 3,
+            deadline: Duration::from_millis(0),
+            queue_cap: 64,
+        });
+        let receivers: Vec<_> = (0..7)
+            .map(|i| batcher.submit(query(i)).expect("open"))
+            .collect();
+        batcher.close();
+        batcher.run_loop(echo);
+        let batches: Vec<u64> = receivers
+            .into_iter()
+            .map(|rx| rx.recv().unwrap().batch)
+            .collect();
+        assert_eq!(batches, vec![1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn deadline_flushes_a_lone_query() {
+        let batcher = Batcher::new(BatchConfig {
+            max_batch: 64,
+            deadline: Duration::from_millis(5),
+            queue_cap: 64,
+        });
+        let loop_handle = {
+            let b = batcher.clone();
+            std::thread::spawn(move || b.run_loop(echo))
+        };
+        let rx = batcher.submit(query(42)).expect("open");
+        let answered = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("deadline must flush a solo query");
+        assert_eq!(answered.topk.pois, vec![PoiId(42)]);
+        batcher.close();
+        loop_handle.join().expect("loop exits after close");
+    }
+
+    #[test]
+    fn close_refuses_new_submissions() {
+        let batcher = Batcher::new(BatchConfig::default());
+        batcher.close();
+        assert_eq!(batcher.submit(query(0)).unwrap_err(), SubmitError::Closed);
+    }
+
+    #[test]
+    fn close_unblocks_a_submitter_stuck_on_a_full_queue() {
+        let batcher = Batcher::new(BatchConfig {
+            max_batch: 8,
+            deadline: Duration::from_millis(1),
+            queue_cap: 1,
+        });
+        let _held = batcher.submit(query(0)).expect("fills the queue");
+        let blocked = {
+            let b = batcher.clone();
+            std::thread::spawn(move || b.submit(query(1)))
+        };
+        // Whether the second submit blocks first or observes the close
+        // directly, it must resolve to Closed rather than hang.
+        std::thread::sleep(Duration::from_millis(20));
+        batcher.close();
+        assert_eq!(blocked.join().unwrap().unwrap_err(), SubmitError::Closed);
+        // The queued query still flushes on the final drain.
+        batcher.run_loop(echo);
+    }
+
+    #[test]
+    fn a_panicking_batch_fails_only_its_own_waiters() {
+        let batcher = Batcher::new(BatchConfig {
+            max_batch: 2,
+            deadline: Duration::from_millis(0),
+            queue_cap: 64,
+        });
+        let rx_bad: Vec<_> = (0..2).map(|i| batcher.submit(query(i)).unwrap()).collect();
+        let rx_good: Vec<_> = (10..12)
+            .map(|i| batcher.submit(query(i)).unwrap())
+            .collect();
+        batcher.close();
+        let mut first = true;
+        batcher.run_loop(|qs| {
+            if std::mem::take(&mut first) {
+                panic!("poisoned batch");
+            }
+            echo(qs)
+        });
+        for rx in rx_bad {
+            assert!(
+                rx.recv().is_err(),
+                "poisoned batch waiters see a dropped channel"
+            );
+        }
+        for (i, rx) in rx_good.into_iter().enumerate() {
+            assert_eq!(rx.recv().unwrap().topk.pois, vec![PoiId(10 + i)]);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! `tspn-serve` — the long-lived next-POI serving process.
+//!
+//! ```text
+//! tspn-serve --port 7878 --preset nyc --scale 0.15 --days 12 \
+//!            [--checkpoint model.json] [--dump-checkpoint boot.json] \
+//!            [--max-batch 32] [--deadline-us 2000] [--top 10]
+//! ```
+//!
+//! The synthetic presets are deterministic, so the server regenerates the
+//! exact dataset a checkpoint was trained on from `(preset, scale, days)`.
+//! `--dump-checkpoint` writes the booted parameters (after an optional
+//! `--checkpoint` load) in `model.save` format — handy for smoke-testing
+//! `/admin/reload` without a separate training run.
+//!
+//! Shutdown: SIGTERM/SIGINT or `POST /admin/shutdown`; either way queued
+//! predictions flush before the process exits 0.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use tspn_core::{SpatialContext, TspnConfig};
+use tspn_data::synth::{generate_dataset, SynthConfig};
+use tspn_serve::{server, BatchConfig, ServerConfig};
+
+/// Set by the signal handler; polled by the main loop.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+struct Args {
+    port: u16,
+    preset: String,
+    scale: f64,
+    days: Option<usize>,
+    checkpoint: Option<String>,
+    dump_checkpoint: Option<String>,
+    max_batch: usize,
+    deadline_us: u64,
+    top: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tspn-serve [--port N] [--preset nyc|tky|california|florida] [--scale F] \
+         [--days N] [--checkpoint FILE] [--dump-checkpoint FILE] [--max-batch N] \
+         [--deadline-us N] [--top N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        port: 7878,
+        preset: "nyc".into(),
+        scale: 0.15,
+        days: Some(12),
+        checkpoint: None,
+        dump_checkpoint: None,
+        max_batch: 32,
+        deadline_us: 2000,
+        top: 10,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--port" => args.port = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--preset" => args.preset = value(&mut i),
+            "--scale" => args.scale = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--days" => args.days = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--full-days" => args.days = None,
+            "--checkpoint" => args.checkpoint = Some(value(&mut i)),
+            "--dump-checkpoint" => args.dump_checkpoint = Some(value(&mut i)),
+            "--max-batch" => {
+                args.max_batch = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--deadline-us" => {
+                args.deadline_us = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--top" => args.top = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn preset_config(name: &str, scale: f64) -> SynthConfig {
+    tspn_serve::preset_dataset_config(name, scale).unwrap_or_else(|| {
+        eprintln!("unknown preset {name:?}");
+        usage()
+    })
+}
+
+/// The serving model configuration, shared with `serve_bench` (see
+/// [`tspn_serve::default_model_config`]).
+fn model_config() -> TspnConfig {
+    tspn_serve::default_model_config()
+}
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN.store(true, Ordering::Release);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn main() {
+    let args = parse_args();
+    let mut dcfg = preset_config(&args.preset, args.scale);
+    if let Some(days) = args.days {
+        dcfg.days = days;
+    }
+    let model_cfg = model_config();
+
+    eprintln!(
+        "tspn-serve: generating dataset {} (scale {}, {} days)…",
+        dcfg.name, args.scale, dcfg.days
+    );
+    let (ds, world) = generate_dataset(dcfg);
+    let ctx = SpatialContext::build(ds, world, &model_cfg);
+    eprintln!(
+        "tspn-serve: context ready ({} POIs, {} leaf tiles, {} users)",
+        ctx.dataset.pois.len(),
+        ctx.num_leaves(),
+        ctx.dataset.users.len()
+    );
+
+    if let Some(path) = &args.dump_checkpoint {
+        // A fresh model from the same config seed and context is bitwise
+        // the model the server boots with; after `--checkpoint` the boot
+        // parameters are the file itself.
+        let outcome = match &args.checkpoint {
+            Some(src) => std::fs::copy(src, path)
+                .map(|_| ())
+                .map_err(|e| format!("cannot copy {src:?} to {path:?}: {e}")),
+            None => {
+                let ckpt = tspn_core::TspnRa::new(model_cfg.clone(), &ctx).save();
+                serde_json::to_string(&ckpt)
+                    .map_err(|e| format!("serialise: {e}"))
+                    .and_then(|json| std::fs::write(path, json).map_err(|e| format!("write: {e}")))
+            }
+        };
+        match outcome {
+            Ok(()) => eprintln!("tspn-serve: wrote boot checkpoint to {path}"),
+            Err(e) => {
+                eprintln!("tspn-serve: --dump-checkpoint failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let initial = args.checkpoint.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("tspn-serve: cannot read checkpoint {path:?}: {e}");
+            std::process::exit(1);
+        });
+        serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("tspn-serve: cannot parse checkpoint {path:?}: {e}");
+            std::process::exit(1);
+        })
+    });
+
+    let server_cfg = ServerConfig {
+        addr: format!("127.0.0.1:{}", args.port),
+        batch: BatchConfig {
+            max_batch: args.max_batch,
+            deadline: Duration::from_micros(args.deadline_us),
+            ..BatchConfig::default()
+        },
+        default_top: args.top,
+        ..ServerConfig::default()
+    };
+
+    install_signal_handlers();
+    let handle = match server::start(server_cfg, model_cfg, ctx, initial) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("tspn-serve: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("tspn-serve: listening on {}", handle.local_addr());
+
+    while !SHUTDOWN.load(Ordering::Acquire) && !handle.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("tspn-serve: shutting down…");
+    handle.shutdown();
+    handle.join();
+    eprintln!("tspn-serve: clean shutdown");
+}

@@ -1,0 +1,258 @@
+//! A minimal blocking HTTP/1.1 connection: enough of the protocol for the
+//! serving loop (request line, `Content-Length` bodies, keep-alive) and
+//! nothing more. The offline build has no tokio/hyper; a thread per
+//! connection over `std::net` is plenty for the loopback serving and
+//! load-generation this repository does.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path (query strings are not split off; the protocol does
+    /// not use them).
+    pub path: String,
+    /// Raw request body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Outcome of waiting for the next request on a connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request arrived.
+    Request(Request),
+    /// The peer closed the connection between requests.
+    Closed,
+    /// The read timeout elapsed with no bytes pending — the caller should
+    /// check its shutdown flag and wait again.
+    Idle,
+}
+
+/// How long a *partially received* request may dribble in before the
+/// connection is dropped as dead.
+const PARTIAL_DEADLINE: Duration = Duration::from_secs(5);
+
+/// A persistent connection with its read-ahead buffer (pipelined bytes
+/// beyond the current request survive into the next call).
+pub struct HttpConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpConn {
+    /// Wraps a connected stream.
+    pub fn new(stream: TcpStream) -> Self {
+        HttpConn {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Reads the next request, honouring the stream's read timeout for
+    /// idle detection (see [`ReadOutcome::Idle`]).
+    ///
+    /// # Errors
+    /// I/O failures, malformed requests, and bodies above `max_body` are
+    /// all errors; the caller should close the connection (a 400/413 is
+    /// written first when possible by [`HttpConn::reject`]).
+    pub fn read_request(&mut self, max_body: usize) -> std::io::Result<ReadOutcome> {
+        let mut chunk = [0u8; 4096];
+        let mut partial_since: Option<Instant> = None;
+        loop {
+            if let Some(end) = find_header_end(&self.buf) {
+                return self.finish_request(end, max_body).map(ReadOutcome::Request);
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(ReadOutcome::Closed)
+                    } else {
+                        Err(std::io::Error::new(
+                            ErrorKind::UnexpectedEof,
+                            "connection closed mid-request",
+                        ))
+                    };
+                }
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    if self.buf.len() > max_body + 16 * 1024 {
+                        return Err(std::io::Error::new(
+                            ErrorKind::InvalidData,
+                            "request headers/body too large",
+                        ));
+                    }
+                    partial_since.get_or_insert_with(Instant::now);
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if self.buf.is_empty() {
+                        return Ok(ReadOutcome::Idle);
+                    }
+                    // A half-received request: keep waiting a bounded while.
+                    let since = *partial_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() > PARTIAL_DEADLINE {
+                        return Err(std::io::Error::new(
+                            ErrorKind::TimedOut,
+                            "request stalled mid-transfer",
+                        ));
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Parses the buffered header block ending at `end` (exclusive of the
+    /// blank line) and reads the body to completion.
+    fn finish_request(&mut self, end: usize, max_body: usize) -> std::io::Result<Request> {
+        let head = String::from_utf8_lossy(&self.buf[..end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split_whitespace();
+        let (method, path, version) = (
+            parts.next().unwrap_or("").to_ascii_uppercase(),
+            parts.next().unwrap_or("").to_string(),
+            parts.next().unwrap_or(""),
+        );
+        if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("malformed request line {request_line:?}"),
+            ));
+        }
+        let mut content_length = 0usize;
+        // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+        let mut keep_alive = version != "HTTP/1.0";
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().map_err(|_| {
+                    std::io::Error::new(ErrorKind::InvalidData, "bad Content-Length")
+                })?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = !value.eq_ignore_ascii_case("close");
+            } else if name.eq_ignore_ascii_case("transfer-encoding")
+                && !value.eq_ignore_ascii_case("identity")
+            {
+                // Only Content-Length framing is implemented; silently
+                // treating a chunked body as empty would leave its
+                // framing bytes to desync the keep-alive stream.
+                return Err(std::io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("unsupported Transfer-Encoding {value:?}"),
+                ));
+            }
+        }
+        if content_length > max_body {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                "request body too large",
+            ));
+        }
+        let body_start = end + 4;
+        // Like the header phase, a body may dribble in only for a bounded
+        // while: a stalled transfer must not pin this handler thread (and
+        // with it, clean shutdown) forever.
+        let body_since = Instant::now();
+        while self.buf.len() < body_start + content_length {
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "connection closed mid-body",
+                    ));
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if body_since.elapsed() > PARTIAL_DEADLINE {
+                        return Err(std::io::Error::new(
+                            ErrorKind::TimedOut,
+                            "request body stalled mid-transfer",
+                        ));
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        // Keep any pipelined bytes for the next request.
+        self.buf.drain(..body_start + content_length);
+        Ok(Request {
+            method,
+            path,
+            body,
+            keep_alive,
+        })
+    }
+
+    /// Writes a JSON response.
+    ///
+    /// # Errors
+    /// Propagates stream write failures.
+    pub fn respond(&mut self, status: u16, body: &str, keep_alive: bool) -> std::io::Result<()> {
+        let reason = reason_phrase(status);
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        let head = format!(
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()
+    }
+
+    /// Best-effort error response before closing a broken connection.
+    pub fn reject(&mut self, status: u16, message: &str) {
+        let body = crate::protocol::error_response(message);
+        let _ = self.respond(status, &body, false);
+    }
+}
+
+/// Index of the `\r\n\r\n` header terminator, if buffered.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_end_detection() {
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n"), None);
+        assert_eq!(find_header_end(b""), None);
+    }
+
+    #[test]
+    fn reason_phrases_cover_protocol_statuses() {
+        for s in [200, 400, 404, 413, 500, 503] {
+            assert_ne!(reason_phrase(s), "Unknown");
+        }
+        assert_eq!(reason_phrase(299), "Unknown");
+    }
+}

@@ -1,0 +1,28 @@
+//! # tspn-serve
+//!
+//! The long-lived online serving layer for the TSPN-RA next-POI model:
+//! a thread-per-connection HTTP/1.1 loop (no tokio — the offline build
+//! vendors everything), a request micro-batcher that coalesces concurrent
+//! `/predict` calls into single batched `no_grad` forwards over the
+//! persistent worker pool, and an atomic checkpoint hot-swap path
+//! (`/admin/reload`) that can never mix parameters within one batch.
+//!
+//! See `crates/serve/README.md` for the wire protocol, the batching
+//! deadline semantics and the hot-swap contract; `serve_bench` in
+//! `tspn-bench` is the matching load generator / smoke driver.
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod client;
+pub mod http;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+
+pub use batcher::{Answered, BatchConfig, Batcher, SubmitError};
+pub use client::Client;
+pub use server::{
+    default_model_config, preset_dataset_config, start, ServeStats, ServerConfig, ServerHandle,
+};
+pub use snapshot::{PublishedCheckpoint, SnapshotHandle, BOOT_VERSION};

@@ -1,0 +1,216 @@
+//! The serving wire protocol: a minimal JSON dialect over HTTP/1.1.
+//!
+//! | Endpoint | Body | Answer |
+//! |---|---|---|
+//! | `POST /predict` | `{"user":U,"traj":T,"prefix_len":P[,"k":K][,"top":N]}` | `{"pois":[…],"tiles":[…],"candidates":C,"snapshot":V,"batch":B}` |
+//! | `GET /healthz` | – | `{"status":"ok","snapshot":V,"published":W,"served":N,"batches":M,"queue":Q}` |
+//! | `POST /admin/reload` | `{"path":"ckpt.json"}` | `{"ok":true,"snapshot":V}` |
+//! | `POST /admin/shutdown` | – | `{"ok":true}` |
+//!
+//! `(user, traj, prefix_len)` addresses a history in the server-side
+//! dataset (the synthetic presets are deterministic, so client and server
+//! agree on indices); `prefix_len` may equal the trajectory length — that
+//! is the true online case, predicting the not-yet-observed next visit.
+
+use serde::Value;
+use tspn_core::TopK;
+use tspn_data::Sample;
+
+/// Renders a `/predict` request body — the client-side counterpart of
+/// [`parse_predict`], shared by the load generator and the tests so the
+/// wire shape has exactly one definition on each side.
+pub fn predict_request_body(sample: &Sample, k: usize, top: usize) -> String {
+    format!(
+        "{{\"user\":{},\"traj\":{},\"prefix_len\":{},\"k\":{k},\"top\":{top}}}",
+        sample.user_index, sample.traj_index, sample.prefix_len
+    )
+}
+
+/// Extracts the POI ranking from a parsed `/predict` answer.
+pub fn pois_of(answer: &Value) -> Option<Vec<tspn_data::PoiId>> {
+    match answer.get("pois") {
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|i| i.as_usize().map(tspn_data::PoiId))
+            .collect(),
+        _ => None,
+    }
+}
+
+/// A parsed `/predict` body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictRequest {
+    /// The addressed sample.
+    pub sample: Sample,
+    /// Tile-selection K; `None` uses the server's configured `top_k`.
+    pub k: Option<usize>,
+    /// Result-list truncation; `None` uses the server default (10).
+    pub top: Option<usize>,
+}
+
+/// Parses a `/predict` body.
+///
+/// # Errors
+/// Returns a client-facing message on malformed JSON, missing required
+/// fields, or non-integer values.
+pub fn parse_predict(body: &[u8]) -> Result<PredictRequest, String> {
+    let v = parse_json(body)?;
+    let field = |name: &str| -> Result<usize, String> {
+        v.get(name)
+            .ok_or_else(|| format!("missing field {name:?}"))?
+            .as_usize()
+            .ok_or_else(|| format!("field {name:?} must be a non-negative integer"))
+    };
+    let optional = |name: &str| -> Result<Option<usize>, String> {
+        match v.get(name) {
+            None | Some(Value::Null) => Ok(None),
+            Some(val) => val
+                .as_usize()
+                .map(Some)
+                .ok_or_else(|| format!("field {name:?} must be a non-negative integer")),
+        }
+    };
+    Ok(PredictRequest {
+        sample: Sample {
+            user_index: field("user")?,
+            traj_index: field("traj")?,
+            prefix_len: field("prefix_len")?,
+        },
+        k: optional("k")?,
+        top: optional("top")?,
+    })
+}
+
+/// Parses an `/admin/reload` body into the checkpoint path.
+///
+/// # Errors
+/// Returns a client-facing message on malformed JSON or a missing path.
+pub fn parse_reload(body: &[u8]) -> Result<String, String> {
+    let v = parse_json(body)?;
+    v.get("path")
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| "missing string field \"path\"".to_string())
+}
+
+fn parse_json(body: &[u8]) -> Result<Value, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    serde_json::from_str::<Value>(text).map_err(|e| format!("invalid JSON: {e}"))
+}
+
+/// Renders a `/predict` answer.
+pub fn predict_response(topk: &TopK, snapshot: u64, batch: u64) -> String {
+    let mut out = String::with_capacity(64 + 8 * (topk.pois.len() + topk.tiles.len()));
+    out.push_str("{\"pois\":[");
+    push_ids(&mut out, topk.pois.iter().map(|p| p.0));
+    out.push_str("],\"tiles\":[");
+    push_ids(&mut out, topk.tiles.iter().copied());
+    out.push_str("],\"candidates\":");
+    out.push_str(&topk.candidate_count.to_string());
+    out.push_str(",\"snapshot\":");
+    out.push_str(&snapshot.to_string());
+    out.push_str(",\"batch\":");
+    out.push_str(&batch.to_string());
+    out.push('}');
+    out
+}
+
+fn push_ids(out: &mut String, ids: impl Iterator<Item = usize>) {
+    for (i, id) in ids.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&id.to_string());
+    }
+}
+
+/// Renders a `/healthz` answer. `snapshot` is the parameter version the
+/// batcher is actually serving; `published` the latest validated reload
+/// (they differ only until the next flush applies it).
+pub fn health_response(
+    snapshot: u64,
+    published: u64,
+    served: u64,
+    batches: u64,
+    queue: usize,
+) -> String {
+    format!(
+        "{{\"status\":\"ok\",\"snapshot\":{snapshot},\"published\":{published},\
+         \"served\":{served},\"batches\":{batches},\"queue\":{queue}}}"
+    )
+}
+
+/// Renders an error body. The message is escaped as a real JSON string
+/// (Rust's `{:?}` is *almost* JSON but renders control characters as the
+/// invalid `\u{7f}` form, and parts of the message are client-controlled).
+pub fn error_response(message: &str) -> String {
+    let escaped =
+        serde_json::to_string(&message.to_string()).unwrap_or_else(|_| "\"error\"".to_string());
+    format!("{{\"error\":{escaped}}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspn_data::PoiId;
+
+    #[test]
+    fn predict_request_parses_required_and_optional_fields() {
+        let req = parse_predict(br#"{"user":3,"traj":1,"prefix_len":4,"k":6,"top":5}"#).unwrap();
+        assert_eq!(
+            req.sample,
+            Sample {
+                user_index: 3,
+                traj_index: 1,
+                prefix_len: 4
+            }
+        );
+        assert_eq!((req.k, req.top), (Some(6), Some(5)));
+
+        let req = parse_predict(br#"{"user":0,"traj":0,"prefix_len":1}"#).unwrap();
+        assert_eq!((req.k, req.top), (None, None));
+    }
+
+    #[test]
+    fn predict_request_rejects_bad_bodies() {
+        assert!(parse_predict(b"not json").is_err());
+        assert!(parse_predict(br#"{"user":1,"traj":0}"#).is_err());
+        assert!(parse_predict(br#"{"user":-1,"traj":0,"prefix_len":1}"#).is_err());
+        assert!(parse_predict(br#"{"user":1.5,"traj":0,"prefix_len":1}"#).is_err());
+        assert!(parse_predict(br#"{"user":1,"traj":0,"prefix_len":1,"k":"x"}"#).is_err());
+    }
+
+    #[test]
+    fn reload_request_roundtrip() {
+        assert_eq!(parse_reload(br#"{"path":"a/b.json"}"#).unwrap(), "a/b.json");
+        assert!(parse_reload(br#"{"file":"a"}"#).is_err());
+        assert!(parse_reload(b"{").is_err());
+    }
+
+    #[test]
+    fn responses_are_valid_json() {
+        let topk = TopK {
+            pois: vec![PoiId(4), PoiId(1)],
+            tiles: vec![7],
+            candidate_count: 12,
+        };
+        let text = predict_response(&topk, 2, 9);
+        let v: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v.get("candidates").and_then(Value::as_usize), Some(12));
+        assert_eq!(v.get("snapshot").and_then(Value::as_usize), Some(2));
+        let health: Value = serde_json::from_str(&health_response(1, 2, 10, 3, 0)).unwrap();
+        assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(health.get("snapshot").and_then(Value::as_usize), Some(1));
+        assert_eq!(health.get("published").and_then(Value::as_usize), Some(2));
+        let err: Value = serde_json::from_str(&error_response("bad \"thing\"")).unwrap();
+        assert!(err.get("error").is_some());
+        // Control characters in client-echoed text must still yield valid
+        // JSON (Rust's {:?} escaping would not).
+        let tricky = error_response("no route GET /\u{7f}\n");
+        let parsed: Value = serde_json::from_str(&tricky).unwrap();
+        assert_eq!(
+            parsed.get("error").and_then(Value::as_str),
+            Some("no route GET /\u{7f}\n")
+        );
+    }
+}

@@ -1,0 +1,474 @@
+//! The long-lived serving process: accept loop, per-connection handler
+//! threads, the batcher thread that owns the model, and the admin
+//! endpoints (checkpoint hot-swap, health, shutdown).
+//!
+//! ## Thread layout
+//!
+//! * **accept loop** — non-blocking `TcpListener` polled every few
+//!   milliseconds so shutdown is prompt; one handler thread per
+//!   connection (keep-alive, so a connection is a session, not a
+//!   request).
+//! * **handler threads** — parse requests, validate them against the
+//!   dataset dimensions, enqueue [`tspn_core::Query`]s on the
+//!   [`Batcher`] and block on their answer channel.
+//! * **batcher thread** — owns the [`Predictor`] (the autodiff tape is
+//!   `Rc`-based, so the model cannot migrate threads; it is *built* on
+//!   this thread). Each flush first applies any newer published
+//!   checkpoint, then answers the whole batch under that one snapshot —
+//!   reloads can never mix parameters within a batch.
+//!
+//! Model parameters hot-swap via [`SnapshotHandle`]: `/admin/reload`
+//! validates on the handler thread and publishes; the batcher applies at
+//! the next flush boundary without blocking in-flight work.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tspn_core::{Predictor, Query, SpatialContext, TspnConfig};
+use tspn_tensor::serialize::Checkpoint;
+
+use crate::batcher::{BatchConfig, Batcher, SubmitError};
+use crate::http::{HttpConn, ReadOutcome, Request};
+use crate::protocol;
+use crate::snapshot::{validate_shapes, SnapshotHandle};
+
+/// Serving configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `"127.0.0.1:7878"` (`:0` picks a free port).
+    pub addr: String,
+    /// Micro-batching knobs.
+    pub batch: BatchConfig,
+    /// Per-connection read timeout: the idle-poll granularity for
+    /// shutdown checks on keep-alive connections.
+    pub read_timeout: Duration,
+    /// Default result-list truncation when a request omits `top`.
+    pub default_top: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            batch: BatchConfig::default(),
+            read_timeout: Duration::from_millis(200),
+            default_top: 10,
+        }
+    }
+}
+
+/// Largest accepted request body (the protocol's bodies are tiny).
+const MAX_BODY: usize = 64 * 1024;
+
+/// The stock serving model configuration (perf-snapshot scale, so a
+/// default server boots in seconds on one CPU). The `tspn-serve` binary
+/// and the `serve_bench` load generator both build exactly this model, so
+/// a fresh server and a client-side reference predictor agree bitwise.
+pub fn default_model_config() -> TspnConfig {
+    TspnConfig {
+        dm: 16,
+        image_size: 8,
+        attn_blocks: 1,
+        hgat_layers: 1,
+        top_k: 4,
+        max_prefix: 6,
+        max_history: 16,
+        partition: tspn_core::Partition::QuadTree {
+            max_depth: 5,
+            leaf_capacity: 12,
+        },
+        ..TspnConfig::default()
+    }
+}
+
+/// Resolves a preset name to its synthetic dataset configuration — the
+/// one name-to-dataset mapping the `tspn-serve` binary and `serve_bench`
+/// both use (they must agree bitwise for the smoke checks).
+pub fn preset_dataset_config(name: &str, scale: f64) -> Option<tspn_data::synth::SynthConfig> {
+    use tspn_data::presets;
+    match name {
+        "nyc" => Some(presets::nyc_mini(scale)),
+        "tky" => Some(presets::tky_mini(scale)),
+        "california" => Some(presets::california_mini(scale)),
+        "florida" => Some(presets::florida_mini(scale)),
+        _ => None,
+    }
+}
+
+/// How long a handler waits for its batch to be answered before giving up
+/// with a 503 (covers a wedged or heavily backlogged batcher).
+const ANSWER_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Serving counters surfaced by `/healthz`.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Successfully answered `/predict` requests.
+    pub served: AtomicU64,
+    /// Flushed batches.
+    pub batches: AtomicU64,
+}
+
+/// State shared by every thread of one server.
+struct Shared {
+    batcher: Batcher,
+    snapshots: SnapshotHandle,
+    /// The parameter version the batcher is actually serving (trails the
+    /// published version until the next flush boundary applies it).
+    applied: AtomicU64,
+    shutdown: AtomicBool,
+    stats: ServeStats,
+    /// Visits per `(user, trajectory)` — request validation without
+    /// touching the (thread-pinned) model.
+    traj_lens: Vec<Vec<usize>>,
+    /// Expected parameter names/shapes for reload validation; filled by
+    /// the batcher thread once the model is built.
+    expected_shapes: OnceLock<Vec<(String, Vec<usize>)>>,
+    default_k: usize,
+    default_top: usize,
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`] (or let `/admin/shutdown` or a signal set
+/// the flag) and then [`ServerHandle::join`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    batcher_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (real port even when configured with `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// True once shutdown has been requested from any path (admin
+    /// endpoint, signal handler, or [`ServerHandle::shutdown`]).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Requests shutdown (idempotent): the accept loop stops, keep-alive
+    /// handlers finish their in-flight request and exit, queued
+    /// predictions still flush.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Blocks until the server has fully stopped (requires
+    /// [`ServerHandle::shutdown`] to have been requested, otherwise this
+    /// waits for an external trigger such as `/admin/shutdown`).
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.batcher_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Builds the model **on the batcher thread** (the tape is `Rc`-based and
+/// thread-pinned) and starts serving. Blocks until the model is ready and
+/// the listener is bound, so a returned handle is immediately usable.
+///
+/// `initial` optionally loads a checkpoint over the freshly initialised
+/// parameters before the first request is accepted.
+///
+/// # Errors
+/// Bind failures, or a rejected initial checkpoint.
+pub fn start(
+    cfg: ServerConfig,
+    model_cfg: TspnConfig,
+    ctx: SpatialContext,
+    initial: Option<Checkpoint>,
+) -> Result<ServerHandle, String> {
+    let traj_lens = ctx
+        .dataset
+        .users
+        .iter()
+        .map(|u| u.trajectories.iter().map(|t| t.visits.len()).collect())
+        .collect();
+    let shared = Arc::new(Shared {
+        batcher: Batcher::new(cfg.batch),
+        snapshots: SnapshotHandle::new(),
+        applied: AtomicU64::new(crate::snapshot::BOOT_VERSION),
+        shutdown: AtomicBool::new(false),
+        stats: ServeStats::default(),
+        traj_lens,
+        expected_shapes: OnceLock::new(),
+        default_k: model_cfg.top_k,
+        default_top: cfg.default_top,
+    });
+
+    // Build the predictor on its home thread; hand back readiness (or the
+    // initial-checkpoint error) before any socket accepts traffic.
+    let (ready_tx, ready_rx) = mpsc::sync_channel::<Result<(), String>>(1);
+    let batcher_thread = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("tspn-serve-batcher".to_string())
+            .spawn(move || batcher_main(shared, model_cfg, ctx, initial, ready_tx))
+            .map_err(|e| format!("spawn batcher: {e}"))?
+    };
+    ready_rx
+        .recv()
+        .map_err(|_| "batcher thread died during startup".to_string())??;
+
+    let listener = TcpListener::bind(&cfg.addr).map_err(|e| {
+        shared.shutdown.store(true, Ordering::Release);
+        shared.batcher.close();
+        format!("bind {}: {e}", cfg.addr)
+    })?;
+    let local_addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+
+    let accept_thread = {
+        let shared = Arc::clone(&shared);
+        let read_timeout = cfg.read_timeout;
+        std::thread::Builder::new()
+            .name("tspn-serve-accept".to_string())
+            .spawn(move || accept_main(shared, listener, read_timeout))
+            .map_err(|e| format!("spawn accept loop: {e}"))?
+    };
+
+    Ok(ServerHandle {
+        shared,
+        local_addr,
+        accept_thread: Some(accept_thread),
+        batcher_thread: Some(batcher_thread),
+    })
+}
+
+/// The batcher thread: build the model, publish readiness, serve batches,
+/// applying newer checkpoints only at flush boundaries.
+fn batcher_main(
+    shared: Arc<Shared>,
+    model_cfg: TspnConfig,
+    ctx: SpatialContext,
+    initial: Option<Checkpoint>,
+    ready_tx: mpsc::SyncSender<Result<(), String>>,
+) {
+    let predictor = Predictor::new(model_cfg, ctx);
+    if let Some(ckpt) = initial {
+        if let Err(e) = predictor.load_checkpoint(&ckpt) {
+            let _ = ready_tx.send(Err(format!("initial checkpoint rejected: {e}")));
+            return;
+        }
+    }
+    let expected = predictor
+        .model()
+        .named_params()
+        .iter()
+        .map(|(name, t)| (name.clone(), t.shape().0.clone()))
+        .collect();
+    shared
+        .expected_shapes
+        .set(expected)
+        .expect("expected_shapes set once");
+    let _ = ready_tx.send(Ok(()));
+
+    let mut applied = shared.snapshots.version();
+    shared.batcher.run_loop(|queries| {
+        // Hot-swap boundary: at most one snapshot per batch, applied
+        // before any query of the batch runs.
+        if let Some(published) = shared.snapshots.newer_than(applied) {
+            match predictor.load_checkpoint(&published.checkpoint) {
+                Ok(()) => {
+                    applied = published.version;
+                    shared.applied.store(applied, Ordering::Release);
+                }
+                // Published checkpoints were validated against the same
+                // shape table, so this is unreachable in practice; keep
+                // the old parameters rather than take the server down.
+                Err(e) => eprintln!("tspn-serve: published checkpoint rejected: {e}"),
+            }
+        }
+        let answers = predictor.predict_batch(queries);
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        (answers, applied)
+    });
+}
+
+/// The accept loop: poll-accept so the shutdown flag is honoured within
+/// milliseconds, one handler thread per connection, joined on the way out.
+fn accept_main(shared: Arc<Shared>, listener: TcpListener, read_timeout: Duration) {
+    let handlers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(read_timeout));
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("tspn-serve-conn".to_string())
+                    .spawn(move || handle_connection(shared, stream));
+                if let Ok(handle) = handle {
+                    let mut guard = handlers.lock().expect("handler registry");
+                    // Opportunistically reap finished handlers so a
+                    // long-lived server does not accumulate join handles.
+                    guard.retain(|h| !h.is_finished());
+                    guard.push(handle);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    // Shutdown: handlers observe the flag within one read timeout; the
+    // batcher drains queued work before its loop exits.
+    for handle in handlers.into_inner().expect("handler registry") {
+        let _ = handle.join();
+    }
+    shared.batcher.close();
+}
+
+/// One keep-alive connection: requests in, JSON out, until close/shutdown.
+fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
+    let mut conn = HttpConn::new(stream);
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match conn.read_request(MAX_BODY) {
+            Ok(ReadOutcome::Idle) => continue,
+            Ok(ReadOutcome::Closed) => return,
+            Ok(ReadOutcome::Request(req)) => {
+                let (status, body) = route(&shared, &req);
+                // Decide keep-alive *after* routing so a request that
+                // itself triggers shutdown is answered `Connection:
+                // close` instead of promising a session we then drop.
+                let keep = req.keep_alive && !shared.shutdown.load(Ordering::Acquire);
+                if conn.respond(status, &body, keep).is_err() || !keep {
+                    return;
+                }
+            }
+            Err(e) => {
+                conn.reject(400, &format!("bad request: {e}"));
+                return;
+            }
+        }
+    }
+}
+
+/// Dispatches one request to its endpoint.
+fn route(shared: &Shared, req: &Request) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/predict") => predict(shared, &req.body),
+        ("GET", "/healthz") => (
+            200,
+            protocol::health_response(
+                shared.applied.load(Ordering::Acquire),
+                shared.snapshots.version(),
+                shared.stats.served.load(Ordering::Relaxed),
+                shared.stats.batches.load(Ordering::Relaxed),
+                shared.batcher.queue_len(),
+            ),
+        ),
+        ("POST", "/admin/reload") => reload(shared, &req.body),
+        ("POST", "/admin/shutdown") => {
+            shared.shutdown.store(true, Ordering::Release);
+            (200, "{\"ok\":true}".to_string())
+        }
+        _ => (
+            404,
+            protocol::error_response(&format!("no route {} {}", req.method, req.path)),
+        ),
+    }
+}
+
+/// `POST /predict`: validate, enqueue, await the batched answer.
+fn predict(shared: &Shared, body: &[u8]) -> (u16, String) {
+    let parsed = match protocol::parse_predict(body) {
+        Ok(p) => p,
+        Err(e) => return (400, protocol::error_response(&e)),
+    };
+    let sample = parsed.sample;
+    let servable = shared
+        .traj_lens
+        .get(sample.user_index)
+        .and_then(|u| u.get(sample.traj_index))
+        .is_some_and(|&len| sample.prefix_len >= 1 && sample.prefix_len <= len);
+    if !servable {
+        return (
+            400,
+            protocol::error_response(&format!(
+                "no servable history at user {} trajectory {} prefix {}",
+                sample.user_index, sample.traj_index, sample.prefix_len
+            )),
+        );
+    }
+    let k = parsed.k.unwrap_or(shared.default_k).max(1);
+    let top = parsed.top.unwrap_or(shared.default_top).max(1);
+    let query = Query::with_top(sample, k, top);
+    let rx = match shared.batcher.submit(query) {
+        Ok(rx) => rx,
+        Err(SubmitError::Closed) => {
+            return (503, protocol::error_response("server shutting down"));
+        }
+    };
+    match rx.recv_timeout(ANSWER_TIMEOUT) {
+        Ok(answered) => {
+            shared.stats.served.fetch_add(1, Ordering::Relaxed);
+            (
+                200,
+                protocol::predict_response(&answered.topk, answered.snapshot, answered.batch),
+            )
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            (503, protocol::error_response("prediction timed out"))
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            (500, protocol::error_response("prediction batch failed"))
+        }
+    }
+}
+
+/// `POST /admin/reload`: load + validate on this thread, then publish for
+/// the batcher to apply at its next flush boundary.
+fn reload(shared: &Shared, body: &[u8]) -> (u16, String) {
+    let path = match protocol::parse_reload(body) {
+        Ok(p) => p,
+        Err(e) => return (400, protocol::error_response(&e)),
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            return (
+                400,
+                protocol::error_response(&format!("cannot read {path:?}: {e}")),
+            );
+        }
+    };
+    let ckpt: Checkpoint = match serde_json::from_str(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            return (
+                400,
+                protocol::error_response(&format!("cannot parse checkpoint {path:?}: {e}")),
+            );
+        }
+    };
+    let expected = shared
+        .expected_shapes
+        .get()
+        .expect("set before the listener binds");
+    if let Err(e) = validate_shapes(&ckpt, expected) {
+        return (
+            400,
+            protocol::error_response(&format!("checkpoint rejected: {e}")),
+        );
+    }
+    let version = shared.snapshots.publish(ckpt);
+    (200, format!("{{\"ok\":true,\"snapshot\":{version}}}"))
+}

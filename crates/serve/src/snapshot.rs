@@ -1,0 +1,187 @@
+//! Checkpoint hot-swap: an epoch-versioned published-snapshot handle.
+//!
+//! `/admin/reload` **validates** a checkpoint on the handler thread
+//! (structure, shapes, finiteness — see [`validate_shapes`]) and then
+//! [`SnapshotHandle::publish`]es it as an immutable `Arc`. The batcher
+//! thread polls [`SnapshotHandle::newer_than`] *between* batches: a swap
+//! therefore never blocks in-flight requests, and every batch runs under
+//! exactly one parameter snapshot — mixed-parameter batches are impossible
+//! by construction, not by locking discipline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use tspn_tensor::serialize::Checkpoint;
+
+/// A published, already-validated checkpoint.
+#[derive(Debug)]
+pub struct PublishedCheckpoint {
+    /// Monotonic snapshot version; the boot parameters are version 1.
+    pub version: u64,
+    /// The validated parameter values.
+    pub checkpoint: Checkpoint,
+}
+
+/// The shared swap point between reload handlers and the batcher.
+pub struct SnapshotHandle {
+    /// Most recently published checkpoint (`None` until the first reload:
+    /// the batcher keeps serving its boot parameters).
+    slot: Mutex<Option<Arc<PublishedCheckpoint>>>,
+    /// Version of the latest publication (1 = boot parameters). Reads
+    /// don't take the slot lock.
+    version: AtomicU64,
+}
+
+/// The version number denoting the parameters the server booted with.
+pub const BOOT_VERSION: u64 = 1;
+
+impl Default for SnapshotHandle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SnapshotHandle {
+    /// A handle at the boot version with nothing published.
+    pub fn new() -> Self {
+        SnapshotHandle {
+            slot: Mutex::new(None),
+            version: AtomicU64::new(BOOT_VERSION),
+        }
+    }
+
+    /// Publishes a validated checkpoint, returning its assigned version.
+    /// In-flight batches keep the snapshot they started with; the batcher
+    /// picks this one up at its next flush boundary.
+    pub fn publish(&self, checkpoint: Checkpoint) -> u64 {
+        let mut slot = self.slot.lock().expect("snapshot slot");
+        let version = self.version.load(Ordering::Acquire) + 1;
+        *slot = Some(Arc::new(PublishedCheckpoint {
+            version,
+            checkpoint,
+        }));
+        self.version.store(version, Ordering::Release);
+        version
+    }
+
+    /// The latest published version (lock-free).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// The latest publication if it is newer than `seen`; the lock is held
+    /// only for the `Arc` clone.
+    pub fn newer_than(&self, seen: u64) -> Option<Arc<PublishedCheckpoint>> {
+        if self.version.load(Ordering::Acquire) <= seen {
+            return None;
+        }
+        self.slot
+            .lock()
+            .expect("snapshot slot")
+            .as_ref()
+            .filter(|p| p.version > seen)
+            .map(Arc::clone)
+    }
+}
+
+/// Validates a checkpoint against the serving model's expected parameter
+/// list without needing the (thread-pinned) model itself: every expected
+/// tensor present, every shape exact, every value finite. This mirrors
+/// `Predictor::validate_checkpoint`, which the batcher re-runs before
+/// applying (so publication can never corrupt the serving parameters even
+/// if this check and the model disagree).
+///
+/// # Errors
+/// Returns a client-facing message naming the first violation.
+pub fn validate_shapes(ckpt: &Checkpoint, expected: &[(String, Vec<usize>)]) -> Result<(), String> {
+    for (name, shape) in expected {
+        let rec = ckpt
+            .tensors
+            .iter()
+            .find(|r| &r.name == name)
+            .ok_or_else(|| format!("checkpoint missing tensor {name:?}"))?;
+        if &rec.shape != shape {
+            return Err(format!(
+                "shape mismatch for {name:?}: checkpoint {:?}, model {shape:?}",
+                rec.shape
+            ));
+        }
+        let expected_len: usize = shape.iter().product();
+        if rec.data.len() != expected_len {
+            return Err(format!(
+                "data length {} does not match shape {shape:?} for {name:?}",
+                rec.data.len()
+            ));
+        }
+        if let Some(bad) = rec.data.iter().find(|v| !v.is_finite()) {
+            return Err(format!("non-finite value {bad} in tensor {name:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspn_tensor::serialize::TensorRecord;
+
+    fn ckpt(entries: &[(&str, Vec<usize>, Vec<f32>)]) -> Checkpoint {
+        Checkpoint {
+            tensors: entries
+                .iter()
+                .map(|(n, s, d)| TensorRecord {
+                    name: n.to_string(),
+                    shape: s.clone(),
+                    data: d.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn publish_bumps_version_and_newer_than_filters() {
+        let handle = SnapshotHandle::new();
+        assert_eq!(handle.version(), BOOT_VERSION);
+        assert!(handle.newer_than(BOOT_VERSION).is_none());
+
+        let v2 = handle.publish(ckpt(&[]));
+        assert_eq!(v2, 2);
+        let seen = handle.newer_than(BOOT_VERSION).expect("newer exists");
+        assert_eq!(seen.version, 2);
+        assert!(
+            handle.newer_than(2).is_none(),
+            "already-seen version filtered"
+        );
+
+        let v3 = handle.publish(ckpt(&[]));
+        assert_eq!(v3, 3);
+        assert_eq!(handle.newer_than(2).expect("v3").version, 3);
+    }
+
+    #[test]
+    fn shape_validation_names_the_violation() {
+        let expected = vec![("w".to_string(), vec![2, 2])];
+        let good = ckpt(&[("w", vec![2, 2], vec![0.0; 4])]);
+        assert!(validate_shapes(&good, &expected).is_ok());
+
+        let missing = ckpt(&[("b", vec![2, 2], vec![0.0; 4])]);
+        assert!(validate_shapes(&missing, &expected)
+            .unwrap_err()
+            .contains("missing"));
+
+        let reshaped = ckpt(&[("w", vec![4], vec![0.0; 4])]);
+        assert!(validate_shapes(&reshaped, &expected)
+            .unwrap_err()
+            .contains("shape mismatch"));
+
+        let short = ckpt(&[("w", vec![2, 2], vec![0.0; 3])]);
+        assert!(validate_shapes(&short, &expected)
+            .unwrap_err()
+            .contains("length"));
+
+        let nan = ckpt(&[("w", vec![2, 2], vec![0.0, f32::NAN, 0.0, 0.0])]);
+        assert!(validate_shapes(&nan, &expected)
+            .unwrap_err()
+            .contains("non-finite"));
+    }
+}

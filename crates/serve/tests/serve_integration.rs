@@ -1,0 +1,352 @@
+//! End-to-end serving acceptance: concurrent clients over real sockets,
+//! bitwise identity with the offline predictor, checkpoint hot-swap with
+//! no mixed-parameter batches, and corrupt-checkpoint rejection.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use serde::Value;
+use tspn_core::{Partition, Predictor, Query, SpatialContext, TspnConfig};
+use tspn_data::presets::nyc_mini;
+use tspn_data::synth::generate_dataset;
+use tspn_data::{PoiId, Sample};
+use tspn_serve::{server, BatchConfig, Client, ServerConfig, ServerHandle, BOOT_VERSION};
+
+fn tiny_model_cfg(seed: u64) -> TspnConfig {
+    TspnConfig {
+        dm: 16,
+        image_size: 8,
+        top_k: 4,
+        attn_blocks: 1,
+        hgat_layers: 1,
+        max_prefix: 6,
+        max_history: 16,
+        partition: Partition::QuadTree {
+            max_depth: 5,
+            leaf_capacity: 10,
+        },
+        seed,
+        ..TspnConfig::default()
+    }
+}
+
+/// The deterministic serving context (regenerable at will: client-side
+/// reference predictors see the same dataset the server serves).
+fn tiny_ctx(cfg: &TspnConfig) -> SpatialContext {
+    let mut dcfg = nyc_mini(0.1);
+    dcfg.days = 12;
+    let (ds, world) = generate_dataset(dcfg);
+    SpatialContext::build(ds, world, cfg)
+}
+
+fn start_server(seed: u64, batch: BatchConfig) -> ServerHandle {
+    let cfg = tiny_model_cfg(seed);
+    let ctx = tiny_ctx(&cfg);
+    server::start(
+        ServerConfig {
+            batch,
+            ..ServerConfig::default()
+        },
+        cfg,
+        ctx,
+        None,
+    )
+    .expect("server starts")
+}
+
+fn reference_predictor(seed: u64) -> (Predictor, Vec<Sample>) {
+    let cfg = tiny_model_cfg(seed);
+    let ctx = tiny_ctx(&cfg);
+    let samples = ctx.dataset.all_samples();
+    (Predictor::new(cfg, ctx), samples)
+}
+
+fn predict_body(s: &Sample, k: usize, top: usize) -> String {
+    tspn_serve::protocol::predict_request_body(s, k, top)
+}
+
+fn pois_of(v: &Value) -> Vec<PoiId> {
+    tspn_serve::protocol::pois_of(v).unwrap_or_else(|| panic!("missing pois array: {v:?}"))
+}
+
+fn num_field(v: &Value, name: &str) -> u64 {
+    v.get(name)
+        .and_then(Value::as_usize)
+        .unwrap_or_else(|| panic!("missing numeric field {name:?} in {v:?}")) as u64
+}
+
+#[test]
+fn concurrent_clients_get_bitwise_identical_answers() {
+    let handle = start_server(7, BatchConfig::default());
+    let addr = handle.local_addr().to_string();
+    let (reference, samples) = reference_predictor(7);
+    let per_client = 6usize;
+    let clients = 8usize;
+    assert!(
+        samples.len() >= clients * per_client,
+        "dataset too small for test"
+    );
+
+    let answers: Vec<(Sample, Vec<PoiId>)> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for c in 0..clients {
+            let addr = addr.clone();
+            let samples = &samples;
+            joins.push(scope.spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let mut out = Vec::new();
+                for r in 0..per_client {
+                    let s = samples[(c * per_client + r) % samples.len()];
+                    let (status, v) = client
+                        .post_json("/predict", &predict_body(&s, 4, 10))
+                        .expect("predict I/O");
+                    assert_eq!(status, 200, "predict failed: {v:?}");
+                    assert_eq!(num_field(&v, "snapshot"), BOOT_VERSION);
+                    out.push((s, pois_of(&v)));
+                }
+                out
+            }));
+        }
+        joins
+            .into_iter()
+            .flat_map(|j| j.join().expect("client thread"))
+            .collect()
+    });
+
+    assert_eq!(answers.len(), clients * per_client);
+    for (s, served) in answers {
+        let offline = reference.predict_one(&Query::with_top(s, 4, 10));
+        assert_eq!(served, offline.pois, "served ranking diverged for {s:?}");
+        assert!(!served.is_empty());
+        // Valid top-k: no duplicate POIs.
+        let mut unique = served.clone();
+        unique.sort_unstable_by_key(|p| p.0);
+        unique.dedup();
+        assert_eq!(unique.len(), served.len(), "duplicate POIs in top-k");
+    }
+
+    // Health reflects the traffic.
+    let mut client = Client::connect(&addr).expect("connect");
+    let (status, text) = client.get("/healthz").expect("healthz");
+    assert_eq!(status, 200);
+    let health: Value = serde_json::from_str(&text).expect("health JSON");
+    assert_eq!(num_field(&health, "served") as usize, clients * per_client);
+    assert!(num_field(&health, "batches") >= 1);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn reload_swaps_checkpoints_without_mixing_a_batch() {
+    // Two reference parameter sets over the identical dataset/context.
+    let (ref_a, samples) = reference_predictor(7);
+    let (ref_b, _) = reference_predictor(999);
+    let dir = std::env::temp_dir().join(format!("tspn-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path_a = dir.join("ckpt_a.json");
+    let path_b = dir.join("ckpt_b.json");
+    std::fs::write(&path_a, serde_json::to_string(&ref_a.save()).unwrap()).unwrap();
+    std::fs::write(&path_b, serde_json::to_string(&ref_b.save()).unwrap()).unwrap();
+
+    // Small batches + a real deadline so reloads land between many
+    // batches while clients hammer the server.
+    let handle = start_server(
+        7,
+        BatchConfig {
+            max_batch: 4,
+            deadline: Duration::from_millis(1),
+            queue_cap: 256,
+        },
+    );
+    let addr = handle.local_addr().to_string();
+    let q = Query::with_top(samples[0], 4, 8);
+    let expect_a = ref_a.predict_one(&q).pois;
+    let expect_b = ref_b.predict_one(&q).pois;
+    assert_ne!(
+        expect_a, expect_b,
+        "seeds must rank differently for this test"
+    );
+
+    let stop = AtomicUsize::new(0);
+    let observations: Vec<(u64, u64, Vec<PoiId>)> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let addr = addr.clone();
+            let (stop, s) = (&stop, samples[0]);
+            joins.push(scope.spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let mut seen = Vec::new();
+                while stop.load(Ordering::Acquire) == 0 {
+                    let (status, v) = client
+                        .post_json("/predict", &predict_body(&s, 4, 8))
+                        .expect("predict I/O");
+                    assert_eq!(status, 200, "{v:?}");
+                    seen.push((
+                        num_field(&v, "batch"),
+                        num_field(&v, "snapshot"),
+                        pois_of(&v),
+                    ));
+                }
+                seen
+            }));
+        }
+        // Alternate A/B reloads while the clients run.
+        let mut admin = Client::connect(&addr).expect("connect admin");
+        let mut last_version = BOOT_VERSION;
+        for round in 0..6 {
+            std::thread::sleep(Duration::from_millis(30));
+            let path = if round % 2 == 0 { &path_b } else { &path_a };
+            let body = format!("{{\"path\":{:?}}}", path.display().to_string());
+            let (status, v) = admin.post_json("/admin/reload", &body).expect("reload I/O");
+            assert_eq!(status, 200, "reload failed: {v:?}");
+            let version = num_field(&v, "snapshot");
+            assert!(version > last_version, "snapshot versions are monotonic");
+            last_version = version;
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        stop.store(1, Ordering::Release);
+        joins
+            .into_iter()
+            .flat_map(|j| j.join().expect("client"))
+            .collect()
+    });
+
+    // Every answer matches exactly one reference parameter set, the set
+    // implied by its snapshot version — never a mixture.
+    let mut by_batch: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut swaps_observed = std::collections::HashSet::new();
+    for (batch, snapshot, pois) in &observations {
+        swaps_observed.insert(*snapshot);
+        // One batch, one snapshot: a second answer from the same batch
+        // must agree on the version.
+        if let Some(prev) = by_batch.insert(*batch, *snapshot) {
+            assert_eq!(prev, *snapshot, "batch {batch} served under two snapshots");
+        }
+        // Boot (version 1) and odd reload rounds serve seed-7 parameters;
+        // even rounds serve seed-999 parameters.
+        let expect = if *snapshot == BOOT_VERSION || snapshot % 2 == 1 {
+            &expect_a
+        } else {
+            &expect_b
+        };
+        assert_eq!(
+            pois, expect,
+            "snapshot {snapshot} served a mixed/unknown ranking"
+        );
+    }
+    assert!(
+        swaps_observed.len() >= 2,
+        "test never observed a hot swap (snapshots: {swaps_observed:?})"
+    );
+
+    handle.shutdown();
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_checkpoints_are_rejected_and_old_snapshot_keeps_serving() {
+    let (reference, samples) = reference_predictor(7);
+    let dir = std::env::temp_dir().join(format!("tspn-serve-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // Corruptions: invalid JSON, wrong shapes, non-finite values.
+    let garbage = dir.join("garbage.json");
+    std::fs::write(&garbage, "{ not json").unwrap();
+    let mut reshaped = reference.save();
+    reshaped.tensors[0].shape = vec![1, 1];
+    reshaped.tensors[0].data = vec![0.5];
+    let reshaped_path = dir.join("reshaped.json");
+    std::fs::write(&reshaped_path, serde_json::to_string(&reshaped).unwrap()).unwrap();
+    let mut poisoned = reference.save();
+    let n = poisoned.tensors.len() - 1;
+    poisoned.tensors[n].data[0] = f32::INFINITY;
+    let poisoned_path = dir.join("poisoned.json");
+    std::fs::write(&poisoned_path, serde_json::to_string(&poisoned).unwrap()).unwrap();
+
+    let handle = start_server(7, BatchConfig::default());
+    let addr = handle.local_addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let s = samples[1];
+    let (status, v) = client
+        .post_json("/predict", &predict_body(&s, 4, 10))
+        .unwrap();
+    assert_eq!(status, 200);
+    let before = pois_of(&v);
+    assert_eq!(
+        before,
+        reference.predict_one(&Query::with_top(s, 4, 10)).pois
+    );
+
+    for (path, needle) in [
+        (dir.join("missing.json"), "cannot read"),
+        (garbage.clone(), "cannot parse"),
+        (reshaped_path.clone(), "shape mismatch"),
+        // Non-finite floats serialise as JSON null, so a poisoned file is
+        // caught at parse time (the in-memory non-finite path is covered
+        // by the snapshot/predictor unit tests).
+        (poisoned_path.clone(), "cannot parse"),
+    ] {
+        let body = format!("{{\"path\":{:?}}}", path.display().to_string());
+        let (status, v) = client
+            .post_json("/admin/reload", &body)
+            .expect("reload I/O");
+        assert_eq!(status, 400, "corrupt checkpoint accepted: {v:?}");
+        let err = v
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_string();
+        assert!(
+            err.contains(needle),
+            "error {err:?} should mention {needle:?}"
+        );
+    }
+
+    // Still serving the boot snapshot, bitwise.
+    let (status, v) = client
+        .post_json("/predict", &predict_body(&s, 4, 10))
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(num_field(&v, "snapshot"), BOOT_VERSION);
+    assert_eq!(pois_of(&v), before);
+
+    // Malformed predict bodies and unknown routes answer without killing
+    // the connection's session.
+    let (status, _) = client.post("/predict", "{\"user\":0}").unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = client
+        .post("/predict", "{\"user\":99999,\"traj\":0,\"prefix_len\":1}")
+        .unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = client.get("/nope").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client.post("/predict", &predict_body(&s, 4, 10)).unwrap();
+    assert_eq!(status, 200, "session survives rejected requests");
+
+    handle.shutdown();
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn admin_shutdown_stops_the_server_cleanly() {
+    let handle = start_server(7, BatchConfig::default());
+    let addr = handle.local_addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let (status, body) = client.post("/admin/shutdown", "").expect("shutdown I/O");
+    assert_eq!(status, 200);
+    assert!(body.contains("true"));
+    assert!(handle.shutdown_requested());
+    handle.join(); // must return: accept loop, handlers and batcher all stop
+
+    // The port is released: a fresh bind to the same address succeeds.
+    let port: u16 = addr.rsplit(':').next().unwrap().parse().unwrap();
+    let rebind = std::net::TcpListener::bind(("127.0.0.1", port));
+    assert!(
+        rebind.is_ok(),
+        "port still held after clean shutdown: {rebind:?}"
+    );
+}

@@ -38,13 +38,7 @@ pub fn xavier(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Tensor {
 }
 
 /// Kaiming/He init for conv kernels `[out_c, in_c, kh, kw]`.
-pub fn kaiming_conv(
-    rng: &mut impl Rng,
-    out_c: usize,
-    in_c: usize,
-    kh: usize,
-    kw: usize,
-) -> Tensor {
+pub fn kaiming_conv(rng: &mut impl Rng, out_c: usize, in_c: usize, kh: usize, kw: usize) -> Tensor {
     let fan_in = (in_c * kh * kw) as f32;
     let std = (2.0 / fan_in).sqrt();
     normal(rng, 0.0, std, vec![out_c, in_c, kh, kw])
@@ -85,7 +79,7 @@ mod tests {
     #[test]
     fn xavier_limit_scales_with_fans() {
         let mut rng = StdRng::seed_from_u64(3);
-        let t = xavier(&mut rng, 100, 100, );
+        let t = xavier(&mut rng, 100, 100);
         let limit = (6.0f32 / 200.0).sqrt();
         for v in t.to_vec() {
             assert!(v.abs() <= limit);

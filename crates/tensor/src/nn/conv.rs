@@ -97,7 +97,9 @@ mod tests {
     fn forward_batch_stacks_single_image_forwards() {
         let mut rng = StdRng::seed_from_u64(13);
         let c = Conv2d::new(&mut rng, 3, 4, 3, 2, 1);
-        let data: Vec<f32> = (0..2 * 3 * 8 * 8).map(|v| (v as f32 * 0.11).cos()).collect();
+        let data: Vec<f32> = (0..2 * 3 * 8 * 8)
+            .map(|v| (v as f32 * 0.11).cos())
+            .collect();
         let batch = Tensor::from_vec(data.clone(), vec![2, 3, 8, 8]);
         let y = c.forward_batch(&batch);
         assert_eq!(y.shape().0, vec![2, 4, 4, 4]);

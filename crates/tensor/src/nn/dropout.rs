@@ -15,7 +15,10 @@ pub struct Dropout {
 impl Dropout {
     /// Creates a dropout layer with drop probability `p ∈ [0, 1)`.
     pub fn new(p: f32) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout p must be in [0, 1), got {p}"
+        );
         Dropout { p }
     }
 

@@ -86,7 +86,11 @@ mod tests {
             let b = e.lookup_one(1);
             let ta = Tensor::from_vec(vec![1.0, 1.0], vec![1, 2]);
             let tb = Tensor::from_vec(vec![-1.0, -1.0], vec![1, 2]);
-            let loss = a.sub(&ta).square().sum_all().add(&b.sub(&tb).square().sum_all());
+            let loss = a
+                .sub(&ta)
+                .square()
+                .sum_all()
+                .add(&b.sub(&tb).square().sum_all());
             loss.backward();
             opt.step(&params);
         }

@@ -44,8 +44,16 @@ impl GruCell {
 
     /// One step: `(x [1, in], h [1, hidden]) → h' [1, hidden]`.
     pub fn step(&self, x: &Tensor, h: &Tensor) -> Tensor {
-        let z = self.update_x.forward(x).add(&self.update_h.forward(h)).sigmoid();
-        let r = self.reset_x.forward(x).add(&self.reset_h.forward(h)).sigmoid();
+        let z = self
+            .update_x
+            .forward(x)
+            .add(&self.update_h.forward(h))
+            .sigmoid();
+        let r = self
+            .reset_x
+            .forward(x)
+            .add(&self.reset_h.forward(h))
+            .sigmoid();
         let h_cand = self
             .cand_x
             .forward(x)
@@ -131,9 +139,21 @@ impl LstmCell {
 
     /// One step: returns the next `(h, c)`.
     pub fn step(&self, x: &Tensor, h: &Tensor, c: &Tensor) -> (Tensor, Tensor) {
-        let i = self.input_x.forward(x).add(&self.input_h.forward(h)).sigmoid();
-        let f = self.forget_x.forward(x).add(&self.forget_h.forward(h)).sigmoid();
-        let o = self.output_x.forward(x).add(&self.output_h.forward(h)).sigmoid();
+        let i = self
+            .input_x
+            .forward(x)
+            .add(&self.input_h.forward(h))
+            .sigmoid();
+        let f = self
+            .forget_x
+            .forward(x)
+            .add(&self.forget_h.forward(h))
+            .sigmoid();
+        let o = self
+            .output_x
+            .forward(x)
+            .add(&self.output_h.forward(h))
+            .sigmoid();
         let g = self.cell_x.forward(x).add(&self.cell_h.forward(h)).tanh();
         let c_next = f.mul(c).add(&i.mul(&g));
         let h_next = o.mul(&c_next.tanh());
@@ -204,7 +224,10 @@ mod tests {
             .zip(h2.to_vec())
             .map(|(a, b)| (a - b).abs())
             .sum();
-        assert!(diff > 1e-4, "different inputs should produce different states");
+        assert!(
+            diff > 1e-4,
+            "different inputs should produce different states"
+        );
     }
 
     #[test]
@@ -260,7 +283,10 @@ mod tests {
             .iter()
             .filter(|p| p.grad().iter().any(|g| g.abs() > 0.0))
             .count();
-        assert!(grads_nonzero >= 12, "most LSTM params should receive gradient");
+        assert!(
+            grads_nonzero >= 12,
+            "most LSTM params should receive gradient"
+        );
     }
 
     #[test]

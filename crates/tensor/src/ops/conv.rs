@@ -151,7 +151,13 @@ fn col2im_add(dcol: &[f32], grad: &mut [f32], col_base: usize, d: &ConvDims) {
 
 /// Validates shapes and derives the conv geometry. `input` must be
 /// `[C, H, W]` (rank 3, `n == 1`) or `[N, C, H, W]` (rank 4).
-fn conv_dims(input: &Tensor, weight: &Tensor, bias: &Tensor, stride: usize, padding: usize) -> ConvDims {
+fn conv_dims(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    padding: usize,
+) -> ConvDims {
     let in_shape = input.shape();
     let (n, c, h, w) = match in_shape.rank() {
         3 => (1, in_shape.dim(0), in_shape.dim(1), in_shape.dim(2)),
@@ -165,7 +171,11 @@ fn conv_dims(input: &Tensor, weight: &Tensor, bias: &Tensor, stride: usize, padd
     };
     assert!(n > 0, "conv batch must be non-empty");
     let w_shape = weight.shape();
-    assert_eq!(w_shape.rank(), 4, "conv weight must be [O, C, kh, kw], got {w_shape}");
+    assert_eq!(
+        w_shape.rank(),
+        4,
+        "conv weight must be [O, C, kh, kw], got {w_shape}"
+    );
     let (o, wc, kh, kw) = (
         w_shape.dim(0),
         w_shape.dim(1),
@@ -173,7 +183,11 @@ fn conv_dims(input: &Tensor, weight: &Tensor, bias: &Tensor, stride: usize, padd
         w_shape.dim(3),
     );
     assert_eq!(c, wc, "conv2d channel mismatch: input {c}, weight {wc}");
-    assert_eq!(bias.len(), o, "conv2d bias must have one entry per out channel");
+    assert_eq!(
+        bias.len(),
+        o,
+        "conv2d bias must have one entry per out channel"
+    );
     ConvDims {
         n,
         c,
@@ -289,7 +303,11 @@ impl Tensor {
     /// [`Tensor::conv2d_batch`].
     pub fn conv2d(&self, weight: &Tensor, bias: &Tensor, stride: usize, padding: usize) -> Tensor {
         let in_shape = self.shape();
-        assert_eq!(in_shape.rank(), 3, "conv2d input must be [C, H, W], got {in_shape}");
+        assert_eq!(
+            in_shape.rank(),
+            3,
+            "conv2d input must be [C, H, W], got {in_shape}"
+        );
         let d = conv_dims(self, weight, bias, stride, padding);
         let out_shape = Shape::new(vec![d.o, d.oh, d.ow]);
         conv2d_impl(self, weight, bias, d, out_shape)
@@ -329,7 +347,11 @@ impl Tensor {
         padding: usize,
     ) -> Tensor {
         let in_shape = self.shape();
-        assert_eq!(in_shape.rank(), 3, "conv2d input must be [C, H, W], got {in_shape}");
+        assert_eq!(
+            in_shape.rank(),
+            3,
+            "conv2d input must be [C, H, W], got {in_shape}"
+        );
         let (c, h, w) = (in_shape.dim(0), in_shape.dim(1), in_shape.dim(2));
         let d = conv_dims(self, weight, bias, stride, padding);
         let (o, kh, kw, oh, ow) = (d.o, d.kh, d.kw, d.oh, d.ow);
@@ -410,8 +432,9 @@ impl Tensor {
                                                     continue;
                                                 }
                                                 gw[((oc * c + ic) * kh + ky) * kw + kx] += go
-                                                    * input
-                                                        [ic * h * w + iy as usize * w + ix as usize];
+                                                    * input[ic * h * w
+                                                        + iy as usize * w
+                                                        + ix as usize];
                                             }
                                         }
                                     }
@@ -552,9 +575,14 @@ mod tests {
     fn batch_matches_per_image_convolution() {
         // Two distinct images through the batched path must equal two
         // independent single-image convolutions.
-        let imgs: Vec<f32> = (0..2 * 2 * 3 * 3).map(|v| (v as f32 * 0.37).sin()).collect();
+        let imgs: Vec<f32> = (0..2 * 2 * 3 * 3)
+            .map(|v| (v as f32 * 0.37).sin())
+            .collect();
         let batch = Tensor::from_vec(imgs.clone(), vec![2, 2, 3, 3]);
-        let w = Tensor::from_vec((0..2 * 2 * 2 * 2).map(|v| v as f32 * 0.1 - 0.5).collect(), vec![2, 2, 2, 2]);
+        let w = Tensor::from_vec(
+            (0..2 * 2 * 2 * 2).map(|v| v as f32 * 0.1 - 0.5).collect(),
+            vec![2, 2, 2, 2],
+        );
         let b = Tensor::from_vec(vec![0.25, -0.5], vec![2]);
         let y = batch.conv2d_batch(&w, &b, 1, 1);
         assert_eq!(y.shape().0, vec![2, 2, 4, 4]);
@@ -603,11 +631,15 @@ mod tests {
     #[test]
     fn gemm_path_matches_reference_implementation() {
         let x = Tensor::from_vec(
-            (0..3 * 5 * 5).map(|v| ((v * 7) % 11) as f32 * 0.3 - 1.5).collect(),
+            (0..3 * 5 * 5)
+                .map(|v| ((v * 7) % 11) as f32 * 0.3 - 1.5)
+                .collect(),
             vec![3, 5, 5],
         );
         let w = Tensor::from_vec(
-            (0..4 * 3 * 3 * 3).map(|v| ((v * 5) % 13) as f32 * 0.2 - 1.2).collect(),
+            (0..4 * 3 * 3 * 3)
+                .map(|v| ((v * 5) % 13) as f32 * 0.2 - 1.2)
+                .collect(),
             vec![4, 3, 3, 3],
         );
         let b = Tensor::from_vec(vec![0.1, -0.2, 0.3, -0.4], vec![4]);

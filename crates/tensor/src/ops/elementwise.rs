@@ -102,13 +102,7 @@ impl Tensor {
 
     /// Elementwise division.
     pub fn div(&self, rhs: &Tensor) -> Tensor {
-        ew_binary(
-            self,
-            rhs,
-            |a, b| a / b,
-            |_, b| 1.0 / b,
-            |a, b| -a / (b * b),
-        )
+        ew_binary(self, rhs, |a, b| a / b, |_, b| 1.0 / b, |a, b| -a / (b * b))
     }
 
     /// Negation.
@@ -128,11 +122,7 @@ impl Tensor {
 
     /// Rectified linear unit.
     pub fn relu(&self) -> Tensor {
-        ew_unary(
-            self,
-            |x| x.max(0.0),
-            |x, _| if x > 0.0 { 1.0 } else { 0.0 },
-        )
+        ew_unary(self, |x| x.max(0.0), |x, _| if x > 0.0 { 1.0 } else { 0.0 })
     }
 
     /// Leaky ReLU with the given negative slope (the paper's HGAT uses 0.2).
@@ -146,11 +136,7 @@ impl Tensor {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Tensor {
-        ew_unary(
-            self,
-            |x| 1.0 / (1.0 + (-x).exp()),
-            |_, y| y * (1.0 - y),
-        )
+        ew_unary(self, |x| 1.0 / (1.0 + (-x).exp()), |_, y| y * (1.0 - y))
     }
 
     /// Hyperbolic tangent.
@@ -165,11 +151,7 @@ impl Tensor {
 
     /// Natural logarithm (inputs are clamped to ≥ 1e-12 for stability).
     pub fn ln(&self) -> Tensor {
-        ew_unary(
-            self,
-            |x| x.max(1e-12).ln(),
-            |x, _| 1.0 / x.max(1e-12),
-        )
+        ew_unary(self, |x| x.max(1e-12).ln(), |x, _| 1.0 / x.max(1e-12))
     }
 
     /// Elementwise square root (inputs clamped to ≥ 0).

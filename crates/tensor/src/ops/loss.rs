@@ -194,7 +194,10 @@ mod tests {
         loss.backward();
         let g = cos.grad();
         assert!(g[0] < 0.0, "target grad should be negative, got {}", g[0]);
-        assert!(g[1] > 0.0 && g[2] > 0.0, "competitors should be pushed down");
+        assert!(
+            g[1] > 0.0 && g[2] > 0.0,
+            "competitors should be pushed down"
+        );
     }
 
     #[test]

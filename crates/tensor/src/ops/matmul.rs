@@ -72,11 +72,7 @@ pub fn gemm_ex(
     m: usize,
 ) {
     debug_assert_eq!(a.len(), n * k, "A buffer length");
-    debug_assert_eq!(
-        b.len(),
-        k * m,
-        "B buffer length (layout {layout:?})"
-    );
+    debug_assert_eq!(b.len(), k * m, "B buffer length (layout {layout:?})");
     debug_assert_eq!(c.len(), n * m, "C buffer length");
     if n == 0 || m == 0 || k == 0 {
         return;

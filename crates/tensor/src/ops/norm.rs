@@ -238,7 +238,11 @@ impl Tensor {
 /// autograd bookkeeping would be pure overhead.
 pub fn cosine_scores(query: &[f32], candidates: &[f32], dim: usize) -> Vec<f32> {
     assert_eq!(query.len(), dim);
-    assert_eq!(candidates.len() % dim, 0, "candidate buffer not a multiple of dim");
+    assert_eq!(
+        candidates.len() % dim,
+        0,
+        "candidate buffer not a multiple of dim"
+    );
     let qn = query.iter().map(|x| x * x).sum::<f32>().sqrt() + NORM_EPS;
     candidates
         .chunks_exact(dim)

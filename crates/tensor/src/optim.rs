@@ -212,7 +212,11 @@ mod tests {
             quadratic_loss(&p).backward();
             opt.step(std::slice::from_ref(&p));
         }
-        assert!((p.item() - 3.0).abs() < 1e-2, "adam did not converge: {}", p.item());
+        assert!(
+            (p.item() - 3.0).abs() < 1e-2,
+            "adam did not converge: {}",
+            p.item()
+        );
     }
 
     #[test]

@@ -198,9 +198,8 @@ pub fn run_scoped(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
         // runs, and the first panic re-raises only after the batch drains.
         let mut first_panic = None;
         for task in tasks {
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                with_worker_scope(task)
-            }));
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| with_worker_scope(task)));
             if let Err(payload) = result {
                 first_panic.get_or_insert(payload);
             }
@@ -216,8 +215,7 @@ pub fn run_scoped(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
     let erased: VecDeque<Task> = tasks
         .into_iter()
         .map(|t| {
-            let t: Box<dyn FnOnce() + Send + 'static> =
-                unsafe { std::mem::transmute(t) };
+            let t: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(t) };
             Task(t)
         })
         .collect();
@@ -426,8 +424,7 @@ mod tests {
                         let jobs: Vec<_> =
                             (0..5).map(|i| move || t * 1000 + round * 10 + i).collect();
                         let got = map_scoped(jobs);
-                        let want: Vec<_> =
-                            (0..5).map(|i| t * 1000 + round * 10 + i).collect();
+                        let want: Vec<_> = (0..5).map(|i| t * 1000 + round * 10 + i).collect();
                         assert_eq!(got, want);
                     }
                 });

@@ -462,9 +462,19 @@ mod tests {
 
     #[test]
     fn hit_rate_formula() {
-        let s = PoolStats { hits: 3, misses: 1, returned: 0, discarded: 0 };
+        let s = PoolStats {
+            hits: 3,
+            misses: 1,
+            returned: 0,
+            discarded: 0,
+        };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
-        let empty = PoolStats { hits: 0, misses: 0, returned: 0, discarded: 0 };
+        let empty = PoolStats {
+            hits: 0,
+            misses: 0,
+            returned: 0,
+            discarded: 0,
+        };
         assert_eq!(empty.hit_rate(), 1.0);
     }
 

@@ -51,10 +51,7 @@ impl Shape {
 
     /// Dimension at `i`, panicking with a readable message when out of range.
     pub fn dim(&self, i: usize) -> usize {
-        assert!(
-            i < self.0.len(),
-            "shape {self} has no dimension {i}"
-        );
+        assert!(i < self.0.len(), "shape {self} has no dimension {i}");
         self.0[i]
     }
 

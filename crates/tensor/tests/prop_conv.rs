@@ -123,8 +123,7 @@ fn conv_results_are_bitwise_invariant_to_worker_pool() {
     let w = Tensor::from_vec(values(o * c * k * k, 13), vec![o, c, k, k]);
     let b = Tensor::from_vec(values(o, 17), vec![o]);
     let parallel_out = x.conv2d_batch(&w, &b, 2, 1).to_vec();
-    let serial_out =
-        parallel::with_worker_scope(|| x.conv2d_batch(&w, &b, 2, 1).to_vec());
+    let serial_out = parallel::with_worker_scope(|| x.conv2d_batch(&w, &b, 2, 1).to_vec());
     assert!(
         parallel_out == serial_out,
         "conv output depends on the worker-pool thread count"
@@ -151,7 +150,10 @@ fn conv_gradients_are_bitwise_invariant_to_worker_pool() {
     };
     let (px, pw, pb) = run(false);
     let (sx, sw, sb) = run(true);
-    assert!(px == sx && pw == sw && pb == sb, "conv gradients depend on thread count");
+    assert!(
+        px == sx && pw == sw && pb == sb,
+        "conv gradients depend on thread count"
+    );
 }
 
 /// Finite-difference check straight through the batched GEMM formulation.
@@ -159,7 +161,10 @@ fn conv_gradients_are_bitwise_invariant_to_worker_pool() {
 fn gradcheck_through_batched_conv() {
     let (n, c, o, hw, k) = (2usize, 2usize, 3usize, 5usize, 3usize);
     let x = Tensor::param(
-        values(n * c * hw * hw, 31).iter().map(|v| v * 0.25).collect(),
+        values(n * c * hw * hw, 31)
+            .iter()
+            .map(|v| v * 0.25)
+            .collect(),
         vec![n, c, hw, hw],
     );
     let w = Tensor::param(
@@ -170,7 +175,12 @@ fn gradcheck_through_batched_conv() {
     let (xc, wc, bc) = (x.clone(), w.clone(), b.clone());
     let report = grad_check(
         &[x, w, b],
-        move || xc.conv2d_batch(&wc, &bc, 2, 1).square().sum_all().scale(0.05),
+        move || {
+            xc.conv2d_batch(&wc, &bc, 2, 1)
+                .square()
+                .sum_all()
+                .scale(0.05)
+        },
         1e-2,
     );
     assert!(

@@ -8,14 +8,7 @@ use tspn_tensor::gradcheck::grad_check;
 use tspn_tensor::{gemm_ex, GemmLayout, Tensor};
 
 /// Naive reference: `C = op(A)·op(B)` elementwise.
-fn reference(
-    layout: GemmLayout,
-    a: &[f32],
-    b: &[f32],
-    n: usize,
-    k: usize,
-    m: usize,
-) -> Vec<f32> {
+fn reference(layout: GemmLayout, a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
     let a_at = |i: usize, p: usize| match layout {
         GemmLayout::NN | GemmLayout::NT => a[i * k + p],
         GemmLayout::TN => a[p * n + i],
@@ -114,14 +107,16 @@ fn gradcheck_through_matmul_above_the_blocked_threshold() {
     // 12·64·48 = 36864 elements: past SMALL_ELEMS, so both the forward
     // product and the NT/TN backward products exercise the packed kernels.
     let (n, k, m) = (12usize, 64usize, 48usize);
-    let a = Tensor::param(values(n * k, 3).iter().map(|v| v * 0.05).collect(), vec![n, k]);
-    let b = Tensor::param(values(k * m, 5).iter().map(|v| v * 0.05).collect(), vec![k, m]);
-    let (ac, bc) = (a.clone(), b.clone());
-    let report = grad_check(
-        &[a, b],
-        move || ac.matmul(&bc).sum_all().scale(1e-2),
-        1e-2,
+    let a = Tensor::param(
+        values(n * k, 3).iter().map(|v| v * 0.05).collect(),
+        vec![n, k],
     );
+    let b = Tensor::param(
+        values(k * m, 5).iter().map(|v| v * 0.05).collect(),
+        vec![k, m],
+    );
+    let (ac, bc) = (a.clone(), b.clone());
+    let report = grad_check(&[a, b], move || ac.matmul(&bc).sum_all().scale(1e-2), 1e-2);
     assert!(
         report.max_rel_err < 5e-2 || report.max_abs_err < 5e-3,
         "blocked-kernel gradients disagree with finite differences: {report:?}"

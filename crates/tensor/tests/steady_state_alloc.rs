@@ -51,7 +51,10 @@ fn steady_state_conv_training_step_allocates_nothing() {
         step();
     }
     let stats = pool::stats();
-    assert!(stats.hits > 200, "expected real pool traffic, saw {stats:?}");
+    assert!(
+        stats.hits > 200,
+        "expected real pool traffic, saw {stats:?}"
+    );
     assert_eq!(
         stats.misses, 0,
         "steady-state conv training must not allocate tensor buffers: {stats:?}"
@@ -95,7 +98,10 @@ fn steady_state_training_step_allocates_nothing() {
         step();
     }
     let stats = pool::stats();
-    assert!(stats.hits > 100, "expected real pool traffic, saw {stats:?}");
+    assert!(
+        stats.hits > 100,
+        "expected real pool traffic, saw {stats:?}"
+    );
     assert_eq!(
         stats.misses, 0,
         "steady-state training must not allocate tensor buffers: {stats:?}"

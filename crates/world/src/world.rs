@@ -164,8 +164,8 @@ impl World {
                 x - shore
             }
             Coast::West => {
-                let shore = self.config.ocean_fraction
-                    + 0.08 * (self.terrain.fbm(0.37, y * 3.0, 3) - 0.5);
+                let shore =
+                    self.config.ocean_fraction + 0.08 * (self.terrain.fbm(0.37, y * 3.0, 3) - 0.5);
                 shore - x
             }
         }
@@ -304,7 +304,10 @@ mod tests {
                 water_west += 1;
             }
         }
-        assert!(water_east > 35, "east edge should be ocean ({water_east}/40)");
+        assert!(
+            water_east > 35,
+            "east edge should be ocean ({water_east}/40)"
+        );
         assert_eq!(water_west, 0, "west edge should be land");
     }
 
@@ -336,7 +339,10 @@ mod tests {
         let (dx, dy) = w.districts()[0];
         let near = w.urban_intensity(dx + 0.01, dy);
         let far = w.urban_intensity((dx + 0.45).min(0.99), dy);
-        assert!(near > far, "urban intensity must decay: near {near}, far {far}");
+        assert!(
+            near > far,
+            "urban intensity must decay: near {near}, far {far}"
+        );
     }
 
     #[test]

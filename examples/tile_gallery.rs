@@ -83,7 +83,9 @@ fn main() {
                 let mut rng = StdRng::seed_from_u64(12);
                 let noisy = corrupt_pixels(&img, 0.2, &mut rng);
                 noisy
-                    .write_ppm(std::fs::File::create("gallery/coastline_noisy.ppm").expect("create"))
+                    .write_ppm(
+                        std::fs::File::create("gallery/coastline_noisy.ppm").expect("create"),
+                    )
                     .expect("write");
                 println!("gallery/coastline.ppm + gallery/coastline_noisy.ppm (20% corrupted)");
                 println!("\nwrote {} tiles to gallery/", written + 2);

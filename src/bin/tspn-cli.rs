@@ -162,15 +162,14 @@ fn cmd_predict(args: &Args) {
     let sample = ctx
         .dataset
         .all_samples()
-        .into_iter().rfind(|s| s.user_index == args.user)
+        .into_iter()
+        .rfind(|s| s.user_index == args.user)
         .unwrap_or_else(|| panic!("user {} has no predictable samples", args.user));
     let tables = model.batch_tables(&ctx);
     let pred = model.predict(&ctx, &sample, &tables);
     println!(
         "user {} — top-10 next-POI recommendations (from {} candidates in top-{} tiles):",
-        args.user,
-        pred.candidate_count,
-        model.config.top_k
+        args.user, pred.candidate_count, model.config.top_k
     );
     for (i, poi) in pred.poi_ranking.iter().take(10).enumerate() {
         let p = ctx.dataset.poi(*poi);

@@ -6,9 +6,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use tspn::core::{SpatialContext, Trainer, TspnConfig, TspnRa};
+use tspn::data::io;
 use tspn::data::presets::florida_mini;
 use tspn::data::synth::generate_dataset;
-use tspn::data::io;
 
 fn tiny_cfg() -> TspnConfig {
     TspnConfig {
@@ -55,8 +55,7 @@ fn checkpoint_json_roundtrip_preserves_predictions() {
 
     // Save through JSON exactly as the CLI does.
     let json = serde_json::to_string(&trainer.model.save()).expect("serialise");
-    let ckpt: tspn::tensor::serialize::Checkpoint =
-        serde_json::from_str(&json).expect("parse");
+    let ckpt: tspn::tensor::serialize::Checkpoint = serde_json::from_str(&json).expect("parse");
 
     // Fresh model with a different seed, restored from the JSON.
     let mut cfg2 = cfg;

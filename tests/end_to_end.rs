@@ -124,7 +124,11 @@ fn ablation_variants_all_run() {
             "variant {label} produced a non-finite loss"
         );
         let outcomes = trainer.evaluate(&samples);
-        assert_eq!(outcomes.len(), samples.len(), "variant {label} failed to rank");
+        assert_eq!(
+            outcomes.len(),
+            samples.len(),
+            "variant {label} failed to rank"
+        );
     }
 }
 
@@ -138,7 +142,13 @@ fn grid_partition_end_to_end() {
     let ctx = SpatialContext::build(dataset, world, &cfg);
     assert_eq!(ctx.num_leaves(), 64);
     let mut trainer = Trainer::new(cfg, ctx);
-    let samples: Vec<_> = trainer.ctx.dataset.all_samples().into_iter().take(8).collect();
+    let samples: Vec<_> = trainer
+        .ctx
+        .dataset
+        .all_samples()
+        .into_iter()
+        .take(8)
+        .collect();
     let stats = trainer.fit_epochs(&samples, 1);
     assert!(stats[0].mean_loss.is_finite());
 }

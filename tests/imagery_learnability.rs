@@ -113,5 +113,8 @@ fn me1_learns_land_use_from_pixels() {
         after > 0.8,
         "Me1 failed to learn land use from pixels: accuracy {before:.2} → {after:.2}"
     );
-    assert!(after > before, "training did not help: {before:.2} → {after:.2}");
+    assert!(
+        after > before,
+        "training did not help: {before:.2} → {after:.2}"
+    );
 }

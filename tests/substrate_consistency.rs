@@ -47,7 +47,10 @@ fn imagery_agrees_with_world_about_water() {
         ds.region.min_lon + 0.999 * ds.region.lon_span(),
     );
     let [r, _g, b] = renderer.render(&ocean_bbox, 16).mean_rgb();
-    assert!(b > r * 1.3, "far-east ocean probe is not blue (R {r}, B {b})");
+    assert!(
+        b > r * 1.3,
+        "far-east ocean probe is not blue (R {r}, B {b})"
+    );
 }
 
 #[test]

@@ -14,12 +14,16 @@ pub struct Bytes {
 impl Bytes {
     /// Empty buffer.
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
     }
 
     /// Copies a slice into a new buffer.
     pub fn copy_from_slice(src: &[u8]) -> Self {
-        Bytes { data: Arc::from(src) }
+        Bytes {
+            data: Arc::from(src),
+        }
     }
 
     /// Byte length.
@@ -53,7 +57,9 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v.into_boxed_slice()) }
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+        }
     }
 }
 

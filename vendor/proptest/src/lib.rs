@@ -66,7 +66,9 @@ pub struct AnyStrategy<T> {
 
 /// `any::<T>()`: the full-range strategy for `T`.
 pub fn any<T: rand::Standard>() -> AnyStrategy<T> {
-    AnyStrategy { _marker: std::marker::PhantomData }
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
 }
 
 impl<T: rand::Standard> Strategy for AnyStrategy<T> {
@@ -123,7 +125,9 @@ tuple_strategy! {
 /// Commonly imported names, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::strategy::Strategy;
-    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+    };
     /// Namespaced access as `prop::collection::vec(...)` etc.
     pub mod prop {
         pub use crate::collection;

@@ -8,7 +8,10 @@ use crate::strategy::Strategy;
 /// Strategy yielding `Some(value)` with probability `p` and `None`
 /// otherwise.
 pub fn weighted<S: Strategy>(p: f64, inner: S) -> Weighted<S> {
-    assert!((0.0..=1.0).contains(&p), "weighted probability out of range");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "weighted probability out of range"
+    );
     Weighted { p, inner }
 }
 

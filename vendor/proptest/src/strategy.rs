@@ -27,7 +27,11 @@ pub trait Strategy {
     where
         Self: Sized,
     {
-        Filter { inner: self, pred, reason: reason.into() }
+        Filter {
+            inner: self,
+            pred,
+            reason: reason.into(),
+        }
     }
 }
 
@@ -60,6 +64,9 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter {:?} rejected 10000 consecutive candidates", self.reason);
+        panic!(
+            "prop_filter {:?} rejected 10000 consecutive candidates",
+            self.reason
+        );
     }
 }

@@ -84,7 +84,9 @@ pub fn obj_get<'a>(v: &'a Value, key: &str) -> Result<&'a Value, Error> {
             .find(|(k, _)| k == key)
             .map(|(_, v)| v)
             .ok_or_else(|| err(format!("missing field {key:?}"))),
-        other => Err(err(format!("expected object with field {key:?}, got {other:?}"))),
+        other => Err(err(format!(
+            "expected object with field {key:?}, got {other:?}"
+        ))),
     }
 }
 
@@ -102,9 +104,7 @@ pub fn arr_get(v: &Value, i: usize) -> Result<&Value, Error> {
 pub fn variant(v: &Value) -> Result<(&str, Option<&Value>), Error> {
     match v {
         Value::Str(name) => Ok((name, None)),
-        Value::Object(pairs) if pairs.len() == 1 => {
-            Ok((pairs[0].0.as_str(), Some(&pairs[0].1)))
-        }
+        Value::Object(pairs) if pairs.len() == 1 => Ok((pairs[0].0.as_str(), Some(&pairs[0].1))),
         other => Err(err(format!("expected enum encoding, got {other:?}"))),
     }
 }
@@ -112,6 +112,56 @@ pub fn variant(v: &Value) -> Result<(&str, Option<&Value>), Error> {
 // ---------------------------------------------------------------------
 // Primitive impls
 // ---------------------------------------------------------------------
+
+// `Value` round-trips through itself, so callers can work with dynamic
+// JSON (e.g. protocol bodies with optional fields) via `serde_json`.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Value {
+    /// Object field lookup; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view of this value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer view (rejects fractional and negative numbers).
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// String view of this value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
 
 macro_rules! num_impl {
     ($($t:ty),*) => {$(
@@ -259,7 +309,12 @@ impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
         match v {
             Value::Array(items) => items
                 .iter()
-                .map(|pair| Ok((K::from_value(arr_get(pair, 0)?)?, V::from_value(arr_get(pair, 1)?)?)))
+                .map(|pair| {
+                    Ok((
+                        K::from_value(arr_get(pair, 0)?)?,
+                        V::from_value(arr_get(pair, 1)?)?,
+                    ))
+                })
                 .collect(),
             other => Err(err(format!("expected map-as-array, got {other:?}"))),
         }
@@ -275,7 +330,10 @@ mod tests {
         assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
         assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
         assert!(bool::from_value(&true.to_value()).unwrap());
-        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
     }
 
     #[test]

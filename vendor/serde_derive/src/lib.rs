@@ -24,8 +24,14 @@ struct Variant {
 
 #[derive(Debug)]
 enum Item {
-    Struct { name: String, fields: Fields },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Cursor over a flat token list.
@@ -36,7 +42,10 @@ struct Cursor {
 
 impl Cursor {
     fn new(ts: TokenStream) -> Self {
-        Cursor { tokens: ts.into_iter().collect(), pos: 0 }
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
     }
 
     fn peek(&self) -> Option<&TokenTree> {
@@ -323,10 +332,16 @@ fn gen_deserialize(item: &Item) -> String {
         Item::Struct { name, fields } => {
             let body = match fields {
                 Fields::Named(fs) => {
-                    format!("::std::result::Result::Ok({})", de_named_body(name, "v", fs))
+                    format!(
+                        "::std::result::Result::Ok({})",
+                        de_named_body(name, "v", fs)
+                    )
                 }
                 Fields::Tuple(n) => {
-                    format!("::std::result::Result::Ok({})", de_tuple_body(name, "v", *n))
+                    format!(
+                        "::std::result::Result::Ok({})",
+                        de_tuple_body(name, "v", *n)
+                    )
                 }
                 Fields::Unit => format!("::std::result::Result::Ok({name})"),
             };
@@ -344,9 +359,9 @@ fn gen_deserialize(item: &Item) -> String {
                 .map(|v| {
                     let vn = &v.name;
                     match &v.fields {
-                        Fields::Unit => format!(
-                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}),"
-                        ),
+                        Fields::Unit => {
+                            format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),")
+                        }
                         Fields::Tuple(n) => format!(
                             "{vn:?} => {{\n\
                                  let p = payload.ok_or_else(|| ::serde::err(\
@@ -387,12 +402,16 @@ fn gen_deserialize(item: &Item) -> String {
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
 }
 
 /// Derives the local `serde::Deserialize` (value-tree conversion).
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
 }

@@ -18,7 +18,10 @@ pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
 /// # Errors
 /// Returns a message naming the first syntax error.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.parse_value()?;
     p.skip_ws();
@@ -275,7 +278,13 @@ mod tests {
 
     #[test]
     fn float_precision_roundtrips() {
-        for &x in &[0.1f32, 1e-7, std::f32::consts::PI, -2.5e8, f32::MIN_POSITIVE] {
+        for &x in &[
+            0.1f32,
+            1e-7,
+            std::f32::consts::PI,
+            -2.5e8,
+            f32::MIN_POSITIVE,
+        ] {
             let s = to_string(&x).unwrap();
             let back: f32 = from_str(&s).unwrap();
             assert_eq!(back, x, "value {x} via {s}");
