@@ -9,14 +9,14 @@
 //! Compare two snapshots with the `perf_check` binary.
 //!
 //! ```text
-//! cargo run --release -p tspn-bench --bin perf_snapshot            # writes BENCH_3.json
+//! cargo run --release -p tspn-bench --bin perf_snapshot            # writes BENCH_4.json
 //! cargo run --release -p tspn-bench --bin perf_snapshot -- --check # quick run, no file
 //! cargo run --release -p tspn-bench --bin perf_snapshot -- --out results/bench.json
 //! ```
 //!
 //! The serving-layer metrics (`serve_p50_us`/`serve_p99_us`/`serve_qps`)
 //! are appended into the same snapshot file by the `serve_bench` binary
-//! (`--merge BENCH_3.json`), which drives a real `tspn-serve` socket loop.
+//! (`--merge BENCH_4.json`), which drives a real `tspn-serve` socket loop.
 
 use std::collections::HashSet;
 use std::time::Instant;
@@ -42,7 +42,7 @@ struct Metric {
     repeats: usize,
 }
 
-/// The whole snapshot, serialised to `BENCH_3.json`.
+/// The whole snapshot, serialised to `BENCH_4.json`.
 #[derive(Debug, Clone, Serialize)]
 struct Snapshot {
     /// Snapshot schema/PR generation marker.
@@ -75,10 +75,10 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_3.json".to_string());
+        .unwrap_or_else(|| "BENCH_4.json".to_string());
     let out_path = if std::path::Path::new(&out_arg).is_dir() {
         std::path::Path::new(&out_arg)
-            .join("BENCH_3.json")
+            .join("BENCH_4.json")
             .to_string_lossy()
             .into_owned()
     } else {
@@ -177,8 +177,26 @@ fn main() {
     let predict_secs = time_best(repeats, || {
         std::hint::black_box(trainer.model.predict(&trainer.ctx, &sample, &tables));
     });
-    drop(tables);
     record("predict_one", predict_secs, repeats);
+
+    // --- Padded batched forward (one [batch, seq, dm] tape) ---
+    let fb_batch: Vec<_> = samples
+        .iter()
+        .take(if quick { 32 } else { 64 })
+        .copied()
+        .collect();
+    let fb_secs = time_best(repeats, || {
+        tspn_tensor::Tensor::no_grad(|| {
+            std::hint::black_box(trainer.model.forward_batch(
+                &trainer.ctx,
+                &fb_batch,
+                &tables,
+                false,
+            ));
+        });
+    });
+    drop(tables);
+    record("forward_batch", fb_secs, repeats);
 
     // --- Batched CNN tile embedding (the Me1 hot path) ---
     let mut rng = StdRng::seed_from_u64(2);
@@ -218,7 +236,7 @@ fn main() {
     record("evaluate_test_split", eval_secs, repeats.min(3));
 
     let snapshot = Snapshot {
-        generation: 3,
+        generation: 4,
         threads: parallel::num_threads(),
         metrics,
         pool_hit_rate: pool::stats().hit_rate(),

@@ -1,0 +1,352 @@
+//! The batched, masked forward: one `[batch, seq, dm]` tape shared by
+//! training, evaluation, and serving.
+//!
+//! [`TspnRa::forward_batch`] runs a whole batch of samples through a
+//! single computation tape. Sequence tensors use a **dense jagged**
+//! layout: sample `b`'s variable-length prefix occupies rows
+//! `offsets[b] .. offsets[b]+lens[b]` of a `[ΣlenS, dm]` matrix, so the
+//! row-wise ops (affines, layer norms, softmaxes) never touch a padding
+//! row. Only the attention *score* matrices pad — to the batch maximum
+//! `S` columns, masked additively with `-1e9` — and the jagged batched
+//! GEMMs ([`Tensor::bmm_nt_jagged`]) compute each sample's live block
+//! only. The two-step scorer runs over zero-padded candidate blocks.
+//! [`TspnRa::loss_batch`] and [`TspnRa::predict_many`] put the batched
+//! tape under the training loss and the inference ranking respectively.
+//!
+//! ## Contract with the per-sample reference
+//!
+//! [`TspnRa::forward`] / [`TspnRa::loss`] / [`TspnRa::predict`] remain
+//! the per-sample reference implementation. The batched path performs,
+//! per sample, exactly the same arithmetic in the same order (see
+//! `tspn_tensor::ops::batched` for why padding cannot perturb an
+//! IEEE-754 result), so:
+//!
+//! * per-sample **losses** and **forward outputs** are bitwise identical
+//!   to the reference at every batch size and thread count;
+//! * **predictions/rankings** are bitwise identical likewise;
+//! * **gradients** are bitwise identical to the reference for a batch of
+//!   one, and bitwise thread-count-invariant at every batch size. For
+//!   multi-sample batches the gradient *values* agree with the reference
+//!   to float associativity: shared parameters and tables receive the
+//!   same per-sample contributions, but grouped per batched op instead
+//!   of per sample, so the last bits of the sums may differ (the
+//!   property test pins this down with a tight relative tolerance).
+//!
+//! Training dropout draws its masks from the model RNG in the exact
+//! per-sample order (sample 0's tile mask, sample 0's POI mask, sample
+//! 1's tile mask, …) and never consumes randomness for padding, so a
+//! fixed seed reproduces the serial reference stream.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use tspn_data::{time_slot, PoiId, Sample, Visit};
+use tspn_tensor::{cosine_scores, key_padding_mask, pool, Tensor};
+
+use crate::context::SpatialContext;
+use crate::model::{descending_order, top_k_indices, BatchTables, Prediction, TspnRa};
+
+/// The fused output vectors of one batched forward.
+pub struct BatchForward {
+    /// Fused tile queries `h_out_τ`, one row per sample: `[B, dm]`.
+    pub h_out_t: Tensor,
+    /// Fused POI queries `h_out_p`: `[B, dm]`.
+    pub h_out_p: Tensor,
+}
+
+impl TspnRa {
+    /// Runs the network over a whole batch of samples at once, returning
+    /// each sample's fused output vectors as rows of `[B, dm]` matrices.
+    /// Row `b` is bitwise identical to what [`TspnRa::forward`] returns
+    /// for `samples[b]` (see the module docs for the full contract).
+    pub fn forward_batch(
+        &self,
+        ctx: &SpatialContext,
+        samples: &[Sample],
+        tables: &BatchTables,
+        training: bool,
+    ) -> BatchForward {
+        let b = samples.len();
+        assert!(b >= 1, "forward_batch needs a non-empty batch");
+        let dm = self.config.dm;
+        let prefixes: Vec<&[Visit]> = samples.iter().map(|s| self.prefix_visits(ctx, s)).collect();
+        for p in &prefixes {
+            assert!(!p.is_empty(), "sample with empty prefix");
+        }
+        let lens: Vec<usize> = prefixes.iter().map(|p| p.len()).collect();
+        let s_max = *lens.iter().max().expect("non-empty batch");
+        // Dense jagged layout: sample `b`'s positions occupy rows
+        // `offsets[b] .. offsets[b]+lens[b]` of every `[T, dm]` sequence
+        // tensor — no padding rows exist anywhere in the batch.
+        let total: usize = lens.iter().sum();
+        let mut offsets = Vec::with_capacity(b);
+        {
+            let mut next = 0usize;
+            for &len in &lens {
+                offsets.push(next);
+                next += len;
+            }
+        }
+
+        // --- Sequence embedding: dense gathers ---
+        let poi_rows: Vec<usize> = prefixes
+            .iter()
+            .flat_map(|pfx| pfx.iter().map(|v| v.poi.0))
+            .collect();
+        let tile_rows: Vec<usize> = prefixes
+            .iter()
+            .flat_map(|pfx| pfx.iter().map(|v| ctx.poi_leaf_node(v.poi).0))
+            .collect();
+        let mut h_tile = tables.tiles.gather_rows(&tile_rows);
+        let mut h_poi = tables.pois.gather_rows(&poi_rows);
+
+        if self.config.variant.st_encoders {
+            let slot_rows: Vec<usize> = prefixes
+                .iter()
+                .flat_map(|pfx| pfx.iter().map(|v| time_slot(v.time)))
+                .collect();
+            h_tile = h_tile
+                .add(&self.spatial_codes.gather_rows(&poi_rows))
+                .add(&self.temporal_tile.slots.weight.gather_rows(&slot_rows));
+            h_poi = h_poi.add(&self.temporal_poi.slots.weight.gather_rows(&slot_rows));
+        }
+        if training && self.dropout.p > 0.0 {
+            // One mask tensor per modality, drawn in the per-sample
+            // reference order (tile block then POI block, sample by
+            // sample); the dense layout consumes no randomness for
+            // padding because there is none.
+            let keep = 1.0 - self.dropout.p;
+            let scale = 1.0 / keep;
+            let mut tile_mask = pool::take_uninit(total * dm);
+            let mut poi_mask = pool::take_uninit(total * dm);
+            {
+                let mut rng = self.rng.borrow_mut();
+                let mut draw = |buf: &mut [f32]| {
+                    for v in buf.iter_mut() {
+                        *v = if rng.gen::<f32>() < keep { scale } else { 0.0 };
+                    }
+                };
+                for (&off, &len) in offsets.iter().zip(&lens) {
+                    draw(&mut tile_mask[off * dm..(off + len) * dm]);
+                    draw(&mut poi_mask[off * dm..(off + len) * dm]);
+                }
+            }
+            h_tile = h_tile.mul(&Tensor::from_vec(tile_mask, vec![total, dm]));
+            h_poi = h_poi.mul(&Tensor::from_vec(poi_mask, vec![total, dm]));
+        }
+
+        // --- Historical graph knowledge (per sample; the QR-P graphs are
+        // ragged and structurally irregular). Within one batched call,
+        // samples from the same trajectory share one encoding tape.
+        let mut memo: HashMap<(usize, usize), (Option<Tensor>, Option<Tensor>)> = HashMap::new();
+        let mut hist_t: Vec<Option<Tensor>> = Vec::with_capacity(b);
+        let mut hist_p: Vec<Option<Tensor>> = Vec::with_capacity(b);
+        for sample in samples {
+            let key = (sample.user_index, sample.traj_index);
+            let enc = match memo.get(&key) {
+                Some(e) => e.clone(),
+                None => {
+                    let e = self.history_encodings(ctx, sample, tables, training);
+                    memo.insert(key, e.clone());
+                    e
+                }
+            };
+            hist_t.push(enc.0);
+            hist_p.push(enc.1);
+        }
+
+        // --- Fusion (one causal mask shared by both modules) ---
+        let causal = tspn_tensor::jagged_causal_mask(&lens, s_max);
+        let fused_t = self
+            .mp1
+            .forward_batch(&h_tile, &offsets, &lens, s_max, &hist_t, &causal);
+        let fused_p = self
+            .mp2
+            .forward_batch(&h_poi, &offsets, &lens, s_max, &hist_p, &causal);
+
+        // --- Pointer residual over each sample's visited set ---
+        let mut visited_tile_groups: Vec<Vec<usize>> = Vec::with_capacity(b);
+        let mut visited_poi_groups: Vec<Vec<usize>> = Vec::with_capacity(b);
+        for (sample, prefix) in samples.iter().zip(&prefixes) {
+            let mut visited_tiles: Vec<usize> = Vec::new();
+            let mut visited_pois: Vec<usize> = Vec::new();
+            for v in self.history_visits(ctx, sample).iter().chain(prefix.iter()) {
+                let t = ctx.poi_leaf_node(v.poi).0;
+                if !visited_tiles.contains(&t) {
+                    visited_tiles.push(t);
+                }
+                if !visited_pois.contains(&v.poi.0) {
+                    visited_pois.push(v.poi.0);
+                }
+            }
+            visited_tile_groups.push(visited_tiles);
+            visited_poi_groups.push(visited_pois);
+        }
+        let h_out_t = pointer_residual_batch(&fused_t, &tables.tiles, &visited_tile_groups);
+        let h_out_p = pointer_residual_batch(&fused_p, &tables.pois, &visited_poi_groups);
+        BatchForward { h_out_t, h_out_p }
+    }
+
+    /// Training losses for a whole batch as a `[B]` tensor of per-sample
+    /// losses (Eq. 8 each). Element `b` is bitwise identical to
+    /// `self.loss(ctx, &samples[b], tables)`; reduce with
+    /// `sum_all().scale(1/B)` to reproduce the serial batch loss's exact
+    /// summation order.
+    pub fn loss_batch(
+        &self,
+        ctx: &SpatialContext,
+        samples: &[Sample],
+        tables: &BatchTables,
+    ) -> Tensor {
+        let b = samples.len();
+        let out = self.forward_batch(ctx, samples, tables, true);
+        let targets: Vec<Visit> = samples
+            .iter()
+            .map(|s| ctx.dataset.sample_target(s))
+            .collect();
+        let (s, m) = (self.config.arcface_s, self.config.arcface_m);
+
+        if !self.config.variant.two_step {
+            // Single-step ablation: rank every POI directly.
+            let cos = out.h_out_p.cosine_many_to_rows(&tables.pois);
+            let tg: Vec<usize> = targets.iter().map(|t| t.poi.0).collect();
+            let lens = vec![ctx.dataset.pois.len(); b];
+            return cos.arcface_loss_rows(&tg, &lens, s, m);
+        }
+
+        // Step 1: tile loss over all leaf candidates (table shared by the
+        // whole batch).
+        let leaf_table = self.leaf_table(ctx, tables);
+        let cos_t = out.h_out_t.cosine_many_to_rows(&leaf_table);
+        let target_leafs: Vec<usize> = targets.iter().map(|t| ctx.poi_leaf_rank(t.poi)).collect();
+        let num_leaves = leaf_table.rows();
+        let loss_t = cos_t.arcface_loss_rows(&target_leafs, &vec![num_leaves; b], s, m);
+
+        // Step 2: POI loss over each sample's own top-K tile candidates.
+        let mut cand_groups: Vec<Vec<usize>> = Vec::with_capacity(b);
+        let mut cand_lens: Vec<usize> = Vec::with_capacity(b);
+        let mut target_idx: Vec<usize> = Vec::with_capacity(b);
+        {
+            let scores = cos_t.data();
+            for (bi, target) in targets.iter().enumerate() {
+                let row = &scores[bi * num_leaves..(bi + 1) * num_leaves];
+                let top = top_k_indices(row, self.config.top_k);
+                let mut candidate_pois: Vec<PoiId> = top
+                    .iter()
+                    .flat_map(|&leaf| ctx.leaf_pois[leaf].iter().copied())
+                    .collect();
+                if !candidate_pois.contains(&target.poi) {
+                    candidate_pois.push(target.poi);
+                }
+                target_idx.push(
+                    candidate_pois
+                        .iter()
+                        .position(|&p| p == target.poi)
+                        .expect("target ensured above"),
+                );
+                cand_lens.push(candidate_pois.len());
+                cand_groups.push(candidate_pois.into_iter().map(|p| p.0).collect());
+            }
+        }
+        let c_max = *cand_lens.iter().max().expect("non-empty batch");
+        let cand_table = tables.pois.gather_rows_padded(&cand_groups, c_max);
+        let cos_p = out.h_out_p.cosine_grouped(&cand_table, &cand_lens);
+        let loss_p = cos_p.arcface_loss_rows(&target_idx, &cand_lens, s, m);
+
+        loss_t.scale(self.config.beta).add(&loss_p)
+    }
+
+    /// Batched inference: the full two-step ranking for every query
+    /// `(sample, k)`, from **one** padded batched forward. Each returned
+    /// [`Prediction`] is bitwise identical to
+    /// [`TspnRa::predict_with_k`] on the same sample.
+    ///
+    /// Runs under [`Tensor::no_grad`] like the per-sample predictor.
+    pub fn predict_many(
+        &self,
+        ctx: &SpatialContext,
+        queries: &[(Sample, usize)],
+        tables: &BatchTables,
+    ) -> Vec<Prediction> {
+        Tensor::no_grad(|| self.predict_many_inner(ctx, queries, tables))
+    }
+
+    fn predict_many_inner(
+        &self,
+        ctx: &SpatialContext,
+        queries: &[(Sample, usize)],
+        tables: &BatchTables,
+    ) -> Vec<Prediction> {
+        let samples: Vec<Sample> = queries.iter().map(|q| q.0).collect();
+        let out = self.forward_batch(ctx, &samples, tables, false);
+        let dm = self.config.dm;
+        let ht = out.h_out_t.data();
+        let hp = out.h_out_p.data();
+
+        if !self.config.variant.two_step {
+            let pois = tables.pois.to_vec();
+            return (0..samples.len())
+                .map(|b| {
+                    let scores = cosine_scores(&hp[b * dm..(b + 1) * dm], &pois, dm);
+                    let order = descending_order(&scores);
+                    Prediction {
+                        tile_ranking: Vec::new(),
+                        candidate_count: order.len(),
+                        poi_ranking: order.into_iter().map(PoiId).collect(),
+                    }
+                })
+                .collect();
+        }
+
+        // Leaf table and POI buffers computed once for the whole batch —
+        // the values the per-sample path re-gathers per call.
+        let leaf_table = self.leaf_table(ctx, tables).to_vec();
+        let pois = tables.pois.data();
+        queries
+            .iter()
+            .enumerate()
+            .map(|(b, &(_, k))| {
+                // Step 1: rank all leaves by cosine similarity.
+                let t_scores = cosine_scores(&ht[b * dm..(b + 1) * dm], &leaf_table, dm);
+                let tile_ranking = descending_order(&t_scores);
+                // Step 2: candidates from the top-K tiles.
+                let top: Vec<usize> = tile_ranking.iter().copied().take(k).collect();
+                let candidates: Vec<PoiId> = top
+                    .iter()
+                    .flat_map(|&leaf| ctx.leaf_pois[leaf].iter().copied())
+                    .collect();
+                let mut cand_vals = pool::scratch_uninit(candidates.len() * dm);
+                for (r, p) in candidates.iter().enumerate() {
+                    cand_vals[r * dm..(r + 1) * dm]
+                        .copy_from_slice(&pois[p.0 * dm..(p.0 + 1) * dm]);
+                }
+                let p_scores = cosine_scores(&hp[b * dm..(b + 1) * dm], &cand_vals, dm);
+                let order = descending_order(&p_scores);
+                Prediction {
+                    tile_ranking,
+                    candidate_count: candidates.len(),
+                    poi_ranking: order.into_iter().map(|i| candidates[i]).collect(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Batched `h + softmax(2·h·Eᵀ)·E·4` over each sample's own visited rows
+/// (see `TspnRa::pointer_residual` for the rationale): `h` is `[B, dm]`,
+/// `groups[b]` names sample `b`'s visited rows in `table`.
+fn pointer_residual_batch(h: &Tensor, table: &Tensor, groups: &[Vec<usize>]) -> Tensor {
+    let b = groups.len();
+    let lens: Vec<usize> = groups.iter().map(Vec::len).collect();
+    let v_max = *lens.iter().max().expect("non-empty batch");
+    // Visited sets are never empty: the prefix itself is visited.
+    assert!(v_max >= 1, "pointer residual with empty visited sets");
+    let memory = table.gather_rows_padded(groups, v_max); // [B·v_max, dm]
+    let ones = vec![1usize; b];
+    // Scale 2.0 = sharper pointing, folded into the softmax pass.
+    let alpha = h
+        .bmm_nt_ragged(&memory, b, None, &ones, &lens)
+        .softmax_rows_scaled_masked(2.0, Some(&key_padding_mask(&lens, 1, v_max)));
+    h.add(&alpha.bmm_ragged(&memory, b, None, &ones, &lens).scale(4.0))
+}

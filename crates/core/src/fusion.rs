@@ -15,7 +15,7 @@
 use rand::Rng;
 
 use tspn_tensor::nn::{LayerNorm, Linear, Module};
-use tspn_tensor::{causal_mask, Tensor};
+use tspn_tensor::{causal_mask, jagged_key_padding_mask, Tensor};
 
 /// One attention block (`AB_i` in the paper).
 pub struct AttentionBlock {
@@ -53,9 +53,81 @@ impl AttentionBlock {
     /// Scaled dot-product attention: `softmax(QKᵀ/√dm [+ mask])·V`.
     fn attend(&self, q: &Tensor, k: &Tensor, v: &Tensor, mask: Option<&Tensor>) -> Tensor {
         let scale = 1.0 / (self.dm as f32).sqrt();
-        let scores = q.matmul_nt(k).scale(scale);
-        let att = scores.softmax_rows_masked(mask);
+        let att = q.matmul_nt(k).softmax_rows_scaled_masked(scale, mask);
         att.matmul(v)
+    }
+
+    /// Applies the block over a **dense jagged** batch `[T, dm]`
+    /// (`T = Σ lens`, sample `b`'s live positions at rows
+    /// `offsets[b] .. offsets[b]+lens[b]` — no padding rows exist).
+    /// Performs, per sample, exactly the arithmetic of
+    /// [`AttentionBlock::forward`]: the jagged score products compute
+    /// each sample's live block only, the causal/key-padding masks hide
+    /// the dead score columns, and samples without history bypass the
+    /// cross-attention stage via a row partition (gather → cross-attend
+    /// → scatter back), as the per-sample path's branch does.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn forward_batch(
+        &self,
+        h_seq: &Tensor,
+        offsets: &[usize],
+        lens: &[usize],
+        s_max: usize,
+        causal: &Tensor,
+        hist: Option<&HistCtx>,
+    ) -> Tensor {
+        let scale = 1.0 / (self.dm as f32).sqrt();
+        // 1. Masked self-attention over each sample's live block.
+        let q = self.wq0.forward(h_seq);
+        let k = self.wk0.forward(h_seq);
+        let v = self.wv0.forward(h_seq);
+        let att = q
+            .bmm_nt_jagged(&k, s_max, offsets, lens, offsets, lens)
+            .softmax_rows_scaled_masked(scale, Some(causal));
+        let zm = att.bmm_jagged(&v, offsets, lens, lens, offsets);
+        // 2. Add & normalise.
+        let h_bar = self.ln1.forward(&h_seq.add(&zm));
+        // 3. Cross-attention for the samples that carry history.
+        let fused = match hist {
+            None => h_bar,
+            Some(hc) => {
+                let all = hc.sel_rows.len() == h_bar.rows();
+                let sub = if all {
+                    h_bar.clone()
+                } else {
+                    h_bar.gather_rows(&hc.sel_rows)
+                };
+                let qh = self.wq1.forward(&sub);
+                let kh = self.wk1.forward(&hc.stacked);
+                let vh = self.wv1.forward(&hc.stacked);
+                let att_h = qh
+                    .bmm_nt_jagged(
+                        &kh,
+                        hc.h_max,
+                        &hc.q_starts,
+                        &hc.q_lens,
+                        &hc.uniq_starts,
+                        &hc.hist_lens,
+                    )
+                    .softmax_rows_scaled_masked(scale, Some(&hc.mask));
+                let zh = att_h.bmm_jagged(
+                    &vh,
+                    &hc.q_starts,
+                    &hc.q_lens,
+                    &hc.hist_lens,
+                    &hc.uniq_starts,
+                );
+                let crossed = self.ln2.forward(&sub.add(&zh));
+                if all {
+                    crossed
+                } else {
+                    Tensor::concat_rows(&[crossed, h_bar]).gather_rows(&hc.perm)
+                }
+            }
+        };
+        // 4. Feed-forward with residual.
+        let zf = self.ff.forward(&fused).relu();
+        self.ln3.forward(&fused.add(&zf))
     }
 
     /// Applies the block: `(H_S [n, dm], H_◁ [m, dm]?) → [n, dm]`.
@@ -109,6 +181,38 @@ impl Module for AttentionBlock {
     }
 }
 
+/// Shared per-batch cross-attention bookkeeping, computed once per
+/// [`FusionModule::forward_batch`] call and reused by every block: the
+/// deduplicated zero-padded history stack, its key-padding mask, and the
+/// row partition for batches where only some samples carry history.
+pub(crate) struct HistCtx {
+    /// `[U·H_max, dm]` zero-padded stack of the **unique** history
+    /// encodings (samples of one trajectory share one tensor, so the K/V
+    /// projections run once per trajectory, not once per sample).
+    stacked: Tensor,
+    /// Padded rows per stacked block.
+    h_max: usize,
+    /// Stacked-row start of each history-bearing sample's block
+    /// (`uniq[i]·h_max`).
+    uniq_starts: Vec<usize>,
+    /// `[Σq_lens, H_max]` additive key-padding mask (per query row,
+    /// masking its block's padding).
+    mask: Tensor,
+    /// Dense row start of each history-bearing sample inside `sub`.
+    q_starts: Vec<usize>,
+    /// Live sequence positions per history-bearing sample (= its prefix
+    /// length) — the jagged row extents of the cross products.
+    q_lens: Vec<usize>,
+    /// Live history rows per history-bearing sample (its block's length).
+    hist_lens: Vec<usize>,
+    /// Dense row indices of the history-bearing samples in the `[T, dm]`
+    /// layout (what `sub` gathers when the batch is mixed).
+    sel_rows: Vec<usize>,
+    /// Row permutation reassembling `[cross_out ++ h_bar]` into the full
+    /// `[T, dm]` tensor.
+    perm: Vec<usize>,
+}
+
 /// A fusion module (`MP1` for tiles, `MP2` for POIs): `N` blocks, returning
 /// the final position's vector `h_out` used for prediction.
 pub struct FusionModule {
@@ -124,6 +228,96 @@ impl FusionModule {
                 .map(|_| AttentionBlock::new(rng, dm))
                 .collect(),
         }
+    }
+
+    /// Runs all blocks over a **dense jagged** batch `[T, dm]`
+    /// (`T = Σ lens`; sample `b`'s live positions at rows
+    /// `offsets[b] .. offsets[b]+lens[b]`, no padding rows) and returns
+    /// each sample's last position as `[B, dm]` — the batched
+    /// `h_out = H_out[−1]`. `history[b]` is sample `b`'s `H_◁` (or
+    /// `None`, which skips cross-attention for exactly that sample, as
+    /// the per-sample path does).
+    pub(crate) fn forward_batch(
+        &self,
+        h_seq: &Tensor,
+        offsets: &[usize],
+        lens: &[usize],
+        s_max: usize,
+        history: &[Option<Tensor>],
+        causal: &Tensor,
+    ) -> Tensor {
+        let batch = lens.len();
+        assert_eq!(offsets.len(), batch, "one offset per sample");
+        assert_eq!(history.len(), batch, "one history slot per sample");
+        let idx: Vec<usize> = (0..batch).filter(|&b| history[b].is_some()).collect();
+        let hist = if idx.is_empty() {
+            None
+        } else {
+            // Deduplicate by tensor identity: the model memoises history
+            // encodings per trajectory, so repeated samples share blocks.
+            let mut parts: Vec<Tensor> = Vec::new();
+            let mut uniq: Vec<usize> = Vec::with_capacity(idx.len());
+            for &b in &idx {
+                let t = history[b].as_ref().expect("filtered above");
+                let pos = parts
+                    .iter()
+                    .position(|u| u.id() == t.id())
+                    .unwrap_or_else(|| {
+                        parts.push(t.clone());
+                        parts.len() - 1
+                    });
+                uniq.push(pos);
+            }
+            let part_lens: Vec<usize> = parts.iter().map(Tensor::rows).collect();
+            let hist_lens: Vec<usize> = uniq.iter().map(|&u| part_lens[u]).collect();
+            let h_max = *part_lens.iter().max().expect("non-empty");
+            let stacked = Tensor::stack_rows_padded(&parts, h_max);
+            let uniq_starts: Vec<usize> = uniq.iter().map(|&u| u * h_max).collect();
+            let q_lens: Vec<usize> = idx.iter().map(|&b| lens[b]).collect();
+            let mask = jagged_key_padding_mask(&q_lens, &hist_lens, h_max);
+            // Dense sub-layout of the history-bearing samples.
+            let mut q_starts = Vec::with_capacity(idx.len());
+            let mut next = 0usize;
+            for &ql in &q_lens {
+                q_starts.push(next);
+                next += ql;
+            }
+            let sel_rows: Vec<usize> = idx
+                .iter()
+                .flat_map(|&b| offsets[b]..offsets[b] + lens[b])
+                .collect();
+            // fused row (b, u) comes from cross_out when b has history,
+            // from h_bar (offset by the cross_out rows) otherwise.
+            let total: usize = lens.iter().sum();
+            let mut perm = Vec::with_capacity(total);
+            for b in 0..batch {
+                match idx.iter().position(|&x| x == b) {
+                    Some(j) => perm.extend(q_starts[j]..q_starts[j] + q_lens[j]),
+                    None => perm.extend(next + offsets[b]..next + offsets[b] + lens[b]),
+                }
+            }
+            Some(HistCtx {
+                stacked,
+                h_max,
+                uniq_starts,
+                mask,
+                q_starts,
+                q_lens,
+                hist_lens,
+                sel_rows,
+                perm,
+            })
+        };
+        let mut h = h_seq.clone();
+        for block in &self.blocks {
+            h = block.forward_batch(&h, offsets, lens, s_max, causal, hist.as_ref());
+        }
+        let last: Vec<usize> = offsets
+            .iter()
+            .zip(lens)
+            .map(|(&o, &len)| o + len - 1)
+            .collect();
+        h.gather_rows(&last)
     }
 
     /// Runs all blocks and returns the last sequence position `[1, dm]`

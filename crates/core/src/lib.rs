@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 mod config;
 mod context;
 pub mod embed;
@@ -34,6 +35,7 @@ mod model;
 mod predictor;
 mod trainer;
 
+pub use batch::BatchForward;
 pub use config::{Partition, TspnConfig, TspnVariant};
 pub use context::SpatialContext;
 pub use model::{descending_order, top_k_indices, BatchTables, Prediction, TspnRa};

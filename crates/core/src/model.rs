@@ -65,16 +65,16 @@ pub struct TspnRa {
     me1: Me1,
     tile_fallback: EmbeddingTable,
     me2: Me2,
-    temporal_tile: TemporalEncoder,
-    temporal_poi: TemporalEncoder,
+    pub(crate) temporal_tile: TemporalEncoder,
+    pub(crate) temporal_poi: TemporalEncoder,
     hgat: Hgat,
-    mp1: FusionModule,
-    mp2: FusionModule,
-    dropout: Dropout,
+    pub(crate) mp1: FusionModule,
+    pub(crate) mp2: FusionModule,
+    pub(crate) dropout: Dropout,
     /// Pre-scaled sinusoidal code per POI location (`0.1 · M_s(loc)`),
     /// gathered per prefix instead of re-running the trig encoder on
     /// every forward pass. Row `i` = POI `i`.
-    spatial_codes: Tensor,
+    pub(crate) spatial_codes: Tensor,
     qrp_cache: RefCell<HashMap<(usize, usize), Rc<QrpGraph>>>,
     /// Inference-only memo of [`TspnRa::encode_history`] outputs, keyed by
     /// the tile-table tensor id it was computed against (history encodings
@@ -82,7 +82,7 @@ pub struct TspnRa {
     /// trajectory) encodings)`. Populated only under
     /// [`Tensor::no_grad`], where the cached tensors carry no tape.
     history_cache: RefCell<HistoryCache>,
-    rng: RefCell<StdRng>,
+    pub(crate) rng: RefCell<StdRng>,
 }
 
 impl TspnRa {
@@ -207,7 +207,11 @@ impl TspnRa {
     }
 
     /// The prefix of a sample, truncated to the configured window.
-    fn prefix_visits<'a>(&self, ctx: &'a SpatialContext, sample: &Sample) -> &'a [Visit] {
+    pub(crate) fn prefix_visits<'a>(
+        &self,
+        ctx: &'a SpatialContext,
+        sample: &Sample,
+    ) -> &'a [Visit] {
         let prefix = ctx.dataset.sample_prefix(sample);
         let start = prefix.len().saturating_sub(self.config.max_prefix);
         &prefix[start..]
@@ -215,7 +219,7 @@ impl TspnRa {
 
     /// The concatenated historical visits of a sample, truncated to the
     /// most recent `max_history`.
-    fn history_visits(&self, ctx: &SpatialContext, sample: &Sample) -> Vec<Visit> {
+    pub(crate) fn history_visits(&self, ctx: &SpatialContext, sample: &Sample) -> Vec<Visit> {
         let mut visits: Vec<Visit> = ctx
             .dataset
             .sample_history(sample)
@@ -306,6 +310,43 @@ impl TspnRa {
         (ht, hp)
     }
 
+    /// A sample's `(H_T◁, H_P◁)` history encodings. Under no-grad
+    /// inference the encodings are pure functions of `(graph, tables)`;
+    /// memoise them per trajectory so evaluating many prefixes of one
+    /// trajectory runs the HGAT once.
+    pub(crate) fn history_encodings(
+        &self,
+        ctx: &SpatialContext,
+        sample: &Sample,
+        tables: &BatchTables,
+        training: bool,
+    ) -> HistoryEncodings {
+        match self.qrp_graph(ctx, sample) {
+            Some(graph) => {
+                if !training && Tensor::grad_suspended() {
+                    let key = (sample.user_index, sample.traj_index);
+                    let tables_id = tables.tiles.id();
+                    let mut cache = self.history_cache.borrow_mut();
+                    if cache.0 != tables_id {
+                        cache.0 = tables_id;
+                        cache.1.clear();
+                    }
+                    match cache.1.get(&key) {
+                        Some((t, p)) => (t.clone(), p.clone()),
+                        None => {
+                            let enc = self.encode_history(&graph, tables);
+                            cache.1.insert(key, enc.clone());
+                            enc
+                        }
+                    }
+                } else {
+                    self.encode_history(&graph, tables)
+                }
+            }
+            None => (None, None),
+        }
+    }
+
     /// Runs the network up to the fused output vectors
     /// `(h_out_τ [1, dm], h_out_p [1, dm])`.
     pub fn forward(
@@ -344,33 +385,7 @@ impl TspnRa {
         debug_assert_eq!(h_tile.cols(), dm);
 
         // --- Historical graph knowledge ---
-        // Under no-grad inference the encodings are pure functions of
-        // (graph, tables); memoise them per trajectory so evaluating many
-        // prefixes of one trajectory runs the HGAT once.
-        let (hist_t, hist_p) = match self.qrp_graph(ctx, sample) {
-            Some(graph) => {
-                if !training && Tensor::grad_suspended() {
-                    let key = (sample.user_index, sample.traj_index);
-                    let tables_id = tables.tiles.id();
-                    let mut cache = self.history_cache.borrow_mut();
-                    if cache.0 != tables_id {
-                        cache.0 = tables_id;
-                        cache.1.clear();
-                    }
-                    match cache.1.get(&key) {
-                        Some((t, p)) => (t.clone(), p.clone()),
-                        None => {
-                            let enc = self.encode_history(&graph, tables);
-                            cache.1.insert(key, enc.clone());
-                            enc
-                        }
-                    }
-                } else {
-                    self.encode_history(&graph, tables)
-                }
-            }
-            None => (None, None),
-        };
+        let (hist_t, hist_p) = self.history_encodings(ctx, sample, tables, training);
 
         // --- Fusion ---
         let fused_t = self.mp1.forward(&h_tile, hist_t.as_ref());
@@ -407,13 +422,13 @@ impl TspnRa {
             return h.clone();
         }
         let memory = table.gather_rows(rows); // [m, dm]
-        let scores = h.matmul_nt(&memory).scale(2.0); // sharper pointing
-        let alpha = scores.softmax_rows(); // [1, m]
+                                              // Scale 2.0 = sharper pointing, folded into the softmax pass.
+        let alpha = h.matmul_nt(&memory).softmax_rows_scaled_masked(2.0, None); // [1, m]
         h.add(&alpha.matmul(&memory).scale(4.0))
     }
 
     /// Leaf-tile embedding table (rows follow `ctx.leaves` order).
-    fn leaf_table(&self, ctx: &SpatialContext, tables: &BatchTables) -> Tensor {
+    pub(crate) fn leaf_table(&self, ctx: &SpatialContext, tables: &BatchTables) -> Tensor {
         let rows: Vec<usize> = ctx.leaves.iter().map(|l| l.0).collect();
         tables.tiles.gather_rows(&rows)
     }

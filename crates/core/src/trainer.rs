@@ -5,9 +5,13 @@
 //! ([`tspn_tensor::parallel`]), and every pool thread owns a full model
 //! **replica** (the autodiff tape is single-threaded `Rc`, so replicas —
 //! cached per thread and synchronised by parameter snapshot — are how the
-//! tape scales across cores). Shard work is dispatched per batch; nothing
-//! occupies a worker between batches, so concurrent trainers and
-//! evaluations interleave freely on the shared pool.
+//! tape scales across cores). Within a shard the samples no longer run
+//! one at a time: each shard (and each serial batch) is one padded,
+//! masked batched forward ([`crate::TspnRa::forward_batch`]), so the
+//! ~50-node-per-sample tape overhead is paid once per batch. Shard work
+//! is dispatched per batch; nothing occupies a worker between batches,
+//! so concurrent trainers and evaluations interleave freely on the
+//! shared pool.
 //!
 //! ## Determinism contract
 //!
@@ -51,6 +55,13 @@ static NEXT_TRAINER_ID: AtomicU64 = AtomicU64::new(1);
 /// covers the common case (a trainer plus a second model under
 /// comparison) without letting long test runs pin arbitrary memory.
 const MAX_CACHED_REPLICAS: usize = 2;
+
+/// Queries per padded batched forward on the prediction paths: large
+/// enough to amortise per-batch fixed costs, small enough to bound the
+/// padded `[chunk·S, dm]` scratch at paper scale. Per-sample results are
+/// chunk-size-invariant (bitwise), so this is purely a memory/locality
+/// knob.
+const PRED_CHUNK: usize = 64;
 
 /// One cached model replica, pinned to the thread that built it (the tape
 /// is `Rc`-based and must never migrate).
@@ -207,7 +218,9 @@ impl Trainer {
         stats
     }
 
-    /// Single-threaded reference path: one loss tape over the whole batch.
+    /// Single-threaded path: one padded batched forward per batch (the
+    /// dropout stream and the loss summation order match the retired
+    /// per-sample loop exactly, so fixed-seed runs reproduce).
     fn fit_epochs_serial(&mut self, train: &[Sample], epochs: usize) -> Vec<EpochStats> {
         let mut stats = Vec::with_capacity(epochs);
         let params = self.model.params();
@@ -223,16 +236,11 @@ impl Trainer {
                 // Tables are shared across the batch: one CNN pass over all
                 // tiles per gradient step, amortising the expensive part.
                 let tables = self.model.batch_tables(&self.ctx);
-                let mut batch_loss: Option<Tensor> = None;
-                for &i in chunk {
-                    let loss = self.model.loss(&self.ctx, &train[i], &tables);
-                    batch_loss = Some(match batch_loss {
-                        Some(acc) => acc.add(&loss),
-                        None => loss,
-                    });
-                }
-                let loss = batch_loss
-                    .expect("non-empty batch")
+                let batch: Vec<Sample> = chunk.iter().map(|&i| train[i]).collect();
+                let loss = self
+                    .model
+                    .loss_batch(&self.ctx, &batch, &tables)
+                    .sum_all()
                     .scale(1.0 / chunk.len() as f32);
                 total_loss += loss.item() as f64;
                 batches += 1;
@@ -306,15 +314,11 @@ impl Trainer {
                                 optim::zero_grad(rparams);
                                 replica.reseed_dropout(dropout_seed);
                                 let tables = replica.batch_tables(ctx);
-                                let mut acc: Option<Tensor> = None;
-                                for sample in &samples {
-                                    let loss = replica.loss(ctx, sample, &tables);
-                                    acc = Some(match acc {
-                                        Some(a) => a.add(&loss),
-                                        None => loss,
-                                    });
-                                }
-                                let loss = acc.expect("non-empty shard").scale(inv_batch);
+                                // One padded batched forward per shard.
+                                let loss = replica
+                                    .loss_batch(ctx, &samples, &tables)
+                                    .sum_all()
+                                    .scale(inv_batch);
                                 let value = loss.item();
                                 loss.backward();
                                 let grads: Vec<Vec<f32>> = rparams
@@ -442,31 +446,58 @@ impl Trainer {
         self.predict_mapped(queries, |_ctx, q, pred| TopK::from_prediction(pred, q.top))
     }
 
-    /// Serial single-query reference for [`Trainer::predict_batch`].
+    /// Single-query answer on the retained **per-sample reference path**
+    /// ([`crate::TspnRa::predict_with_k`]); the batched paths are asserted
+    /// bitwise against this.
     pub fn predict_one(&self, query: &Query) -> TopK {
-        self.predict_mapped_serial(std::slice::from_ref(query), |_ctx, q, pred| {
-            TopK::from_prediction(pred, q.top)
-        })
-        .pop()
-        .expect("one query in, one answer out")
+        let tables = self.shared_tables();
+        let pred = self
+            .model
+            .predict_with_k(&self.ctx, &query.sample, &tables, query.k);
+        TopK::from_prediction(pred, query.top)
     }
 
-    /// Serial prediction over the cached batch tables: runs the model on
-    /// this thread and maps each [`Prediction`] through `f`.
+    /// Query indices sorted by effective prefix length (ties by index):
+    /// co-batching like-length prefixes keeps the padded `[B·S, dm]`
+    /// tensors dense, and per-sample results are batch-composition
+    /// invariant (bitwise), so the ordering is purely a perf knob.
+    fn length_sorted_order(&self, queries: &[Query]) -> Vec<usize> {
+        let cap = self.model.config.max_prefix;
+        let mut order: Vec<usize> = (0..queries.len()).collect();
+        // First-trajectory samples carry no history; grouping them keeps
+        // chunks homogeneous so the fusion stack's cross-attention row
+        // partition takes its all-or-nothing fast paths.
+        order.sort_by_key(|&i| {
+            let s = &queries[i].sample;
+            (s.traj_index.min(1), s.prefix_len.min(cap), i)
+        });
+        order
+    }
+
+    /// Serial prediction over the cached batch tables: one padded batched
+    /// forward per [`PRED_CHUNK`] queries on this thread (queries
+    /// co-batched by prefix length), each [`Prediction`] mapped through
+    /// `f`; results return in query order.
     fn predict_mapped_serial<R>(
         &self,
         queries: &[Query],
         f: impl Fn(&SpatialContext, &Query, Prediction) -> R,
     ) -> Vec<R> {
         let tables = self.shared_tables();
-        queries
-            .iter()
-            .map(|q| {
-                let pred = self
-                    .model
-                    .predict_with_k(&self.ctx, &q.sample, &tables, q.k);
-                f(&self.ctx, q, pred)
-            })
+        let order = self.length_sorted_order(queries);
+        let mut out: Vec<Option<R>> = (0..queries.len()).map(|_| None).collect();
+        for chunk in order.chunks(PRED_CHUNK) {
+            let pairs: Vec<(Sample, usize)> = chunk
+                .iter()
+                .map(|&i| (queries[i].sample, queries[i].k))
+                .collect();
+            let preds = self.model.predict_many(&self.ctx, &pairs, &tables);
+            for (&i, pred) in chunk.iter().zip(preds) {
+                out[i] = Some(f(&self.ctx, &queries[i], pred));
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every query answered"))
             .collect()
     }
 
@@ -506,8 +537,12 @@ impl Trainer {
         let ctx = &self.ctx;
         let trainer_id = self.id;
         let f = &f;
+        // Shards take contiguous runs of the length-sorted order, so each
+        // shard's padded batches stay dense; results scatter back to query
+        // order below.
+        let order = self.length_sorted_order(queries);
         let per_shard = queries.len().div_ceil(workers);
-        let jobs: Vec<_> = queries
+        let jobs: Vec<_> = order
             .chunks(per_shard)
             .map(|shard| {
                 let snapshot = &snapshot;
@@ -528,22 +563,36 @@ impl Trainer {
                                 pois_shape.clone(),
                             ),
                         };
-                        shard
-                            .iter()
-                            .map(|q| {
-                                let pred = replica.predict_with_k(ctx, &q.sample, &tables, q.k);
-                                f(ctx, q, pred)
-                            })
-                            .collect::<Vec<R>>()
+                        let mut results: Vec<R> = Vec::with_capacity(shard.len());
+                        for chunk in shard.chunks(PRED_CHUNK) {
+                            let pairs: Vec<(Sample, usize)> = chunk
+                                .iter()
+                                .map(|&i| (queries[i].sample, queries[i].k))
+                                .collect();
+                            let preds = replica.predict_many(ctx, &pairs, &tables);
+                            results.extend(
+                                chunk
+                                    .iter()
+                                    .zip(preds)
+                                    .map(|(&i, pred)| f(ctx, &queries[i], pred)),
+                            );
+                        }
+                        results
                     })
                 }
             })
             .collect();
-        let results = parallel::map_scoped(jobs).into_iter().flatten().collect();
+        let flat: Vec<R> = parallel::map_scoped(jobs).into_iter().flatten().collect();
         for buf in snapshot {
             pool::give(buf);
         }
-        results
+        let mut out: Vec<Option<R>> = (0..queries.len()).map(|_| None).collect();
+        for (&i, r) in order.iter().zip(flat) {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every query answered"))
+            .collect()
     }
 
     /// Rough resident-memory estimate in bytes: parameters + Adam moments

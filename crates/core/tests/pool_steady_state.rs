@@ -41,7 +41,11 @@ fn steady_state_training_mostly_hits_the_buffer_pool() {
     let mut trainer = Trainer::new(cfg, ctx);
     let train: Vec<Sample> = samples.iter().take(16).copied().collect();
 
-    trainer.fit_epochs(&train, 1); // warm-up: first-seen lengths allocate
+    // Warm-up: first-seen lengths allocate. The dense jagged batched
+    // forward sizes its sequence tensors by each batch's total live
+    // length, so different shuffles produce different buffer lengths —
+    // a few epochs cover the length distribution.
+    trainer.fit_epochs(&train, 3);
     pool::reset_stats();
     trainer.fit_epochs(&train, 1);
     let stats = pool::stats();
@@ -49,8 +53,11 @@ fn steady_state_training_mostly_hits_the_buffer_pool() {
         stats.hits + stats.misses > 1000,
         "expected substantial pool traffic, saw {stats:?}"
     );
+    // The jagged batch tensors' lengths depend on each shuffled batch's
+    // total live positions, so a fresh shuffle keeps producing a few
+    // first-seen lengths; the bulk of the traffic must still recycle.
     assert!(
-        stats.hit_rate() > 0.9,
+        stats.hit_rate() > 0.85,
         "steady-state hit rate too low: {stats:?}"
     );
 }

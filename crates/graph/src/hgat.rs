@@ -62,6 +62,21 @@ impl HgatLayer {
     }
 
     /// Applies the layer: `h [N, in] → [N, out]` over the graph structure.
+    ///
+    /// The aggregation runs as **flat padded segmented attention**: per
+    /// edge type, every node's neighbour set is gathered into one
+    /// zero-padded `[N·D_k, ·]` block (`D_k` = the type's maximum
+    /// degree), scored in a single masked row softmax, and reduced with
+    /// one batched `[1×D_k]·[D_k×out]` product per node — a fixed ~10
+    /// tape nodes per edge type instead of ~8 per *graph node*, which is
+    /// what makes per-sample history encoding affordable inside the
+    /// batched model forward. Padding is numerically transparent: padded
+    /// keys are masked to `-1e9` (their probabilities underflow to exact
+    /// zeros) and padded neighbour features are exact zeros, so each
+    /// node's message is bit-for-bit the softmax-weighted sum over its
+    /// live neighbours; a node with no type-`k` neighbours contributes an
+    /// exact-zero message row, matching the retired per-node loop that
+    /// skipped the type entirely.
     pub fn forward(&self, graph: &QrpGraph, h: &Tensor) -> Tensor {
         let n = graph.num_nodes();
         assert_eq!(h.rows(), n, "feature rows must match graph nodes");
@@ -70,46 +85,39 @@ impl HgatLayer {
         // Self term for every node.
         let self_term = h.matmul(&self.self_weight); // [N, out]
 
-        // Per-type projections and attention score halves.
-        let mut projected = Vec::with_capacity(EdgeType::ALL.len());
-        let mut left_scores = Vec::with_capacity(EdgeType::ALL.len());
-        let mut right_scores = Vec::with_capacity(EdgeType::ALL.len());
-        for (k, _) in EdgeType::ALL.iter().enumerate() {
-            let hk = h.matmul(&self.type_weights[k]); // [N, out]
-            left_scores.push(hk.matmul(&self.attn_left[k])); // [N, 1]
-            right_scores.push(hk.matmul(&self.attn_right[k])); // [N, 1]
-            projected.push(hk);
-        }
-
-        // Message for each node: Σ_k attention-weighted neighbour sum.
-        let mut rows = Vec::with_capacity(n);
-        for i in 0..n {
-            let mut message: Option<Tensor> = None;
-            for (k, _) in EdgeType::ALL.iter().enumerate() {
-                let neigh = graph.neighbors(EdgeType::ALL[k], i);
-                if neigh.is_empty() {
-                    continue;
-                }
-                // score_j = LeakyReLU(a_l·Wh_i + a_r·Wh_j) for each neighbour.
-                let sl_i = left_scores[k].gather_rows(&[i]); // [1, 1]
-                let sr_j = right_scores[k].gather_rows(neigh).transpose(); // [1, m]
-                let scores = sr_j.add(&sl_i).leaky_relu(0.2); // broadcast scalar
-                let att = scores.softmax_rows(); // [1, m]
-                let neigh_feats = projected[k].gather_rows(neigh); // [m, out]
-                let msg = att.matmul(&neigh_feats); // [1, out]
-                message = Some(match message {
-                    Some(acc) => acc.add(&msg),
-                    None => msg,
-                });
+        let mut message: Option<Tensor> = None;
+        for (k, &ty) in EdgeType::ALL.iter().enumerate() {
+            let groups: Vec<Vec<usize>> = (0..n).map(|i| graph.neighbors(ty, i).to_vec()).collect();
+            let degrees: Vec<usize> = groups.iter().map(Vec::len).collect();
+            let d_max = degrees.iter().max().copied().unwrap_or(0);
+            if d_max == 0 {
+                continue; // no edges of this type anywhere in the graph
             }
-            let self_i = self_term.slice_rows(i, i + 1); // [1, out]
-            let combined = match message {
-                Some(m) => m.add(&self_i),
-                None => self_i,
-            };
-            rows.push(combined);
+            let hk = h.matmul(&self.type_weights[k]); // [N, out]
+            let sl = hk.matmul(&self.attn_left[k]); // [N, 1]
+            let sr = hk.matmul(&self.attn_right[k]); // [N, 1]
+
+            // score[i][j] = LeakyReLU(a_l·Wh_i + a_r·Wh_j), every node's
+            // neighbour scores in one padded row.
+            let sr_pad = sr
+                .gather_rows_padded(&groups, d_max)
+                .reshape(vec![n, d_max]);
+            let scores = sr_pad.add(&sl).leaky_relu(0.2);
+            let att = scores
+                .softmax_rows_masked(Some(&tspn_tensor::key_padding_mask(&degrees, 1, d_max)));
+            let neigh_feats = hk.gather_rows_padded(&groups, d_max); // [N·D, out]
+            let ones = vec![1usize; n];
+            let msg = att.bmm_ragged(&neigh_feats, n, None, &ones, &degrees); // [N, out]
+            message = Some(match message {
+                Some(acc) => acc.add(&msg),
+                None => msg,
+            });
         }
-        Tensor::concat_rows(&rows).tanh()
+        let combined = match message {
+            Some(m) => m.add(&self_term),
+            None => self_term,
+        };
+        combined.tanh()
     }
 }
 

@@ -44,6 +44,39 @@ impl Default for BatchConfig {
     }
 }
 
+impl BatchConfig {
+    /// Resolves the tunable knobs from CLI flags and the environment:
+    /// an explicit CLI value wins, then `TSPN_SERVE_MAX_BATCH` /
+    /// `TSPN_SERVE_DEADLINE_US`, then the defaults (32 / 2 ms). A flush
+    /// is one batched forward, so these two directly trade tail latency
+    /// against per-query amortisation under load. Unparseable (or zero
+    /// `max_batch`) environment values are ignored rather than fatal —
+    /// a fleet-wide env typo must not take serving down.
+    pub fn resolve(
+        cli_max_batch: Option<usize>,
+        cli_deadline_us: Option<u64>,
+        env: impl Fn(&str) -> Option<String>,
+    ) -> BatchConfig {
+        let default = BatchConfig::default();
+        let max_batch = cli_max_batch
+            .or_else(|| {
+                env("TSPN_SERVE_MAX_BATCH")
+                    .and_then(|v| v.trim().parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+            })
+            .unwrap_or(default.max_batch);
+        let deadline = cli_deadline_us
+            .or_else(|| env("TSPN_SERVE_DEADLINE_US").and_then(|v| v.trim().parse::<u64>().ok()))
+            .map(Duration::from_micros)
+            .unwrap_or(default.deadline);
+        BatchConfig {
+            max_batch,
+            deadline,
+            ..default
+        }
+    }
+}
+
 /// The answer a waiting handler receives.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Answered {
@@ -325,6 +358,37 @@ mod tests {
         assert_eq!(answered.topk.pois, vec![PoiId(42)]);
         batcher.close();
         loop_handle.join().expect("loop exits after close");
+    }
+
+    #[test]
+    fn batch_config_resolution_prefers_cli_then_env_then_default() {
+        let env = |k: &str| match k {
+            "TSPN_SERVE_MAX_BATCH" => Some("16".to_string()),
+            "TSPN_SERVE_DEADLINE_US" => Some("500".to_string()),
+            _ => None,
+        };
+        // Env only.
+        let r = BatchConfig::resolve(None, None, env);
+        assert_eq!(r.max_batch, 16);
+        assert_eq!(r.deadline, Duration::from_micros(500));
+        assert_eq!(r.queue_cap, BatchConfig::default().queue_cap);
+        // CLI beats env.
+        let r = BatchConfig::resolve(Some(8), Some(1_000), env);
+        assert_eq!(r.max_batch, 8);
+        assert_eq!(r.deadline, Duration::from_micros(1_000));
+        // Nothing set: the documented 32 / 2 ms defaults.
+        let r = BatchConfig::resolve(None, None, |_| None);
+        assert_eq!(r.max_batch, 32);
+        assert_eq!(r.deadline, Duration::from_millis(2));
+        // Garbage or zero env values fall through to the defaults.
+        let bad = |k: &str| match k {
+            "TSPN_SERVE_MAX_BATCH" => Some("0".to_string()),
+            "TSPN_SERVE_DEADLINE_US" => Some("soon".to_string()),
+            _ => None,
+        };
+        let r = BatchConfig::resolve(None, None, bad);
+        assert_eq!(r.max_batch, 32);
+        assert_eq!(r.deadline, Duration::from_millis(2));
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //! `--checkpoint` load) in `model.save` format — handy for smoke-testing
 //! `/admin/reload` without a separate training run.
 //!
+//! Micro-batching knobs resolve CLI → environment → default: when
+//! `--max-batch` / `--deadline-us` are absent, `TSPN_SERVE_MAX_BATCH` and
+//! `TSPN_SERVE_DEADLINE_US` apply, else 32 / 2 ms — a flush is one
+//! batched forward, so these tune its size and tail latency under load
+//! without rebuilding deployment command lines.
+//!
 //! Shutdown: SIGTERM/SIGINT or `POST /admin/shutdown`; either way queued
 //! predictions flush before the process exits 0.
 
@@ -32,8 +38,8 @@ struct Args {
     days: Option<usize>,
     checkpoint: Option<String>,
     dump_checkpoint: Option<String>,
-    max_batch: usize,
-    deadline_us: u64,
+    max_batch: Option<usize>,
+    deadline_us: Option<u64>,
     top: usize,
 }
 
@@ -55,8 +61,8 @@ fn parse_args() -> Args {
         days: Some(12),
         checkpoint: None,
         dump_checkpoint: None,
-        max_batch: 32,
-        deadline_us: 2000,
+        max_batch: None,
+        deadline_us: None,
         top: 10,
     };
     let mut i = 0;
@@ -74,10 +80,10 @@ fn parse_args() -> Args {
             "--checkpoint" => args.checkpoint = Some(value(&mut i)),
             "--dump-checkpoint" => args.dump_checkpoint = Some(value(&mut i)),
             "--max-batch" => {
-                args.max_batch = value(&mut i).parse().unwrap_or_else(|_| usage());
+                args.max_batch = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
             }
             "--deadline-us" => {
-                args.deadline_us = value(&mut i).parse().unwrap_or_else(|_| usage());
+                args.deadline_us = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
             }
             "--top" => args.top = value(&mut i).parse().unwrap_or_else(|_| usage()),
             _ => usage(),
@@ -175,13 +181,16 @@ fn main() {
         })
     });
 
+    let batch = BatchConfig::resolve(args.max_batch, args.deadline_us, |key| {
+        std::env::var(key).ok()
+    });
+    eprintln!(
+        "tspn-serve: micro-batcher max_batch={} deadline={:?}",
+        batch.max_batch, batch.deadline
+    );
     let server_cfg = ServerConfig {
         addr: format!("127.0.0.1:{}", args.port),
-        batch: BatchConfig {
-            max_batch: args.max_batch,
-            deadline: Duration::from_micros(args.deadline_us),
-            ..BatchConfig::default()
-        },
+        batch,
         default_top: args.top,
         ..ServerConfig::default()
     };

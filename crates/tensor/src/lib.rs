@@ -49,6 +49,9 @@ mod shape;
 mod tensor;
 
 pub use ops::matmul::{gemm, gemm_ex, GemmLayout};
-pub use ops::{causal_mask, conv_out_dim, cosine_scores};
+pub use ops::{
+    batch_causal_mask, causal_mask, conv_out_dim, cosine_scores, jagged_causal_mask,
+    jagged_key_padding_mask, key_padding_mask,
+};
 pub use shape::{Broadcast, Shape};
 pub use tensor::Tensor;

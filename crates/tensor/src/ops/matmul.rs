@@ -46,10 +46,20 @@ const MC: usize = 64;
 /// Products with `n·k·m` at or below this run the naive loops (packing
 /// overhead loses at these sizes).
 const SMALL_ELEMS: usize = 32 * 1024;
+/// Skinny products (per-row work `k·m` at or below this) also run the
+/// naive loops regardless of row count: with so little depth per row the
+/// packed path's panel staging costs more than it saves, and B stays L1
+/// resident anyway. The batched `[B·S, dm]` forward at small `dm` lives
+/// in this regime. Safe to toggle freely: the small kernels accumulate
+/// per KC-chunk exactly like the microkernel, so both paths produce
+/// bitwise-identical rows.
+const SMALL_KM: usize = 1024;
 /// Minimum `n·k·m` before work is sharded across the persistent worker
 /// pool (~0.5 MFLOP). Dispatch through the pool costs a few µs, not the
 /// ~50 µs of spawning scoped threads, so medium GEMMs parallelise too.
-const PAR_ELEMS: usize = 256 * 1024;
+pub(crate) const PAR_ELEMS: usize = 256 * 1024;
+/// j-strip width of the small kernels' stack-local accumulators.
+const SMALL_JB: usize = 64;
 
 /// Row-major GEMM: `c[n×m] += a[n×k] · b[k×m]`.
 pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
@@ -78,7 +88,11 @@ pub fn gemm_ex(
         return;
     }
     let elems = n * k * m;
-    if elems <= SMALL_ELEMS {
+    // `effective_threads` is 1 inside a pool worker, so replica-local and
+    // nested GEMMs never fan out a second time.
+    let workers = parallel::effective_threads();
+    let parallelize = elems >= PAR_ELEMS && workers > 1 && n >= 2 * MR;
+    if !parallelize && (elems <= SMALL_ELEMS || (k <= KC && k * m <= SMALL_KM)) {
         match layout {
             GemmLayout::NN => small_nn(a, b, c, n, k, m),
             GemmLayout::TN => small_tn(a, b, c, n, k, m),
@@ -86,10 +100,7 @@ pub fn gemm_ex(
         }
         return;
     }
-    // `effective_threads` is 1 inside a pool worker, so replica-local and
-    // nested GEMMs never fan out a second time.
-    let workers = parallel::effective_threads();
-    if elems >= PAR_ELEMS && workers > 1 && n >= 2 * MR {
+    if parallelize {
         // Shard rows of C across the persistent worker pool, k-block by
         // k-block: each block's B panel is packed **once** here and shared
         // read-only by every row shard (the old per-thread repacking was
@@ -279,52 +290,108 @@ fn microkernel(
     }
 }
 
-/// Naive ikj kernel for small `A·B`.
+/// Naive kernel for small `A·B`.
+///
+/// Accumulates each output element per **KC-chunk** into a stack-local
+/// accumulator and only then adds the chunk sum into `c` — exactly the
+/// addition order of the blocked microkernel. A product's per-row result
+/// therefore never depends on which kernel (naive, blocked, or
+/// pool-sharded) it lands on, which is what lets a padded *batched*
+/// forward reproduce the per-sample path bitwise even when the batch
+/// crosses the small/blocked size threshold that the lone sample did not.
 fn small_nn(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
     for i in 0..n {
         let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * m..(i + 1) * m];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * m..(p + 1) * m];
-            for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
-                *c_ij += a_ip * b_pj;
+        for j0 in (0..m).step_by(SMALL_JB) {
+            let cols = SMALL_JB.min(m - j0);
+            let mut pc = 0;
+            while pc < k {
+                let kc = KC.min(k - pc);
+                let mut acc = [0.0f32; SMALL_JB];
+                for (p, &a_ip) in a_row[pc..pc + kc].iter().enumerate() {
+                    if a_ip == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[(pc + p) * m + j0..(pc + p) * m + j0 + cols];
+                    for (av, &b_pj) in acc[..cols].iter_mut().zip(b_row) {
+                        *av += a_ip * b_pj;
+                    }
+                }
+                let c_row = &mut c[i * m + j0..i * m + j0 + cols];
+                for (c_ij, &av) in c_row.iter_mut().zip(&acc[..cols]) {
+                    *c_ij += av;
+                }
+                pc += kc;
             }
         }
     }
 }
 
-/// Naive kernel for small `Aᵀ·B` (no transpose materialised).
+/// Naive kernel for small `Aᵀ·B` (no transpose materialised); same
+/// KC-chunked accumulation order as the blocked path (see [`small_nn`]).
 fn small_tn(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
-    for p in 0..k {
-        let a_row = &a[p * n..(p + 1) * n];
-        let b_row = &b[p * m..(p + 1) * m];
-        for (i, &a_pi) in a_row.iter().enumerate() {
-            if a_pi == 0.0 {
-                continue;
-            }
-            let c_row = &mut c[i * m..(i + 1) * m];
-            for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
-                *c_ij += a_pi * b_pj;
+    for i in 0..n {
+        for j0 in (0..m).step_by(SMALL_JB) {
+            let cols = SMALL_JB.min(m - j0);
+            let mut pc = 0;
+            while pc < k {
+                let kc = KC.min(k - pc);
+                let mut acc = [0.0f32; SMALL_JB];
+                for p in pc..pc + kc {
+                    let a_pi = a[p * n + i];
+                    if a_pi == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[p * m + j0..p * m + j0 + cols];
+                    for (av, &b_pj) in acc[..cols].iter_mut().zip(b_row) {
+                        *av += a_pi * b_pj;
+                    }
+                }
+                let c_row = &mut c[i * m + j0..i * m + j0 + cols];
+                for (c_ij, &av) in c_row.iter_mut().zip(&acc[..cols]) {
+                    *c_ij += av;
+                }
+                pc += kc;
             }
         }
     }
 }
 
-/// Naive kernel for small `A·Bᵀ` (no transpose materialised).
+/// Naive kernel for small `A·Bᵀ`; same KC-chunked accumulation order as
+/// the blocked path (see [`small_nn`]).
+///
+/// With at least two output rows, B is cheaply transposed into scratch
+/// and the work runs through [`small_nn`]'s strip loop: a row-major dot
+/// product is a serial FMA dependency chain (float addition cannot be
+/// reassociated), while the strip loop keeps `SMALL_JB` independent
+/// accumulators and vectorises. Per element the addition order is
+/// unchanged, so the two forms are bitwise identical.
 fn small_nt(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
+    if n >= 2 && k * m <= 4 * SMALL_KM {
+        let mut bt = pool::scratch_uninit(k * m);
+        for j in 0..m {
+            for p in 0..k {
+                bt[p * m + j] = b[j * k + p];
+            }
+        }
+        small_nn(a, &bt, c, n, k, m);
+        return;
+    }
     for i in 0..n {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * m..(i + 1) * m];
         for (j, c_ij) in c_row.iter_mut().enumerate() {
             let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for (a_ip, b_jp) in a_row.iter().zip(b_row) {
-                acc += a_ip * b_jp;
+            let mut pc = 0;
+            while pc < k {
+                let kc = KC.min(k - pc);
+                let mut acc = 0.0;
+                for (a_ip, b_jp) in a_row[pc..pc + kc].iter().zip(&b_row[pc..pc + kc]) {
+                    acc += a_ip * b_jp;
+                }
+                *c_ij += acc;
+                pc += kc;
             }
-            *c_ij += acc;
         }
     }
 }
@@ -617,6 +684,33 @@ mod tests {
                         w + 0.5
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn small_and_blocked_kernels_agree_bitwise_per_element() {
+        // The padded batched forward relies on this: a product row's
+        // result must not depend on which kernel the *surrounding* size
+        // heuristic selects, because batching changes the row count but
+        // must not change any row's value. Non-zero C exercises the
+        // accumulate-into-existing case (`affine` prefills the bias).
+        for &(n, k, m) in &[(3, 64, 48), (5, 300, 33), (2, 513, 16), (1, 16, 70)] {
+            for layout in [GemmLayout::NN, GemmLayout::TN, GemmLayout::NT] {
+                let a = filled(n * k, 5);
+                let b = filled(k * m, 9);
+                let mut c_small = vec![0.25f32; n * m];
+                match layout {
+                    GemmLayout::NN => small_nn(&a, &b, &mut c_small, n, k, m),
+                    GemmLayout::TN => small_tn(&a, &b, &mut c_small, n, k, m),
+                    GemmLayout::NT => small_nt(&a, &b, &mut c_small, n, k, m),
+                }
+                let mut c_blocked = vec![0.25f32; n * m];
+                gemm_blocked(layout, &a, &b, &mut c_blocked, 0, n, n, k, m);
+                assert!(
+                    c_small == c_blocked,
+                    "{layout:?} {n}x{k}x{m}: small and blocked kernels diverged"
+                );
             }
         }
     }

@@ -1,6 +1,7 @@
 //! Tensor operators, grouped by family. All ops are methods on
 //! [`crate::Tensor`] so model code composes them fluently.
 
+pub mod batched;
 pub mod conv;
 pub mod elementwise;
 pub mod loss;
@@ -10,6 +11,9 @@ pub mod reduce;
 pub mod shapeops;
 pub mod softmax;
 
+pub use batched::{
+    batch_causal_mask, jagged_causal_mask, jagged_key_padding_mask, key_padding_mask,
+};
 pub use conv::conv_out_dim;
 pub use norm::cosine_scores;
 pub use softmax::causal_mask;

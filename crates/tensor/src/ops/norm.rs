@@ -7,7 +7,7 @@ use crate::pool;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
-const NORM_EPS: f32 = 1e-8;
+pub(crate) const NORM_EPS: f32 = 1e-8;
 
 impl Tensor {
     /// Normalises every row to unit L2 norm: `y_r = x_r / (‖x_r‖ + ε)`.

@@ -15,6 +15,15 @@ impl Tensor {
     /// (e.g. `-1e9`) for invalid ones, matching the inverted-triangle mask
     /// `M_mask` of the paper's sequential self-attention (Sec. V-A).
     pub fn softmax_rows_masked(&self, mask: Option<&Tensor>) -> Tensor {
+        self.softmax_rows_scaled_masked(1.0, mask)
+    }
+
+    /// [`Tensor::softmax_rows_masked`] with the attention temperature
+    /// folded in: `softmax(scale·x [+ mask])` as **one** tape node. The
+    /// scaled-dot-product stack calls this instead of a separate
+    /// `scale` op, saving a full pass (and a node) per attention matrix;
+    /// `scale = 1.0` reproduces the unscaled op bitwise.
+    pub fn softmax_rows_scaled_masked(&self, scale: f32, mask: Option<&Tensor>) -> Tensor {
         let (n, m) = (self.rows(), self.cols());
         if let Some(mk) = mask {
             assert_eq!(
@@ -32,7 +41,13 @@ impl Tensor {
             let mut masked = pool::scratch_uninit(m);
             for r in 0..n {
                 let row = &data[r * m..(r + 1) * m];
-                masked.copy_from_slice(row);
+                if scale == 1.0 {
+                    masked.copy_from_slice(row);
+                } else {
+                    for (v, &x) in masked.iter_mut().zip(row) {
+                        *v = x * scale;
+                    }
+                }
                 if let Some(md) = &mask_data {
                     for (v, &mv) in masked.iter_mut().zip(&md[r * m..(r + 1) * m]) {
                         *v += mv;
@@ -41,7 +56,13 @@ impl Tensor {
                 let max = masked.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
                 let mut sum = 0.0;
                 for v in masked.iter_mut() {
-                    *v = (*v - max).exp();
+                    let d = *v - max;
+                    // `expf` underflows to exactly +0.0 far above the
+                    // -1e9 that additive masks produce, so writing the
+                    // zero directly is bitwise identical — and removes
+                    // the dominant cost of heavily-masked rows (half of
+                    // every causal attention matrix).
+                    *v = if d <= -150.0 { 0.0 } else { d.exp() };
                     sum += *v;
                 }
                 let inv = 1.0 / sum.max(1e-20);
@@ -66,8 +87,14 @@ impl Tensor {
                             let y = &saved[r * m..(r + 1) * m];
                             let gr = &g[r * m..(r + 1) * m];
                             let dot: f32 = y.iter().zip(gr).map(|(yi, gi)| yi * gi).sum();
-                            for j in 0..m {
-                                ga[r * m + j] += y[j] * (gr[j] - dot);
+                            if scale == 1.0 {
+                                for j in 0..m {
+                                    ga[r * m + j] += y[j] * (gr[j] - dot);
+                                }
+                            } else {
+                                for j in 0..m {
+                                    ga[r * m + j] += y[j] * (gr[j] - dot) * scale;
+                                }
                             }
                         }
                     });

@@ -10,11 +10,95 @@ use std::sync::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tspn_tensor::nn::{Conv2d, Linear, Module};
-use tspn_tensor::{optim, pool, Tensor};
+use tspn_tensor::{batch_causal_mask, key_padding_mask, optim, pool, Tensor};
 
-/// The pool counters are process-global; the two steady-state tests must
+/// The pool counters are process-global; the steady-state tests must
 /// not interleave their reset/assert windows.
 static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn steady_state_batched_forward_training_step_allocates_nothing() {
+    let _guard = COUNTER_LOCK.lock().expect("counter lock");
+    // A padded, masked batched-forward step built from the batched
+    // primitives (padded gather, bmm/bmm_nt, causal + key-padding masks,
+    // grouped cosine, row-wise arcface): every pad/mask scratch buffer
+    // must come from the pool, so a warmed step allocates nothing.
+    let mut rng = StdRng::seed_from_u64(3);
+    let (b, s, dm) = (4usize, 5usize, 12usize);
+    let table = Tensor::param(
+        (0..20 * dm)
+            .map(|i| ((i % 13) as f32 - 6.0) * 0.05)
+            .collect(),
+        vec![20, dm],
+    );
+    let wq = Linear::new(&mut rng, dm, dm);
+    let wk = Linear::new(&mut rng, dm, dm);
+    let wv = Linear::new(&mut rng, dm, dm);
+    let params = [vec![table.clone()], wq.params(), wk.params(), wv.params()].concat();
+    let mut adam = optim::Adam::new(1e-3);
+
+    let groups: Vec<Vec<usize>> = vec![vec![0, 1, 2], vec![3, 4], vec![5, 6, 7, 8, 9], vec![1, 3]];
+    let lens: Vec<usize> = groups.iter().map(Vec::len).collect();
+    let last_rows: Vec<usize> = lens
+        .iter()
+        .enumerate()
+        .map(|(bi, &l)| bi * s + l - 1)
+        .collect();
+    let cand_groups: Vec<Vec<usize>> = vec![vec![2, 5, 9], vec![0, 7], vec![11, 3, 4, 6], vec![8]];
+    let cand_lens: Vec<usize> = cand_groups.iter().map(Vec::len).collect();
+
+    let mut step = || {
+        optim::zero_grad(&params);
+        let h = table.gather_rows_padded(&groups, s);
+        let q = wq.forward(&h);
+        let k = wk.forward(&h);
+        let v = wv.forward(&h);
+        // Self-attention under the replicated causal mask…
+        let att = q
+            .bmm_nt(&k, b)
+            .scale(0.3)
+            .softmax_rows_masked(Some(&batch_causal_mask(b, s)));
+        let z = att.bmm(&v, b);
+        // …and a key-padding-masked cross product over the same blocks.
+        let att2 = q
+            .bmm_nt(&z, b)
+            .scale(0.3)
+            .softmax_rows_masked(Some(&key_padding_mask(&lens, s, s)));
+        let mixed = att2.bmm(&v, b);
+        let queries = mixed.gather_rows(&last_rows);
+        let cands = table.gather_rows_padded(&cand_groups, 4);
+        let cos = queries.cosine_grouped(&cands, &cand_lens);
+        let loss = cos
+            .arcface_loss_rows(&[0, 1, 2, 0], &cand_lens, 8.0, 0.2)
+            .sum_all()
+            .scale(0.25);
+        loss.backward();
+        optim::clip_grad_norm(&params, 5.0);
+        adam.step(&params);
+    };
+
+    for _ in 0..3 {
+        step();
+    }
+
+    pool::reset_stats();
+    for _ in 0..20 {
+        step();
+    }
+    let stats = pool::stats();
+    assert!(
+        stats.hits > 400,
+        "expected real pool traffic, saw {stats:?}"
+    );
+    assert_eq!(
+        stats.misses, 0,
+        "steady-state batched forward must not allocate tensor buffers: {stats:?}"
+    );
+    assert_eq!(
+        stats.discarded, 0,
+        "steady-state batched buffers must all be retained: {stats:?}"
+    );
+}
 
 #[test]
 fn steady_state_conv_training_step_allocates_nothing() {
