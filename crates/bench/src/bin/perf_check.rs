@@ -102,8 +102,12 @@ enum Gate {
 fn gate_for(name: &str) -> Gate {
     match name {
         "train_epoch" | "evaluate_test_split" => Gate::LowerIsBetter,
-        "serve_p50_us" | "serve_p99_us" => Gate::ServeLowerIsBetter,
-        "serve_qps" => Gate::ServeHigherIsBetter,
+        // Legacy index-addressed and v1 payload-addressed load phases
+        // gate identically (the payload path is the client-facing one).
+        "serve_p50_us" | "serve_p99_us" | "serve_v1_p50_us" | "serve_v1_p99_us" => {
+            Gate::ServeLowerIsBetter
+        }
+        "serve_qps" | "serve_v1_qps" => Gate::ServeHigherIsBetter,
         _ => Gate::Informational,
     }
 }

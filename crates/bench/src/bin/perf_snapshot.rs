@@ -9,14 +9,14 @@
 //! Compare two snapshots with the `perf_check` binary.
 //!
 //! ```text
-//! cargo run --release -p tspn-bench --bin perf_snapshot            # writes BENCH_4.json
+//! cargo run --release -p tspn-bench --bin perf_snapshot            # writes BENCH_5.json
 //! cargo run --release -p tspn-bench --bin perf_snapshot -- --check # quick run, no file
 //! cargo run --release -p tspn-bench --bin perf_snapshot -- --out results/bench.json
 //! ```
 //!
 //! The serving-layer metrics (`serve_p50_us`/`serve_p99_us`/`serve_qps`)
 //! are appended into the same snapshot file by the `serve_bench` binary
-//! (`--merge BENCH_4.json`), which drives a real `tspn-serve` socket loop.
+//! (`--merge BENCH_5.json`), which drives a real `tspn-serve` socket loop.
 
 use std::collections::HashSet;
 use std::time::Instant;
@@ -42,7 +42,7 @@ struct Metric {
     repeats: usize,
 }
 
-/// The whole snapshot, serialised to `BENCH_4.json`.
+/// The whole snapshot, serialised to `BENCH_5.json`.
 #[derive(Debug, Clone, Serialize)]
 struct Snapshot {
     /// Snapshot schema/PR generation marker.
@@ -75,10 +75,10 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_4.json".to_string());
+        .unwrap_or_else(|| "BENCH_5.json".to_string());
     let out_path = if std::path::Path::new(&out_arg).is_dir() {
         std::path::Path::new(&out_arg)
-            .join("BENCH_4.json")
+            .join("BENCH_5.json")
             .to_string_lossy()
             .into_owned()
     } else {
@@ -236,7 +236,7 @@ fn main() {
     record("evaluate_test_split", eval_secs, repeats.min(3));
 
     let snapshot = Snapshot {
-        generation: 4,
+        generation: 5,
         threads: parallel::num_threads(),
         metrics,
         pool_hit_rate: pool::stats().hit_rate(),

@@ -10,15 +10,21 @@
 //! ```
 //!
 //! The load phase drives `--connections` (default 8) concurrent
-//! keep-alive connections, `--requests` (default 50) `/predict` calls
-//! each, and reports `serve_p50_us` / `serve_p99_us` (client-observed
-//! request latency) and `serve_qps` (aggregate throughput). `--merge`
-//! appends those metrics into an existing `perf_snapshot` JSON so
-//! `perf_check` gates them alongside the training/evaluation timings.
+//! keep-alive connections, `--requests` (default 50) predict calls each,
+//! in **two** rounds — legacy index-addressed `/predict` and
+//! payload-addressed `/v1/predict` — and reports `serve_p50_us` /
+//! `serve_p99_us` / `serve_qps` (legacy) plus `serve_v1_p50_us` /
+//! `serve_v1_p99_us` / `serve_v1_qps` (payload). `--merge` appends those
+//! metrics into an existing `perf_snapshot` JSON so `perf_check` gates
+//! them alongside the training/evaluation timings.
 //!
 //! `--smoke` additionally asserts protocol correctness: `/healthz`,
-//! valid and *bitwise-reference-identical* top-k answers, `/admin/reload`
-//! hot-swap (with `--ckpt`), and rejection of corrupt checkpoints.
+//! valid and *bitwise-reference-identical* top-k answers on the legacy,
+//! payload, and session endpoints, the full session lifecycle
+//! (create → append → predict → delete → gone, plus TTL expiry when
+//! `--session-ttl-ms` names the server's TTL), typed-error statuses
+//! (404/405/410/422), `/admin/reload` hot-swap (with `--ckpt`), and
+//! rejection of corrupt checkpoints.
 
 use std::time::{Duration, Instant};
 
@@ -26,7 +32,9 @@ use serde::Value;
 use tspn_core::{Predictor, Query, SpatialContext, TspnConfig};
 use tspn_data::synth::{generate_dataset, SynthConfig};
 use tspn_data::{PoiId, Sample};
-use tspn_serve::{protocol, server, BatchConfig, Client, ServerConfig, ServerHandle};
+use tspn_serve::{
+    protocol, server, BatchConfig, Client, ServerConfig, ServerHandle, SessionConfig,
+};
 
 struct Args {
     addr: Option<String>,
@@ -38,12 +46,14 @@ struct Args {
     scale: f64,
     days: usize,
     ckpt: Option<String>,
+    session_ttl_ms: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve_bench [--addr HOST:PORT] [--connections N] [--requests N] [--smoke] \
-         [--merge SNAPSHOT.json] [--preset P] [--scale F] [--days N] [--ckpt FILE]"
+         [--merge SNAPSHOT.json] [--preset P] [--scale F] [--days N] [--ckpt FILE] \
+         [--session-ttl-ms N]"
     );
     std::process::exit(2);
 }
@@ -60,6 +70,7 @@ fn parse_args() -> Args {
         scale: 0.15,
         days: 12,
         ckpt: None,
+        session_ttl_ms: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -79,6 +90,9 @@ fn parse_args() -> Args {
             "--scale" => args.scale = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--days" => args.days = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--ckpt" => args.ckpt = Some(value(&mut i)),
+            "--session-ttl-ms" => {
+                args.session_ttl_ms = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
             _ => usage(),
         }
         i += 1;
@@ -124,10 +138,20 @@ fn main() {
         ctx.dataset.pois.len()
     );
 
-    // The first context feeds whichever consumer needs one: the bitwise
-    // reference predictor (smoke only — the plain load/merge path never
-    // needs the model) and then the self-hosted server; only smoke +
-    // self-host genuinely needs a second build.
+    // The v1 payload bodies need each sample's raw check-in stream;
+    // render them from the first context now, before it is consumed, so
+    // no path ever rebuilds the dataset just for the load phase.
+    let v1_bodies: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            protocol::v1_predict_request_body(s.user_index, &ctx.dataset.sample_checkins(s), 4, 10)
+        })
+        .collect();
+
+    // The first context then feeds whichever consumer needs one: the
+    // bitwise reference predictor (smoke only — the plain load/merge
+    // path never needs the model) and then the self-hosted server; only
+    // smoke + self-host genuinely needs a second build.
     let mut spare_ctx = Some(ctx);
     let reference = args.smoke.then(|| {
         Predictor::new(
@@ -136,14 +160,21 @@ fn main() {
         )
     });
 
-    // Self-host unless an external server was named.
+    // Self-host unless an external server was named. A self-hosted smoke
+    // run shortens the session TTL so expiry is observable in seconds.
+    let self_host_ttl_ms = args.session_ttl_ms.or_else(|| args.smoke.then_some(1_200));
     let (addr, hosted): (String, Option<ServerHandle>) = match &args.addr {
         Some(addr) => (addr.clone(), None),
         None => {
             let server_ctx = spare_ctx.take().unwrap_or_else(|| build_context(&args).1);
+            let mut session = SessionConfig::default();
+            if let Some(ttl_ms) = self_host_ttl_ms {
+                session.ttl = Duration::from_millis(ttl_ms);
+            }
             let handle = server::start(
                 ServerConfig {
                     batch: BatchConfig::default(),
+                    session,
                     ..ServerConfig::default()
                 },
                 model_cfg.clone(),
@@ -158,13 +189,38 @@ fn main() {
     println!("serve_bench: driving {addr}");
 
     if let Some(reference) = &reference {
-        smoke(&addr, reference, &samples, args.ckpt.as_deref());
+        // Expiry needs to know the server's TTL: explicit flag against an
+        // external server, or the shortened TTL we just self-hosted with.
+        let ttl_ms = match &args.addr {
+            Some(_) => args.session_ttl_ms,
+            None => self_host_ttl_ms,
+        };
+        smoke(&addr, reference, &samples, args.ckpt.as_deref(), ttl_ms);
     }
 
-    let (p50_us, p99_us, qps) = load_phase(&addr, &samples, args.connections, args.requests);
+    // Legacy index-addressed load, then the v1 payload-addressed load.
+    let legacy_bodies: Vec<String> = samples.iter().map(|s| predict_body(s, 4, 10)).collect();
+    let (p50_us, p99_us, qps) = load_phase(
+        &addr,
+        "/predict",
+        &legacy_bodies,
+        args.connections,
+        args.requests,
+    );
     println!("serve_p50_us            {p50_us:>12.1}");
     println!("serve_p99_us            {p99_us:>12.1}");
     println!("serve_qps               {qps:>12.1}");
+
+    let (v1_p50_us, v1_p99_us, v1_qps) = load_phase(
+        &addr,
+        "/v1/predict",
+        &v1_bodies,
+        args.connections,
+        args.requests,
+    );
+    println!("serve_v1_p50_us         {v1_p50_us:>12.1}");
+    println!("serve_v1_p99_us         {v1_p99_us:>12.1}");
+    println!("serve_v1_qps            {v1_qps:>12.1}");
 
     if let Some(path) = &args.merge {
         merge_metrics(
@@ -173,6 +229,9 @@ fn main() {
                 ("serve_p50_us", p50_us, "us"),
                 ("serve_p99_us", p99_us, "us"),
                 ("serve_qps", qps, "qps"),
+                ("serve_v1_p50_us", v1_p50_us, "us"),
+                ("serve_v1_p99_us", v1_p99_us, "us"),
+                ("serve_v1_qps", v1_qps, "qps"),
             ],
         );
         println!("serve_bench: merged serve metrics into {path}");
@@ -185,9 +244,16 @@ fn main() {
     println!("serve_bench: done");
 }
 
-/// Protocol smoke: health, validity, bitwise identity, hot swap, corrupt
+/// Protocol smoke: health, validity, bitwise identity across every
+/// address mode, the session lifecycle, typed errors, hot swap, corrupt
 /// rejection. Panics (non-zero exit) on any violation.
-fn smoke(addr: &str, reference: &Predictor, samples: &[Sample], ckpt: Option<&str>) {
+fn smoke(
+    addr: &str,
+    reference: &Predictor,
+    samples: &[Sample],
+    ckpt: Option<&str>,
+    session_ttl_ms: Option<u64>,
+) {
     let mut client = Client::connect(addr).expect("smoke: connect");
 
     // Health.
@@ -216,7 +282,10 @@ fn smoke(addr: &str, reference: &Predictor, samples: &[Sample], ckpt: Option<&st
         println!("serve_bench: hot-swapped {path}");
     }
 
-    // Valid + bitwise-identical top-k answers.
+    // Valid + bitwise-identical top-k answers, legacy AND v1 payload: the
+    // raw check-in stream must reproduce the index-addressed ranking
+    // exactly, which in turn matches the offline reference.
+    let ds = &reference.ctx().dataset;
     for (i, s) in samples.iter().take(5).enumerate() {
         let (status, text) = client
             .post("/predict", &predict_body(s, 4, 10))
@@ -234,8 +303,25 @@ fn smoke(addr: &str, reference: &Predictor, samples: &[Sample], ckpt: Option<&st
             served, offline.pois,
             "served ranking diverged from offline predict"
         );
+
+        let body = protocol::v1_predict_request_body(s.user_index, &ds.sample_checkins(s), 4, 10);
+        let (status, text) = client
+            .post("/v1/predict", &body)
+            .expect("smoke: v1 predict I/O");
+        assert_eq!(status, 200, "v1 predict {i} failed: {text}");
+        let v: Value = serde_json::from_str(&text).expect("v1 predict JSON");
+        assert_eq!(
+            pois_of(&v),
+            offline.pois,
+            "payload-addressed ranking diverged from offline predict"
+        );
     }
-    println!("serve_bench: top-k answers bitwise-identical to offline predict");
+    println!(
+        "serve_bench: legacy and v1-payload top-k answers bitwise-identical to offline predict"
+    );
+
+    smoke_sessions(&mut client, reference, samples, session_ttl_ms);
+    smoke_typed_errors(&mut client, reference);
 
     // Corrupt checkpoints must be rejected (400) and leave serving intact.
     let corrupt =
@@ -264,15 +350,209 @@ fn smoke(addr: &str, reference: &Predictor, samples: &[Sample], ckpt: Option<&st
     println!("serve_bench: corrupt checkpoint rejected; old snapshot kept serving");
 }
 
-/// Drives the load: `connections` threads, `requests` keep-alive predicts
-/// each; returns `(p50_us, p99_us, qps)` from client-observed latencies.
+/// Session-lifecycle smoke: create → append → predict (bitwise vs the
+/// indexed reference at every prefix) → repeat-predict (memoised) →
+/// delete → gone, plus TTL expiry when the server's TTL is known.
+fn smoke_sessions(
+    client: &mut Client,
+    reference: &Predictor,
+    samples: &[Sample],
+    session_ttl_ms: Option<u64>,
+) {
+    let ds = &reference.ctx().dataset;
+    // A sample with real history and a multi-visit prefix exercises the
+    // gap re-split and the incremental appends.
+    let s = *samples
+        .iter()
+        .find(|s| s.traj_index > 0 && s.prefix_len >= 2)
+        .unwrap_or(&samples[0]);
+    let stream = ds.sample_checkins(&s);
+    let history = &stream[..stream.len() - s.prefix_len];
+    let prefix = &stream[stream.len() - s.prefix_len..];
+
+    let (status, text) = client
+        .post(
+            "/v1/sessions",
+            &protocol::session_create_body(s.user_index, history),
+        )
+        .expect("smoke: session create I/O");
+    assert_eq!(status, 200, "session create failed: {text}");
+    let v: Value = serde_json::from_str(&text).expect("session create JSON");
+    let id = v
+        .get("session")
+        .and_then(Value::as_str)
+        .expect("session id")
+        .to_string();
+
+    // Append the current trajectory one visit at a time; after the j-th
+    // append the session equals sample (user, traj, j) exactly.
+    for j in 1..=prefix.len() {
+        let (status, text) = client
+            .post(
+                &format!("/v1/sessions/{id}/checkins"),
+                &protocol::session_append_body(&prefix[j - 1..j]),
+            )
+            .expect("smoke: append I/O");
+        assert_eq!(status, 200, "append {j} failed: {text}");
+        let (status, text) = client
+            .post(
+                &format!("/v1/sessions/{id}/predict"),
+                "{\"k\":4,\"top\":10}",
+            )
+            .expect("smoke: session predict I/O");
+        assert_eq!(status, 200, "session predict {j} failed: {text}");
+        let v: Value = serde_json::from_str(&text).expect("session predict JSON");
+        let indexed = Sample { prefix_len: j, ..s };
+        let offline = reference.predict_one(&Query::with_top(indexed, 4, 10));
+        assert_eq!(
+            pois_of(&v),
+            offline.pois,
+            "session predict after {j} appends diverged from the indexed reference"
+        );
+    }
+    // Re-predicting an unchanged session reuses the memoised history
+    // encoding; the ranking must be bitwise identical (only the batch
+    // sequence number may differ).
+    let (_, first) = client
+        .post(
+            &format!("/v1/sessions/{id}/predict"),
+            "{\"k\":4,\"top\":10}",
+        )
+        .expect("smoke: repeat predict I/O");
+    let (_, second) = client
+        .post(
+            &format!("/v1/sessions/{id}/predict"),
+            "{\"k\":4,\"top\":10}",
+        )
+        .expect("smoke: repeat predict I/O");
+    let first: Value = serde_json::from_str(&first).expect("predict JSON");
+    let second: Value = serde_json::from_str(&second).expect("predict JSON");
+    assert_eq!(
+        pois_of(&first),
+        pois_of(&second),
+        "repeated session predictions must agree"
+    );
+
+    // Delete → gone.
+    let (status, _) = client
+        .request("DELETE", &format!("/v1/sessions/{id}"), None)
+        .expect("smoke: delete I/O");
+    assert_eq!(status, 200, "session delete failed");
+    let (status, text) = client
+        .post(&format!("/v1/sessions/{id}/predict"), "{}")
+        .expect("smoke: gone I/O");
+    assert_eq!(status, 410, "deleted session should be 410, got {text}");
+    println!(
+        "serve_bench: session create→append→predict→delete lifecycle ok (bitwise vs reference)"
+    );
+
+    // TTL expiry (only when the server's TTL is known and waitable).
+    if let Some(ttl_ms) = session_ttl_ms.filter(|&t| t <= 10_000) {
+        let (status, text) = client
+            .post(
+                "/v1/sessions",
+                &protocol::session_create_body(s.user_index, &stream[..1]),
+            )
+            .expect("smoke: expiry create I/O");
+        assert_eq!(status, 200, "{text}");
+        let v: Value = serde_json::from_str(&text).expect("session JSON");
+        let idle = v
+            .get("session")
+            .and_then(Value::as_str)
+            .expect("session id")
+            .to_string();
+        std::thread::sleep(Duration::from_millis(ttl_ms + 400));
+        let (status, text) = client
+            .post(&format!("/v1/sessions/{idle}/predict"), "{}")
+            .expect("smoke: expired I/O");
+        assert_eq!(status, 410, "expired session should be 410, got {text}");
+        println!("serve_bench: idle session expired after ~{ttl_ms} ms (410 gone)");
+    }
+}
+
+/// Typed-error smoke: each status class answers with its code and the
+/// keep-alive connection survives every rejection.
+fn smoke_typed_errors(client: &mut Client, reference: &Predictor) {
+    let expect = |client: &mut Client,
+                  method: &str,
+                  path: &str,
+                  body: Option<&str>,
+                  status: u16,
+                  code: &str| {
+        let (got, text) = client
+            .request(method, path, body)
+            .expect("smoke: error I/O");
+        assert_eq!(got, status, "{method} {path} should be {status}: {text}");
+        let v: Value = serde_json::from_str(&text).expect("typed error JSON");
+        let (got_code, _) = protocol::error_of(&v).expect("typed error body");
+        assert_eq!(got_code, code, "{method} {path} error code");
+    };
+    expect(client, "GET", "/nope", None, 404, "not_found");
+    expect(
+        client,
+        "GET",
+        "/v1/predict",
+        None,
+        405,
+        "method_not_allowed",
+    );
+    expect(
+        client,
+        "POST",
+        "/healthz",
+        Some("{}"),
+        405,
+        "method_not_allowed",
+    );
+    expect(
+        client,
+        "POST",
+        "/v1/predict",
+        Some("{oops"),
+        400,
+        "bad_request",
+    );
+    expect(
+        client,
+        "POST",
+        "/v1/predict",
+        Some("{\"user\":0,\"checkins\":[]}"),
+        422,
+        "unprocessable",
+    );
+    let vocab = reference.ctx().dataset.pois.len();
+    expect(
+        client,
+        "POST",
+        "/v1/predict",
+        Some(&format!(
+            "{{\"user\":0,\"checkins\":[{{\"poi\":{vocab},\"t\":0}}]}}"
+        )),
+        422,
+        "unprocessable",
+    );
+    expect(
+        client,
+        "POST",
+        "/v1/sessions/s999999/predict",
+        Some("{}"),
+        404,
+        "not_found",
+    );
+    println!("serve_bench: typed errors (400/404/405/410/422) all answer with their codes");
+}
+
+/// Drives the load: `connections` threads, `requests` keep-alive POSTs
+/// of `bodies` (round-robin) to `path`; returns `(p50_us, p99_us, qps)`
+/// from client-observed latencies.
 fn load_phase(
     addr: &str,
-    samples: &[Sample],
+    path: &str,
+    bodies: &[String],
     connections: usize,
     requests: usize,
 ) -> (f64, f64, f64) {
-    assert!(connections >= 1 && requests >= 1);
+    assert!(connections >= 1 && requests >= 1 && !bodies.is_empty());
     let started = Instant::now();
     let mut latencies: Vec<u64> = std::thread::scope(|scope| {
         let mut joins = Vec::new();
@@ -282,10 +562,9 @@ fn load_phase(
                 let mut client = Client::connect(&addr).expect("load: connect");
                 let mut lat = Vec::with_capacity(requests);
                 for r in 0..requests {
-                    let s = samples[(c * requests + r) % samples.len()];
-                    let body = predict_body(&s, 4, 10);
+                    let body = &bodies[(c * requests + r) % bodies.len()];
                     let t0 = Instant::now();
-                    let (status, text) = client.post("/predict", &body).expect("load: predict I/O");
+                    let (status, text) = client.post(path, body).expect("load: predict I/O");
                     let dt = t0.elapsed();
                     assert_eq!(status, 200, "load predict failed: {text}");
                     lat.push(dt.as_micros() as u64);

@@ -45,7 +45,10 @@ use tspn_data::{time_slot, PoiId, Sample, Visit};
 use tspn_tensor::{cosine_scores, key_padding_mask, pool, Tensor};
 
 use crate::context::SpatialContext;
-use crate::model::{descending_order, top_k_indices, BatchTables, Prediction, TspnRa};
+use crate::model::{
+    descending_order, hist_key, top_k_indices, BatchTables, HistKey, Prediction, TspnRa,
+};
+use crate::subject::Subject;
 
 /// The fused output vectors of one batched forward.
 pub struct BatchForward {
@@ -67,12 +70,31 @@ impl TspnRa {
         tables: &BatchTables,
         training: bool,
     ) -> BatchForward {
-        let b = samples.len();
+        let subjects: Vec<Subject> = samples.iter().map(|&s| Subject::Indexed(s)).collect();
+        self.forward_batch_subjects(ctx, &subjects, tables, training)
+    }
+
+    /// The general batched forward over [`Subject`]s — indexed samples
+    /// and ad-hoc trajectories mix freely within one batch, and each row
+    /// is bitwise identical to [`TspnRa::forward_subject`] on the same
+    /// subject (address mode resolves before the first tensor op, so the
+    /// arithmetic cannot observe it).
+    pub fn forward_batch_subjects(
+        &self,
+        ctx: &SpatialContext,
+        subjects: &[Subject],
+        tables: &BatchTables,
+        training: bool,
+    ) -> BatchForward {
+        let b = subjects.len();
         assert!(b >= 1, "forward_batch needs a non-empty batch");
         let dm = self.config.dm;
-        let prefixes: Vec<&[Visit]> = samples.iter().map(|s| self.prefix_visits(ctx, s)).collect();
+        let prefixes: Vec<&[Visit]> = subjects
+            .iter()
+            .map(|s| self.prefix_visits(ctx, s))
+            .collect();
         for p in &prefixes {
-            assert!(!p.is_empty(), "sample with empty prefix");
+            assert!(!p.is_empty(), "subject with empty prefix");
         }
         let lens: Vec<usize> = prefixes.iter().map(|p| p.len()).collect();
         let s_max = *lens.iter().max().expect("non-empty batch");
@@ -136,18 +158,22 @@ impl TspnRa {
             h_poi = h_poi.mul(&Tensor::from_vec(poi_mask, vec![total, dm]));
         }
 
-        // --- Historical graph knowledge (per sample; the QR-P graphs are
+        // --- Historical graph knowledge (per subject; the QR-P graphs are
         // ragged and structurally irregular). Within one batched call,
-        // samples from the same trajectory share one encoding tape.
-        let mut memo: HashMap<(usize, usize), (Option<Tensor>, Option<Tensor>)> = HashMap::new();
+        // subjects with the same history content share one encoding tape.
+        let histories: Vec<Vec<Visit>> = subjects
+            .iter()
+            .map(|s| self.history_visits(ctx, s))
+            .collect();
+        let mut memo: HashMap<HistKey, (Option<Tensor>, Option<Tensor>)> = HashMap::new();
         let mut hist_t: Vec<Option<Tensor>> = Vec::with_capacity(b);
         let mut hist_p: Vec<Option<Tensor>> = Vec::with_capacity(b);
-        for sample in samples {
-            let key = (sample.user_index, sample.traj_index);
+        for history in &histories {
+            let key = hist_key(history);
             let enc = match memo.get(&key) {
                 Some(e) => e.clone(),
                 None => {
-                    let e = self.history_encodings(ctx, sample, tables, training);
+                    let e = self.history_encodings(ctx, history, &key, tables, training);
                     memo.insert(key, e.clone());
                     e
                 }
@@ -168,10 +194,10 @@ impl TspnRa {
         // --- Pointer residual over each sample's visited set ---
         let mut visited_tile_groups: Vec<Vec<usize>> = Vec::with_capacity(b);
         let mut visited_poi_groups: Vec<Vec<usize>> = Vec::with_capacity(b);
-        for (sample, prefix) in samples.iter().zip(&prefixes) {
+        for (history, prefix) in histories.iter().zip(&prefixes) {
             let mut visited_tiles: Vec<usize> = Vec::new();
             let mut visited_pois: Vec<usize> = Vec::new();
-            for v in self.history_visits(ctx, sample).iter().chain(prefix.iter()) {
+            for v in history.iter().chain(prefix.iter()) {
                 let t = ctx.poi_leaf_node(v.poi).0;
                 if !visited_tiles.contains(&t) {
                     visited_tiles.push(t);
@@ -258,15 +284,16 @@ impl TspnRa {
     }
 
     /// Batched inference: the full two-step ranking for every query
-    /// `(sample, k)`, from **one** padded batched forward. Each returned
-    /// [`Prediction`] is bitwise identical to
-    /// [`TspnRa::predict_with_k`] on the same sample.
+    /// `(subject, k)` — indexed and ad-hoc subjects mix freely — from
+    /// **one** padded batched forward. Each returned [`Prediction`] is
+    /// bitwise identical to [`TspnRa::predict_subject_with_k`] on the
+    /// same subject.
     ///
     /// Runs under [`Tensor::no_grad`] like the per-sample predictor.
     pub fn predict_many(
         &self,
         ctx: &SpatialContext,
-        queries: &[(Sample, usize)],
+        queries: &[(Subject, usize)],
         tables: &BatchTables,
     ) -> Vec<Prediction> {
         Tensor::no_grad(|| self.predict_many_inner(ctx, queries, tables))
@@ -275,18 +302,18 @@ impl TspnRa {
     fn predict_many_inner(
         &self,
         ctx: &SpatialContext,
-        queries: &[(Sample, usize)],
+        queries: &[(Subject, usize)],
         tables: &BatchTables,
     ) -> Vec<Prediction> {
-        let samples: Vec<Sample> = queries.iter().map(|q| q.0).collect();
-        let out = self.forward_batch(ctx, &samples, tables, false);
+        let subjects: Vec<Subject> = queries.iter().map(|q| q.0.clone()).collect();
+        let out = self.forward_batch_subjects(ctx, &subjects, tables, false);
         let dm = self.config.dm;
         let ht = out.h_out_t.data();
         let hp = out.h_out_p.data();
 
         if !self.config.variant.two_step {
             let pois = tables.pois.to_vec();
-            return (0..samples.len())
+            return (0..subjects.len())
                 .map(|b| {
                     let scores = cosine_scores(&hp[b * dm..(b + 1) * dm], &pois, dm);
                     let order = descending_order(&scores);

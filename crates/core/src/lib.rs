@@ -33,6 +33,7 @@ pub mod embed;
 pub mod fusion;
 mod model;
 mod predictor;
+mod subject;
 mod trainer;
 
 pub use batch::BatchForward;
@@ -40,4 +41,5 @@ pub use config::{Partition, TspnConfig, TspnVariant};
 pub use context::SpatialContext;
 pub use model::{descending_order, top_k_indices, BatchTables, Prediction, TspnRa};
 pub use predictor::{Predictor, Query, TopK};
+pub use subject::Subject;
 pub use trainer::{EpochStats, EvalOutcome, Trainer};

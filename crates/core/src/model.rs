@@ -18,6 +18,7 @@ use crate::config::TspnConfig;
 use crate::context::SpatialContext;
 use crate::embed::{Me1, Me2, SpatialEncoder, TemporalEncoder};
 use crate::fusion::FusionModule;
+use crate::subject::Subject;
 
 /// Output of one two-step prediction.
 #[derive(Debug, Clone)]
@@ -46,9 +47,27 @@ impl Prediction {
 /// One trajectory's cached history encodings `(H_T◁, H_P◁)`.
 type HistoryEncodings = (Option<Tensor>, Option<Tensor>);
 
-/// The inference-time history memo: `(tile-table tensor id, per-(user,
-/// trajectory) encodings)`.
-type HistoryCache = (u64, HashMap<(usize, usize), HistoryEncodings>);
+/// Content key of a history visit run: the exact `(poi, time)` sequence.
+/// Keys both the QR-P structure cache and the inference-time encoding
+/// memo, so an ad-hoc subject whose history matches an indexed sample's
+/// (or a session re-predicting an unchanged sequence) reuses the cached
+/// work — and two *different* sequences can never collide.
+pub(crate) type HistKey = Box<[(usize, i64)]>;
+
+/// Builds the content key of a visit run.
+pub(crate) fn hist_key(visits: &[Visit]) -> HistKey {
+    visits.iter().map(|v| (v.poi.0, v.time)).collect()
+}
+
+/// The inference-time history memo: `(tile-table tensor id, per-history
+/// content key encodings)`.
+type HistoryCache = (u64, HashMap<HistKey, HistoryEncodings>);
+
+/// Bound on the content-keyed caches. Ad-hoc traffic can present
+/// unboundedly many distinct histories; past this many entries a cache is
+/// cleared wholesale (the in-dataset working set re-fills in one pass,
+/// and correctness never depends on a hit).
+const CONTENT_CACHE_CAP: usize = 4096;
 
 /// Per-batch shared tensors (tile and POI embedding tables).
 pub struct BatchTables {
@@ -75,11 +94,14 @@ pub struct TspnRa {
     /// gathered per prefix instead of re-running the trig encoder on
     /// every forward pass. Row `i` = POI `i`.
     pub(crate) spatial_codes: Tensor,
-    qrp_cache: RefCell<HashMap<(usize, usize), Rc<QrpGraph>>>,
+    /// QR-P structures keyed by history **content** (graphs are pure
+    /// functions of the visit run), so indexed and ad-hoc subjects with
+    /// the same history share one structure.
+    qrp_cache: RefCell<HashMap<HistKey, Rc<QrpGraph>>>,
     /// Inference-only memo of [`TspnRa::encode_history`] outputs, keyed by
     /// the tile-table tensor id it was computed against (history encodings
-    /// are pure functions of `(graph, tables)`): `(tables id, per-(user,
-    /// trajectory) encodings)`. Populated only under
+    /// are pure functions of `(graph, tables)`): `(tables id, per-history
+    /// content key encodings)`. Populated only under
     /// [`Tensor::no_grad`], where the cached tensors carry no tape.
     history_cache: RefCell<HistoryCache>,
     pub(crate) rng: RefCell<StdRng>,
@@ -206,56 +228,68 @@ impl TspnRa {
         BatchTables { tiles, pois }
     }
 
-    /// The prefix of a sample, truncated to the configured window.
+    /// The prefix of a subject, truncated to the configured window.
     pub(crate) fn prefix_visits<'a>(
         &self,
         ctx: &'a SpatialContext,
-        sample: &Sample,
+        subject: &'a Subject,
     ) -> &'a [Visit] {
-        let prefix = ctx.dataset.sample_prefix(sample);
+        let prefix = subject.prefix(ctx);
         let start = prefix.len().saturating_sub(self.config.max_prefix);
         &prefix[start..]
     }
 
-    /// The concatenated historical visits of a sample, truncated to the
-    /// most recent `max_history`.
-    pub(crate) fn history_visits(&self, ctx: &SpatialContext, sample: &Sample) -> Vec<Visit> {
-        let mut visits: Vec<Visit> = ctx
-            .dataset
-            .sample_history(sample)
-            .iter()
-            .flat_map(|t| t.visits.iter().copied())
-            .collect();
+    /// The concatenated historical visits of a subject, truncated to the
+    /// most recent `max_history`. Indexed and ad-hoc subjects resolve to
+    /// the same values for the same underlying stream, so everything
+    /// downstream (graphs, encodings, pointer residuals) is address-mode
+    /// agnostic.
+    pub(crate) fn history_visits(&self, ctx: &SpatialContext, subject: &Subject) -> Vec<Visit> {
+        let mut visits: Vec<Visit> = match subject {
+            Subject::Indexed(s) => ctx
+                .dataset
+                .sample_history(s)
+                .iter()
+                .flat_map(|t| t.visits.iter().copied())
+                .collect(),
+            Subject::AdHoc(t) => t.history.clone(),
+        };
         if visits.len() > self.config.max_history {
             visits.drain(..visits.len() - self.config.max_history);
         }
         visits
     }
 
-    /// QR-P graph for a sample's history, cached per (user, trajectory).
-    fn qrp_graph(&self, ctx: &SpatialContext, sample: &Sample) -> Option<Rc<QrpGraph>> {
-        if !self.config.variant.use_graph {
+    /// QR-P graph for a history visit run, cached by content (`key` is
+    /// the run's precomputed [`hist_key`] — callers build it once per
+    /// subject and share it across every content-keyed cache).
+    fn qrp_graph(
+        &self,
+        ctx: &SpatialContext,
+        history: &[Visit],
+        key: &HistKey,
+    ) -> Option<Rc<QrpGraph>> {
+        if !self.config.variant.use_graph || history.is_empty() {
             return None;
         }
-        let key = (sample.user_index, sample.traj_index);
-        if let Some(g) = self.qrp_cache.borrow().get(&key) {
+        if let Some(g) = self.qrp_cache.borrow().get(key) {
             return Some(Rc::clone(g));
-        }
-        let visits = self.history_visits(ctx, sample);
-        if visits.is_empty() {
-            return None;
         }
         let graph = Rc::new(build_qrp(
             &ctx.tree,
             &ctx.road_adjacency,
-            &visits,
+            history,
             &ctx.dataset,
             QrpOptions {
                 road_edges: self.config.variant.road_edges,
                 contain_edges: self.config.variant.contain_edges,
             },
         ));
-        self.qrp_cache.borrow_mut().insert(key, Rc::clone(&graph));
+        let mut cache = self.qrp_cache.borrow_mut();
+        if cache.len() >= CONTENT_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key.clone(), Rc::clone(&graph));
         Some(graph)
     }
 
@@ -310,32 +344,36 @@ impl TspnRa {
         (ht, hp)
     }
 
-    /// A sample's `(H_T◁, H_P◁)` history encodings. Under no-grad
+    /// A history visit run's `(H_T◁, H_P◁)` encodings. Under no-grad
     /// inference the encodings are pure functions of `(graph, tables)`;
-    /// memoise them per trajectory so evaluating many prefixes of one
-    /// trajectory runs the HGAT once.
+    /// memoise them by sequence content so evaluating many prefixes of
+    /// one trajectory — or a session re-predicting an unchanged history —
+    /// runs the HGAT once.
     pub(crate) fn history_encodings(
         &self,
         ctx: &SpatialContext,
-        sample: &Sample,
+        history: &[Visit],
+        key: &HistKey,
         tables: &BatchTables,
         training: bool,
     ) -> HistoryEncodings {
-        match self.qrp_graph(ctx, sample) {
+        match self.qrp_graph(ctx, history, key) {
             Some(graph) => {
                 if !training && Tensor::grad_suspended() {
-                    let key = (sample.user_index, sample.traj_index);
                     let tables_id = tables.tiles.id();
                     let mut cache = self.history_cache.borrow_mut();
                     if cache.0 != tables_id {
                         cache.0 = tables_id;
                         cache.1.clear();
                     }
-                    match cache.1.get(&key) {
+                    match cache.1.get(key) {
                         Some((t, p)) => (t.clone(), p.clone()),
                         None => {
                             let enc = self.encode_history(&graph, tables);
-                            cache.1.insert(key, enc.clone());
+                            if cache.1.len() >= CONTENT_CACHE_CAP {
+                                cache.1.clear();
+                            }
+                            cache.1.insert(key.clone(), enc.clone());
                             enc
                         }
                     }
@@ -348,7 +386,9 @@ impl TspnRa {
     }
 
     /// Runs the network up to the fused output vectors
-    /// `(h_out_τ [1, dm], h_out_p [1, dm])`.
+    /// `(h_out_τ [1, dm], h_out_p [1, dm])` for a dataset-indexed sample
+    /// (the retained per-sample reference signature; see
+    /// [`TspnRa::forward_subject`] for the general entry point).
     pub fn forward(
         &self,
         ctx: &SpatialContext,
@@ -356,8 +396,22 @@ impl TspnRa {
         tables: &BatchTables,
         training: bool,
     ) -> (Tensor, Tensor) {
-        let prefix = self.prefix_visits(ctx, sample);
-        assert!(!prefix.is_empty(), "sample with empty prefix");
+        self.forward_subject(ctx, &Subject::Indexed(*sample), tables, training)
+    }
+
+    /// Runs the network for any [`Subject`] — indexed or ad-hoc. Both
+    /// address modes resolve to the same `(prefix, history)` visit runs
+    /// and then share every instruction, so an ad-hoc subject built from
+    /// an in-dataset stream produces **bitwise** the indexed result.
+    pub fn forward_subject(
+        &self,
+        ctx: &SpatialContext,
+        subject: &Subject,
+        tables: &BatchTables,
+        training: bool,
+    ) -> (Tensor, Tensor) {
+        let prefix = self.prefix_visits(ctx, subject);
+        assert!(!prefix.is_empty(), "subject with empty prefix");
         let dm = self.config.dm;
 
         // --- Tile sequence embedding ---
@@ -385,7 +439,9 @@ impl TspnRa {
         debug_assert_eq!(h_tile.cols(), dm);
 
         // --- Historical graph knowledge ---
-        let (hist_t, hist_p) = self.history_encodings(ctx, sample, tables, training);
+        let history = self.history_visits(ctx, subject);
+        let key = hist_key(&history);
+        let (hist_t, hist_p) = self.history_encodings(ctx, &history, &key, tables, training);
 
         // --- Fusion ---
         let fused_t = self.mp1.forward(&h_tile, hist_t.as_ref());
@@ -402,7 +458,7 @@ impl TspnRa {
         // makes it reliable at this reproduction's data scale (DESIGN.md).
         let mut visited_tiles: Vec<usize> = Vec::new();
         let mut visited_pois: Vec<usize> = Vec::new();
-        for v in self.history_visits(ctx, sample).iter().chain(prefix.iter()) {
+        for v in history.iter().chain(prefix.iter()) {
             let t = ctx.poi_leaf_node(v.poi).0;
             if !visited_tiles.contains(&t) {
                 visited_tiles.push(t);
@@ -495,17 +551,30 @@ impl TspnRa {
         tables: &BatchTables,
         k: usize,
     ) -> Prediction {
-        Tensor::no_grad(|| self.predict_with_k_inner(ctx, sample, tables, k))
+        self.predict_subject_with_k(ctx, &Subject::Indexed(*sample), tables, k)
+    }
+
+    /// Inference for any [`Subject`] with an explicit K — the per-subject
+    /// reference path the batched [`TspnRa::predict_many`] is asserted
+    /// bitwise against.
+    pub fn predict_subject_with_k(
+        &self,
+        ctx: &SpatialContext,
+        subject: &Subject,
+        tables: &BatchTables,
+        k: usize,
+    ) -> Prediction {
+        Tensor::no_grad(|| self.predict_with_k_inner(ctx, subject, tables, k))
     }
 
     fn predict_with_k_inner(
         &self,
         ctx: &SpatialContext,
-        sample: &Sample,
+        subject: &Subject,
         tables: &BatchTables,
         k: usize,
     ) -> Prediction {
-        let (h_out_t, h_out_p) = self.forward(ctx, sample, tables, false);
+        let (h_out_t, h_out_p) = self.forward_subject(ctx, subject, tables, false);
         let dm = self.config.dm;
 
         if !self.config.variant.two_step {

@@ -14,22 +14,26 @@
 //! a corrupt or mismatched file can never leave the model half-restored —
 //! the contract the serving layer's hot-swap relies on.
 
-use tspn_data::Sample;
+use std::sync::Arc;
+
+use tspn_data::{AdHocTrajectory, Sample};
 use tspn_tensor::serialize::Checkpoint;
 
 use crate::config::TspnConfig;
 use crate::context::SpatialContext;
 use crate::model::{Prediction, TspnRa};
+use crate::subject::Subject;
 use crate::trainer::Trainer;
 
-/// One batched-prediction request: which sample to extend, the tile
+/// One batched-prediction request: which [`Subject`] to extend — a
+/// dataset-indexed sample or an owned ad-hoc trajectory — the tile
 /// selector's K, and how many results to keep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Query {
-    /// The sample (user, trajectory, prefix length) to predict for. Unlike
-    /// evaluation samples, `prefix_len` may equal the trajectory length:
-    /// serving predicts the not-yet-observed *next* visit.
-    pub sample: Sample,
+    /// What to predict for. Unlike evaluation samples, an indexed
+    /// subject's `prefix_len` may equal the trajectory length: serving
+    /// predicts the not-yet-observed *next* visit.
+    pub subject: Subject,
     /// Top-K tiles kept by the tile selector (step 1).
     pub k: usize,
     /// How many POIs/tiles to keep in the returned [`TopK`].
@@ -37,18 +41,37 @@ pub struct Query {
 }
 
 impl Query {
-    /// A query returning the full ranking (no truncation).
+    /// An index-addressed query returning the full ranking (no truncation).
     pub fn new(sample: Sample, k: usize) -> Self {
         Query {
-            sample,
+            subject: Subject::Indexed(sample),
             k,
             top: usize::MAX,
         }
     }
 
-    /// A query truncated to the best `top` results.
+    /// An index-addressed query truncated to the best `top` results.
     pub fn with_top(sample: Sample, k: usize, top: usize) -> Self {
-        Query { sample, k, top }
+        Query {
+            subject: Subject::Indexed(sample),
+            k,
+            top,
+        }
+    }
+
+    /// A payload-addressed query over an owned trajectory, truncated to
+    /// the best `top` results.
+    pub fn adhoc(trajectory: Arc<AdHocTrajectory>, k: usize, top: usize) -> Self {
+        Query {
+            subject: Subject::AdHoc(trajectory),
+            k,
+            top,
+        }
+    }
+
+    /// The indexed sample this query addresses, when it is one.
+    pub fn indexed_sample(&self) -> Option<Sample> {
+        self.subject.indexed()
     }
 }
 
@@ -131,11 +154,19 @@ impl Predictor {
     /// servable prefix (`1 ≤ prefix_len ≤ len`; the upper bound is
     /// inclusive because serving predicts the next, unseen visit).
     pub fn sample_is_servable(&self, sample: &Sample) -> bool {
-        let ds = &self.trainer.ctx.dataset;
-        ds.users
-            .get(sample.user_index)
-            .and_then(|u| u.trajectories.get(sample.traj_index))
-            .is_some_and(|t| sample.prefix_len >= 1 && sample.prefix_len <= t.visits.len())
+        Subject::Indexed(*sample)
+            .validate(&self.trainer.ctx)
+            .is_ok()
+    }
+
+    /// Validates any subject against the served dataset — index bounds
+    /// for indexed subjects, vocabulary bounds and non-emptiness for
+    /// ad-hoc ones (see [`Subject::validate`]).
+    ///
+    /// # Errors
+    /// A client-facing message naming the first violation.
+    pub fn validate_subject(&self, subject: &Subject) -> Result<(), String> {
+        subject.validate(&self.trainer.ctx)
     }
 
     /// Validates a checkpoint against this model without touching any

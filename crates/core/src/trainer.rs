@@ -46,6 +46,7 @@ use crate::config::TspnConfig;
 use crate::context::SpatialContext;
 use crate::model::{BatchTables, Prediction, TspnRa};
 use crate::predictor::{Query, TopK};
+use crate::subject::Subject;
 
 /// Identity source for trainer instances; keys the per-thread replica
 /// cache.
@@ -446,30 +447,34 @@ impl Trainer {
         self.predict_mapped(queries, |_ctx, q, pred| TopK::from_prediction(pred, q.top))
     }
 
-    /// Single-query answer on the retained **per-sample reference path**
-    /// ([`crate::TspnRa::predict_with_k`]); the batched paths are asserted
-    /// bitwise against this.
+    /// Single-query answer on the retained **per-subject reference path**
+    /// ([`crate::TspnRa::predict_subject_with_k`]); the batched paths are
+    /// asserted bitwise against this.
     pub fn predict_one(&self, query: &Query) -> TopK {
         let tables = self.shared_tables();
         let pred = self
             .model
-            .predict_with_k(&self.ctx, &query.sample, &tables, query.k);
+            .predict_subject_with_k(&self.ctx, &query.subject, &tables, query.k);
         TopK::from_prediction(pred, query.top)
     }
 
     /// Query indices sorted by effective prefix length (ties by index):
     /// co-batching like-length prefixes keeps the padded `[B·S, dm]`
-    /// tensors dense, and per-sample results are batch-composition
+    /// tensors dense, and per-subject results are batch-composition
     /// invariant (bitwise), so the ordering is purely a perf knob.
     fn length_sorted_order(&self, queries: &[Query]) -> Vec<usize> {
         let cap = self.model.config.max_prefix;
         let mut order: Vec<usize> = (0..queries.len()).collect();
-        // First-trajectory samples carry no history; grouping them keeps
-        // chunks homogeneous so the fusion stack's cross-attention row
-        // partition takes its all-or-nothing fast paths.
+        // History-free subjects are grouped apart; that keeps chunks
+        // homogeneous so the fusion stack's cross-attention row partition
+        // takes its all-or-nothing fast paths.
         order.sort_by_key(|&i| {
-            let s = &queries[i].sample;
-            (s.traj_index.min(1), s.prefix_len.min(cap), i)
+            let subject = &queries[i].subject;
+            (
+                usize::from(subject.has_history()),
+                subject.prefix(&self.ctx).len().min(cap),
+                i,
+            )
         });
         order
     }
@@ -487,9 +492,9 @@ impl Trainer {
         let order = self.length_sorted_order(queries);
         let mut out: Vec<Option<R>> = (0..queries.len()).map(|_| None).collect();
         for chunk in order.chunks(PRED_CHUNK) {
-            let pairs: Vec<(Sample, usize)> = chunk
+            let pairs: Vec<(Subject, usize)> = chunk
                 .iter()
-                .map(|&i| (queries[i].sample, queries[i].k))
+                .map(|&i| (queries[i].subject.clone(), queries[i].k))
                 .collect();
             let preds = self.model.predict_many(&self.ctx, &pairs, &tables);
             for (&i, pred) in chunk.iter().zip(preds) {
@@ -565,9 +570,9 @@ impl Trainer {
                         };
                         let mut results: Vec<R> = Vec::with_capacity(shard.len());
                         for chunk in shard.chunks(PRED_CHUNK) {
-                            let pairs: Vec<(Sample, usize)> = chunk
+                            let pairs: Vec<(Subject, usize)> = chunk
                                 .iter()
-                                .map(|&i| (queries[i].sample, queries[i].k))
+                                .map(|&i| (queries[i].subject.clone(), queries[i].k))
                                 .collect();
                             let preds = replica.predict_many(ctx, &pairs, &tables);
                             results.extend(
@@ -606,7 +611,10 @@ impl Trainer {
 
 /// Scores one finished prediction against its sample's ground truth.
 fn outcome_of(ctx: &SpatialContext, query: &Query, pred: Prediction) -> EvalOutcome {
-    let target = ctx.dataset.sample_target(&query.sample);
+    let sample = query
+        .indexed_sample()
+        .expect("evaluation queries address dataset samples");
+    let target = ctx.dataset.sample_target(&sample);
     let tile_rank = if pred.tile_ranking.is_empty() {
         None
     } else {

@@ -11,7 +11,7 @@ use std::sync::OnceLock;
 
 use proptest::prelude::*;
 
-use tspn_core::{Partition, SpatialContext, TspnConfig, TspnRa};
+use tspn_core::{Partition, SpatialContext, Subject, TspnConfig, TspnRa};
 use tspn_data::presets::nyc_mini;
 use tspn_data::synth::generate_dataset;
 use tspn_data::Sample;
@@ -103,7 +103,7 @@ proptest! {
         let batch = pick(samples, &picks);
         let model = TspnRa::new(config(), ctx);
         let tables = Tensor::no_grad(|| model.batch_tables(ctx));
-        let queries: Vec<(Sample, usize)> = batch.iter().map(|&s| (s, k)).collect();
+        let queries: Vec<(Subject, usize)> = batch.iter().map(|&s| (Subject::from(s), k)).collect();
         let many = model.predict_many(ctx, &queries, &tables);
         for (s, got) in batch.iter().zip(&many) {
             let want = model.predict_with_k(ctx, s, &tables, k);
@@ -213,7 +213,8 @@ fn batched_forward_is_thread_count_invariant() {
             model.reseed_dropout(11);
             let grads = grads_of(model.loss_batch(ctx, &batch, &tables).sum_all(), &params);
             let tables = Tensor::no_grad(|| model.batch_tables(ctx));
-            let queries: Vec<(Sample, usize)> = batch.iter().map(|&s| (s, 4)).collect();
+            let queries: Vec<(Subject, usize)> =
+                batch.iter().map(|&s| (Subject::from(s), 4)).collect();
             let rankings: Vec<Vec<usize>> = model
                 .predict_many(ctx, &queries, &tables)
                 .into_iter()

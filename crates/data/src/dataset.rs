@@ -96,6 +96,23 @@ impl LbsnDataset {
         &self.users[sample.user_index].trajectories[..sample.traj_index]
     }
 
+    /// The raw check-in stream a client would have observed up to a
+    /// sample: every visit of the sample's historical trajectories
+    /// followed by the current prefix, in time order. This is exactly the
+    /// payload an external caller sends to address the same prediction the
+    /// sample indexes — re-splitting it at the trajectory gap
+    /// ([`crate::AdHocTrajectory::from_checkins`]) reproduces the sample's
+    /// `(history, prefix)` decomposition.
+    pub fn sample_checkins(&self, sample: &Sample) -> Vec<Visit> {
+        let mut out: Vec<Visit> = self
+            .sample_history(sample)
+            .iter()
+            .flat_map(|t| t.visits.iter().copied())
+            .collect();
+        out.extend_from_slice(self.sample_prefix(sample));
+        out
+    }
+
     /// Dataset statistics in the layout of the paper's Table I.
     pub fn stats(&self) -> DatasetStats {
         DatasetStats {
@@ -218,6 +235,36 @@ mod tests {
         assert_eq!(ds.sample_prefix(&s).len(), 2);
         assert_eq!(ds.sample_target(&s).poi, PoiId(1));
         assert_eq!(ds.sample_history(&s).len(), 1);
+    }
+
+    #[test]
+    fn sample_checkins_roundtrip_through_adhoc_split() {
+        // The payload-addressing invariant: for EVERY sample of a real
+        // synthetic dataset, the raw check-in stream re-splits into
+        // exactly the sample's (flattened history, prefix) decomposition.
+        let mut cfg = crate::presets::nyc_mini(0.1);
+        cfg.days = 12;
+        let (ds, _world) = crate::synth::generate_dataset(cfg);
+        let samples = ds.all_samples();
+        assert!(!samples.is_empty());
+        for s in &samples {
+            let stream = ds.sample_checkins(s);
+            let user = ds.users[s.user_index].user;
+            let adhoc =
+                crate::AdHocTrajectory::from_checkins(user, &stream, crate::DEFAULT_GAP_SECS)
+                    .expect("dataset streams are ordered and non-empty");
+            let flat_history: Vec<Visit> = ds
+                .sample_history(s)
+                .iter()
+                .flat_map(|t| t.visits.iter().copied())
+                .collect();
+            assert_eq!(adhoc.history, flat_history, "history diverged for {s:?}");
+            assert_eq!(
+                adhoc.current,
+                ds.sample_prefix(s),
+                "prefix diverged for {s:?}"
+            );
+        }
     }
 
     #[test]

@@ -29,5 +29,6 @@ pub use poi::{
     time_slot, CategoryId, Checkin, Poi, PoiId, Timestamp, UserId, DAY_SECS, TIME_SLOTS,
 };
 pub use trajectory::{
-    enumerate_samples, split_trajectories, Sample, Trajectory, UserHistory, Visit, DEFAULT_GAP_SECS,
+    enumerate_samples, first_invalid_poi, split_trajectories, AdHocTrajectory, CheckinStreamError,
+    Sample, Trajectory, UserHistory, Visit, DEFAULT_GAP_SECS,
 };

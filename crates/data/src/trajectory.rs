@@ -111,6 +111,101 @@ pub struct Sample {
     pub prefix_len: usize,
 }
 
+/// Why a raw check-in stream cannot form a prediction subject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckinStreamError {
+    /// The stream holds no visits — there is nothing to predict from.
+    Empty,
+    /// Visit `index` is earlier than its predecessor; streams must be
+    /// time-ordered (the trajectory gap rule is meaningless otherwise).
+    Unordered {
+        /// 0-based index of the out-of-order visit.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for CheckinStreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckinStreamError::Empty => write!(f, "check-in stream is empty"),
+            CheckinStreamError::Unordered { index } => {
+                write!(f, "check-in {index} is earlier than its predecessor")
+            }
+        }
+    }
+}
+
+/// An **owned** prediction subject: a client-supplied check-in stream,
+/// decoupled from any preset dataset. The stream is split at the paper's
+/// trajectory gap exactly like [`split_trajectories`]: everything before
+/// the final gap is `history` (flattened — models consume historical
+/// trajectories as one concatenated visit run), everything after it is the
+/// `current` prefix whose next visit is to be predicted.
+///
+/// Built from the same visits a dataset sample addresses
+/// ([`crate::LbsnDataset::sample_checkins`]), the split reproduces that
+/// sample's `(history, prefix)` decomposition exactly — the invariant the
+/// payload-addressed serving API's bitwise contract rests on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdHocTrajectory {
+    /// Client-supplied user identity (opaque to the model; sessions and
+    /// response echoing key on it, vocabulary bounds do not apply).
+    pub user: UserId,
+    /// Flattened visits of every trajectory before the current one,
+    /// untruncated (consumers apply their own history windows).
+    pub history: Vec<Visit>,
+    /// The current trajectory prefix (non-empty, no internal ≥ gap break).
+    pub current: Vec<Visit>,
+}
+
+impl AdHocTrajectory {
+    /// Splits a raw time-ordered check-in stream into `(history, current)`
+    /// at the last ≥ `gap_secs` break.
+    ///
+    /// # Errors
+    /// [`CheckinStreamError::Empty`] on an empty stream,
+    /// [`CheckinStreamError::Unordered`] when any visit precedes the one
+    /// before it.
+    pub fn from_checkins(
+        user: UserId,
+        visits: &[Visit],
+        gap_secs: i64,
+    ) -> Result<Self, CheckinStreamError> {
+        if visits.is_empty() {
+            return Err(CheckinStreamError::Empty);
+        }
+        for (i, pair) in visits.windows(2).enumerate() {
+            if pair[1].time < pair[0].time {
+                return Err(CheckinStreamError::Unordered { index: i + 1 });
+            }
+        }
+        // Index of the first visit of the current (final) trajectory.
+        let mut start = 0usize;
+        for (i, pair) in visits.windows(2).enumerate() {
+            if pair[1].time - pair[0].time >= gap_secs {
+                start = i + 1;
+            }
+        }
+        Ok(AdHocTrajectory {
+            user,
+            history: visits[..start].to_vec(),
+            current: visits[start..].to_vec(),
+        })
+    }
+
+    /// Total visit count (history + current).
+    pub fn num_checkins(&self) -> usize {
+        self.history.len() + self.current.len()
+    }
+}
+
+/// Index of the first visit naming a POI outside a vocabulary of `vocab`
+/// ids, if any — the one bound check shared by every consumer validating
+/// client-supplied check-in streams (core subjects, the serving layer).
+pub fn first_invalid_poi(visits: &[Visit], vocab: usize) -> Option<usize> {
+    visits.iter().position(|v| v.poi.0 >= vocab)
+}
+
 /// Enumerates every prediction sample a user history offers: all positions
 /// `j ≥ 1` of all trajectories with at least two visits.
 pub fn enumerate_samples(user_index: usize, history: &UserHistory) -> Vec<Sample> {
@@ -198,6 +293,53 @@ mod tests {
         assert_eq!(samples[0].prefix_len, 1);
         assert_eq!(samples[1].prefix_len, 2);
         assert!(samples.iter().all(|s| s.user_index == 7));
+    }
+
+    #[test]
+    fn adhoc_splits_at_the_last_gap() {
+        // Two gaps: history is everything before the final one, flattened.
+        let visits = vec![v(1, 0), v(2, 100), v(3, 200), v(4, 201), v(5, 300)];
+        let t = AdHocTrajectory::from_checkins(UserId(3), &visits, DEFAULT_GAP_SECS).unwrap();
+        assert_eq!(t.history, &visits[..4]);
+        assert_eq!(t.current, &visits[4..]);
+        assert_eq!(t.num_checkins(), 5);
+
+        // No gap at all: the whole stream is the current prefix.
+        let single = vec![v(1, 0), v(2, 5), v(3, 20)];
+        let t = AdHocTrajectory::from_checkins(UserId(0), &single, DEFAULT_GAP_SECS).unwrap();
+        assert!(t.history.is_empty());
+        assert_eq!(t.current, single);
+    }
+
+    #[test]
+    fn adhoc_matches_split_trajectories_decomposition() {
+        // The ad-hoc split must agree with split_trajectories: history =
+        // all but the last trajectory (flattened), current = the last.
+        let visits = vec![v(1, 0), v(2, 71), v(3, 71 + 72), v(4, 150), v(5, 300)];
+        let trajs = split_trajectories(UserId(9), &visits, DEFAULT_GAP_SECS);
+        let t = AdHocTrajectory::from_checkins(UserId(9), &visits, DEFAULT_GAP_SECS).unwrap();
+        let flat_history: Vec<Visit> = trajs[..trajs.len() - 1]
+            .iter()
+            .flat_map(|t| t.visits.iter().copied())
+            .collect();
+        assert_eq!(t.history, flat_history);
+        assert_eq!(t.current, trajs.last().unwrap().visits);
+    }
+
+    #[test]
+    fn adhoc_rejects_empty_and_unordered_streams() {
+        assert_eq!(
+            AdHocTrajectory::from_checkins(UserId(0), &[], DEFAULT_GAP_SECS),
+            Err(CheckinStreamError::Empty)
+        );
+        let unordered = vec![v(1, 10), v(2, 5)];
+        assert_eq!(
+            AdHocTrajectory::from_checkins(UserId(0), &unordered, DEFAULT_GAP_SECS),
+            Err(CheckinStreamError::Unordered { index: 1 })
+        );
+        // Equal timestamps are ordered (check-ins can share a second).
+        let ties = vec![v(1, 10), v(2, 10)];
+        assert!(AdHocTrajectory::from_checkins(UserId(0), &ties, DEFAULT_GAP_SECS).is_ok());
     }
 
     #[test]

@@ -199,7 +199,7 @@ impl Batcher {
                 return;
             };
             batch_id += 1;
-            let queries: Vec<Query> = pending.iter().map(|w| w.query).collect();
+            let queries: Vec<Query> = pending.iter().map(|w| w.query.clone()).collect();
             let outcome =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| serve(&queries)));
             match outcome {
@@ -289,7 +289,11 @@ mod tests {
         let answers = queries
             .iter()
             .map(|q| TopK {
-                pois: vec![PoiId(q.sample.user_index)],
+                pois: vec![PoiId(
+                    q.indexed_sample()
+                        .expect("test queries are indexed")
+                        .user_index,
+                )],
                 tiles: Vec::new(),
                 candidate_count: 1,
             })

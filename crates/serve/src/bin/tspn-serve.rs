@@ -3,7 +3,8 @@
 //! ```text
 //! tspn-serve --port 7878 --preset nyc --scale 0.15 --days 12 \
 //!            [--checkpoint model.json] [--dump-checkpoint boot.json] \
-//!            [--max-batch 32] [--deadline-us 2000] [--top 10]
+//!            [--max-batch 32] [--deadline-us 2000] [--top 10] \
+//!            [--session-ttl-ms 900000] [--max-sessions 4096]
 //! ```
 //!
 //! The synthetic presets are deterministic, so the server regenerates the
@@ -16,7 +17,10 @@
 //! `--max-batch` / `--deadline-us` are absent, `TSPN_SERVE_MAX_BATCH` and
 //! `TSPN_SERVE_DEADLINE_US` apply, else 32 / 2 ms — a flush is one
 //! batched forward, so these tune its size and tail latency under load
-//! without rebuilding deployment command lines.
+//! without rebuilding deployment command lines. The v1 session store
+//! resolves the same way: `--session-ttl-ms` / `--max-sessions`, then
+//! `TSPN_SERVE_SESSION_TTL_MS` / `TSPN_SERVE_MAX_SESSIONS`, then the
+//! 15-minute / 4096-session defaults.
 //!
 //! Shutdown: SIGTERM/SIGINT or `POST /admin/shutdown`; either way queued
 //! predictions flush before the process exits 0.
@@ -26,7 +30,7 @@ use std::time::Duration;
 
 use tspn_core::{SpatialContext, TspnConfig};
 use tspn_data::synth::{generate_dataset, SynthConfig};
-use tspn_serve::{server, BatchConfig, ServerConfig};
+use tspn_serve::{server, BatchConfig, ServerConfig, SessionConfig};
 
 /// Set by the signal handler; polled by the main loop.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
@@ -40,6 +44,8 @@ struct Args {
     dump_checkpoint: Option<String>,
     max_batch: Option<usize>,
     deadline_us: Option<u64>,
+    session_ttl_ms: Option<u64>,
+    max_sessions: Option<usize>,
     top: usize,
 }
 
@@ -47,7 +53,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: tspn-serve [--port N] [--preset nyc|tky|california|florida] [--scale F] \
          [--days N] [--checkpoint FILE] [--dump-checkpoint FILE] [--max-batch N] \
-         [--deadline-us N] [--top N]"
+         [--deadline-us N] [--session-ttl-ms N] [--max-sessions N] [--top N]"
     );
     std::process::exit(2);
 }
@@ -63,6 +69,8 @@ fn parse_args() -> Args {
         dump_checkpoint: None,
         max_batch: None,
         deadline_us: None,
+        session_ttl_ms: None,
+        max_sessions: None,
         top: 10,
     };
     let mut i = 0;
@@ -84,6 +92,12 @@ fn parse_args() -> Args {
             }
             "--deadline-us" => {
                 args.deadline_us = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
+            "--session-ttl-ms" => {
+                args.session_ttl_ms = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
+            "--max-sessions" => {
+                args.max_sessions = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
             }
             "--top" => args.top = value(&mut i).parse().unwrap_or_else(|_| usage()),
             _ => usage(),
@@ -184,13 +198,17 @@ fn main() {
     let batch = BatchConfig::resolve(args.max_batch, args.deadline_us, |key| {
         std::env::var(key).ok()
     });
+    let session = SessionConfig::resolve(args.session_ttl_ms, args.max_sessions, |key| {
+        std::env::var(key).ok()
+    });
     eprintln!(
-        "tspn-serve: micro-batcher max_batch={} deadline={:?}",
-        batch.max_batch, batch.deadline
+        "tspn-serve: micro-batcher max_batch={} deadline={:?}; sessions ttl={:?} cap={}",
+        batch.max_batch, batch.deadline, session.ttl, session.max_sessions
     );
     let server_cfg = ServerConfig {
         addr: format!("127.0.0.1:{}", args.port),
         batch,
+        session,
         default_top: args.top,
         ..ServerConfig::default()
     };

@@ -213,9 +213,10 @@ impl HttpConn {
         self.stream.flush()
     }
 
-    /// Best-effort error response before closing a broken connection.
+    /// Best-effort typed-error response before closing a broken
+    /// connection (the error code follows from the status).
     pub fn reject(&mut self, status: u16, message: &str) {
-        let body = crate::protocol::error_response(message);
+        let body = crate::protocol::error_response(error_code(status), message);
         let _ = self.respond(status, &body, false);
     }
 }
@@ -230,10 +231,28 @@ fn reason_phrase(status: u16) -> &'static str {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        405 => "Method Not Allowed",
+        410 => "Gone",
         413 => "Payload Too Large",
+        422 => "Unprocessable Content",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
+    }
+}
+
+/// The typed-error `code` implied by a status (for connection-level
+/// rejections that never reach a route handler).
+fn error_code(status: u16) -> &'static str {
+    match status {
+        400 => "bad_request",
+        404 => "not_found",
+        405 => "method_not_allowed",
+        410 => "gone",
+        413 => "payload_too_large",
+        422 => "unprocessable",
+        503 => "unavailable",
+        _ => "internal",
     }
 }
 
@@ -250,9 +269,18 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_protocol_statuses() {
-        for s in [200, 400, 404, 413, 500, 503] {
+        for s in [200, 400, 404, 405, 410, 413, 422, 500, 503] {
             assert_ne!(reason_phrase(s), "Unknown");
         }
         assert_eq!(reason_phrase(299), "Unknown");
+    }
+
+    #[test]
+    fn error_codes_follow_statuses() {
+        assert_eq!(error_code(400), "bad_request");
+        assert_eq!(error_code(405), "method_not_allowed");
+        assert_eq!(error_code(410), "gone");
+        assert_eq!(error_code(422), "unprocessable");
+        assert_eq!(error_code(500), "internal");
     }
 }

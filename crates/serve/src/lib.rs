@@ -3,11 +3,20 @@
 //! The long-lived online serving layer for the TSPN-RA next-POI model:
 //! a thread-per-connection HTTP/1.1 loop (no tokio — the offline build
 //! vendors everything), a request micro-batcher that coalesces concurrent
-//! `/predict` calls into single batched `no_grad` forwards over the
-//! persistent worker pool, and an atomic checkpoint hot-swap path
-//! (`/admin/reload`) that can never mix parameters within one batch.
+//! predictions into single batched `no_grad` forwards over the persistent
+//! worker pool, and an atomic checkpoint hot-swap path (`/admin/reload`)
+//! that can never mix parameters within one batch.
 //!
-//! See `crates/serve/README.md` for the wire protocol, the batching
+//! The client-facing surface is the versioned **`/v1` API**:
+//! `POST /v1/predict` is *payload-addressed* (the request carries the raw
+//! check-in sequence), and the `POST /v1/sessions` family maintains
+//! per-user trajectory state server-side with incremental appends over a
+//! bounded, TTL-evicting [`session::SessionStore`]. The pre-v1
+//! index-addressed `POST /predict` survives as a thin adapter over the
+//! same batched prediction path. Errors are typed
+//! (`{"error":{"code":…,"message":…}}` with 400/404/405/410/422).
+//!
+//! See `crates/serve/README.md` for the full API reference, the batching
 //! deadline semantics and the hot-swap contract; `serve_bench` in
 //! `tspn-bench` is the matching load generator / smoke driver.
 
@@ -18,11 +27,14 @@ pub mod client;
 pub mod http;
 pub mod protocol;
 pub mod server;
+pub mod session;
 pub mod snapshot;
 
 pub use batcher::{Answered, BatchConfig, Batcher, SubmitError};
 pub use client::Client;
+pub use protocol::ApiError;
 pub use server::{
     default_model_config, preset_dataset_config, start, ServeStats, ServerConfig, ServerHandle,
 };
+pub use session::{SessionConfig, SessionError, SessionInfo, SessionStats, SessionStore};
 pub use snapshot::{PublishedCheckpoint, SnapshotHandle, BOOT_VERSION};

@@ -1,24 +1,210 @@
 //! The serving wire protocol: a minimal JSON dialect over HTTP/1.1.
 //!
+//! ## The `/v1` surface (payload-addressed + sessions)
+//!
 //! | Endpoint | Body | Answer |
 //! |---|---|---|
-//! | `POST /predict` | `{"user":U,"traj":T,"prefix_len":P[,"k":K][,"top":N]}` | `{"pois":[…],"tiles":[…],"candidates":C,"snapshot":V,"batch":B}` |
-//! | `GET /healthz` | – | `{"status":"ok","snapshot":V,"published":W,"served":N,"batches":M,"queue":Q}` |
+//! | `POST /v1/predict` | `{"user":U,"checkins":[{"poi":P,"t":T},…][,"k":K][,"top":N]}` | `{"pois":[…],"tiles":[…],"candidates":C,"snapshot":V,"batch":B}` |
+//! | `POST /v1/sessions` | `{"user":U[,"checkins":[…]]}` | `{"session":"s1","user":U,"checkins":N,"ttl_ms":T}` |
+//! | `POST /v1/sessions/{id}/checkins` | `{"checkins":[…]}` | `{"session":"s1","checkins":N}` |
+//! | `POST /v1/sessions/{id}/predict` | `{}` or `{"k":K,"top":N}` | as `/v1/predict` |
+//! | `GET /v1/sessions/{id}` | – | `{"session":"s1","user":U,"checkins":N,"idle_ms":I}` |
+//! | `DELETE /v1/sessions/{id}` | – | `{"ok":true}` |
+//! | `GET /v1/stats` | – | serving + session-store counters |
+//!
+//! ## Legacy + admin
+//!
+//! | Endpoint | Body | Answer |
+//! |---|---|---|
+//! | `POST /predict` | `{"user":U,"traj":T,"prefix_len":P[,"k":K][,"top":N]}` | as `/v1/predict` |
+//! | `GET /healthz` | – | status + counters |
 //! | `POST /admin/reload` | `{"path":"ckpt.json"}` | `{"ok":true,"snapshot":V}` |
 //! | `POST /admin/shutdown` | – | `{"ok":true}` |
 //!
-//! `(user, traj, prefix_len)` addresses a history in the server-side
-//! dataset (the synthetic presets are deterministic, so client and server
-//! agree on indices); `prefix_len` may equal the trajectory length — that
-//! is the true online case, predicting the not-yet-observed next visit.
+//! Errors are **typed**: `{"error":{"code":"…","message":"…"}}` with
+//! `400 bad_request` (malformed JSON / wrong field types), `404
+//! not_found` (unknown route or never-issued session), `405
+//! method_not_allowed`, `410 gone` (expired/evicted/deleted session),
+//! `422 unprocessable` (well-formed but semantically invalid: POI out of
+//! vocabulary, unordered timestamps, empty check-in runs, zero `k`/`top`).
 
 use serde::Value;
 use tspn_core::TopK;
-use tspn_data::Sample;
+use tspn_data::{PoiId, Sample, Visit};
 
-/// Renders a `/predict` request body — the client-side counterpart of
-/// [`parse_predict`], shared by the load generator and the tests so the
-/// wire shape has exactly one definition on each side.
+// ---------------------------------------------------------------------
+// Typed errors
+// ---------------------------------------------------------------------
+
+/// A client-facing API error: HTTP status plus the typed JSON body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Stable machine-readable code (`"bad_request"`, `"gone"`, …).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ApiError {
+    /// `400 bad_request`: malformed JSON or wrong field types.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 400,
+            code: "bad_request",
+            message: message.into(),
+        }
+    }
+
+    /// `404 not_found`: unknown route or never-issued resource.
+    pub fn not_found(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 404,
+            code: "not_found",
+            message: message.into(),
+        }
+    }
+
+    /// `405 method_not_allowed`: known path, wrong verb.
+    pub fn method_not_allowed(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 405,
+            code: "method_not_allowed",
+            message: message.into(),
+        }
+    }
+
+    /// `410 gone`: the resource existed but has expired or been deleted.
+    pub fn gone(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 410,
+            code: "gone",
+            message: message.into(),
+        }
+    }
+
+    /// `422 unprocessable`: well-formed but semantically invalid.
+    pub fn unprocessable(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 422,
+            code: "unprocessable",
+            message: message.into(),
+        }
+    }
+
+    /// The `(status, body)` pair the connection handler writes.
+    pub fn render(&self) -> (u16, String) {
+        (self.status, error_response(self.code, &self.message))
+    }
+}
+
+/// Renders a typed error body. The message is escaped as a real JSON
+/// string (Rust's `{:?}` is *almost* JSON but renders control characters
+/// as the invalid `\u{7f}` form, and parts of the message are
+/// client-controlled).
+pub fn error_response(code: &str, message: &str) -> String {
+    let code =
+        serde_json::to_string(&code.to_string()).unwrap_or_else(|_| "\"internal\"".to_string());
+    let message =
+        serde_json::to_string(&message.to_string()).unwrap_or_else(|_| "\"error\"".to_string());
+    format!("{{\"error\":{{\"code\":{code},\"message\":{message}}}}}")
+}
+
+/// Extracts `(code, message)` from a parsed typed-error answer — the
+/// client-side counterpart of [`error_response`], shared by the smoke
+/// driver and the tests.
+pub fn error_of(answer: &Value) -> Option<(String, String)> {
+    let err = answer.get("error")?;
+    Some((
+        err.get("code")?.as_str()?.to_string(),
+        err.get("message")?.as_str()?.to_string(),
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Shared JSON helpers
+// ---------------------------------------------------------------------
+
+fn parse_json(body: &[u8]) -> Result<Value, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::bad_request("body is not UTF-8".to_string()))?;
+    serde_json::from_str::<Value>(text)
+        .map_err(|e| ApiError::bad_request(format!("invalid JSON: {e}")))
+}
+
+fn usize_field(v: &Value, name: &str) -> Result<usize, ApiError> {
+    v.get(name)
+        .ok_or_else(|| ApiError::bad_request(format!("missing field {name:?}")))?
+        .as_usize()
+        .ok_or_else(|| {
+            ApiError::bad_request(format!("field {name:?} must be a non-negative integer"))
+        })
+}
+
+/// Optional positive integer: absent/null → `None`, zero → 422.
+fn optional_positive(v: &Value, name: &str) -> Result<Option<usize>, ApiError> {
+    match v.get(name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(val) => {
+            let n = val.as_usize().ok_or_else(|| {
+                ApiError::bad_request(format!("field {name:?} must be a non-negative integer"))
+            })?;
+            if n == 0 {
+                return Err(ApiError::unprocessable(format!(
+                    "field {name:?} must be ≥ 1"
+                )));
+            }
+            Ok(Some(n))
+        }
+    }
+}
+
+/// Parses a `checkins` array of `{"poi":P,"t":T}` records.
+fn checkins_field(v: &Value, required: bool) -> Result<Vec<Visit>, ApiError> {
+    let field = match v.get("checkins") {
+        Some(f) => f,
+        None if !required => return Ok(Vec::new()),
+        None => return Err(ApiError::bad_request("missing field \"checkins\"")),
+    };
+    let Value::Array(items) = field else {
+        return Err(ApiError::bad_request("field \"checkins\" must be an array"));
+    };
+    let mut visits = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let poi = item.get("poi").and_then(Value::as_usize).ok_or_else(|| {
+            ApiError::bad_request(format!("checkin {i} needs integer field \"poi\""))
+        })?;
+        let time = item.get("t").and_then(Value::as_i64).ok_or_else(|| {
+            ApiError::bad_request(format!("checkin {i} needs integer field \"t\""))
+        })?;
+        visits.push(Visit {
+            poi: PoiId(poi),
+            time,
+        });
+    }
+    Ok(visits)
+}
+
+/// Renders a `checkins` array (client side).
+fn push_checkins(out: &mut String, visits: &[Visit]) {
+    out.push_str("\"checkins\":[");
+    for (i, v) in visits.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"poi\":{},\"t\":{}}}", v.poi.0, v.time));
+    }
+    out.push(']');
+}
+
+// ---------------------------------------------------------------------
+// Legacy /predict (index-addressed)
+// ---------------------------------------------------------------------
+
+/// Renders a legacy `/predict` request body — the client-side counterpart
+/// of [`parse_predict`], shared by the load generator and the tests so
+/// the wire shape has exactly one definition on each side.
 pub fn predict_request_body(sample: &Sample, k: usize, top: usize) -> String {
     format!(
         "{{\"user\":{},\"traj\":{},\"prefix_len\":{},\"k\":{k},\"top\":{top}}}",
@@ -26,7 +212,7 @@ pub fn predict_request_body(sample: &Sample, k: usize, top: usize) -> String {
     )
 }
 
-/// Extracts the POI ranking from a parsed `/predict` answer.
+/// Extracts the POI ranking from a parsed predict answer.
 pub fn pois_of(answer: &Value) -> Option<Vec<tspn_data::PoiId>> {
     match answer.get("pois") {
         Some(Value::Array(items)) => items
@@ -37,7 +223,7 @@ pub fn pois_of(answer: &Value) -> Option<Vec<tspn_data::PoiId>> {
     }
 }
 
-/// A parsed `/predict` body.
+/// A parsed legacy `/predict` body.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PredictRequest {
     /// The addressed sample.
@@ -48,57 +234,194 @@ pub struct PredictRequest {
     pub top: Option<usize>,
 }
 
-/// Parses a `/predict` body.
+/// Parses a legacy `/predict` body.
 ///
 /// # Errors
-/// Returns a client-facing message on malformed JSON, missing required
-/// fields, or non-integer values.
-pub fn parse_predict(body: &[u8]) -> Result<PredictRequest, String> {
+/// `400 bad_request` on malformed JSON, missing required fields, or
+/// non-integer values (the legacy endpoint predates the 422 class and
+/// keeps its original status for compatibility).
+pub fn parse_predict(body: &[u8]) -> Result<PredictRequest, ApiError> {
     let v = parse_json(body)?;
-    let field = |name: &str| -> Result<usize, String> {
-        v.get(name)
-            .ok_or_else(|| format!("missing field {name:?}"))?
-            .as_usize()
-            .ok_or_else(|| format!("field {name:?} must be a non-negative integer"))
-    };
-    let optional = |name: &str| -> Result<Option<usize>, String> {
+    // The legacy dialect tolerated k=0/top=0 (server clamps); preserve
+    // that rather than retrofit the v1 rules onto old clients.
+    let optional = |name: &str| -> Result<Option<usize>, ApiError> {
         match v.get(name) {
             None | Some(Value::Null) => Ok(None),
-            Some(val) => val
-                .as_usize()
-                .map(Some)
-                .ok_or_else(|| format!("field {name:?} must be a non-negative integer")),
+            Some(val) => val.as_usize().map(Some).ok_or_else(|| {
+                ApiError::bad_request(format!("field {name:?} must be a non-negative integer"))
+            }),
         }
     };
     Ok(PredictRequest {
         sample: Sample {
-            user_index: field("user")?,
-            traj_index: field("traj")?,
-            prefix_len: field("prefix_len")?,
+            user_index: usize_field(&v, "user")?,
+            traj_index: usize_field(&v, "traj")?,
+            prefix_len: usize_field(&v, "prefix_len")?,
         },
         k: optional("k")?,
         top: optional("top")?,
     })
 }
 
+// ---------------------------------------------------------------------
+// v1 payload-addressed predict
+// ---------------------------------------------------------------------
+
+/// A parsed `POST /v1/predict` body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct V1PredictRequest {
+    /// Client-supplied user id (opaque; echoed into session state only).
+    pub user: usize,
+    /// The raw observed check-in stream, oldest first.
+    pub checkins: Vec<Visit>,
+    /// Tile-selection K; `None` uses the server's configured `top_k`.
+    pub k: Option<usize>,
+    /// Result-list truncation; `None` uses the server default.
+    pub top: Option<usize>,
+}
+
+/// Parses a `POST /v1/predict` body.
+///
+/// # Errors
+/// `400` for malformed JSON / wrong types, `422` for an empty `checkins`
+/// run or zero `k`/`top` (sequence-order and vocabulary violations are
+/// caught against the dataset by the server).
+pub fn parse_v1_predict(body: &[u8]) -> Result<V1PredictRequest, ApiError> {
+    let v = parse_json(body)?;
+    let checkins = checkins_field(&v, true)?;
+    if checkins.is_empty() {
+        return Err(ApiError::unprocessable("\"checkins\" must be non-empty"));
+    }
+    Ok(V1PredictRequest {
+        user: usize_field(&v, "user")?,
+        checkins,
+        k: optional_positive(&v, "k")?,
+        top: optional_positive(&v, "top")?,
+    })
+}
+
+/// Renders a `POST /v1/predict` body (client side).
+pub fn v1_predict_request_body(user: usize, checkins: &[Visit], k: usize, top: usize) -> String {
+    let mut out = String::with_capacity(48 + 24 * checkins.len());
+    out.push_str(&format!("{{\"user\":{user},"));
+    push_checkins(&mut out, checkins);
+    out.push_str(&format!(",\"k\":{k},\"top\":{top}}}"));
+    out
+}
+
+// ---------------------------------------------------------------------
+// v1 sessions
+// ---------------------------------------------------------------------
+
+/// A parsed `POST /v1/sessions` body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionCreateRequest {
+    /// The session's user id.
+    pub user: usize,
+    /// Optional initial check-ins (may be empty).
+    pub checkins: Vec<Visit>,
+}
+
+/// Parses a `POST /v1/sessions` body.
+///
+/// # Errors
+/// `400` on malformed JSON, a missing `user`, or wrong types.
+pub fn parse_session_create(body: &[u8]) -> Result<SessionCreateRequest, ApiError> {
+    let v = parse_json(body)?;
+    Ok(SessionCreateRequest {
+        user: usize_field(&v, "user")?,
+        checkins: checkins_field(&v, false)?,
+    })
+}
+
+/// Renders a `POST /v1/sessions` body (client side).
+pub fn session_create_body(user: usize, checkins: &[Visit]) -> String {
+    let mut out = String::with_capacity(32 + 24 * checkins.len());
+    out.push_str(&format!("{{\"user\":{user},"));
+    push_checkins(&mut out, checkins);
+    out.push('}');
+    out
+}
+
+/// Parses a `POST /v1/sessions/{id}/checkins` body into the appended run.
+///
+/// # Errors
+/// `400` on malformed JSON or types, `422` on an empty run.
+pub fn parse_session_append(body: &[u8]) -> Result<Vec<Visit>, ApiError> {
+    let v = parse_json(body)?;
+    let checkins = checkins_field(&v, true)?;
+    if checkins.is_empty() {
+        return Err(ApiError::unprocessable("\"checkins\" must be non-empty"));
+    }
+    Ok(checkins)
+}
+
+/// Renders a `POST /v1/sessions/{id}/checkins` body (client side).
+pub fn session_append_body(checkins: &[Visit]) -> String {
+    let mut out = String::with_capacity(16 + 24 * checkins.len());
+    out.push('{');
+    push_checkins(&mut out, checkins);
+    out.push('}');
+    out
+}
+
+/// Parses a `POST /v1/sessions/{id}/predict` body: `k`/`top` overrides.
+/// An empty body means "all defaults".
+///
+/// # Errors
+/// `400` on malformed JSON or types, `422` on zero `k`/`top`.
+pub fn parse_predict_opts(body: &[u8]) -> Result<(Option<usize>, Option<usize>), ApiError> {
+    if body.iter().all(|b| b.is_ascii_whitespace()) {
+        return Ok((None, None));
+    }
+    let v = parse_json(body)?;
+    Ok((optional_positive(&v, "k")?, optional_positive(&v, "top")?))
+}
+
+/// Renders a `POST /v1/sessions` answer.
+pub fn session_created_response(id: u64, user: usize, checkins: usize, ttl_ms: u64) -> String {
+    format!("{{\"session\":\"s{id}\",\"user\":{user},\"checkins\":{checkins},\"ttl_ms\":{ttl_ms}}}")
+}
+
+/// Renders a `POST /v1/sessions/{id}/checkins` answer.
+pub fn session_append_response(id: u64, checkins: usize) -> String {
+    format!("{{\"session\":\"s{id}\",\"checkins\":{checkins}}}")
+}
+
+/// Renders a `GET /v1/sessions/{id}` answer.
+pub fn session_info_response(id: u64, user: usize, checkins: usize, idle_ms: u64) -> String {
+    format!(
+        "{{\"session\":\"s{id}\",\"user\":{user},\"checkins\":{checkins},\"idle_ms\":{idle_ms}}}"
+    )
+}
+
+/// Extracts the numeric id from a `"s<N>"` session-id path segment.
+pub fn parse_session_id(segment: &str) -> Option<u64> {
+    let digits = segment.strip_prefix('s')?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+// ---------------------------------------------------------------------
+// Admin + answers
+// ---------------------------------------------------------------------
+
 /// Parses an `/admin/reload` body into the checkpoint path.
 ///
 /// # Errors
-/// Returns a client-facing message on malformed JSON or a missing path.
-pub fn parse_reload(body: &[u8]) -> Result<String, String> {
+/// `400` on malformed JSON or a missing path.
+pub fn parse_reload(body: &[u8]) -> Result<String, ApiError> {
     let v = parse_json(body)?;
     v.get("path")
         .and_then(Value::as_str)
         .map(str::to_string)
-        .ok_or_else(|| "missing string field \"path\"".to_string())
+        .ok_or_else(|| ApiError::bad_request("missing string field \"path\""))
 }
 
-fn parse_json(body: &[u8]) -> Result<Value, String> {
-    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
-    serde_json::from_str::<Value>(text).map_err(|e| format!("invalid JSON: {e}"))
-}
-
-/// Renders a `/predict` answer.
+/// Renders a predict answer (shared by the legacy, payload, and session
+/// endpoints — one response shape for every address mode).
 pub fn predict_response(topk: &TopK, snapshot: u64, batch: u64) -> String {
     let mut out = String::with_capacity(64 + 8 * (topk.pois.len() + topk.tiles.len()));
     out.push_str("{\"pois\":[");
@@ -124,35 +447,95 @@ fn push_ids(out: &mut String, ids: impl Iterator<Item = usize>) {
     }
 }
 
-/// Renders a `/healthz` answer. `snapshot` is the parameter version the
-/// batcher is actually serving; `published` the latest validated reload
-/// (they differ only until the next flush applies it).
-pub fn health_response(
-    snapshot: u64,
-    published: u64,
-    served: u64,
-    batches: u64,
-    queue: usize,
-) -> String {
+/// Everything `/healthz` and `/v1/stats` report beyond the serving
+/// snapshot versions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatsSnapshot {
+    /// Parameter version the batcher is serving.
+    pub snapshot: u64,
+    /// Latest validated published version.
+    pub published: u64,
+    /// Total successful predictions across all endpoints.
+    pub served: u64,
+    /// Legacy `/predict` answers.
+    pub served_legacy: u64,
+    /// `POST /v1/predict` answers.
+    pub served_v1: u64,
+    /// `POST /v1/sessions/{id}/predict` answers.
+    pub served_session: u64,
+    /// Flushed batches.
+    pub batches: u64,
+    /// Queries currently queued.
+    pub queue: usize,
+    /// Live sessions.
+    pub sessions_live: usize,
+    /// Sessions ever created.
+    pub sessions_created: u64,
+    /// Successful append calls.
+    pub session_appends: u64,
+    /// TTL expirations.
+    pub sessions_expired: u64,
+    /// Capacity (LRU) evictions.
+    pub sessions_evicted: u64,
+    /// Configured session TTL in milliseconds.
+    pub session_ttl_ms: u64,
+    /// Configured session capacity.
+    pub session_capacity: usize,
+}
+
+/// Renders a `/healthz` answer: the legacy fields plus session-store
+/// occupancy and total evictions (expiry + capacity).
+pub fn health_response(s: &StatsSnapshot) -> String {
     format!(
-        "{{\"status\":\"ok\",\"snapshot\":{snapshot},\"published\":{published},\
-         \"served\":{served},\"batches\":{batches},\"queue\":{queue}}}"
+        "{{\"status\":\"ok\",\"snapshot\":{},\"published\":{},\"served\":{},\"batches\":{},\
+         \"queue\":{},\"sessions\":{},\"evictions\":{}}}",
+        s.snapshot,
+        s.published,
+        s.served,
+        s.batches,
+        s.queue,
+        s.sessions_live,
+        s.sessions_expired + s.sessions_evicted,
     )
 }
 
-/// Renders an error body. The message is escaped as a real JSON string
-/// (Rust's `{:?}` is *almost* JSON but renders control characters as the
-/// invalid `\u{7f}` form, and parts of the message are client-controlled).
-pub fn error_response(message: &str) -> String {
-    let escaped =
-        serde_json::to_string(&message.to_string()).unwrap_or_else(|_| "\"error\"".to_string());
-    format!("{{\"error\":{escaped}}}")
+/// Renders the full `GET /v1/stats` answer: per-endpoint served counts
+/// and the session-store lifecycle breakdown.
+pub fn stats_response(s: &StatsSnapshot) -> String {
+    format!(
+        "{{\"snapshot\":{},\"published\":{},\"batches\":{},\"queue\":{},\
+         \"served\":{{\"total\":{},\"legacy_predict\":{},\"v1_predict\":{},\"session_predict\":{}}},\
+         \"sessions\":{{\"live\":{},\"created\":{},\"appends\":{},\"expired\":{},\"evicted\":{},\
+         \"ttl_ms\":{},\"capacity\":{}}}}}",
+        s.snapshot,
+        s.published,
+        s.batches,
+        s.queue,
+        s.served,
+        s.served_legacy,
+        s.served_v1,
+        s.served_session,
+        s.sessions_live,
+        s.sessions_created,
+        s.session_appends,
+        s.sessions_expired,
+        s.sessions_evicted,
+        s.session_ttl_ms,
+        s.session_capacity,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use tspn_data::PoiId;
+
+    fn v(poi: usize, t: i64) -> Visit {
+        Visit {
+            poi: PoiId(poi),
+            time: t,
+        }
+    }
 
     #[test]
     fn predict_request_parses_required_and_optional_fields() {
@@ -178,6 +561,79 @@ mod tests {
         assert!(parse_predict(br#"{"user":-1,"traj":0,"prefix_len":1}"#).is_err());
         assert!(parse_predict(br#"{"user":1.5,"traj":0,"prefix_len":1}"#).is_err());
         assert!(parse_predict(br#"{"user":1,"traj":0,"prefix_len":1,"k":"x"}"#).is_err());
+        // All of the above are protocol-shape violations → 400.
+        assert_eq!(parse_predict(b"not json").unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn v1_predict_roundtrip_and_statuses() {
+        let visits = vec![v(3, 100), v(9, 7 * 3600)];
+        let body = v1_predict_request_body(5, &visits, 4, 10);
+        let req = parse_v1_predict(body.as_bytes()).unwrap();
+        assert_eq!(req.user, 5);
+        assert_eq!(req.checkins, visits);
+        assert_eq!((req.k, req.top), (Some(4), Some(10)));
+
+        // Negative timestamps survive (i64 field).
+        let req = parse_v1_predict(br#"{"user":0,"checkins":[{"poi":1,"t":-5}]}"#).unwrap();
+        assert_eq!(req.checkins[0].time, -5);
+        assert_eq!((req.k, req.top), (None, None));
+
+        // Missing/empty/typed violations map to the right status class.
+        assert_eq!(parse_v1_predict(br#"{"user":0}"#).unwrap_err().status, 400);
+        assert_eq!(
+            parse_v1_predict(br#"{"user":0,"checkins":[]}"#)
+                .unwrap_err()
+                .status,
+            422
+        );
+        assert_eq!(
+            parse_v1_predict(br#"{"user":0,"checkins":[{"poi":1}]}"#)
+                .unwrap_err()
+                .status,
+            400
+        );
+        let zero_k = parse_v1_predict(br#"{"user":0,"checkins":[{"poi":1,"t":0}],"k":0}"#);
+        assert_eq!(zero_k.unwrap_err().status, 422);
+    }
+
+    #[test]
+    fn session_bodies_roundtrip() {
+        let visits = vec![v(1, 5), v(2, 10)];
+        let create = parse_session_create(session_create_body(9, &visits).as_bytes()).unwrap();
+        assert_eq!((create.user, create.checkins.clone()), (9, visits.clone()));
+        // `checkins` is optional on create…
+        let bare = parse_session_create(br#"{"user":2}"#).unwrap();
+        assert!(bare.checkins.is_empty());
+        // …but `user` is not.
+        assert_eq!(parse_session_create(b"{}").unwrap_err().status, 400);
+
+        let appended = parse_session_append(session_append_body(&visits).as_bytes()).unwrap();
+        assert_eq!(appended, visits);
+        assert_eq!(
+            parse_session_append(br#"{"checkins":[]}"#)
+                .unwrap_err()
+                .status,
+            422
+        );
+
+        assert_eq!(parse_predict_opts(b"").unwrap(), (None, None));
+        assert_eq!(parse_predict_opts(b"{}").unwrap(), (None, None));
+        assert_eq!(
+            parse_predict_opts(br#"{"k":3,"top":7}"#).unwrap(),
+            (Some(3), Some(7))
+        );
+        assert_eq!(parse_predict_opts(br#"{"top":0}"#).unwrap_err().status, 422);
+    }
+
+    #[test]
+    fn session_id_segments_parse_strictly() {
+        assert_eq!(parse_session_id("s1"), Some(1));
+        assert_eq!(parse_session_id("s907"), Some(907));
+        assert_eq!(parse_session_id("s"), None);
+        assert_eq!(parse_session_id("1"), None);
+        assert_eq!(parse_session_id("sx1"), None);
+        assert_eq!(parse_session_id("s1x"), None);
     }
 
     #[test]
@@ -195,22 +651,56 @@ mod tests {
             candidate_count: 12,
         };
         let text = predict_response(&topk, 2, 9);
-        let v: Value = serde_json::from_str(&text).unwrap();
-        assert_eq!(v.get("candidates").and_then(Value::as_usize), Some(12));
-        assert_eq!(v.get("snapshot").and_then(Value::as_usize), Some(2));
-        let health: Value = serde_json::from_str(&health_response(1, 2, 10, 3, 0)).unwrap();
+        let parsed: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed.get("candidates").and_then(Value::as_usize), Some(12));
+        assert_eq!(parsed.get("snapshot").and_then(Value::as_usize), Some(2));
+
+        let stats = StatsSnapshot {
+            snapshot: 1,
+            published: 2,
+            served: 10,
+            served_legacy: 4,
+            served_v1: 3,
+            served_session: 3,
+            batches: 3,
+            queue: 0,
+            sessions_live: 2,
+            sessions_created: 5,
+            session_appends: 7,
+            sessions_expired: 2,
+            sessions_evicted: 1,
+            session_ttl_ms: 1_000,
+            session_capacity: 64,
+        };
+        let health: Value = serde_json::from_str(&health_response(&stats)).unwrap();
         assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
-        assert_eq!(health.get("snapshot").and_then(Value::as_usize), Some(1));
-        assert_eq!(health.get("published").and_then(Value::as_usize), Some(2));
-        let err: Value = serde_json::from_str(&error_response("bad \"thing\"")).unwrap();
-        assert!(err.get("error").is_some());
-        // Control characters in client-echoed text must still yield valid
-        // JSON (Rust's {:?} escaping would not).
-        let tricky = error_response("no route GET /\u{7f}\n");
+        assert_eq!(health.get("sessions").and_then(Value::as_usize), Some(2));
+        assert_eq!(health.get("evictions").and_then(Value::as_usize), Some(3));
+
+        let full: Value = serde_json::from_str(&stats_response(&stats)).unwrap();
+        let served = full.get("served").expect("served object");
+        assert_eq!(served.get("total").and_then(Value::as_usize), Some(10));
+        assert_eq!(served.get("v1_predict").and_then(Value::as_usize), Some(3));
+        let sessions = full.get("sessions").expect("sessions object");
+        assert_eq!(sessions.get("live").and_then(Value::as_usize), Some(2));
+        assert_eq!(
+            sessions.get("ttl_ms").and_then(Value::as_usize),
+            Some(1_000)
+        );
+
+        let session: Value = serde_json::from_str(&session_created_response(3, 8, 0, 900)).unwrap();
+        assert_eq!(session.get("session").and_then(Value::as_str), Some("s3"));
+
+        // Typed error bodies parse and echo control characters safely.
+        let err: Value = serde_json::from_str(&error_response("gone", "bad \"thing\"")).unwrap();
+        let (code, message) = error_of(&err).expect("typed error");
+        assert_eq!(code, "gone");
+        assert_eq!(message, "bad \"thing\"");
+        let tricky = error_response("not_found", "no route GET /\u{7f}\n");
         let parsed: Value = serde_json::from_str(&tricky).unwrap();
         assert_eq!(
-            parsed.get("error").and_then(Value::as_str),
-            Some("no route GET /\u{7f}\n")
+            error_of(&parsed).unwrap().1,
+            "no route GET /\u{7f}\n".to_string()
         );
     }
 }

@@ -28,11 +28,13 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use tspn_core::{Predictor, Query, SpatialContext, TspnConfig};
+use tspn_data::{AdHocTrajectory, UserId, Visit, DEFAULT_GAP_SECS};
 use tspn_tensor::serialize::Checkpoint;
 
 use crate::batcher::{BatchConfig, Batcher, SubmitError};
 use crate::http::{HttpConn, ReadOutcome, Request};
-use crate::protocol;
+use crate::protocol::{self, ApiError};
+use crate::session::{SessionConfig, SessionError, SessionStore};
 use crate::snapshot::{validate_shapes, SnapshotHandle};
 
 /// Serving configuration.
@@ -42,6 +44,8 @@ pub struct ServerConfig {
     pub addr: String,
     /// Micro-batching knobs.
     pub batch: BatchConfig,
+    /// Session-store knobs (TTL, capacity).
+    pub session: SessionConfig,
     /// Per-connection read timeout: the idle-poll granularity for
     /// shutdown checks on keep-alive connections.
     pub read_timeout: Duration,
@@ -54,6 +58,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             batch: BatchConfig::default(),
+            session: SessionConfig::default(),
             read_timeout: Duration::from_millis(200),
             default_top: 10,
         }
@@ -102,13 +107,22 @@ pub fn preset_dataset_config(name: &str, scale: f64) -> Option<tspn_data::synth:
 /// with a 503 (covers a wedged or heavily backlogged batcher).
 const ANSWER_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Serving counters surfaced by `/healthz`.
+/// Serving counters surfaced by `/healthz` and `/v1/stats`. The served
+/// total is not stored — it is the sum of the three per-endpoint
+/// counters, computed at render time so the "counters partition the
+/// total" invariant holds by construction.
 #[derive(Debug, Default)]
 pub struct ServeStats {
-    /// Successfully answered `/predict` requests.
-    pub served: AtomicU64,
     /// Flushed batches.
     pub batches: AtomicU64,
+    /// Legacy `POST /predict` answers.
+    pub served_legacy: AtomicU64,
+    /// `POST /v1/predict` answers.
+    pub served_v1: AtomicU64,
+    /// `POST /v1/sessions/{id}/predict` answers.
+    pub served_session: AtomicU64,
+    /// Successful session-append calls.
+    pub session_appends: AtomicU64,
 }
 
 /// State shared by every thread of one server.
@@ -120,9 +134,13 @@ struct Shared {
     applied: AtomicU64,
     shutdown: AtomicBool,
     stats: ServeStats,
-    /// Visits per `(user, trajectory)` — request validation without
+    /// The per-user session state behind the stateful v1 flow.
+    sessions: SessionStore,
+    /// Visits per `(user, trajectory)` — legacy request validation without
     /// touching the (thread-pinned) model.
     traj_lens: Vec<Vec<usize>>,
+    /// POI vocabulary size — payload validation without the model.
+    num_pois: usize,
     /// Expected parameter names/shapes for reload validation; filled by
     /// the batcher thread once the model is built.
     expected_shapes: OnceLock<Vec<(String, Vec<usize>)>>,
@@ -193,13 +211,16 @@ pub fn start(
         .iter()
         .map(|u| u.trajectories.iter().map(|t| t.visits.len()).collect())
         .collect();
+    let num_pois = ctx.dataset.pois.len();
     let shared = Arc::new(Shared {
         batcher: Batcher::new(cfg.batch),
         snapshots: SnapshotHandle::new(),
         applied: AtomicU64::new(crate::snapshot::BOOT_VERSION),
         shutdown: AtomicBool::new(false),
         stats: ServeStats::default(),
+        sessions: SessionStore::new(cfg.session),
         traj_lens,
+        num_pois,
         expected_shapes: OnceLock::new(),
         default_k: model_cfg.top_k,
         default_top: cfg.default_top,
@@ -361,37 +382,162 @@ fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
     }
 }
 
+/// One resolved endpoint (routing decided; body not yet parsed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Route {
+    LegacyPredict,
+    Healthz,
+    V1Predict,
+    V1Stats,
+    SessionCreate,
+    SessionGet(u64),
+    SessionDelete(u64),
+    SessionAppend(u64),
+    SessionPredict(u64),
+    AdminReload,
+    AdminShutdown,
+}
+
+/// Resolves `(method, path)` to a route with correct HTTP hygiene: an
+/// unknown path is `404 not_found`, a known path with the wrong verb is
+/// `405 method_not_allowed`.
+fn route_of(method: &str, path: &str) -> Result<Route, ApiError> {
+    use Route::*;
+    let allow = |allowed: &[(&str, Route)]| -> Result<Route, ApiError> {
+        allowed
+            .iter()
+            .find(|(m, _)| *m == method)
+            .map(|&(_, r)| r)
+            .ok_or_else(|| {
+                let verbs: Vec<&str> = allowed.iter().map(|(m, _)| *m).collect();
+                ApiError::method_not_allowed(format!(
+                    "{method} not allowed on {path} (allowed: {})",
+                    verbs.join(", ")
+                ))
+            })
+    };
+    match path {
+        "/predict" => return allow(&[("POST", LegacyPredict)]),
+        "/healthz" => return allow(&[("GET", Healthz)]),
+        "/v1/predict" => return allow(&[("POST", V1Predict)]),
+        "/v1/stats" => return allow(&[("GET", V1Stats)]),
+        "/v1/sessions" => return allow(&[("POST", SessionCreate)]),
+        "/admin/reload" => return allow(&[("POST", AdminReload)]),
+        "/admin/shutdown" => return allow(&[("POST", AdminShutdown)]),
+        _ => {}
+    }
+    if let Some(rest) = path.strip_prefix("/v1/sessions/") {
+        let mut parts = rest.splitn(2, '/');
+        let id_segment = parts.next().unwrap_or("");
+        if let Some(id) = protocol::parse_session_id(id_segment) {
+            return match parts.next() {
+                None => allow(&[("GET", SessionGet(id)), ("DELETE", SessionDelete(id))]),
+                Some("checkins") => allow(&[("POST", SessionAppend(id))]),
+                Some("predict") => allow(&[("POST", SessionPredict(id))]),
+                Some(_) => Err(ApiError::not_found(format!("no route {method} {path}"))),
+            };
+        }
+    }
+    Err(ApiError::not_found(format!("no route {method} {path}")))
+}
+
 /// Dispatches one request to its endpoint.
 fn route(shared: &Shared, req: &Request) -> (u16, String) {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/predict") => predict(shared, &req.body),
-        ("GET", "/healthz") => (
-            200,
-            protocol::health_response(
-                shared.applied.load(Ordering::Acquire),
-                shared.snapshots.version(),
-                shared.stats.served.load(Ordering::Relaxed),
-                shared.stats.batches.load(Ordering::Relaxed),
-                shared.batcher.queue_len(),
-            ),
-        ),
-        ("POST", "/admin/reload") => reload(shared, &req.body),
-        ("POST", "/admin/shutdown") => {
+    let resolved = match route_of(&req.method, &req.path) {
+        Ok(r) => r,
+        Err(e) => return e.render(),
+    };
+    match resolved {
+        Route::LegacyPredict => predict_legacy(shared, &req.body),
+        Route::Healthz => (200, protocol::health_response(&stats_snapshot(shared))),
+        Route::V1Predict => answer(v1_predict(shared, &req.body)),
+        Route::V1Stats => (200, protocol::stats_response(&stats_snapshot(shared))),
+        Route::SessionCreate => answer(session_create(shared, &req.body)),
+        Route::SessionGet(id) => answer(session_get(shared, id)),
+        Route::SessionDelete(id) => answer(session_delete(shared, id)),
+        Route::SessionAppend(id) => answer(session_append(shared, id, &req.body)),
+        Route::SessionPredict(id) => answer(session_predict(shared, id, &req.body)),
+        Route::AdminReload => reload(shared, &req.body),
+        Route::AdminShutdown => {
             shared.shutdown.store(true, Ordering::Release);
             (200, "{\"ok\":true}".to_string())
         }
-        _ => (
-            404,
-            protocol::error_response(&format!("no route {} {}", req.method, req.path)),
+    }
+}
+
+/// Collapses a handler's typed-error result into the wire pair.
+fn answer(result: Result<(u16, String), ApiError>) -> (u16, String) {
+    result.unwrap_or_else(|e| e.render())
+}
+
+/// Gathers every counter `/healthz` and `/v1/stats` report.
+fn stats_snapshot(shared: &Shared) -> protocol::StatsSnapshot {
+    let sessions = shared.sessions.stats();
+    let session_cfg = shared.sessions.config();
+    let served_legacy = shared.stats.served_legacy.load(Ordering::Relaxed);
+    let served_v1 = shared.stats.served_v1.load(Ordering::Relaxed);
+    let served_session = shared.stats.served_session.load(Ordering::Relaxed);
+    protocol::StatsSnapshot {
+        snapshot: shared.applied.load(Ordering::Acquire),
+        published: shared.snapshots.version(),
+        served: served_legacy + served_v1 + served_session,
+        served_legacy,
+        served_v1,
+        served_session,
+        batches: shared.stats.batches.load(Ordering::Relaxed),
+        queue: shared.batcher.queue_len(),
+        sessions_live: sessions.live,
+        sessions_created: sessions.created,
+        session_appends: shared.stats.session_appends.load(Ordering::Relaxed),
+        sessions_expired: sessions.expired,
+        sessions_evicted: sessions.evicted,
+        session_ttl_ms: session_cfg.ttl.as_millis() as u64,
+        session_capacity: session_cfg.max_sessions,
+    }
+}
+
+/// The shared enqueue-and-await tail of every predict flavor: by the time
+/// a query reaches here the address mode is already resolved, so legacy,
+/// payload, and session predictions ride the same batcher path (and mix
+/// freely within one flush).
+fn predict_common(shared: &Shared, query: Query, endpoint_counter: &AtomicU64) -> (u16, String) {
+    let rx = match shared.batcher.submit(query) {
+        Ok(rx) => rx,
+        Err(SubmitError::Closed) => {
+            return (
+                503,
+                protocol::error_response("unavailable", "server shutting down"),
+            );
+        }
+    };
+    match rx.recv_timeout(ANSWER_TIMEOUT) {
+        Ok(answered) => {
+            endpoint_counter.fetch_add(1, Ordering::Relaxed);
+            (
+                200,
+                protocol::predict_response(&answered.topk, answered.snapshot, answered.batch),
+            )
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => (
+            503,
+            protocol::error_response("timeout", "prediction timed out"),
+        ),
+        Err(mpsc::RecvTimeoutError::Disconnected) => (
+            500,
+            protocol::error_response("internal", "prediction batch failed"),
         ),
     }
 }
 
-/// `POST /predict`: validate, enqueue, await the batched answer.
-fn predict(shared: &Shared, body: &[u8]) -> (u16, String) {
+/// `POST /predict` — the legacy index-addressed endpoint, now a thin
+/// adapter: it resolves its `(user, traj, prefix_len)` triple to an
+/// indexed [`Query`] and rides the same [`predict_common`] path as the
+/// v1 endpoints. Statuses keep the original contract (any violation is
+/// `400`, and `k`/`top` of 0 are clamped, not rejected).
+fn predict_legacy(shared: &Shared, body: &[u8]) -> (u16, String) {
     let parsed = match protocol::parse_predict(body) {
         Ok(p) => p,
-        Err(e) => return (400, protocol::error_response(&e)),
+        Err(e) => return e.render(),
     };
     let sample = parsed.sample;
     let servable = shared
@@ -400,38 +546,141 @@ fn predict(shared: &Shared, body: &[u8]) -> (u16, String) {
         .and_then(|u| u.get(sample.traj_index))
         .is_some_and(|&len| sample.prefix_len >= 1 && sample.prefix_len <= len);
     if !servable {
-        return (
-            400,
-            protocol::error_response(&format!(
-                "no servable history at user {} trajectory {} prefix {}",
-                sample.user_index, sample.traj_index, sample.prefix_len
-            )),
-        );
+        return ApiError::bad_request(format!(
+            "no servable history at user {} trajectory {} prefix {}",
+            sample.user_index, sample.traj_index, sample.prefix_len
+        ))
+        .render();
     }
     let k = parsed.k.unwrap_or(shared.default_k).max(1);
     let top = parsed.top.unwrap_or(shared.default_top).max(1);
     let query = Query::with_top(sample, k, top);
-    let rx = match shared.batcher.submit(query) {
-        Ok(rx) => rx,
-        Err(SubmitError::Closed) => {
-            return (503, protocol::error_response("server shutting down"));
-        }
-    };
-    match rx.recv_timeout(ANSWER_TIMEOUT) {
-        Ok(answered) => {
-            shared.stats.served.fetch_add(1, Ordering::Relaxed);
-            (
-                200,
-                protocol::predict_response(&answered.topk, answered.snapshot, answered.batch),
-            )
-        }
-        Err(mpsc::RecvTimeoutError::Timeout) => {
-            (503, protocol::error_response("prediction timed out"))
-        }
-        Err(mpsc::RecvTimeoutError::Disconnected) => {
-            (500, protocol::error_response("prediction batch failed"))
-        }
+    predict_common(shared, query, &shared.stats.served_legacy)
+}
+
+/// Validates every POI of a payload against the vocabulary (the bound
+/// check itself is [`tspn_data::first_invalid_poi`], shared with
+/// `Subject::validate` so the rule has one definition).
+fn check_vocabulary(shared: &Shared, visits: &[Visit]) -> Result<(), ApiError> {
+    match tspn_data::first_invalid_poi(visits, shared.num_pois) {
+        Some(i) => Err(ApiError::unprocessable(format!(
+            "checkin {i} names POI {} outside the vocabulary (0..{})",
+            visits[i].poi.0, shared.num_pois
+        ))),
+        None => Ok(()),
     }
+}
+
+/// Builds the payload-addressed query the v1 predict flavors submit. The
+/// caller guarantees every POI is inside the vocabulary (checked at
+/// request parse time for `/v1/predict`, at create/append time for
+/// session state — a session predict never re-scans its visits).
+fn adhoc_query(
+    shared: &Shared,
+    user: usize,
+    checkins: &[Visit],
+    k: Option<usize>,
+    top: Option<usize>,
+) -> Result<Query, ApiError> {
+    let trajectory = AdHocTrajectory::from_checkins(UserId(user), checkins, DEFAULT_GAP_SECS)
+        .map_err(|e| ApiError::unprocessable(e.to_string()))?;
+    Ok(Query::adhoc(
+        Arc::new(trajectory),
+        k.unwrap_or(shared.default_k),
+        top.unwrap_or(shared.default_top),
+    ))
+}
+
+/// `POST /v1/predict`: run the model directly on the supplied check-in
+/// sequence.
+fn v1_predict(shared: &Shared, body: &[u8]) -> Result<(u16, String), ApiError> {
+    let req = protocol::parse_v1_predict(body)?;
+    check_vocabulary(shared, &req.checkins)?;
+    let query = adhoc_query(shared, req.user, &req.checkins, req.k, req.top)?;
+    Ok(predict_common(shared, query, &shared.stats.served_v1))
+}
+
+/// Maps a store failure for session `id` onto the typed error model.
+fn session_error(id: u64, e: SessionError) -> ApiError {
+    match e {
+        SessionError::Unknown => {
+            ApiError::not_found(format!("session \"s{id}\" was never created"))
+        }
+        SessionError::Gone => {
+            ApiError::gone(format!("session \"s{id}\" has expired or been deleted"))
+        }
+        SessionError::Unordered(i) => ApiError::unprocessable(format!(
+            "checkin {i} is earlier than the session's newest visit"
+        )),
+    }
+}
+
+/// `POST /v1/sessions`: create a session, optionally seeding check-ins.
+/// The seeded create is a single atomic store operation — an invalid
+/// seed issues no id, and no racing eviction can strand the seed.
+fn session_create(shared: &Shared, body: &[u8]) -> Result<(u16, String), ApiError> {
+    let req = protocol::parse_session_create(body)?;
+    check_vocabulary(shared, &req.checkins)?;
+    let (id, count) = shared
+        .sessions
+        .create(req.user, &req.checkins)
+        .map_err(|e| match e {
+            SessionError::Unordered(i) => {
+                ApiError::unprocessable(format!("checkin {i} is earlier than its predecessor"))
+            }
+            other => session_error(0, other),
+        })?;
+    let ttl_ms = shared.sessions.config().ttl.as_millis() as u64;
+    Ok((
+        200,
+        protocol::session_created_response(id, req.user, count, ttl_ms),
+    ))
+}
+
+/// `POST /v1/sessions/{id}/checkins`: append observed visits.
+fn session_append(shared: &Shared, id: u64, body: &[u8]) -> Result<(u16, String), ApiError> {
+    let checkins = protocol::parse_session_append(body)?;
+    check_vocabulary(shared, &checkins)?;
+    let total = shared
+        .sessions
+        .append(id, &checkins)
+        .map_err(|e| session_error(id, e))?;
+    shared.stats.session_appends.fetch_add(1, Ordering::Relaxed);
+    Ok((200, protocol::session_append_response(id, total)))
+}
+
+/// `POST /v1/sessions/{id}/predict`: predict from the accumulated state.
+fn session_predict(shared: &Shared, id: u64, body: &[u8]) -> Result<(u16, String), ApiError> {
+    let (k, top) = protocol::parse_predict_opts(body)?;
+    let (user, visits) = shared
+        .sessions
+        .snapshot(id)
+        .map_err(|e| session_error(id, e))?;
+    if visits.is_empty() {
+        return Err(ApiError::unprocessable(format!(
+            "session \"s{id}\" has no check-ins to predict from"
+        )));
+    }
+    let query = adhoc_query(shared, user, &visits, k, top)?;
+    Ok(predict_common(shared, query, &shared.stats.served_session))
+}
+
+/// `GET /v1/sessions/{id}`: session state (does not refresh the TTL).
+fn session_get(shared: &Shared, id: u64) -> Result<(u16, String), ApiError> {
+    let info = shared.sessions.info(id).map_err(|e| session_error(id, e))?;
+    Ok((
+        200,
+        protocol::session_info_response(id, info.user, info.checkins, info.idle_ms),
+    ))
+}
+
+/// `DELETE /v1/sessions/{id}`: end a session (it reports `410` after).
+fn session_delete(shared: &Shared, id: u64) -> Result<(u16, String), ApiError> {
+    shared
+        .sessions
+        .delete(id)
+        .map_err(|e| session_error(id, e))?;
+    Ok((200, "{\"ok\":true}".to_string()))
 }
 
 /// `POST /admin/reload`: load + validate on this thread, then publish for
@@ -439,24 +688,19 @@ fn predict(shared: &Shared, body: &[u8]) -> (u16, String) {
 fn reload(shared: &Shared, body: &[u8]) -> (u16, String) {
     let path = match protocol::parse_reload(body) {
         Ok(p) => p,
-        Err(e) => return (400, protocol::error_response(&e)),
+        Err(e) => return e.render(),
     };
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
-            return (
-                400,
-                protocol::error_response(&format!("cannot read {path:?}: {e}")),
-            );
+            return ApiError::bad_request(format!("cannot read {path:?}: {e}")).render();
         }
     };
     let ckpt: Checkpoint = match serde_json::from_str(&text) {
         Ok(c) => c,
         Err(e) => {
-            return (
-                400,
-                protocol::error_response(&format!("cannot parse checkpoint {path:?}: {e}")),
-            );
+            return ApiError::bad_request(format!("cannot parse checkpoint {path:?}: {e}"))
+                .render();
         }
     };
     let expected = shared
@@ -464,11 +708,73 @@ fn reload(shared: &Shared, body: &[u8]) -> (u16, String) {
         .get()
         .expect("set before the listener binds");
     if let Err(e) = validate_shapes(&ckpt, expected) {
-        return (
-            400,
-            protocol::error_response(&format!("checkpoint rejected: {e}")),
-        );
+        return ApiError::bad_request(format!("checkpoint rejected: {e}")).render();
     }
     let version = shared.snapshots.publish(ckpt);
     (200, format!("{{\"ok\":true,\"snapshot\":{version}}}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_distinguishes_unknown_paths_from_wrong_methods() {
+        // Known paths with the right verb resolve.
+        assert_eq!(route_of("POST", "/predict"), Ok(Route::LegacyPredict));
+        assert_eq!(route_of("GET", "/healthz"), Ok(Route::Healthz));
+        assert_eq!(route_of("POST", "/v1/predict"), Ok(Route::V1Predict));
+        assert_eq!(route_of("GET", "/v1/stats"), Ok(Route::V1Stats));
+        assert_eq!(route_of("POST", "/v1/sessions"), Ok(Route::SessionCreate));
+        assert_eq!(route_of("POST", "/admin/reload"), Ok(Route::AdminReload));
+
+        // Known paths with the wrong verb are 405, never 404.
+        for (method, path) in [
+            ("GET", "/predict"),
+            ("POST", "/healthz"),
+            ("DELETE", "/v1/predict"),
+            ("POST", "/v1/stats"),
+            ("GET", "/v1/sessions"),
+            ("GET", "/admin/shutdown"),
+            ("POST", "/v1/sessions/s1"),
+            ("GET", "/v1/sessions/s1/checkins"),
+            ("DELETE", "/v1/sessions/s1/predict"),
+        ] {
+            let err = route_of(method, path).unwrap_err();
+            assert_eq!(err.status, 405, "{method} {path} should be 405");
+            assert_eq!(err.code, "method_not_allowed");
+        }
+
+        // Unknown paths are 404 for any verb.
+        for (method, path) in [
+            ("GET", "/nope"),
+            ("POST", "/v1"),
+            ("POST", "/v1/session"),
+            ("POST", "/v1/sessions/"),
+            ("POST", "/v1/sessions/notanid/predict"),
+            ("POST", "/v1/sessions/s1/nope"),
+            ("POST", "/v1/sessions/s1/predict/extra"),
+        ] {
+            let err = route_of(method, path).unwrap_err();
+            assert_eq!(err.status, 404, "{method} {path} should be 404");
+            assert_eq!(err.code, "not_found");
+        }
+    }
+
+    #[test]
+    fn session_routes_carry_their_id() {
+        assert_eq!(route_of("GET", "/v1/sessions/s7"), Ok(Route::SessionGet(7)));
+        assert_eq!(
+            route_of("DELETE", "/v1/sessions/s7"),
+            Ok(Route::SessionDelete(7))
+        );
+        assert_eq!(
+            route_of("POST", "/v1/sessions/s12/checkins"),
+            Ok(Route::SessionAppend(12))
+        );
+        assert_eq!(
+            route_of("POST", "/v1/sessions/s12/predict"),
+            Ok(Route::SessionPredict(12))
+        );
+    }
 }

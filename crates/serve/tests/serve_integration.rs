@@ -9,8 +9,13 @@ use serde::Value;
 use tspn_core::{Partition, Predictor, Query, SpatialContext, TspnConfig};
 use tspn_data::presets::nyc_mini;
 use tspn_data::synth::generate_dataset;
-use tspn_data::{PoiId, Sample};
-use tspn_serve::{server, BatchConfig, Client, ServerConfig, ServerHandle, BOOT_VERSION};
+use tspn_data::{PoiId, Sample, Visit};
+use tspn_serve::protocol::{
+    error_of, session_append_body, session_create_body, v1_predict_request_body,
+};
+use tspn_serve::{
+    server, BatchConfig, Client, ServerConfig, ServerHandle, SessionConfig, BOOT_VERSION,
+};
 
 fn tiny_model_cfg(seed: u64) -> TspnConfig {
     TspnConfig {
@@ -40,11 +45,20 @@ fn tiny_ctx(cfg: &TspnConfig) -> SpatialContext {
 }
 
 fn start_server(seed: u64, batch: BatchConfig) -> ServerHandle {
+    start_server_with_sessions(seed, batch, SessionConfig::default())
+}
+
+fn start_server_with_sessions(
+    seed: u64,
+    batch: BatchConfig,
+    session: SessionConfig,
+) -> ServerHandle {
     let cfg = tiny_model_cfg(seed);
     let ctx = tiny_ctx(&cfg);
     server::start(
         ServerConfig {
             batch,
+            session,
             ..ServerConfig::default()
         },
         cfg,
@@ -294,11 +308,8 @@ fn corrupt_checkpoints_are_rejected_and_old_snapshot_keeps_serving() {
             .post_json("/admin/reload", &body)
             .expect("reload I/O");
         assert_eq!(status, 400, "corrupt checkpoint accepted: {v:?}");
-        let err = v
-            .get("error")
-            .and_then(Value::as_str)
-            .unwrap_or_default()
-            .to_string();
+        let (code, err) = tspn_serve::protocol::error_of(&v).expect("typed error body");
+        assert_eq!(code, "bad_request");
         assert!(
             err.contains(needle),
             "error {err:?} should mention {needle:?}"
@@ -329,6 +340,470 @@ fn corrupt_checkpoints_are_rejected_and_old_snapshot_keeps_serving() {
     handle.shutdown();
     handle.join();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The raw check-in stream a client would send to address `s` by payload.
+fn stream_of(reference: &Predictor, s: &Sample) -> Vec<Visit> {
+    reference.ctx().dataset.sample_checkins(s)
+}
+
+fn str_field<'a>(v: &'a Value, name: &str) -> &'a str {
+    v.get(name)
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("missing string field {name:?} in {v:?}"))
+}
+
+#[test]
+fn mixed_legacy_payload_and_session_queries_are_bitwise_identical_under_load() {
+    // The acceptance contract: every address mode — legacy index triple,
+    // v1 raw payload, and a session built by incremental appends — must
+    // return the same ranking as the offline reference, bitwise, while
+    // all three hammer the server concurrently (so one micro-batch flush
+    // routinely mixes all three kinds).
+    let handle = start_server(
+        7,
+        BatchConfig {
+            max_batch: 8,
+            deadline: Duration::from_millis(1),
+            queue_cap: 256,
+        },
+    );
+    let addr = handle.local_addr().to_string();
+    let (reference, samples) = reference_predictor(7);
+    let per_client = 6usize;
+    let clients = 6usize; // 2 per address mode
+    assert!(samples.len() >= clients * per_client, "dataset too small");
+    // Streams are precomputed: the reference predictor itself is not
+    // Sync (the tape is Rc-based) and stays on this thread.
+    let streams: Vec<Vec<Visit>> = samples.iter().map(|s| stream_of(&reference, s)).collect();
+
+    let answers: Vec<(Sample, Vec<PoiId>)> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for c in 0..clients {
+            let addr = addr.clone();
+            let (samples, streams) = (&samples, &streams);
+            joins.push(scope.spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let mut out = Vec::new();
+                for r in 0..per_client {
+                    let i = (c * per_client + r) % samples.len();
+                    let s = samples[i];
+                    let v = match c % 3 {
+                        // Legacy index-addressed.
+                        0 => {
+                            let (status, v) = client
+                                .post_json("/predict", &predict_body(&s, 4, 10))
+                                .expect("legacy predict I/O");
+                            assert_eq!(status, 200, "legacy predict failed: {v:?}");
+                            v
+                        }
+                        // v1 payload-addressed.
+                        1 => {
+                            let body = v1_predict_request_body(s.user_index, &streams[i], 4, 10);
+                            let (status, v) = client
+                                .post_json("/v1/predict", &body)
+                                .expect("v1 predict I/O");
+                            assert_eq!(status, 200, "v1 predict failed: {v:?}");
+                            v
+                        }
+                        // Sessionful: create with the full stream, predict.
+                        _ => {
+                            let body = session_create_body(s.user_index, &streams[i]);
+                            let (status, v) = client
+                                .post_json("/v1/sessions", &body)
+                                .expect("session create I/O");
+                            assert_eq!(status, 200, "session create failed: {v:?}");
+                            let id = str_field(&v, "session").to_string();
+                            let (status, v) = client
+                                .post_json(&format!("/v1/sessions/{id}/predict"), "{}")
+                                .expect("session predict I/O");
+                            assert_eq!(status, 200, "session predict failed: {v:?}");
+                            v
+                        }
+                    };
+                    out.push((s, pois_of(&v)));
+                }
+                out
+            }));
+        }
+        joins
+            .into_iter()
+            .flat_map(|j| j.join().expect("client thread"))
+            .collect()
+    });
+
+    for (s, served) in answers {
+        let offline = reference.predict_one(&Query::with_top(s, 4, 10));
+        assert_eq!(served, offline.pois, "ranking diverged for {s:?}");
+    }
+
+    // Per-endpoint stats partition the served total.
+    let mut client = Client::connect(&addr).expect("connect");
+    let (status, text) = client.get("/v1/stats").expect("stats");
+    assert_eq!(status, 200);
+    let stats: Value = serde_json::from_str(&text).expect("stats JSON");
+    let served = stats.get("served").expect("served object");
+    let total = num_field(served, "total");
+    assert_eq!(total as usize, clients * per_client);
+    assert_eq!(
+        num_field(served, "legacy_predict")
+            + num_field(served, "v1_predict")
+            + num_field(served, "session_predict"),
+        total,
+        "per-endpoint counters must partition the total"
+    );
+    let sessions = stats.get("sessions").expect("sessions object");
+    assert_eq!(num_field(sessions, "created") as usize, 2 * per_client);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn session_lifecycle_appends_predict_incrementally_and_expiry_gones() {
+    // Short TTL so expiry is observable; capacity 3 so eviction is too.
+    let handle = start_server_with_sessions(
+        7,
+        BatchConfig::default(),
+        SessionConfig {
+            ttl: Duration::from_millis(400),
+            max_sessions: 3,
+            max_visits: 1024,
+        },
+    );
+    let addr = handle.local_addr().to_string();
+    let (reference, samples) = reference_predictor(7);
+    // A sample with history and at least two prefix visits, so appends
+    // genuinely extend the trajectory.
+    let s = *samples
+        .iter()
+        .find(|s| s.traj_index > 0 && s.prefix_len >= 3)
+        .expect("dataset has a deep sample");
+    let stream = stream_of(&reference, &s);
+    let prefix_len = s.prefix_len;
+    let history = &stream[..stream.len() - prefix_len];
+    let prefix = &stream[stream.len() - prefix_len..];
+
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // Create seeded with the history only.
+    let (status, v) = client
+        .post_json("/v1/sessions", &session_create_body(s.user_index, history))
+        .expect("create I/O");
+    assert_eq!(status, 200, "{v:?}");
+    let id = str_field(&v, "session").to_string();
+    assert_eq!(num_field(&v, "checkins") as usize, history.len());
+
+    // Append the current trajectory visit by visit; after the j-th append
+    // the session addresses exactly sample (user, traj, j) — predictions
+    // must match the indexed reference bitwise at every step.
+    for j in 1..=prefix_len {
+        let (status, v) = client
+            .post_json(
+                &format!("/v1/sessions/{id}/checkins"),
+                &session_append_body(&prefix[j - 1..j]),
+            )
+            .expect("append I/O");
+        assert_eq!(status, 200, "append {j} failed: {v:?}");
+        assert_eq!(num_field(&v, "checkins") as usize, history.len() + j);
+
+        let (status, v) = client
+            .post_json(&format!("/v1/sessions/{id}/predict"), r#"{"k":4,"top":10}"#)
+            .expect("session predict I/O");
+        assert_eq!(status, 200, "session predict {j} failed: {v:?}");
+        let indexed = Sample { prefix_len: j, ..s };
+        let offline = reference.predict_one(&Query::with_top(indexed, 4, 10));
+        assert_eq!(
+            pois_of(&v),
+            offline.pois,
+            "session predict after {j} appends diverged from indexed reference"
+        );
+    }
+
+    // Info reflects the state; an unordered append is rejected atomically.
+    let (status, v) = client
+        .get(&format!("/v1/sessions/{id}"))
+        .map(|(s, t)| (s, serde_json::from_str::<Value>(&t).unwrap()))
+        .expect("info I/O");
+    assert_eq!(status, 200);
+    assert_eq!(num_field(&v, "checkins") as usize, stream.len());
+    let backwards = vec![Visit {
+        poi: stream[0].poi,
+        time: stream[stream.len() - 1].time - 1_000_000,
+    }];
+    let (status, v) = client
+        .post_json(
+            &format!("/v1/sessions/{id}/checkins"),
+            &session_append_body(&backwards),
+        )
+        .expect("bad append I/O");
+    assert_eq!(status, 422, "{v:?}");
+    assert_eq!(error_of(&v).unwrap().0, "unprocessable");
+
+    // Delete → subsequent access is 410 gone; unknown ids are 404.
+    let (status, _) = client
+        .request("DELETE", &format!("/v1/sessions/{id}"), None)
+        .expect("delete I/O");
+    assert_eq!(status, 200);
+    let (status, v) = client
+        .post_json(&format!("/v1/sessions/{id}/predict"), "{}")
+        .expect("gone predict I/O");
+    assert_eq!(status, 410, "{v:?}");
+    assert_eq!(error_of(&v).unwrap().0, "gone");
+    let (status, v) = client
+        .post_json("/v1/sessions/s999999/predict", "{}")
+        .expect("unknown predict I/O");
+    assert_eq!(status, 404, "{v:?}");
+    assert_eq!(error_of(&v).unwrap().0, "not_found");
+
+    // TTL expiry: an idle session reports 410 after its deadline.
+    let (status, v) = client
+        .post_json(
+            "/v1/sessions",
+            &session_create_body(s.user_index, &stream[..1]),
+        )
+        .expect("create I/O");
+    assert_eq!(status, 200);
+    let idle = str_field(&v, "session").to_string();
+    std::thread::sleep(Duration::from_millis(700));
+    let (status, v) = client
+        .post_json(&format!("/v1/sessions/{idle}/predict"), "{}")
+        .expect("expired predict I/O");
+    assert_eq!(status, 410, "expired session not gone: {v:?}");
+
+    // Capacity: creating past max_sessions evicts the longest-idle one.
+    let mut ids = Vec::new();
+    for _ in 0..4 {
+        let (status, v) = client
+            .post_json("/v1/sessions", &session_create_body(0, &[]))
+            .expect("create I/O");
+        assert_eq!(status, 200);
+        ids.push(str_field(&v, "session").to_string());
+    }
+    let (status, _) = client
+        .get(&format!("/v1/sessions/{}", ids[0]))
+        .expect("evicted info I/O");
+    assert_eq!(status, 410, "oldest session should be evicted");
+
+    // healthz and stats surface occupancy and evictions.
+    let (status, text) = client.get("/healthz").expect("healthz");
+    assert_eq!(status, 200);
+    let health: Value = serde_json::from_str(&text).expect("health JSON");
+    assert_eq!(num_field(&health, "sessions"), 3);
+    assert!(num_field(&health, "evictions") >= 2, "expiry + capacity");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn concurrent_session_appends_and_predictions_stay_consistent() {
+    // One session is shared by an appender thread and several predictor
+    // threads racing against TTL and each other; every prediction
+    // must equal the reference for SOME prefix the session legitimately
+    // held (appends are atomic, so no torn state is ever observable).
+    let handle = start_server_with_sessions(
+        7,
+        BatchConfig {
+            max_batch: 4,
+            deadline: Duration::from_millis(1),
+            queue_cap: 256,
+        },
+        SessionConfig {
+            ttl: Duration::from_secs(30),
+            max_sessions: 64,
+            max_visits: 1024,
+        },
+    );
+    let addr = handle.local_addr().to_string();
+    let (reference, samples) = reference_predictor(7);
+    let s = *samples
+        .iter()
+        .filter(|s| s.traj_index > 0)
+        .max_by_key(|s| s.prefix_len)
+        .expect("dataset has history samples");
+    let stream = stream_of(&reference, &s);
+    let prefix_len = s.prefix_len;
+    let history = &stream[..stream.len() - prefix_len];
+    let prefix = &stream[stream.len() - prefix_len..];
+
+    // Every reachable reference ranking, by prefix length — plus the
+    // history-only state (before the first racing append lands), which
+    // the server splits at the last trajectory gap like any payload.
+    let mut expected: Vec<Vec<PoiId>> = (1..=prefix_len)
+        .map(|j| {
+            let indexed = Sample { prefix_len: j, ..s };
+            reference.predict_one(&Query::with_top(indexed, 4, 10)).pois
+        })
+        .collect();
+    let full_prefix_ranking = expected.last().cloned().expect("non-empty prefix");
+    {
+        let t = tspn_data::AdHocTrajectory::from_checkins(
+            tspn_data::UserId(s.user_index),
+            history,
+            tspn_data::DEFAULT_GAP_SECS,
+        )
+        .expect("history stream is valid");
+        let q = Query::adhoc(std::sync::Arc::new(t), 4, 10);
+        expected.push(reference.predict_one(&q).pois);
+    }
+
+    let mut admin = Client::connect(&addr).expect("connect");
+    let (status, v) = admin
+        .post_json(
+            "/v1/sessions",
+            &session_create_body(s.user_index, &history[..history.len().min(1)]),
+        )
+        .expect("create I/O");
+    assert_eq!(status, 200, "{v:?}");
+    let id = str_field(&v, "session").to_string();
+    // Seed the remaining history before racing.
+    if history.len() > 1 {
+        let (status, _) = admin
+            .post_json(
+                &format!("/v1/sessions/{id}/checkins"),
+                &session_append_body(&history[1..]),
+            )
+            .expect("seed I/O");
+        assert_eq!(status, 200);
+    }
+
+    std::thread::scope(|scope| {
+        // Appender: one visit at a time with small pauses.
+        let appender = {
+            let (addr, id) = (addr.clone(), id.clone());
+            scope.spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                for j in 0..prefix_len {
+                    let (status, v) = client
+                        .post_json(
+                            &format!("/v1/sessions/{id}/checkins"),
+                            &session_append_body(&prefix[j..j + 1]),
+                        )
+                        .expect("append I/O");
+                    assert_eq!(status, 200, "racing append failed: {v:?}");
+                    std::thread::sleep(Duration::from_millis(3));
+                }
+            })
+        };
+        // Predictors: hammer the same session; every answer must be one
+        // of the legitimate prefix rankings (or 422 before any visit of
+        // the current trajectory landed — impossible here: history is
+        // non-empty, so the session always has a predictable state).
+        for _ in 0..3 {
+            let (addr, id) = (addr.clone(), id.clone());
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                for _ in 0..10 {
+                    let (status, v) = client
+                        .post_json(&format!("/v1/sessions/{id}/predict"), "{}")
+                        .expect("racing predict I/O");
+                    assert_eq!(status, 200, "racing predict failed: {v:?}");
+                    let pois = pois_of(&v);
+                    assert!(
+                        expected.contains(&pois),
+                        "ranking matches no reachable session state"
+                    );
+                }
+            });
+        }
+        appender.join().expect("appender");
+    });
+
+    // After the race the session holds the full stream: its prediction is
+    // the full-prefix reference, bitwise.
+    let (status, v) = admin
+        .post_json(&format!("/v1/sessions/{id}/predict"), "{}")
+        .expect("final predict I/O");
+    assert_eq!(status, 200);
+    assert_eq!(pois_of(&v), full_prefix_ranking);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn typed_errors_cover_the_v1_status_classes() {
+    let handle = start_server(7, BatchConfig::default());
+    let addr = handle.local_addr().to_string();
+    let (reference, samples) = reference_predictor(7);
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // 404 unknown path / 405 wrong method on known paths.
+    let (status, v) = client
+        .post_json("/v2/predict", "{}")
+        .expect("unknown path I/O");
+    assert_eq!(
+        (status, error_of(&v).unwrap().0.as_str()),
+        (404, "not_found")
+    );
+    let (status, v) = client
+        .request("GET", "/v1/predict", None)
+        .map(|(s, t)| (s, serde_json::from_str::<Value>(&t).unwrap()))
+        .expect("wrong method I/O");
+    assert_eq!(
+        (status, error_of(&v).unwrap().0.as_str()),
+        (405, "method_not_allowed")
+    );
+    let (status, v) = client
+        .post_json("/healthz", "{}")
+        .expect("wrong method I/O");
+    assert_eq!(
+        (status, error_of(&v).unwrap().0.as_str()),
+        (405, "method_not_allowed")
+    );
+
+    // 400 malformed vs 422 semantically invalid payloads.
+    let (status, v) = client
+        .post_json("/v1/predict", "{not json")
+        .expect("bad json I/O");
+    assert_eq!(
+        (status, error_of(&v).unwrap().0.as_str()),
+        (400, "bad_request")
+    );
+    let (status, v) = client
+        .post_json("/v1/predict", r#"{"user":0,"checkins":[]}"#)
+        .expect("empty checkins I/O");
+    assert_eq!(
+        (status, error_of(&v).unwrap().0.as_str()),
+        (422, "unprocessable")
+    );
+    let vocab = reference.ctx().dataset.pois.len();
+    let (status, v) = client
+        .post_json(
+            "/v1/predict",
+            &format!(r#"{{"user":0,"checkins":[{{"poi":{vocab},"t":0}}]}}"#),
+        )
+        .expect("bad poi I/O");
+    assert_eq!(
+        (status, error_of(&v).unwrap().0.as_str()),
+        (422, "unprocessable")
+    );
+    let (status, v) = client
+        .post_json(
+            "/v1/predict",
+            r#"{"user":0,"checkins":[{"poi":1,"t":100},{"poi":2,"t":50}]}"#,
+        )
+        .expect("unordered I/O");
+    assert_eq!(
+        (status, error_of(&v).unwrap().0.as_str()),
+        (422, "unprocessable")
+    );
+
+    // The connection session survives every rejected request.
+    let s = samples[0];
+    let (status, v) = client
+        .post_json("/predict", &predict_body(&s, 4, 10))
+        .expect("recovery I/O");
+    assert_eq!(status, 200);
+    assert_eq!(
+        pois_of(&v),
+        reference.predict_one(&Query::with_top(s, 4, 10)).pois
+    );
+
+    handle.shutdown();
+    handle.join();
 }
 
 #[test]

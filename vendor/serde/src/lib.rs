@@ -154,6 +154,15 @@ impl Value {
         }
     }
 
+    /// Signed integer view (rejects fractional numbers and magnitudes
+    /// beyond exact `f64` integer range).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(n) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => Some(*n as i64),
+            _ => None,
+        }
+    }
+
     /// String view of this value.
     pub fn as_str(&self) -> Option<&str> {
         match self {
