@@ -18,6 +18,17 @@
 //! metrics into an existing `perf_snapshot` JSON so `perf_check` gates
 //! them alongside the training/evaluation timings.
 //!
+//! `--chaos` switches to the fault/overload harness instead of the load
+//! phases: a self-hosted run arms the chaos layer itself (25 ms flush
+//! delay, a 2-panic crash storm, an 8-deep admission queue); against
+//! `--addr` the server is expected to have been booted with matching
+//! `TSPN_SERVE_FAULT_*` / `TSPN_SERVE_MAX_QUEUE` knobs. The phase drives
+//! 4x-saturation load with slow-writer and kill-mid-flight connections
+//! and asserts: no hang, every response a typed answer or typed shed,
+//! accepted p99 <= 3x the calm p99, and post-chaos predictions bitwise
+//! identical to the offline `Predictor` reference. Chaos counters merge
+//! as `serve_chaos_*` metrics (report-only against older baselines).
+//!
 //! `--smoke` additionally asserts protocol correctness: `/healthz`,
 //! valid and *bitwise-reference-identical* top-k answers on the legacy,
 //! payload, and session endpoints, the full session lifecycle
@@ -32,8 +43,9 @@ use serde::Value;
 use tspn_core::{Predictor, Query, SpatialContext, TspnConfig};
 use tspn_data::synth::{generate_dataset, SynthConfig};
 use tspn_data::{PoiId, Sample};
+use tspn_serve::client::RetryPolicy;
 use tspn_serve::{
-    protocol, server, BatchConfig, Client, ServerConfig, ServerHandle, SessionConfig,
+    protocol, server, BatchConfig, ChaosConfig, Client, ServerConfig, ServerHandle, SessionConfig,
 };
 
 struct Args {
@@ -41,6 +53,7 @@ struct Args {
     connections: usize,
     requests: usize,
     smoke: bool,
+    chaos: bool,
     merge: Option<String>,
     preset: String,
     scale: f64,
@@ -52,7 +65,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: serve_bench [--addr HOST:PORT] [--connections N] [--requests N] [--smoke] \
-         [--merge SNAPSHOT.json] [--preset P] [--scale F] [--days N] [--ckpt FILE] \
+         [--chaos] [--merge SNAPSHOT.json] [--preset P] [--scale F] [--days N] [--ckpt FILE] \
          [--session-ttl-ms N]"
     );
     std::process::exit(2);
@@ -65,6 +78,7 @@ fn parse_args() -> Args {
         connections: 8,
         requests: 50,
         smoke: false,
+        chaos: false,
         merge: None,
         preset: "nyc".into(),
         scale: 0.15,
@@ -85,6 +99,7 @@ fn parse_args() -> Args {
             }
             "--requests" => args.requests = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--smoke" => args.smoke = true,
+            "--chaos" => args.chaos = true,
             "--merge" => args.merge = Some(value(&mut i)),
             "--preset" => args.preset = value(&mut i),
             "--scale" => args.scale = value(&mut i).parse().unwrap_or_else(|_| usage()),
@@ -153,7 +168,7 @@ fn main() {
     // path never needs the model) and then the self-hosted server; only
     // smoke + self-host genuinely needs a second build.
     let mut spare_ctx = Some(ctx);
-    let reference = args.smoke.then(|| {
+    let reference = (args.smoke || args.chaos).then(|| {
         Predictor::new(
             model_cfg.clone(),
             spare_ctx.take().expect("first context unused"),
@@ -171,9 +186,31 @@ fn main() {
             if let Some(ttl_ms) = self_host_ttl_ms {
                 session.ttl = Duration::from_millis(ttl_ms);
             }
+            // A --chaos self-host arms the fault layer itself: the 25 ms
+            // flush delay pins serving capacity (so "4x saturation" is
+            // arithmetic, not luck), the panic storm exercises the
+            // supervisor, and the shallow queue guarantees typed sheds.
+            let (batch, chaos) = if args.chaos {
+                (
+                    BatchConfig {
+                        max_batch: 8,
+                        deadline: Duration::from_millis(1),
+                        queue_cap: 8,
+                    },
+                    ChaosConfig {
+                        flush_delay: Some(Duration::from_millis(25)),
+                        flush_panic_every: Some(5),
+                        flush_panic_budget: Some(2),
+                        ..ChaosConfig::default()
+                    },
+                )
+            } else {
+                (BatchConfig::default(), ChaosConfig::default())
+            };
             let handle = server::start(
                 ServerConfig {
-                    batch: BatchConfig::default(),
+                    batch,
+                    chaos,
                     session,
                     ..ServerConfig::default()
                 },
@@ -188,19 +225,50 @@ fn main() {
     drop(spare_ctx);
     println!("serve_bench: driving {addr}");
 
-    if let Some(reference) = &reference {
+    if args.smoke {
         // Expiry needs to know the server's TTL: explicit flag against an
         // external server, or the shortened TTL we just self-hosted with.
         let ttl_ms = match &args.addr {
             Some(_) => args.session_ttl_ms,
             None => self_host_ttl_ms,
         };
+        let reference = reference.as_ref().expect("smoke builds a reference");
         smoke(&addr, reference, &samples, args.ckpt.as_deref(), ttl_ms);
+    }
+
+    if args.chaos {
+        // Chaos replaces the load phases: a chaos-armed server's flush
+        // delay would poison the serve_* latency metrics.
+        let reference = reference.as_ref().expect("chaos builds a reference");
+        let report = chaos_phase(&addr, reference, &samples);
+        if let Some(path) = &args.merge {
+            merge_metrics(
+                path,
+                &[
+                    ("serve_chaos_accepted_p99_us", report.accepted_p99_us, "us"),
+                    ("serve_chaos_shed_total", report.sheds as f64, "count"),
+                    ("serve_chaos_shed_rate", report.shed_rate, "frac"),
+                    ("serve_chaos_restarts", report.restarts as f64, "count"),
+                    (
+                        "serve_chaos_injected_panics",
+                        report.injected_panics as f64,
+                        "count",
+                    ),
+                ],
+            );
+            println!("serve_bench: merged chaos metrics into {path}");
+        }
+        if let Some(handle) = hosted {
+            handle.shutdown();
+            handle.join();
+        }
+        println!("serve_bench: done");
+        return;
     }
 
     // Legacy index-addressed load, then the v1 payload-addressed load.
     let legacy_bodies: Vec<String> = samples.iter().map(|s| predict_body(s, 4, 10)).collect();
-    let (p50_us, p99_us, qps) = load_phase(
+    let (p50_us, p99_us, qps, sheds) = load_phase(
         &addr,
         "/predict",
         &legacy_bodies,
@@ -211,7 +279,7 @@ fn main() {
     println!("serve_p99_us            {p99_us:>12.1}");
     println!("serve_qps               {qps:>12.1}");
 
-    let (v1_p50_us, v1_p99_us, v1_qps) = load_phase(
+    let (v1_p50_us, v1_p99_us, v1_qps, v1_sheds) = load_phase(
         &addr,
         "/v1/predict",
         &v1_bodies,
@@ -221,6 +289,9 @@ fn main() {
     println!("serve_v1_p50_us         {v1_p50_us:>12.1}");
     println!("serve_v1_p99_us         {v1_p99_us:>12.1}");
     println!("serve_v1_qps            {v1_qps:>12.1}");
+    if sheds + v1_sheds > 0 {
+        println!("serve_shed_responses    {:>12}", sheds + v1_sheds);
+    }
 
     if let Some(path) = &args.merge {
         merge_metrics(
@@ -232,6 +303,7 @@ fn main() {
                 ("serve_v1_p50_us", v1_p50_us, "us"),
                 ("serve_v1_p99_us", v1_p99_us, "us"),
                 ("serve_v1_qps", v1_qps, "qps"),
+                ("serve_shed_responses", (sheds + v1_sheds) as f64, "count"),
             ],
         );
         println!("serve_bench: merged serve metrics into {path}");
@@ -265,6 +337,61 @@ fn smoke(
         Some("ok"),
         "healthz body {text}"
     );
+    assert_eq!(
+        health.get("ready").and_then(Value::as_bool),
+        Some(true),
+        "healthz must report readiness: {text}"
+    );
+    assert!(
+        health
+            .get("queue_cap")
+            .and_then(Value::as_usize)
+            .unwrap_or(0)
+            > 0,
+        "healthz must report the admission queue cap: {text}"
+    );
+    let shed = health.get("shed").expect("healthz shed ledger");
+    for field in ["queue_full", "expired", "not_ready"] {
+        assert!(
+            shed.get(field).and_then(Value::as_usize).is_some(),
+            "healthz shed ledger missing {field}: {text}"
+        );
+    }
+    assert!(
+        health.get("restarts").and_then(Value::as_usize).is_some(),
+        "healthz must report supervisor restarts: {text}"
+    );
+
+    // The stats endpoint carries the same ledger in structured form.
+    let (status, text) = client.get("/v1/stats").expect("smoke: stats I/O");
+    assert_eq!(status, 200, "stats failed: {text}");
+    let stats: Value = serde_json::from_str(&text).expect("stats JSON");
+    assert_eq!(
+        stats.get("ready").and_then(Value::as_bool),
+        Some(true),
+        "stats must report readiness: {text}"
+    );
+    let overload = stats.get("overload").expect("stats overload ledger");
+    for field in [
+        "queue_cap",
+        "shed_queue_full",
+        "shed_expired",
+        "shed_not_ready",
+        "restarts",
+        "request_timeout_ms",
+    ] {
+        assert!(
+            overload.get(field).and_then(Value::as_usize).is_some(),
+            "stats overload ledger missing {field}: {text}"
+        );
+    }
+    let chaos = stats.get("chaos").expect("stats chaos counters");
+    for field in ["injected_panics", "corrupted_publishes"] {
+        assert!(
+            chaos.get(field).and_then(Value::as_usize).is_some(),
+            "stats chaos counters missing {field}: {text}"
+        );
+    }
 
     // If a known-good checkpoint was provided, hot-swap it in and align
     // the local reference to it; a fresh server is already aligned.
@@ -543,48 +670,319 @@ fn smoke_typed_errors(client: &mut Client, reference: &Predictor) {
 }
 
 /// Drives the load: `connections` threads, `requests` keep-alive POSTs
-/// of `bodies` (round-robin) to `path`; returns `(p50_us, p99_us, qps)`
-/// from client-observed latencies.
+/// of `bodies` (round-robin) to `path`, through the retrying client so a
+/// transient shed backs off and is counted instead of failing the run;
+/// returns `(p50_us, p99_us, qps, sheds)` from client-observed latencies
+/// of accepted (200) answers.
 fn load_phase(
     addr: &str,
     path: &str,
     bodies: &[String],
     connections: usize,
     requests: usize,
-) -> (f64, f64, f64) {
+) -> (f64, f64, f64, usize) {
     assert!(connections >= 1 && requests >= 1 && !bodies.is_empty());
     let started = Instant::now();
-    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+    let per_conn: Vec<(Vec<u64>, usize)> = std::thread::scope(|scope| {
         let mut joins = Vec::new();
         for c in 0..connections {
             let addr = addr.to_string();
             joins.push(scope.spawn(move || {
                 let mut client = Client::connect(&addr).expect("load: connect");
                 let mut lat = Vec::with_capacity(requests);
+                let mut sheds = 0usize;
                 for r in 0..requests {
                     let body = &bodies[(c * requests + r) % bodies.len()];
                     let t0 = Instant::now();
-                    let (status, text) = client.post(path, body).expect("load: predict I/O");
+                    let resp = client
+                        .request_with_retry("POST", path, Some(body), RetryPolicy::default())
+                        .expect("load: predict I/O");
                     let dt = t0.elapsed();
-                    assert_eq!(status, 200, "load predict failed: {text}");
-                    lat.push(dt.as_micros() as u64);
+                    match resp.status {
+                        200 => lat.push(dt.as_micros() as u64),
+                        // Retries exhausted against a still-shedding
+                        // server: counted, not fatal.
+                        429 | 503 => sheds += 1,
+                        other => panic!("load predict failed ({other}): {}", resp.body),
+                    }
                 }
-                lat
+                (lat, sheds)
             }));
         }
         joins
             .into_iter()
-            .flat_map(|j| j.join().expect("load client thread"))
+            .map(|j| j.join().expect("load client thread"))
             .collect()
     });
     let wall = started.elapsed().max(Duration::from_micros(1));
+    let sheds: usize = per_conn.iter().map(|(_, s)| *s).sum();
+    let mut latencies: Vec<u64> = per_conn.into_iter().flat_map(|(l, _)| l).collect();
+    assert!(
+        !latencies.is_empty(),
+        "load phase: every request was shed — server permanently overloaded?"
+    );
     latencies.sort_unstable();
     let pct = |p: f64| -> f64 {
         let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len()) - 1;
         latencies[idx] as f64
     };
-    let total = (connections * requests) as f64;
-    (pct(0.50), pct(0.99), total / wall.as_secs_f64())
+    (
+        pct(0.50),
+        pct(0.99),
+        latencies.len() as f64 / wall.as_secs_f64(),
+        sheds,
+    )
+}
+
+/// What the chaos phase observed (merged as `serve_chaos_*` metrics).
+struct ChaosReport {
+    accepted_p99_us: f64,
+    sheds: usize,
+    shed_rate: f64,
+    restarts: u64,
+    injected_panics: u64,
+}
+
+fn num_of(v: &Value, path: &[&str]) -> u64 {
+    let mut cur = v;
+    for key in path {
+        cur = cur
+            .get(key)
+            .unwrap_or_else(|| panic!("missing field {key:?} in {v:?}"));
+    }
+    cur.as_usize()
+        .unwrap_or_else(|| panic!("non-numeric field {path:?} in {v:?}")) as u64
+}
+
+/// The overload/fault harness. The server is expected to be chaos-armed
+/// (self-hosted `--chaos` arms it; an external server needs the
+/// `TSPN_SERVE_FAULT_*` knobs). Four stages:
+///
+/// 1. **Storm drain** — sequential predicts until the injected panic
+///    budget is spent (10 consecutive accepted answers). Every response
+///    on the way must be *typed* (200/429/500/503) — never a reset.
+/// 2. **Calm baseline** — sequential accepted p99.
+/// 3. **Blast** — 16 concurrent connections (2x the stock chaos queue
+///    plus its in-flight batch: 4x what one flush can absorb), alongside
+///    slow-writer connections (one header byte per 50 ms — must still be
+///    answered) and kill-mid-flight connections (request sent, socket
+///    dropped — must not wedge a handler). Accepted p99 must stay within
+///    3x calm; sheds must be typed 429/503 with Retry-After.
+/// 4. **Recovery** — the queue drains, `/healthz` reports ready, and a
+///    fresh prediction is bitwise-identical to the offline reference.
+fn chaos_phase(addr: &str, reference: &Predictor, samples: &[Sample]) -> ChaosReport {
+    let s = samples[0];
+    let body = predict_body(&s, 4, 10);
+    let mut client = Client::connect(addr).expect("chaos: connect");
+
+    // Stage 1: storm drain.
+    let mut consecutive_ok = 0usize;
+    let mut storm_typed_errors = 0usize;
+    let drain_deadline = Instant::now() + Duration::from_secs(60);
+    while consecutive_ok < 10 {
+        assert!(
+            Instant::now() < drain_deadline,
+            "chaos: server never settled after its crash storm"
+        );
+        let resp = client
+            .request_full("POST", "/predict", Some(&body))
+            .expect("chaos: storm response must be typed, not a reset");
+        match resp.status {
+            200 => consecutive_ok += 1,
+            429 | 500 | 503 => {
+                let v: Value = serde_json::from_str(&resp.body)
+                    .unwrap_or_else(|e| panic!("chaos: untyped body {:?}: {e}", resp.body));
+                protocol::error_of(&v).expect("chaos: typed error body");
+                storm_typed_errors += 1;
+                consecutive_ok = 0;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            other => panic!("chaos: unexpected storm status {other}"),
+        }
+    }
+    println!("serve_bench: chaos storm drained ({storm_typed_errors} typed errors, 0 resets)");
+
+    // Stage 2: calm baseline.
+    let mut calm: Vec<u64> = (0..12)
+        .map(|_| {
+            let t0 = Instant::now();
+            let resp = client
+                .request_full("POST", "/predict", Some(&body))
+                .expect("chaos: calm I/O");
+            assert_eq!(resp.status, 200, "calm predict shed: {}", resp.body);
+            t0.elapsed().as_micros() as u64
+        })
+        .collect();
+    calm.sort_unstable();
+    let calm_p99 = calm[calm.len() - 1];
+
+    // Stage 3: blast.
+    let connections = 16usize;
+    let per_conn = 12usize;
+    let outcomes: Vec<(u16, u64)> = std::thread::scope(|scope| {
+        // Kill-mid-flight: send a request, drop the socket unread.
+        for _ in 0..4 {
+            let addr = addr.to_string();
+            let body = body.clone();
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    if let Ok(mut stream) = std::net::TcpStream::connect(&addr) {
+                        let head = format!(
+                            "POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+                            body.len()
+                        );
+                        use std::io::Write;
+                        let _ = stream.write_all(head.as_bytes());
+                        let _ = stream.write_all(body.as_bytes());
+                        // Dropped here: the server's answer hits a dead
+                        // socket and must not wedge the handler.
+                    }
+                    std::thread::sleep(Duration::from_millis(40));
+                }
+            });
+        }
+        // Slow writers: one header byte per 50 ms — slower than a healthy
+        // client, faster than the server's read timeout, so they must be
+        // answered, not dropped.
+        let slow_joins: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = addr.to_string();
+                let body = body.clone();
+                scope.spawn(move || {
+                    let mut stream =
+                        std::net::TcpStream::connect(&addr).expect("chaos: slow connect");
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(30)))
+                        .expect("slow read timeout");
+                    use std::io::{Read, Write};
+                    let head = format!(
+                        "POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                        body.len()
+                    );
+                    let bytes = head.as_bytes();
+                    // Trickle the first 40 bytes, then complete.
+                    for chunk in bytes[..40.min(bytes.len())].chunks(1) {
+                        stream.write_all(chunk).expect("chaos: slow write");
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                    stream
+                        .write_all(&bytes[40.min(bytes.len())..])
+                        .expect("chaos: slow finish");
+                    let mut buf = [0u8; 4096];
+                    let n = stream.read(&mut buf).expect("chaos: slow read");
+                    assert!(n > 0, "slow client got EOF instead of an answer");
+                    let text = String::from_utf8_lossy(&buf[..n]);
+                    assert!(
+                        text.starts_with("HTTP/1.1 "),
+                        "slow client got a non-HTTP answer: {text:?}"
+                    );
+                })
+            })
+            .collect();
+        // The blast proper.
+        let mut joins = Vec::new();
+        for _ in 0..connections {
+            let addr = addr.to_string();
+            let body = body.clone();
+            joins.push(scope.spawn(move || {
+                let mut client = Client::connect(&addr).expect("chaos: blast connect");
+                let mut out = Vec::new();
+                for _ in 0..per_conn {
+                    let t0 = Instant::now();
+                    let resp = client
+                        .request_full("POST", "/predict", Some(&body))
+                        .expect("chaos: blast response must be typed, not a reset");
+                    let us = t0.elapsed().as_micros() as u64;
+                    if resp.status != 200 {
+                        let v: Value = serde_json::from_str(&resp.body)
+                            .unwrap_or_else(|e| panic!("untyped shed {:?}: {e}", resp.body));
+                        protocol::error_of(&v).expect("typed shed body");
+                        assert!(
+                            resp.retry_after.is_some() || resp.status == 500,
+                            "shed without Retry-After: {}",
+                            resp.body
+                        );
+                    }
+                    out.push((resp.status, us));
+                }
+                out
+            }));
+        }
+        for j in slow_joins {
+            j.join().expect("chaos: slow client");
+        }
+        joins
+            .into_iter()
+            .flat_map(|j| j.join().expect("chaos: blast client"))
+            .collect()
+    });
+
+    let mut accepted: Vec<u64> = Vec::new();
+    let mut sheds = 0usize;
+    for (status, us) in &outcomes {
+        match status {
+            200 => accepted.push(*us),
+            429 | 503 => sheds += 1,
+            500 => sheds += 1, // a late injected panic still counts as typed
+            other => panic!("chaos: unexpected blast status {other}"),
+        }
+    }
+    assert!(sheds > 0, "chaos: 4x saturation never shed a request");
+    assert!(!accepted.is_empty(), "chaos: blast starved every request");
+    accepted.sort_unstable();
+    let accepted_p99 = accepted[(accepted.len() - 1) * 99 / 100];
+    assert!(
+        accepted_p99 <= calm_p99 * 3,
+        "chaos: accepted p99 {accepted_p99}us exceeds 3x calm p99 {calm_p99}us"
+    );
+    let shed_rate = sheds as f64 / outcomes.len() as f64;
+    println!(
+        "serve_bench: chaos blast: {} accepted (p99 {accepted_p99} us <= 3x calm {calm_p99} us), \
+         {sheds} typed sheds ({:.0}%)",
+        accepted.len(),
+        shed_rate * 100.0
+    );
+
+    // Stage 4: recovery.
+    let recover_deadline = Instant::now() + Duration::from_secs(30);
+    let stats = loop {
+        let (status, text) = client.get("/v1/stats").expect("chaos: stats I/O");
+        assert_eq!(status, 200);
+        let stats: Value = serde_json::from_str(&text).expect("stats JSON");
+        if stats.get("ready").and_then(Value::as_bool) == Some(true)
+            && num_of(&stats, &["queue"]) == 0
+        {
+            break stats;
+        }
+        assert!(
+            Instant::now() < recover_deadline,
+            "chaos: server never drained its queue after the blast"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    let restarts = num_of(&stats, &["overload", "restarts"]);
+    let injected_panics = num_of(&stats, &["chaos", "injected_panics"]);
+
+    let (status, text) = client.post("/predict", &body).expect("chaos: recovery I/O");
+    assert_eq!(status, 200, "post-chaos predict failed: {text}");
+    let v: Value = serde_json::from_str(&text).expect("recovery JSON");
+    assert_eq!(
+        pois_of(&v),
+        reference.predict_one(&Query::with_top(s, 4, 10)).pois,
+        "post-chaos predictions diverged from the offline reference"
+    );
+    println!(
+        "serve_bench: chaos recovery ok ({restarts} supervisor restarts, \
+         {injected_panics} injected panics, predictions bitwise vs reference)"
+    );
+
+    ChaosReport {
+        accepted_p99_us: accepted_p99 as f64,
+        sheds,
+        shed_rate,
+        restarts,
+        injected_panics,
+    }
 }
 
 /// Appends (or replaces) the serve metrics inside a `perf_snapshot` JSON.

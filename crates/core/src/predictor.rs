@@ -130,6 +130,18 @@ impl Predictor {
         self.trainer
     }
 
+    /// Discards the model (whose state a panic mid-forward may have left
+    /// inconsistent) and rebuilds a fresh one over the same spatial
+    /// context and configuration. The context is immutable at serving
+    /// time, so only the parameters need restoring afterwards — callers
+    /// follow up with [`Predictor::load_checkpoint`] from their last good
+    /// snapshot. This is the supervisor's crash-recovery primitive.
+    pub fn rebuild(self) -> Predictor {
+        let config = self.trainer.model.config.clone();
+        let ctx = self.trainer.ctx;
+        Predictor::new(config, ctx)
+    }
+
     /// The spatial context the model serves against.
     pub fn ctx(&self) -> &SpatialContext {
         &self.trainer.ctx
@@ -405,5 +417,19 @@ mod tests {
         );
         pred.load_checkpoint(&ckpt_a).expect("restore original");
         assert_eq!(pred.predict_one(&q), original);
+    }
+
+    #[test]
+    fn rebuild_plus_checkpoint_restores_predictions_bitwise() {
+        let (pred, samples) = tiny_predictor();
+        let q = Query::with_top(samples[0], 4, 8);
+        let before = pred.predict_one(&q);
+        let ckpt = pred.save();
+
+        // Crash recovery: throw the model away, rebuild over the same
+        // context, restore the snapshot — answers must be identical.
+        let rebuilt = pred.rebuild();
+        rebuilt.load_checkpoint(&ckpt).expect("snapshot restores");
+        assert_eq!(rebuilt.predict_one(&q), before);
     }
 }

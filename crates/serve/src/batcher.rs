@@ -10,11 +10,20 @@
 //! amortises the per-flush costs (parameter checks, table reuse, pool
 //! dispatch) across up to `max_batch` requests.
 //!
-//! The queue is bounded (`queue_cap`): submitters block when the server is
-//! `queue_cap` requests behind, which backpressures clients instead of
-//! growing memory without limit.
+//! The queue is bounded (`queue_cap`) and is the server's **admission
+//! control** point: [`Batcher::try_submit`] refuses immediately with
+//! [`SubmitError::QueueFull`] when the server is `queue_cap` requests
+//! behind, so overload is shed as a typed `429` instead of growing memory
+//! (or blocked handler threads) without limit. The blocking
+//! [`Batcher::submit`] survives for callers that prefer backpressure.
+//!
+//! Every queued query may carry a **deadline**: entries whose deadline
+//! passes while they wait are swept out *before* the flush and answered
+//! [`Verdict::Expired`] — the model never spends a forward pass on an
+//! answer nobody is waiting for.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -29,8 +38,8 @@ pub struct BatchConfig {
     /// Longest a queued query may wait for companions before its batch
     /// flushes anyway.
     pub deadline: Duration,
-    /// Bound on queued (not yet flushed) queries; submitters block beyond
-    /// this.
+    /// Bound on queued (not yet flushed) queries; `try_submit` sheds
+    /// beyond this (blocking `submit` waits instead).
     pub queue_cap: usize,
 }
 
@@ -47,14 +56,17 @@ impl Default for BatchConfig {
 impl BatchConfig {
     /// Resolves the tunable knobs from CLI flags and the environment:
     /// an explicit CLI value wins, then `TSPN_SERVE_MAX_BATCH` /
-    /// `TSPN_SERVE_DEADLINE_US`, then the defaults (32 / 2 ms). A flush
-    /// is one batched forward, so these two directly trade tail latency
-    /// against per-query amortisation under load. Unparseable (or zero
-    /// `max_batch`) environment values are ignored rather than fatal —
-    /// a fleet-wide env typo must not take serving down.
+    /// `TSPN_SERVE_DEADLINE_US` / `TSPN_SERVE_MAX_QUEUE`, then the
+    /// defaults (32 / 2 ms / 1024). A flush is one batched forward, so
+    /// `max_batch` and `deadline` directly trade tail latency against
+    /// per-query amortisation under load, while `queue_cap` bounds how far
+    /// behind the server may fall before it starts shedding. Unparseable
+    /// (or zero) environment values are ignored rather than fatal — a
+    /// fleet-wide env typo must not take serving down.
     pub fn resolve(
         cli_max_batch: Option<usize>,
         cli_deadline_us: Option<u64>,
+        cli_queue_cap: Option<usize>,
         env: impl Fn(&str) -> Option<String>,
     ) -> BatchConfig {
         let default = BatchConfig::default();
@@ -69,10 +81,17 @@ impl BatchConfig {
             .or_else(|| env("TSPN_SERVE_DEADLINE_US").and_then(|v| v.trim().parse::<u64>().ok()))
             .map(Duration::from_micros)
             .unwrap_or(default.deadline);
+        let queue_cap = cli_queue_cap
+            .or_else(|| {
+                env("TSPN_SERVE_MAX_QUEUE")
+                    .and_then(|v| v.trim().parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+            })
+            .unwrap_or(default.queue_cap);
         BatchConfig {
             max_batch,
             deadline,
-            ..default
+            queue_cap,
         }
     }
 }
@@ -88,19 +107,57 @@ pub struct Answered {
     pub batch: u64,
 }
 
+/// What a waiting handler's channel ultimately delivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The query ran in a flush and this is its prediction.
+    Answered(Answered),
+    /// The query's deadline passed while it sat in the queue; it was
+    /// dropped *before* the flush, so the model never ran it. Handlers
+    /// answer `503 deadline_exceeded`; retrying is always safe.
+    Expired,
+}
+
+impl Verdict {
+    /// The answer, if the query was served (test/diagnostic convenience).
+    pub fn answered(self) -> Option<Answered> {
+        match self {
+            Verdict::Answered(a) => Some(a),
+            Verdict::Expired => None,
+        }
+    }
+}
+
 /// Why a submission was not accepted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitError {
     /// The batcher has been closed (server shutting down).
     Closed,
+    /// The admission queue is at `queue_cap`; the request was shed
+    /// without queuing. Handlers answer `429 overloaded` + `Retry-After`.
+    QueueFull,
+}
+
+/// How one supervised run of the serve loop ended; see
+/// [`Batcher::run_supervised`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopExit {
+    /// The batcher was closed and the queue fully drained.
+    Drained,
+    /// `serve` panicked. That batch's waiters were failed (channels
+    /// dropped → each handler answers 500); the queue and any later
+    /// submissions are intact. The caller may rebuild state and re-enter.
+    Panicked,
 }
 
 struct Waiting {
     query: Query,
-    tx: mpsc::SyncSender<Answered>,
+    tx: mpsc::SyncSender<Verdict>,
     /// When the query entered the queue; the flush deadline runs from the
     /// oldest entry, not from when the batcher got around to looking.
     enqueued: Instant,
+    /// Hard per-request deadline; entries past it are swept pre-flush.
+    deadline: Option<Instant>,
 }
 
 struct Shared {
@@ -109,11 +166,33 @@ struct Shared {
     nonempty: Condvar,
     /// Signalled when the queue loses elements or closes.
     space: Condvar,
+    /// Queries dropped pre-flush because their deadline expired in queue.
+    shed_expired: AtomicU64,
 }
 
 struct State {
     waiting: VecDeque<Waiting>,
     open: bool,
+    /// Flush sequence number; lives here (not in the run loop) so batch
+    /// ids stay monotonic across supervisor restarts.
+    next_batch: u64,
+}
+
+/// Drops every queued entry whose deadline has passed, answering each
+/// with [`Verdict::Expired`]. Called with the queue lock held.
+fn sweep_expired(state: &mut State, shed: &AtomicU64) {
+    let now = Instant::now();
+    let mut i = 0;
+    while i < state.waiting.len() {
+        let dead = state.waiting[i].deadline.is_some_and(|d| d <= now);
+        if dead {
+            let w = state.waiting.remove(i).expect("index in bounds");
+            let _ = w.tx.send(Verdict::Expired);
+            shed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            i += 1;
+        }
+    }
 }
 
 /// Handle to the shared batching queue (clone-cheap).
@@ -134,19 +213,21 @@ impl Batcher {
                 queue: Mutex::new(State {
                     waiting: VecDeque::new(),
                     open: true,
+                    next_batch: 0,
                 }),
                 nonempty: Condvar::new(),
                 space: Condvar::new(),
+                shed_expired: AtomicU64::new(0),
             }),
         }
     }
 
     /// Enqueues one query, blocking while the queue is at capacity, and
-    /// returns the channel the answer will arrive on.
+    /// returns the channel the verdict will arrive on.
     ///
     /// # Errors
     /// [`SubmitError::Closed`] once [`Batcher::close`] has been called.
-    pub fn submit(&self, query: Query) -> Result<mpsc::Receiver<Answered>, SubmitError> {
+    pub fn submit(&self, query: Query) -> Result<mpsc::Receiver<Verdict>, SubmitError> {
         let (tx, rx) = mpsc::sync_channel(1);
         let mut state = self.shared.queue.lock().expect("batcher queue");
         while state.open && state.waiting.len() >= self.cfg.queue_cap {
@@ -159,6 +240,43 @@ impl Batcher {
             query,
             tx,
             enqueued: Instant::now(),
+            deadline: None,
+        });
+        drop(state);
+        self.shared.nonempty.notify_all();
+        Ok(rx)
+    }
+
+    /// Admission-controlled enqueue: never blocks. Refuses immediately
+    /// when the queue is at `queue_cap` (after sweeping entries whose
+    /// deadline already passed — a queue full of dead requests must not
+    /// shed live ones). An entry still queued at `deadline` is dropped
+    /// before the flush and resolves to [`Verdict::Expired`].
+    ///
+    /// # Errors
+    /// [`SubmitError::Closed`] after [`Batcher::close`];
+    /// [`SubmitError::QueueFull`] when at capacity.
+    pub fn try_submit(
+        &self,
+        query: Query,
+        deadline: Option<Instant>,
+    ) -> Result<mpsc::Receiver<Verdict>, SubmitError> {
+        let (tx, rx) = mpsc::sync_channel(1);
+        let mut state = self.shared.queue.lock().expect("batcher queue");
+        if !state.open {
+            return Err(SubmitError::Closed);
+        }
+        if state.waiting.len() >= self.cfg.queue_cap {
+            sweep_expired(&mut state, &self.shared.shed_expired);
+            if state.waiting.len() >= self.cfg.queue_cap {
+                return Err(SubmitError::QueueFull);
+            }
+        }
+        state.waiting.push_back(Waiting {
+            query,
+            tx,
+            enqueued: Instant::now(),
+            deadline,
         });
         drop(state);
         self.shared.nonempty.notify_all();
@@ -173,6 +291,11 @@ impl Batcher {
             .expect("batcher queue")
             .waiting
             .len()
+    }
+
+    /// Total queries ever dropped in-queue past their deadline.
+    pub fn shed_expired_total(&self) -> u64 {
+        self.shared.shed_expired.load(Ordering::Relaxed)
     }
 
     /// Closes the queue: pending queries still flush, new submissions are
@@ -191,14 +314,30 @@ impl Batcher {
     ///
     /// A panicking `serve` call fails only its own batch (the waiters'
     /// channels drop, surfacing an error to each handler); the loop keeps
-    /// serving subsequent batches.
+    /// serving subsequent batches. Callers that need to *repair* state
+    /// after a panic (rebuild the model, count crashes) should use
+    /// [`Batcher::run_supervised`] directly — this is the unsupervised
+    /// convenience wrapper over it.
     pub fn run_loop(&self, mut serve: impl FnMut(&[Query]) -> (Vec<TopK>, u64)) {
-        let mut batch_id = 0u64;
+        while self.run_supervised(&mut serve) == LoopExit::Panicked {}
+    }
+
+    /// Runs the serve loop until the batcher drains ([`LoopExit::Drained`])
+    /// or one `serve` call panics ([`LoopExit::Panicked`]). On a panic the
+    /// poisoned batch's waiters have already been failed and the queue is
+    /// otherwise intact, so a supervisor can rebuild whatever the panic may
+    /// have corrupted (e.g. the model, from the last good checkpoint) and
+    /// call this again; queued requests keep their places.
+    pub fn run_supervised(&self, mut serve: impl FnMut(&[Query]) -> (Vec<TopK>, u64)) -> LoopExit {
         loop {
             let Some(pending) = self.collect_batch() else {
-                return;
+                return LoopExit::Drained;
             };
-            batch_id += 1;
+            let batch_id = {
+                let mut state = self.shared.queue.lock().expect("batcher queue");
+                state.next_batch += 1;
+                state.next_batch
+            };
             let queries: Vec<Query> = pending.iter().map(|w| w.query.clone()).collect();
             let outcome =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| serve(&queries)));
@@ -207,17 +346,18 @@ impl Batcher {
                     debug_assert_eq!(answers.len(), pending.len());
                     for (w, topk) in pending.into_iter().zip(answers) {
                         // A handler that timed out and left is fine to miss.
-                        let _ = w.tx.send(Answered {
+                        let _ = w.tx.send(Verdict::Answered(Answered {
                             topk,
                             snapshot,
                             batch: batch_id,
-                        });
+                        }));
                     }
                 }
                 Err(_) => {
                     // Dropping the waiters closes their channels; each
                     // handler answers 500 for exactly this batch.
                     drop(pending);
+                    return LoopExit::Panicked;
                 }
             }
         }
@@ -226,9 +366,23 @@ impl Batcher {
     /// Blocks until a batch is ready (first query + deadline/max-batch
     /// policy) or the batcher is closed and empty (`None`).
     fn collect_batch(&self) -> Option<Vec<Waiting>> {
-        let mut state = self.shared.queue.lock().expect("batcher queue");
-        // Phase 1: wait for the first query (or close-and-drained).
         loop {
+            match self.collect_batch_once() {
+                Some(batch) if batch.is_empty() => continue,
+                other => return other,
+            }
+        }
+    }
+
+    /// One collection attempt; may come back empty if every candidate
+    /// expired between the flush decision and the take.
+    fn collect_batch_once(&self) -> Option<Vec<Waiting>> {
+        let mut state = self.shared.queue.lock().expect("batcher queue");
+        // Phase 1: wait for the first *live* query (or close-and-drained).
+        // Expired entries are swept here so a dead oldest entry cannot
+        // start the flush clock for a batch that will never include it.
+        loop {
+            sweep_expired(&mut state, &self.shared.shed_expired);
             if !state.waiting.is_empty() {
                 break;
             }
@@ -258,6 +412,9 @@ impl Batcher {
                 .expect("batcher queue");
             state = guard;
         }
+        // Entries may have expired while companions were awaited; drop
+        // them now so the flush never spends model time on them.
+        sweep_expired(&mut state, &self.shared.shed_expired);
         let take = state.waiting.len().min(self.cfg.max_batch);
         let batch: Vec<Waiting> = state.waiting.drain(..take).collect();
         drop(state);
@@ -319,7 +476,11 @@ mod tests {
         });
         assert_eq!(sizes, vec![4, 4, 2], "backlog drains in max_batch chunks");
         for (i, rx) in receivers.into_iter().enumerate() {
-            let answered = rx.recv().expect("answered before close finished");
+            let answered = rx
+                .recv()
+                .expect("answered before close finished")
+                .answered()
+                .expect("no deadline, so served");
             assert_eq!(answered.topk.pois, vec![PoiId(i)], "answers follow queries");
             assert_eq!(answered.snapshot, 7);
         }
@@ -339,7 +500,7 @@ mod tests {
         batcher.run_loop(echo);
         let batches: Vec<u64> = receivers
             .into_iter()
-            .map(|rx| rx.recv().unwrap().batch)
+            .map(|rx| rx.recv().unwrap().answered().unwrap().batch)
             .collect();
         assert_eq!(batches, vec![1, 1, 1, 2, 2, 2, 3]);
     }
@@ -358,7 +519,9 @@ mod tests {
         let rx = batcher.submit(query(42)).expect("open");
         let answered = rx
             .recv_timeout(Duration::from_secs(5))
-            .expect("deadline must flush a solo query");
+            .expect("deadline must flush a solo query")
+            .answered()
+            .expect("served");
         assert_eq!(answered.topk.pois, vec![PoiId(42)]);
         batcher.close();
         loop_handle.join().expect("loop exits after close");
@@ -372,27 +535,34 @@ mod tests {
             _ => None,
         };
         // Env only.
-        let r = BatchConfig::resolve(None, None, env);
+        let r = BatchConfig::resolve(None, None, None, env);
         assert_eq!(r.max_batch, 16);
         assert_eq!(r.deadline, Duration::from_micros(500));
         assert_eq!(r.queue_cap, BatchConfig::default().queue_cap);
         // CLI beats env.
-        let r = BatchConfig::resolve(Some(8), Some(1_000), env);
+        let r = BatchConfig::resolve(Some(8), Some(1_000), Some(64), env);
         assert_eq!(r.max_batch, 8);
         assert_eq!(r.deadline, Duration::from_micros(1_000));
-        // Nothing set: the documented 32 / 2 ms defaults.
-        let r = BatchConfig::resolve(None, None, |_| None);
+        assert_eq!(r.queue_cap, 64);
+        // Nothing set: the documented 32 / 2 ms / 1024 defaults.
+        let r = BatchConfig::resolve(None, None, None, |_| None);
         assert_eq!(r.max_batch, 32);
         assert_eq!(r.deadline, Duration::from_millis(2));
+        assert_eq!(r.queue_cap, 1024);
         // Garbage or zero env values fall through to the defaults.
         let bad = |k: &str| match k {
             "TSPN_SERVE_MAX_BATCH" => Some("0".to_string()),
             "TSPN_SERVE_DEADLINE_US" => Some("soon".to_string()),
+            "TSPN_SERVE_MAX_QUEUE" => Some("0".to_string()),
             _ => None,
         };
-        let r = BatchConfig::resolve(None, None, bad);
+        let r = BatchConfig::resolve(None, None, None, bad);
         assert_eq!(r.max_batch, 32);
         assert_eq!(r.deadline, Duration::from_millis(2));
+        assert_eq!(r.queue_cap, 1024);
+        // The queue-depth env knob is honoured when parseable.
+        let q = |k: &str| (k == "TSPN_SERVE_MAX_QUEUE").then(|| "7".to_string());
+        assert_eq!(BatchConfig::resolve(None, None, None, q).queue_cap, 7);
     }
 
     #[test]
@@ -449,7 +619,109 @@ mod tests {
             );
         }
         for (i, rx) in rx_good.into_iter().enumerate() {
-            assert_eq!(rx.recv().unwrap().topk.pois, vec![PoiId(10 + i)]);
+            assert_eq!(
+                rx.recv().unwrap().answered().unwrap().topk.pois,
+                vec![PoiId(10 + i)]
+            );
+        }
+    }
+
+    #[test]
+    fn try_submit_sheds_at_capacity_without_blocking() {
+        let batcher = Batcher::new(BatchConfig {
+            max_batch: 8,
+            deadline: Duration::from_millis(1),
+            queue_cap: 2,
+        });
+        let _a = batcher.try_submit(query(0), None).expect("admitted");
+        let _b = batcher.try_submit(query(1), None).expect("admitted");
+        assert_eq!(
+            batcher.try_submit(query(2), None).unwrap_err(),
+            SubmitError::QueueFull,
+            "third admission over a cap of 2 is shed immediately"
+        );
+        // A queue full of *expired* entries must not shed live requests:
+        // the sweep runs before the verdict.
+        let past = Instant::now() - Duration::from_millis(1);
+        let dead = Batcher::new(BatchConfig {
+            max_batch: 8,
+            deadline: Duration::from_millis(1),
+            queue_cap: 2,
+        });
+        let d0 = dead.try_submit(query(0), Some(past)).expect("admitted");
+        let d1 = dead.try_submit(query(1), Some(past)).expect("admitted");
+        let live = dead.try_submit(query(2), None);
+        assert!(live.is_ok(), "sweep frees seats held by expired entries");
+        assert_eq!(d0.recv().unwrap(), Verdict::Expired);
+        assert_eq!(d1.recv().unwrap(), Verdict::Expired);
+        assert_eq!(dead.shed_expired_total(), 2);
+        // Closed still wins over full.
+        batcher.close();
+        assert_eq!(
+            batcher.try_submit(query(3), None).unwrap_err(),
+            SubmitError::Closed
+        );
+    }
+
+    #[test]
+    fn expired_entries_are_dropped_before_the_flush() {
+        let batcher = Batcher::new(BatchConfig {
+            max_batch: 8,
+            deadline: Duration::from_millis(0),
+            queue_cap: 64,
+        });
+        let past = Instant::now() - Duration::from_millis(1);
+        let future = Instant::now() + Duration::from_secs(60);
+        let rx_dead = batcher.try_submit(query(0), Some(past)).unwrap();
+        let rx_live = batcher.try_submit(query(1), Some(future)).unwrap();
+        let rx_open = batcher.try_submit(query(2), None).unwrap();
+        batcher.close();
+        let mut seen: Vec<usize> = Vec::new();
+        batcher.run_loop(|qs| {
+            seen.extend(
+                qs.iter()
+                    .map(|q| q.indexed_sample().expect("indexed").user_index),
+            );
+            echo(qs)
+        });
+        assert_eq!(seen, vec![1, 2], "the expired query never reaches serve");
+        assert_eq!(rx_dead.recv().unwrap(), Verdict::Expired);
+        assert_eq!(
+            rx_live.recv().unwrap().answered().unwrap().topk.pois,
+            vec![PoiId(1)]
+        );
+        assert_eq!(
+            rx_open.recv().unwrap().answered().unwrap().topk.pois,
+            vec![PoiId(2)]
+        );
+        assert_eq!(batcher.shed_expired_total(), 1);
+    }
+
+    #[test]
+    fn run_supervised_reports_the_panic_and_resumes_where_it_left_off() {
+        let batcher = Batcher::new(BatchConfig {
+            max_batch: 2,
+            deadline: Duration::from_millis(0),
+            queue_cap: 64,
+        });
+        let rx_bad: Vec<_> = (0..2).map(|i| batcher.submit(query(i)).unwrap()).collect();
+        let rx_good: Vec<_> = (10..12)
+            .map(|i| batcher.submit(query(i)).unwrap())
+            .collect();
+        batcher.close();
+        // First supervised run: the first flush panics, control returns.
+        let exit = batcher.run_supervised(|_| panic!("injected"));
+        assert_eq!(exit, LoopExit::Panicked);
+        for rx in rx_bad {
+            assert!(rx.recv().is_err(), "poisoned batch failed");
+        }
+        // The supervisor "repairs" and re-enters: queued work is intact
+        // and batch ids continue (no restart from 1).
+        assert_eq!(batcher.run_supervised(echo), LoopExit::Drained);
+        for (i, rx) in rx_good.into_iter().enumerate() {
+            let answered = rx.recv().unwrap().answered().unwrap();
+            assert_eq!(answered.topk.pois, vec![PoiId(10 + i)]);
+            assert_eq!(answered.batch, 2, "batch numbering survives the restart");
         }
     }
 }

@@ -4,7 +4,8 @@
 //! tspn-serve --port 7878 --preset nyc --scale 0.15 --days 12 \
 //!            [--checkpoint model.json] [--dump-checkpoint boot.json] \
 //!            [--max-batch 32] [--deadline-us 2000] [--top 10] \
-//!            [--session-ttl-ms 900000] [--max-sessions 4096]
+//!            [--session-ttl-ms 900000] [--max-sessions 4096] \
+//!            [--max-queue-depth 1024] [--request-timeout-ms 10000]
 //! ```
 //!
 //! The synthetic presets are deterministic, so the server regenerates the
@@ -17,10 +18,21 @@
 //! `--max-batch` / `--deadline-us` are absent, `TSPN_SERVE_MAX_BATCH` and
 //! `TSPN_SERVE_DEADLINE_US` apply, else 32 / 2 ms — a flush is one
 //! batched forward, so these tune its size and tail latency under load
-//! without rebuilding deployment command lines. The v1 session store
-//! resolves the same way: `--session-ttl-ms` / `--max-sessions`, then
-//! `TSPN_SERVE_SESSION_TTL_MS` / `TSPN_SERVE_MAX_SESSIONS`, then the
-//! 15-minute / 4096-session defaults.
+//! without rebuilding deployment command lines. The admission queue and
+//! per-request deadline budget follow the same scheme:
+//! `--max-queue-depth` / `TSPN_SERVE_MAX_QUEUE` (default 1024) bounds how
+//! many requests may wait for a flush before the server sheds with a
+//! typed `429 overloaded`, and `--request-timeout-ms` /
+//! `TSPN_SERVE_REQUEST_TIMEOUT_MS` (default 10 s) is the deadline applied
+//! when a request does not carry its own `x-tspn-deadline-ms` header. The
+//! v1 session store resolves the same way: `--session-ttl-ms` /
+//! `--max-sessions`, then `TSPN_SERVE_SESSION_TTL_MS` /
+//! `TSPN_SERVE_MAX_SESSIONS`, then the 15-minute / 4096-session defaults.
+//!
+//! Supervision and fault injection are environment-only:
+//! `TSPN_SERVE_BREAKER_{THRESHOLD,WINDOW_MS,COOLDOWN_MS}` tune the
+//! batcher's crash circuit breaker, and the `TSPN_SERVE_FAULT_*` knobs
+//! (see [`tspn_serve::ChaosConfig`]) arm the chaos layer for drills.
 //!
 //! Shutdown: SIGTERM/SIGINT or `POST /admin/shutdown`; either way queued
 //! predictions flush before the process exits 0.
@@ -30,7 +42,7 @@ use std::time::Duration;
 
 use tspn_core::{SpatialContext, TspnConfig};
 use tspn_data::synth::{generate_dataset, SynthConfig};
-use tspn_serve::{server, BatchConfig, ServerConfig, SessionConfig};
+use tspn_serve::{server, BatchConfig, BreakerConfig, ChaosConfig, ServerConfig, SessionConfig};
 
 /// Set by the signal handler; polled by the main loop.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
@@ -46,6 +58,8 @@ struct Args {
     deadline_us: Option<u64>,
     session_ttl_ms: Option<u64>,
     max_sessions: Option<usize>,
+    max_queue_depth: Option<usize>,
+    request_timeout_ms: Option<u64>,
     top: usize,
 }
 
@@ -53,7 +67,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: tspn-serve [--port N] [--preset nyc|tky|california|florida] [--scale F] \
          [--days N] [--checkpoint FILE] [--dump-checkpoint FILE] [--max-batch N] \
-         [--deadline-us N] [--session-ttl-ms N] [--max-sessions N] [--top N]"
+         [--deadline-us N] [--session-ttl-ms N] [--max-sessions N] \
+         [--max-queue-depth N] [--request-timeout-ms N] [--top N]"
     );
     std::process::exit(2);
 }
@@ -71,6 +86,8 @@ fn parse_args() -> Args {
         deadline_us: None,
         session_ttl_ms: None,
         max_sessions: None,
+        max_queue_depth: None,
+        request_timeout_ms: None,
         top: 10,
     };
     let mut i = 0;
@@ -98,6 +115,12 @@ fn parse_args() -> Args {
             }
             "--max-sessions" => {
                 args.max_sessions = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
+            "--max-queue-depth" => {
+                args.max_queue_depth = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
+            "--request-timeout-ms" => {
+                args.request_timeout_ms = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
             }
             "--top" => args.top = value(&mut i).parse().unwrap_or_else(|_| usage()),
             _ => usage(),
@@ -195,21 +218,48 @@ fn main() {
         })
     });
 
-    let batch = BatchConfig::resolve(args.max_batch, args.deadline_us, |key| {
-        std::env::var(key).ok()
-    });
+    let batch = BatchConfig::resolve(
+        args.max_batch,
+        args.deadline_us,
+        args.max_queue_depth,
+        |key| std::env::var(key).ok(),
+    );
     let session = SessionConfig::resolve(args.session_ttl_ms, args.max_sessions, |key| {
         std::env::var(key).ok()
     });
+    let breaker = BreakerConfig::resolve(|key| std::env::var(key).ok());
+    let chaos = ChaosConfig::resolve(|key| std::env::var(key).ok());
+    let request_timeout = args
+        .request_timeout_ms
+        .or_else(|| {
+            std::env::var("TSPN_SERVE_REQUEST_TIMEOUT_MS")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .filter(|&ms| ms >= 1)
+        .map(Duration::from_millis)
+        .unwrap_or(ServerConfig::default().request_timeout);
     eprintln!(
-        "tspn-serve: micro-batcher max_batch={} deadline={:?}; sessions ttl={:?} cap={}",
-        batch.max_batch, batch.deadline, session.ttl, session.max_sessions
+        "tspn-serve: micro-batcher max_batch={} deadline={:?} queue_cap={}; \
+         request timeout {:?}; sessions ttl={:?} cap={}",
+        batch.max_batch,
+        batch.deadline,
+        batch.queue_cap,
+        request_timeout,
+        session.ttl,
+        session.max_sessions
     );
+    if chaos.is_active() {
+        eprintln!("tspn-serve: CHAOS ACTIVE: {chaos:?}");
+    }
     let server_cfg = ServerConfig {
         addr: format!("127.0.0.1:{}", args.port),
         batch,
         session,
         default_top: args.top,
+        request_timeout,
+        breaker,
+        chaos,
         ..ServerConfig::default()
     };
 

@@ -20,6 +20,9 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
+    /// Client-declared deadline budget (`x-tspn-deadline-ms` header);
+    /// `None` means "use the server's default request timeout".
+    pub deadline_ms: Option<u64>,
 }
 
 /// Outcome of waiting for the next request on a connection.
@@ -34,9 +37,47 @@ pub enum ReadOutcome {
     Idle,
 }
 
+/// Why reading the next request failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Transport failure (peer vanished, stalled transfer): nothing can
+    /// usefully be written back; just close.
+    Io(std::io::Error),
+    /// Protocol violation with a status worth telling the client about
+    /// (`400` malformed, `413` body too large, `431` headers too large).
+    /// The caller should [`HttpConn::reject`] with these and close —
+    /// request framing can no longer be trusted, so keep-alive is over.
+    Bad {
+        /// Response status to write.
+        status: u16,
+        /// Human-readable detail for the typed error body.
+        message: String,
+    },
+}
+
+impl ReadError {
+    fn bad(status: u16, message: impl Into<String>) -> Self {
+        ReadError::Bad {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
 /// How long a *partially received* request may dribble in before the
 /// connection is dropped as dead.
 const PARTIAL_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Hard cap on the request-line + headers block. Nothing in the protocol
+/// needs long headers; a peer that exceeds this gets `431` and the
+/// connection closed instead of growing the buffer without bound.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
 
 /// A persistent connection with its read-ahead buffer (pipelined bytes
 /// beyond the current request survive into the next call).
@@ -58,35 +99,37 @@ impl HttpConn {
     /// idle detection (see [`ReadOutcome::Idle`]).
     ///
     /// # Errors
-    /// I/O failures, malformed requests, and bodies above `max_body` are
-    /// all errors; the caller should close the connection (a 400/413 is
-    /// written first when possible by [`HttpConn::reject`]).
-    pub fn read_request(&mut self, max_body: usize) -> std::io::Result<ReadOutcome> {
+    /// [`ReadError::Io`] for transport failures (close silently);
+    /// [`ReadError::Bad`] for protocol violations — `400` malformed,
+    /// `413` body above `max_body`, `431` headers above
+    /// [`MAX_HEADER_BYTES`] — which the caller should write with
+    /// [`HttpConn::reject`] before closing.
+    pub fn read_request(&mut self, max_body: usize) -> Result<ReadOutcome, ReadError> {
         let mut chunk = [0u8; 4096];
         let mut partial_since: Option<Instant> = None;
         loop {
             if let Some(end) = find_header_end(&self.buf) {
                 return self.finish_request(end, max_body).map(ReadOutcome::Request);
             }
+            if self.buf.len() > MAX_HEADER_BYTES {
+                return Err(ReadError::bad(
+                    431,
+                    format!("header block exceeds {MAX_HEADER_BYTES} bytes"),
+                ));
+            }
             match self.stream.read(&mut chunk) {
                 Ok(0) => {
                     return if self.buf.is_empty() {
                         Ok(ReadOutcome::Closed)
                     } else {
-                        Err(std::io::Error::new(
+                        Err(ReadError::Io(std::io::Error::new(
                             ErrorKind::UnexpectedEof,
                             "connection closed mid-request",
-                        ))
+                        )))
                     };
                 }
                 Ok(n) => {
                     self.buf.extend_from_slice(&chunk[..n]);
-                    if self.buf.len() > max_body + 16 * 1024 {
-                        return Err(std::io::Error::new(
-                            ErrorKind::InvalidData,
-                            "request headers/body too large",
-                        ));
-                    }
                     partial_since.get_or_insert_with(Instant::now);
                 }
                 Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
@@ -96,21 +139,21 @@ impl HttpConn {
                     // A half-received request: keep waiting a bounded while.
                     let since = *partial_since.get_or_insert_with(Instant::now);
                     if since.elapsed() > PARTIAL_DEADLINE {
-                        return Err(std::io::Error::new(
+                        return Err(ReadError::Io(std::io::Error::new(
                             ErrorKind::TimedOut,
                             "request stalled mid-transfer",
-                        ));
+                        )));
                     }
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
+                Err(e) => return Err(ReadError::Io(e)),
             }
         }
     }
 
     /// Parses the buffered header block ending at `end` (exclusive of the
     /// blank line) and reads the body to completion.
-    fn finish_request(&mut self, end: usize, max_body: usize) -> std::io::Result<Request> {
+    fn finish_request(&mut self, end: usize, max_body: usize) -> Result<Request, ReadError> {
         let head = String::from_utf8_lossy(&self.buf[..end]).into_owned();
         let mut lines = head.split("\r\n");
         let request_line = lines.next().unwrap_or("");
@@ -121,41 +164,46 @@ impl HttpConn {
             parts.next().unwrap_or(""),
         );
         if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
-            return Err(std::io::Error::new(
-                ErrorKind::InvalidData,
+            return Err(ReadError::bad(
+                400,
                 format!("malformed request line {request_line:?}"),
             ));
         }
         let mut content_length = 0usize;
         // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
         let mut keep_alive = version != "HTTP/1.0";
+        let mut deadline_ms = None;
         for line in lines {
             let Some((name, value)) = line.split_once(':') else {
                 continue;
             };
             let value = value.trim();
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.parse().map_err(|_| {
-                    std::io::Error::new(ErrorKind::InvalidData, "bad Content-Length")
-                })?;
+                content_length = value
+                    .parse()
+                    .map_err(|_| ReadError::bad(400, "bad Content-Length"))?;
             } else if name.eq_ignore_ascii_case("connection") {
                 keep_alive = !value.eq_ignore_ascii_case("close");
+            } else if name.eq_ignore_ascii_case("x-tspn-deadline-ms") {
+                // An unparseable deadline falls back to the server default
+                // rather than failing the request.
+                deadline_ms = value.parse::<u64>().ok().filter(|&ms| ms >= 1);
             } else if name.eq_ignore_ascii_case("transfer-encoding")
                 && !value.eq_ignore_ascii_case("identity")
             {
                 // Only Content-Length framing is implemented; silently
                 // treating a chunked body as empty would leave its
                 // framing bytes to desync the keep-alive stream.
-                return Err(std::io::Error::new(
-                    ErrorKind::InvalidData,
+                return Err(ReadError::bad(
+                    400,
                     format!("unsupported Transfer-Encoding {value:?}"),
                 ));
             }
         }
         if content_length > max_body {
-            return Err(std::io::Error::new(
-                ErrorKind::InvalidData,
-                "request body too large",
+            return Err(ReadError::bad(
+                413,
+                format!("body of {content_length} bytes exceeds the {max_body}-byte limit"),
             ));
         }
         let body_start = end + 4;
@@ -167,22 +215,22 @@ impl HttpConn {
             let mut chunk = [0u8; 4096];
             match self.stream.read(&mut chunk) {
                 Ok(0) => {
-                    return Err(std::io::Error::new(
+                    return Err(ReadError::Io(std::io::Error::new(
                         ErrorKind::UnexpectedEof,
                         "connection closed mid-body",
-                    ));
+                    )));
                 }
                 Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
                 Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                     if body_since.elapsed() > PARTIAL_DEADLINE {
-                        return Err(std::io::Error::new(
+                        return Err(ReadError::Io(std::io::Error::new(
                             ErrorKind::TimedOut,
                             "request body stalled mid-transfer",
-                        ));
+                        )));
                     }
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
+                Err(e) => return Err(ReadError::Io(e)),
             }
         }
         let body = self.buf[body_start..body_start + content_length].to_vec();
@@ -193,6 +241,7 @@ impl HttpConn {
             path,
             body,
             keep_alive,
+            deadline_ms,
         })
     }
 
@@ -201,11 +250,30 @@ impl HttpConn {
     /// # Errors
     /// Propagates stream write failures.
     pub fn respond(&mut self, status: u16, body: &str, keep_alive: bool) -> std::io::Result<()> {
+        self.respond_ex(status, body, keep_alive, None)
+    }
+
+    /// Writes a JSON response with an optional `Retry-After` hint
+    /// (seconds) — attached to shed responses (429/503) so well-behaved
+    /// clients back off instead of hammering an overloaded server.
+    ///
+    /// # Errors
+    /// Propagates stream write failures.
+    pub fn respond_ex(
+        &mut self,
+        status: u16,
+        body: &str,
+        keep_alive: bool,
+        retry_after: Option<u64>,
+    ) -> std::io::Result<()> {
         let reason = reason_phrase(status);
         let connection = if keep_alive { "keep-alive" } else { "close" };
+        let retry = retry_after
+            .map(|secs| format!("Retry-After: {secs}\r\n"))
+            .unwrap_or_default();
         let head = format!(
             "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
-             Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
+             Content-Length: {}\r\n{retry}Connection: {connection}\r\n\r\n",
             body.len()
         );
         self.stream.write_all(head.as_bytes())?;
@@ -235,6 +303,8 @@ fn reason_phrase(status: u16) -> &'static str {
         410 => "Gone",
         413 => "Payload Too Large",
         422 => "Unprocessable Content",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -251,6 +321,8 @@ fn error_code(status: u16) -> &'static str {
         410 => "gone",
         413 => "payload_too_large",
         422 => "unprocessable",
+        429 => "overloaded",
+        431 => "headers_too_large",
         503 => "unavailable",
         _ => "internal",
     }
@@ -269,7 +341,7 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_protocol_statuses() {
-        for s in [200, 400, 404, 405, 410, 413, 422, 500, 503] {
+        for s in [200, 400, 404, 405, 410, 413, 422, 429, 431, 500, 503] {
             assert_ne!(reason_phrase(s), "Unknown");
         }
         assert_eq!(reason_phrase(299), "Unknown");
@@ -281,6 +353,162 @@ mod tests {
         assert_eq!(error_code(405), "method_not_allowed");
         assert_eq!(error_code(410), "gone");
         assert_eq!(error_code(422), "unprocessable");
+        assert_eq!(error_code(429), "overloaded");
+        assert_eq!(error_code(431), "headers_too_large");
         assert_eq!(error_code(500), "internal");
+    }
+
+    // ----- socket-level behaviour -------------------------------------
+    //
+    // Each test stands up a real loopback pair: the "server" side wraps
+    // the accepted stream in HttpConn (exactly as handle_connection
+    // does), the "client" side writes raw bytes.
+
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (HttpConn, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        server
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .expect("timeout");
+        (HttpConn::new(server), client)
+    }
+
+    fn drive(conn: &mut HttpConn, max_body: usize) -> Result<ReadOutcome, ReadError> {
+        // Skip Idle ticks so tests only see terminal outcomes.
+        loop {
+            match conn.read_request(max_body) {
+                Ok(ReadOutcome::Idle) => continue,
+                other => return other,
+            }
+        }
+    }
+
+    fn read_all(mut stream: &TcpStream) -> String {
+        let mut out = Vec::new();
+        let _ = stream.read_to_end(&mut out);
+        String::from_utf8_lossy(&out).into_owned()
+    }
+
+    #[test]
+    fn oversized_header_block_yields_431_and_a_closed_connection() {
+        let (mut conn, mut client) = pair();
+        // A header line that never ends: the buffer must not grow past
+        // MAX_HEADER_BYTES before the connection is refused.
+        client
+            .write_all(b"GET / HTTP/1.1\r\nx-filler: ")
+            .expect("w");
+        client
+            .write_all(&vec![b'a'; MAX_HEADER_BYTES + 64])
+            .expect("w");
+        let err = drive(&mut conn, 1 << 20).expect_err("must refuse");
+        let ReadError::Bad { status, .. } = err else {
+            panic!("expected Bad, got {err:?}");
+        };
+        assert_eq!(status, 431);
+        conn.reject(status, "too big");
+        drop(conn);
+        let answer = read_all(&client);
+        assert!(answer.starts_with("HTTP/1.1 431 "), "{answer}");
+        assert!(answer.contains("headers_too_large"), "{answer}");
+        assert!(answer.contains("Connection: close"), "{answer}");
+    }
+
+    #[test]
+    fn oversized_body_yields_413_without_buffering_it() {
+        let (mut conn, mut client) = pair();
+        client
+            .write_all(b"POST /predict HTTP/1.1\r\nContent-Length: 999999\r\n\r\n")
+            .expect("w");
+        let err = drive(&mut conn, 4096).expect_err("must refuse");
+        let ReadError::Bad { status, .. } = err else {
+            panic!("expected Bad, got {err:?}");
+        };
+        assert_eq!(status, 413);
+        conn.reject(status, "body too large");
+        drop(conn);
+        let answer = read_all(&client);
+        assert!(answer.starts_with("HTTP/1.1 413 "), "{answer}");
+        assert!(answer.contains("payload_too_large"), "{answer}");
+    }
+
+    #[test]
+    fn connection_close_is_honoured_after_the_response() {
+        let (mut conn, mut client) = pair();
+        client
+            .write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .expect("w");
+        let outcome = drive(&mut conn, 4096).expect("request parses");
+        let ReadOutcome::Request(req) = outcome else {
+            panic!("expected a request");
+        };
+        assert!(!req.keep_alive, "Connection: close noted");
+        conn.respond(200, "{}", req.keep_alive).expect("respond");
+        drop(conn);
+        let answer = read_all(&client);
+        assert!(answer.contains("Connection: close"), "{answer}");
+        assert!(
+            answer.ends_with("{}"),
+            "clean close after the body: {answer}"
+        );
+    }
+
+    #[test]
+    fn parse_error_yields_400_then_close() {
+        let (mut conn, mut client) = pair();
+        client.write_all(b"NOT-HTTP\r\n\r\n").expect("w");
+        let err = drive(&mut conn, 4096).expect_err("must refuse");
+        let ReadError::Bad { status, .. } = err else {
+            panic!("expected Bad, got {err:?}");
+        };
+        assert_eq!(status, 400);
+        conn.reject(status, "malformed");
+        drop(conn);
+        let answer = read_all(&client);
+        assert!(answer.starts_with("HTTP/1.1 400 "), "{answer}");
+        assert!(answer.contains("Connection: close"), "{answer}");
+    }
+
+    #[test]
+    fn deadline_header_is_parsed_and_garbage_ignored() {
+        let (mut conn, mut client) = pair();
+        client
+            .write_all(
+                b"POST /v1/predict HTTP/1.1\r\nx-tspn-deadline-ms: 250\r\n\
+                  Content-Length: 2\r\n\r\n{}",
+            )
+            .expect("w");
+        let ReadOutcome::Request(req) = drive(&mut conn, 4096).expect("parses") else {
+            panic!("expected a request");
+        };
+        assert_eq!(req.deadline_ms, Some(250));
+
+        client
+            .write_all(
+                b"POST /v1/predict HTTP/1.1\r\nX-TSPN-Deadline-Ms: never\r\n\
+                  Content-Length: 2\r\n\r\n{}",
+            )
+            .expect("w");
+        let ReadOutcome::Request(req) = drive(&mut conn, 4096).expect("parses") else {
+            panic!("expected a request");
+        };
+        assert_eq!(req.deadline_ms, None, "garbage deadline → server default");
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted_on_shed_responses() {
+        let (mut conn, client) = pair();
+        conn.respond_ex(429, "{\"error\":{}}", false, Some(2))
+            .expect("respond");
+        drop(conn);
+        let answer = read_all(&client);
+        assert!(
+            answer.starts_with("HTTP/1.1 429 Too Many Requests"),
+            "{answer}"
+        );
+        assert!(answer.contains("Retry-After: 2\r\n"), "{answer}");
     }
 }

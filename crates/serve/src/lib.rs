@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod batcher;
+pub mod chaos;
 pub mod client;
 pub mod http;
 pub mod protocol;
@@ -30,11 +31,13 @@ pub mod server;
 pub mod session;
 pub mod snapshot;
 
-pub use batcher::{Answered, BatchConfig, Batcher, SubmitError};
+pub use batcher::{Answered, BatchConfig, Batcher, SubmitError, Verdict};
+pub use chaos::{Chaos, ChaosConfig};
 pub use client::Client;
 pub use protocol::ApiError;
 pub use server::{
-    default_model_config, preset_dataset_config, start, ServeStats, ServerConfig, ServerHandle,
+    default_model_config, preset_dataset_config, start, BreakerConfig, ServeStats, ServerConfig,
+    ServerHandle, MAX_DEADLINE_MS,
 };
 pub use session::{SessionConfig, SessionError, SessionInfo, SessionStats, SessionStore};
 pub use snapshot::{PublishedCheckpoint, SnapshotHandle, BOOT_VERSION};

@@ -25,8 +25,12 @@
 //! `400 bad_request` (malformed JSON / wrong field types), `404
 //! not_found` (unknown route or never-issued session), `405
 //! method_not_allowed`, `410 gone` (expired/evicted/deleted session),
+//! `413 payload_too_large` / `431 headers_too_large` (wire-size limits),
 //! `422 unprocessable` (well-formed but semantically invalid: POI out of
-//! vocabulary, unordered timestamps, empty check-in runs, zero `k`/`top`).
+//! vocabulary, unordered timestamps, empty check-in runs, zero `k`/`top`),
+//! `429 overloaded` (admission queue full; carries `Retry-After`), and
+//! `503` with code `shutting_down` (draining), `not_ready` (circuit
+//! breaker open), or `deadline_exceeded` (request budget spent in queue).
 
 use serde::Value;
 use tspn_core::TopK;
@@ -89,6 +93,57 @@ impl ApiError {
         ApiError {
             status: 422,
             code: "unprocessable",
+            message: message.into(),
+        }
+    }
+
+    /// `429 overloaded`: the admission queue is full; the request was
+    /// shed without being executed, so retrying (after `Retry-After`) is
+    /// always safe.
+    pub fn overloaded(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 429,
+            code: "overloaded",
+            message: message.into(),
+        }
+    }
+
+    /// `503 shutting_down`: the server is draining; this connection gets
+    /// a typed refusal instead of a reset.
+    pub fn shutting_down(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 503,
+            code: "shutting_down",
+            message: message.into(),
+        }
+    }
+
+    /// `503 not_ready`: the circuit breaker is open after repeated
+    /// batcher crashes; predictions are shed until the cool-down passes.
+    pub fn not_ready(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 503,
+            code: "not_ready",
+            message: message.into(),
+        }
+    }
+
+    /// `503 deadline_exceeded`: the request's deadline budget elapsed
+    /// while it waited; it was dropped before the model ran it.
+    pub fn deadline_exceeded(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 503,
+            code: "deadline_exceeded",
+            message: message.into(),
+        }
+    }
+
+    /// `500 internal`: the batch serving this request crashed; the
+    /// supervisor restarts the batcher and subsequent requests succeed.
+    pub fn internal(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 500,
+            code: "internal",
             message: message.into(),
         }
     }
@@ -481,36 +536,71 @@ pub struct StatsSnapshot {
     pub session_ttl_ms: u64,
     /// Configured session capacity.
     pub session_capacity: usize,
+    /// Whether the server accepts predictions right now (`false` while
+    /// the circuit breaker is open).
+    pub ready: bool,
+    /// Configured admission-queue capacity.
+    pub queue_cap: usize,
+    /// Requests refused because the admission queue was full (429).
+    pub shed_queue_full: u64,
+    /// Requests dropped in-queue past their deadline (503).
+    pub shed_expired: u64,
+    /// Requests refused while the breaker was open (503).
+    pub shed_not_ready: u64,
+    /// Times the supervisor restarted the batcher after a panic.
+    pub batcher_restarts: u64,
+    /// Default per-request deadline budget in milliseconds.
+    pub request_timeout_ms: u64,
+    /// Injected flush panics (fault injection; 0 when chaos is inert).
+    pub chaos_injected_panics: u64,
+    /// Poisoned checkpoint publications (fault injection).
+    pub chaos_corrupted_publishes: u64,
 }
 
-/// Renders a `/healthz` answer: the legacy fields plus session-store
-/// occupancy and total evictions (expiry + capacity).
+/// Renders a `/healthz` answer: readiness, the serving versions, and the
+/// overload counters an operator needs at a glance. `status` mirrors
+/// `ready` (`"ok"` / `"not_ready"`); the draining state never reaches
+/// this renderer (the handler refuses with `503 shutting_down` first).
 pub fn health_response(s: &StatsSnapshot) -> String {
     format!(
-        "{{\"status\":\"ok\",\"snapshot\":{},\"published\":{},\"served\":{},\"batches\":{},\
-         \"queue\":{},\"sessions\":{},\"evictions\":{}}}",
+        "{{\"status\":\"{}\",\"ready\":{},\"snapshot\":{},\"published\":{},\"served\":{},\
+         \"batches\":{},\"queue\":{},\"queue_cap\":{},\"restarts\":{},\
+         \"shed\":{{\"queue_full\":{},\"expired\":{},\"not_ready\":{}}},\
+         \"sessions\":{},\"evictions\":{}}}",
+        if s.ready { "ok" } else { "not_ready" },
+        s.ready,
         s.snapshot,
         s.published,
         s.served,
         s.batches,
         s.queue,
+        s.queue_cap,
+        s.batcher_restarts,
+        s.shed_queue_full,
+        s.shed_expired,
+        s.shed_not_ready,
         s.sessions_live,
         s.sessions_expired + s.sessions_evicted,
     )
 }
 
-/// Renders the full `GET /v1/stats` answer: per-endpoint served counts
-/// and the session-store lifecycle breakdown.
+/// Renders the full `GET /v1/stats` answer: per-endpoint served counts,
+/// the session-store lifecycle breakdown, the overload/shedding ledger,
+/// and (always, zeros when inert) the fault-injection counters.
 pub fn stats_response(s: &StatsSnapshot) -> String {
     format!(
-        "{{\"snapshot\":{},\"published\":{},\"batches\":{},\"queue\":{},\
+        "{{\"snapshot\":{},\"published\":{},\"batches\":{},\"queue\":{},\"ready\":{},\
          \"served\":{{\"total\":{},\"legacy_predict\":{},\"v1_predict\":{},\"session_predict\":{}}},\
          \"sessions\":{{\"live\":{},\"created\":{},\"appends\":{},\"expired\":{},\"evicted\":{},\
-         \"ttl_ms\":{},\"capacity\":{}}}}}",
+         \"ttl_ms\":{},\"capacity\":{}}},\
+         \"overload\":{{\"queue_cap\":{},\"shed_queue_full\":{},\"shed_expired\":{},\
+         \"shed_not_ready\":{},\"restarts\":{},\"request_timeout_ms\":{}}},\
+         \"chaos\":{{\"injected_panics\":{},\"corrupted_publishes\":{}}}}}",
         s.snapshot,
         s.published,
         s.batches,
         s.queue,
+        s.ready,
         s.served,
         s.served_legacy,
         s.served_v1,
@@ -522,6 +612,14 @@ pub fn stats_response(s: &StatsSnapshot) -> String {
         s.sessions_evicted,
         s.session_ttl_ms,
         s.session_capacity,
+        s.queue_cap,
+        s.shed_queue_full,
+        s.shed_expired,
+        s.shed_not_ready,
+        s.batcher_restarts,
+        s.request_timeout_ms,
+        s.chaos_injected_panics,
+        s.chaos_corrupted_publishes,
     )
 }
 
@@ -671,11 +769,37 @@ mod tests {
             sessions_evicted: 1,
             session_ttl_ms: 1_000,
             session_capacity: 64,
+            ready: true,
+            queue_cap: 128,
+            shed_queue_full: 6,
+            shed_expired: 4,
+            shed_not_ready: 2,
+            batcher_restarts: 1,
+            request_timeout_ms: 10_000,
+            chaos_injected_panics: 0,
+            chaos_corrupted_publishes: 0,
         };
         let health: Value = serde_json::from_str(&health_response(&stats)).unwrap();
         assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
         assert_eq!(health.get("sessions").and_then(Value::as_usize), Some(2));
         assert_eq!(health.get("evictions").and_then(Value::as_usize), Some(3));
+        assert_eq!(health.get("queue_cap").and_then(Value::as_usize), Some(128));
+        assert_eq!(health.get("restarts").and_then(Value::as_usize), Some(1));
+        let shed = health.get("shed").expect("shed object");
+        assert_eq!(shed.get("queue_full").and_then(Value::as_usize), Some(6));
+        assert_eq!(shed.get("expired").and_then(Value::as_usize), Some(4));
+        assert_eq!(shed.get("not_ready").and_then(Value::as_usize), Some(2));
+
+        // Not-ready flips the status string for probes that only look there.
+        let tripped = StatsSnapshot {
+            ready: false,
+            ..stats
+        };
+        let health: Value = serde_json::from_str(&health_response(&tripped)).unwrap();
+        assert_eq!(
+            health.get("status").and_then(Value::as_str),
+            Some("not_ready")
+        );
 
         let full: Value = serde_json::from_str(&stats_response(&stats)).unwrap();
         let served = full.get("served").expect("served object");
@@ -686,6 +810,21 @@ mod tests {
         assert_eq!(
             sessions.get("ttl_ms").and_then(Value::as_usize),
             Some(1_000)
+        );
+        let overload = full.get("overload").expect("overload object");
+        assert_eq!(
+            overload.get("shed_queue_full").and_then(Value::as_usize),
+            Some(6)
+        );
+        assert_eq!(overload.get("restarts").and_then(Value::as_usize), Some(1));
+        assert_eq!(
+            overload.get("request_timeout_ms").and_then(Value::as_usize),
+            Some(10_000)
+        );
+        let chaos = full.get("chaos").expect("chaos object");
+        assert_eq!(
+            chaos.get("injected_panics").and_then(Value::as_usize),
+            Some(0)
         );
 
         let session: Value = serde_json::from_str(&session_created_response(3, 8, 0, 900)).unwrap();

@@ -21,36 +21,98 @@
 //! validates on the handler thread and publishes; the batcher applies at
 //! the next flush boundary without blocking in-flight work.
 
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use tspn_core::{Predictor, Query, SpatialContext, TspnConfig};
 use tspn_data::{AdHocTrajectory, UserId, Visit, DEFAULT_GAP_SECS};
 use tspn_tensor::serialize::Checkpoint;
 
-use crate::batcher::{BatchConfig, Batcher, SubmitError};
-use crate::http::{HttpConn, ReadOutcome, Request};
+use crate::batcher::{BatchConfig, Batcher, LoopExit, SubmitError, Verdict};
+use crate::chaos::{Chaos, ChaosConfig};
+use crate::http::{HttpConn, ReadError, ReadOutcome, Request};
 use crate::protocol::{self, ApiError};
 use crate::session::{SessionConfig, SessionError, SessionStore};
 use crate::snapshot::{validate_shapes, SnapshotHandle};
+
+/// Circuit-breaker policy for the batcher supervisor: `threshold` panics
+/// within `window` flip the server not-ready; it recovers `cooldown`
+/// after the trip.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Panics within the window that open the breaker.
+    pub threshold: u32,
+    /// Sliding window over which panics are counted.
+    pub window: Duration,
+    /// How long the breaker stays open once tripped.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 3,
+            window: Duration::from_secs(30),
+            cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Resolves the breaker knobs from `TSPN_SERVE_BREAKER_THRESHOLD`,
+    /// `TSPN_SERVE_BREAKER_WINDOW_MS`, and
+    /// `TSPN_SERVE_BREAKER_COOLDOWN_MS`; unparseable (or zero) values
+    /// keep their defaults.
+    pub fn resolve(env: impl Fn(&str) -> Option<String>) -> BreakerConfig {
+        let default = BreakerConfig::default();
+        let num = |key: &str| {
+            env(key)
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .filter(|&n| n >= 1)
+        };
+        BreakerConfig {
+            threshold: num("TSPN_SERVE_BREAKER_THRESHOLD")
+                .map(|n| n as u32)
+                .unwrap_or(default.threshold),
+            window: num("TSPN_SERVE_BREAKER_WINDOW_MS")
+                .map(Duration::from_millis)
+                .unwrap_or(default.window),
+            cooldown: num("TSPN_SERVE_BREAKER_COOLDOWN_MS")
+                .map(Duration::from_millis)
+                .unwrap_or(default.cooldown),
+        }
+    }
+}
 
 /// Serving configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address, e.g. `"127.0.0.1:7878"` (`:0` picks a free port).
     pub addr: String,
-    /// Micro-batching knobs.
+    /// Micro-batching knobs (including the admission-queue depth).
     pub batch: BatchConfig,
     /// Session-store knobs (TTL, capacity).
     pub session: SessionConfig,
     /// Per-connection read timeout: the idle-poll granularity for
     /// shutdown checks on keep-alive connections.
     pub read_timeout: Duration,
+    /// Per-connection write timeout: a peer that stops draining its
+    /// socket cannot pin a handler thread past this.
+    pub write_timeout: Duration,
+    /// Default per-request deadline budget (requests may override per
+    /// call with the `x-tspn-deadline-ms` header, clamped to
+    /// [`MAX_DEADLINE_MS`]).
+    pub request_timeout: Duration,
     /// Default result-list truncation when a request omits `top`.
     pub default_top: usize,
+    /// Batcher-supervisor circuit-breaker policy.
+    pub breaker: BreakerConfig,
+    /// Fault injection (inert by default).
+    pub chaos: ChaosConfig,
 }
 
 impl Default for ServerConfig {
@@ -60,7 +122,11 @@ impl Default for ServerConfig {
             batch: BatchConfig::default(),
             session: SessionConfig::default(),
             read_timeout: Duration::from_millis(200),
+            write_timeout: Duration::from_secs(10),
+            request_timeout: Duration::from_secs(10),
             default_top: 10,
+            breaker: BreakerConfig::default(),
+            chaos: ChaosConfig::default(),
         }
     }
 }
@@ -103,9 +169,17 @@ pub fn preset_dataset_config(name: &str, scale: f64) -> Option<tspn_data::synth:
     }
 }
 
-/// How long a handler waits for its batch to be answered before giving up
-/// with a 503 (covers a wedged or heavily backlogged batcher).
-const ANSWER_TIMEOUT: Duration = Duration::from_secs(30);
+/// Upper clamp on a client-supplied deadline budget: a huge header value
+/// must not let one request camp in the queue for minutes.
+pub const MAX_DEADLINE_MS: u64 = 60_000;
+
+/// Extra wait past a request's deadline for a flush that already picked
+/// the query up — the flush may legitimately finish a little late, and an
+/// answer that exists is better than a spurious timeout.
+const FLUSH_GRACE: Duration = Duration::from_secs(5);
+
+/// `Retry-After` seconds attached to shed responses (429/503).
+const RETRY_AFTER_SECS: u64 = 1;
 
 /// Serving counters surfaced by `/healthz` and `/v1/stats`. The served
 /// total is not stored — it is the sum of the three per-endpoint
@@ -125,6 +199,43 @@ pub struct ServeStats {
     pub session_appends: AtomicU64,
 }
 
+/// Overload / failure-recovery state shared across threads.
+struct Overload {
+    /// Requests refused with 429 because the admission queue was full.
+    shed_queue_full: AtomicU64,
+    /// Requests refused with 503 while draining or breaker-open.
+    shed_not_ready: AtomicU64,
+    /// Supervisor restarts of the batcher after a panic.
+    batcher_restarts: AtomicU64,
+    /// Breaker-open deadline in milliseconds since `epoch`; 0 = closed.
+    breaker_until_ms: AtomicU64,
+    /// Time base for `breaker_until_ms` (an `Instant`, so wall-clock
+    /// jumps cannot reopen or extend the breaker).
+    epoch: Instant,
+}
+
+impl Overload {
+    fn new() -> Self {
+        Overload {
+            shed_queue_full: AtomicU64::new(0),
+            shed_not_ready: AtomicU64::new(0),
+            batcher_restarts: AtomicU64::new(0),
+            breaker_until_ms: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    fn breaker_open(&self) -> bool {
+        let until = self.breaker_until_ms.load(Ordering::Acquire);
+        until != 0 && (self.epoch.elapsed().as_millis() as u64) < until
+    }
+
+    fn trip_breaker(&self, cooldown: Duration) {
+        let until = (self.epoch.elapsed() + cooldown).as_millis() as u64;
+        self.breaker_until_ms.store(until.max(1), Ordering::Release);
+    }
+}
+
 /// State shared by every thread of one server.
 struct Shared {
     batcher: Batcher,
@@ -134,6 +245,8 @@ struct Shared {
     applied: AtomicU64,
     shutdown: AtomicBool,
     stats: ServeStats,
+    overload: Overload,
+    chaos: Chaos,
     /// The per-user session state behind the stateful v1 flow.
     sessions: SessionStore,
     /// Visits per `(user, trajectory)` — legacy request validation without
@@ -146,6 +259,10 @@ struct Shared {
     expected_shapes: OnceLock<Vec<(String, Vec<usize>)>>,
     default_k: usize,
     default_top: usize,
+    /// Default per-request deadline budget.
+    request_timeout: Duration,
+    /// Configured admission-queue depth (for stats).
+    queue_cap: usize,
 }
 
 /// A running server; dropping the handle does **not** stop it — call
@@ -218,12 +335,16 @@ pub fn start(
         applied: AtomicU64::new(crate::snapshot::BOOT_VERSION),
         shutdown: AtomicBool::new(false),
         stats: ServeStats::default(),
+        overload: Overload::new(),
+        chaos: Chaos::new(cfg.chaos),
         sessions: SessionStore::new(cfg.session),
         traj_lens,
         num_pois,
         expected_shapes: OnceLock::new(),
         default_k: model_cfg.top_k,
         default_top: cfg.default_top,
+        request_timeout: cfg.request_timeout,
+        queue_cap: cfg.batch.queue_cap,
     });
 
     // Build the predictor on its home thread; hand back readiness (or the
@@ -231,9 +352,10 @@ pub fn start(
     let (ready_tx, ready_rx) = mpsc::sync_channel::<Result<(), String>>(1);
     let batcher_thread = {
         let shared = Arc::clone(&shared);
+        let breaker = cfg.breaker;
         std::thread::Builder::new()
             .name("tspn-serve-batcher".to_string())
-            .spawn(move || batcher_main(shared, model_cfg, ctx, initial, ready_tx))
+            .spawn(move || batcher_main(shared, model_cfg, ctx, initial, ready_tx, breaker))
             .map_err(|e| format!("spawn batcher: {e}"))?
     };
     ready_rx
@@ -255,9 +377,10 @@ pub fn start(
     let accept_thread = {
         let shared = Arc::clone(&shared);
         let read_timeout = cfg.read_timeout;
+        let write_timeout = cfg.write_timeout;
         std::thread::Builder::new()
             .name("tspn-serve-accept".to_string())
-            .spawn(move || accept_main(shared, listener, read_timeout))
+            .spawn(move || accept_main(shared, listener, read_timeout, write_timeout))
             .map_err(|e| format!("spawn accept loop: {e}"))?
     };
 
@@ -269,16 +392,21 @@ pub fn start(
     })
 }
 
-/// The batcher thread: build the model, publish readiness, serve batches,
-/// applying newer checkpoints only at flush boundaries.
+/// The batcher thread: build the model, publish readiness, then run the
+/// serve loop **under supervision**. A panicked flush fails only its own
+/// batch; the supervisor rebuilds the model over the same spatial context,
+/// restores the last good (published or boot) checkpoint, counts the
+/// crash against the circuit breaker, and re-enters the loop — queued
+/// requests keep their places throughout.
 fn batcher_main(
     shared: Arc<Shared>,
     model_cfg: TspnConfig,
     ctx: SpatialContext,
     initial: Option<Checkpoint>,
     ready_tx: mpsc::SyncSender<Result<(), String>>,
+    breaker: BreakerConfig,
 ) {
-    let predictor = Predictor::new(model_cfg, ctx);
+    let mut predictor = Predictor::new(model_cfg, ctx);
     if let Some(ckpt) = initial {
         if let Err(e) = predictor.load_checkpoint(&ckpt) {
             let _ = ready_tx.send(Err(format!("initial checkpoint rejected: {e}")));
@@ -297,37 +425,93 @@ fn batcher_main(
         .expect("expected_shapes set once");
     let _ = ready_tx.send(Ok(()));
 
+    // The crash-recovery restore point: the parameters currently being
+    // served (boot or the last successfully applied publication).
+    let mut last_good: Checkpoint = predictor.save();
     let mut applied = shared.snapshots.version();
-    shared.batcher.run_loop(|queries| {
-        // Hot-swap boundary: at most one snapshot per batch, applied
-        // before any query of the batch runs.
-        if let Some(published) = shared.snapshots.newer_than(applied) {
-            match predictor.load_checkpoint(&published.checkpoint) {
-                Ok(()) => {
-                    applied = published.version;
-                    shared.applied.store(applied, Ordering::Release);
+    // Newest published version that failed validation model-side; tracked
+    // so a poisoned publication is rejected once, not re-tried per flush.
+    let mut rejected = 0u64;
+    let mut panic_times: VecDeque<Instant> = VecDeque::new();
+    loop {
+        let exit = shared.batcher.run_supervised(|queries| {
+            // Hot-swap boundary: at most one snapshot per batch, applied
+            // before any query of the batch runs.
+            if let Some(published) = shared.snapshots.newer_than(applied.max(rejected)) {
+                match predictor.load_checkpoint(&published.checkpoint) {
+                    Ok(()) => {
+                        applied = published.version;
+                        shared.applied.store(applied, Ordering::Release);
+                        last_good = published.checkpoint.clone();
+                    }
+                    // Publications were validated against the same shape
+                    // table, so outside fault injection this is
+                    // unreachable; keep the old parameters rather than
+                    // take the server down.
+                    Err(e) => {
+                        rejected = published.version;
+                        eprintln!("tspn-serve: published checkpoint rejected: {e}");
+                    }
                 }
-                // Published checkpoints were validated against the same
-                // shape table, so this is unreachable in practice; keep
-                // the old parameters rather than take the server down.
-                Err(e) => eprintln!("tspn-serve: published checkpoint rejected: {e}"),
+            }
+            shared.chaos.on_flush();
+            let answers = predictor.predict_batch(queries);
+            shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+            (answers, applied)
+        });
+        match exit {
+            LoopExit::Drained => return,
+            LoopExit::Panicked => {
+                let restarts = shared
+                    .overload
+                    .batcher_restarts
+                    .fetch_add(1, Ordering::Relaxed)
+                    + 1;
+                eprintln!(
+                    "tspn-serve: batcher flush panicked (restart #{restarts}); \
+                     rebuilding model from last good checkpoint"
+                );
+                predictor = predictor.rebuild();
+                if let Err(e) = predictor.load_checkpoint(&last_good) {
+                    // Unreachable: `last_good` loaded successfully once.
+                    eprintln!("tspn-serve: post-crash restore failed: {e}");
+                }
+                let now = Instant::now();
+                panic_times.push_back(now);
+                while panic_times
+                    .front()
+                    .is_some_and(|&t| now.duration_since(t) > breaker.window)
+                {
+                    panic_times.pop_front();
+                }
+                if panic_times.len() as u32 >= breaker.threshold {
+                    shared.overload.trip_breaker(breaker.cooldown);
+                    panic_times.clear();
+                    eprintln!(
+                        "tspn-serve: circuit breaker open for {:?} after {} crashes in {:?}",
+                        breaker.cooldown, breaker.threshold, breaker.window
+                    );
+                }
             }
         }
-        let answers = predictor.predict_batch(queries);
-        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
-        (answers, applied)
-    });
+    }
 }
 
 /// The accept loop: poll-accept so the shutdown flag is honoured within
 /// milliseconds, one handler thread per connection, joined on the way out.
-fn accept_main(shared: Arc<Shared>, listener: TcpListener, read_timeout: Duration) {
+fn accept_main(
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    read_timeout: Duration,
+    write_timeout: Duration,
+) {
     let handlers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
     while !shared.shutdown.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_read_timeout(Some(read_timeout));
+                let _ = stream.set_write_timeout(Some(write_timeout));
                 let shared = Arc::clone(&shared);
                 let handle = std::thread::Builder::new()
                     .name("tspn-serve-conn".to_string())
@@ -355,29 +539,52 @@ fn accept_main(shared: Arc<Shared>, listener: TcpListener, read_timeout: Duratio
 }
 
 /// One keep-alive connection: requests in, JSON out, until close/shutdown.
+///
+/// During shutdown a request that arrives before the socket closes gets a
+/// typed `503 shutting_down` (with `Retry-After`) rather than a reset —
+/// a draining server is explicit about it, so clients can fail over.
 fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
     let mut conn = HttpConn::new(stream);
     loop {
-        if shared.shutdown.load(Ordering::Acquire) {
-            return;
-        }
+        let draining = shared.shutdown.load(Ordering::Acquire);
         match conn.read_request(MAX_BODY) {
-            Ok(ReadOutcome::Idle) => continue,
+            Ok(ReadOutcome::Idle) => {
+                if draining {
+                    return;
+                }
+            }
             Ok(ReadOutcome::Closed) => return,
             Ok(ReadOutcome::Request(req)) => {
+                if draining {
+                    shared
+                        .overload
+                        .shed_not_ready
+                        .fetch_add(1, Ordering::Relaxed);
+                    let (status, body) =
+                        ApiError::shutting_down("server is draining; connection closing").render();
+                    let _ = conn.respond_ex(status, &body, false, Some(RETRY_AFTER_SECS));
+                    return;
+                }
                 let (status, body) = route(&shared, &req);
                 // Decide keep-alive *after* routing so a request that
                 // itself triggers shutdown is answered `Connection:
                 // close` instead of promising a session we then drop.
                 let keep = req.keep_alive && !shared.shutdown.load(Ordering::Acquire);
-                if conn.respond(status, &body, keep).is_err() || !keep {
+                // Shed responses carry `Retry-After` so well-behaved
+                // clients back off instead of hammering a full queue.
+                let retry_after = (status == 429 || status == 503).then_some(RETRY_AFTER_SECS);
+                if conn.respond_ex(status, &body, keep, retry_after).is_err() || !keep {
                     return;
                 }
             }
-            Err(e) => {
-                conn.reject(400, &format!("bad request: {e}"));
+            // Protocol-level violations (oversized headers/body, parse
+            // failures) get their typed status before the close; pure I/O
+            // errors (peer reset, stalled socket) just drop the connection.
+            Err(ReadError::Bad { status, message }) => {
+                conn.reject(status, &message);
                 return;
             }
+            Err(ReadError::Io(_)) => return,
         }
     }
 }
@@ -441,22 +648,30 @@ fn route_of(method: &str, path: &str) -> Result<Route, ApiError> {
     Err(ApiError::not_found(format!("no route {method} {path}")))
 }
 
-/// Dispatches one request to its endpoint.
+/// Dispatches one request to its endpoint. Prediction routes carry a
+/// per-request deadline: the `x-tspn-deadline-ms` budget when the client
+/// sent one (clamped to [`MAX_DEADLINE_MS`]), the configured default
+/// otherwise.
 fn route(shared: &Shared, req: &Request) -> (u16, String) {
     let resolved = match route_of(&req.method, &req.path) {
         Ok(r) => r,
         Err(e) => return e.render(),
     };
+    let budget_ms = req
+        .deadline_ms
+        .unwrap_or(shared.request_timeout.as_millis() as u64)
+        .clamp(1, MAX_DEADLINE_MS);
+    let deadline = Instant::now() + Duration::from_millis(budget_ms);
     match resolved {
-        Route::LegacyPredict => predict_legacy(shared, &req.body),
+        Route::LegacyPredict => predict_legacy(shared, &req.body, deadline),
         Route::Healthz => (200, protocol::health_response(&stats_snapshot(shared))),
-        Route::V1Predict => answer(v1_predict(shared, &req.body)),
+        Route::V1Predict => answer(v1_predict(shared, &req.body, deadline)),
         Route::V1Stats => (200, protocol::stats_response(&stats_snapshot(shared))),
         Route::SessionCreate => answer(session_create(shared, &req.body)),
         Route::SessionGet(id) => answer(session_get(shared, id)),
         Route::SessionDelete(id) => answer(session_delete(shared, id)),
         Route::SessionAppend(id) => answer(session_append(shared, id, &req.body)),
-        Route::SessionPredict(id) => answer(session_predict(shared, id, &req.body)),
+        Route::SessionPredict(id) => answer(session_predict(shared, id, &req.body, deadline)),
         Route::AdminReload => reload(shared, &req.body),
         Route::AdminShutdown => {
             shared.shutdown.store(true, Ordering::Release);
@@ -486,6 +701,15 @@ fn stats_snapshot(shared: &Shared) -> protocol::StatsSnapshot {
         served_session,
         batches: shared.stats.batches.load(Ordering::Relaxed),
         queue: shared.batcher.queue_len(),
+        ready: !shared.shutdown.load(Ordering::Acquire) && !shared.overload.breaker_open(),
+        queue_cap: shared.queue_cap,
+        shed_queue_full: shared.overload.shed_queue_full.load(Ordering::Relaxed),
+        shed_expired: shared.batcher.shed_expired_total(),
+        shed_not_ready: shared.overload.shed_not_ready.load(Ordering::Relaxed),
+        batcher_restarts: shared.overload.batcher_restarts.load(Ordering::Relaxed),
+        request_timeout_ms: shared.request_timeout.as_millis() as u64,
+        chaos_injected_panics: shared.chaos.injected_panics(),
+        chaos_corrupted_publishes: shared.chaos.corrupted_publishes(),
         sessions_live: sessions.live,
         sessions_created: sessions.created,
         session_appends: shared.stats.session_appends.load(Ordering::Relaxed),
@@ -500,32 +724,58 @@ fn stats_snapshot(shared: &Shared) -> protocol::StatsSnapshot {
 /// a query reaches here the address mode is already resolved, so legacy,
 /// payload, and session predictions ride the same batcher path (and mix
 /// freely within one flush).
-fn predict_common(shared: &Shared, query: Query, endpoint_counter: &AtomicU64) -> (u16, String) {
-    let rx = match shared.batcher.submit(query) {
+fn predict_common(
+    shared: &Shared,
+    query: Query,
+    endpoint_counter: &AtomicU64,
+    deadline: Instant,
+) -> (u16, String) {
+    if shared.shutdown.load(Ordering::Acquire) {
+        shared
+            .overload
+            .shed_not_ready
+            .fetch_add(1, Ordering::Relaxed);
+        return ApiError::shutting_down("server is draining").render();
+    }
+    if shared.overload.breaker_open() {
+        shared
+            .overload
+            .shed_not_ready
+            .fetch_add(1, Ordering::Relaxed);
+        return ApiError::not_ready("circuit breaker open after repeated batch crashes").render();
+    }
+    let rx = match shared.batcher.try_submit(query, Some(deadline)) {
         Ok(rx) => rx,
+        Err(SubmitError::QueueFull) => {
+            shared
+                .overload
+                .shed_queue_full
+                .fetch_add(1, Ordering::Relaxed);
+            return ApiError::overloaded("admission queue is full").render();
+        }
         Err(SubmitError::Closed) => {
-            return (
-                503,
-                protocol::error_response("unavailable", "server shutting down"),
-            );
+            return ApiError::shutting_down("server is draining").render();
         }
     };
-    match rx.recv_timeout(ANSWER_TIMEOUT) {
-        Ok(answered) => {
+    // Wait a bounded grace past the deadline: the batcher already drops
+    // queued-and-expired entries, so a late answer here means the flush
+    // picked the query up in time and simply ran long.
+    let wait = deadline.saturating_duration_since(Instant::now()) + FLUSH_GRACE;
+    match rx.recv_timeout(wait) {
+        Ok(Verdict::Answered(answered)) => {
             endpoint_counter.fetch_add(1, Ordering::Relaxed);
             (
                 200,
                 protocol::predict_response(&answered.topk, answered.snapshot, answered.batch),
             )
         }
-        Err(mpsc::RecvTimeoutError::Timeout) => (
-            503,
-            protocol::error_response("timeout", "prediction timed out"),
-        ),
-        Err(mpsc::RecvTimeoutError::Disconnected) => (
-            500,
-            protocol::error_response("internal", "prediction batch failed"),
-        ),
+        Ok(Verdict::Expired) | Err(mpsc::RecvTimeoutError::Timeout) => {
+            ApiError::deadline_exceeded("request deadline exceeded before the batch ran").render()
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            ApiError::internal("prediction batch crashed; retry after the supervisor restarts it")
+                .render()
+        }
     }
 }
 
@@ -534,7 +784,7 @@ fn predict_common(shared: &Shared, query: Query, endpoint_counter: &AtomicU64) -
 /// indexed [`Query`] and rides the same [`predict_common`] path as the
 /// v1 endpoints. Statuses keep the original contract (any violation is
 /// `400`, and `k`/`top` of 0 are clamped, not rejected).
-fn predict_legacy(shared: &Shared, body: &[u8]) -> (u16, String) {
+fn predict_legacy(shared: &Shared, body: &[u8], deadline: Instant) -> (u16, String) {
     let parsed = match protocol::parse_predict(body) {
         Ok(p) => p,
         Err(e) => return e.render(),
@@ -555,7 +805,7 @@ fn predict_legacy(shared: &Shared, body: &[u8]) -> (u16, String) {
     let k = parsed.k.unwrap_or(shared.default_k).max(1);
     let top = parsed.top.unwrap_or(shared.default_top).max(1);
     let query = Query::with_top(sample, k, top);
-    predict_common(shared, query, &shared.stats.served_legacy)
+    predict_common(shared, query, &shared.stats.served_legacy, deadline)
 }
 
 /// Validates every POI of a payload against the vocabulary (the bound
@@ -593,11 +843,16 @@ fn adhoc_query(
 
 /// `POST /v1/predict`: run the model directly on the supplied check-in
 /// sequence.
-fn v1_predict(shared: &Shared, body: &[u8]) -> Result<(u16, String), ApiError> {
+fn v1_predict(shared: &Shared, body: &[u8], deadline: Instant) -> Result<(u16, String), ApiError> {
     let req = protocol::parse_v1_predict(body)?;
     check_vocabulary(shared, &req.checkins)?;
     let query = adhoc_query(shared, req.user, &req.checkins, req.k, req.top)?;
-    Ok(predict_common(shared, query, &shared.stats.served_v1))
+    Ok(predict_common(
+        shared,
+        query,
+        &shared.stats.served_v1,
+        deadline,
+    ))
 }
 
 /// Maps a store failure for session `id` onto the typed error model.
@@ -650,7 +905,12 @@ fn session_append(shared: &Shared, id: u64, body: &[u8]) -> Result<(u16, String)
 }
 
 /// `POST /v1/sessions/{id}/predict`: predict from the accumulated state.
-fn session_predict(shared: &Shared, id: u64, body: &[u8]) -> Result<(u16, String), ApiError> {
+fn session_predict(
+    shared: &Shared,
+    id: u64,
+    body: &[u8],
+    deadline: Instant,
+) -> Result<(u16, String), ApiError> {
     let (k, top) = protocol::parse_predict_opts(body)?;
     let (user, visits) = shared
         .sessions
@@ -662,7 +922,12 @@ fn session_predict(shared: &Shared, id: u64, body: &[u8]) -> Result<(u16, String
         )));
     }
     let query = adhoc_query(shared, user, &visits, k, top)?;
-    Ok(predict_common(shared, query, &shared.stats.served_session))
+    Ok(predict_common(
+        shared,
+        query,
+        &shared.stats.served_session,
+        deadline,
+    ))
 }
 
 /// `GET /v1/sessions/{id}`: session state (does not refresh the TTL).
@@ -709,6 +974,13 @@ fn reload(shared: &Shared, body: &[u8]) -> (u16, String) {
         .expect("set before the listener binds");
     if let Err(e) = validate_shapes(&ckpt, expected) {
         return ApiError::bad_request(format!("checkpoint rejected: {e}")).render();
+    }
+    // Fault injection: poison the checkpoint *after* this handler's
+    // validation passed, so the batcher's own re-validation is what must
+    // catch it (and does — it keeps serving the old parameters).
+    let mut ckpt = ckpt;
+    if shared.chaos.corrupt(&mut ckpt) {
+        eprintln!("tspn-serve: chaos poisoned published checkpoint");
     }
     let version = shared.snapshots.publish(ckpt);
     (200, format!("{{\"ok\":true,\"snapshot\":{version}}}"))

@@ -403,6 +403,80 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_churn_never_loses_appends_and_keeps_gone_vs_unknown() {
+        // Four threads churn sessions through a 4-slot store, so capacity
+        // eviction races every create/append/snapshot. The contract under
+        // fire: an append either lands atomically (the returned total is
+        // exactly the previous total plus one) or fails typed `Gone`;
+        // a snapshot observes the exact ordered prefix of successful
+        // appends (no torn or lost writes); and evicted ids stay `Gone`
+        // (410) while never-issued ids stay `Unknown` (404).
+        let s = store(60_000, 4, 64);
+        let threads = 4usize;
+        let per_thread = 50usize;
+        let all_ids: Vec<u64> = std::thread::scope(|scope| {
+            let mut joins = Vec::new();
+            for t in 0..threads {
+                let s = &s;
+                joins.push(scope.spawn(move || {
+                    let mut ids = Vec::new();
+                    for _ in 0..per_thread {
+                        let id = s.create(t, &[]).expect("create always succeeds").0;
+                        ids.push(id);
+                        let mut appended = 0usize;
+                        for j in 0..5usize {
+                            match s.append(id, &[v(j + 1, j as i64 * 10)]) {
+                                Ok(total) => {
+                                    assert_eq!(total, appended + 1, "torn append count");
+                                    appended += 1;
+                                }
+                                Err(SessionError::Gone) => break, // racing eviction
+                                Err(e) => panic!("append failed untyped: {e:?}"),
+                            }
+                        }
+                        match s.snapshot(id) {
+                            Ok((user, visits)) => {
+                                assert_eq!(user, t);
+                                let expect: Vec<Visit> =
+                                    (0..appended).map(|j| v(j + 1, j as i64 * 10)).collect();
+                                assert_eq!(visits, expect, "lost or torn appends");
+                            }
+                            Err(SessionError::Gone) => {}
+                            Err(e) => panic!("snapshot failed untyped: {e:?}"),
+                        }
+                    }
+                    ids
+                }));
+            }
+            joins
+                .into_iter()
+                .flat_map(|j| j.join().expect("churn thread"))
+                .collect()
+        });
+
+        // Ids are never reused and never forgotten: every issued id is
+        // either still live or typed Gone — present-tense Unknown is
+        // reserved for ids the store never issued.
+        assert_eq!(all_ids.len(), threads * per_thread);
+        let mut unique = all_ids.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), all_ids.len(), "session ids were reused");
+        for id in &all_ids {
+            match s.info(*id) {
+                Ok(_) | Err(SessionError::Gone) => {}
+                Err(e) => panic!("issued id {id} reports {e:?}"),
+            }
+        }
+        assert_eq!(s.info(u64::MAX), Err(SessionError::Unknown));
+
+        let stats = s.stats();
+        assert_eq!(stats.created as usize, threads * per_thread);
+        assert!(stats.live <= 4, "live {} exceeds capacity", stats.live);
+        assert!(stats.evicted > 0, "churn never evicted through capacity");
+    }
+
+    #[test]
     fn ttl_expires_idle_sessions() {
         let s = store(30, 8, 64);
         let id = s.create(7, &[]).unwrap().0;

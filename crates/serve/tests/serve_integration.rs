@@ -89,6 +89,17 @@ fn num_field(v: &Value, name: &str) -> u64 {
         .unwrap_or_else(|| panic!("missing numeric field {name:?} in {v:?}")) as u64
 }
 
+/// Releases `stop`-gated hammer threads even when the owning scope body
+/// panics — otherwise `thread::scope`'s implicit join would wait on them
+/// forever and the panic would surface as a hang instead of a failure.
+struct StopGuard<'a>(&'a AtomicUsize);
+
+impl Drop for StopGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(1, Ordering::Release);
+    }
+}
+
 #[test]
 fn concurrent_clients_get_bitwise_identical_answers() {
     let handle = start_server(7, BatchConfig::default());
@@ -206,6 +217,7 @@ fn reload_swaps_checkpoints_without_mixing_a_batch() {
             }));
         }
         // Alternate A/B reloads while the clients run.
+        let _release_hammers = StopGuard(&stop);
         let mut admin = Client::connect(&addr).expect("connect admin");
         let mut last_version = BOOT_VERSION;
         for round in 0..6 {
@@ -824,4 +836,340 @@ fn admin_shutdown_stops_the_server_cleanly() {
         rebind.is_ok(),
         "port still held after clean shutdown: {rebind:?}"
     );
+}
+
+/// Server with explicit overload / chaos knobs (model seed 7 everywhere so
+/// the reference predictor matches).
+fn start_server_overload(cfg: ServerConfig) -> ServerHandle {
+    let model_cfg = tiny_model_cfg(7);
+    let ctx = tiny_ctx(&model_cfg);
+    server::start(cfg, model_cfg, ctx, None).expect("server starts")
+}
+
+fn stats_of(client: &mut Client) -> Value {
+    let (status, text) = client.get("/v1/stats").expect("stats I/O");
+    assert_eq!(status, 200);
+    serde_json::from_str(&text).expect("stats JSON")
+}
+
+fn p99(mut latencies: Vec<Duration>) -> Duration {
+    assert!(!latencies.is_empty());
+    latencies.sort_unstable();
+    latencies[(latencies.len() - 1) * 99 / 100]
+}
+
+#[test]
+fn overload_sheds_typed_429_and_accepted_latency_stays_bounded() {
+    // Chaos pins every flush at 25 ms, so serving capacity is a number:
+    // max_batch=8 per 25 ms. Four client threads per queue slot overload
+    // it deterministically.
+    let handle = start_server_overload(ServerConfig {
+        batch: BatchConfig {
+            max_batch: 8,
+            deadline: Duration::from_millis(1),
+            queue_cap: 4,
+        },
+        chaos: tspn_serve::ChaosConfig {
+            flush_delay: Some(Duration::from_millis(25)),
+            ..Default::default()
+        },
+        ..ServerConfig::default()
+    });
+    let addr = handle.local_addr().to_string();
+    let (reference, samples) = reference_predictor(7);
+    let s = samples[0];
+
+    // Calm phase: one client, sequential — the p99 baseline.
+    let mut client = Client::connect(&addr).expect("connect");
+    let calm: Vec<Duration> = (0..12)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            let (status, v) = client
+                .post_json("/predict", &predict_body(&s, 4, 10))
+                .expect("calm predict I/O");
+            assert_eq!(status, 200, "{v:?}");
+            t0.elapsed()
+        })
+        .collect();
+    let calm_p99 = p99(calm);
+
+    // Overload phase: 16 concurrent clients (4x the queue, 2x max_batch)
+    // hammering with no pauses. Every response must be a typed 200 answer
+    // or a typed shed — never a hang or a reset.
+    let per_client = 12usize;
+    let results: Vec<(u16, Option<String>, Duration)> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for _ in 0..16 {
+            let addr = addr.clone();
+            joins.push(scope.spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let mut out = Vec::new();
+                for _ in 0..per_client {
+                    let t0 = std::time::Instant::now();
+                    let resp = client
+                        .request_full("POST", "/predict", Some(&predict_body(&s, 4, 10)))
+                        .expect("overload predict I/O: typed shed expected, not a reset");
+                    let v: Value = serde_json::from_str(&resp.body)
+                        .unwrap_or_else(|e| panic!("untyped body {:?}: {e}", resp.body));
+                    let code = error_of(&v).map(|(c, _)| c);
+                    if resp.status != 200 {
+                        assert!(
+                            resp.retry_after.is_some(),
+                            "shed without Retry-After: {v:?}"
+                        );
+                    }
+                    out.push((resp.status, code, t0.elapsed()));
+                }
+                out
+            }));
+        }
+        joins
+            .into_iter()
+            .flat_map(|j| j.join().expect("load thread"))
+            .collect()
+    });
+
+    let mut sheds = 0usize;
+    let mut accepted = Vec::new();
+    for (status, code, latency) in &results {
+        match status {
+            200 => accepted.push(*latency),
+            429 => {
+                assert_eq!(code.as_deref(), Some("overloaded"));
+                sheds += 1;
+            }
+            503 => {
+                assert_eq!(code.as_deref(), Some("deadline_exceeded"));
+                sheds += 1;
+            }
+            other => panic!("unexpected status {other} under overload"),
+        }
+    }
+    assert!(sheds > 0, "4x saturation never shed");
+    assert!(!accepted.is_empty(), "overload starved every request");
+    let accepted_p99 = p99(accepted);
+    assert!(
+        accepted_p99 <= calm_p99 * 3,
+        "accepted p99 {accepted_p99:?} exceeds 3x calm p99 {calm_p99:?}"
+    );
+
+    // Deadline phase: a 1 ms budget cannot survive a 25 ms flush already
+    // in progress — queued requests are dropped before the flush and
+    // answered with a typed 503 deadline_exceeded.
+    let stop = AtomicUsize::new(0);
+    let expired = std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let addr = addr.clone();
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                while stop.load(Ordering::Acquire) == 0 {
+                    let _ = client.post("/predict", &predict_body(&s, 4, 10));
+                }
+            });
+        }
+        let _release_hammers = StopGuard(&stop);
+        let mut client = Client::connect(&addr).expect("connect");
+        client.set_deadline_ms(Some(1));
+        let mut expired = 0usize;
+        for _ in 0..40 {
+            let (status, v) = client
+                .post_json("/predict", &predict_body(&s, 4, 10))
+                .expect("deadline predict I/O");
+            match status {
+                200 => {}
+                // The hammers saturate the depth-4 queue, so this client's
+                // requests legitimately shed 429 at admission too; only
+                // requests that got *queued* can expire their 1 ms budget.
+                429 => assert_eq!(error_of(&v).unwrap().0, "overloaded", "{v:?}"),
+                503 => {
+                    assert_eq!(error_of(&v).unwrap().0, "deadline_exceeded", "{v:?}");
+                    expired += 1;
+                }
+                other => panic!("unexpected status {other} with a 1 ms deadline: {v:?}"),
+            }
+        }
+        expired
+    });
+    assert!(
+        expired > 0,
+        "1 ms deadlines never expired against 25 ms flushes"
+    );
+
+    // The server recovered: queue drained, counters surfaced, and answers
+    // are still bitwise the offline reference.
+    std::thread::sleep(Duration::from_millis(200));
+    let mut client = Client::connect(&addr).expect("connect");
+    let stats = stats_of(&mut client);
+    assert_eq!(stats.get("ready").and_then(Value::as_bool), Some(true));
+    let overload = stats.get("overload").expect("overload object");
+    assert_eq!(num_field(overload, "queue_cap"), 4);
+    assert!(num_field(overload, "shed_queue_full") >= sheds as u64 / 2);
+    assert!(num_field(overload, "shed_expired") >= expired as u64);
+    assert_eq!(num_field(overload, "restarts"), 0);
+    let (status, text) = client.get("/healthz").expect("healthz");
+    assert_eq!(status, 200);
+    let health: Value = serde_json::from_str(&text).expect("health JSON");
+    assert_eq!(health.get("ready").and_then(Value::as_bool), Some(true));
+    assert_eq!(num_field(&health, "queue_cap"), 4);
+    assert!(health.get("shed").is_some(), "healthz lacks shed counters");
+
+    let (status, v) = client
+        .post_json("/predict", &predict_body(&s, 4, 10))
+        .expect("post-overload predict I/O");
+    assert_eq!(status, 200);
+    assert_eq!(
+        pois_of(&v),
+        reference.predict_one(&Query::with_top(s, 4, 10)).pois,
+        "post-overload predictions diverged from the offline reference"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn supervisor_restarts_from_last_published_checkpoint_and_breaker_recovers() {
+    // Three injected panics (budget), breaker threshold 3: the storm
+    // trips the breaker exactly once, then the server must recover and
+    // serve the *published* parameters bitwise.
+    let handle = start_server_overload(ServerConfig {
+        chaos: tspn_serve::ChaosConfig {
+            flush_panic_every: Some(1),
+            flush_panic_budget: Some(3),
+            ..Default::default()
+        },
+        breaker: tspn_serve::BreakerConfig {
+            threshold: 3,
+            window: Duration::from_secs(30),
+            cooldown: Duration::from_millis(1500),
+        },
+        ..ServerConfig::default()
+    });
+    let addr = handle.local_addr().to_string();
+    let (reference, samples) = reference_predictor(999);
+    let s = samples[0];
+
+    // Publish the seed-999 parameters before any flush: the first flush
+    // applies them, so they are the supervisor's restore point.
+    let dir = std::env::temp_dir().join(format!("tspn-serve-supervise-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ckpt_path = dir.join("published.json");
+    std::fs::write(
+        &ckpt_path,
+        serde_json::to_string(&reference.save()).unwrap(),
+    )
+    .unwrap();
+    let mut client = Client::connect(&addr).expect("connect");
+    let body = format!("{{\"path\":{:?}}}", ckpt_path.display().to_string());
+    let (status, v) = client
+        .post_json("/admin/reload", &body)
+        .expect("reload I/O");
+    assert_eq!(status, 200, "{v:?}");
+    let published_version = num_field(&v, "snapshot");
+
+    // The crash storm: each predict's flush panics; the waiter gets a
+    // typed 500, never a hang or a connection reset.
+    for round in 1..=3 {
+        let (status, v) = client
+            .post_json("/predict", &predict_body(&s, 4, 10))
+            .expect("crash-storm predict I/O");
+        assert_eq!(status, 500, "round {round}: {v:?}");
+        assert_eq!(error_of(&v).unwrap().0, "internal", "round {round}");
+    }
+
+    // The breaker trips once the third restart is processed; observe it
+    // through /healthz (not-ready) without issuing predictions.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, text) = client.get("/healthz").expect("healthz I/O");
+        assert_eq!(status, 200);
+        let health: Value = serde_json::from_str(&text).expect("health JSON");
+        if health.get("ready").and_then(Value::as_bool) == Some(false) {
+            assert_eq!(str_field(&health, "status"), "not_ready");
+            assert_eq!(num_field(&health, "restarts"), 3);
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "breaker never tripped after 3 panics"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // While open, predictions shed with a typed 503 not_ready.
+    let (status, v) = client
+        .post_json("/predict", &predict_body(&s, 4, 10))
+        .expect("breaker predict I/O");
+    assert_eq!(status, 503, "{v:?}");
+    assert_eq!(error_of(&v).unwrap().0, "not_ready");
+
+    // After the cool-down the breaker closes and the panic budget is
+    // spent: service resumes, bitwise identical to the published
+    // (seed-999) parameters — proof the supervisor restored them.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        let (_, text) = client.get("/healthz").expect("healthz I/O");
+        let health: Value = serde_json::from_str(&text).expect("health JSON");
+        if health.get("ready").and_then(Value::as_bool) == Some(true) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "breaker never recovered after its cool-down"
+        );
+    }
+    let (status, v) = client
+        .post_json("/predict", &predict_body(&s, 4, 10))
+        .expect("recovered predict I/O");
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(num_field(&v, "snapshot"), published_version);
+    assert_eq!(
+        pois_of(&v),
+        reference.predict_one(&Query::with_top(s, 4, 10)).pois,
+        "post-recovery predictions diverged from the published checkpoint"
+    );
+
+    let stats = stats_of(&mut client);
+    let overload = stats.get("overload").expect("overload object");
+    assert_eq!(num_field(overload, "restarts"), 3);
+    assert!(num_field(overload, "shed_not_ready") >= 1);
+    let chaos = stats.get("chaos").expect("chaos object");
+    assert_eq!(num_field(chaos, "injected_panics"), 3);
+
+    handle.shutdown();
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn draining_server_sheds_typed_503_instead_of_resetting() {
+    let handle = start_server(7, BatchConfig::default());
+    let addr = handle.local_addr().to_string();
+    let (_, samples) = reference_predictor(7);
+    let s = samples[0];
+
+    // An established keep-alive connection with a completed request.
+    let mut client = Client::connect(&addr).expect("connect");
+    let (status, _) = client
+        .post("/predict", &predict_body(&s, 4, 10))
+        .expect("warm-up predict");
+    assert_eq!(status, 200);
+
+    // Another connection triggers the drain; the first connection's next
+    // request must get a typed 503 shutting_down with Retry-After — not
+    // a connection reset.
+    let mut admin = Client::connect(&addr).expect("connect admin");
+    let (status, _) = admin.post("/admin/shutdown", "").expect("shutdown I/O");
+    assert_eq!(status, 200);
+    let resp = client
+        .request_full("POST", "/predict", Some(&predict_body(&s, 4, 10)))
+        .expect("draining request should be answered, not reset");
+    assert_eq!(resp.status, 503, "{resp:?}");
+    let v: Value = serde_json::from_str(&resp.body).expect("typed body");
+    assert_eq!(error_of(&v).unwrap().0, "shutting_down");
+    assert!(resp.retry_after.is_some(), "drain shed lacks Retry-After");
+
+    handle.join();
 }

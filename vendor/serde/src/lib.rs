@@ -136,6 +136,14 @@ impl Value {
         }
     }
 
+    /// Boolean view of this value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Numeric view of this value.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
