@@ -9,14 +9,14 @@
 //! Compare two snapshots with the `perf_check` binary.
 //!
 //! ```text
-//! cargo run --release -p tspn-bench --bin perf_snapshot            # writes BENCH_5.json
+//! cargo run --release -p tspn-bench --bin perf_snapshot            # writes BENCH_7.json
 //! cargo run --release -p tspn-bench --bin perf_snapshot -- --check # quick run, no file
 //! cargo run --release -p tspn-bench --bin perf_snapshot -- --out results/bench.json
 //! ```
 //!
 //! The serving-layer metrics (`serve_p50_us`/`serve_p99_us`/`serve_qps`)
 //! are appended into the same snapshot file by the `serve_bench` binary
-//! (`--merge BENCH_5.json`), which drives a real `tspn-serve` socket loop.
+//! (`--merge BENCH_7.json`), which drives a real `tspn-serve` socket loop.
 
 use std::collections::HashSet;
 use std::time::Instant;
@@ -32,7 +32,10 @@ use tspn_data::synth::generate_dataset;
 use tspn_data::Visit;
 use tspn_geo::{NodeId, QuadTree, QuadTreeConfig};
 use tspn_graph::{build_qrp, Hgat, QrpOptions};
-use tspn_tensor::{gemm, init, parallel, pool};
+use tspn_tensor::nn::LayerNorm;
+use tspn_tensor::{
+    fused_attention, gemm, init, kernel_tier, parallel, pool, FusedAttnSpec, Tensor,
+};
 
 /// One timed metric: best-of-N wall-clock seconds.
 #[derive(Debug, Clone, Serialize)]
@@ -42,12 +45,15 @@ struct Metric {
     repeats: usize,
 }
 
-/// The whole snapshot, serialised to `BENCH_5.json`.
+/// The whole snapshot, serialised to `BENCH_7.json`.
 #[derive(Debug, Clone, Serialize)]
 struct Snapshot {
     /// Snapshot schema/PR generation marker.
     generation: usize,
     threads: usize,
+    /// Active compute-kernel tier (`avx2-fma` or `scalar`) — wall-clock
+    /// numbers are only comparable within one tier.
+    kernel_tier: String,
     metrics: Vec<Metric>,
     pool_hit_rate: f64,
 }
@@ -75,10 +81,10 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_5.json".to_string());
+        .unwrap_or_else(|| "BENCH_7.json".to_string());
     let out_path = if std::path::Path::new(&out_arg).is_dir() {
         std::path::Path::new(&out_arg)
-            .join("BENCH_5.json")
+            .join("BENCH_7.json")
             .to_string_lossy()
             .into_owned()
     } else {
@@ -155,6 +161,65 @@ fn main() {
     record("gemm_256", gemm_secs, repeats.max(3));
     let gflops = 2.0 * (n * n * n) as f64 / gemm_secs / 1e9;
     println!("{:<28} {gflops:>10.2} GFLOP/s", "  (gemm_256 throughput)");
+
+    // --- Vectorised row kernels: softmax and layer-norm over a tall
+    // activation-shaped matrix ---
+    let (rows, width) = (2048usize, 256usize);
+    let logits: Vec<f32> = (0..rows * width)
+        .map(|i| (i % 29) as f32 * 0.17 - 2.0)
+        .collect();
+    let softmax_secs = time_best(repeats.max(3), || {
+        Tensor::no_grad(|| {
+            let x = Tensor::from_vec(logits.clone(), vec![rows, width]);
+            std::hint::black_box(x.softmax_rows());
+        });
+    });
+    record("softmax_rows", softmax_secs, repeats.max(3));
+    let ln = LayerNorm::new(width);
+    let ln_secs = time_best(repeats.max(3), || {
+        Tensor::no_grad(|| {
+            let x = Tensor::from_vec(logits.clone(), vec![rows, width]);
+            std::hint::black_box(ln.forward(&x));
+        });
+    });
+    record("layer_norm_rows", ln_secs, repeats.max(3));
+
+    // --- Fused flash-style attention stage: a jagged causal batch shaped
+    // like the fusion module's self-attention (32 samples × 48 positions,
+    // dm 64) through the single fused node ---
+    {
+        let (batch, seq, dm) = (32usize, 48usize, 64usize);
+        let total = batch * seq;
+        let qkv: Vec<f32> = (0..total * dm)
+            .map(|i| (i % 23) as f32 * 0.09 - 1.0)
+            .collect();
+        let starts: Vec<usize> = (0..batch).map(|b| b * seq).collect();
+        let lens = vec![seq; batch];
+        let fused_secs = time_best(repeats.max(3), || {
+            Tensor::no_grad(|| {
+                let x = Tensor::from_vec(qkv.clone(), vec![total, dm]);
+                let out = fused_attention(
+                    &x,
+                    &x,
+                    &x,
+                    &FusedAttnSpec {
+                        dm,
+                        q_col: 0,
+                        k_col: 0,
+                        v_col: 0,
+                        q_starts: &starts,
+                        q_lens: &lens,
+                        k_starts: &starts,
+                        k_lens: &lens,
+                        scale: 1.0 / (dm as f32).sqrt(),
+                        causal: true,
+                    },
+                );
+                std::hint::black_box(out);
+            });
+        });
+        record("fused_attention_stage", fused_secs, repeats.max(3));
+    }
 
     // --- End-to-end model paths ---
     let cfg = TspnConfig {
@@ -236,8 +301,9 @@ fn main() {
     record("evaluate_test_split", eval_secs, repeats.min(3));
 
     let snapshot = Snapshot {
-        generation: 5,
+        generation: 7,
         threads: parallel::num_threads(),
+        kernel_tier: kernel_tier().to_string(),
         metrics,
         pool_hit_rate: pool::stats().hit_rate(),
     };

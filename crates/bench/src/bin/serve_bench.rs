@@ -392,6 +392,21 @@ fn smoke(
             "stats chaos counters missing {field}: {text}"
         );
     }
+    // Build info: the server must name the compute-kernel tier it
+    // dispatched to, one of the tiers the tensor crate can select.
+    let build = stats.get("build").expect("stats build info");
+    let tier = build
+        .get("kernel_tier")
+        .and_then(Value::as_str)
+        .expect("stats build info must name the kernel tier");
+    assert!(
+        tier == "avx2-fma" || tier == "scalar",
+        "unknown kernel tier in stats: {tier}"
+    );
+    assert!(
+        build.get("threads").and_then(Value::as_usize).unwrap_or(0) >= 1,
+        "stats build info missing thread count: {text}"
+    );
 
     // If a known-good checkpoint was provided, hot-swap it in and align
     // the local reference to it; a fresh server is already aligned.

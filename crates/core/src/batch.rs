@@ -6,10 +6,11 @@
 //! layout: sample `b`'s variable-length prefix occupies rows
 //! `offsets[b] .. offsets[b]+lens[b]` of a `[ΣlenS, dm]` matrix, so the
 //! row-wise ops (affines, layer norms, softmaxes) never touch a padding
-//! row. Only the attention *score* matrices pad — to the batch maximum
-//! `S` columns, masked additively with `-1e9` — and the jagged batched
-//! GEMMs ([`Tensor::bmm_nt_jagged`]) compute each sample's live block
-//! only. The two-step scorer runs over zero-padded candidate blocks.
+//! row. Attention runs through the fused flash-style node
+//! ([`tspn_tensor::fused_attention`]), which streams each sample's live
+//! score block through scratch — no padded score tensors and no mask
+//! tensors exist anywhere on the tape. The two-step scorer still runs
+//! over zero-padded candidate blocks.
 //! [`TspnRa::loss_batch`] and [`TspnRa::predict_many`] put the batched
 //! tape under the training loss and the inference ranking respectively.
 //!
@@ -37,17 +38,13 @@
 //! 1's tile mask, …) and never consumes randomness for padding, so a
 //! fixed seed reproduces the serial reference stream.
 
-use std::collections::HashMap;
-
 use rand::Rng;
 
 use tspn_data::{time_slot, PoiId, Sample, Visit};
-use tspn_tensor::{cosine_scores, key_padding_mask, pool, Tensor};
+use tspn_tensor::{cosine_scores, fused_attention, pool, FusedAttnSpec, Tensor};
 
 use crate::context::SpatialContext;
-use crate::model::{
-    descending_order, hist_key, top_k_indices, BatchTables, HistKey, Prediction, TspnRa,
-};
+use crate::model::{descending_order, top_k_indices, BatchTables, Prediction, TspnRa};
 use crate::subject::Subject;
 
 /// The fused output vectors of one batched forward.
@@ -97,7 +94,6 @@ impl TspnRa {
             assert!(!p.is_empty(), "subject with empty prefix");
         }
         let lens: Vec<usize> = prefixes.iter().map(|p| p.len()).collect();
-        let s_max = *lens.iter().max().expect("non-empty batch");
         // Dense jagged layout: sample `b`'s positions occupy rows
         // `offsets[b] .. offsets[b]+lens[b]` of every `[T, dm]` sequence
         // tensor — no padding rows exist anywhere in the batch.
@@ -158,38 +154,25 @@ impl TspnRa {
             h_poi = h_poi.mul(&Tensor::from_vec(poi_mask, vec![total, dm]));
         }
 
-        // --- Historical graph knowledge (per subject; the QR-P graphs are
-        // ragged and structurally irregular). Within one batched call,
-        // subjects with the same history content share one encoding tape.
+        // --- Historical graph knowledge: one disjoint-union HGAT tape
+        // for all unique histories in the batch (duplicates share one
+        // encoding tensor, so the fusion module's identity dedup still
+        // sees one block per trajectory).
         let histories: Vec<Vec<Visit>> = subjects
             .iter()
             .map(|s| self.history_visits(ctx, s))
             .collect();
-        let mut memo: HashMap<HistKey, (Option<Tensor>, Option<Tensor>)> = HashMap::new();
         let mut hist_t: Vec<Option<Tensor>> = Vec::with_capacity(b);
         let mut hist_p: Vec<Option<Tensor>> = Vec::with_capacity(b);
-        for history in &histories {
-            let key = hist_key(history);
-            let enc = match memo.get(&key) {
-                Some(e) => e.clone(),
-                None => {
-                    let e = self.history_encodings(ctx, history, &key, tables, training);
-                    memo.insert(key, e.clone());
-                    e
-                }
-            };
+        for enc in self.history_encodings_batch(ctx, &histories, tables, training) {
             hist_t.push(enc.0);
             hist_p.push(enc.1);
         }
 
-        // --- Fusion (one causal mask shared by both modules) ---
-        let causal = tspn_tensor::jagged_causal_mask(&lens, s_max);
-        let fused_t = self
-            .mp1
-            .forward_batch(&h_tile, &offsets, &lens, s_max, &hist_t, &causal);
-        let fused_p = self
-            .mp2
-            .forward_batch(&h_poi, &offsets, &lens, s_max, &hist_p, &causal);
+        // --- Fusion (causal masking happens inside the fused attention
+        // nodes — no score-shaped mask tensors exist any more) ---
+        let fused_t = self.mp1.forward_batch(&h_tile, &offsets, &lens, &hist_t);
+        let fused_p = self.mp2.forward_batch(&h_poi, &offsets, &lens, &hist_p);
 
         // --- Pointer residual over each sample's visited set ---
         let mut visited_tile_groups: Vec<Vec<usize>> = Vec::with_capacity(b);
@@ -362,18 +345,43 @@ impl TspnRa {
 
 /// Batched `h + softmax(2·h·Eᵀ)·E·4` over each sample's own visited rows
 /// (see `TspnRa::pointer_residual` for the rationale): `h` is `[B, dm]`,
-/// `groups[b]` names sample `b`'s visited rows in `table`.
+/// `groups[b]` names sample `b`'s visited rows in `table`. One dense
+/// gather plus one fused attention node — no padding rows, no mask.
 fn pointer_residual_batch(h: &Tensor, table: &Tensor, groups: &[Vec<usize>]) -> Tensor {
     let b = groups.len();
     let lens: Vec<usize> = groups.iter().map(Vec::len).collect();
-    let v_max = *lens.iter().max().expect("non-empty batch");
     // Visited sets are never empty: the prefix itself is visited.
-    assert!(v_max >= 1, "pointer residual with empty visited sets");
-    let memory = table.gather_rows_padded(groups, v_max); // [B·v_max, dm]
+    assert!(
+        lens.iter().all(|&l| l >= 1),
+        "pointer residual with empty visited sets"
+    );
+    let rows: Vec<usize> = groups.iter().flatten().copied().collect();
+    let memory = table.gather_rows(&rows); // [Σ lens, dm]
+    let mut k_starts = Vec::with_capacity(b);
+    let mut next = 0usize;
+    for &len in &lens {
+        k_starts.push(next);
+        next += len;
+    }
+    let q_starts: Vec<usize> = (0..b).collect();
     let ones = vec![1usize; b];
-    // Scale 2.0 = sharper pointing, folded into the softmax pass.
-    let alpha = h
-        .bmm_nt_ragged(&memory, b, None, &ones, &lens)
-        .softmax_rows_scaled_masked(2.0, Some(&key_padding_mask(&lens, 1, v_max)));
-    h.add(&alpha.bmm_ragged(&memory, b, None, &ones, &lens).scale(4.0))
+    let pointed = fused_attention(
+        h,
+        &memory,
+        &memory,
+        &FusedAttnSpec {
+            dm: h.cols(),
+            q_col: 0,
+            k_col: 0,
+            v_col: 0,
+            q_starts: &q_starts,
+            q_lens: &ones,
+            k_starts: &k_starts,
+            k_lens: &lens,
+            // Scale 2.0 = sharper pointing, folded into the softmax pass.
+            scale: 2.0,
+            causal: false,
+        },
+    );
+    h.add(&pointed.scale(4.0))
 }

@@ -15,7 +15,7 @@
 use rand::Rng;
 
 use tspn_tensor::nn::{LayerNorm, Linear, Module};
-use tspn_tensor::{causal_mask, jagged_key_padding_mask, Tensor};
+use tspn_tensor::{fused_attention, FusedAttnSpec, Tensor};
 
 /// One attention block (`AB_i` in the paper).
 pub struct AttentionBlock {
@@ -50,41 +50,92 @@ impl AttentionBlock {
         }
     }
 
-    /// Scaled dot-product attention: `softmax(QKᵀ/√dm [+ mask])·V`.
-    fn attend(&self, q: &Tensor, k: &Tensor, v: &Tensor, mask: Option<&Tensor>) -> Tensor {
-        let scale = 1.0 / (self.dm as f32).sqrt();
-        let att = q.matmul_nt(k).softmax_rows_scaled_masked(scale, mask);
-        att.matmul(v)
+    /// Fused packed self-attention stage shared by the per-sample and
+    /// batched paths: one packed QKV projection (`[W_q‖W_k‖W_v]`, one
+    /// gemm) feeding one flash-style attention node whose Q/K/V are
+    /// column blocks of the same tensor. Routing **both** paths through
+    /// these two nodes keeps batch-of-one gradients bitwise identical
+    /// (the packed projection's input gradient rounds differently from
+    /// three separate affines, so the paths must agree on the node).
+    fn self_attend_fused(&self, h_seq: &Tensor, offsets: &[usize], lens: &[usize]) -> Tensor {
+        let qkv = h_seq.affine_packed(&[
+            (&self.wq0.weight, &self.wq0.bias),
+            (&self.wk0.weight, &self.wk0.bias),
+            (&self.wv0.weight, &self.wv0.bias),
+        ]);
+        fused_attention(
+            &qkv,
+            &qkv,
+            &qkv,
+            &FusedAttnSpec {
+                dm: self.dm,
+                q_col: 0,
+                k_col: self.dm,
+                v_col: 2 * self.dm,
+                q_starts: offsets,
+                q_lens: lens,
+                k_starts: offsets,
+                k_lens: lens,
+                scale: 1.0 / (self.dm as f32).sqrt(),
+                causal: true,
+            },
+        )
+    }
+
+    /// Fused cross-attention stage: queries from `sub`, keys/values as
+    /// column blocks of one packed `[W_k‖W_v]` projection of the dense
+    /// history stack (K/V blocks may be shared across samples).
+    fn cross_attend_fused(
+        &self,
+        sub: &Tensor,
+        stacked: &Tensor,
+        q_starts: &[usize],
+        q_lens: &[usize],
+        k_starts: &[usize],
+        k_lens: &[usize],
+    ) -> Tensor {
+        let qh = self.wq1.forward(sub);
+        let kvh = stacked.affine_packed(&[
+            (&self.wk1.weight, &self.wk1.bias),
+            (&self.wv1.weight, &self.wv1.bias),
+        ]);
+        fused_attention(
+            &qh,
+            &kvh,
+            &kvh,
+            &FusedAttnSpec {
+                dm: self.dm,
+                q_col: 0,
+                k_col: 0,
+                v_col: self.dm,
+                q_starts,
+                q_lens,
+                k_starts,
+                k_lens,
+                scale: 1.0 / (self.dm as f32).sqrt(),
+                causal: false,
+            },
+        )
     }
 
     /// Applies the block over a **dense jagged** batch `[T, dm]`
     /// (`T = Σ lens`, sample `b`'s live positions at rows
     /// `offsets[b] .. offsets[b]+lens[b]` — no padding rows exist).
     /// Performs, per sample, exactly the arithmetic of
-    /// [`AttentionBlock::forward`]: the jagged score products compute
-    /// each sample's live block only, the causal/key-padding masks hide
-    /// the dead score columns, and samples without history bypass the
-    /// cross-attention stage via a row partition (gather → cross-attend
-    /// → scatter back), as the per-sample path's branch does.
-    #[allow(clippy::too_many_arguments)]
+    /// [`AttentionBlock::forward`]: the fused attention nodes compute
+    /// each sample's live score block only (causal masking inside the
+    /// node), and samples without history bypass the cross-attention
+    /// stage via a row partition (gather → cross-attend → scatter back),
+    /// as the per-sample path's branch does.
     pub(crate) fn forward_batch(
         &self,
         h_seq: &Tensor,
         offsets: &[usize],
         lens: &[usize],
-        s_max: usize,
-        causal: &Tensor,
         hist: Option<&HistCtx>,
     ) -> Tensor {
-        let scale = 1.0 / (self.dm as f32).sqrt();
         // 1. Masked self-attention over each sample's live block.
-        let q = self.wq0.forward(h_seq);
-        let k = self.wk0.forward(h_seq);
-        let v = self.wv0.forward(h_seq);
-        let att = q
-            .bmm_nt_jagged(&k, s_max, offsets, lens, offsets, lens)
-            .softmax_rows_scaled_masked(scale, Some(causal));
-        let zm = att.bmm_jagged(&v, offsets, lens, lens, offsets);
+        let zm = self.self_attend_fused(h_seq, offsets, lens);
         // 2. Add & normalise.
         let h_bar = self.ln1.forward(&h_seq.add(&zm));
         // 3. Cross-attention for the samples that carry history.
@@ -97,25 +148,13 @@ impl AttentionBlock {
                 } else {
                     h_bar.gather_rows(&hc.sel_rows)
                 };
-                let qh = self.wq1.forward(&sub);
-                let kh = self.wk1.forward(&hc.stacked);
-                let vh = self.wv1.forward(&hc.stacked);
-                let att_h = qh
-                    .bmm_nt_jagged(
-                        &kh,
-                        hc.h_max,
-                        &hc.q_starts,
-                        &hc.q_lens,
-                        &hc.uniq_starts,
-                        &hc.hist_lens,
-                    )
-                    .softmax_rows_scaled_masked(scale, Some(&hc.mask));
-                let zh = att_h.bmm_jagged(
-                    &vh,
+                let zh = self.cross_attend_fused(
+                    &sub,
+                    &hc.stacked,
                     &hc.q_starts,
                     &hc.q_lens,
-                    &hc.hist_lens,
                     &hc.uniq_starts,
+                    &hc.hist_lens,
                 );
                 let crossed = self.ln2.forward(&sub.add(&zh));
                 if all {
@@ -137,25 +176,14 @@ impl AttentionBlock {
     /// self-attention + FF remain.
     pub fn forward(&self, h_seq: &Tensor, history: Option<&Tensor>) -> Tensor {
         let n = h_seq.rows();
-        // 1. Masked self-attention.
-        let mask = causal_mask(n);
-        let zm = self.attend(
-            &self.wq0.forward(h_seq),
-            &self.wk0.forward(h_seq),
-            &self.wv0.forward(h_seq),
-            Some(&mask),
-        );
+        // 1. Masked self-attention (causal masking inside the fused node).
+        let zm = self.self_attend_fused(h_seq, &[0], &[n]);
         // 2. Add & normalise.
         let h_bar = self.ln1.forward(&h_seq.add(&zm));
         // 3. Cross-attention against historical knowledge.
         let fused = match history {
             Some(hist) if hist.rows() > 0 => {
-                let zh = self.attend(
-                    &self.wq1.forward(&h_bar),
-                    &self.wk1.forward(hist),
-                    &self.wv1.forward(hist),
-                    None,
-                );
+                let zh = self.cross_attend_fused(&h_bar, hist, &[0], &[n], &[0], &[hist.rows()]);
                 self.ln2.forward(&h_bar.add(&zh))
             }
             _ => h_bar,
@@ -183,21 +211,17 @@ impl Module for AttentionBlock {
 
 /// Shared per-batch cross-attention bookkeeping, computed once per
 /// [`FusionModule::forward_batch`] call and reused by every block: the
-/// deduplicated zero-padded history stack, its key-padding mask, and the
-/// row partition for batches where only some samples carry history.
+/// deduplicated dense history stack and the row partition for batches
+/// where only some samples carry history. No padding rows and no masks —
+/// the fused attention node addresses each sample's live key block by
+/// offset.
 pub(crate) struct HistCtx {
-    /// `[U·H_max, dm]` zero-padded stack of the **unique** history
-    /// encodings (samples of one trajectory share one tensor, so the K/V
+    /// `[Σ rows, dm]` dense concatenation of the **unique** history
+    /// encodings (samples of one trajectory share one block, so the K/V
     /// projections run once per trajectory, not once per sample).
     stacked: Tensor,
-    /// Padded rows per stacked block.
-    h_max: usize,
-    /// Stacked-row start of each history-bearing sample's block
-    /// (`uniq[i]·h_max`).
+    /// Stacked-row start of each history-bearing sample's block.
     uniq_starts: Vec<usize>,
-    /// `[Σq_lens, H_max]` additive key-padding mask (per query row,
-    /// masking its block's padding).
-    mask: Tensor,
     /// Dense row start of each history-bearing sample inside `sub`.
     q_starts: Vec<usize>,
     /// Live sequence positions per history-bearing sample (= its prefix
@@ -242,9 +266,7 @@ impl FusionModule {
         h_seq: &Tensor,
         offsets: &[usize],
         lens: &[usize],
-        s_max: usize,
         history: &[Option<Tensor>],
-        causal: &Tensor,
     ) -> Tensor {
         let batch = lens.len();
         assert_eq!(offsets.len(), batch, "one offset per sample");
@@ -270,11 +292,15 @@ impl FusionModule {
             }
             let part_lens: Vec<usize> = parts.iter().map(Tensor::rows).collect();
             let hist_lens: Vec<usize> = uniq.iter().map(|&u| part_lens[u]).collect();
-            let h_max = *part_lens.iter().max().expect("non-empty");
-            let stacked = Tensor::stack_rows_padded(&parts, h_max);
-            let uniq_starts: Vec<usize> = uniq.iter().map(|&u| u * h_max).collect();
+            let mut part_starts = Vec::with_capacity(parts.len());
+            let mut acc = 0usize;
+            for &pl in &part_lens {
+                part_starts.push(acc);
+                acc += pl;
+            }
+            let stacked = Tensor::concat_rows(&parts);
+            let uniq_starts: Vec<usize> = uniq.iter().map(|&u| part_starts[u]).collect();
             let q_lens: Vec<usize> = idx.iter().map(|&b| lens[b]).collect();
-            let mask = jagged_key_padding_mask(&q_lens, &hist_lens, h_max);
             // Dense sub-layout of the history-bearing samples.
             let mut q_starts = Vec::with_capacity(idx.len());
             let mut next = 0usize;
@@ -298,9 +324,7 @@ impl FusionModule {
             }
             Some(HistCtx {
                 stacked,
-                h_max,
                 uniq_starts,
-                mask,
                 q_starts,
                 q_lens,
                 hist_lens,
@@ -310,7 +334,7 @@ impl FusionModule {
         };
         let mut h = h_seq.clone();
         for block in &self.blocks {
-            h = block.forward_batch(&h, offsets, lens, s_max, causal, hist.as_ref());
+            h = block.forward_batch(&h, offsets, lens, hist.as_ref());
         }
         let last: Vec<usize> = offsets
             .iter()

@@ -293,15 +293,11 @@ impl TspnRa {
         Some(graph)
     }
 
-    /// Encodes a QR-P graph into `(H_T◁, H_P◁)`.
-    fn encode_history(
-        &self,
-        graph: &QrpGraph,
-        tables: &BatchTables,
-    ) -> (Option<Tensor>, Option<Tensor>) {
-        // Initial features: tiles from E_T, POIs from E_P (Eq. 7). One
-        // gather per table plus a permutation gather back into node order —
-        // a fixed four tape nodes instead of one gather per graph node.
+    /// Initial node features `H^0` of a QR-P graph (Eq. 7): tiles from
+    /// `E_T`, POIs from `E_P`. One gather per table plus a permutation
+    /// gather back into node order — a fixed four tape nodes instead of
+    /// one gather per graph node.
+    fn qrp_h0(&self, graph: &QrpGraph, tables: &BatchTables) -> Tensor {
         let mut tile_rows: Vec<usize> = Vec::new();
         let mut poi_rows: Vec<usize> = Vec::new();
         for n in &graph.nodes {
@@ -326,7 +322,7 @@ impl TspnRa {
                 }
             }
         }
-        let h0 = match (tile_rows.is_empty(), poi_rows.is_empty()) {
+        match (tile_rows.is_empty(), poi_rows.is_empty()) {
             (false, false) => Tensor::concat_rows(&[
                 tables.tiles.gather_rows(&tile_rows),
                 tables.pois.gather_rows(&poi_rows),
@@ -335,13 +331,109 @@ impl TspnRa {
             (false, true) => tables.tiles.gather_rows(&tile_rows),
             (true, false) => tables.pois.gather_rows(&poi_rows),
             (true, true) => unreachable!("QR-P graphs are non-empty"),
-        };
-        let h = self.hgat.forward(graph, &h0);
-        let tile_idx: Vec<usize> = graph.tile_nodes().map(|(i, _)| i).collect();
-        let poi_idx: Vec<usize> = graph.poi_nodes().map(|(i, _)| i).collect();
+        }
+    }
+
+    /// Splits HGAT output rows `off .. off+graph.num_nodes()` of `h` into
+    /// the graph's `(H_T◁, H_P◁)` gathers.
+    fn split_encoding(graph: &QrpGraph, h: &Tensor, off: usize) -> HistoryEncodings {
+        let tile_idx: Vec<usize> = graph.tile_nodes().map(|(i, _)| i + off).collect();
+        let poi_idx: Vec<usize> = graph.poi_nodes().map(|(i, _)| i + off).collect();
         let ht = (!tile_idx.is_empty()).then(|| h.gather_rows(&tile_idx));
         let hp = (!poi_idx.is_empty()).then(|| h.gather_rows(&poi_idx));
         (ht, hp)
+    }
+
+    /// Encodes a QR-P graph into `(H_T◁, H_P◁)`.
+    fn encode_history(&self, graph: &QrpGraph, tables: &BatchTables) -> HistoryEncodings {
+        let h0 = self.qrp_h0(graph, tables);
+        let h = self.hgat.forward(graph, &h0);
+        Self::split_encoding(graph, &h, 0)
+    }
+
+    /// Batched history encoding: resolves every history's graph (content
+    /// and inference caches first, as the per-sample path does), then
+    /// runs **all** graphs still needing encoding through one disjoint
+    /// [`tspn_graph::Hgat::forward_union`] tape — the per-edge-type GEMMs
+    /// and padded softmaxes batch across samples instead of running once
+    /// per graph. Duplicate histories share one encoding tensor (by id),
+    /// which the fusion module's identity dedup relies on; a batch whose
+    /// unique histories reduce to one graph builds bitwise the per-sample
+    /// tape.
+    pub(crate) fn history_encodings_batch(
+        &self,
+        ctx: &SpatialContext,
+        histories: &[Vec<Visit>],
+        tables: &BatchTables,
+        training: bool,
+    ) -> Vec<HistoryEncodings> {
+        // Unique histories, in first-appearance order.
+        let mut keys: Vec<HistKey> = Vec::new();
+        let mut uniq_hist: Vec<&[Visit]> = Vec::new();
+        let mut index: HashMap<HistKey, usize> = HashMap::new();
+        let mut uniq_of: Vec<usize> = Vec::with_capacity(histories.len());
+        for h in histories {
+            let key = hist_key(h);
+            let next = keys.len();
+            let u = *index.entry(key.clone()).or_insert_with(|| {
+                keys.push(key);
+                uniq_hist.push(h.as_slice());
+                next
+            });
+            uniq_of.push(u);
+        }
+        let use_cache = !training && Tensor::grad_suspended();
+        if use_cache {
+            let tables_id = tables.tiles.id();
+            let mut cache = self.history_cache.borrow_mut();
+            if cache.0 != tables_id {
+                cache.0 = tables_id;
+                cache.1.clear();
+            }
+        }
+        // Per unique history: a ready encoding or a graph to encode.
+        let mut ready: Vec<Option<HistoryEncodings>> = vec![None; keys.len()];
+        let mut pending: Vec<(usize, Rc<QrpGraph>)> = Vec::new();
+        for (u, key) in keys.iter().enumerate() {
+            if use_cache {
+                if let Some(e) = self.history_cache.borrow().1.get(key) {
+                    ready[u] = Some(e.clone());
+                    continue;
+                }
+            }
+            match self.qrp_graph(ctx, uniq_hist[u], key) {
+                Some(g) => pending.push((u, g)),
+                None => ready[u] = Some((None, None)),
+            }
+        }
+        // One union tape over everything still to encode.
+        if !pending.is_empty() {
+            let refs: Vec<&QrpGraph> = pending.iter().map(|(_, g)| g.as_ref()).collect();
+            let h0 = if refs.len() == 1 {
+                self.qrp_h0(refs[0], tables)
+            } else {
+                let parts: Vec<Tensor> = refs.iter().map(|g| self.qrp_h0(g, tables)).collect();
+                Tensor::concat_rows(&parts)
+            };
+            let h = self.hgat.forward_union(&refs, &h0);
+            let mut off = 0usize;
+            for (u, g) in &pending {
+                let enc = Self::split_encoding(g, &h, off);
+                off += g.num_nodes();
+                if use_cache {
+                    let mut cache = self.history_cache.borrow_mut();
+                    if cache.1.len() >= CONTENT_CACHE_CAP {
+                        cache.1.clear();
+                    }
+                    cache.1.insert(keys[*u].clone(), enc.clone());
+                }
+                ready[*u] = Some(enc);
+            }
+        }
+        uniq_of
+            .iter()
+            .map(|&u| ready[u].clone().expect("every unique history resolved"))
+            .collect()
     }
 
     /// A history visit run's `(H_T◁, H_P◁)` encodings. Under no-grad
@@ -472,15 +564,34 @@ impl TspnRa {
         (h_out_t, h_out_p)
     }
 
-    /// `h + softmax(h·Eᵀ)·E` over the rows of `table` named by `rows`.
+    /// `h + softmax(h·Eᵀ)·E` over the rows of `table` named by `rows`,
+    /// as one fused attention node — the same node the batched path's
+    /// `pointer_residual_batch` uses, so batch-of-one gradients stay
+    /// bitwise identical.
     fn pointer_residual(h: &Tensor, table: &Tensor, rows: &[usize]) -> Tensor {
         if rows.is_empty() {
             return h.clone();
         }
         let memory = table.gather_rows(rows); // [m, dm]
-                                              // Scale 2.0 = sharper pointing, folded into the softmax pass.
-        let alpha = h.matmul_nt(&memory).softmax_rows_scaled_masked(2.0, None); // [1, m]
-        h.add(&alpha.matmul(&memory).scale(4.0))
+        let pointed = tspn_tensor::fused_attention(
+            h,
+            &memory,
+            &memory,
+            &tspn_tensor::FusedAttnSpec {
+                dm: h.cols(),
+                q_col: 0,
+                k_col: 0,
+                v_col: 0,
+                q_starts: &[0],
+                q_lens: &[1],
+                k_starts: &[0],
+                k_lens: &[rows.len()],
+                // Scale 2.0 = sharper pointing, folded into the softmax.
+                scale: 2.0,
+                causal: false,
+            },
+        );
+        h.add(&pointed.scale(4.0))
     }
 
     /// Leaf-tile embedding table (rows follow `ctx.leaves` order).

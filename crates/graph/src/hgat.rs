@@ -78,8 +78,29 @@ impl HgatLayer {
     /// exact-zero message row, matching the retired per-node loop that
     /// skipped the type entirely.
     pub fn forward(&self, graph: &QrpGraph, h: &Tensor) -> Tensor {
-        let n = graph.num_nodes();
-        assert_eq!(h.rows(), n, "feature rows must match graph nodes");
+        self.forward_union(&[graph], h)
+    }
+
+    /// Applies the layer over the **disjoint union** of several graphs at
+    /// once: `h` stacks the graphs' feature blocks in order, neighbour
+    /// indices are offset into the union, and every per-edge-type GEMM /
+    /// padded softmax / batched reduction runs once for the whole union
+    /// instead of once per graph. A batch's history encodings therefore
+    /// cost a fixed ~10 tape nodes per edge type *total*.
+    ///
+    /// Each node's output row is bitwise the row its own graph's
+    /// [`HgatLayer::forward`] produces: the row-wise GEMMs are
+    /// row-equivalent, the union-wide padded degree only appends
+    /// masked-to-exact-zero score columns (transparent to the row max /
+    /// sum / reduction), and an edge type absent from one member graph
+    /// but present elsewhere in the union contributes that graph's nodes
+    /// an exact-zero message row — the same value the per-graph skip
+    /// produces. A singleton union builds the identical tape, so
+    /// per-sample gradients are bitwise unchanged too.
+    pub fn forward_union(&self, graphs: &[&QrpGraph], h: &Tensor) -> Tensor {
+        assert!(!graphs.is_empty(), "forward_union of zero graphs");
+        let n: usize = graphs.iter().map(|g| g.num_nodes()).sum();
+        assert_eq!(h.rows(), n, "feature rows must match union nodes");
         assert_eq!(h.cols(), self.in_dim, "feature dim mismatch");
 
         // Self term for every node.
@@ -87,7 +108,14 @@ impl HgatLayer {
 
         let mut message: Option<Tensor> = None;
         for (k, &ty) in EdgeType::ALL.iter().enumerate() {
-            let groups: Vec<Vec<usize>> = (0..n).map(|i| graph.neighbors(ty, i).to_vec()).collect();
+            let mut groups: Vec<Vec<usize>> = Vec::with_capacity(n);
+            let mut off = 0usize;
+            for g in graphs {
+                for i in 0..g.num_nodes() {
+                    groups.push(g.neighbors(ty, i).iter().map(|&j| j + off).collect());
+                }
+                off += g.num_nodes();
+            }
             let degrees: Vec<usize> = groups.iter().map(Vec::len).collect();
             let d_max = degrees.iter().max().copied().unwrap_or(0);
             if d_max == 0 {
@@ -152,9 +180,16 @@ impl Hgat {
 
     /// Runs all layers.
     pub fn forward(&self, graph: &QrpGraph, h0: &Tensor) -> Tensor {
+        self.forward_union(&[graph], h0)
+    }
+
+    /// Runs all layers over a disjoint union of graphs (see
+    /// [`HgatLayer::forward_union`]): `h0` stacks the graphs' initial
+    /// feature blocks in order.
+    pub fn forward_union(&self, graphs: &[&QrpGraph], h0: &Tensor) -> Tensor {
         let mut h = h0.clone();
         for layer in &self.layers {
-            h = layer.forward(graph, &h);
+            h = layer.forward_union(graphs, &h);
         }
         h
     }

@@ -10,7 +10,7 @@
 //! | `POST /v1/sessions/{id}/predict` | `{}` or `{"k":K,"top":N}` | as `/v1/predict` |
 //! | `GET /v1/sessions/{id}` | – | `{"session":"s1","user":U,"checkins":N,"idle_ms":I}` |
 //! | `DELETE /v1/sessions/{id}` | – | `{"ok":true}` |
-//! | `GET /v1/stats` | – | serving + session-store counters |
+//! | `GET /v1/stats` | – | serving + session-store counters, build info (kernel tier, threads) |
 //!
 //! ## Legacy + admin
 //!
@@ -586,10 +586,14 @@ pub fn health_response(s: &StatsSnapshot) -> String {
 
 /// Renders the full `GET /v1/stats` answer: per-endpoint served counts,
 /// the session-store lifecycle breakdown, the overload/shedding ledger,
-/// and (always, zeros when inert) the fault-injection counters.
+/// a `build` block identifying the compute-kernel tier this process
+/// dispatched to (`avx2-fma` or `scalar` — the first thing to check when
+/// two replicas disagree on latency), and (always, zeros when inert) the
+/// fault-injection counters.
 pub fn stats_response(s: &StatsSnapshot) -> String {
     format!(
         "{{\"snapshot\":{},\"published\":{},\"batches\":{},\"queue\":{},\"ready\":{},\
+         \"build\":{{\"kernel_tier\":\"{}\",\"threads\":{}}},\
          \"served\":{{\"total\":{},\"legacy_predict\":{},\"v1_predict\":{},\"session_predict\":{}}},\
          \"sessions\":{{\"live\":{},\"created\":{},\"appends\":{},\"expired\":{},\"evicted\":{},\
          \"ttl_ms\":{},\"capacity\":{}}},\
@@ -601,6 +605,8 @@ pub fn stats_response(s: &StatsSnapshot) -> String {
         s.batches,
         s.queue,
         s.ready,
+        tspn_tensor::kernel_tier(),
+        tspn_tensor::parallel::num_threads(),
         s.served,
         s.served_legacy,
         s.served_v1,
@@ -826,6 +832,12 @@ mod tests {
             chaos.get("injected_panics").and_then(Value::as_usize),
             Some(0)
         );
+        let build = full.get("build").expect("build object");
+        assert_eq!(
+            build.get("kernel_tier").and_then(Value::as_str),
+            Some(tspn_tensor::kernel_tier())
+        );
+        assert!(build.get("threads").and_then(Value::as_usize).unwrap() >= 1);
 
         let session: Value = serde_json::from_str(&session_created_response(3, 8, 0, 900)).unwrap();
         assert_eq!(session.get("session").and_then(Value::as_str), Some("s3"));

@@ -46,12 +46,14 @@ pub mod parallel;
 pub mod pool;
 pub mod serialize;
 mod shape;
+pub mod simd;
 mod tensor;
 
 pub use ops::matmul::{gemm, gemm_ex, GemmLayout};
 pub use ops::{
-    batch_causal_mask, causal_mask, conv_out_dim, cosine_scores, jagged_causal_mask,
-    jagged_key_padding_mask, key_padding_mask,
+    batch_causal_mask, causal_mask, conv_out_dim, cosine_scores, fused_attention,
+    jagged_causal_mask, jagged_key_padding_mask, key_padding_mask, FusedAttnSpec,
 };
 pub use shape::{Broadcast, Shape};
+pub use simd::{kernel_tier, KernelTier};
 pub use tensor::Tensor;

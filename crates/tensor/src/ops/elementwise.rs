@@ -16,12 +16,22 @@ where
 {
     let bc = Broadcast::infer(a.shape(), b.shape());
     let cols = a.shape().cols();
+    // Same-length operands never broadcast; the dedicated loop drops the
+    // per-element index mapping so the compiler vectorises the pass. The
+    // per-element arithmetic is identical, so both paths agree bitwise.
+    let same = b.len() == a.len();
     let mut out = pool::take_uninit(a.len());
     {
         let av = a.data();
         let bv = b.data();
-        for (i, (o, &x)) in out.iter_mut().zip(av.iter()).enumerate() {
-            *o = f(x, bv[bc.rhs_index(i, cols)]);
+        if same {
+            for (o, (&x, &y)) in out.iter_mut().zip(av.iter().zip(bv.iter())) {
+                *o = f(x, y);
+            }
+        } else {
+            for (i, (o, &x)) in out.iter_mut().zip(av.iter()).enumerate() {
+                *o = f(x, bv[bc.rhs_index(i, cols)]);
+            }
         }
     }
     let (pa, pb) = (a.clone(), b.clone());
@@ -36,16 +46,28 @@ where
             let bv = pb.data();
             if pa.requires_grad() {
                 pa.with_grad_mut(|ga| {
-                    for (i, gi) in g.iter().enumerate() {
-                        ga[i] += gi * dfa(av[i], bv[bc.rhs_index(i, cols)]);
+                    if same {
+                        for (i, gi) in g.iter().enumerate() {
+                            ga[i] += gi * dfa(av[i], bv[i]);
+                        }
+                    } else {
+                        for (i, gi) in g.iter().enumerate() {
+                            ga[i] += gi * dfa(av[i], bv[bc.rhs_index(i, cols)]);
+                        }
                     }
                 });
             }
             if pb.requires_grad() {
                 pb.with_grad_mut(|gb| {
-                    for (i, gi) in g.iter().enumerate() {
-                        let j = bc.rhs_index(i, cols);
-                        gb[j] += gi * dfb(av[i], bv[j]);
+                    if same {
+                        for (i, gi) in g.iter().enumerate() {
+                            gb[i] += gi * dfb(av[i], bv[i]);
+                        }
+                    } else {
+                        for (i, gi) in g.iter().enumerate() {
+                            let j = bc.rhs_index(i, cols);
+                            gb[j] += gi * dfb(av[i], bv[j]);
+                        }
                     }
                 });
             }

@@ -22,6 +22,7 @@
 use crate::ops::elementwise::matrix_shape;
 use crate::parallel;
 use crate::pool;
+use crate::simd;
 use crate::tensor::Tensor;
 
 /// Operand layout for [`gemm_ex`].
@@ -267,6 +268,12 @@ fn microkernel(
     rows: usize,
     cols: usize,
 ) {
+    if simd::enabled() {
+        // SAFETY: `simd::enabled()` guarantees AVX2+FMA; the packed strips
+        // are exactly kc·MR and kc·NR floats by construction above.
+        unsafe { simd::microkernel_avx2(apack, bpack, kc, c, i0, j0, ldc, rows, cols) };
+        return;
+    }
     let mut acc = [[0.0f32; NR]; MR];
     for p in 0..kc {
         let bv: &[f32; NR] = bpack[p * NR..(p + 1) * NR]
@@ -300,6 +307,7 @@ fn microkernel(
 /// forward reproduce the per-sample path bitwise even when the batch
 /// crosses the small/blocked size threshold that the lone sample did not.
 fn small_nn(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
+    let vector = simd::enabled();
     for i in 0..n {
         let a_row = &a[i * k..(i + 1) * k];
         for j0 in (0..m).step_by(SMALL_JB) {
@@ -308,13 +316,32 @@ fn small_nn(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
             while pc < k {
                 let kc = KC.min(k - pc);
                 let mut acc = [0.0f32; SMALL_JB];
-                for (p, &a_ip) in a_row[pc..pc + kc].iter().enumerate() {
-                    if a_ip == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[(pc + p) * m + j0..(pc + p) * m + j0 + cols];
-                    for (av, &b_pj) in acc[..cols].iter_mut().zip(b_row) {
-                        *av += a_ip * b_pj;
+                if vector {
+                    // SAFETY: AVX2+FMA guaranteed by `simd::enabled()`;
+                    // `a` covers row i's chunk and `b` covers every chunk
+                    // row's `cols` columns from `j0`.
+                    unsafe {
+                        simd::small_chunk_avx2(
+                            a,
+                            i * k + pc,
+                            1,
+                            b,
+                            pc * m + j0,
+                            m,
+                            kc,
+                            &mut acc,
+                            cols,
+                        )
+                    };
+                } else {
+                    for (p, &a_ip) in a_row[pc..pc + kc].iter().enumerate() {
+                        if a_ip == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[(pc + p) * m + j0..(pc + p) * m + j0 + cols];
+                        for (av, &b_pj) in acc[..cols].iter_mut().zip(b_row) {
+                            *av += a_ip * b_pj;
+                        }
                     }
                 }
                 let c_row = &mut c[i * m + j0..i * m + j0 + cols];
@@ -330,6 +357,7 @@ fn small_nn(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
 /// Naive kernel for small `Aᵀ·B` (no transpose materialised); same
 /// KC-chunked accumulation order as the blocked path (see [`small_nn`]).
 fn small_tn(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
+    let vector = simd::enabled();
     for i in 0..n {
         for j0 in (0..m).step_by(SMALL_JB) {
             let cols = SMALL_JB.min(m - j0);
@@ -337,14 +365,33 @@ fn small_tn(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
             while pc < k {
                 let kc = KC.min(k - pc);
                 let mut acc = [0.0f32; SMALL_JB];
-                for p in pc..pc + kc {
-                    let a_pi = a[p * n + i];
-                    if a_pi == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[p * m + j0..p * m + j0 + cols];
-                    for (av, &b_pj) in acc[..cols].iter_mut().zip(b_row) {
-                        *av += a_pi * b_pj;
+                if vector {
+                    // SAFETY: AVX2+FMA guaranteed by `simd::enabled()`;
+                    // A element p sits at `(pc+p)·n + i` (stride n) and b
+                    // covers every chunk row's `cols` columns from `j0`.
+                    unsafe {
+                        simd::small_chunk_avx2(
+                            a,
+                            pc * n + i,
+                            n,
+                            b,
+                            pc * m + j0,
+                            m,
+                            kc,
+                            &mut acc,
+                            cols,
+                        )
+                    };
+                } else {
+                    for p in pc..pc + kc {
+                        let a_pi = a[p * n + i];
+                        if a_pi == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[p * m + j0..p * m + j0 + cols];
+                        for (av, &b_pj) in acc[..cols].iter_mut().zip(b_row) {
+                            *av += a_pi * b_pj;
+                        }
                     }
                 }
                 let c_row = &mut c[i * m + j0..i * m + j0 + cols];
@@ -377,6 +424,7 @@ fn small_nt(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
         small_nn(a, &bt, c, n, k, m);
         return;
     }
+    let vector = simd::enabled();
     for i in 0..n {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * m..(i + 1) * m];
@@ -385,10 +433,16 @@ fn small_nt(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
             let mut pc = 0;
             while pc < k {
                 let kc = KC.min(k - pc);
-                let mut acc = 0.0;
-                for (a_ip, b_jp) in a_row[pc..pc + kc].iter().zip(&b_row[pc..pc + kc]) {
-                    acc += a_ip * b_jp;
-                }
+                let acc = if vector {
+                    // SAFETY: AVX2+FMA guaranteed by `simd::enabled()`.
+                    unsafe { simd::dot_chain_avx2(&a_row[pc..pc + kc], &b_row[pc..pc + kc]) }
+                } else {
+                    let mut acc = 0.0;
+                    for (a_ip, b_jp) in a_row[pc..pc + kc].iter().zip(&b_row[pc..pc + kc]) {
+                        acc += a_ip * b_jp;
+                    }
+                    acc
+                };
                 *c_ij += acc;
                 pc += kc;
             }

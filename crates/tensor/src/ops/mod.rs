@@ -4,6 +4,7 @@
 pub mod batched;
 pub mod conv;
 pub mod elementwise;
+pub mod fused;
 pub mod loss;
 pub mod matmul;
 pub mod norm;
@@ -15,5 +16,6 @@ pub use batched::{
     batch_causal_mask, jagged_causal_mask, jagged_key_padding_mask, key_padding_mask,
 };
 pub use conv::conv_out_dim;
+pub use fused::{fused_attention, FusedAttnSpec};
 pub use norm::cosine_scores;
 pub use softmax::causal_mask;

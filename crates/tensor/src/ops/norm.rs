@@ -5,6 +5,7 @@
 
 use crate::pool;
 use crate::shape::Shape;
+use crate::simd;
 use crate::tensor::Tensor;
 
 pub(crate) const NORM_EPS: f32 = 1e-8;
@@ -21,7 +22,7 @@ impl Tensor {
         let mut norms = pool::scratch_uninit(n);
         for r in 0..n {
             let row = &data[r * m..(r + 1) * m];
-            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt() + NORM_EPS;
+            let norm = simd::row_dot(row, row).sqrt() + NORM_EPS;
             norms[r] = norm;
             for j in 0..m {
                 out[r * m + j] = row[j] / norm;
@@ -42,7 +43,7 @@ impl Tensor {
                         for r in 0..n {
                             let y = &saved_y[r * m..(r + 1) * m];
                             let gr = &g[r * m..(r + 1) * m];
-                            let dot: f32 = y.iter().zip(gr).map(|(yi, gi)| yi * gi).sum();
+                            let dot = simd::row_dot(y, gr);
                             let inv = 1.0 / norms[r];
                             for j in 0..m {
                                 ga[r * m + j] += (gr[j] - y[j] * dot) * inv;
@@ -74,8 +75,8 @@ impl Tensor {
         let mut inv_std = pool::scratch_uninit(n);
         for r in 0..n {
             let row = &data[r * m..(r + 1) * m];
-            let mu = row.iter().sum::<f32>() / m as f32;
-            let var = row.iter().map(|x| (x - mu) * (x - mu)).sum::<f32>() / m as f32;
+            let mu = simd::row_sum(row) / m as f32;
+            let var = simd::row_sq_diff_sum(row, mu) / m as f32;
             let inv = 1.0 / (var + eps).sqrt();
             inv_std[r] = inv;
             for j in 0..m {
@@ -115,23 +116,19 @@ impl Tensor {
                 }
                 if pa.requires_grad() {
                     let gv = pg.data();
+                    let mut h = pool::scratch_uninit(m);
                     pa.with_grad_mut(|ga| {
                         for r in 0..n {
                             let gr = &g[r * m..(r + 1) * m];
                             let xr = &xhat[r * m..(r + 1) * m];
-                            let mut mean_h = 0.0f32;
-                            let mut mean_hx = 0.0f32;
-                            for j in 0..m {
-                                let h = gr[j] * gv[j];
-                                mean_h += h;
-                                mean_hx += h * xr[j];
+                            for (hj, (gj, gvj)) in h.iter_mut().zip(gr.iter().zip(gv.iter())) {
+                                *hj = gj * gvj;
                             }
-                            mean_h /= m as f32;
-                            mean_hx /= m as f32;
+                            let mean_h = simd::row_sum(&h) / m as f32;
+                            let mean_hx = simd::row_dot(&h, xr) / m as f32;
                             let inv = inv_std[r];
                             for j in 0..m {
-                                let h = gr[j] * gv[j];
-                                ga[r * m + j] += (h - mean_h - xr[j] * mean_hx) * inv;
+                                ga[r * m + j] += (h[j] - mean_h - xr[j] * mean_hx) * inv;
                             }
                         }
                     });
@@ -243,16 +240,12 @@ pub fn cosine_scores(query: &[f32], candidates: &[f32], dim: usize) -> Vec<f32> 
         0,
         "candidate buffer not a multiple of dim"
     );
-    let qn = query.iter().map(|x| x * x).sum::<f32>().sqrt() + NORM_EPS;
+    let qn = crate::simd::row_dot(query, query).sqrt() + NORM_EPS;
     candidates
         .chunks_exact(dim)
         .map(|row| {
-            let mut dot = 0.0;
-            let mut nn = 0.0;
-            for (a, b) in query.iter().zip(row) {
-                dot += a * b;
-                nn += b * b;
-            }
+            let dot = crate::simd::row_dot(query, row);
+            let nn = crate::simd::row_dot(row, row);
             dot / (qn * (nn.sqrt() + NORM_EPS))
         })
         .collect()

@@ -1,7 +1,40 @@
 //! Row-wise softmax with optional additive attention masks.
 
 use crate::pool;
+use crate::simd;
 use crate::tensor::Tensor;
+
+/// One softmax row, in place, on the active kernel tier: `v` already holds
+/// the scaled+masked logits; on return it holds the probabilities and the
+/// row's `(max, sum)` pair is returned (the pair the fused attention node
+/// saves for its backward). The max is exact on every tier; the exp+sum
+/// pass is the tier's row kernel, transparent to masked suffixes (masked
+/// entries underflow to exact `0.0` through the `≤ −150` shortcut).
+pub(crate) fn softmax_row_in_place(v: &mut [f32]) -> (f32, f32) {
+    let max = simd::row_max(v);
+    let sum = simd::row_exp_sum(v, max);
+    let inv = 1.0 / sum.max(1e-20);
+    for x in v.iter_mut() {
+        *x *= inv;
+    }
+    (max, sum)
+}
+
+/// Softmax backward for one row: `ga[j] += y[j]·(g[j] − y·g)·scale`, with
+/// the row dot on the active kernel tier (shared with the fused attention
+/// backward so composite and fused stay bitwise equal per tier).
+pub(crate) fn softmax_row_backward(y: &[f32], g: &[f32], ga: &mut [f32], scale: f32) {
+    let dot = simd::row_dot(y, g);
+    if scale == 1.0 {
+        for j in 0..y.len() {
+            ga[j] += y[j] * (g[j] - dot);
+        }
+    } else {
+        for j in 0..y.len() {
+            ga[j] += y[j] * (g[j] - dot) * scale;
+        }
+    }
+}
 
 impl Tensor {
     /// Numerically-stable softmax over each row of `[n, m]`.
@@ -38,37 +71,28 @@ impl Tensor {
         let mut out = pool::take_uninit(n * m);
         {
             let mask_data = mask.map(|m| m.data());
-            let mut masked = pool::scratch_uninit(m);
             for r in 0..n {
                 let row = &data[r * m..(r + 1) * m];
+                let orow = &mut out[r * m..(r + 1) * m];
                 if scale == 1.0 {
-                    masked.copy_from_slice(row);
+                    orow.copy_from_slice(row);
                 } else {
-                    for (v, &x) in masked.iter_mut().zip(row) {
+                    for (v, &x) in orow.iter_mut().zip(row) {
                         *v = x * scale;
                     }
                 }
                 if let Some(md) = &mask_data {
-                    for (v, &mv) in masked.iter_mut().zip(&md[r * m..(r + 1) * m]) {
+                    for (v, &mv) in orow.iter_mut().zip(&md[r * m..(r + 1) * m]) {
                         *v += mv;
                     }
                 }
-                let max = masked.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-                let mut sum = 0.0;
-                for v in masked.iter_mut() {
-                    let d = *v - max;
-                    // `expf` underflows to exactly +0.0 far above the
-                    // -1e9 that additive masks produce, so writing the
-                    // zero directly is bitwise identical — and removes
-                    // the dominant cost of heavily-masked rows (half of
-                    // every causal attention matrix).
-                    *v = if d <= -150.0 { 0.0 } else { d.exp() };
-                    sum += *v;
-                }
-                let inv = 1.0 / sum.max(1e-20);
-                for (j, v) in masked.iter().enumerate() {
-                    out[r * m + j] = v * inv;
-                }
+                // Masked entries (`d ≤ −150` after the max shift) become
+                // exact +0.0 on both tiers — `expf` underflows far above
+                // the -1e9 that additive masks produce — which removes
+                // the dominant cost of heavily-masked rows (half of every
+                // causal attention matrix) and keeps zero-padded suffixes
+                // bitwise transparent.
+                softmax_row_in_place(orow);
             }
         }
         drop(data);
@@ -86,16 +110,7 @@ impl Tensor {
                         for r in 0..n {
                             let y = &saved[r * m..(r + 1) * m];
                             let gr = &g[r * m..(r + 1) * m];
-                            let dot: f32 = y.iter().zip(gr).map(|(yi, gi)| yi * gi).sum();
-                            if scale == 1.0 {
-                                for j in 0..m {
-                                    ga[r * m + j] += y[j] * (gr[j] - dot);
-                                }
-                            } else {
-                                for j in 0..m {
-                                    ga[r * m + j] += y[j] * (gr[j] - dot) * scale;
-                                }
-                            }
+                            softmax_row_backward(y, gr, &mut ga[r * m..(r + 1) * m], scale);
                         }
                     });
                 }

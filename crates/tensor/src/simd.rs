@@ -1,0 +1,662 @@
+//! Runtime-dispatched SIMD kernels (AVX2 + FMA) behind the scalar ops.
+//!
+//! ## Dispatch contract
+//!
+//! The kernel tier is detected **once**, at the first dispatch, and cached
+//! for the process lifetime ([`tier`]): `TSPN_SIMD=0` forces the scalar
+//! tier, otherwise x86-64 hosts with AVX2 *and* FMA get [`KernelTier::Avx2Fma`]
+//! and everything else falls back to [`KernelTier::Scalar`]. The scalar
+//! paths are always compiled and always correct — the SIMD arm is a pure
+//! acceleration layer the callers consult per call via [`enabled`].
+//!
+//! ## Numeric contract
+//!
+//! Within one tier every kernel is run-to-run deterministic and
+//! thread-count-invariant, and the GEMM kernels preserve the per-element
+//! accumulation-order contract of `ops/matmul.rs`: each output element is
+//! a serial chain over `p` (FMA chain on this tier), chunked by `KC`, so
+//! the small, blocked, and pool-sharded paths stay mutually bitwise
+//! identical. Row reductions (softmax sums, layer-norm moments, dot
+//! products) accumulate **lane-strided** — element `i` always lands in
+//! lane `i mod 8` and the 8 lanes collapse through one fixed tree — which
+//! makes every row kernel transparent to zero suffixes: a row padded with
+//! exact zeros reduces bitwise the same as the unpadded row, the property
+//! the jagged batched ops rely on.
+//!
+//! **Across** tiers results agree only to tolerance (FMA contracts
+//! `a*b+c` into one rounding; the vector `exp` is a polynomial, not libm).
+//! Anything asserted bitwise therefore compares values produced on one
+//! tier, never across tiers.
+
+use std::sync::OnceLock;
+
+/// Which kernel arm the process dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelTier {
+    /// Portable scalar kernels (always available).
+    Scalar,
+    /// AVX2 + FMA vector kernels (x86-64 only, runtime detected).
+    Avx2Fma,
+}
+
+impl KernelTier {
+    /// Stable lowercase name for logs, stats, and `/v1/stats` build info.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::Avx2Fma => "avx2-fma",
+        }
+    }
+}
+
+/// The process-wide kernel tier, detected once at first call.
+///
+/// `TSPN_SIMD=0` forces [`KernelTier::Scalar`]; any other value (or the
+/// variable being unset) lets CPU feature detection decide.
+pub fn tier() -> KernelTier {
+    static TIER: OnceLock<KernelTier> = OnceLock::new();
+    *TIER.get_or_init(detect)
+}
+
+/// [`tier`]'s stable name — the introspection hook serving benches record.
+pub fn kernel_tier() -> &'static str {
+    tier().name()
+}
+
+/// True when the AVX2+FMA arm is active.
+#[inline]
+pub fn enabled() -> bool {
+    tier() == KernelTier::Avx2Fma
+}
+
+fn detect() -> KernelTier {
+    if std::env::var("TSPN_SIMD").is_ok_and(|v| v == "0") {
+        return KernelTier::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return KernelTier::Avx2Fma;
+        }
+    }
+    KernelTier::Scalar
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) use x86::*;
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// Per-lane load masks for ragged tails: `TAIL_MASKS[r]` has the first
+    /// `r` lanes live (`r ∈ 0..8`; a full vector never consults the table).
+    static TAIL_MASKS: [[i32; 8]; 8] = {
+        let mut masks = [[0i32; 8]; 8];
+        let mut r = 0;
+        while r < 8 {
+            let mut l = 0;
+            while l < r {
+                masks[r][l] = -1;
+                l += 1;
+            }
+            r += 1;
+        }
+        masks
+    };
+
+    /// Mask vector with the first `r` (`1..=7`) lanes live.
+    ///
+    /// # Safety
+    /// Caller must run on an AVX2 host (guarded by [`super::enabled`]).
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn tail_mask(r: usize) -> __m256i {
+        debug_assert!(r < 8);
+        // SAFETY: TAIL_MASKS rows are 8 i32s = 32 bytes, readable.
+        _mm256_loadu_si256(TAIL_MASKS[r].as_ptr() as *const __m256i)
+    }
+
+    /// Collapses the 8 lanes of an accumulator through one fixed tree:
+    /// `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))` — the lane-strided
+    /// reduction order every row kernel shares.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn reduce_add(v: __m256) -> f32 {
+        let hi = _mm256_extractf128_ps(v, 1);
+        let lo = _mm256_castps256_ps128(v);
+        let s4 = _mm_add_ps(lo, hi); // lane q = l_q + l_{q+4}
+        let s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4)); // lane q = s4_q + s4_{q+2}
+        let s1 = _mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 1));
+        _mm_cvtss_f32(s1)
+    }
+
+    /// Lane-wise max collapsed through the same fixed tree (max is exact,
+    /// so the tree shape is unobservable — kept fixed anyway).
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn reduce_max(v: __m256) -> f32 {
+        let hi = _mm256_extractf128_ps(v, 1);
+        let lo = _mm256_castps256_ps128(v);
+        let m4 = _mm_max_ps(lo, hi);
+        let m2 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+        let m1 = _mm_max_ss(m2, _mm_shuffle_ps(m2, m2, 1));
+        _mm_cvtss_f32(m1)
+    }
+
+    /// Vector `exp` — the classic Cephes polynomial (`exp_hi/lo` clamped,
+    /// Cody–Waite ln2 split, degree-5 Horner via FMA, exponent-bit 2ⁿ
+    /// scale). Deterministic; agrees with libm `expf` to ~1 ulp but is a
+    /// **different** function — cross-tier comparisons use tolerance.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn exp256(x: __m256) -> __m256 {
+        let x = _mm256_min_ps(x, _mm256_set1_ps(88.376_26));
+        let x = _mm256_max_ps(x, _mm256_set1_ps(-88.376_26));
+        // n = round-to-floor(x / ln2)
+        let fx = _mm256_fmadd_ps(
+            x,
+            _mm256_set1_ps(std::f32::consts::LOG2_E),
+            _mm256_set1_ps(0.5),
+        );
+        let fx = _mm256_floor_ps(fx);
+        // r = x − n·ln2, split for accuracy.
+        let x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(0.693_359_4), x);
+        let x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(-2.121_944_4e-4), x);
+        // Degree-5 polynomial for exp(r) − 1 − r on |r| ≤ ln2/2.
+        let mut y = _mm256_set1_ps(1.987_569_1e-4);
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.398_2e-3));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(8.333_452e-3));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(4.166_579_6e-2));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.666_666_5e-1));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(0.5));
+        let z = _mm256_mul_ps(x, x);
+        y = _mm256_fmadd_ps(y, z, x);
+        y = _mm256_add_ps(y, _mm256_set1_ps(1.0));
+        // 2^n through the exponent bits.
+        let n = _mm256_cvttps_epi32(fx);
+        let pow2n = _mm256_slli_epi32(_mm256_add_epi32(n, _mm256_set1_epi32(127)), 23);
+        _mm256_mul_ps(y, _mm256_castsi256_ps(pow2n))
+    }
+
+    /// AVX2 `MR×NR` GEMM microkernel: identical loop structure to the
+    /// scalar `microkernel` in `ops/matmul.rs` (`MR = 4`, `NR = 16`), with
+    /// each `acc[r][j] += a·b` contracted to one FMA. Per output element
+    /// the accumulation stays a serial chain over `p`, so every GEMM path
+    /// on this tier matches bitwise.
+    ///
+    /// # Safety
+    /// AVX2+FMA must be available ([`super::enabled`]); `apack` holds
+    /// `kc·4` floats, `bpack` holds `kc·16`, and rows/cols must address
+    /// valid `c` elements exactly as the scalar kernel requires.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn microkernel_avx2(
+        apack: &[f32],
+        bpack: &[f32],
+        kc: usize,
+        c: &mut [f32],
+        i0: usize,
+        j0: usize,
+        ldc: usize,
+        rows: usize,
+        cols: usize,
+    ) {
+        debug_assert!(apack.len() >= kc * 4 && bpack.len() >= kc * 16);
+        let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+        let ap = apack.as_ptr();
+        let bp = bpack.as_ptr();
+        for p in 0..kc {
+            // SAFETY: packed strips are kc·MR / kc·NR floats (asserted).
+            let b0 = _mm256_loadu_ps(bp.add(p * 16));
+            let b1 = _mm256_loadu_ps(bp.add(p * 16 + 8));
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let ar = _mm256_broadcast_ss(&*ap.add(p * 4 + r));
+                accr[0] = _mm256_fmadd_ps(ar, b0, accr[0]);
+                accr[1] = _mm256_fmadd_ps(ar, b1, accr[1]);
+            }
+        }
+        let mut tile = [[0.0f32; 16]; 4];
+        for r in 0..4 {
+            _mm256_storeu_ps(tile[r].as_mut_ptr(), acc[r][0]);
+            _mm256_storeu_ps(tile[r].as_mut_ptr().add(8), acc[r][1]);
+        }
+        for r in 0..rows {
+            let row = &mut c[(i0 + r) * ldc + j0..(i0 + r) * ldc + j0 + cols];
+            for (dst, src) in row.iter_mut().zip(&tile[r][..cols]) {
+                *dst += src;
+            }
+        }
+    }
+
+    /// One KC-chunk of the small-kernel strip loop:
+    /// `acc[j] += Σ_p a[a_off + p·a_stride] · b[b_off + p·m + j]` with the
+    /// same zero-`a` skip as the scalar loop. Full 8-lane groups run as
+    /// broadcast+FMA; the ragged tail runs scalar `mul_add`, which is the
+    /// same serial FMA chain and therefore bitwise identical per element.
+    ///
+    /// # Safety
+    /// AVX2+FMA must be available; `a` must cover `a_off + (kc−1)·a_stride`
+    /// and `b` must cover `b_off + (kc−1)·m + cols`; `acc` holds ≥ `cols`.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn small_chunk_avx2(
+        a: &[f32],
+        a_off: usize,
+        a_stride: usize,
+        b: &[f32],
+        b_off: usize,
+        m: usize,
+        kc: usize,
+        acc: &mut [f32],
+        cols: usize,
+    ) {
+        let vec_cols = cols & !7;
+        let nregs = vec_cols / 8;
+        debug_assert!(nregs <= 8);
+        let mut regs = [_mm256_setzero_ps(); 8];
+        let bp = b.as_ptr();
+        for p in 0..kc {
+            let a_ip = *a.get_unchecked(a_off + p * a_stride);
+            if a_ip == 0.0 {
+                continue;
+            }
+            let av = _mm256_set1_ps(a_ip);
+            let brow = bp.add(b_off + p * m);
+            for (q, reg) in regs[..nregs].iter_mut().enumerate() {
+                // SAFETY: b covers b_off + p·m + vec_cols (caller contract).
+                *reg = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow.add(q * 8)), *reg);
+            }
+            for j in vec_cols..cols {
+                let aj = acc.get_unchecked_mut(j);
+                *aj = a_ip.mul_add(*brow.add(j), *aj);
+            }
+        }
+        for (q, reg) in regs[..nregs].iter().enumerate() {
+            let lane = _mm256_loadu_ps(acc.as_ptr().add(q * 8));
+            _mm256_storeu_ps(acc.as_mut_ptr().add(q * 8), _mm256_add_ps(lane, *reg));
+        }
+    }
+
+    /// Serial FMA dot product `Σ_p a[p]·b[p]` — the single-row `A·Bᵀ`
+    /// kernel (a dot product is one dependency chain; FMA keeps it on the
+    /// tier's per-element contract).
+    ///
+    /// # Safety
+    /// AVX2+FMA must be available; slices must have equal length.
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn dot_chain_avx2(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = 0.0f32;
+        for (x, y) in a.iter().zip(b) {
+            acc = x.mul_add(*y, acc);
+        }
+        acc
+    }
+
+    /// Row maximum (exact — max has no rounding, so any fold order agrees
+    /// with the scalar serial fold bitwise, NaNs excluded).
+    ///
+    /// # Safety
+    /// AVX2+FMA must be available.
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn row_max_avx2(v: &[f32]) -> f32 {
+        let n = v.len();
+        if n < 8 {
+            return v.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        }
+        let p = v.as_ptr();
+        // SAFETY: n ≥ 8 checked above; subsequent loads stay in bounds.
+        let mut mx = _mm256_loadu_ps(p);
+        let mut i = 8;
+        while i + 8 <= n {
+            mx = _mm256_max_ps(mx, _mm256_loadu_ps(p.add(i)));
+            i += 8;
+        }
+        let mut r = reduce_max(mx);
+        while i < n {
+            r = r.max(*v.get_unchecked(i));
+            i += 1;
+        }
+        r
+    }
+
+    /// Fused exp + sum over one softmax row, in place:
+    /// `v[i] ← if v[i]−max ≤ −150 { 0 } else { exp(v[i]−max) }`, returning
+    /// the lane-strided sum. Every element goes through the same vector
+    /// `exp` (ragged tails use masked loads, never a scalar fallback), so
+    /// the result of each element — and the lane each element sums into —
+    /// is independent of the row width: zero-padded suffixes are bitwise
+    /// transparent, exactly like the scalar serial pass.
+    ///
+    /// # Safety
+    /// AVX2+FMA must be available.
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn row_exp_sum_avx2(v: &mut [f32], max: f32) -> f32 {
+        let n = v.len();
+        let maxv = _mm256_set1_ps(max);
+        let cut = _mm256_set1_ps(-150.0);
+        let mut sum = _mm256_setzero_ps();
+        let p = v.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: i + 8 ≤ n.
+            let x = _mm256_loadu_ps(p.add(i));
+            let d = _mm256_sub_ps(x, maxv);
+            let dead = _mm256_cmp_ps::<_CMP_LE_OQ>(d, cut);
+            let e = _mm256_andnot_ps(dead, exp256(d));
+            sum = _mm256_add_ps(sum, e);
+            _mm256_storeu_ps(p.add(i), e);
+            i += 8;
+        }
+        let rem = n - i;
+        if rem > 0 {
+            let mask = tail_mask(rem);
+            // SAFETY: maskload/maskstore only touch the first `rem` lanes.
+            let x = _mm256_maskload_ps(p.add(i), mask);
+            let d = _mm256_sub_ps(x, maxv);
+            let dead = _mm256_cmp_ps::<_CMP_LE_OQ>(d, cut);
+            let mut e = _mm256_andnot_ps(dead, exp256(d));
+            // Dead tail lanes loaded as 0.0 → exp(−max) garbage; zero them
+            // before summing so the tail is width-transparent.
+            e = _mm256_and_ps(e, _mm256_castsi256_ps(mask));
+            sum = _mm256_add_ps(sum, e);
+            _mm256_maskstore_ps(p.add(i), mask, e);
+        }
+        reduce_add(sum)
+    }
+
+    /// Lane-strided sum `Σ v[i]` (element `i` in lane `i mod 8`, fixed
+    /// reduction tree) — zero suffixes are bitwise transparent.
+    ///
+    /// # Safety
+    /// AVX2+FMA must be available.
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn row_sum_avx2(v: &[f32]) -> f32 {
+        let n = v.len();
+        let p = v.as_ptr();
+        let mut sum = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: i + 8 ≤ n.
+            sum = _mm256_add_ps(sum, _mm256_loadu_ps(p.add(i)));
+            i += 8;
+        }
+        let rem = n - i;
+        if rem > 0 {
+            let mask = tail_mask(rem);
+            // SAFETY: masked load touches only the first `rem` lanes; dead
+            // lanes read as +0.0 and add nothing.
+            sum = _mm256_add_ps(sum, _mm256_maskload_ps(p.add(i), mask));
+        }
+        reduce_add(sum)
+    }
+
+    /// Lane-strided FMA dot `Σ a[i]·b[i]` — shared by the softmax/
+    /// fused-attention backward and the layer-norm reductions. Zero
+    /// suffixes in either operand are bitwise transparent.
+    ///
+    /// # Safety
+    /// AVX2+FMA must be available; slices must have equal length.
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn row_dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: i + 8 ≤ n for both slices.
+            acc = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc);
+            i += 8;
+        }
+        let rem = n - i;
+        if rem > 0 {
+            let mask = tail_mask(rem);
+            // SAFETY: masked loads touch only live lanes; dead lanes are
+            // 0·0 and leave the accumulator bits unchanged.
+            acc = _mm256_fmadd_ps(
+                _mm256_maskload_ps(pa.add(i), mask),
+                _mm256_maskload_ps(pb.add(i), mask),
+                acc,
+            );
+        }
+        reduce_add(acc)
+    }
+
+    /// Lane-strided centred second moment `Σ (v[i]−mu)²` for layer-norm.
+    ///
+    /// # Safety
+    /// AVX2+FMA must be available.
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn row_sq_diff_sum_avx2(v: &[f32], mu: f32) -> f32 {
+        let n = v.len();
+        let p = v.as_ptr();
+        let muv = _mm256_set1_ps(mu);
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: i + 8 ≤ n.
+            let d = _mm256_sub_ps(_mm256_loadu_ps(p.add(i)), muv);
+            acc = _mm256_fmadd_ps(d, d, acc);
+            i += 8;
+        }
+        let rem = n - i;
+        if rem > 0 {
+            let mask = tail_mask(rem);
+            // SAFETY: masked load touches only live lanes; dead lanes are
+            // masked back to zero before the FMA.
+            let d = _mm256_sub_ps(_mm256_maskload_ps(p.add(i), mask), muv);
+            let d = _mm256_and_ps(d, _mm256_castsi256_ps(mask));
+            acc = _mm256_fmadd_ps(d, d, acc);
+        }
+        reduce_add(acc)
+    }
+}
+
+// Scalar stand-ins so non-x86 targets still compile the dispatch sites;
+// `enabled()` is always false there, so these are never reached.
+#[cfg(not(target_arch = "x86_64"))]
+mod fallback {
+    #![allow(dead_code, clippy::too_many_arguments)]
+
+    pub(crate) unsafe fn microkernel_avx2(
+        _apack: &[f32],
+        _bpack: &[f32],
+        _kc: usize,
+        _c: &mut [f32],
+        _i0: usize,
+        _j0: usize,
+        _ldc: usize,
+        _rows: usize,
+        _cols: usize,
+    ) {
+        unreachable!("SIMD arm dispatched on a non-x86 target")
+    }
+    pub(crate) unsafe fn small_chunk_avx2(
+        _a: &[f32],
+        _a_off: usize,
+        _a_stride: usize,
+        _b: &[f32],
+        _b_off: usize,
+        _m: usize,
+        _kc: usize,
+        _acc: &mut [f32],
+        _cols: usize,
+    ) {
+        unreachable!("SIMD arm dispatched on a non-x86 target")
+    }
+    pub(crate) unsafe fn dot_chain_avx2(_a: &[f32], _b: &[f32]) -> f32 {
+        unreachable!("SIMD arm dispatched on a non-x86 target")
+    }
+    pub(crate) unsafe fn row_max_avx2(_v: &[f32]) -> f32 {
+        unreachable!("SIMD arm dispatched on a non-x86 target")
+    }
+    pub(crate) unsafe fn row_exp_sum_avx2(_v: &mut [f32], _max: f32) -> f32 {
+        unreachable!("SIMD arm dispatched on a non-x86 target")
+    }
+    pub(crate) unsafe fn row_sum_avx2(_v: &[f32]) -> f32 {
+        unreachable!("SIMD arm dispatched on a non-x86 target")
+    }
+    pub(crate) unsafe fn row_dot_avx2(_a: &[f32], _b: &[f32]) -> f32 {
+        unreachable!("SIMD arm dispatched on a non-x86 target")
+    }
+    pub(crate) unsafe fn row_sq_diff_sum_avx2(_v: &[f32], _mu: f32) -> f32 {
+        unreachable!("SIMD arm dispatched on a non-x86 target")
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) use fallback::*;
+
+/// Row maximum on the active tier (exact on both arms).
+#[inline]
+pub(crate) fn row_max(v: &[f32]) -> f32 {
+    if enabled() {
+        // SAFETY: `enabled()` guarantees AVX2+FMA.
+        unsafe { row_max_avx2(v) }
+    } else {
+        v.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+    }
+}
+
+/// Fused exp+sum over a softmax row (`v` already scaled and masked): on
+/// return `v[i] = exp(v[i]−max)` with the `≤ −150` underflow shortcut,
+/// and the returned sum is the tier's row-reduction order.
+#[inline]
+pub(crate) fn row_exp_sum(v: &mut [f32], max: f32) -> f32 {
+    if enabled() {
+        // SAFETY: `enabled()` guarantees AVX2+FMA.
+        unsafe { row_exp_sum_avx2(v, max) }
+    } else {
+        let mut sum = 0.0;
+        for x in v.iter_mut() {
+            let d = *x - max;
+            *x = if d <= -150.0 { 0.0 } else { d.exp() };
+            sum += *x;
+        }
+        sum
+    }
+}
+
+/// Row sum on the active tier.
+#[inline]
+pub(crate) fn row_sum(v: &[f32]) -> f32 {
+    if enabled() {
+        // SAFETY: `enabled()` guarantees AVX2+FMA.
+        unsafe { row_sum_avx2(v) }
+    } else {
+        v.iter().sum()
+    }
+}
+
+/// Row dot product on the active tier.
+#[inline]
+pub(crate) fn row_dot(a: &[f32], b: &[f32]) -> f32 {
+    if enabled() {
+        // SAFETY: `enabled()` guarantees AVX2+FMA.
+        unsafe { row_dot_avx2(a, b) }
+    } else {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+}
+
+/// Centred second moment `Σ (v[i]−mu)²` on the active tier.
+#[inline]
+pub(crate) fn row_sq_diff_sum(v: &[f32], mu: f32) -> f32 {
+    if enabled() {
+        // SAFETY: `enabled()` guarantees AVX2+FMA.
+        unsafe { row_sq_diff_sum_avx2(v, mu) }
+    } else {
+        v.iter().map(|x| (x - mu) * (x - mu)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(n: usize, seed: u64) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let x = (i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(seed);
+                ((x >> 40) as i64 % 97) as f32 * 0.11 - 3.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tier_is_cached_and_named() {
+        let t = tier();
+        assert_eq!(t, tier(), "tier must be stable for the process");
+        assert!(matches!(kernel_tier(), "scalar" | "avx2-fma"));
+    }
+
+    #[test]
+    fn row_kernels_match_scalar_reference_to_tolerance() {
+        for n in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 31, 64, 100] {
+            let v = vals(n, 7);
+            let serial_max = v.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            assert_eq!(row_max(&v), serial_max, "max is exact on every tier");
+            let serial_sum: f32 = v.iter().sum();
+            assert!((row_sum(&v) - serial_sum).abs() <= 1e-4 * serial_sum.abs().max(1.0));
+            let w = vals(n, 13);
+            let serial_dot: f32 = v.iter().zip(&w).map(|(a, b)| a * b).sum();
+            assert!((row_dot(&v, &w) - serial_dot).abs() <= 1e-3 * serial_dot.abs().max(1.0));
+            let mu = if n == 0 { 0.0 } else { serial_sum / n as f32 };
+            let serial_var: f32 = v.iter().map(|x| (x - mu) * (x - mu)).sum();
+            assert!(
+                (row_sq_diff_sum(&v, mu) - serial_var).abs() <= 1e-3 * serial_var.abs().max(1.0)
+            );
+        }
+    }
+
+    #[test]
+    fn exp_sum_matches_scalar_to_tolerance_and_zeroes_masked() {
+        for n in [1usize, 5, 8, 11, 16, 33] {
+            let mut v = vals(n, 3);
+            if n > 2 {
+                v[n - 1] = -1e9; // a masked entry
+            }
+            let max = row_max(&v);
+            let mut simd_row = v.clone();
+            let simd_sum = row_exp_sum(&mut simd_row, max);
+            let mut ref_row = v.clone();
+            let mut ref_sum = 0.0f32;
+            for x in ref_row.iter_mut() {
+                let d = *x - max;
+                *x = if d <= -150.0 { 0.0 } else { d.exp() };
+                ref_sum += *x;
+            }
+            for (s, r) in simd_row.iter().zip(&ref_row) {
+                assert!((s - r).abs() <= 1e-6 * r.abs().max(1e-6), "{s} vs {r}");
+            }
+            if n > 2 {
+                assert_eq!(simd_row[n - 1], 0.0, "masked entry must be exactly zero");
+            }
+            assert!((simd_sum - ref_sum).abs() <= 1e-5 * ref_sum.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn row_reductions_are_zero_suffix_transparent() {
+        // The jagged batched ops pad rows with exact zeros; the reductions
+        // must be bitwise identical with and without the padding.
+        let live = vals(13, 21);
+        for pad in [1usize, 3, 8, 19] {
+            let mut padded = live.clone();
+            padded.extend(std::iter::repeat_n(0.0, pad));
+            assert!(row_sum(&padded) == row_sum(&live), "sum not transparent");
+            let w_live = vals(13, 5);
+            let mut w_padded = w_live.clone();
+            w_padded.extend(std::iter::repeat_n(0.0, pad));
+            assert!(
+                row_dot(&padded, &w_padded) == row_dot(&live, &w_live),
+                "dot not transparent"
+            );
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Property tests pinning the fused attention node's bitwise contract:
+//! on arbitrary jagged geometries, [`tspn_tensor::fused_attention`] must
+//! produce **bit-for-bit** the forward values and input gradients of the
+//! composite chain it retired (`bmm_nt_jagged` →
+//! `softmax_rows_scaled_masked` → `bmm_jagged`), on whichever kernel
+//! tier the process runs (CI repeats the suite under `TSPN_SIMD=0`).
+
+use proptest::prelude::*;
+use tspn_tensor::gradcheck::grad_check;
+use tspn_tensor::{
+    fused_attention, jagged_causal_mask, jagged_key_padding_mask, FusedAttnSpec, Tensor,
+};
+
+fn values(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(seed);
+            ((x >> 33) % 37) as f32 * 0.07 - 1.2
+        })
+        .collect()
+}
+
+fn starts_of(lens: &[usize]) -> Vec<usize> {
+    let mut starts = Vec::with_capacity(lens.len());
+    let mut next = 0usize;
+    for &l in lens {
+        starts.push(next);
+        next += l;
+    }
+    starts
+}
+
+/// `(forward, dQ, dK, dV)` of one attention stack under
+/// `loss = Σ out²`, with fresh parameters per call so gradient buffers
+/// never mix between the fused and composite runs.
+type Run = (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>);
+
+fn run_causal(lens: &[usize], dm: usize, seed: u64, fused: bool) -> Run {
+    let starts = starts_of(lens);
+    let total: usize = lens.iter().sum();
+    let s_max = *lens.iter().max().expect("non-empty");
+    let q = Tensor::param(values(total * dm, seed), vec![total, dm]);
+    let k = Tensor::param(values(total * dm, seed ^ 0xA5), vec![total, dm]);
+    let v = Tensor::param(values(total * dm, seed ^ 0x5A), vec![total, dm]);
+    let scale = 1.0 / (dm as f32).sqrt();
+    let out = if fused {
+        fused_attention(
+            &q,
+            &k,
+            &v,
+            &FusedAttnSpec {
+                dm,
+                q_col: 0,
+                k_col: 0,
+                v_col: 0,
+                q_starts: &starts,
+                q_lens: lens,
+                k_starts: &starts,
+                k_lens: lens,
+                scale,
+                causal: true,
+            },
+        )
+    } else {
+        let causal = jagged_causal_mask(lens, s_max);
+        q.bmm_nt_jagged(&k, s_max, &starts, lens, &starts, lens)
+            .softmax_rows_scaled_masked(scale, Some(&causal))
+            .bmm_jagged(&v, &starts, lens, lens, &starts)
+    };
+    out.square().sum_all().backward();
+    (out.to_vec(), q.grad(), k.grad(), v.grad())
+}
+
+fn run_cross(q_lens: &[usize], k_lens: &[usize], dm: usize, seed: u64, fused: bool) -> Run {
+    let q_starts = starts_of(q_lens);
+    let k_starts = starts_of(k_lens);
+    let qt: usize = q_lens.iter().sum();
+    let kt: usize = k_lens.iter().sum();
+    let k_max = *k_lens.iter().max().expect("non-empty");
+    let q = Tensor::param(values(qt * dm, seed), vec![qt, dm]);
+    let k = Tensor::param(values(kt * dm, seed ^ 0x11), vec![kt, dm]);
+    let v = Tensor::param(values(kt * dm, seed ^ 0x22), vec![kt, dm]);
+    let scale = 1.0 / (dm as f32).sqrt();
+    let out = if fused {
+        fused_attention(
+            &q,
+            &k,
+            &v,
+            &FusedAttnSpec {
+                dm,
+                q_col: 0,
+                k_col: 0,
+                v_col: 0,
+                q_starts: &q_starts,
+                q_lens,
+                k_starts: &k_starts,
+                k_lens,
+                scale,
+                causal: false,
+            },
+        )
+    } else {
+        let mask = jagged_key_padding_mask(q_lens, k_lens, k_max);
+        q.bmm_nt_jagged(&k, k_max, &q_starts, q_lens, &k_starts, k_lens)
+            .softmax_rows_scaled_masked(scale, Some(&mask))
+            .bmm_jagged(&v, &q_starts, q_lens, k_lens, &k_starts)
+    };
+    out.square().sum_all().backward();
+    (out.to_vec(), q.grad(), k.grad(), v.grad())
+}
+
+fn assert_bitwise(f: &Run, c: &Run, what: &str) {
+    assert!(f.0 == c.0, "{what}: forward diverged");
+    assert!(f.1 == c.1, "{what}: dQ diverged");
+    assert!(f.2 == c.2, "{what}: dK diverged");
+    assert!(f.3 == c.3, "{what}: dV diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn causal_self_attention_bitwise_equals_composite(
+        lens in prop::collection::vec(1usize..8, 1..5),
+        dm in 1usize..14,
+        seed in 0u64..1000,
+    ) {
+        let f = run_causal(&lens, dm, seed, true);
+        let c = run_causal(&lens, dm, seed, false);
+        assert_bitwise(&f, &c, "causal");
+    }
+
+    #[test]
+    fn cross_attention_bitwise_equals_composite(
+        q_lens in prop::collection::vec(1usize..6, 1..5),
+        k_lens_seed in 0u64..500,
+        dm in 1usize..14,
+        seed in 0u64..1000,
+    ) {
+        // Independent key-block lengths, same item count as q_lens.
+        let k_lens: Vec<usize> = (0..q_lens.len())
+            .map(|i| 1 + ((k_lens_seed.wrapping_add(i as u64 * 7919) >> 3) % 9) as usize)
+            .collect();
+        let f = run_cross(&q_lens, &k_lens, dm, seed, true);
+        let c = run_cross(&q_lens, &k_lens, dm, seed, false);
+        assert_bitwise(&f, &c, "cross");
+    }
+
+    #[test]
+    fn packed_qkv_strides_match_dense_operands(
+        n in 1usize..9,
+        dm in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        // One packed [n, 3·dm] tensor addressed by column offsets must
+        // equal three dense per-operand tensors carrying the same values.
+        let data = values(n * 3 * dm, seed);
+        let packed = Tensor::param(data.clone(), vec![n, 3 * dm]);
+        let block = |c0: usize| {
+            let mut out = Vec::with_capacity(n * dm);
+            for r in 0..n {
+                out.extend_from_slice(&data[r * 3 * dm + c0..r * 3 * dm + c0 + dm]);
+            }
+            Tensor::param(out, vec![n, dm])
+        };
+        let (q, k, v) = (block(0), block(dm), block(2 * dm));
+        let (starts, lens) = ([0usize], [n]);
+        let spec = |qc: usize, kc: usize, vc: usize| FusedAttnSpec {
+            dm,
+            q_col: qc,
+            k_col: kc,
+            v_col: vc,
+            q_starts: &starts,
+            q_lens: &lens,
+            k_starts: &starts,
+            k_lens: &lens,
+            scale: 0.5,
+            causal: true,
+        };
+        let strided = fused_attention(&packed, &packed, &packed, &spec(0, dm, 2 * dm));
+        let dense = fused_attention(&q, &k, &v, &spec(0, 0, 0));
+        prop_assert!(strided.to_vec() == dense.to_vec());
+        strided.square().sum_all().backward();
+        dense.square().sum_all().backward();
+        let gp = packed.grad();
+        let (gq, gk, gv) = (q.grad(), k.grad(), v.grad());
+        for r in 0..n {
+            for c in 0..dm {
+                prop_assert_eq!(gp[r * 3 * dm + c], gq[r * dm + c]);
+                prop_assert_eq!(gp[r * 3 * dm + dm + c], gk[r * dm + c]);
+                prop_assert_eq!(gp[r * 3 * dm + 2 * dm + c], gv[r * dm + c]);
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_attention_gradients_agree_with_finite_differences() {
+    // Direct numeric check, independent of the composite comparison.
+    let (dm, lens) = (6usize, [3usize, 5, 2]);
+    let starts = starts_of(&lens);
+    let total: usize = lens.iter().sum();
+    let q = Tensor::param(
+        values(total * dm, 1).iter().map(|v| v * 0.4).collect(),
+        vec![total, dm],
+    );
+    let k = Tensor::param(
+        values(total * dm, 2).iter().map(|v| v * 0.4).collect(),
+        vec![total, dm],
+    );
+    let v = Tensor::param(
+        values(total * dm, 3).iter().map(|v| v * 0.4).collect(),
+        vec![total, dm],
+    );
+    let (qc, kc, vc) = (q.clone(), k.clone(), v.clone());
+    let report = grad_check(
+        &[q, k, v],
+        move || {
+            fused_attention(
+                &qc,
+                &kc,
+                &vc,
+                &FusedAttnSpec {
+                    dm,
+                    q_col: 0,
+                    k_col: 0,
+                    v_col: 0,
+                    q_starts: &starts,
+                    q_lens: &lens,
+                    k_starts: &starts,
+                    k_lens: &lens,
+                    scale: 0.4,
+                    causal: true,
+                },
+            )
+            .sum_all()
+        },
+        1e-2,
+    );
+    assert!(
+        report.max_rel_err < 5e-2 || report.max_abs_err < 5e-3,
+        "fused attention gradients disagree with finite differences: {report:?}"
+    );
+}
+
+#[test]
+fn affine_packed_input_gradient_agrees_with_finite_differences() {
+    // The one gradient affine_packed does NOT reproduce bitwise (dX sums
+    // over the packed width) still has to be numerically correct.
+    let (n, kin, m1, m2) = (5usize, 7usize, 4usize, 6usize);
+    let x = Tensor::param(
+        values(n * kin, 4).iter().map(|v| v * 0.3).collect(),
+        vec![n, kin],
+    );
+    let w1 = Tensor::param(
+        values(kin * m1, 5).iter().map(|v| v * 0.3).collect(),
+        vec![kin, m1],
+    );
+    let b1 = Tensor::param(values(m1, 6), vec![m1]);
+    let w2 = Tensor::param(
+        values(kin * m2, 7).iter().map(|v| v * 0.3).collect(),
+        vec![kin, m2],
+    );
+    let b2 = Tensor::param(values(m2, 8), vec![m2]);
+    let params = [x.clone(), w1.clone(), b1.clone(), w2.clone(), b2.clone()];
+    let report = grad_check(
+        &params,
+        move || x.affine_packed(&[(&w1, &b1), (&w2, &b2)]).sum_all(),
+        1e-2,
+    );
+    assert!(
+        report.max_rel_err < 5e-2 || report.max_abs_err < 5e-3,
+        "affine_packed gradients disagree with finite differences: {report:?}"
+    );
+}

@@ -86,6 +86,59 @@ proptest! {
     }
 
     #[test]
+    fn misaligned_views_match_reference(
+        off_a in 0usize..9,
+        off_b in 0usize..9,
+        n in 1usize..6,
+        k in 1usize..40,
+        m in 1usize..40,
+        seed in 0u64..500,
+    ) {
+        // Operand slices starting at arbitrary element offsets inside a
+        // larger buffer: the vector kernels must handle every 4-byte
+        // alignment (unaligned loads), not just 32-byte-aligned panels.
+        let abuf = values(off_a + n * k, seed);
+        let bbuf = values(off_b + k * m, seed ^ 0x77);
+        check_layout(GemmLayout::NN, &abuf[off_a..], &bbuf[off_b..], n, k, m);
+        let btbuf = values(off_b + m * k, seed ^ 0x99);
+        check_layout(GemmLayout::NT, &abuf[off_a..], &btbuf[off_b..], n, k, m);
+    }
+
+    #[test]
+    fn lane_remainder_shapes_bitwise_equal_serial_fma_chain(
+        n in 1usize..5,
+        k in 1usize..200,
+        mb in 0usize..5,
+        mr in 0usize..16,
+        seed in 0u64..500,
+    ) {
+        // The cross-tier bitwise contract: with k inside one cache chunk
+        // (k ≤ KC = 256), every output element is the serial FMA chain
+        // over p — on the scalar tier AND on the AVX2 tier, at every
+        // lane-remainder width m (16·mb + mr sweeps full 16-lane panels
+        // plus every tail width).
+        let m = (16 * mb + mr).max(1);
+        let a = values(n * k, seed);
+        let b = values(k * m, seed ^ 0x3F);
+        let mut c = vec![0.0f32; n * m];
+        gemm_ex(GemmLayout::NN, &a, &b, &mut c, n, k, m);
+        for i in 0..n {
+            for j in 0..m {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc = a[i * k + p].mul_add(b[p * m + j], acc);
+                }
+                prop_assert_eq!(
+                    c[i * m + j].to_bits(),
+                    acc.to_bits(),
+                    "element ({}, {}) of {}x{}x{} is not the serial FMA chain",
+                    i, j, n, k, m
+                );
+            }
+        }
+    }
+
+    #[test]
     fn gemm_accumulates_rather_than_overwrites(
         n in 1usize..8,
         k in 1usize..8,
