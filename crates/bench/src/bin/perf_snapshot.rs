@@ -9,14 +9,14 @@
 //! Compare two snapshots with the `perf_check` binary.
 //!
 //! ```text
-//! cargo run --release -p tspn-bench --bin perf_snapshot            # writes BENCH_7.json
+//! cargo run --release -p tspn-bench --bin perf_snapshot            # writes BENCH_8.json
 //! cargo run --release -p tspn-bench --bin perf_snapshot -- --check # quick run, no file
 //! cargo run --release -p tspn-bench --bin perf_snapshot -- --out results/bench.json
 //! ```
 //!
 //! The serving-layer metrics (`serve_p50_us`/`serve_p99_us`/`serve_qps`)
 //! are appended into the same snapshot file by the `serve_bench` binary
-//! (`--merge BENCH_7.json`), which drives a real `tspn-serve` socket loop.
+//! (`--merge BENCH_8.json`), which drives a real `tspn-serve` socket loop.
 
 use std::collections::HashSet;
 use std::time::Instant;
@@ -45,7 +45,7 @@ struct Metric {
     repeats: usize,
 }
 
-/// The whole snapshot, serialised to `BENCH_7.json`.
+/// The whole snapshot, serialised to `BENCH_8.json`.
 #[derive(Debug, Clone, Serialize)]
 struct Snapshot {
     /// Snapshot schema/PR generation marker.
@@ -81,10 +81,10 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_7.json".to_string());
+        .unwrap_or_else(|| "BENCH_8.json".to_string());
     let out_path = if std::path::Path::new(&out_arg).is_dir() {
         std::path::Path::new(&out_arg)
-            .join("BENCH_7.json")
+            .join("BENCH_8.json")
             .to_string_lossy()
             .into_owned()
     } else {
@@ -301,7 +301,7 @@ fn main() {
     record("evaluate_test_split", eval_secs, repeats.min(3));
 
     let snapshot = Snapshot {
-        generation: 7,
+        generation: 8,
         threads: parallel::num_threads(),
         kernel_tier: kernel_tier().to_string(),
         metrics,

@@ -16,7 +16,10 @@
 //! `serve_p99_us` / `serve_qps` (legacy) plus `serve_v1_p50_us` /
 //! `serve_v1_p99_us` / `serve_v1_qps` (payload). `--merge` appends those
 //! metrics into an existing `perf_snapshot` JSON so `perf_check` gates
-//! them alongside the training/evaluation timings.
+//! them alongside the training/evaluation timings, plus one
+//! `serve_lane<i>_*` group per batcher lane read from the v2 stats view
+//! (report-only against pre-lane baselines). `--lanes N` shards the
+//! self-hosted server into N user-partitioned batcher lanes.
 //!
 //! `--chaos` switches to the fault/overload harness instead of the load
 //! phases: a self-hosted run arms the chaos layer itself (25 ms flush
@@ -60,13 +63,14 @@ struct Args {
     days: usize,
     ckpt: Option<String>,
     session_ttl_ms: Option<u64>,
+    lanes: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve_bench [--addr HOST:PORT] [--connections N] [--requests N] [--smoke] \
          [--chaos] [--merge SNAPSHOT.json] [--preset P] [--scale F] [--days N] [--ckpt FILE] \
-         [--session-ttl-ms N]"
+         [--session-ttl-ms N] [--lanes N]"
     );
     std::process::exit(2);
 }
@@ -85,6 +89,7 @@ fn parse_args() -> Args {
         days: 12,
         ckpt: None,
         session_ttl_ms: None,
+        lanes: 1,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -107,6 +112,13 @@ fn parse_args() -> Args {
             "--ckpt" => args.ckpt = Some(value(&mut i)),
             "--session-ttl-ms" => {
                 args.session_ttl_ms = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
+            "--lanes" => {
+                args.lanes = value(&mut i)
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
             }
             _ => usage(),
         }
@@ -212,6 +224,7 @@ fn main() {
                     batch,
                     chaos,
                     session,
+                    lanes: args.lanes,
                     ..ServerConfig::default()
                 },
                 model_cfg.clone(),
@@ -294,18 +307,28 @@ fn main() {
     }
 
     if let Some(path) = &args.merge {
-        merge_metrics(
-            path,
-            &[
-                ("serve_p50_us", p50_us, "us"),
-                ("serve_p99_us", p99_us, "us"),
-                ("serve_qps", qps, "qps"),
-                ("serve_v1_p50_us", v1_p50_us, "us"),
-                ("serve_v1_p99_us", v1_p99_us, "us"),
-                ("serve_v1_qps", v1_qps, "qps"),
-                ("serve_shed_responses", (sheds + v1_sheds) as f64, "count"),
-            ],
-        );
+        let mut metrics: Vec<(String, f64, &str)> = vec![
+            ("serve_p50_us".into(), p50_us, "us"),
+            ("serve_p99_us".into(), p99_us, "us"),
+            ("serve_qps".into(), qps, "qps"),
+            ("serve_v1_p50_us".into(), v1_p50_us, "us"),
+            ("serve_v1_p99_us".into(), v1_p99_us, "us"),
+            ("serve_v1_qps".into(), v1_qps, "qps"),
+            (
+                "serve_shed_responses".into(),
+                (sheds + v1_sheds) as f64,
+                "count",
+            ),
+        ];
+        // Per-lane breakdown from the v2 stats view: shard imbalance
+        // shows up as `serve_lane<i>_served` skew long before it moves
+        // the aggregate percentiles.
+        metrics.extend(lane_metrics(&addr));
+        let borrowed: Vec<(&str, f64, &str)> = metrics
+            .iter()
+            .map(|(name, value, unit)| (name.as_str(), *value, *unit))
+            .collect();
+        merge_metrics(path, &borrowed);
         println!("serve_bench: merged serve metrics into {path}");
     }
 
@@ -362,16 +385,25 @@ fn smoke(
         "healthz must report supervisor restarts: {text}"
     );
 
-    // The stats endpoint carries the same ledger in structured form.
+    // The stats endpoint carries the same ledger in structured form —
+    // schema v2 since the lane split: build info at the top level, the
+    // fleet-wide counters under `aggregate`, and one entry per batcher
+    // lane under `lanes`.
     let (status, text) = client.get("/v1/stats").expect("smoke: stats I/O");
     assert_eq!(status, 200, "stats failed: {text}");
     let stats: Value = serde_json::from_str(&text).expect("stats JSON");
     assert_eq!(
-        stats.get("ready").and_then(Value::as_bool),
+        stats.get("schema_version").and_then(Value::as_usize),
+        Some(2),
+        "stats must declare schema v2: {text}"
+    );
+    let aggregate = stats.get("aggregate").expect("stats aggregate ledger");
+    assert_eq!(
+        aggregate.get("ready").and_then(Value::as_bool),
         Some(true),
         "stats must report readiness: {text}"
     );
-    let overload = stats.get("overload").expect("stats overload ledger");
+    let overload = aggregate.get("overload").expect("stats overload ledger");
     for field in [
         "queue_cap",
         "shed_queue_full",
@@ -385,7 +417,7 @@ fn smoke(
             "stats overload ledger missing {field}: {text}"
         );
     }
-    let chaos = stats.get("chaos").expect("stats chaos counters");
+    let chaos = aggregate.get("chaos").expect("stats chaos counters");
     for field in ["injected_panics", "corrupted_publishes"] {
         assert!(
             chaos.get(field).and_then(Value::as_usize).is_some(),
@@ -406,6 +438,50 @@ fn smoke(
     assert!(
         build.get("threads").and_then(Value::as_usize).unwrap_or(0) >= 1,
         "stats build info missing thread count: {text}"
+    );
+    // Every lane must be enumerated, in order, with its own ledger.
+    let lanes = stats
+        .get("lanes")
+        .and_then(Value::as_array)
+        .expect("stats lanes array");
+    assert!(
+        !lanes.is_empty(),
+        "stats must list at least one lane: {text}"
+    );
+    for (i, lane) in lanes.iter().enumerate() {
+        assert_eq!(
+            lane.get("lane").and_then(Value::as_usize),
+            Some(i),
+            "lane entries must be ordered by index: {text}"
+        );
+        assert!(
+            protocol::parse_lane_stats(lane).is_some(),
+            "lane entry {i} does not parse as LaneStats: {text}"
+        );
+    }
+
+    // `?flat=1` keeps the pre-lane schema for old dashboards: the same
+    // readiness/overload counters at the top level, no v2 envelope.
+    let (status, text) = client
+        .get("/v1/stats?flat=1")
+        .expect("smoke: flat stats I/O");
+    assert_eq!(status, 200, "flat stats failed: {text}");
+    let flat: Value = serde_json::from_str(&text).expect("flat stats JSON");
+    assert!(
+        flat.get("schema_version").is_none(),
+        "flat stats must keep the v1 shape: {text}"
+    );
+    assert_eq!(
+        flat.get("ready").and_then(Value::as_bool),
+        Some(true),
+        "flat stats must report readiness at the top level: {text}"
+    );
+    assert!(
+        flat.get("overload")
+            .and_then(|o| o.get("queue_cap"))
+            .and_then(Value::as_usize)
+            .is_some(),
+        "flat stats must keep the overload ledger at the top level: {text}"
     );
 
     // If a known-good checkpoint was provided, hot-swap it in and align
@@ -786,9 +862,26 @@ fn num_of(v: &Value, path: &[&str]) -> u64 {
 /// 4. **Recovery** — the queue drains, `/healthz` reports ready, and a
 ///    fresh prediction is bitwise-identical to the offline reference.
 fn chaos_phase(addr: &str, reference: &Predictor, samples: &[Sample]) -> ChaosReport {
-    let s = samples[0];
-    let body = predict_body(&s, 4, 10);
     let mut client = Client::connect(addr).expect("chaos: connect");
+
+    // Pin the driven sample to lane 0 of whatever the server reports via
+    // `/v1/topology`: CI faults exactly lane 0 (`TSPN_SERVE_FAULT_LANE=0`)
+    // and a self-hosted run faults every lane, so lane 0 is always a
+    // faulted lane and the storm is guaranteed to meet the injected
+    // panics rather than sailing past them on an unfaulted shard.
+    let lanes = client
+        .get("/v1/topology")
+        .ok()
+        .filter(|(status, _)| *status == 200)
+        .and_then(|(_, text)| serde_json::from_str::<Value>(&text).ok())
+        .and_then(|v| protocol::parse_topology(&v))
+        .map(|t| t.lanes.max(1))
+        .unwrap_or(1);
+    let s = *samples
+        .iter()
+        .find(|s| tspn_serve::shard::shard_of_user(s.user_index, lanes) == 0)
+        .unwrap_or(&samples[0]);
+    let body = predict_body(&s, 4, 10);
 
     // Stage 1: storm drain.
     let mut consecutive_ok = 0usize;
@@ -961,7 +1054,9 @@ fn chaos_phase(addr: &str, reference: &Predictor, samples: &[Sample]) -> ChaosRe
     // Stage 4: recovery.
     let recover_deadline = Instant::now() + Duration::from_secs(30);
     let stats = loop {
-        let (status, text) = client.get("/v1/stats").expect("chaos: stats I/O");
+        // The flat view aggregates every lane's queue/readiness, which is
+        // exactly the fleet-wide recovery question being asked here.
+        let (status, text) = client.get("/v1/stats?flat=1").expect("chaos: stats I/O");
         assert_eq!(status, 200);
         let stats: Value = serde_json::from_str(&text).expect("stats JSON");
         if stats.get("ready").and_then(Value::as_bool) == Some(true)
@@ -998,6 +1093,54 @@ fn chaos_phase(addr: &str, reference: &Predictor, samples: &[Sample]) -> ChaosRe
         restarts,
         injected_panics,
     }
+}
+
+/// Reads the server's v2 stats and renders one `serve_lane<i>_*` metric
+/// group per lane (served/batches/shed_total/restarts). Best-effort: an
+/// unreachable server or a pre-v2 body just yields no lane metrics.
+fn lane_metrics(addr: &str) -> Vec<(String, f64, &'static str)> {
+    let mut out = Vec::new();
+    let Ok(mut client) = Client::connect(addr) else {
+        return out;
+    };
+    let Ok((200, text)) = client.get("/v1/stats") else {
+        return out;
+    };
+    let Ok(v) = serde_json::from_str::<Value>(&text) else {
+        return out;
+    };
+    for lane in v
+        .get("lanes")
+        .and_then(Value::as_array)
+        .into_iter()
+        .flatten()
+    {
+        let Some(l) = protocol::parse_lane_stats(lane) else {
+            continue;
+        };
+        let shed_total = l.shed_queue_full + l.shed_expired + l.shed_not_ready;
+        out.push((
+            format!("serve_lane{}_served", l.lane),
+            l.served as f64,
+            "count",
+        ));
+        out.push((
+            format!("serve_lane{}_batches", l.lane),
+            l.batches as f64,
+            "count",
+        ));
+        out.push((
+            format!("serve_lane{}_shed_total", l.lane),
+            shed_total as f64,
+            "count",
+        ));
+        out.push((
+            format!("serve_lane{}_restarts", l.lane),
+            l.restarts as f64,
+            "count",
+        ));
+    }
+    out
 }
 
 /// Appends (or replaces) the serve metrics inside a `perf_snapshot` JSON.

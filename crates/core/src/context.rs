@@ -13,6 +13,10 @@ use tspn_world::World;
 use crate::config::{Partition, TspnConfig};
 
 /// Pre-computed spatial structures for one dataset.
+///
+/// `Clone` is deliberate: the serving layer builds one model replica per
+/// batcher lane, and each [`crate::Predictor`] owns its context by value.
+#[derive(Clone)]
 pub struct SpatialContext {
     /// The dataset.
     pub dataset: LbsnDataset,

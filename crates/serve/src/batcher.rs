@@ -173,9 +173,13 @@ struct Shared {
 struct State {
     waiting: VecDeque<Waiting>,
     open: bool,
-    /// Flush sequence number; lives here (not in the run loop) so batch
+    /// Next flush id to issue; lives here (not in the run loop) so batch
     /// ids stay monotonic across supervisor restarts.
     next_batch: u64,
+    /// Distance between consecutive batch ids. A multi-lane server gives
+    /// lane `l` of `L` the partition `first = l + 1, stride = L`, so
+    /// every batch id is unique across lanes without coordination.
+    batch_stride: u64,
 }
 
 /// Drops every queued entry whose deadline has passed, answering each
@@ -203,17 +207,29 @@ pub struct Batcher {
 }
 
 impl Batcher {
-    /// A new, open batcher.
+    /// A new, open batcher issuing batch ids `1, 2, 3, …`.
     pub fn new(cfg: BatchConfig) -> Self {
+        Batcher::with_ids(cfg, 1, 1)
+    }
+
+    /// A new, open batcher issuing batch ids from the stride-partitioned
+    /// sequence `first, first + stride, …` — see
+    /// [`crate::shard::IdPartition`]. Lanes of one server (and backends
+    /// of one fleet) get disjoint partitions so a batch id names one
+    /// flush globally.
+    pub fn with_ids(cfg: BatchConfig, first: u64, stride: u64) -> Self {
         assert!(cfg.max_batch >= 1, "max_batch must be positive");
         assert!(cfg.queue_cap >= 1, "queue_cap must be positive");
+        assert!(first >= 1, "batch ids start at 1");
+        assert!(stride >= 1, "batch id stride must be positive");
         Batcher {
             cfg,
             shared: Arc::new(Shared {
                 queue: Mutex::new(State {
                     waiting: VecDeque::new(),
                     open: true,
-                    next_batch: 0,
+                    next_batch: first,
+                    batch_stride: stride,
                 }),
                 nonempty: Condvar::new(),
                 space: Condvar::new(),
@@ -335,8 +351,9 @@ impl Batcher {
             };
             let batch_id = {
                 let mut state = self.shared.queue.lock().expect("batcher queue");
-                state.next_batch += 1;
-                state.next_batch
+                let id = state.next_batch;
+                state.next_batch += state.batch_stride;
+                id
             };
             let queries: Vec<Query> = pending.iter().map(|w| w.query.clone()).collect();
             let outcome =
@@ -723,5 +740,27 @@ mod tests {
             assert_eq!(answered.topk.pois, vec![PoiId(10 + i)]);
             assert_eq!(answered.batch, 2, "batch numbering survives the restart");
         }
+    }
+
+    #[test]
+    fn with_ids_issues_a_stride_partitioned_sequence() {
+        // Lane 1 of 3: ids 2, 5, 8, … — disjoint from every other lane.
+        let batcher = Batcher::with_ids(
+            BatchConfig {
+                max_batch: 1,
+                deadline: Duration::from_millis(0),
+                queue_cap: 64,
+            },
+            2,
+            3,
+        );
+        let rxs: Vec<_> = (0..3).map(|i| batcher.submit(query(i)).unwrap()).collect();
+        batcher.close();
+        assert_eq!(batcher.run_supervised(echo), LoopExit::Drained);
+        let ids: Vec<u64> = rxs
+            .into_iter()
+            .map(|rx| rx.recv().unwrap().answered().unwrap().batch)
+            .collect();
+        assert_eq!(ids, vec![2, 5, 8]);
     }
 }

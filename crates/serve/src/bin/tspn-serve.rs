@@ -5,8 +5,16 @@
 //!            [--checkpoint model.json] [--dump-checkpoint boot.json] \
 //!            [--max-batch 32] [--deadline-us 2000] [--top 10] \
 //!            [--session-ttl-ms 900000] [--max-sessions 4096] \
-//!            [--max-queue-depth 1024] [--request-timeout-ms 10000]
+//!            [--max-queue-depth 1024] [--request-timeout-ms 10000] \
+//!            [--lanes 2] [--shard-index 0 --shard-count 2]
+//! tspn-serve --port 7878 --route 127.0.0.1:7900,127.0.0.1:7901
 //! ```
+//!
+//! The second form is **router mode**: no model is built at all — the
+//! process is a thin shard-hash proxy over the listed backends (see
+//! [`tspn_serve::start_router`]). Backends of a routed fleet are started
+//! with matching `--shard-index i --shard-count n` so their session-id
+//! spaces tile and their `/v1/topology` answers say `"backend"`.
 //!
 //! The synthetic presets are deterministic, so the server regenerates the
 //! exact dataset a checkpoint was trained on from `(preset, scale, days)`.
@@ -28,6 +36,12 @@
 //! v1 session store resolves the same way: `--session-ttl-ms` /
 //! `--max-sessions`, then `TSPN_SERVE_SESSION_TTL_MS` /
 //! `TSPN_SERVE_MAX_SESSIONS`, then the 15-minute / 4096-session defaults.
+//!
+//! `--lanes` / `TSPN_SERVE_LANES` (default 1) splits the batcher into
+//! that many shard-partitioned lanes, each with its own model replica,
+//! admission queue, supervisor, and session-store partition;
+//! `TSPN_SERVE_IO_WORKERS` sizes the connection multiplexer's worker
+//! pool.
 //!
 //! Supervision and fault injection are environment-only:
 //! `TSPN_SERVE_BREAKER_{THRESHOLD,WINDOW_MS,COOLDOWN_MS}` tune the
@@ -61,6 +75,10 @@ struct Args {
     max_queue_depth: Option<usize>,
     request_timeout_ms: Option<u64>,
     top: usize,
+    lanes: Option<usize>,
+    shard_index: usize,
+    shard_count: usize,
+    route: Option<String>,
 }
 
 fn usage() -> ! {
@@ -68,7 +86,8 @@ fn usage() -> ! {
         "usage: tspn-serve [--port N] [--preset nyc|tky|california|florida] [--scale F] \
          [--days N] [--checkpoint FILE] [--dump-checkpoint FILE] [--max-batch N] \
          [--deadline-us N] [--session-ttl-ms N] [--max-sessions N] \
-         [--max-queue-depth N] [--request-timeout-ms N] [--top N]"
+         [--max-queue-depth N] [--request-timeout-ms N] [--top N] [--lanes N] \
+         [--shard-index N --shard-count N] [--route ADDR,ADDR,…]"
     );
     std::process::exit(2);
 }
@@ -89,6 +108,10 @@ fn parse_args() -> Args {
         max_queue_depth: None,
         request_timeout_ms: None,
         top: 10,
+        lanes: None,
+        shard_index: 0,
+        shard_count: 1,
+        route: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -123,6 +146,14 @@ fn parse_args() -> Args {
                 args.request_timeout_ms = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
             }
             "--top" => args.top = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--lanes" => args.lanes = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--shard-index" => {
+                args.shard_index = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--shard-count" => {
+                args.shard_count = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--route" => args.route = Some(value(&mut i)),
             _ => usage(),
         }
         i += 1;
@@ -162,8 +193,47 @@ fn install_signal_handlers() {
 #[cfg(not(unix))]
 fn install_signal_handlers() {}
 
+/// Router mode: no dataset, no model — just the shard-hash proxy.
+fn run_router(port: u16, route: &str) -> ! {
+    let backends: Vec<String> = route
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    install_signal_handlers();
+    let cfg = tspn_serve::RouterConfig {
+        addr: format!("127.0.0.1:{port}"),
+        backends: backends.clone(),
+        ..tspn_serve::RouterConfig::default()
+    };
+    let handle = match tspn_serve::start_router(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("tspn-serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "tspn-serve: router over {} backend(s): {}",
+        backends.len(),
+        backends.join(", ")
+    );
+    println!("tspn-serve: listening on {}", handle.local_addr());
+    while !SHUTDOWN.load(Ordering::Acquire) && !handle.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("tspn-serve: shutting down…");
+    handle.shutdown();
+    handle.join();
+    eprintln!("tspn-serve: clean shutdown");
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
+    if let Some(route) = &args.route {
+        run_router(args.port, route);
+    }
     let mut dcfg = preset_config(&args.preset, args.scale);
     if let Some(days) = args.days {
         dcfg.days = days;
@@ -252,6 +322,27 @@ fn main() {
     if chaos.is_active() {
         eprintln!("tspn-serve: CHAOS ACTIVE: {chaos:?}");
     }
+    let lanes = args
+        .lanes
+        .or_else(|| {
+            std::env::var("TSPN_SERVE_LANES")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .filter(|&n| n >= 1)
+        .unwrap_or(1);
+    if args.shard_index >= args.shard_count.max(1) {
+        eprintln!(
+            "tspn-serve: --shard-index {} out of range for --shard-count {}",
+            args.shard_index, args.shard_count
+        );
+        std::process::exit(2);
+    }
+    eprintln!(
+        "tspn-serve: {lanes} lane(s), shard {}/{}",
+        args.shard_index,
+        args.shard_count.max(1)
+    );
     let server_cfg = ServerConfig {
         addr: format!("127.0.0.1:{}", args.port),
         batch,
@@ -260,6 +351,10 @@ fn main() {
         request_timeout,
         breaker,
         chaos,
+        lanes,
+        shard_index: args.shard_index,
+        shard_count: args.shard_count.max(1),
+        io_workers: tspn_serve::MuxConfig::resolve_workers(|key| std::env::var(key).ok()),
         ..ServerConfig::default()
     };
 

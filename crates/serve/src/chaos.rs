@@ -35,6 +35,10 @@ pub struct ChaosConfig {
     /// validation passes. The batcher must refuse to apply it and keep
     /// serving its current parameters.
     pub corrupt_publish: bool,
+    /// Restrict flush faults to one batcher lane (`None` = every lane).
+    /// Lets a chaos drill kill a single lane and assert the other lanes
+    /// keep serving their shards untouched.
+    pub fault_lane: Option<usize>,
 }
 
 impl ChaosConfig {
@@ -42,9 +46,10 @@ impl ChaosConfig {
     /// `TSPN_SERVE_FAULT_FLUSH_PANIC_EVERY`,
     /// `TSPN_SERVE_FAULT_FLUSH_PANIC_BUDGET`,
     /// `TSPN_SERVE_FAULT_FLUSH_DELAY_MS`,
-    /// `TSPN_SERVE_FAULT_CORRUPT_PUBLISH` (`1`/`true`). Unparseable values
-    /// deactivate that knob — chaos must never be able to break a healthy
-    /// boot.
+    /// `TSPN_SERVE_FAULT_CORRUPT_PUBLISH` (`1`/`true`),
+    /// `TSPN_SERVE_FAULT_LANE` (a lane index; faults then arm on that
+    /// lane only). Unparseable values deactivate that knob — chaos must
+    /// never be able to break a healthy boot.
     pub fn resolve(env: impl Fn(&str) -> Option<String>) -> ChaosConfig {
         let num = |key: &str| {
             env(key)
@@ -64,12 +69,29 @@ impl ChaosConfig {
             flush_panic_budget: num("TSPN_SERVE_FAULT_FLUSH_PANIC_BUDGET"),
             flush_delay: num("TSPN_SERVE_FAULT_FLUSH_DELAY_MS").map(Duration::from_millis),
             corrupt_publish: truthy("TSPN_SERVE_FAULT_CORRUPT_PUBLISH"),
+            // Lane 0 is a valid target, so this knob has no ≥1 filter.
+            fault_lane: env("TSPN_SERVE_FAULT_LANE").and_then(|v| v.trim().parse().ok()),
         }
     }
 
     /// Whether any fault is armed.
     pub fn is_active(&self) -> bool {
         self.flush_panic_every.is_some() || self.flush_delay.is_some() || self.corrupt_publish
+    }
+
+    /// The config lane `lane` of a multi-lane server should arm: this one
+    /// when unscoped or scoped to `lane`, otherwise inert. Publish
+    /// corruption is process-wide (it happens before any lane sees the
+    /// checkpoint), so it always survives the scoping.
+    pub fn for_lane(&self, lane: usize) -> ChaosConfig {
+        if self.fault_lane.is_none_or(|l| l == lane) {
+            *self
+        } else {
+            ChaosConfig {
+                corrupt_publish: self.corrupt_publish,
+                ..ChaosConfig::default()
+            }
+        }
     }
 }
 
@@ -161,6 +183,7 @@ mod tests {
             "TSPN_SERVE_FAULT_FLUSH_PANIC_BUDGET" => Some("2".to_string()),
             "TSPN_SERVE_FAULT_FLUSH_DELAY_MS" => Some("15".to_string()),
             "TSPN_SERVE_FAULT_CORRUPT_PUBLISH" => Some("true".to_string()),
+            "TSPN_SERVE_FAULT_LANE" => Some("0".to_string()),
             _ => None,
         };
         let cfg = ChaosConfig::resolve(env);
@@ -168,7 +191,15 @@ mod tests {
         assert_eq!(cfg.flush_panic_budget, Some(2));
         assert_eq!(cfg.flush_delay, Some(Duration::from_millis(15)));
         assert!(cfg.corrupt_publish);
+        assert_eq!(cfg.fault_lane, Some(0), "lane 0 is a valid fault target");
         assert!(cfg.is_active());
+        // Scoped to lane 0: lane 0 arms everything, lane 1 keeps only the
+        // process-wide publish corruption.
+        assert_eq!(cfg.for_lane(0).flush_panic_every, Some(3));
+        let other = cfg.for_lane(1);
+        assert_eq!(other.flush_panic_every, None);
+        assert_eq!(other.flush_delay, None);
+        assert!(other.corrupt_publish);
 
         let bad = |k: &str| match k {
             "TSPN_SERVE_FAULT_FLUSH_PANIC_EVERY" => Some("0".to_string()),

@@ -1,8 +1,17 @@
-//! A minimal blocking HTTP/1.1 connection: enough of the protocol for the
-//! serving loop (request line, `Content-Length` bodies, keep-alive) and
-//! nothing more. The offline build has no tokio/hyper; a thread per
-//! connection over `std::net` is plenty for the loopback serving and
-//! load-generation this repository does.
+//! Minimal HTTP/1.1 framing: enough of the protocol for the serving loop
+//! (request line, `Content-Length` bodies, keep-alive) and nothing more.
+//! The offline build has no tokio/hyper.
+//!
+//! The core is a **pure incremental parser**: [`try_parse_request`] takes
+//! whatever bytes have arrived so far and either produces a complete
+//! [`Request`] (consuming exactly its bytes, preserving pipelined
+//! read-ahead), asks for more data, or reports a protocol violation with
+//! the status to reject with (`400`/`413`/`431`). Two I/O drivers share
+//! it: the blocking [`HttpConn`] (the client side of tests and the bench
+//! driver's stub loops) and the non-blocking state machine in
+//! [`crate::mux`], which multiplexes thousands of keep-alive connections
+//! over one `poll(2)` event loop. [`render_response`] is the matching
+//! serialiser, so both drivers emit byte-identical responses.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
@@ -72,7 +81,7 @@ impl From<std::io::Error> for ReadError {
 
 /// How long a *partially received* request may dribble in before the
 /// connection is dropped as dead.
-const PARTIAL_DEADLINE: Duration = Duration::from_secs(5);
+pub(crate) const PARTIAL_DEADLINE: Duration = Duration::from_secs(5);
 
 /// Hard cap on the request-line + headers block. Nothing in the protocol
 /// needs long headers; a peer that exceeds this gets `431` and the
@@ -108,14 +117,8 @@ impl HttpConn {
         let mut chunk = [0u8; 4096];
         let mut partial_since: Option<Instant> = None;
         loop {
-            if let Some(end) = find_header_end(&self.buf) {
-                return self.finish_request(end, max_body).map(ReadOutcome::Request);
-            }
-            if self.buf.len() > MAX_HEADER_BYTES {
-                return Err(ReadError::bad(
-                    431,
-                    format!("header block exceeds {MAX_HEADER_BYTES} bytes"),
-                ));
+            if let Some(req) = try_parse_request(&mut self.buf, max_body)? {
+                return Ok(ReadOutcome::Request(req));
             }
             match self.stream.read(&mut chunk) {
                 Ok(0) => {
@@ -136,7 +139,9 @@ impl HttpConn {
                     if self.buf.is_empty() {
                         return Ok(ReadOutcome::Idle);
                     }
-                    // A half-received request: keep waiting a bounded while.
+                    // A half-received request (headers or body) may only
+                    // dribble in a bounded while: a stalled transfer must
+                    // not pin this handler (and clean shutdown) forever.
                     let since = *partial_since.get_or_insert_with(Instant::now);
                     if since.elapsed() > PARTIAL_DEADLINE {
                         return Err(ReadError::Io(std::io::Error::new(
@@ -149,100 +154,6 @@ impl HttpConn {
                 Err(e) => return Err(ReadError::Io(e)),
             }
         }
-    }
-
-    /// Parses the buffered header block ending at `end` (exclusive of the
-    /// blank line) and reads the body to completion.
-    fn finish_request(&mut self, end: usize, max_body: usize) -> Result<Request, ReadError> {
-        let head = String::from_utf8_lossy(&self.buf[..end]).into_owned();
-        let mut lines = head.split("\r\n");
-        let request_line = lines.next().unwrap_or("");
-        let mut parts = request_line.split_whitespace();
-        let (method, path, version) = (
-            parts.next().unwrap_or("").to_ascii_uppercase(),
-            parts.next().unwrap_or("").to_string(),
-            parts.next().unwrap_or(""),
-        );
-        if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
-            return Err(ReadError::bad(
-                400,
-                format!("malformed request line {request_line:?}"),
-            ));
-        }
-        let mut content_length = 0usize;
-        // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
-        let mut keep_alive = version != "HTTP/1.0";
-        let mut deadline_ms = None;
-        for line in lines {
-            let Some((name, value)) = line.split_once(':') else {
-                continue;
-            };
-            let value = value.trim();
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .parse()
-                    .map_err(|_| ReadError::bad(400, "bad Content-Length"))?;
-            } else if name.eq_ignore_ascii_case("connection") {
-                keep_alive = !value.eq_ignore_ascii_case("close");
-            } else if name.eq_ignore_ascii_case("x-tspn-deadline-ms") {
-                // An unparseable deadline falls back to the server default
-                // rather than failing the request.
-                deadline_ms = value.parse::<u64>().ok().filter(|&ms| ms >= 1);
-            } else if name.eq_ignore_ascii_case("transfer-encoding")
-                && !value.eq_ignore_ascii_case("identity")
-            {
-                // Only Content-Length framing is implemented; silently
-                // treating a chunked body as empty would leave its
-                // framing bytes to desync the keep-alive stream.
-                return Err(ReadError::bad(
-                    400,
-                    format!("unsupported Transfer-Encoding {value:?}"),
-                ));
-            }
-        }
-        if content_length > max_body {
-            return Err(ReadError::bad(
-                413,
-                format!("body of {content_length} bytes exceeds the {max_body}-byte limit"),
-            ));
-        }
-        let body_start = end + 4;
-        // Like the header phase, a body may dribble in only for a bounded
-        // while: a stalled transfer must not pin this handler thread (and
-        // with it, clean shutdown) forever.
-        let body_since = Instant::now();
-        while self.buf.len() < body_start + content_length {
-            let mut chunk = [0u8; 4096];
-            match self.stream.read(&mut chunk) {
-                Ok(0) => {
-                    return Err(ReadError::Io(std::io::Error::new(
-                        ErrorKind::UnexpectedEof,
-                        "connection closed mid-body",
-                    )));
-                }
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
-                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                    if body_since.elapsed() > PARTIAL_DEADLINE {
-                        return Err(ReadError::Io(std::io::Error::new(
-                            ErrorKind::TimedOut,
-                            "request body stalled mid-transfer",
-                        )));
-                    }
-                }
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(e) => return Err(ReadError::Io(e)),
-            }
-        }
-        let body = self.buf[body_start..body_start + content_length].to_vec();
-        // Keep any pipelined bytes for the next request.
-        self.buf.drain(..body_start + content_length);
-        Ok(Request {
-            method,
-            path,
-            body,
-            keep_alive,
-            deadline_ms,
-        })
     }
 
     /// Writes a JSON response.
@@ -266,18 +177,8 @@ impl HttpConn {
         keep_alive: bool,
         retry_after: Option<u64>,
     ) -> std::io::Result<()> {
-        let reason = reason_phrase(status);
-        let connection = if keep_alive { "keep-alive" } else { "close" };
-        let retry = retry_after
-            .map(|secs| format!("Retry-After: {secs}\r\n"))
-            .unwrap_or_default();
-        let head = format!(
-            "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
-             Content-Length: {}\r\n{retry}Connection: {connection}\r\n\r\n",
-            body.len()
-        );
-        self.stream.write_all(head.as_bytes())?;
-        self.stream.write_all(body.as_bytes())?;
+        self.stream
+            .write_all(&render_response(status, body, keep_alive, retry_after))?;
         self.stream.flush()
     }
 
@@ -287,6 +188,127 @@ impl HttpConn {
         let body = crate::protocol::error_response(error_code(status), message);
         let _ = self.respond(status, &body, false);
     }
+}
+
+/// Tries to parse one complete request from the front of `buf`.
+///
+/// * `Ok(Some(req))` — a full request was buffered; exactly its bytes are
+///   drained from `buf`, so pipelined read-ahead survives for the next
+///   call.
+/// * `Ok(None)` — the bytes so far are a valid prefix; read more and call
+///   again. (The parser is stateless between calls: re-parsing the small
+///   header block on each arrival is far cheaper than a read syscall.)
+/// * `Err` — protocol violation; the framing can no longer be trusted, so
+///   the caller must reject-and-close. `431` once a terminator-free
+///   header block exceeds [`MAX_HEADER_BYTES`], `400` for a malformed
+///   request line / `Content-Length` / unsupported `Transfer-Encoding`,
+///   `413` the moment the headers *declare* a body above `max_body`
+///   (never buffering it).
+///
+/// # Errors
+/// [`ReadError::Bad`] as described above; never [`ReadError::Io`].
+pub fn try_parse_request(buf: &mut Vec<u8>, max_body: usize) -> Result<Option<Request>, ReadError> {
+    let Some(end) = find_header_end(buf) else {
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(ReadError::bad(
+                431,
+                format!("header block exceeds {MAX_HEADER_BYTES} bytes"),
+            ));
+        }
+        return Ok(None);
+    };
+    let head = String::from_utf8_lossy(&buf[..end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = (
+        parts.next().unwrap_or("").to_ascii_uppercase(),
+        parts.next().unwrap_or("").to_string(),
+        parts.next().unwrap_or(""),
+    );
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(ReadError::bad(
+            400,
+            format!("malformed request line {request_line:?}"),
+        ));
+    }
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
+    let mut deadline_ms = None;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| ReadError::bad(400, "bad Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("x-tspn-deadline-ms") {
+            // An unparseable deadline falls back to the server default
+            // rather than failing the request.
+            deadline_ms = value.parse::<u64>().ok().filter(|&ms| ms >= 1);
+        } else if name.eq_ignore_ascii_case("transfer-encoding")
+            && !value.eq_ignore_ascii_case("identity")
+        {
+            // Only Content-Length framing is implemented; silently
+            // treating a chunked body as empty would leave its
+            // framing bytes to desync the keep-alive stream.
+            return Err(ReadError::bad(
+                400,
+                format!("unsupported Transfer-Encoding {value:?}"),
+            ));
+        }
+    }
+    if content_length > max_body {
+        return Err(ReadError::bad(
+            413,
+            format!("body of {content_length} bytes exceeds the {max_body}-byte limit"),
+        ));
+    }
+    let body_start = end + 4;
+    if buf.len() < body_start + content_length {
+        return Ok(None);
+    }
+    let body = buf[body_start..body_start + content_length].to_vec();
+    // Keep any pipelined bytes for the next request.
+    buf.drain(..body_start + content_length);
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+        deadline_ms,
+    }))
+}
+
+/// Serialises one JSON response to wire bytes: status line,
+/// `Content-Type`/`Content-Length`, an optional `Retry-After` hint
+/// (seconds, attached to 429/503 sheds so well-behaved clients back off),
+/// and the `Connection` disposition. Shared by the blocking writer and
+/// the mux's buffered writer so both emit byte-identical responses.
+pub fn render_response(
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    retry_after: Option<u64>,
+) -> Vec<u8> {
+    let reason = reason_phrase(status);
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let retry = retry_after
+        .map(|secs| format!("Retry-After: {secs}\r\n"))
+        .unwrap_or_default();
+    let mut out = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n{retry}Connection: {connection}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
 }
 
 /// Index of the `\r\n\r\n` header terminator, if buffered.
@@ -313,7 +335,7 @@ fn reason_phrase(status: u16) -> &'static str {
 
 /// The typed-error `code` implied by a status (for connection-level
 /// rejections that never reach a route handler).
-fn error_code(status: u16) -> &'static str {
+pub(crate) fn error_code(status: u16) -> &'static str {
     match status {
         400 => "bad_request",
         404 => "not_found",
@@ -356,6 +378,83 @@ mod tests {
         assert_eq!(error_code(429), "overloaded");
         assert_eq!(error_code(431), "headers_too_large");
         assert_eq!(error_code(500), "internal");
+    }
+
+    #[test]
+    fn incremental_parser_accepts_byte_at_a_time_arrival() {
+        let wire = b"POST /v1/predict HTTP/1.1\r\nx-tspn-deadline-ms: 40\r\n\
+                     Content-Length: 4\r\n\r\nbody";
+        let mut buf = Vec::new();
+        for (i, &b) in wire.iter().enumerate() {
+            buf.push(b);
+            let parsed = try_parse_request(&mut buf, 4096).expect("valid prefix");
+            if i + 1 < wire.len() {
+                assert!(parsed.is_none(), "incomplete at byte {i}");
+            } else {
+                let req = parsed.expect("complete at the last byte");
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, "/v1/predict");
+                assert_eq!(req.body, b"body");
+                assert_eq!(req.deadline_ms, Some(40));
+                assert!(req.keep_alive);
+                assert!(buf.is_empty(), "exactly the request consumed");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_parser_preserves_pipelined_requests() {
+        let mut buf = b"GET /healthz HTTP/1.1\r\n\r\nGET /v1/stats HTTP/1.1\r\n\r\n".to_vec();
+        let first = try_parse_request(&mut buf, 4096)
+            .expect("parses")
+            .expect("complete");
+        assert_eq!(first.path, "/healthz");
+        let second = try_parse_request(&mut buf, 4096)
+            .expect("parses")
+            .expect("read-ahead survived");
+        assert_eq!(second.path, "/v1/stats");
+        assert!(buf.is_empty());
+        assert!(try_parse_request(&mut buf, 4096)
+            .expect("empty ok")
+            .is_none());
+    }
+
+    #[test]
+    fn incremental_parser_rejects_oversized_declarations_without_the_body() {
+        // 413 fires the moment the headers complete, body unseen.
+        let mut buf = b"POST /predict HTTP/1.1\r\nContent-Length: 999999\r\n\r\n".to_vec();
+        let err = try_parse_request(&mut buf, 4096).expect_err("must refuse");
+        let ReadError::Bad { status, .. } = err else {
+            panic!("expected Bad");
+        };
+        assert_eq!(status, 413);
+
+        // 431 fires as soon as a terminator-free header block exceeds the
+        // cap — no request line needed.
+        let mut buf = vec![b'a'; MAX_HEADER_BYTES + 1];
+        let err = try_parse_request(&mut buf, 4096).expect_err("must refuse");
+        let ReadError::Bad { status, .. } = err else {
+            panic!("expected Bad");
+        };
+        assert_eq!(status, 431);
+    }
+
+    #[test]
+    fn rendered_responses_carry_framing_and_retry_hints() {
+        let bytes = render_response(429, "{}", true, Some(1));
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+        let bytes = render_response(200, "{\"ok\":true}", false, None);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("Content-Length: 11\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(!text.contains("Retry-After"), "{text}");
     }
 
     // ----- socket-level behaviour -------------------------------------

@@ -26,18 +26,24 @@ pub mod batcher;
 pub mod chaos;
 pub mod client;
 pub mod http;
+pub mod mux;
 pub mod protocol;
+pub mod router;
 pub mod server;
 pub mod session;
+pub mod shard;
 pub mod snapshot;
 
 pub use batcher::{Answered, BatchConfig, Batcher, SubmitError, Verdict};
 pub use chaos::{Chaos, ChaosConfig};
-pub use client::Client;
-pub use protocol::ApiError;
+pub use client::{Client, FleetClient, Response, RetryPolicy};
+pub use mux::MuxConfig;
+pub use protocol::{ApiError, LaneStats, StatsSnapshot, Topology};
+pub use router::{start_router, RouterConfig, RouterHandle};
 pub use server::{
     default_model_config, preset_dataset_config, start, BreakerConfig, ServeStats, ServerConfig,
     ServerHandle, MAX_DEADLINE_MS,
 };
 pub use session::{SessionConfig, SessionError, SessionInfo, SessionStats, SessionStore};
+pub use shard::SHARD_FN_ID;
 pub use snapshot::{PublishedCheckpoint, SnapshotHandle, BOOT_VERSION};

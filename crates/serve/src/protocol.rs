@@ -584,29 +584,26 @@ pub fn health_response(s: &StatsSnapshot) -> String {
     )
 }
 
-/// Renders the full `GET /v1/stats` answer: per-endpoint served counts,
-/// the session-store lifecycle breakdown, the overload/shedding ledger,
-/// a `build` block identifying the compute-kernel tier this process
-/// dispatched to (`avx2-fma` or `scalar` — the first thing to check when
-/// two replicas disagree on latency), and (always, zeros when inert) the
-/// fault-injection counters.
-pub fn stats_response(s: &StatsSnapshot) -> String {
+/// The leading members of a stats object (shared by the flat renderer
+/// and the v2 `aggregate` block): versions, queue, readiness.
+fn stats_head(s: &StatsSnapshot) -> String {
     format!(
-        "{{\"snapshot\":{},\"published\":{},\"batches\":{},\"queue\":{},\"ready\":{},\
-         \"build\":{{\"kernel_tier\":\"{}\",\"threads\":{}}},\
-         \"served\":{{\"total\":{},\"legacy_predict\":{},\"v1_predict\":{},\"session_predict\":{}}},\
+        "\"snapshot\":{},\"published\":{},\"batches\":{},\"queue\":{},\"ready\":{}",
+        s.snapshot, s.published, s.batches, s.queue, s.ready,
+    )
+}
+
+/// The trailing members of a stats object: per-endpoint served counts,
+/// session lifecycle, the overload/shedding ledger, and (always, zeros
+/// when inert) the fault-injection counters.
+fn stats_tail(s: &StatsSnapshot) -> String {
+    format!(
+        "\"served\":{{\"total\":{},\"legacy_predict\":{},\"v1_predict\":{},\"session_predict\":{}}},\
          \"sessions\":{{\"live\":{},\"created\":{},\"appends\":{},\"expired\":{},\"evicted\":{},\
          \"ttl_ms\":{},\"capacity\":{}}},\
          \"overload\":{{\"queue_cap\":{},\"shed_queue_full\":{},\"shed_expired\":{},\
          \"shed_not_ready\":{},\"restarts\":{},\"request_timeout_ms\":{}}},\
-         \"chaos\":{{\"injected_panics\":{},\"corrupted_publishes\":{}}}}}",
-        s.snapshot,
-        s.published,
-        s.batches,
-        s.queue,
-        s.ready,
-        tspn_tensor::kernel_tier(),
-        tspn_tensor::parallel::num_threads(),
+         \"chaos\":{{\"injected_panics\":{},\"corrupted_publishes\":{}}}",
         s.served,
         s.served_legacy,
         s.served_v1,
@@ -627,6 +624,257 @@ pub fn stats_response(s: &StatsSnapshot) -> String {
         s.chaos_injected_panics,
         s.chaos_corrupted_publishes,
     )
+}
+
+/// The `build` block identifying the compute-kernel tier this process
+/// dispatched to (`avx2-fma` or `scalar` — the first thing to check when
+/// two replicas disagree on latency) and its thread count.
+fn build_block() -> String {
+    format!(
+        "\"build\":{{\"kernel_tier\":\"{}\",\"threads\":{}}}",
+        tspn_tensor::kernel_tier(),
+        tspn_tensor::parallel::num_threads(),
+    )
+}
+
+/// Renders the **schema v1** (flat) `GET /v1/stats` answer — served
+/// verbatim for `GET /v1/stats?flat=1` so pre-lane dashboards keep
+/// working against a lane-partitioned server.
+pub fn stats_response(s: &StatsSnapshot) -> String {
+    format!("{{{},{},{}}}", stats_head(s), build_block(), stats_tail(s))
+}
+
+/// Per-lane counters for the stats v2 `lanes` array: each lane is an
+/// independent admission queue + supervised batcher + session-store
+/// partition, so shedding, restarts, and breaker state are per-lane
+/// facts the aggregate view averages away.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LaneStats {
+    /// Lane index (`0..lanes`).
+    pub lane: usize,
+    /// Parameter version this lane's batcher is serving.
+    pub snapshot: u64,
+    /// Whether this lane accepts predictions (its breaker is closed).
+    pub ready: bool,
+    /// Queries currently queued in this lane.
+    pub queue_depth: usize,
+    /// This lane's admission-queue capacity.
+    pub queue_cap: usize,
+    /// Successful predictions answered by this lane.
+    pub served: u64,
+    /// Batches this lane has flushed.
+    pub batches: u64,
+    /// 429 sheds: lane queue full.
+    pub shed_queue_full: u64,
+    /// 503 sheds: deadline spent in this lane's queue.
+    pub shed_expired: u64,
+    /// 503 sheds: this lane's breaker open.
+    pub shed_not_ready: u64,
+    /// Supervisor restarts of this lane's batcher.
+    pub restarts: u64,
+    /// Live sessions pinned to this lane.
+    pub sessions_live: usize,
+    /// Injected flush panics scoped to this lane.
+    pub injected_panics: u64,
+}
+
+/// Renders one entry of the stats v2 `lanes` array.
+fn lane_block(l: &LaneStats) -> String {
+    format!(
+        "{{\"lane\":{},\"snapshot\":{},\"ready\":{},\"queue_depth\":{},\"queue_cap\":{},\
+         \"served\":{},\"batches\":{},\
+         \"shed\":{{\"queue_full\":{},\"expired\":{},\"not_ready\":{}}},\
+         \"restarts\":{},\"sessions\":{},\"injected_panics\":{}}}",
+        l.lane,
+        l.snapshot,
+        l.ready,
+        l.queue_depth,
+        l.queue_cap,
+        l.served,
+        l.batches,
+        l.shed_queue_full,
+        l.shed_expired,
+        l.shed_not_ready,
+        l.restarts,
+        l.sessions_live,
+        l.injected_panics,
+    )
+}
+
+/// Renders the **schema v2** `GET /v1/stats` answer:
+/// `{"schema_version":2,"build":{…},"aggregate":{…},"lanes":[…]}`. The
+/// `aggregate` object carries exactly the flat schema's counters (minus
+/// the `build` block, which is process-wide and lives at the top level),
+/// summed across lanes; `lanes` breaks the same ledger down per lane.
+pub fn stats_response_v2(s: &StatsSnapshot, lanes: &[LaneStats]) -> String {
+    let lanes_json: Vec<String> = lanes.iter().map(lane_block).collect();
+    format!(
+        "{{\"schema_version\":2,{},\"aggregate\":{{{},{}}},\"lanes\":[{}]}}",
+        build_block(),
+        stats_head(s),
+        stats_tail(s),
+        lanes_json.join(","),
+    )
+}
+
+/// Renders the `GET /v1/topology` answer: how this process participates
+/// in the fleet. `mode` is `"single"` (standalone), `"backend"` (one
+/// shard of a routed fleet), or `"router"`; `shard_fn` names the hash
+/// every participant must share ([`crate::shard::SHARD_FN_ID`]);
+/// `backends` lists the fleet's backend addresses (empty for a
+/// standalone server, so a shard-aware client knows to talk to this
+/// process directly).
+pub fn topology_response(
+    mode: &str,
+    lanes: usize,
+    shard_fn: &str,
+    shard_index: usize,
+    shard_count: usize,
+    backends: &[String],
+) -> String {
+    let addrs: Vec<String> = backends
+        .iter()
+        .map(|a| serde_json::to_string(&a.to_string()).unwrap_or_else(|_| "\"\"".to_string()))
+        .collect();
+    format!(
+        "{{\"mode\":\"{mode}\",\"lanes\":{lanes},\"shard_fn\":\"{shard_fn}\",\
+         \"shard_index\":{shard_index},\"shard_count\":{shard_count},\"backends\":[{}]}}",
+        addrs.join(","),
+    )
+}
+
+/// A fleet participant's shape, as told by `GET /v1/topology`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// `"single"`, `"backend"`, or `"router"`.
+    pub mode: String,
+    /// Batcher lanes in this process (fleet total when asked of a router).
+    pub lanes: usize,
+    /// Shard-function identifier every participant must share.
+    pub shard_fn: String,
+    /// This process's shard index (0 for single/router).
+    pub shard_index: usize,
+    /// Fleet size (1 for single).
+    pub shard_count: usize,
+    /// Backend addresses (empty unless asked of a router).
+    pub backends: Vec<String>,
+}
+
+/// Parses a `GET /v1/topology` answer. `None` when the body is not a
+/// topology object (callers treat that as "pre-topology server").
+pub fn parse_topology(v: &Value) -> Option<Topology> {
+    Some(Topology {
+        mode: v.get("mode")?.as_str()?.to_string(),
+        lanes: v.get("lanes")?.as_usize()?,
+        shard_fn: v.get("shard_fn")?.as_str()?.to_string(),
+        shard_index: v.get("shard_index")?.as_usize()?,
+        shard_count: v.get("shard_count")?.as_usize()?,
+        backends: v
+            .get("backends")?
+            .as_array()?
+            .iter()
+            .map(|a| a.as_str().map(str::to_string))
+            .collect::<Option<Vec<String>>>()?,
+    })
+}
+
+/// Parses a flat stats object — a `?flat=1` answer or the `aggregate`
+/// block of a v2 answer (same shape) — back into a [`StatsSnapshot`].
+/// The router uses this to merge backend ledgers into one fleet view.
+pub fn parse_stats(v: &Value) -> Option<StatsSnapshot> {
+    let num = |path: &[&str]| -> Option<u64> {
+        let mut cur = v;
+        for key in path {
+            cur = cur.get(key)?;
+        }
+        cur.as_usize().map(|n| n as u64)
+    };
+    Some(StatsSnapshot {
+        snapshot: num(&["snapshot"])?,
+        published: num(&["published"])?,
+        served: num(&["served", "total"])?,
+        served_legacy: num(&["served", "legacy_predict"])?,
+        served_v1: num(&["served", "v1_predict"])?,
+        served_session: num(&["served", "session_predict"])?,
+        batches: num(&["batches"])?,
+        queue: num(&["queue"])? as usize,
+        sessions_live: num(&["sessions", "live"])? as usize,
+        sessions_created: num(&["sessions", "created"])?,
+        session_appends: num(&["sessions", "appends"])?,
+        sessions_expired: num(&["sessions", "expired"])?,
+        sessions_evicted: num(&["sessions", "evicted"])?,
+        session_ttl_ms: num(&["sessions", "ttl_ms"])?,
+        session_capacity: num(&["sessions", "capacity"])? as usize,
+        ready: v.get("ready")?.as_bool()?,
+        queue_cap: num(&["overload", "queue_cap"])? as usize,
+        shed_queue_full: num(&["overload", "shed_queue_full"])?,
+        shed_expired: num(&["overload", "shed_expired"])?,
+        shed_not_ready: num(&["overload", "shed_not_ready"])?,
+        batcher_restarts: num(&["overload", "restarts"])?,
+        request_timeout_ms: num(&["overload", "request_timeout_ms"])?,
+        chaos_injected_panics: num(&["chaos", "injected_panics"])?,
+        chaos_corrupted_publishes: num(&["chaos", "corrupted_publishes"])?,
+    })
+}
+
+/// Parses one entry of a v2 `lanes` array back into [`LaneStats`] (the
+/// router re-numbers and re-renders backend lanes into its fleet view).
+pub fn parse_lane_stats(v: &Value) -> Option<LaneStats> {
+    let num = |path: &[&str]| -> Option<u64> {
+        let mut cur = v;
+        for key in path {
+            cur = cur.get(key)?;
+        }
+        cur.as_usize().map(|n| n as u64)
+    };
+    Some(LaneStats {
+        lane: num(&["lane"])? as usize,
+        snapshot: num(&["snapshot"])?,
+        ready: v.get("ready")?.as_bool()?,
+        queue_depth: num(&["queue_depth"])? as usize,
+        queue_cap: num(&["queue_cap"])? as usize,
+        served: num(&["served"])?,
+        batches: num(&["batches"])?,
+        shed_queue_full: num(&["shed", "queue_full"])?,
+        shed_expired: num(&["shed", "expired"])?,
+        shed_not_ready: num(&["shed", "not_ready"])?,
+        restarts: num(&["restarts"])?,
+        sessions_live: num(&["sessions"])? as usize,
+        injected_panics: num(&["injected_panics"])?,
+    })
+}
+
+/// Sums two stats ledgers into a fleet aggregate: counters add, `ready`
+/// ANDs (the fleet is ready only when every member is), versions take the
+/// newest, and configuration values (`ttl_ms`, `capacity`, `queue_cap`,
+/// `request_timeout_ms`) keep `a`'s — a fleet is deployed homogeneous.
+pub fn merge_stats(a: &StatsSnapshot, b: &StatsSnapshot) -> StatsSnapshot {
+    StatsSnapshot {
+        snapshot: a.snapshot.max(b.snapshot),
+        published: a.published.max(b.published),
+        served: a.served + b.served,
+        served_legacy: a.served_legacy + b.served_legacy,
+        served_v1: a.served_v1 + b.served_v1,
+        served_session: a.served_session + b.served_session,
+        batches: a.batches + b.batches,
+        queue: a.queue + b.queue,
+        sessions_live: a.sessions_live + b.sessions_live,
+        sessions_created: a.sessions_created + b.sessions_created,
+        session_appends: a.session_appends + b.session_appends,
+        sessions_expired: a.sessions_expired + b.sessions_expired,
+        sessions_evicted: a.sessions_evicted + b.sessions_evicted,
+        session_ttl_ms: a.session_ttl_ms,
+        session_capacity: a.session_capacity,
+        ready: a.ready && b.ready,
+        queue_cap: a.queue_cap,
+        shed_queue_full: a.shed_queue_full + b.shed_queue_full,
+        shed_expired: a.shed_expired + b.shed_expired,
+        shed_not_ready: a.shed_not_ready + b.shed_not_ready,
+        batcher_restarts: a.batcher_restarts + b.batcher_restarts,
+        request_timeout_ms: a.request_timeout_ms,
+        chaos_injected_panics: a.chaos_injected_panics + b.chaos_injected_panics,
+        chaos_corrupted_publishes: a.chaos_corrupted_publishes + b.chaos_corrupted_publishes,
+    }
 }
 
 #[cfg(test)]
@@ -839,6 +1087,92 @@ mod tests {
         );
         assert!(build.get("threads").and_then(Value::as_usize).unwrap() >= 1);
 
+        // Stats v2: top-level schema_version/build, the flat counters
+        // under `aggregate`, and a per-lane breakdown.
+        let lanes = [
+            LaneStats {
+                lane: 0,
+                snapshot: 1,
+                ready: true,
+                queue_depth: 0,
+                queue_cap: 64,
+                served: 6,
+                batches: 2,
+                shed_queue_full: 6,
+                shed_expired: 4,
+                shed_not_ready: 2,
+                restarts: 1,
+                sessions_live: 2,
+                injected_panics: 0,
+            },
+            LaneStats {
+                lane: 1,
+                snapshot: 1,
+                ready: false,
+                queue_cap: 64,
+                served: 4,
+                batches: 1,
+                ..LaneStats::default()
+            },
+        ];
+        let v2: Value = serde_json::from_str(&stats_response_v2(&stats, &lanes)).unwrap();
+        assert_eq!(v2.get("schema_version").and_then(Value::as_usize), Some(2));
+        assert!(v2.get("build").and_then(|b| b.get("kernel_tier")).is_some());
+        let agg = v2.get("aggregate").expect("aggregate object");
+        assert_eq!(
+            agg.get("served")
+                .and_then(|s| s.get("total"))
+                .and_then(Value::as_usize),
+            Some(10)
+        );
+        assert_eq!(
+            agg.get("overload")
+                .and_then(|o| o.get("shed_queue_full"))
+                .and_then(Value::as_usize),
+            Some(6)
+        );
+        assert!(agg.get("build").is_none(), "build is top-level in v2");
+        let lanes_arr = v2.get("lanes").and_then(Value::as_array).expect("lanes");
+        assert_eq!(lanes_arr.len(), 2);
+        assert_eq!(lanes_arr[0].get("lane").and_then(Value::as_usize), Some(0));
+        assert_eq!(
+            lanes_arr[0]
+                .get("shed")
+                .and_then(|s| s.get("queue_full"))
+                .and_then(Value::as_usize),
+            Some(6)
+        );
+        assert_eq!(
+            lanes_arr[1].get("ready").and_then(Value::as_bool),
+            Some(false)
+        );
+        assert_eq!(
+            lanes_arr[1].get("served").and_then(Value::as_usize),
+            Some(4)
+        );
+
+        // Topology introspection parses and escapes addresses.
+        let topo: Value = serde_json::from_str(&topology_response(
+            "backend",
+            2,
+            "fnv1a64",
+            1,
+            2,
+            &["127.0.0.1:7878".to_string(), "127.0.0.1:7879".to_string()],
+        ))
+        .unwrap();
+        assert_eq!(topo.get("mode").and_then(Value::as_str), Some("backend"));
+        assert_eq!(topo.get("lanes").and_then(Value::as_usize), Some(2));
+        assert_eq!(
+            topo.get("shard_fn").and_then(Value::as_str),
+            Some("fnv1a64")
+        );
+        assert_eq!(topo.get("shard_index").and_then(Value::as_usize), Some(1));
+        assert_eq!(topo.get("shard_count").and_then(Value::as_usize), Some(2));
+        let backends = topo.get("backends").and_then(Value::as_array).unwrap();
+        assert_eq!(backends.len(), 2);
+        assert_eq!(backends[0].as_str(), Some("127.0.0.1:7878"));
+
         let session: Value = serde_json::from_str(&session_created_response(3, 8, 0, 900)).unwrap();
         assert_eq!(session.get("session").and_then(Value::as_str), Some("s3"));
 
@@ -853,5 +1187,86 @@ mod tests {
             error_of(&parsed).unwrap().1,
             "no route GET /\u{7f}\n".to_string()
         );
+    }
+
+    #[test]
+    fn stats_and_topology_roundtrip_through_their_parsers() {
+        let s = StatsSnapshot {
+            snapshot: 3,
+            published: 4,
+            served: 10,
+            served_legacy: 5,
+            served_v1: 3,
+            served_session: 2,
+            batches: 7,
+            queue: 1,
+            sessions_live: 2,
+            sessions_created: 6,
+            session_appends: 9,
+            sessions_expired: 1,
+            sessions_evicted: 1,
+            session_ttl_ms: 900_000,
+            session_capacity: 4096,
+            ready: true,
+            queue_cap: 1024,
+            shed_queue_full: 11,
+            shed_expired: 12,
+            shed_not_ready: 13,
+            batcher_restarts: 2,
+            request_timeout_ms: 10_000,
+            chaos_injected_panics: 1,
+            chaos_corrupted_publishes: 0,
+        };
+        // Flat rendering -> parse_stats is the identity.
+        let flat: Value = serde_json::from_str(&stats_response(&s)).unwrap();
+        let back = parse_stats(&flat).expect("flat stats parse");
+        assert_eq!(format!("{back:?}"), format!("{s:?}"));
+        // The v2 aggregate block parses with the same parser.
+        let lane = LaneStats {
+            lane: 1,
+            snapshot: 3,
+            ready: false,
+            queue_depth: 2,
+            queue_cap: 8,
+            served: 5,
+            batches: 4,
+            shed_queue_full: 1,
+            shed_expired: 0,
+            shed_not_ready: 3,
+            restarts: 2,
+            sessions_live: 1,
+            injected_panics: 2,
+        };
+        let v2: Value = serde_json::from_str(&stats_response_v2(&s, &[lane])).unwrap();
+        let agg = parse_stats(v2.get("aggregate").unwrap()).expect("aggregate parse");
+        assert_eq!(format!("{agg:?}"), format!("{s:?}"));
+        let lanes = v2.get("lanes").and_then(Value::as_array).unwrap();
+        let lane_back = parse_lane_stats(&lanes[0]).expect("lane parse");
+        assert_eq!(format!("{lane_back:?}"), format!("{lane:?}"));
+
+        // Merging sums counters, ANDs readiness, keeps config from `a`.
+        let merged = merge_stats(&s, &back);
+        assert_eq!(merged.served, 20);
+        assert_eq!(merged.shed_not_ready, 26);
+        assert_eq!(merged.queue_cap, 1024);
+        assert!(merged.ready);
+        let mut not_ready = s;
+        not_ready.ready = false;
+        assert!(!merge_stats(&s, &not_ready).ready);
+
+        // Topology answers round-trip too.
+        let rendered = topology_response(
+            "router",
+            4,
+            "fnv1a64",
+            0,
+            2,
+            &["127.0.0.1:1".to_string(), "127.0.0.1:2".to_string()],
+        );
+        let topo = parse_topology(&serde_json::from_str(&rendered).unwrap()).expect("topology");
+        assert_eq!(topo.mode, "router");
+        assert_eq!(topo.lanes, 4);
+        assert_eq!(topo.shard_count, 2);
+        assert_eq!(topo.backends, vec!["127.0.0.1:1", "127.0.0.1:2"]);
     }
 }

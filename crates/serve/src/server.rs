@@ -1,30 +1,40 @@
-//! The long-lived serving process: accept loop, per-connection handler
-//! threads, the batcher thread that owns the model, and the admin
-//! endpoints (checkpoint hot-swap, health, shutdown).
+//! The long-lived serving process: an event-driven connection
+//! multiplexer ([`crate::mux`]) in front of N user-sharded **batcher
+//! lanes**, plus the admin endpoints (checkpoint hot-swap, health,
+//! shutdown).
 //!
 //! ## Thread layout
 //!
-//! * **accept loop** — non-blocking `TcpListener` polled every few
-//!   milliseconds so shutdown is prompt; one handler thread per
-//!   connection (keep-alive, so a connection is a session, not a
-//!   request).
-//! * **handler threads** — parse requests, validate them against the
-//!   dataset dimensions, enqueue [`tspn_core::Query`]s on the
-//!   [`Batcher`] and block on their answer channel.
-//! * **batcher thread** — owns the [`Predictor`] (the autodiff tape is
-//!   `Rc`-based, so the model cannot migrate threads; it is *built* on
-//!   this thread). Each flush first applies any newer published
-//!   checkpoint, then answers the whole batch under that one snapshot —
-//!   reloads can never mix parameters within a batch.
+//! * **mux thread** — owns every client socket behind one `poll` loop;
+//!   connections are poll entries, not threads. Complete requests are
+//!   handed to a bounded worker pool whose handlers parse, validate, and
+//!   block on their lane's answer channel.
+//! * **lane threads** (one per lane) — each owns a full [`Predictor`]
+//!   replica (the autodiff tape is `Rc`-based, so a model cannot migrate
+//!   threads; it is *built* on its lane thread). Each flush first applies
+//!   any newer published checkpoint, then answers the whole batch under
+//!   that one snapshot — reloads can never mix parameters within a batch.
+//!
+//! ## Lanes and sharding
+//!
+//! Work is partitioned by user with the fleet-wide hash
+//! ([`crate::shard`]): session traffic and legacy index-addressed
+//! requests shard on the user index, ad-hoc `/v1/predict` payloads on
+//! request content. Every lane is an independent failure domain — its own
+//! bounded admission queue, supervisor, circuit breaker, chaos scope, and
+//! session-store partition (a user's session state never crosses lanes).
+//! Session ids are stride-partitioned (`first = shard + lane·shards + 1`,
+//! `stride = shards·lanes`) so an id names its owning backend *and* lane,
+//! and lanes never issue colliding ids.
 //!
 //! Model parameters hot-swap via [`SnapshotHandle`]: `/admin/reload`
-//! validates on the handler thread and publishes; the batcher applies at
-//! the next flush boundary without blocking in-flight work.
+//! validates on a worker thread and publishes once; every lane applies at
+//! its next flush boundary without blocking in-flight work.
 
 use std::collections::VecDeque;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::sync::{mpsc, Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -34,14 +44,17 @@ use tspn_tensor::serialize::Checkpoint;
 
 use crate::batcher::{BatchConfig, Batcher, LoopExit, SubmitError, Verdict};
 use crate::chaos::{Chaos, ChaosConfig};
-use crate::http::{HttpConn, ReadError, ReadOutcome, Request};
-use crate::protocol::{self, ApiError};
+use crate::http::Request;
+use crate::mux::{self, MuxConfig, MuxResponse};
+use crate::protocol::{self, ApiError, LaneStats};
 use crate::session::{SessionConfig, SessionError, SessionStore};
+use crate::shard::{self, IdPartition, SHARD_FN_ID};
 use crate::snapshot::{validate_shapes, SnapshotHandle};
 
-/// Circuit-breaker policy for the batcher supervisor: `threshold` panics
-/// within `window` flip the server not-ready; it recovers `cooldown`
-/// after the trip.
+/// Circuit-breaker policy for a lane's batcher supervisor: `threshold`
+/// panics within `window` flip that lane not-ready; it recovers
+/// `cooldown` after the trip. Each lane trips independently — one broken
+/// lane sheds only its own shard of users.
 #[derive(Debug, Clone, Copy)]
 pub struct BreakerConfig {
     /// Panics within the window that open the breaker.
@@ -93,15 +106,18 @@ impl BreakerConfig {
 pub struct ServerConfig {
     /// Bind address, e.g. `"127.0.0.1:7878"` (`:0` picks a free port).
     pub addr: String,
-    /// Micro-batching knobs (including the admission-queue depth).
+    /// Micro-batching knobs, applied **per lane** (each lane runs its own
+    /// admission queue of `queue_cap`).
     pub batch: BatchConfig,
-    /// Session-store knobs (TTL, capacity).
+    /// Session-store knobs, applied **per lane** (capacity is per
+    /// partition).
     pub session: SessionConfig,
-    /// Per-connection read timeout: the idle-poll granularity for
-    /// shutdown checks on keep-alive connections.
+    /// Retained knob from the thread-per-connection era; the multiplexer
+    /// polls readiness on a fixed tick instead of blocking reads, so this
+    /// no longer affects serving.
     pub read_timeout: Duration,
-    /// Per-connection write timeout: a peer that stops draining its
-    /// socket cannot pin a handler thread past this.
+    /// A buffered response making no write progress for this long means a
+    /// dead or malicious peer; the connection is dropped.
     pub write_timeout: Duration,
     /// Default per-request deadline budget (requests may override per
     /// call with the `x-tspn-deadline-ms` header, clamped to
@@ -109,10 +125,20 @@ pub struct ServerConfig {
     pub request_timeout: Duration,
     /// Default result-list truncation when a request omits `top`.
     pub default_top: usize,
-    /// Batcher-supervisor circuit-breaker policy.
+    /// Per-lane batcher-supervisor circuit-breaker policy.
     pub breaker: BreakerConfig,
-    /// Fault injection (inert by default).
+    /// Fault injection (inert by default); flush faults can be scoped to
+    /// one lane via [`ChaosConfig::fault_lane`].
     pub chaos: ChaosConfig,
+    /// Batcher lanes (model replicas). Users are pinned to lanes by the
+    /// fleet-wide shard hash; 1 reproduces the single-batcher layout.
+    pub lanes: usize,
+    /// This process's shard index within a routed fleet (0 standalone).
+    pub shard_index: usize,
+    /// Fleet size when running behind the router (1 standalone).
+    pub shard_count: usize,
+    /// Multiplexer worker threads (the handler-side concurrency bound).
+    pub io_workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -127,6 +153,10 @@ impl Default for ServerConfig {
             default_top: 10,
             breaker: BreakerConfig::default(),
             chaos: ChaosConfig::default(),
+            lanes: 1,
+            shard_index: 0,
+            shard_count: 1,
+            io_workers: MuxConfig::default().workers,
         }
     }
 }
@@ -181,14 +211,20 @@ const FLUSH_GRACE: Duration = Duration::from_secs(5);
 /// `Retry-After` seconds attached to shed responses (429/503).
 const RETRY_AFTER_SECS: u64 = 1;
 
-/// Serving counters surfaced by `/healthz` and `/v1/stats`. The served
-/// total is not stored — it is the sum of the three per-endpoint
-/// counters, computed at render time so the "counters partition the
-/// total" invariant holds by construction.
+/// How long the multiplexer keeps draining open connections after
+/// shutdown before dropping them (covers the worst-case in-flight wait:
+/// the deadline clamp plus the flush grace is minutes only for abusive
+/// header values; real traffic drains in seconds).
+const DRAIN_GRACE: Duration = Duration::from_secs(30);
+
+/// Process-wide serving counters surfaced by `/healthz` and `/v1/stats`.
+/// The served total is not stored — it is the sum of the three
+/// per-endpoint counters, computed at render time so the "counters
+/// partition the total" invariant holds by construction. (Per-lane
+/// ledgers live on each [`Lane`]; these split the same totals by
+/// *endpoint* instead of by lane.)
 #[derive(Debug, Default)]
 pub struct ServeStats {
-    /// Flushed batches.
-    pub batches: AtomicU64,
     /// Legacy `POST /predict` answers.
     pub served_legacy: AtomicU64,
     /// `POST /v1/predict` answers.
@@ -199,7 +235,7 @@ pub struct ServeStats {
     pub session_appends: AtomicU64,
 }
 
-/// Overload / failure-recovery state shared across threads.
+/// Overload / failure-recovery state of one lane.
 struct Overload {
     /// Requests refused with 429 because the admission queue was full.
     shed_queue_full: AtomicU64,
@@ -236,33 +272,73 @@ impl Overload {
     }
 }
 
+/// One batcher lane: an independent failure domain owning a model
+/// replica (on its thread), a bounded admission queue, a session-store
+/// partition, and its own breaker/chaos/ledger state.
+struct Lane {
+    index: usize,
+    batcher: Batcher,
+    /// The parameter version this lane's model is actually serving
+    /// (trails the published version until the next flush boundary).
+    applied: AtomicU64,
+    /// This lane's session partition (ids stride-partitioned so no two
+    /// lanes — or two backends — ever issue the same id).
+    sessions: SessionStore,
+    /// Flush-fault injection scoped to this lane.
+    chaos: Chaos,
+    overload: Overload,
+    /// Flushed batches on this lane.
+    batches: AtomicU64,
+    /// Predictions answered through this lane (all endpoints).
+    served: AtomicU64,
+}
+
 /// State shared by every thread of one server.
 struct Shared {
-    batcher: Batcher,
+    lanes: Vec<Lane>,
     snapshots: SnapshotHandle,
-    /// The parameter version the batcher is actually serving (trails the
-    /// published version until the next flush boundary applies it).
-    applied: AtomicU64,
-    shutdown: AtomicBool,
+    shutdown: Arc<AtomicBool>,
     stats: ServeStats,
-    overload: Overload,
-    chaos: Chaos,
-    /// The per-user session state behind the stateful v1 flow.
-    sessions: SessionStore,
+    /// 503 sheds at the door while draining (before lane resolution).
+    shed_draining: AtomicU64,
+    /// Reload-path fault injection (checkpoint poisoning is process-wide:
+    /// there is one publication stream, not one per lane).
+    publish_chaos: Chaos,
     /// Visits per `(user, trajectory)` — legacy request validation without
-    /// touching the (thread-pinned) model.
+    /// touching the (thread-pinned) models.
     traj_lens: Vec<Vec<usize>>,
     /// POI vocabulary size — payload validation without the model.
     num_pois: usize,
     /// Expected parameter names/shapes for reload validation; filled by
-    /// the batcher thread once the model is built.
+    /// the first lane thread to build its model (replicas agree).
     expected_shapes: OnceLock<Vec<(String, Vec<usize>)>>,
     default_k: usize,
     default_top: usize,
     /// Default per-request deadline budget.
     request_timeout: Duration,
-    /// Configured admission-queue depth (for stats).
+    /// Configured per-lane admission-queue depth (for stats).
     queue_cap: usize,
+    shard_index: usize,
+    shard_count: usize,
+}
+
+impl Shared {
+    fn lane_for_user(&self, user: usize) -> &Lane {
+        &self.lanes[shard::shard_of_user(user, self.lanes.len())]
+    }
+
+    fn lane_for_content(&self, user: usize, checkins: &[Visit]) -> &Lane {
+        &self.lanes[shard::shard_of_content(user, checkins, self.lanes.len())]
+    }
+
+    fn lane_for_session_id(&self, id: u64) -> &Lane {
+        &self.lanes
+            [shard::lane_of_session_id(id, self.shard_index, self.shard_count, self.lanes.len())]
+    }
+
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
 }
 
 /// A running server; dropping the handle does **not** stop it — call
@@ -271,8 +347,8 @@ struct Shared {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
-    batcher_thread: Option<JoinHandle<()>>,
+    mux_thread: Option<JoinHandle<()>>,
+    lane_threads: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -287,9 +363,8 @@ impl ServerHandle {
         self.shared.shutdown.load(Ordering::Acquire)
     }
 
-    /// Requests shutdown (idempotent): the accept loop stops, keep-alive
-    /// handlers finish their in-flight request and exit, queued
-    /// predictions still flush.
+    /// Requests shutdown (idempotent): the multiplexer stops accepting,
+    /// in-flight requests finish, queued predictions still flush.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
     }
@@ -298,21 +373,22 @@ impl ServerHandle {
     /// [`ServerHandle::shutdown`] to have been requested, otherwise this
     /// waits for an external trigger such as `/admin/shutdown`).
     pub fn join(mut self) {
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.mux_thread.take() {
             let _ = t.join();
         }
-        if let Some(t) = self.batcher_thread.take() {
+        for t in self.lane_threads.drain(..) {
             let _ = t.join();
         }
     }
 }
 
-/// Builds the model **on the batcher thread** (the tape is `Rc`-based and
-/// thread-pinned) and starts serving. Blocks until the model is ready and
-/// the listener is bound, so a returned handle is immediately usable.
+/// Builds one model replica **per lane, on that lane's thread** (the tape
+/// is `Rc`-based and thread-pinned) and starts serving. Blocks until
+/// every lane's model is ready and the listener is bound, so a returned
+/// handle is immediately usable.
 ///
 /// `initial` optionally loads a checkpoint over the freshly initialised
-/// parameters before the first request is accepted.
+/// parameters of every lane before the first request is accepted.
 ///
 /// # Errors
 /// Bind failures, or a rejected initial checkpoint.
@@ -322,6 +398,8 @@ pub fn start(
     ctx: SpatialContext,
     initial: Option<Checkpoint>,
 ) -> Result<ServerHandle, String> {
+    let lanes_n = cfg.lanes.max(1);
+    let shard_count = cfg.shard_count.max(1);
     let traj_lens = ctx
         .dataset
         .users
@@ -329,15 +407,30 @@ pub fn start(
         .map(|u| u.trajectories.iter().map(|t| t.visits.len()).collect())
         .collect();
     let num_pois = ctx.dataset.pois.len();
+    let lanes = (0..lanes_n)
+        .map(|l| {
+            let ids = IdPartition::new(cfg.shard_index, shard_count, l, lanes_n);
+            Lane {
+                index: l,
+                // Batch ids only need process-wide uniqueness (the
+                // hot-swap tests key on them), so lanes tile 1-based.
+                batcher: Batcher::with_ids(cfg.batch, l as u64 + 1, lanes_n as u64),
+                applied: AtomicU64::new(crate::snapshot::BOOT_VERSION),
+                sessions: SessionStore::with_ids(cfg.session, ids.first, ids.stride),
+                chaos: Chaos::new(cfg.chaos.for_lane(l)),
+                overload: Overload::new(),
+                batches: AtomicU64::new(0),
+                served: AtomicU64::new(0),
+            }
+        })
+        .collect();
     let shared = Arc::new(Shared {
-        batcher: Batcher::new(cfg.batch),
+        lanes,
         snapshots: SnapshotHandle::new(),
-        applied: AtomicU64::new(crate::snapshot::BOOT_VERSION),
-        shutdown: AtomicBool::new(false),
+        shutdown: Arc::new(AtomicBool::new(false)),
         stats: ServeStats::default(),
-        overload: Overload::new(),
-        chaos: Chaos::new(cfg.chaos),
-        sessions: SessionStore::new(cfg.session),
+        shed_draining: AtomicU64::new(0),
+        publish_chaos: Chaos::new(cfg.chaos),
         traj_lens,
         num_pois,
         expected_shapes: OnceLock::new(),
@@ -345,67 +438,117 @@ pub fn start(
         default_top: cfg.default_top,
         request_timeout: cfg.request_timeout,
         queue_cap: cfg.batch.queue_cap,
+        shard_index: cfg.shard_index,
+        shard_count,
     });
 
-    // Build the predictor on its home thread; hand back readiness (or the
+    // Build each replica on its home thread; hand back readiness (or the
     // initial-checkpoint error) before any socket accepts traffic.
-    let (ready_tx, ready_rx) = mpsc::sync_channel::<Result<(), String>>(1);
-    let batcher_thread = {
+    let mut ctx = Some(ctx);
+    let mut lane_threads = Vec::with_capacity(lanes_n);
+    let mut readies = Vec::with_capacity(lanes_n);
+    for l in 0..lanes_n {
+        let (ready_tx, ready_rx) = mpsc::sync_channel::<Result<(), String>>(1);
+        let lane_ctx = if l + 1 == lanes_n {
+            ctx.take().expect("context consumed once")
+        } else {
+            ctx.as_ref()
+                .expect("context present until last lane")
+                .clone()
+        };
         let shared = Arc::clone(&shared);
+        let model_cfg = model_cfg.clone();
+        let initial = initial.clone();
         let breaker = cfg.breaker;
-        std::thread::Builder::new()
-            .name("tspn-serve-batcher".to_string())
-            .spawn(move || batcher_main(shared, model_cfg, ctx, initial, ready_tx, breaker))
-            .map_err(|e| format!("spawn batcher: {e}"))?
-    };
-    ready_rx
-        .recv()
-        .map_err(|_| "batcher thread died during startup".to_string())??;
+        lane_threads.push(
+            std::thread::Builder::new()
+                .name(format!("tspn-serve-lane-{l}"))
+                .spawn(move || {
+                    lane_main(shared, l, model_cfg, lane_ctx, initial, ready_tx, breaker)
+                })
+                .map_err(|e| format!("spawn lane {l}: {e}"))?,
+        );
+        readies.push(ready_rx);
+    }
+    for (l, rx) in readies.into_iter().enumerate() {
+        if let Err(e) = rx
+            .recv()
+            .map_err(|_| format!("lane {l} thread died during startup"))
+            .and_then(|r| r)
+        {
+            shared.shutdown.store(true, Ordering::Release);
+            for lane in &shared.lanes {
+                lane.batcher.close();
+            }
+            return Err(e);
+        }
+    }
 
     let listener = TcpListener::bind(&cfg.addr).map_err(|e| {
         shared.shutdown.store(true, Ordering::Release);
-        shared.batcher.close();
+        for lane in &shared.lanes {
+            lane.batcher.close();
+        }
         format!("bind {}: {e}", cfg.addr)
     })?;
     let local_addr = listener
         .local_addr()
         .map_err(|e| format!("local_addr: {e}"))?;
-    listener
-        .set_nonblocking(true)
-        .map_err(|e| format!("set_nonblocking: {e}"))?;
 
-    let accept_thread = {
+    let mux_cfg = MuxConfig {
+        max_body: MAX_BODY,
+        workers: cfg.io_workers.max(1),
+        write_timeout: cfg.write_timeout,
+        drain_grace: DRAIN_GRACE,
+    };
+    let handler: Arc<mux::Handler> = {
         let shared = Arc::clone(&shared);
-        let read_timeout = cfg.read_timeout;
-        let write_timeout = cfg.write_timeout;
+        Arc::new(move |req: &Request| respond(&shared, req))
+    };
+    let mux_thread = {
+        let shared = Arc::clone(&shared);
+        let flag = Arc::clone(&shared.shutdown);
         std::thread::Builder::new()
-            .name("tspn-serve-accept".to_string())
-            .spawn(move || accept_main(shared, listener, read_timeout, write_timeout))
-            .map_err(|e| format!("spawn accept loop: {e}"))?
+            .name("tspn-serve-mux".to_string())
+            .spawn(move || {
+                if let Err(e) = mux::run(listener, mux_cfg, flag, handler) {
+                    eprintln!("tspn-serve: multiplexer failed: {e}");
+                    shared.shutdown.store(true, Ordering::Release);
+                }
+                // Connections are drained; lanes may now run their queues
+                // dry and exit.
+                for lane in &shared.lanes {
+                    lane.batcher.close();
+                }
+            })
+            .map_err(|e| format!("spawn multiplexer: {e}"))?
     };
 
     Ok(ServerHandle {
         shared,
         local_addr,
-        accept_thread: Some(accept_thread),
-        batcher_thread: Some(batcher_thread),
+        mux_thread: Some(mux_thread),
+        lane_threads,
     })
 }
 
-/// The batcher thread: build the model, publish readiness, then run the
-/// serve loop **under supervision**. A panicked flush fails only its own
-/// batch; the supervisor rebuilds the model over the same spatial context,
-/// restores the last good (published or boot) checkpoint, counts the
-/// crash against the circuit breaker, and re-enters the loop — queued
-/// requests keep their places throughout.
-fn batcher_main(
+/// A lane thread: build the model replica, publish readiness, then run
+/// the serve loop **under supervision**. A panicked flush fails only its
+/// own batch; the supervisor rebuilds the model over the same spatial
+/// context, restores the last good (published or boot) checkpoint, counts
+/// the crash against this lane's circuit breaker, and re-enters the loop
+/// — queued requests keep their places throughout, and other lanes never
+/// notice.
+fn lane_main(
     shared: Arc<Shared>,
+    lane_idx: usize,
     model_cfg: TspnConfig,
     ctx: SpatialContext,
     initial: Option<Checkpoint>,
     ready_tx: mpsc::SyncSender<Result<(), String>>,
     breaker: BreakerConfig,
 ) {
+    let lane = &shared.lanes[lane_idx];
     let mut predictor = Predictor::new(model_cfg, ctx);
     if let Some(ckpt) = initial {
         if let Err(e) = predictor.load_checkpoint(&ckpt) {
@@ -413,16 +556,15 @@ fn batcher_main(
             return;
         }
     }
-    let expected = predictor
+    let expected: Vec<(String, Vec<usize>)> = predictor
         .model()
         .named_params()
         .iter()
         .map(|(name, t)| (name.clone(), t.shape().0.clone()))
         .collect();
-    shared
-        .expected_shapes
-        .set(expected)
-        .expect("expected_shapes set once");
+    // Replicas share one config, so whichever lane gets here first pins
+    // the shape table everyone validates reloads against.
+    let _ = shared.expected_shapes.set(expected);
     let _ = ready_tx.send(Ok(()));
 
     // The crash-recovery restore point: the parameters currently being
@@ -434,47 +576,49 @@ fn batcher_main(
     let mut rejected = 0u64;
     let mut panic_times: VecDeque<Instant> = VecDeque::new();
     loop {
-        let exit = shared.batcher.run_supervised(|queries| {
+        let exit = lane.batcher.run_supervised(|queries| {
             // Hot-swap boundary: at most one snapshot per batch, applied
             // before any query of the batch runs.
             if let Some(published) = shared.snapshots.newer_than(applied.max(rejected)) {
                 match predictor.load_checkpoint(&published.checkpoint) {
                     Ok(()) => {
                         applied = published.version;
-                        shared.applied.store(applied, Ordering::Release);
+                        lane.applied.store(applied, Ordering::Release);
                         last_good = published.checkpoint.clone();
                     }
                     // Publications were validated against the same shape
                     // table, so outside fault injection this is
                     // unreachable; keep the old parameters rather than
-                    // take the server down.
+                    // take the lane down.
                     Err(e) => {
                         rejected = published.version;
-                        eprintln!("tspn-serve: published checkpoint rejected: {e}");
+                        eprintln!(
+                            "tspn-serve: lane {lane_idx}: published checkpoint rejected: {e}"
+                        );
                     }
                 }
             }
-            shared.chaos.on_flush();
+            lane.chaos.on_flush();
             let answers = predictor.predict_batch(queries);
-            shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+            lane.batches.fetch_add(1, Ordering::Relaxed);
             (answers, applied)
         });
         match exit {
             LoopExit::Drained => return,
             LoopExit::Panicked => {
-                let restarts = shared
+                let restarts = lane
                     .overload
                     .batcher_restarts
                     .fetch_add(1, Ordering::Relaxed)
                     + 1;
                 eprintln!(
-                    "tspn-serve: batcher flush panicked (restart #{restarts}); \
+                    "tspn-serve: lane {lane_idx}: batcher flush panicked (restart #{restarts}); \
                      rebuilding model from last good checkpoint"
                 );
                 predictor = predictor.rebuild();
                 if let Err(e) = predictor.load_checkpoint(&last_good) {
                     // Unreachable: `last_good` loaded successfully once.
-                    eprintln!("tspn-serve: post-crash restore failed: {e}");
+                    eprintln!("tspn-serve: lane {lane_idx}: post-crash restore failed: {e}");
                 }
                 let now = Instant::now();
                 panic_times.push_back(now);
@@ -485,10 +629,11 @@ fn batcher_main(
                     panic_times.pop_front();
                 }
                 if panic_times.len() as u32 >= breaker.threshold {
-                    shared.overload.trip_breaker(breaker.cooldown);
+                    lane.overload.trip_breaker(breaker.cooldown);
                     panic_times.clear();
                     eprintln!(
-                        "tspn-serve: circuit breaker open for {:?} after {} crashes in {:?}",
+                        "tspn-serve: lane {lane_idx}: circuit breaker open for {:?} \
+                         after {} crashes in {:?}",
                         breaker.cooldown, breaker.threshold, breaker.window
                     );
                 }
@@ -497,95 +642,36 @@ fn batcher_main(
     }
 }
 
-/// The accept loop: poll-accept so the shutdown flag is honoured within
-/// milliseconds, one handler thread per connection, joined on the way out.
-fn accept_main(
-    shared: Arc<Shared>,
-    listener: TcpListener,
-    read_timeout: Duration,
-    write_timeout: Duration,
-) {
-    let handlers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
-    while !shared.shutdown.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let _ = stream.set_nodelay(true);
-                let _ = stream.set_read_timeout(Some(read_timeout));
-                let _ = stream.set_write_timeout(Some(write_timeout));
-                let shared = Arc::clone(&shared);
-                let handle = std::thread::Builder::new()
-                    .name("tspn-serve-conn".to_string())
-                    .spawn(move || handle_connection(shared, stream));
-                if let Ok(handle) = handle {
-                    let mut guard = handlers.lock().expect("handler registry");
-                    // Opportunistically reap finished handlers so a
-                    // long-lived server does not accumulate join handles.
-                    guard.retain(|h| !h.is_finished());
-                    guard.push(handle);
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-        }
-    }
-    // Shutdown: handlers observe the flag within one read timeout; the
-    // batcher drains queued work before its loop exits.
-    for handle in handlers.into_inner().expect("handler registry") {
-        let _ = handle.join();
-    }
-    shared.batcher.close();
-}
-
-/// One keep-alive connection: requests in, JSON out, until close/shutdown.
+/// The multiplexer's route handler (runs on mux worker threads).
 ///
 /// During shutdown a request that arrives before the socket closes gets a
 /// typed `503 shutting_down` (with `Retry-After`) rather than a reset —
 /// a draining server is explicit about it, so clients can fail over.
-fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
-    let mut conn = HttpConn::new(stream);
-    loop {
-        let draining = shared.shutdown.load(Ordering::Acquire);
-        match conn.read_request(MAX_BODY) {
-            Ok(ReadOutcome::Idle) => {
-                if draining {
-                    return;
-                }
-            }
-            Ok(ReadOutcome::Closed) => return,
-            Ok(ReadOutcome::Request(req)) => {
-                if draining {
-                    shared
-                        .overload
-                        .shed_not_ready
-                        .fetch_add(1, Ordering::Relaxed);
-                    let (status, body) =
-                        ApiError::shutting_down("server is draining; connection closing").render();
-                    let _ = conn.respond_ex(status, &body, false, Some(RETRY_AFTER_SECS));
-                    return;
-                }
-                let (status, body) = route(&shared, &req);
-                // Decide keep-alive *after* routing so a request that
-                // itself triggers shutdown is answered `Connection:
-                // close` instead of promising a session we then drop.
-                let keep = req.keep_alive && !shared.shutdown.load(Ordering::Acquire);
-                // Shed responses carry `Retry-After` so well-behaved
-                // clients back off instead of hammering a full queue.
-                let retry_after = (status == 429 || status == 503).then_some(RETRY_AFTER_SECS);
-                if conn.respond_ex(status, &body, keep, retry_after).is_err() || !keep {
-                    return;
-                }
-            }
-            // Protocol-level violations (oversized headers/body, parse
-            // failures) get their typed status before the close; pure I/O
-            // errors (peer reset, stalled socket) just drop the connection.
-            Err(ReadError::Bad { status, message }) => {
-                conn.reject(status, &message);
-                return;
-            }
-            Err(ReadError::Io(_)) => return,
-        }
+fn respond(shared: &Shared, req: &Request) -> MuxResponse {
+    if shared.draining() {
+        shared.shed_draining.fetch_add(1, Ordering::Relaxed);
+        let (status, body) =
+            ApiError::shutting_down("server is draining; connection closing").render();
+        return MuxResponse {
+            status,
+            body,
+            retry_after: Some(RETRY_AFTER_SECS),
+            close: true,
+        };
+    }
+    let (status, body) = route(shared, req);
+    // Decide keep-alive *after* routing so a request that itself triggers
+    // shutdown is answered `Connection: close` instead of promising a
+    // session we then drop.
+    let close = shared.draining();
+    // Shed responses carry `Retry-After` so well-behaved clients back off
+    // instead of hammering a full queue.
+    let retry_after = (status == 429 || status == 503).then_some(RETRY_AFTER_SECS);
+    MuxResponse {
+        status,
+        body,
+        retry_after,
+        close,
     }
 }
 
@@ -596,6 +682,7 @@ enum Route {
     Healthz,
     V1Predict,
     V1Stats,
+    V1Topology,
     SessionCreate,
     SessionGet(u64),
     SessionDelete(u64),
@@ -607,7 +694,8 @@ enum Route {
 
 /// Resolves `(method, path)` to a route with correct HTTP hygiene: an
 /// unknown path is `404 not_found`, a known path with the wrong verb is
-/// `405 method_not_allowed`.
+/// `405 method_not_allowed`. The path arrives with its query string
+/// already split off.
 fn route_of(method: &str, path: &str) -> Result<Route, ApiError> {
     use Route::*;
     let allow = |allowed: &[(&str, Route)]| -> Result<Route, ApiError> {
@@ -628,6 +716,7 @@ fn route_of(method: &str, path: &str) -> Result<Route, ApiError> {
         "/healthz" => return allow(&[("GET", Healthz)]),
         "/v1/predict" => return allow(&[("POST", V1Predict)]),
         "/v1/stats" => return allow(&[("GET", V1Stats)]),
+        "/v1/topology" => return allow(&[("GET", V1Topology)]),
         "/v1/sessions" => return allow(&[("POST", SessionCreate)]),
         "/admin/reload" => return allow(&[("POST", AdminReload)]),
         "/admin/shutdown" => return allow(&[("POST", AdminShutdown)]),
@@ -648,12 +737,22 @@ fn route_of(method: &str, path: &str) -> Result<Route, ApiError> {
     Err(ApiError::not_found(format!("no route {method} {path}")))
 }
 
+/// True when a query string (already split off the path) asks for the
+/// pre-v2 flat stats rendering.
+pub(crate) fn wants_flat(query: &str) -> bool {
+    query.split('&').any(|kv| kv == "flat=1")
+}
+
 /// Dispatches one request to its endpoint. Prediction routes carry a
 /// per-request deadline: the `x-tspn-deadline-ms` budget when the client
 /// sent one (clamped to [`MAX_DEADLINE_MS`]), the configured default
 /// otherwise.
 fn route(shared: &Shared, req: &Request) -> (u16, String) {
-    let resolved = match route_of(&req.method, &req.path) {
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (req.path.as_str(), ""),
+    };
+    let resolved = match route_of(&req.method, path) {
         Ok(r) => r,
         Err(e) => return e.render(),
     };
@@ -666,7 +765,32 @@ fn route(shared: &Shared, req: &Request) -> (u16, String) {
         Route::LegacyPredict => predict_legacy(shared, &req.body, deadline),
         Route::Healthz => (200, protocol::health_response(&stats_snapshot(shared))),
         Route::V1Predict => answer(v1_predict(shared, &req.body, deadline)),
-        Route::V1Stats => (200, protocol::stats_response(&stats_snapshot(shared))),
+        Route::V1Stats => {
+            let s = stats_snapshot(shared);
+            if wants_flat(query) {
+                (200, protocol::stats_response(&s))
+            } else {
+                (200, protocol::stats_response_v2(&s, &lane_stats(shared)))
+            }
+        }
+        Route::V1Topology => {
+            let mode = if shared.shard_count > 1 {
+                "backend"
+            } else {
+                "single"
+            };
+            (
+                200,
+                protocol::topology_response(
+                    mode,
+                    shared.lanes.len(),
+                    SHARD_FN_ID,
+                    shared.shard_index,
+                    shared.shard_count,
+                    &[],
+                ),
+            )
+        }
         Route::SessionCreate => answer(session_create(shared, &req.body)),
         Route::SessionGet(id) => answer(session_get(shared, id)),
         Route::SessionDelete(id) => answer(session_delete(shared, id)),
@@ -685,73 +809,127 @@ fn answer(result: Result<(u16, String), ApiError>) -> (u16, String) {
     result.unwrap_or_else(|e| e.render())
 }
 
-/// Gathers every counter `/healthz` and `/v1/stats` report.
+/// Gathers the aggregate ledger `/healthz` and both stats renderings
+/// report: per-lane counters summed, `snapshot` the newest version any
+/// lane serves, `ready` only when **every** lane is (a tripped lane
+/// still sheds its own shard even while the aggregate reads not-ready).
 fn stats_snapshot(shared: &Shared) -> protocol::StatsSnapshot {
-    let sessions = shared.sessions.stats();
-    let session_cfg = shared.sessions.config();
     let served_legacy = shared.stats.served_legacy.load(Ordering::Relaxed);
     let served_v1 = shared.stats.served_v1.load(Ordering::Relaxed);
     let served_session = shared.stats.served_session.load(Ordering::Relaxed);
+    let mut snapshot = 0u64;
+    let mut queue = 0usize;
+    let mut batches = 0u64;
+    let mut shed_queue_full = 0u64;
+    let mut shed_expired = 0u64;
+    let mut shed_not_ready = shared.shed_draining.load(Ordering::Relaxed);
+    let mut restarts = 0u64;
+    let mut injected_panics = 0u64;
+    let mut all_ready = true;
+    let mut live = 0usize;
+    let mut created = 0u64;
+    let mut expired = 0u64;
+    let mut evicted = 0u64;
+    for lane in &shared.lanes {
+        snapshot = snapshot.max(lane.applied.load(Ordering::Acquire));
+        queue += lane.batcher.queue_len();
+        batches += lane.batches.load(Ordering::Relaxed);
+        shed_queue_full += lane.overload.shed_queue_full.load(Ordering::Relaxed);
+        shed_expired += lane.batcher.shed_expired_total();
+        shed_not_ready += lane.overload.shed_not_ready.load(Ordering::Relaxed);
+        restarts += lane.overload.batcher_restarts.load(Ordering::Relaxed);
+        injected_panics += lane.chaos.injected_panics();
+        all_ready &= !lane.overload.breaker_open();
+        let s = lane.sessions.stats();
+        live += s.live;
+        created += s.created;
+        expired += s.expired;
+        evicted += s.evicted;
+    }
+    let session_cfg = shared.lanes[0].sessions.config();
     protocol::StatsSnapshot {
-        snapshot: shared.applied.load(Ordering::Acquire),
+        snapshot,
         published: shared.snapshots.version(),
         served: served_legacy + served_v1 + served_session,
         served_legacy,
         served_v1,
         served_session,
-        batches: shared.stats.batches.load(Ordering::Relaxed),
-        queue: shared.batcher.queue_len(),
-        ready: !shared.shutdown.load(Ordering::Acquire) && !shared.overload.breaker_open(),
+        batches,
+        queue,
+        ready: !shared.draining() && all_ready,
         queue_cap: shared.queue_cap,
-        shed_queue_full: shared.overload.shed_queue_full.load(Ordering::Relaxed),
-        shed_expired: shared.batcher.shed_expired_total(),
-        shed_not_ready: shared.overload.shed_not_ready.load(Ordering::Relaxed),
-        batcher_restarts: shared.overload.batcher_restarts.load(Ordering::Relaxed),
+        shed_queue_full,
+        shed_expired,
+        shed_not_ready,
+        batcher_restarts: restarts,
         request_timeout_ms: shared.request_timeout.as_millis() as u64,
-        chaos_injected_panics: shared.chaos.injected_panics(),
-        chaos_corrupted_publishes: shared.chaos.corrupted_publishes(),
-        sessions_live: sessions.live,
-        sessions_created: sessions.created,
+        chaos_injected_panics: injected_panics,
+        chaos_corrupted_publishes: shared.publish_chaos.corrupted_publishes(),
+        sessions_live: live,
+        sessions_created: created,
         session_appends: shared.stats.session_appends.load(Ordering::Relaxed),
-        sessions_expired: sessions.expired,
-        sessions_evicted: sessions.evicted,
+        sessions_expired: expired,
+        sessions_evicted: evicted,
         session_ttl_ms: session_cfg.ttl.as_millis() as u64,
         session_capacity: session_cfg.max_sessions,
     }
 }
 
+/// The per-lane rows of the v2 stats answer.
+fn lane_stats(shared: &Shared) -> Vec<LaneStats> {
+    let draining = shared.draining();
+    shared
+        .lanes
+        .iter()
+        .map(|lane| LaneStats {
+            lane: lane.index,
+            snapshot: lane.applied.load(Ordering::Acquire),
+            ready: !draining && !lane.overload.breaker_open(),
+            queue_depth: lane.batcher.queue_len(),
+            queue_cap: shared.queue_cap,
+            served: lane.served.load(Ordering::Relaxed),
+            batches: lane.batches.load(Ordering::Relaxed),
+            shed_queue_full: lane.overload.shed_queue_full.load(Ordering::Relaxed),
+            shed_expired: lane.batcher.shed_expired_total(),
+            shed_not_ready: lane.overload.shed_not_ready.load(Ordering::Relaxed),
+            restarts: lane.overload.batcher_restarts.load(Ordering::Relaxed),
+            sessions_live: lane.sessions.stats().live,
+            injected_panics: lane.chaos.injected_panics(),
+        })
+        .collect()
+}
+
 /// The shared enqueue-and-await tail of every predict flavor: by the time
-/// a query reaches here the address mode is already resolved, so legacy,
-/// payload, and session predictions ride the same batcher path (and mix
-/// freely within one flush).
+/// a query reaches here the address mode is already resolved and its lane
+/// chosen, so legacy, payload, and session predictions ride the same
+/// batcher path (and mix freely within one flush of their lane).
 fn predict_common(
     shared: &Shared,
+    lane: &Lane,
     query: Query,
     endpoint_counter: &AtomicU64,
     deadline: Instant,
 ) -> (u16, String) {
-    if shared.shutdown.load(Ordering::Acquire) {
-        shared
-            .overload
-            .shed_not_ready
-            .fetch_add(1, Ordering::Relaxed);
+    if shared.draining() {
+        lane.overload.shed_not_ready.fetch_add(1, Ordering::Relaxed);
         return ApiError::shutting_down("server is draining").render();
     }
-    if shared.overload.breaker_open() {
-        shared
-            .overload
-            .shed_not_ready
-            .fetch_add(1, Ordering::Relaxed);
-        return ApiError::not_ready("circuit breaker open after repeated batch crashes").render();
+    if lane.overload.breaker_open() {
+        lane.overload.shed_not_ready.fetch_add(1, Ordering::Relaxed);
+        return ApiError::not_ready(format!(
+            "lane {} circuit breaker open after repeated batch crashes",
+            lane.index
+        ))
+        .render();
     }
-    let rx = match shared.batcher.try_submit(query, Some(deadline)) {
+    let rx = match lane.batcher.try_submit(query, Some(deadline)) {
         Ok(rx) => rx,
         Err(SubmitError::QueueFull) => {
-            shared
-                .overload
+            lane.overload
                 .shed_queue_full
                 .fetch_add(1, Ordering::Relaxed);
-            return ApiError::overloaded("admission queue is full").render();
+            return ApiError::overloaded(format!("lane {} admission queue is full", lane.index))
+                .render();
         }
         Err(SubmitError::Closed) => {
             return ApiError::shutting_down("server is draining").render();
@@ -764,6 +942,7 @@ fn predict_common(
     match rx.recv_timeout(wait) {
         Ok(Verdict::Answered(answered)) => {
             endpoint_counter.fetch_add(1, Ordering::Relaxed);
+            lane.served.fetch_add(1, Ordering::Relaxed);
             (
                 200,
                 protocol::predict_response(&answered.topk, answered.snapshot, answered.batch),
@@ -781,9 +960,10 @@ fn predict_common(
 
 /// `POST /predict` — the legacy index-addressed endpoint, now a thin
 /// adapter: it resolves its `(user, traj, prefix_len)` triple to an
-/// indexed [`Query`] and rides the same [`predict_common`] path as the
-/// v1 endpoints. Statuses keep the original contract (any violation is
-/// `400`, and `k`/`top` of 0 are clamped, not rejected).
+/// indexed [`Query`], pins the lane by user, and rides the same
+/// [`predict_common`] path as the v1 endpoints. Statuses keep the
+/// original contract (any violation is `400`, and `k`/`top` of 0 are
+/// clamped, not rejected).
 fn predict_legacy(shared: &Shared, body: &[u8], deadline: Instant) -> (u16, String) {
     let parsed = match protocol::parse_predict(body) {
         Ok(p) => p,
@@ -804,8 +984,9 @@ fn predict_legacy(shared: &Shared, body: &[u8], deadline: Instant) -> (u16, Stri
     }
     let k = parsed.k.unwrap_or(shared.default_k).max(1);
     let top = parsed.top.unwrap_or(shared.default_top).max(1);
+    let lane = shared.lane_for_user(sample.user_index);
     let query = Query::with_top(sample, k, top);
-    predict_common(shared, query, &shared.stats.served_legacy, deadline)
+    predict_common(shared, lane, query, &shared.stats.served_legacy, deadline)
 }
 
 /// Validates every POI of a payload against the vocabulary (the bound
@@ -842,13 +1023,17 @@ fn adhoc_query(
 }
 
 /// `POST /v1/predict`: run the model directly on the supplied check-in
-/// sequence.
+/// sequence. Stateless payloads shard on request content (user + visits),
+/// so repeated identical requests batch on one lane while the overall
+/// flow spreads.
 fn v1_predict(shared: &Shared, body: &[u8], deadline: Instant) -> Result<(u16, String), ApiError> {
     let req = protocol::parse_v1_predict(body)?;
     check_vocabulary(shared, &req.checkins)?;
+    let lane = shared.lane_for_content(req.user, &req.checkins);
     let query = adhoc_query(shared, req.user, &req.checkins, req.k, req.top)?;
     Ok(predict_common(
         shared,
+        lane,
         query,
         &shared.stats.served_v1,
         deadline,
@@ -870,13 +1055,16 @@ fn session_error(id: u64, e: SessionError) -> ApiError {
     }
 }
 
-/// `POST /v1/sessions`: create a session, optionally seeding check-ins.
-/// The seeded create is a single atomic store operation — an invalid
-/// seed issues no id, and no racing eviction can strand the seed.
+/// `POST /v1/sessions`: create a session on the user's lane, optionally
+/// seeding check-ins. The seeded create is a single atomic store
+/// operation — an invalid seed issues no id, and no racing eviction can
+/// strand the seed. The issued id encodes the lane (and shard), so every
+/// later call on it lands back on the same partition.
 fn session_create(shared: &Shared, body: &[u8]) -> Result<(u16, String), ApiError> {
     let req = protocol::parse_session_create(body)?;
     check_vocabulary(shared, &req.checkins)?;
-    let (id, count) = shared
+    let lane = shared.lane_for_user(req.user);
+    let (id, count) = lane
         .sessions
         .create(req.user, &req.checkins)
         .map_err(|e| match e {
@@ -885,7 +1073,7 @@ fn session_create(shared: &Shared, body: &[u8]) -> Result<(u16, String), ApiErro
             }
             other => session_error(0, other),
         })?;
-    let ttl_ms = shared.sessions.config().ttl.as_millis() as u64;
+    let ttl_ms = lane.sessions.config().ttl.as_millis() as u64;
     Ok((
         200,
         protocol::session_created_response(id, req.user, count, ttl_ms),
@@ -896,7 +1084,8 @@ fn session_create(shared: &Shared, body: &[u8]) -> Result<(u16, String), ApiErro
 fn session_append(shared: &Shared, id: u64, body: &[u8]) -> Result<(u16, String), ApiError> {
     let checkins = protocol::parse_session_append(body)?;
     check_vocabulary(shared, &checkins)?;
-    let total = shared
+    let lane = shared.lane_for_session_id(id);
+    let total = lane
         .sessions
         .append(id, &checkins)
         .map_err(|e| session_error(id, e))?;
@@ -904,7 +1093,9 @@ fn session_append(shared: &Shared, id: u64, body: &[u8]) -> Result<(u16, String)
     Ok((200, protocol::session_append_response(id, total)))
 }
 
-/// `POST /v1/sessions/{id}/predict`: predict from the accumulated state.
+/// `POST /v1/sessions/{id}/predict`: predict from the accumulated state,
+/// on the lane the id encodes (session state and its predictions share a
+/// lane by construction).
 fn session_predict(
     shared: &Shared,
     id: u64,
@@ -912,7 +1103,8 @@ fn session_predict(
     deadline: Instant,
 ) -> Result<(u16, String), ApiError> {
     let (k, top) = protocol::parse_predict_opts(body)?;
-    let (user, visits) = shared
+    let lane = shared.lane_for_session_id(id);
+    let (user, visits) = lane
         .sessions
         .snapshot(id)
         .map_err(|e| session_error(id, e))?;
@@ -924,6 +1116,7 @@ fn session_predict(
     let query = adhoc_query(shared, user, &visits, k, top)?;
     Ok(predict_common(
         shared,
+        lane,
         query,
         &shared.stats.served_session,
         deadline,
@@ -932,7 +1125,8 @@ fn session_predict(
 
 /// `GET /v1/sessions/{id}`: session state (does not refresh the TTL).
 fn session_get(shared: &Shared, id: u64) -> Result<(u16, String), ApiError> {
-    let info = shared.sessions.info(id).map_err(|e| session_error(id, e))?;
+    let lane = shared.lane_for_session_id(id);
+    let info = lane.sessions.info(id).map_err(|e| session_error(id, e))?;
     Ok((
         200,
         protocol::session_info_response(id, info.user, info.checkins, info.idle_ms),
@@ -941,15 +1135,13 @@ fn session_get(shared: &Shared, id: u64) -> Result<(u16, String), ApiError> {
 
 /// `DELETE /v1/sessions/{id}`: end a session (it reports `410` after).
 fn session_delete(shared: &Shared, id: u64) -> Result<(u16, String), ApiError> {
-    shared
-        .sessions
-        .delete(id)
-        .map_err(|e| session_error(id, e))?;
+    let lane = shared.lane_for_session_id(id);
+    lane.sessions.delete(id).map_err(|e| session_error(id, e))?;
     Ok((200, "{\"ok\":true}".to_string()))
 }
 
-/// `POST /admin/reload`: load + validate on this thread, then publish for
-/// the batcher to apply at its next flush boundary.
+/// `POST /admin/reload`: load + validate on this thread, then publish
+/// once; every lane applies at its next flush boundary.
 fn reload(shared: &Shared, body: &[u8]) -> (u16, String) {
     let path = match protocol::parse_reload(body) {
         Ok(p) => p,
@@ -976,10 +1168,10 @@ fn reload(shared: &Shared, body: &[u8]) -> (u16, String) {
         return ApiError::bad_request(format!("checkpoint rejected: {e}")).render();
     }
     // Fault injection: poison the checkpoint *after* this handler's
-    // validation passed, so the batcher's own re-validation is what must
-    // catch it (and does — it keeps serving the old parameters).
+    // validation passed, so each lane's own re-validation is what must
+    // catch it (and does — they keep serving the old parameters).
     let mut ckpt = ckpt;
-    if shared.chaos.corrupt(&mut ckpt) {
+    if shared.publish_chaos.corrupt(&mut ckpt) {
         eprintln!("tspn-serve: chaos poisoned published checkpoint");
     }
     let version = shared.snapshots.publish(ckpt);
@@ -997,6 +1189,7 @@ mod tests {
         assert_eq!(route_of("GET", "/healthz"), Ok(Route::Healthz));
         assert_eq!(route_of("POST", "/v1/predict"), Ok(Route::V1Predict));
         assert_eq!(route_of("GET", "/v1/stats"), Ok(Route::V1Stats));
+        assert_eq!(route_of("GET", "/v1/topology"), Ok(Route::V1Topology));
         assert_eq!(route_of("POST", "/v1/sessions"), Ok(Route::SessionCreate));
         assert_eq!(route_of("POST", "/admin/reload"), Ok(Route::AdminReload));
 
@@ -1006,6 +1199,7 @@ mod tests {
             ("POST", "/healthz"),
             ("DELETE", "/v1/predict"),
             ("POST", "/v1/stats"),
+            ("POST", "/v1/topology"),
             ("GET", "/v1/sessions"),
             ("GET", "/admin/shutdown"),
             ("POST", "/v1/sessions/s1"),
@@ -1048,5 +1242,14 @@ mod tests {
             route_of("POST", "/v1/sessions/s12/predict"),
             Ok(Route::SessionPredict(12))
         );
+    }
+
+    #[test]
+    fn flat_query_flag_is_detected_exactly() {
+        assert!(wants_flat("flat=1"));
+        assert!(wants_flat("a=b&flat=1"));
+        assert!(!wants_flat(""));
+        assert!(!wants_flat("flat=0"));
+        assert!(!wants_flat("deflate=1"));
     }
 }

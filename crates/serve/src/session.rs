@@ -139,8 +139,14 @@ pub struct SessionStats {
 
 struct Inner {
     sessions: HashMap<u64, Session>,
-    /// Next id to issue; ids below this that are not live are Gone.
+    /// Next id to issue; issued ids that are not live are Gone.
     next_id: u64,
+    /// First id this store may issue — see [`crate::shard::IdPartition`].
+    first_id: u64,
+    /// Distance between consecutive issued ids. A lane-partitioned server
+    /// gives each lane's store a disjoint residue class so an id names
+    /// its lane (and, across a fleet, its backend) arithmetically.
+    id_stride: u64,
     created: u64,
     expired: u64,
     evicted: u64,
@@ -154,15 +160,27 @@ pub struct SessionStore {
 }
 
 impl SessionStore {
-    /// An empty store.
+    /// An empty store issuing ids `1, 2, 3, …`.
     pub fn new(cfg: SessionConfig) -> Self {
+        SessionStore::with_ids(cfg, 1, 1)
+    }
+
+    /// An empty store issuing ids from the stride-partitioned sequence
+    /// `first, first + stride, …`. Ids from a foreign residue class are
+    /// always [`SessionError::Unknown`] here — they belong to another
+    /// lane or backend and were never issued by this store.
+    pub fn with_ids(cfg: SessionConfig, first: u64, stride: u64) -> Self {
         assert!(cfg.max_sessions >= 1, "max_sessions must be positive");
         assert!(cfg.max_visits >= 1, "max_visits must be positive");
+        assert!(first >= 1, "session ids start at 1");
+        assert!(stride >= 1, "session id stride must be positive");
         SessionStore {
             cfg,
             inner: Mutex::new(Inner {
                 sessions: HashMap::new(),
-                next_id: 1,
+                next_id: first,
+                first_id: first,
+                id_stride: stride,
                 created: 0,
                 expired: 0,
                 evicted: 0,
@@ -192,7 +210,7 @@ impl SessionStore {
             }
         }
         let id = inner.next_id;
-        inner.next_id += 1;
+        inner.next_id += inner.id_stride;
         inner.created += 1;
         let mut visits = seed.to_vec();
         if visits.len() > self.cfg.max_visits {
@@ -283,9 +301,14 @@ impl SessionStore {
         }
     }
 
-    /// Error for a missing id: below the counter means it once existed.
+    /// Error for a missing id: an id this store issued (in its residue
+    /// class, below the counter) once existed and is Gone; anything else
+    /// — including another lane's ids — was never issued here.
     fn status_of(inner: &Inner, id: u64) -> SessionError {
-        if id >= 1 && id < inner.next_id {
+        let issued_here = id >= inner.first_id
+            && id < inner.next_id
+            && (id - inner.first_id).is_multiple_of(inner.id_stride);
+        if issued_here {
             SessionError::Gone
         } else {
             SessionError::Unknown
@@ -574,5 +597,30 @@ mod tests {
         let r = SessionConfig::resolve(None, None, bad);
         assert_eq!(r.ttl, SessionConfig::default().ttl);
         assert_eq!(r.max_sessions, SessionConfig::default().max_sessions);
+    }
+
+    #[test]
+    fn stride_partitioned_stores_distinguish_gone_from_foreign_ids() {
+        // Lane 1 of 2: issues 2, 4, 6, …
+        let s = SessionStore::with_ids(
+            SessionConfig {
+                ttl: Duration::from_millis(60_000),
+                max_sessions: 8,
+                max_visits: 64,
+            },
+            2,
+            2,
+        );
+        let a = s.create(7, &[]).unwrap().0;
+        let b = s.create(9, &[]).unwrap().0;
+        assert_eq!((a, b), (2, 4));
+        s.delete(a).unwrap();
+        assert_eq!(s.info(a).unwrap_err(), SessionError::Gone);
+        // Odd ids belong to lane 0 — never issued here, so Unknown even
+        // though they sit below this store's counter.
+        assert_eq!(s.info(3).unwrap_err(), SessionError::Unknown);
+        assert_eq!(s.info(1).unwrap_err(), SessionError::Unknown);
+        // Beyond the counter is Unknown as always.
+        assert_eq!(s.info(6).unwrap_err(), SessionError::Unknown);
     }
 }

@@ -449,12 +449,19 @@ fn mixed_legacy_payload_and_session_queries_are_bitwise_identical_under_load() {
         assert_eq!(served, offline.pois, "ranking diverged for {s:?}");
     }
 
-    // Per-endpoint stats partition the served total.
+    // Per-endpoint stats partition the served total. `/v1/stats` is
+    // schema v2 now: the counters live under `aggregate`, with a `lanes`
+    // breakdown beside them.
     let mut client = Client::connect(&addr).expect("connect");
     let (status, text) = client.get("/v1/stats").expect("stats");
     assert_eq!(status, 200);
     let stats: Value = serde_json::from_str(&text).expect("stats JSON");
-    let served = stats.get("served").expect("served object");
+    assert_eq!(
+        stats.get("schema_version").and_then(Value::as_usize),
+        Some(2)
+    );
+    let agg = stats.get("aggregate").expect("aggregate object");
+    let served = agg.get("served").expect("served object");
     let total = num_field(served, "total");
     assert_eq!(total as usize, clients * per_client);
     assert_eq!(
@@ -464,8 +471,22 @@ fn mixed_legacy_payload_and_session_queries_are_bitwise_identical_under_load() {
         total,
         "per-endpoint counters must partition the total"
     );
-    let sessions = stats.get("sessions").expect("sessions object");
+    let sessions = agg.get("sessions").expect("sessions object");
     assert_eq!(num_field(sessions, "created") as usize, 2 * per_client);
+    let lanes = stats
+        .get("lanes")
+        .and_then(Value::as_array)
+        .expect("lanes array");
+    assert_eq!(lanes.len(), 1, "default server runs one lane");
+
+    // The `?flat=1` compat renderer still serves the schema v1 shape.
+    let (status, text) = client.get("/v1/stats?flat=1").expect("flat stats");
+    assert_eq!(status, 200);
+    let flat: Value = serde_json::from_str(&text).expect("flat stats JSON");
+    assert_eq!(
+        num_field(flat.get("served").expect("served object"), "total"),
+        total
+    );
 
     handle.shutdown();
     handle.join();
@@ -846,8 +867,10 @@ fn start_server_overload(cfg: ServerConfig) -> ServerHandle {
     server::start(cfg, model_cfg, ctx, None).expect("server starts")
 }
 
+/// The flat (schema v1) stats ledger via the `?flat=1` compat renderer —
+/// these tests predate lanes and read the flat shape on purpose.
 fn stats_of(client: &mut Client) -> Value {
-    let (status, text) = client.get("/v1/stats").expect("stats I/O");
+    let (status, text) = client.get("/v1/stats?flat=1").expect("stats I/O");
     assert_eq!(status, 200);
     serde_json::from_str(&text).expect("stats JSON")
 }
@@ -1171,5 +1194,282 @@ fn draining_server_sheds_typed_503_instead_of_resetting() {
     assert_eq!(error_of(&v).unwrap().0, "shutting_down");
     assert!(resp.retry_after.is_some(), "drain shed lacks Retry-After");
 
+    handle.join();
+}
+
+#[test]
+fn lane_partitioned_server_is_bitwise_identical_and_pins_sessions() {
+    // Two lanes: every address mode must still answer bitwise like the
+    // single offline reference, session ops must follow their session id
+    // to its lane from ANY connection, and the v2 stats lanes array must
+    // account for all traffic.
+    let cfg = tiny_model_cfg(7);
+    let ctx = tiny_ctx(&cfg);
+    let handle = server::start(
+        ServerConfig {
+            batch: BatchConfig {
+                max_batch: 8,
+                deadline: Duration::from_millis(1),
+                queue_cap: 256,
+            },
+            lanes: 2,
+            ..ServerConfig::default()
+        },
+        cfg,
+        ctx,
+        None,
+    )
+    .expect("server starts");
+    let addr = handle.local_addr().to_string();
+    let (reference, samples) = reference_predictor(7);
+    let streams: Vec<Vec<Visit>> = samples.iter().map(|s| stream_of(&reference, s)).collect();
+
+    // Pick legacy samples covering BOTH lanes so the per-lane counters
+    // are deterministic facts, not luck.
+    let on_lane = |lane: usize| -> Vec<usize> {
+        (0..samples.len())
+            .filter(|&i| tspn_serve::shard::shard_of_user(samples[i].user_index, 2) == lane)
+            .take(4)
+            .collect()
+    };
+    let (lane0, lane1) = (on_lane(0), on_lane(1));
+    assert!(
+        !lane0.is_empty() && !lane1.is_empty(),
+        "dataset covers both lanes"
+    );
+
+    let picks: Vec<usize> = lane0.iter().chain(lane1.iter()).copied().collect();
+    let answers: Vec<(Sample, Vec<PoiId>)> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for c in 0..6usize {
+            let addr = addr.clone();
+            let (samples, streams, picks) = (&samples, &streams, &picks);
+            joins.push(scope.spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let mut out = Vec::new();
+                for r in 0..6usize {
+                    let i = picks[(c * 6 + r) % picks.len()];
+                    let s = samples[i];
+                    let v = match c % 3 {
+                        0 => {
+                            let (status, v) = client
+                                .post_json("/predict", &predict_body(&s, 4, 10))
+                                .expect("legacy predict I/O");
+                            assert_eq!(status, 200, "legacy predict failed: {v:?}");
+                            v
+                        }
+                        1 => {
+                            let body = v1_predict_request_body(s.user_index, &streams[i], 4, 10);
+                            let (status, v) = client
+                                .post_json("/v1/predict", &body)
+                                .expect("v1 predict I/O");
+                            assert_eq!(status, 200, "v1 predict failed: {v:?}");
+                            v
+                        }
+                        _ => {
+                            let body = session_create_body(s.user_index, &streams[i]);
+                            let (status, v) = client
+                                .post_json("/v1/sessions", &body)
+                                .expect("session create I/O");
+                            assert_eq!(status, 200, "session create failed: {v:?}");
+                            let id = str_field(&v, "session").to_string();
+                            let (status, v) = client
+                                .post_json(&format!("/v1/sessions/{id}/predict"), "{}")
+                                .expect("session predict I/O");
+                            assert_eq!(status, 200, "session predict failed: {v:?}");
+                            v
+                        }
+                    };
+                    out.push((s, pois_of(&v)));
+                }
+                out
+            }));
+        }
+        joins
+            .into_iter()
+            .flat_map(|j| j.join().expect("client thread"))
+            .collect()
+    });
+    for (s, served) in answers {
+        let offline = reference.predict_one(&Query::with_top(s, 4, 10));
+        assert_eq!(
+            served, offline.pois,
+            "lane-partitioned answer diverged for {s:?}"
+        );
+    }
+
+    // Session affinity: a session created on one connection is reachable
+    // from every other connection — appends and predicts resolve the lane
+    // from the id, so there is no cross-lane 404.
+    let s = samples[lane0[0]];
+    let stream = &streams[lane0[0]];
+    let mut creator = Client::connect(&addr).expect("connect");
+    let (status, v) = creator
+        .post_json(
+            "/v1/sessions",
+            &session_create_body(s.user_index, &stream[..1]),
+        )
+        .expect("create I/O");
+    assert_eq!(status, 200, "{v:?}");
+    let id = str_field(&v, "session").to_string();
+    for _ in 0..3 {
+        let mut other = Client::connect(&addr).expect("connect");
+        let (status, v) = other
+            .get(&format!("/v1/sessions/{id}"))
+            .map(|(st, t)| (st, serde_json::from_str::<Value>(&t).unwrap()))
+            .expect("info I/O");
+        assert_eq!(status, 200, "foreign connection lost the session: {v:?}");
+        if stream.len() > 1 {
+            let (status, v) = other
+                .post_json(
+                    &format!("/v1/sessions/{id}"),
+                    &session_append_body(&stream[1..2]),
+                )
+                .unwrap_or((0, Value::Null));
+            // POST to the session root is 405 — affinity is about the
+            // /checkins and /predict verbs below, this is just a probe
+            // that the id resolves rather than 404s.
+            assert_ne!(status, 404, "session id resolved to the wrong lane: {v:?}");
+        }
+        let (status, v) = other
+            .post_json(&format!("/v1/sessions/{id}/predict"), "{}")
+            .expect("foreign predict I/O");
+        assert_eq!(status, 200, "cross-connection session predict: {v:?}");
+    }
+
+    // v2 stats: two lanes, both served traffic, and the lane counters sum
+    // to the aggregate.
+    let mut client = Client::connect(&addr).expect("connect");
+    let (status, text) = client.get("/v1/stats").expect("stats");
+    assert_eq!(status, 200);
+    let stats: Value = serde_json::from_str(&text).expect("stats JSON");
+    let agg = stats.get("aggregate").expect("aggregate");
+    let total = num_field(agg.get("served").expect("served"), "total");
+    let lanes = stats
+        .get("lanes")
+        .and_then(Value::as_array)
+        .expect("lanes array");
+    assert_eq!(lanes.len(), 2);
+    let mut lane_sum = 0;
+    for lane in lanes {
+        let served = num_field(lane, "served");
+        assert!(served > 0, "a lane served nothing: {lane:?}");
+        lane_sum += served;
+    }
+    assert_eq!(lane_sum, total, "lane counters must sum to the aggregate");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn faulting_one_lane_sheds_only_that_shard_while_others_serve() {
+    // Chaos scoped to lane 0: every lane-0 flush panics until the breaker
+    // opens. Lane-1 users must keep getting bitwise-correct answers the
+    // whole time; lane-0 users get typed errors naming their lane.
+    let cfg = tiny_model_cfg(7);
+    let ctx = tiny_ctx(&cfg);
+    let handle = server::start(
+        ServerConfig {
+            lanes: 2,
+            chaos: tspn_serve::ChaosConfig {
+                flush_panic_every: Some(1),
+                flush_panic_budget: Some(1000),
+                fault_lane: Some(0),
+                ..Default::default()
+            },
+            breaker: tspn_serve::BreakerConfig {
+                threshold: 2,
+                window: Duration::from_secs(30),
+                cooldown: Duration::from_secs(30),
+            },
+            ..ServerConfig::default()
+        },
+        cfg,
+        ctx,
+        None,
+    )
+    .expect("server starts");
+    let addr = handle.local_addr().to_string();
+    let (reference, samples) = reference_predictor(7);
+    let on_lane = |lane: usize| -> Sample {
+        *samples
+            .iter()
+            .find(|s| tspn_serve::shard::shard_of_user(s.user_index, 2) == lane)
+            .expect("dataset covers both lanes")
+    };
+    let (s0, s1) = (on_lane(0), on_lane(1));
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // Trip lane 0's breaker: two crashed flushes (typed 500s), then the
+    // lane sheds 503 not_ready naming itself.
+    for round in 1..=2 {
+        let (status, v) = client
+            .post_json("/predict", &predict_body(&s0, 4, 10))
+            .expect("lane-0 predict I/O");
+        assert_eq!(status, 500, "round {round}: {v:?}");
+        assert_eq!(error_of(&v).unwrap().0, "internal");
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, v) = client
+            .post_json("/predict", &predict_body(&s0, 4, 10))
+            .expect("lane-0 shed I/O");
+        if status == 503 {
+            let (code, msg) = error_of(&v).unwrap();
+            assert_eq!(code, "not_ready");
+            assert!(msg.contains("lane 0"), "shed should name its lane: {msg}");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "lane-0 breaker never opened"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Lane 1 keeps serving, bitwise, throughout.
+    let expect = reference.predict_one(&Query::with_top(s1, 4, 10)).pois;
+    for _ in 0..5 {
+        let (status, v) = client
+            .post_json("/predict", &predict_body(&s1, 4, 10))
+            .expect("lane-1 predict I/O");
+        assert_eq!(status, 200, "healthy lane shed: {v:?}");
+        assert_eq!(pois_of(&v), expect, "healthy lane diverged");
+    }
+    // Session ops on the healthy lane work end to end too.
+    let stream1 = stream_of(&reference, &s1);
+    let (status, v) = client
+        .post_json(
+            "/v1/sessions",
+            &session_create_body(s1.user_index, &stream1),
+        )
+        .expect("create I/O");
+    assert_eq!(status, 200, "{v:?}");
+    let id = str_field(&v, "session").to_string();
+    let (status, v) = client
+        .post_json(&format!("/v1/sessions/{id}/predict"), "{}")
+        .expect("session predict I/O");
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(pois_of(&v), expect);
+
+    // The fleet view: aggregate not ready (ANDed), lane 0 down, lane 1 up.
+    let (status, text) = client.get("/v1/stats").expect("stats");
+    assert_eq!(status, 200);
+    let stats: Value = serde_json::from_str(&text).expect("stats JSON");
+    let agg = stats.get("aggregate").expect("aggregate");
+    assert_eq!(agg.get("ready").and_then(Value::as_bool), Some(false));
+    let lanes = stats
+        .get("lanes")
+        .and_then(Value::as_array)
+        .expect("lanes array");
+    assert_eq!(lanes.len(), 2);
+    assert_eq!(lanes[0].get("ready").and_then(Value::as_bool), Some(false));
+    assert_eq!(lanes[1].get("ready").and_then(Value::as_bool), Some(true));
+    assert!(num_field(&lanes[0], "injected_panics") >= 2);
+    assert_eq!(num_field(&lanes[1], "injected_panics"), 0);
+    assert_eq!(num_field(&lanes[1], "restarts"), 0);
+
+    handle.shutdown();
     handle.join();
 }

@@ -178,6 +178,14 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Array view of this value.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
 }
 
 macro_rules! num_impl {
