@@ -1,22 +1,25 @@
 //! Performance snapshot: times the hot paths (quad-tree build, HGAT
 //! forward, GEMM 256³, the batched tile-embedding CNN, one end-to-end
-//! prediction, a training epoch, and a full test-split evaluation) and
-//! records them as JSON so successive PRs have a wall-clock trajectory to
-//! compare against. `pool_hit_rate` is measured over the steady-state
+//! prediction, the shared-tables tape build, the delta parameter sync
+//! round-trip, the fused optimizer update, a training epoch, and a full
+//! test-split evaluation) and records them as JSON so successive PRs
+//! have a wall-clock trajectory to compare against. `train_epoch` is a
+//! median of three full epochs (a single epoch at this scale is too
+//! noisy to gate on). `pool_hit_rate` is measured over the steady-state
 //! training/evaluation section only (stats are reset after warm-up), so it
 //! reflects the recycling behaviour the allocation-free contract is about.
 //!
 //! Compare two snapshots with the `perf_check` binary.
 //!
 //! ```text
-//! cargo run --release -p tspn-bench --bin perf_snapshot            # writes BENCH_8.json
+//! cargo run --release -p tspn-bench --bin perf_snapshot            # writes BENCH_9.json
 //! cargo run --release -p tspn-bench --bin perf_snapshot -- --check # quick run, no file
 //! cargo run --release -p tspn-bench --bin perf_snapshot -- --out results/bench.json
 //! ```
 //!
 //! The serving-layer metrics (`serve_p50_us`/`serve_p99_us`/`serve_qps`)
 //! are appended into the same snapshot file by the `serve_bench` binary
-//! (`--merge BENCH_8.json`), which drives a real `tspn-serve` socket loop.
+//! (`--merge BENCH_9.json`), which drives a real `tspn-serve` socket loop.
 
 use std::collections::HashSet;
 use std::time::Instant;
@@ -34,7 +37,7 @@ use tspn_geo::{NodeId, QuadTree, QuadTreeConfig};
 use tspn_graph::{build_qrp, Hgat, QrpOptions};
 use tspn_tensor::nn::LayerNorm;
 use tspn_tensor::{
-    fused_attention, gemm, init, kernel_tier, parallel, pool, FusedAttnSpec, Tensor,
+    fused_attention, gemm, init, kernel_tier, optim, parallel, pool, FusedAttnSpec, Tensor,
 };
 
 /// One timed metric: best-of-N wall-clock seconds.
@@ -45,7 +48,7 @@ struct Metric {
     repeats: usize,
 }
 
-/// The whole snapshot, serialised to `BENCH_8.json`.
+/// The whole snapshot, serialised to `BENCH_9.json`.
 #[derive(Debug, Clone, Serialize)]
 struct Snapshot {
     /// Snapshot schema/PR generation marker.
@@ -54,6 +57,10 @@ struct Snapshot {
     /// Active compute-kernel tier (`avx2-fma` or `scalar`) — wall-clock
     /// numbers are only comparable within one tier.
     kernel_tier: String,
+    /// Parameter sync mode the training metrics ran under: `delta`
+    /// (versioned per-parameter republish) or `full-copy` (the
+    /// `TSPN_TRAIN_DELTA_SYNC=0` fallback).
+    train_sync: String,
     metrics: Vec<Metric>,
     pool_hit_rate: f64,
 }
@@ -69,6 +76,20 @@ fn time_best(repeats: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
+/// Median-of-`repeats` timing — for long metrics where best-of hides
+/// real cost and a single shot is too noisy to gate on.
+fn time_median(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..repeats)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check_only = args.iter().any(|a| a == "--check");
@@ -81,10 +102,10 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_8.json".to_string());
+        .unwrap_or_else(|| "BENCH_9.json".to_string());
     let out_path = if std::path::Path::new(&out_arg).is_dir() {
         std::path::Path::new(&out_arg)
-            .join("BENCH_8.json")
+            .join("BENCH_9.json")
             .to_string_lossy()
             .into_owned()
     } else {
@@ -238,6 +259,22 @@ fn main() {
     let mut trainer = Trainer::new(cfg, ctx);
     let samples = trainer.ctx.dataset.all_samples();
     let sample = samples[samples.len() / 2];
+
+    // --- Shared tables tape (built once per step by the dispatching
+    // thread; shards consume its values as leaves) ---
+    let tables_secs = time_best(repeats.max(3), || {
+        std::hint::black_box(trainer.model.batch_tables(&trainer.ctx));
+    });
+    record("tables_build", tables_secs, repeats.max(3));
+
+    // --- Delta parameter sync round-trip: publish every downstream
+    // parameter and refresh one replica from the published buffers (the
+    // worst case — what a full-copy fallback pays every batch) ---
+    let sync_secs = time_best(repeats.max(3), || {
+        std::hint::black_box(trainer.bench_sync_roundtrip());
+    });
+    record("shard_sync", sync_secs, repeats.max(3));
+
     let tables = trainer.model.batch_tables(&trainer.ctx);
     let predict_secs = time_best(repeats, || {
         std::hint::black_box(trainer.model.predict(&trainer.ctx, &sample, &tables));
@@ -275,6 +312,22 @@ fn main() {
     });
     record("conv_batch_embed", embed_secs, repeats);
 
+    // --- Fused optimizer update: the single-pass Adam kernel over
+    // model-shaped parameters with live gradients (grad scale + decay +
+    // update in one sweep) ---
+    {
+        let params = trainer.model.params();
+        for p in &params {
+            p.mul(p).sum_all().backward();
+        }
+        let mut adam = optim::Adam::new(1e-3);
+        let opt_secs = time_best(repeats.max(3), || {
+            adam.step_scaled(&params, 0.5, |_| {});
+        });
+        record("optimizer_step", opt_secs, repeats.max(3));
+        optim::zero_grad(&params);
+    }
+
     // Warm the pool and every model/replica cache, then reset the pool
     // counters so the reported hit rate is the steady-state one.
     let train: Vec<_> = samples
@@ -291,9 +344,10 @@ fn main() {
     std::hint::black_box(trainer.evaluate(&eval));
     pool::reset_stats();
 
-    let t0 = Instant::now();
-    trainer.fit_epochs(&train, 1);
-    record("train_epoch", t0.elapsed().as_secs_f64(), 1);
+    let train_secs = time_median(3, || {
+        trainer.fit_epochs(&train, 1);
+    });
+    record("train_epoch", train_secs, 3);
 
     let eval_secs = time_best(repeats.min(3), || {
         std::hint::black_box(trainer.evaluate(&eval));
@@ -301,9 +355,14 @@ fn main() {
     record("evaluate_test_split", eval_secs, repeats.min(3));
 
     let snapshot = Snapshot {
-        generation: 8,
+        generation: 9,
         threads: parallel::num_threads(),
         kernel_tier: kernel_tier().to_string(),
+        train_sync: if trainer.delta_sync() {
+            "delta".to_string()
+        } else {
+            "full-copy".to_string()
+        },
         metrics,
         pool_hit_rate: pool::stats().hit_rate(),
     };

@@ -89,12 +89,12 @@ impl Me1 {
         self.embed_batch(&batch)
     }
 
-    /// Like [`Me1::embed_tiles_raw`], but over raw CHW float buffers
-    /// (`3·s·s` each) as stored in the spatial context. The buffers are
-    /// copied into one pooled `[n, 3, s, s]` tensor, so repeated batch
-    /// passes allocate nothing new; keeping the context tensor-free is
-    /// what lets the trainer share it across threads.
-    pub fn embed_tiles_chw(&self, images: &[Vec<f32>]) -> Tensor {
+    /// Packs raw CHW float buffers (`3·s·s` each, as stored in the spatial
+    /// context) into one pooled `[n, 3, s, s]` input tensor. The result is
+    /// a plain leaf (no grad history), so the model may cache it across
+    /// steps keyed by the context revision — the copy is pure input
+    /// staging, identical every step until the imagery is swapped.
+    pub fn pack_tiles_chw(&self, images: &[Vec<f32>]) -> Tensor {
         assert!(!images.is_empty(), "no tile images given");
         let s = self.image_size;
         let plane = 3 * s * s;
@@ -103,8 +103,14 @@ impl Me1 {
             assert_eq!(chw.len(), plane, "image buffer length mismatch");
             buf[i * plane..(i + 1) * plane].copy_from_slice(chw);
         }
-        let batch = Tensor::from_vec(buf, vec![images.len(), 3, s, s]);
-        self.embed_batch(&batch)
+        Tensor::from_vec(buf, vec![images.len(), 3, s, s])
+    }
+
+    /// Like [`Me1::embed_tiles_raw`], but over raw CHW float buffers via
+    /// [`Me1::pack_tiles_chw`]; keeping the context tensor-free is what
+    /// lets the trainer share it across threads.
+    pub fn embed_tiles_chw(&self, images: &[Vec<f32>]) -> Tensor {
+        self.embed_batch(&self.pack_tiles_chw(images))
     }
 
     /// Embeds a batch of images into the tile embedding table

@@ -137,7 +137,7 @@ impl AttentionBlock {
         // 1. Masked self-attention over each sample's live block.
         let zm = self.self_attend_fused(h_seq, offsets, lens);
         // 2. Add & normalise.
-        let h_bar = self.ln1.forward(&h_seq.add(&zm));
+        let h_bar = self.ln1.forward_residual(h_seq, &zm);
         // 3. Cross-attention for the samples that carry history.
         let fused = match hist {
             None => h_bar,
@@ -156,7 +156,7 @@ impl AttentionBlock {
                     &hc.uniq_starts,
                     &hc.hist_lens,
                 );
-                let crossed = self.ln2.forward(&sub.add(&zh));
+                let crossed = self.ln2.forward_residual(&sub, &zh);
                 if all {
                     crossed
                 } else {
@@ -166,7 +166,7 @@ impl AttentionBlock {
         };
         // 4. Feed-forward with residual.
         let zf = self.ff.forward(&fused).relu();
-        self.ln3.forward(&fused.add(&zf))
+        self.ln3.forward_residual(&fused, &zf)
     }
 
     /// Applies the block: `(H_S [n, dm], H_◁ [m, dm]?) → [n, dm]`.
@@ -179,18 +179,18 @@ impl AttentionBlock {
         // 1. Masked self-attention (causal masking inside the fused node).
         let zm = self.self_attend_fused(h_seq, &[0], &[n]);
         // 2. Add & normalise.
-        let h_bar = self.ln1.forward(&h_seq.add(&zm));
+        let h_bar = self.ln1.forward_residual(h_seq, &zm);
         // 3. Cross-attention against historical knowledge.
         let fused = match history {
             Some(hist) if hist.rows() > 0 => {
                 let zh = self.cross_attend_fused(&h_bar, hist, &[0], &[n], &[0], &[hist.rows()]);
-                self.ln2.forward(&h_bar.add(&zh))
+                self.ln2.forward_residual(&h_bar, &zh)
             }
             _ => h_bar,
         };
         // 4. Feed-forward with residual.
         let zf = self.ff.forward(&fused).relu();
-        self.ln3.forward(&fused.add(&zf))
+        self.ln3.forward_residual(&fused, &zf)
     }
 }
 

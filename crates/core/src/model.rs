@@ -104,6 +104,11 @@ pub struct TspnRa {
     /// content key encodings)`. Populated only under
     /// [`Tensor::no_grad`], where the cached tensors carry no tape.
     history_cache: RefCell<HistoryCache>,
+    /// Packed `[n, 3, s, s]` tile-image input keyed by the context
+    /// revision it was staged from. The packed tensor is a pure leaf (no
+    /// tape), so reusing it across gradient steps is safe; it only goes
+    /// stale when the imagery itself is swapped.
+    packed_cache: RefCell<Option<(u64, Tensor)>>,
     pub(crate) rng: RefCell<StdRng>,
 }
 
@@ -143,6 +148,7 @@ impl TspnRa {
             spatial_codes,
             qrp_cache: RefCell::new(HashMap::new()),
             history_cache: RefCell::new((0, HashMap::new())),
+            packed_cache: RefCell::new(None),
             rng: RefCell::new(StdRng::seed_from_u64(config.seed ^ 0xD20)),
             config,
         }
@@ -176,6 +182,22 @@ impl TspnRa {
         self.params().iter().map(Tensor::len).sum()
     }
 
+    /// Number of leading entries of [`TspnRa::params`] that feed the
+    /// shared embedding tables ([`TspnRa::batch_tables`]): `me1` (when
+    /// imagery is on), the per-tile correction table and `me2`. The
+    /// data-parallel trainer never syncs these to shard replicas — shards
+    /// receive the table *values* as read-only leaves and only the owner
+    /// backpropagates the tables tape.
+    pub fn table_params_len(&self) -> usize {
+        let mut n = 0;
+        if self.config.variant.use_imagery {
+            n += self.me1.params().len();
+        }
+        n += self.tile_fallback.params().len();
+        n += self.me2.params().len();
+        n
+    }
+
     /// Named parameters (stable order) for checkpointing.
     pub fn named_params(&self) -> Vec<(String, Tensor)> {
         self.params()
@@ -189,6 +211,15 @@ impl TspnRa {
     pub fn save(&self) -> tspn_tensor::serialize::Checkpoint {
         let named = self.named_params();
         tspn_tensor::serialize::Checkpoint::capture(named.iter().map(|(n, t)| (n.as_str(), t)))
+    }
+
+    /// Re-snapshots all parameters into an existing checkpoint, reusing
+    /// its record allocations (see
+    /// [`tspn_tensor::serialize::Checkpoint::capture_into`]) — the
+    /// zero-allocation form of [`TspnRa::save`] for per-epoch loops.
+    pub fn save_into(&self, ckpt: &mut tspn_tensor::serialize::Checkpoint) {
+        let named = self.named_params();
+        ckpt.capture_into(named.iter().map(|(n, t)| (n.as_str(), t)));
     }
 
     /// Restores parameters from a checkpoint produced by [`TspnRa::save`]
@@ -215,8 +246,22 @@ impl TspnRa {
         let all: Vec<usize> = (0..ctx.num_tiles()).collect();
         let identity = self.tile_fallback.lookup(&all);
         let tiles = if self.config.variant.use_imagery {
+            // Stage the raw imagery once per context revision: the packed
+            // input is a tape-free leaf, so the copy out of `image_chw`
+            // is identical every step until `swap_imagery`.
+            let packed = {
+                let mut cache = self.packed_cache.borrow_mut();
+                match cache.as_ref() {
+                    Some((rev, t)) if *rev == ctx.revision() => t.clone(),
+                    _ => {
+                        let t = self.me1.pack_tiles_chw(&ctx.image_chw);
+                        *cache = Some((ctx.revision(), t.clone()));
+                        t
+                    }
+                }
+            };
             self.me1
-                .embed_tiles_chw(&ctx.image_chw)
+                .embed_batch(&packed)
                 .add(&identity)
                 .l2_normalize_rows()
         } else {

@@ -4,14 +4,45 @@
 //! samples are sharded across the persistent worker pool
 //! ([`tspn_tensor::parallel`]), and every pool thread owns a full model
 //! **replica** (the autodiff tape is single-threaded `Rc`, so replicas —
-//! cached per thread and synchronised by parameter snapshot — are how the
-//! tape scales across cores). Within a shard the samples no longer run
-//! one at a time: each shard (and each serial batch) is one padded,
-//! masked batched forward ([`crate::TspnRa::forward_batch`]), so the
+//! cached per thread and kept in sync from the owner — are how the tape
+//! scales across cores). Within a shard the samples no longer run one at
+//! a time: each shard (and each serial batch) is one padded, masked
+//! batched forward ([`crate::TspnRa::forward_batch`]), so the
 //! ~50-node-per-sample tape overhead is paid once per batch. Shard work
 //! is dispatched per batch; nothing occupies a worker between batches,
 //! so concurrent trainers and evaluations interleave freely on the
 //! shared pool.
+//!
+//! ## Shared-tables ownership rule
+//!
+//! The embedding-tables tape ([`crate::TspnRa::batch_tables`]: the CNN
+//! pass over every tile plus the POI table merge) is built **once per
+//! gradient step, on the dispatching thread** — never inside a shard.
+//! Shards receive the table *values* and wrap them in local
+//! [`Tensor::param`] leaves; their backward passes accumulate table
+//! gradients into those leaves, which the owner merges in shard order and
+//! pushes through its own tape with [`Tensor::backward_seeded`] — one
+//! im2col/embedding tape per step instead of one per shard. Only the
+//! owner ever differentiates through the tables, so the table parameters
+//! (the leading [`crate::TspnRa::table_params_len`] entries of `params()`)
+//! are **never synchronised to replicas** — shards must not (and cannot)
+//! read them.
+//!
+//! ## Delta-sync publish/version protocol
+//!
+//! Non-table ("downstream") parameters reach replicas through a
+//! double-buffered publish area instead of a whole-model snapshot. The
+//! owner keeps, per downstream parameter, a publish buffer plus a
+//! monotonic version stamp; [`optim::Adam::step_scaled`] reports which
+//! parameters it actually moved, and only those get re-published (copy +
+//! version bump). Each replica remembers the version it last copied for
+//! every parameter and refreshes exactly the stale ones at shard start —
+//! O(changed params) per batch instead of O(all params). External
+//! parameter mutation ([`Trainer::mark_model_dirty`]) bumps every stamp.
+//! `TSPN_TRAIN_DELTA_SYNC=0` (or [`Trainer::set_delta_sync`]) keeps the
+//! full-copy fallback: every publish buffer is rewritten and every
+//! replica copies all of them each batch. Both modes copy identical
+//! values, so training is **bitwise identical across sync modes**.
 //!
 //! ## Determinism contract
 //!
@@ -22,10 +53,15 @@
 //! * **Training** is deterministic for a fixed `(seed, thread count)`:
 //!   each batch is split into `min(threads, batch)` contiguous shards,
 //!   every shard's dropout RNG is seeded from `(seed, step, shard)`, and
-//!   shard gradients merge into the optimizer in shard order. A shard's
-//!   result never depends on which pool thread computes it (replica
-//!   parameters are overwritten from the snapshot, and every task runs
-//!   under the worker scope), so the schedule is irrelevant.
+//!   shard gradients (downstream and table-leaf alike) merge in shard
+//!   order. A shard's result never depends on which pool thread computes
+//!   it (replica parameters are refreshed to the published values, and
+//!   every task runs under the worker scope), so the schedule is
+//!   irrelevant.
+//! * **Optimizer updates** run as one fused pass with the clip factor
+//!   folded in ([`optim::grad_global_norm`] + [`optim::Adam::step_scaled`]),
+//!   bitwise identical to the retired clip-then-step sequence on both
+//!   kernel tiers.
 //!
 //! Thread count comes from [`tspn_tensor::parallel::num_threads`]
 //! (`TSPN_NUM_THREADS` to override; `1` forces the serial path).
@@ -71,6 +107,10 @@ struct ReplicaSlot {
     replica: TspnRa,
     /// `replica.params()`, in the same order as the owning trainer's.
     params: Vec<Tensor>,
+    /// Per-downstream-parameter version stamps last copied from the
+    /// owner's publish area (see the module docs); empty = never synced,
+    /// which forces a full copy on first use.
+    seen: Vec<u64>,
 }
 
 thread_local! {
@@ -85,7 +125,7 @@ fn with_replica<R>(
     trainer_id: u64,
     cfg: &TspnConfig,
     ctx: &SpatialContext,
-    f: impl FnOnce(&TspnRa, &[Tensor]) -> R,
+    f: impl FnOnce(&TspnRa, &[Tensor], &mut Vec<u64>) -> R,
 ) -> R {
     REPLICAS.with(|cell| {
         let mut cache = cell.borrow_mut();
@@ -102,10 +142,17 @@ fn with_replica<R>(
                 trainer_id,
                 replica,
                 params,
+                seen: Vec::new(),
             });
         }
-        let slot = cache.last().expect("replica cached above");
-        f(&slot.replica, &slot.params)
+        let slot = cache.last_mut().expect("replica cached above");
+        let ReplicaSlot {
+            replica,
+            params,
+            seen,
+            ..
+        } = slot;
+        f(replica, params, seen)
     })
 }
 
@@ -137,6 +184,76 @@ pub struct EpochStats {
 /// Batch-tables cache key: `(parameter version, context revision)`.
 type CacheKey = (u64, u64);
 
+/// Owner side of the delta-sync protocol (module docs): per-downstream-
+/// parameter publish buffers plus monotonic version stamps. Shard
+/// closures borrow it read-only while a batch is in flight; the optimizer
+/// epilogue republishes the parameters it touched.
+#[derive(Default)]
+struct SyncState {
+    /// Version stamp per downstream parameter; starts at 1 (replicas
+    /// start at "never synced"), bumped on every republish, and never
+    /// reset, so replica stamps stay comparable for the trainer's life.
+    versions: Vec<u64>,
+    /// Published value per downstream parameter. Plain `Vec`s (not pool
+    /// buffers): they live for the trainer's lifetime and are rewritten
+    /// in place, so steady-state batches never reallocate them.
+    publish: Vec<Vec<f32>>,
+    /// Set by [`Trainer::mark_model_dirty`]: parameters changed outside
+    /// the optimizer, so every buffer must republish with a version bump.
+    stale: bool,
+}
+
+impl SyncState {
+    /// Brings the publish area up to date before a batch dispatch.
+    /// `down` is the downstream parameter suffix; in full-copy mode
+    /// (`delta == false`) every buffer is rewritten every batch.
+    fn prepare(&mut self, down: &[Tensor], delta: bool) {
+        if self.versions.len() != down.len() {
+            self.versions = vec![1; down.len()];
+            self.publish = down.iter().map(|p| p.to_vec()).collect();
+            self.stale = false;
+        } else if self.stale || !delta {
+            for (buf, p) in self.publish.iter_mut().zip(down) {
+                buf.clear();
+                buf.extend_from_slice(&p.data());
+            }
+            if self.stale {
+                for v in &mut self.versions {
+                    *v += 1;
+                }
+            }
+            self.stale = false;
+        }
+    }
+
+    /// Republishes one downstream parameter after the optimizer moved it.
+    fn republish(&mut self, j: usize, p: &Tensor) {
+        self.publish[j].clear();
+        self.publish[j].extend_from_slice(&p.data());
+        self.versions[j] += 1;
+    }
+}
+
+/// Copies stale published parameters into a replica's downstream suffix
+/// and advances its stamps. An empty or mismatched `seen` (fresh replica,
+/// or full-copy mode) copies everything.
+fn refresh_replica(rdown: &[Tensor], seen: &mut Vec<u64>, sync: &SyncState, delta: bool) {
+    if delta && seen.len() == sync.versions.len() {
+        for j in 0..rdown.len() {
+            if sync.versions[j] > seen[j] {
+                rdown[j].set_data(&sync.publish[j]);
+                seen[j] = sync.versions[j];
+            }
+        }
+    } else {
+        for (p, buf) in rdown.iter().zip(&sync.publish) {
+            p.set_data(buf);
+        }
+        seen.clear();
+        seen.extend_from_slice(&sync.versions);
+    }
+}
+
 /// Owns the model, the spatial context and the optimizer state.
 pub struct Trainer {
     /// The model under training.
@@ -153,6 +270,12 @@ pub struct Trainer {
     /// Cached `batch_tables` for evaluation, keyed by
     /// `(param version, ctx revision)`.
     tables_cache: RefCell<Option<(CacheKey, Rc<BatchTables>)>>,
+    /// Delta parameter sync on the sharded path (module docs); the
+    /// full-copy fallback is bitwise identical. Defaults from
+    /// `TSPN_TRAIN_DELTA_SYNC` (`0` disables) at construction.
+    delta_sync: bool,
+    /// Owner side of the publish/version protocol.
+    sync: RefCell<SyncState>,
 }
 
 impl Trainer {
@@ -169,14 +292,34 @@ impl Trainer {
             rng,
             version: Cell::new(0),
             tables_cache: RefCell::new(None),
+            delta_sync: std::env::var("TSPN_TRAIN_DELTA_SYNC").map_or(true, |v| v != "0"),
+            sync: RefCell::new(SyncState::default()),
         }
     }
 
-    /// Invalidates cached derived state (the evaluation batch tables).
-    /// The fit/restore paths call this automatically; call it manually
-    /// after mutating `model` parameters from outside the trainer.
+    /// Switches the sharded path between delta parameter sync and the
+    /// full-copy fallback (both bitwise identical; see the module docs).
+    /// Programmatic override of the `TSPN_TRAIN_DELTA_SYNC` default — env
+    /// reads race across parallel tests, so tests set this explicitly.
+    pub fn set_delta_sync(&mut self, on: bool) {
+        if self.delta_sync != on {
+            self.delta_sync = on;
+            self.mark_model_dirty();
+        }
+    }
+
+    /// Whether the sharded path uses delta parameter sync.
+    pub fn delta_sync(&self) -> bool {
+        self.delta_sync
+    }
+
+    /// Invalidates cached derived state (the evaluation batch tables and
+    /// the delta-sync publish area). The fit/restore paths call this
+    /// automatically; call it manually after mutating `model` parameters
+    /// from outside the trainer.
     pub fn mark_model_dirty(&self) {
         self.version.set(self.version.get() + 1);
+        self.sync.borrow_mut().stale = true;
     }
 
     /// The batch tables for the current parameters and context, computed
@@ -246,8 +389,10 @@ impl Trainer {
                 total_loss += loss.item() as f64;
                 batches += 1;
                 loss.backward();
-                optim::clip_grad_norm(&params, 5.0);
-                self.opt.step(&params);
+                // Fused clip + update: bitwise identical to the retired
+                // clip_grad_norm + step sequence (see optim module docs).
+                let scale = optim::clip_scale(optim::grad_global_norm(&params), 5.0);
+                self.opt.step_scaled(&params, scale, |_| {});
             }
             self.opt.decay_lr(self.model.config.lr_decay);
             stats.push(EpochStats {
@@ -259,39 +404,54 @@ impl Trainer {
         stats
     }
 
-    /// Data-parallel path: each batch's gradient shards are dispatched to
-    /// the persistent worker pool (pool threads reuse cached model
-    /// replicas); gradients merge in shard order on this thread.
+    /// Data-parallel path: the owner builds the shared tables tape once
+    /// per batch and publishes only changed downstream parameters; shards
+    /// run on cached replicas and return (table-leaf + downstream)
+    /// gradients, which merge in shard order on this thread (module docs
+    /// cover the ownership and sync protocols).
     fn fit_epochs_sharded(
         &mut self,
         train: &[Sample],
         epochs: usize,
         workers: usize,
     ) -> Vec<EpochStats> {
-        let params = self.model.params();
-        let batch_size = self.model.config.batch_size;
-        let lr_decay = self.model.config.lr_decay;
-        let seed = self.model.config.seed;
-        let cfg = self.model.config.clone();
-        let ctx = &self.ctx;
-        let trainer_id = self.id;
+        let Trainer {
+            ref model,
+            ref ctx,
+            id: trainer_id,
+            ref mut opt,
+            ref mut rng,
+            ref sync,
+            delta_sync,
+            ..
+        } = *self;
+        let params = model.params();
+        let tpl = model.table_params_len();
+        let down = &params[tpl..];
+        let batch_size = model.config.batch_size;
+        let lr_decay = model.config.lr_decay;
+        let seed = model.config.seed;
+        let cfg = model.config.clone();
         let mut order: Vec<usize> = (0..train.len()).collect();
         let mut stats = Vec::with_capacity(epochs);
+        let mut sync = sync.borrow_mut();
 
-        let mut step = self.opt.steps();
+        let mut step = opt.steps();
         for epoch in 0..epochs {
             let started = std::time::Instant::now();
-            order.shuffle(&mut self.rng);
+            order.shuffle(rng);
             let mut total_loss = 0.0f64;
             let mut batches = 0usize;
             for chunk in order.chunks(batch_size) {
-                // Pool-backed copies: the buffers return to the pool after
-                // the batch, so steady-state batches do not allocate for
-                // the snapshot either.
-                let snapshot: Vec<Vec<f32>> = params
-                    .iter()
-                    .map(|p| pool::take_copied(&p.data()))
-                    .collect();
+                sync.prepare(down, delta_sync);
+                // Shared tables: ONE tape on this thread per step. Shards
+                // see only the forward values (as fresh leaves), so the
+                // im2col/embedding forward never runs per shard.
+                let tables = model.batch_tables(ctx);
+                let tiles_shape = tables.tiles.shape().0.clone();
+                let pois_shape = tables.pois.shape().0.clone();
+                let tiles_vals = tables.tiles.data();
+                let pois_vals = tables.pois.data();
                 // Shard layout depends only on (batch len, workers), so a
                 // fixed thread count reproduces exactly; shard results are
                 // additionally independent of which pool thread runs them.
@@ -306,15 +466,28 @@ impl Trainer {
                         let dropout_seed = seed
                             ^ step.wrapping_mul(0x9E3779B97F4A7C15)
                             ^ (shard_id as u64).wrapping_mul(0xD1B54A32D192ED03);
-                        let (snapshot, cfg) = (&snapshot, &cfg);
+                        let cfg = &cfg;
+                        let sync: &SyncState = &sync;
+                        let (tiles_vals, pois_vals) = (&*tiles_vals, &*pois_vals);
+                        let (tiles_shape, pois_shape) = (&tiles_shape, &pois_shape);
                         move || {
-                            with_replica(trainer_id, cfg, ctx, |replica, rparams| {
-                                for (p, values) in rparams.iter().zip(snapshot) {
-                                    p.set_data(values);
-                                }
+                            with_replica(trainer_id, cfg, ctx, |replica, rparams, seen| {
+                                refresh_replica(&rparams[tpl..], seen, sync, delta_sync);
                                 optim::zero_grad(rparams);
                                 replica.reseed_dropout(dropout_seed);
-                                let tables = replica.batch_tables(ctx);
+                                // Table values as gradient-collecting
+                                // leaves; the tape behind them stays with
+                                // the owner.
+                                let tables = BatchTables {
+                                    tiles: Tensor::param(
+                                        pool::take_copied(tiles_vals),
+                                        tiles_shape.clone(),
+                                    ),
+                                    pois: Tensor::param(
+                                        pool::take_copied(pois_vals),
+                                        pois_shape.clone(),
+                                    ),
+                                };
                                 // One padded batched forward per shard.
                                 let loss = replica
                                     .loss_batch(ctx, &samples, &tables)
@@ -322,16 +495,17 @@ impl Trainer {
                                     .scale(inv_batch);
                                 let value = loss.item();
                                 loss.backward();
-                                let grads: Vec<Vec<f32>> = rparams
-                                    .iter()
-                                    .map(|p| {
-                                        p.with_grad_ref(|g| match g {
-                                            Some(g) => pool::take_copied(g),
-                                            None => pool::take_zeroed(p.len()),
-                                        })
+                                let leaf_grad = |t: &Tensor| {
+                                    t.with_grad_ref(|g| match g {
+                                        Some(g) => pool::take_copied(g),
+                                        None => pool::take_zeroed(t.len()),
                                     })
-                                    .collect();
-                                (value, grads)
+                                };
+                                let tiles_grad = leaf_grad(&tables.tiles);
+                                let pois_grad = leaf_grad(&tables.pois);
+                                let grads: Vec<Vec<f32>> =
+                                    rparams[tpl..].iter().map(leaf_grad).collect();
+                                (value, tiles_grad, pois_grad, grads)
                             })
                         }
                     })
@@ -339,27 +513,61 @@ impl Trainer {
                 // Dispatch and merge; a panicking shard re-raises here
                 // after the batch drains (no half-applied updates).
                 let results = parallel::map_scoped(jobs);
+                drop(tiles_vals);
+                drop(pois_vals);
                 optim::zero_grad(&params);
                 let mut batch_loss = 0.0f32;
-                for (loss, grads) in results {
+                let mut tiles_merged: Option<Vec<f32>> = None;
+                let mut pois_merged: Option<Vec<f32>> = None;
+                let merge = |acc: &mut Option<Vec<f32>>, g: Vec<f32>| match acc {
+                    None => *acc = Some(g),
+                    Some(acc) => {
+                        for (a, b) in acc.iter_mut().zip(&g) {
+                            *a += b;
+                        }
+                        pool::give(g);
+                    }
+                };
+                for (loss, tiles_grad, pois_grad, grads) in results {
                     batch_loss += loss;
-                    for (p, g) in params.iter().zip(&grads) {
+                    merge(&mut tiles_merged, tiles_grad);
+                    merge(&mut pois_merged, pois_grad);
+                    for (p, g) in down.iter().zip(&grads) {
                         p.accumulate_grad(g);
                     }
                     for g in grads {
                         pool::give(g);
                     }
                 }
+                // Backpropagate the merged table gradients through the
+                // owner's tape — the tiles and POI tapes are disjoint, so
+                // two seeded walks cover the whole tables graph.
+                let tiles_merged = tiles_merged.expect("at least one shard ran");
+                let pois_merged = pois_merged.expect("at least one shard ran");
+                tables.tiles.backward_seeded(&tiles_merged);
+                tables.pois.backward_seeded(&pois_merged);
+                pool::give(tiles_merged);
+                pool::give(pois_merged);
                 total_loss += batch_loss as f64;
                 batches += 1;
-                optim::clip_grad_norm(&params, 5.0);
-                self.opt.step(&params);
+                // Fused clip + update; touched downstream parameters are
+                // republished for the next batch's replica refresh.
+                let scale = optim::clip_scale(optim::grad_global_norm(&params), 5.0);
+                opt.step_scaled(&params, scale, |i| {
+                    if delta_sync && i >= tpl {
+                        sync.republish(i - tpl, &params[i]);
+                    }
+                });
                 step += 1;
-                for buf in snapshot {
-                    pool::give(buf);
-                }
+                // Drop the tables tape, then spill this thread's local
+                // buffer cache to the shared pool: the dispatching thread
+                // may have run a shard job itself, and buffers parked in
+                // its local cache would be invisible to whichever worker
+                // draws that shard next batch. (Workers spill when idle.)
+                drop(tables);
+                pool::flush_thread_local();
             }
-            self.opt.decay_lr(lr_decay);
+            opt.decay_lr(lr_decay);
             stats.push(EpochStats {
                 epoch,
                 mean_loss: (total_loss / batches.max(1) as f64) as f32,
@@ -396,7 +604,11 @@ impl Trainer {
             mrr /= outcomes.len().max(1) as f64;
             if mrr > best_mrr {
                 best_mrr = mrr;
-                best = Some(self.model.save());
+                // Re-capture into the previous snapshot's allocations.
+                match &mut best {
+                    Some(ckpt) => self.model.save_into(ckpt),
+                    None => best = Some(self.model.save()),
+                }
             }
         }
         if let Some(ckpt) = best {
@@ -554,7 +766,11 @@ impl Trainer {
                 let (tiles_data, tiles_shape) = (&tiles_data, &tiles_shape);
                 let (pois_data, pois_shape) = (&pois_data, &pois_shape);
                 move || {
-                    with_replica(trainer_id, cfg, ctx, |replica, rparams| {
+                    // Full-value overwrite (prediction never steps the
+                    // optimizer, so the publish/version protocol does not
+                    // apply); replica `seen` stamps are left alone — they
+                    // under-report freshness, which is always safe.
+                    with_replica(trainer_id, cfg, ctx, |replica, rparams, _seen| {
                         for (p, values) in rparams.iter().zip(snapshot) {
                             p.set_data(values);
                         }
@@ -598,6 +814,25 @@ impl Trainer {
         out.into_iter()
             .map(|r| r.expect("every query answered"))
             .collect()
+    }
+
+    /// Benchmark hook: one full publish + replica-style refresh round
+    /// trip over every downstream parameter (the worst case the delta
+    /// protocol avoids). Returns the number of f32 values copied each
+    /// way. Hidden: perf_snapshot only.
+    #[doc(hidden)]
+    pub fn bench_sync_roundtrip(&mut self) -> usize {
+        let params = self.model.params();
+        let down = &params[self.model.table_params_len()..];
+        let sync = self.sync.get_mut();
+        sync.stale = true;
+        sync.prepare(down, true);
+        let mut copied = 0;
+        for (p, buf) in down.iter().zip(&sync.publish) {
+            p.set_data(buf);
+            copied += buf.len();
+        }
+        copied
     }
 
     /// Rough resident-memory estimate in bytes: parameters + Adam moments

@@ -170,15 +170,24 @@ pub fn build_qrp(
         let b = graph.index_of(QrpNode::Tile(child)).expect("in subtree");
         graph.add_edge(EdgeType::Branch, a, b);
     }
-    // Step 2: road edges between subtree leaves.
+    // Step 2: road edges between subtree leaves. `HashSet` iteration
+    // order is seeded per process, and road-edge insertion order decides
+    // the neighbour lists — and therefore the attention summation order —
+    // so the qualifying edges are sorted before insertion to keep
+    // training bitwise-reproducible across processes, not just within
+    // one.
     if options.road_edges {
         let in_subtree: HashSet<NodeId> = leaf_set.iter().copied().collect();
-        for &(ta, tb) in road_adjacency {
-            if in_subtree.contains(&ta) && in_subtree.contains(&tb) {
-                let a = graph.index_of(QrpNode::Tile(ta)).expect("leaf in graph");
-                let b = graph.index_of(QrpNode::Tile(tb)).expect("leaf in graph");
-                graph.add_edge(EdgeType::Road, a, b);
-            }
+        let mut road: Vec<(NodeId, NodeId)> = road_adjacency
+            .iter()
+            .filter(|(ta, tb)| in_subtree.contains(ta) && in_subtree.contains(tb))
+            .copied()
+            .collect();
+        road.sort_unstable();
+        for (ta, tb) in road {
+            let a = graph.index_of(QrpNode::Tile(ta)).expect("leaf in graph");
+            let b = graph.index_of(QrpNode::Tile(tb)).expect("leaf in graph");
+            graph.add_edge(EdgeType::Road, a, b);
         }
     }
     // Step 3: contain edges.

@@ -30,6 +30,13 @@ impl LayerNorm {
     pub fn forward(&self, x: &Tensor) -> Tensor {
         x.layer_norm(&self.gamma, &self.beta, self.eps)
     }
+
+    /// Residual epilogue `ln(a + b)` as one fused tape node (see
+    /// [`Tensor::add_layer_norm`]) — bitwise identical to
+    /// `self.forward(&a.add(&b))` but without the intermediate add node.
+    pub fn forward_residual(&self, a: &Tensor, b: &Tensor) -> Tensor {
+        a.add_layer_norm(b, &self.gamma, &self.beta, self.eps)
+    }
 }
 
 impl Module for LayerNorm {

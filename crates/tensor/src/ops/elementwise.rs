@@ -162,8 +162,35 @@ impl Tensor {
     }
 
     /// Hyperbolic tangent.
+    ///
+    /// The forward pass runs the tier's vector kernel
+    /// ([`crate::simd::tanh_slice`]): a rational approximation on the
+    /// AVX2 arm, libm `tanhf` on the scalar arm — the tiers agree to
+    /// tolerance, not bitwise, exactly like the softmax `exp`. At the
+    /// HGAT sizes the libm per-element call was the single most
+    /// expensive elementwise op on the profile, ~13× the cost of `add`.
     pub fn tanh(&self) -> Tensor {
-        ew_unary(self, |x| x.tanh(), |_, y| 1.0 - y * y)
+        let mut out = pool::take_uninit(self.len());
+        crate::simd::tanh_slice(&self.data(), &mut out);
+        let pa = self.clone();
+        let saved_out = pool::scratch_copied(&out);
+        Tensor::from_op(
+            out,
+            self.shape().clone(),
+            vec![self.clone()],
+            Box::new(move |o: &Tensor| {
+                let og = o.inner.grad.borrow();
+                let g = og.as_ref().expect("output grad present in backward");
+                if pa.requires_grad() {
+                    pa.with_grad_mut(|ga| {
+                        for (i, gi) in g.iter().enumerate() {
+                            let y = saved_out[i];
+                            ga[i] += gi * (1.0 - y * y);
+                        }
+                    });
+                }
+            }),
+        )
     }
 
     /// Elementwise exponential.

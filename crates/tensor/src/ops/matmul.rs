@@ -55,6 +55,12 @@ const SMALL_ELEMS: usize = 32 * 1024;
 /// per KC-chunk exactly like the microkernel, so both paths produce
 /// bitwise-identical rows.
 const SMALL_KM: usize = 1024;
+/// Quad-eligible products (`m == 1` or `m` a multiple of 8, AVX2 tier
+/// only) stay on the small path up to this `k·m` bound: the four-row
+/// interleaved kernels beat the packing path well past `SMALL_KM`. The
+/// backward `Xᵀ·dY` products of the `dm = 16` dense layers (`k` = batch
+/// rows, `m = dm`) land in this band.
+const QUAD_KM: usize = 4 * 1024;
 /// Minimum `n·k·m` before work is sharded across the persistent worker
 /// pool (~0.5 MFLOP). Dispatch through the pool costs a few µs, not the
 /// ~50 µs of spawning scoped threads, so medium GEMMs parallelise too.
@@ -93,7 +99,11 @@ pub fn gemm_ex(
     // nested GEMMs never fan out a second time.
     let workers = parallel::effective_threads();
     let parallelize = elems >= PAR_ELEMS && workers > 1 && n >= 2 * MR;
-    if !parallelize && (elems <= SMALL_ELEMS || (k <= KC && k * m <= SMALL_KM)) {
+    let small = elems <= SMALL_ELEMS
+        || (k <= KC
+            && (k * m <= SMALL_KM
+                || (k * m <= QUAD_KM && simd::enabled() && (m == 1 || m.is_multiple_of(8)))));
+    if !parallelize && small {
         match layout {
             GemmLayout::NN => small_nn(a, b, c, n, k, m),
             GemmLayout::TN => small_tn(a, b, c, n, k, m),
@@ -306,9 +316,86 @@ fn microkernel(
 /// pool-sharded) it lands on, which is what lets a padded *batched*
 /// forward reproduce the per-sample path bitwise even when the batch
 /// crosses the small/blocked size threshold that the lone sample did not.
+/// Four-row-interleaved driver for the small `NN`/`TN` kernels (AVX2
+/// tier only): rows run through the quad chunk kernels in groups of
+/// four; the return value is the first row left for the caller's
+/// per-row loop (0 when the driver does not apply). Applies when
+/// `m == 1` (matrix·vector) or `m` is a multiple of 8 (full-lane strips
+/// of 8/16 columns). `a_off(i, pc)` addresses row `i`'s element for
+/// chunk start `pc` and `a_stride` its per-`p` step (`1`/`k`-row for
+/// `NN`, `n`/column for `TN`). Per output element every path keeps the
+/// serial per-`p` FMA chain, chunked by `KC`, so quad, per-row, and
+/// blocked results are mutually bitwise identical.
+#[allow(clippy::too_many_arguments)]
+fn small_quad<F: Fn(usize, usize) -> usize>(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    n: usize,
+    k: usize,
+    m: usize,
+    a_stride: usize,
+    a_off: F,
+) -> usize {
+    if !simd::enabled() || n < 4 || !(m == 1 || m.is_multiple_of(8)) {
+        return 0;
+    }
+    let quads = n / 4 * 4;
+    for i0 in (0..quads).step_by(4) {
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            let offs = [
+                a_off(i0, pc),
+                a_off(i0 + 1, pc),
+                a_off(i0 + 2, pc),
+                a_off(i0 + 3, pc),
+            ];
+            if m == 1 {
+                // SAFETY: AVX2+FMA checked above; the offsets address
+                // rows i0..i0+4 of A and chunk rows pc..pc+kc of b.
+                let sums = unsafe { simd::colvec_quad_chunk_avx2(a, offs, a_stride, b, pc, kc) };
+                for (r, s) in sums.iter().enumerate() {
+                    c[i0 + r] += s;
+                }
+            } else {
+                for j0 in (0..m).step_by(16) {
+                    let cols = 16.min(m - j0);
+                    let c_off = [
+                        i0 * m + j0,
+                        (i0 + 1) * m + j0,
+                        (i0 + 2) * m + j0,
+                        (i0 + 3) * m + j0,
+                    ];
+                    // SAFETY: AVX2+FMA checked above; `m % 8 == 0` makes
+                    // `cols` 8 or 16, and every strip/row offset is in
+                    // bounds of the caller-validated buffers.
+                    unsafe {
+                        simd::small_quad_chunk_avx2(
+                            a,
+                            offs,
+                            a_stride,
+                            b,
+                            pc * m + j0,
+                            m,
+                            kc,
+                            c,
+                            c_off,
+                            cols,
+                        )
+                    };
+                }
+            }
+            pc += kc;
+        }
+    }
+    quads
+}
+
 fn small_nn(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
     let vector = simd::enabled();
-    for i in 0..n {
+    let start = small_quad(a, b, c, n, k, m, 1, |i, pc| i * k + pc);
+    for i in start..n {
         let a_row = &a[i * k..(i + 1) * k];
         for j0 in (0..m).step_by(SMALL_JB) {
             let cols = SMALL_JB.min(m - j0);
@@ -358,7 +445,8 @@ fn small_nn(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
 /// KC-chunked accumulation order as the blocked path (see [`small_nn`]).
 fn small_tn(a: &[f32], b: &[f32], c: &mut [f32], n: usize, k: usize, m: usize) {
     let vector = simd::enabled();
-    for i in 0..n {
+    let start = small_quad(a, b, c, n, k, m, n, |i, pc| pc * n + i);
+    for i in start..n {
         for j0 in (0..m).step_by(SMALL_JB) {
             let cols = SMALL_JB.min(m - j0);
             let mut pc = 0;
@@ -749,7 +837,21 @@ mod tests {
         // heuristic selects, because batching changes the row count but
         // must not change any row's value. Non-zero C exercises the
         // accumulate-into-existing case (`affine` prefills the bias).
-        for &(n, k, m) in &[(3, 64, 48), (5, 300, 33), (2, 513, 16), (1, 16, 70)] {
+        // The quad-eligible shapes (`m == 1`, `m % 8 == 0`, n ≥ 4) route
+        // through the four-row interleaved kernels on the AVX2 tier and
+        // must still match the blocked path bit for bit, including the
+        // leftover rows when n % 4 != 0.
+        for &(n, k, m) in &[
+            (3, 64, 48),
+            (5, 300, 33),
+            (2, 513, 16),
+            (1, 16, 70),
+            (137, 16, 16),
+            (16, 137, 1),
+            (9, 300, 8),
+            (6, 40, 24),
+            (5, 16, 1),
+        ] {
             for layout in [GemmLayout::NN, GemmLayout::TN, GemmLayout::NT] {
                 let a = filled(n * k, 5);
                 let b = filled(k * m, 9);
@@ -764,6 +866,29 @@ mod tests {
                 assert!(
                     c_small == c_blocked,
                     "{layout:?} {n}x{k}x{m}: small and blocked kernels diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quad_band_dispatch_matches_blocked_bitwise() {
+        // k·m between SMALL_KM and QUAD_KM with m % 8 == 0: on the AVX2
+        // tier gemm_ex keeps these on the (quad) small path, on the
+        // scalar tier they go blocked — either way the result must equal
+        // the serial blocked kernel bit for bit. (16, 137, 16) is the
+        // dense-layer backward `Xᵀ·dY` shape at dm = 16.
+        for &(n, k, m) in &[(16usize, 137usize, 16usize), (24, 200, 16), (137, 100, 1)] {
+            for layout in [GemmLayout::NN, GemmLayout::TN] {
+                let a = filled(n * k, 13);
+                let b = filled(k * m, 17);
+                let mut c_dispatch = vec![0.125f32; n * m];
+                gemm_ex(layout, &a, &b, &mut c_dispatch, n, k, m);
+                let mut c_blocked = vec![0.125f32; n * m];
+                gemm_blocked(layout, &a, &b, &mut c_blocked, 0, n, n, k, m);
+                assert!(
+                    c_dispatch == c_blocked,
+                    "{layout:?} {n}x{k}x{m}: quad-band dispatch diverged from blocked"
                 );
             }
         }

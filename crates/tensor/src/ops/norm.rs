@@ -137,6 +137,116 @@ impl Tensor {
         )
     }
 
+    /// Fused residual add + layer norm: `layer_norm(self + rhs, γ, β)` as a
+    /// single tape node. The attention stack closes every block with
+    /// `ln(x + sublayer(x))`; folding the add into the norm's row pass
+    /// saves one full-tensor tape node (allocation, forward write and
+    /// backward accumulation) per residual — six per sample forward.
+    ///
+    /// Bitwise contract: the forward computes `s_j = a_j + b_j` and then
+    /// runs *exactly* the [`Tensor::layer_norm`] row sequence on `s`; the
+    /// backward computes the same closed-form `dx` and accumulates it into
+    /// both parents in the order the retired add node used (`self` first,
+    /// then `rhs`), so the fold reproduces the composed chain's gradients.
+    pub fn add_layer_norm(&self, rhs: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
+        let (n, m) = (self.rows(), self.cols());
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "add_layer_norm operand shape mismatch"
+        );
+        assert_eq!(gamma.len(), m, "add_layer_norm gamma length mismatch");
+        assert_eq!(beta.len(), m, "add_layer_norm beta length mismatch");
+        let a = self.data();
+        let b = rhs.data();
+        let gv = gamma.data();
+        let bv = beta.data();
+        let mut out = pool::take_uninit(n * m);
+        let mut xhat = pool::scratch_uninit(n * m);
+        let mut inv_std = pool::scratch_uninit(n);
+        let mut sum = pool::scratch_uninit(m);
+        for r in 0..n {
+            let ra = &a[r * m..(r + 1) * m];
+            let rb = &b[r * m..(r + 1) * m];
+            for j in 0..m {
+                sum[j] = ra[j] + rb[j];
+            }
+            let mu = simd::row_sum(&sum) / m as f32;
+            let var = simd::row_sq_diff_sum(&sum, mu) / m as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            inv_std[r] = inv;
+            for j in 0..m {
+                let h = (sum[j] - mu) * inv;
+                xhat[r * m + j] = h;
+                out[r * m + j] = gv[j] * h + bv[j];
+            }
+        }
+        drop(a);
+        drop(b);
+        drop(gv);
+        drop(bv);
+        let (pa, pb2, pg, pb) = (self.clone(), rhs.clone(), gamma.clone(), beta.clone());
+        Tensor::from_op(
+            out,
+            self.shape().clone(),
+            vec![self.clone(), rhs.clone(), gamma.clone(), beta.clone()],
+            Box::new(move |o: &Tensor| {
+                let og = o.inner.grad.borrow();
+                let g = og.as_ref().expect("grad");
+                if pb.requires_grad() {
+                    pb.with_grad_mut(|gb| {
+                        for r in 0..n {
+                            for j in 0..m {
+                                gb[j] += g[r * m + j];
+                            }
+                        }
+                    });
+                }
+                if pg.requires_grad() {
+                    pg.with_grad_mut(|gg| {
+                        for r in 0..n {
+                            for j in 0..m {
+                                gg[j] += g[r * m + j] * xhat[r * m + j];
+                            }
+                        }
+                    });
+                }
+                if pa.requires_grad() || pb2.requires_grad() {
+                    let gv = pg.data();
+                    let mut h = pool::scratch_uninit(m);
+                    let mut dx = pool::scratch_uninit(n * m);
+                    for r in 0..n {
+                        let gr = &g[r * m..(r + 1) * m];
+                        let xr = &xhat[r * m..(r + 1) * m];
+                        for (hj, (gj, gvj)) in h.iter_mut().zip(gr.iter().zip(gv.iter())) {
+                            *hj = gj * gvj;
+                        }
+                        let mean_h = simd::row_sum(&h) / m as f32;
+                        let mean_hx = simd::row_dot(&h, xr) / m as f32;
+                        let inv = inv_std[r];
+                        for j in 0..m {
+                            dx[r * m + j] = (h[j] - mean_h - xr[j] * mean_hx) * inv;
+                        }
+                    }
+                    if pa.requires_grad() {
+                        pa.with_grad_mut(|ga| {
+                            for (gaj, dj) in ga.iter_mut().zip(dx.iter()) {
+                                *gaj += dj;
+                            }
+                        });
+                    }
+                    if pb2.requires_grad() {
+                        pb2.with_grad_mut(|gb| {
+                            for (gbj, dj) in gb.iter_mut().zip(dx.iter()) {
+                                *gbj += dj;
+                            }
+                        });
+                    }
+                }
+            }),
+        )
+    }
+
     /// Cosine similarity between a query vector `[d]` (or `[1, d]`) and each
     /// row of `candidates [n, d]`, producing `[n]` — differentiable through
     /// both operands.
@@ -286,6 +396,44 @@ mod tests {
         // loss = |y|² = 1 regardless of scale of x → zero gradient.
         for g in x.grad() {
             assert!(g.abs() < 1e-5, "grad should vanish, got {g}");
+        }
+    }
+
+    #[test]
+    fn add_layer_norm_matches_composed_chain_bitwise() {
+        let vals = |n: usize, seed: u64| -> Vec<f32> {
+            let mut s = seed;
+            (0..n)
+                .map(|_| {
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+                })
+                .collect()
+        };
+        let (n, m) = (5, 12);
+        let run = |fused: bool| {
+            let a = Tensor::param(vals(n * m, 7), vec![n, m]);
+            let b = Tensor::param(vals(n * m, 99), vec![n, m]);
+            let gamma = Tensor::param(vals(m, 3), vec![m]);
+            let beta = Tensor::param(vals(m, 4), vec![m]);
+            let y = if fused {
+                a.add_layer_norm(&b, &gamma, &beta, 1e-5)
+            } else {
+                a.add(&b).layer_norm(&gamma, &beta, 1e-5)
+            };
+            let loss = y.mul(&y).sum_all();
+            loss.backward();
+            (y.to_vec(), a.grad(), b.grad(), gamma.grad(), beta.grad())
+        };
+        let (fy, fa, fb, fg, fbe) = run(true);
+        let (cy, ca, cb, cg, cbe) = run(false);
+        for (lhs, rhs) in [(&fy, &cy), (&fa, &ca), (&fb, &cb), (&fg, &cg), (&fbe, &cbe)] {
+            assert_eq!(lhs.len(), rhs.len());
+            for (x, y) in lhs.iter().zip(rhs.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "fused residual LN diverged");
+            }
         }
     }
 

@@ -168,6 +168,16 @@ fn worker_loop(inj: &'static Injector) {
                     backlog.pop_front();
                     continue;
                 }
+                // Going idle: spill this thread's local buffer cache to
+                // the shared pool shards so the next batch can recycle
+                // those buffers from whichever thread picks it up.
+                // (No-op when the local cache is already empty.)
+                drop(backlog);
+                crate::pool::flush_thread_local();
+                backlog = inj.backlog.lock().expect("injector");
+                if backlog.front().is_some() {
+                    continue;
+                }
                 backlog = inj.ready.wait(backlog).expect("injector wait");
             }
         };

@@ -302,6 +302,50 @@ pub fn give(buf: Vec<f32>) {
     }
 }
 
+/// Moves every buffer in the calling thread's local cache into the
+/// shared shards, making them visible to other threads. Cheap no-op
+/// when the local cache is empty. Buffers that exceed the shared
+/// retention budget are dropped (counted as discarded).
+///
+/// Rationale: a buffer parked in an idle thread's local cache is
+/// invisible to whichever thread picks up the matching work next
+/// batch, forcing a fresh allocation even though the buffer exists.
+/// The data-parallel workers call this when they run out of tasks,
+/// and the sharded trainer calls it after each step, so between
+/// dispatches the shared shards hold the complete recycled set and
+/// shard-to-thread assignment cannot cause steady-state misses.
+pub fn flush_thread_local() {
+    let drained: Vec<(usize, Vec<Vec<f32>>)> = TL_CACHE.with(|cell| {
+        let mut tl = cell.borrow_mut();
+        if tl.floats == 0 {
+            return Vec::new();
+        }
+        tl.floats = 0;
+        tl.buckets.drain().collect()
+    });
+    if drained.is_empty() {
+        return;
+    }
+    let p = pool();
+    for (len, bufs) in drained {
+        if bufs.is_empty() {
+            continue;
+        }
+        let mut shard = p.shards[shard_for(len)].lock().expect("pool shard");
+        let bucket = shard.buckets.entry(len).or_default();
+        for buf in bufs {
+            let over_budget =
+                p.retained_floats.load(Ordering::Relaxed) + len as u64 > MAX_TOTAL_FLOATS as u64;
+            if !over_budget && bucket.len() < bucket_cap(len) {
+                bucket.push(buf);
+                p.retained_floats.fetch_add(len as u64, Ordering::Relaxed);
+            } else {
+                p.discarded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
 /// A pooled buffer that returns itself on drop — for op-internal
 /// temporaries and saved-forward values captured by backward closures.
 pub struct Scratch(Option<Vec<f32>>);

@@ -42,6 +42,35 @@ impl Checkpoint {
         }
     }
 
+    /// Re-snapshots `(name, tensor)` pairs into `self`, reusing the
+    /// existing record `Vec`s when names/shapes line up (the common case:
+    /// [`crate::Trainer`]-style epoch loops capture the same parameter set
+    /// every epoch) — so a per-epoch capture allocates nothing after the
+    /// first.
+    pub fn capture_into<'a>(&mut self, entries: impl IntoIterator<Item = (&'a str, &'a Tensor)>) {
+        let mut n = 0;
+        for (i, (name, t)) in entries.into_iter().enumerate() {
+            n = i + 1;
+            if let Some(rec) = self.tensors.get_mut(i) {
+                if rec.name != name {
+                    rec.name.clear();
+                    rec.name.push_str(name);
+                }
+                rec.shape.clear();
+                rec.shape.extend_from_slice(&t.shape().0);
+                rec.data.clear();
+                rec.data.extend_from_slice(&t.data());
+            } else {
+                self.tensors.push(TensorRecord {
+                    name: name.to_string(),
+                    shape: t.shape().0.clone(),
+                    data: t.to_vec(),
+                });
+            }
+        }
+        self.tensors.truncate(n);
+    }
+
     /// Restores values into matching tensors by name.
     ///
     /// # Errors
@@ -85,6 +114,17 @@ mod tests {
         let b = Tensor::param(vec![0.0; 3], vec![3]);
         ckpt.restore([("a", &b)]).expect("restore");
         assert_eq!(b.to_vec(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn capture_into_reuses_records_and_tracks_changes() {
+        let a = Tensor::param(vec![1.0, 2.0], vec![2]);
+        let b = Tensor::param(vec![3.0], vec![1]);
+        let mut ckpt = Checkpoint::capture([("a", &a), ("b", &b), ("gone", &b)]);
+        a.set_data(&[9.0, 8.0]);
+        ckpt.capture_into([("a", &a), ("b", &b)]);
+        let fresh = Checkpoint::capture([("a", &a), ("b", &b)]);
+        assert_eq!(ckpt.tensors, fresh.tensors);
     }
 
     #[test]

@@ -83,6 +83,88 @@ fn detect() -> KernelTier {
     KernelTier::Scalar
 }
 
+/// Per-step constants of the fused Adam update kernel ([`adam_update`]).
+///
+/// `c1`/`c2` are the precomputed `1 − β₁` / `1 − β₂` complements (rounded
+/// once, on the scalar side, so both tiers consume the identical
+/// constant), `b1t`/`b2t` the bias corrections `1 − βᵗ`, and `grad_scale`
+/// the folded-in global clip factor (`1.0` when no clipping applies).
+#[derive(Debug, Clone, Copy)]
+pub struct AdamKernel {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// `1 − β₁`.
+    pub c1: f32,
+    /// `1 − β₂`.
+    pub c2: f32,
+    /// Bias correction `1 − β₁ᵗ`.
+    pub b1t: f32,
+    /// Bias correction `1 − β₂ᵗ`.
+    pub b2t: f32,
+    /// Stability epsilon.
+    pub eps: f32,
+    /// Decoupled weight decay (0 disables).
+    pub wd: f32,
+    /// Gradient pre-scale (global-norm clip folded into the pass).
+    pub grad_scale: f32,
+}
+
+/// Fused Adam update: one pass over `data`/`grad`/`m`/`v` computing
+///
+/// ```text
+/// g    = grad_scale·grad[i] + wd·data[i]
+/// m[i] = β₁·m[i] + (1−β₁)·g
+/// v[i] = β₂·v[i] + ((1−β₂)·g)·g
+/// data[i] −= (lr·(m[i]/b1t)) / (√(v[i]/b2t) + eps)
+/// ```
+///
+/// **Bitwise contract:** every operation is a correctly-rounded IEEE-754
+/// mul/add/sub/div/sqrt — deliberately *no* FMA contraction — in the same
+/// order on both arms, so the scalar and AVX2 tiers produce bit-identical
+/// parameters and moments, and both reproduce the retired two-pass
+/// (clip-rewrite then update) optimizer exactly: `grad_scale·grad[i]`
+/// rounds identically to the old in-place `grad[i] *= scale` rewrite.
+pub fn adam_update(data: &mut [f32], grad: &[f32], m: &mut [f32], v: &mut [f32], k: &AdamKernel) {
+    debug_assert_eq!(data.len(), grad.len());
+    debug_assert_eq!(data.len(), m.len());
+    debug_assert_eq!(data.len(), v.len());
+    if enabled() {
+        // SAFETY: `enabled()` guarantees AVX2+FMA on this host.
+        unsafe { adam_update_avx2(data, grad, m, v, k) }
+    } else {
+        adam_update_scalar(data, grad, m, v, k);
+    }
+}
+
+/// Scalar arm of [`adam_update`] (also the cross-tier reference).
+fn adam_update_scalar(
+    data: &mut [f32],
+    grad: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    k: &AdamKernel,
+) {
+    for i in 0..data.len() {
+        let g = k.grad_scale * grad[i] + k.wd * data[i];
+        m[i] = k.beta1 * m[i] + k.c1 * g;
+        v[i] = k.beta2 * v[i] + (k.c2 * g) * g;
+        let m_hat = m[i] / k.b1t;
+        let v_hat = v[i] / k.b2t;
+        data[i] -= lr_update(k.lr, m_hat, v_hat, k.eps);
+    }
+}
+
+/// `(lr·m̂) / (√v̂ + eps)` — the scalar arm's update term, split out so the
+/// parenthesisation the AVX arm mirrors is pinned in one place.
+#[inline]
+fn lr_update(lr: f32, m_hat: f32, v_hat: f32, eps: f32) -> f32 {
+    (lr * m_hat) / (v_hat.sqrt() + eps)
+}
+
 #[cfg(target_arch = "x86_64")]
 pub(crate) use x86::*;
 
@@ -178,6 +260,63 @@ mod x86 {
         let n = _mm256_cvttps_epi32(fx);
         let pow2n = _mm256_slli_epi32(_mm256_add_epi32(n, _mm256_set1_epi32(127)), 23);
         _mm256_mul_ps(y, _mm256_castsi256_ps(pow2n))
+    }
+
+    /// Vector `tanh` — rational approximation `x·P(x²)/Q(x²)` (the
+    /// classic 7/6-degree fit) on the clamped range `|x| ≤ 7.905`, where
+    /// f32 `tanh` saturates anyway. Deterministic and bounded in
+    /// `[-1, 1]`; agrees with libm `tanhf` to a few ulp but is a
+    /// **different** function — cross-tier comparisons use tolerance,
+    /// exactly like the vector `exp`.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn tanh256(x: __m256) -> __m256 {
+        let x = _mm256_max_ps(
+            _mm256_min_ps(x, _mm256_set1_ps(7.905_311)),
+            _mm256_set1_ps(-7.905_311),
+        );
+        let x2 = _mm256_mul_ps(x, x);
+        let mut p = _mm256_set1_ps(-2.760_768_4e-16);
+        p = _mm256_fmadd_ps(p, x2, _mm256_set1_ps(2.000_188e-13));
+        p = _mm256_fmadd_ps(p, x2, _mm256_set1_ps(-8.604_672e-11));
+        p = _mm256_fmadd_ps(p, x2, _mm256_set1_ps(5.122_297e-8));
+        p = _mm256_fmadd_ps(p, x2, _mm256_set1_ps(1.485_722_4e-5));
+        p = _mm256_fmadd_ps(p, x2, _mm256_set1_ps(6.372_619_3e-4));
+        p = _mm256_fmadd_ps(p, x2, _mm256_set1_ps(4.893_524_6e-3));
+        let p = _mm256_mul_ps(p, x);
+        let mut q = _mm256_set1_ps(1.198_258_4e-6);
+        q = _mm256_fmadd_ps(q, x2, _mm256_set1_ps(1.185_347e-4));
+        q = _mm256_fmadd_ps(q, x2, _mm256_set1_ps(2.268_434_6e-3));
+        q = _mm256_fmadd_ps(q, x2, _mm256_set1_ps(4.893_525e-3));
+        _mm256_div_ps(p, q)
+    }
+
+    /// Elementwise vector tanh `dst[i] = tanh(src[i])`; ragged tails use
+    /// masked loads/stores, so every element goes through [`tanh256`].
+    ///
+    /// # Safety
+    /// AVX2+FMA must be available; slices must have equal length.
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn tanh_slice_avx2(src: &[f32], dst: &mut [f32]) {
+        debug_assert_eq!(src.len(), dst.len());
+        let n = src.len();
+        let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: i + 8 ≤ n for both slices.
+            _mm256_storeu_ps(dp.add(i), tanh256(_mm256_loadu_ps(sp.add(i))));
+            i += 8;
+        }
+        let rem = n - i;
+        if rem > 0 {
+            let mask = tail_mask(rem);
+            // SAFETY: masked load/store touch only the first `rem` lanes.
+            _mm256_maskstore_ps(
+                dp.add(i),
+                mask,
+                tanh256(_mm256_maskload_ps(sp.add(i), mask)),
+            );
+        }
     }
 
     /// AVX2 `MR×NR` GEMM microkernel: identical loop structure to the
@@ -277,6 +416,101 @@ mod x86 {
             let lane = _mm256_loadu_ps(acc.as_ptr().add(q * 8));
             _mm256_storeu_ps(acc.as_mut_ptr().add(q * 8), _mm256_add_ps(lane, *reg));
         }
+    }
+
+    /// One KC-chunk of the small-kernel loop for **four** output rows at
+    /// once, over one `cols ∈ {8, 16}` column strip. Per output element
+    /// the accumulation is the same serial FMA chain over `p` as
+    /// [`small_chunk_avx2`]; interleaving four independent chains only
+    /// adds instruction-level parallelism (the per-row path leaves the
+    /// FMA unit idle for most of each chain's latency), so the quad and
+    /// per-row paths are bitwise identical element for element. A row
+    /// `r`'s A element for chunk step `p` sits at `a[a_off[r] + p·a_stride]`
+    /// (`a_stride` = 1 walks an `NN` row, = n walks a `TN` column), and
+    /// the chunk sum is added into `c` at `c_off[r]` — the same
+    /// chunk-then-add order as the per-row kernels.
+    ///
+    /// # Safety
+    /// AVX2+FMA must be available; `a` must cover every
+    /// `a_off[r] + (kc−1)·a_stride`, `b` must cover
+    /// `b_off + (kc−1)·m + cols`, and `c` must cover `c_off[r] + cols`.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn small_quad_chunk_avx2(
+        a: &[f32],
+        a_off: [usize; 4],
+        a_stride: usize,
+        b: &[f32],
+        b_off: usize,
+        m: usize,
+        kc: usize,
+        c: &mut [f32],
+        c_off: [usize; 4],
+        cols: usize,
+    ) {
+        debug_assert!(cols == 8 || cols == 16);
+        let wide = cols == 16;
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = [_mm256_setzero_ps(); 4];
+        let mut acc1 = [_mm256_setzero_ps(); 4];
+        for p in 0..kc {
+            // SAFETY: all offsets in bounds per the caller contract.
+            let brow = bp.add(b_off + p * m);
+            let b0 = _mm256_loadu_ps(brow);
+            let b1 = if wide {
+                _mm256_loadu_ps(brow.add(8))
+            } else {
+                _mm256_setzero_ps()
+            };
+            for (r, (a0, a1)) in acc0.iter_mut().zip(acc1.iter_mut()).enumerate() {
+                let ar = _mm256_broadcast_ss(&*ap.add(a_off[r] + p * a_stride));
+                *a0 = _mm256_fmadd_ps(ar, b0, *a0);
+                if wide {
+                    *a1 = _mm256_fmadd_ps(ar, b1, *a1);
+                }
+            }
+        }
+        for (r, (a0, a1)) in acc0.iter().zip(acc1.iter()).enumerate() {
+            // SAFETY: c covers c_off[r] + cols.
+            let crow = c.as_mut_ptr().add(c_off[r]);
+            _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), *a0));
+            if wide {
+                _mm256_storeu_ps(
+                    crow.add(8),
+                    _mm256_add_ps(_mm256_loadu_ps(crow.add(8)), *a1),
+                );
+            }
+        }
+    }
+
+    /// One KC-chunk of a matrix·vector product (`m == 1`) for four output
+    /// rows at once: four independent serial FMA chains over `p`, each
+    /// bitwise identical to the per-row chain [`small_chunk_avx2`] runs
+    /// for a single-column strip. Returns the four chunk sums for the
+    /// caller to add into `c` in the shared chunk-then-add order.
+    ///
+    /// # Safety
+    /// AVX2+FMA must be available; `a` must cover every
+    /// `a_off[r] + (kc−1)·a_stride` and `b` must cover `b_off + kc`.
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn colvec_quad_chunk_avx2(
+        a: &[f32],
+        a_off: [usize; 4],
+        a_stride: usize,
+        b: &[f32],
+        b_off: usize,
+        kc: usize,
+    ) -> [f32; 4] {
+        let (ap, bp) = (a.as_ptr(), b.as_ptr().add(b_off));
+        let mut acc = [0.0f32; 4];
+        for p in 0..kc {
+            // SAFETY: offsets in bounds per the caller contract.
+            let bv = *bp.add(p);
+            for (r, accr) in acc.iter_mut().enumerate() {
+                *accr = (*ap.add(a_off[r] + p * a_stride)).mul_add(bv, *accr);
+            }
+        }
+        acc
     }
 
     /// Serial FMA dot product `Σ_p a[p]·b[p]` — the single-row `A·Bᵀ`
@@ -425,6 +659,126 @@ mod x86 {
         reduce_add(acc)
     }
 
+    /// AVX2 arm of the fused Adam update. Mirrors the scalar arm's exact
+    /// op sequence — `vmul`/`vadd`/`vsub`/`vdiv`/`vsqrt` only, **no FMA**
+    /// (contraction would merge two roundings and break the cross-tier
+    /// bitwise contract); every one of those is correctly rounded per
+    /// IEEE-754, so the lanes reproduce the scalar loop bit for bit.
+    ///
+    /// # Safety
+    /// AVX2+FMA must be available ([`super::enabled`]); all four slices
+    /// must have equal length (asserted by the dispatcher).
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn adam_update_avx2(
+        data: &mut [f32],
+        grad: &[f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        k: &super::AdamKernel,
+    ) {
+        let n = data.len();
+        let scale = _mm256_set1_ps(k.grad_scale);
+        let wd = _mm256_set1_ps(k.wd);
+        let b1 = _mm256_set1_ps(k.beta1);
+        let b2 = _mm256_set1_ps(k.beta2);
+        let c1 = _mm256_set1_ps(k.c1);
+        let c2 = _mm256_set1_ps(k.c2);
+        let b1t = _mm256_set1_ps(k.b1t);
+        let b2t = _mm256_set1_ps(k.b2t);
+        let eps = _mm256_set1_ps(k.eps);
+        let lr = _mm256_set1_ps(k.lr);
+        let (dp, gp, mp, vp) = (
+            data.as_mut_ptr(),
+            grad.as_ptr(),
+            m.as_mut_ptr(),
+            v.as_mut_ptr(),
+        );
+        #[inline]
+        #[target_feature(enable = "avx2,fma")]
+        #[allow(clippy::too_many_arguments)]
+        unsafe fn lanes(
+            d: __m256,
+            g0: __m256,
+            m0: __m256,
+            v0: __m256,
+            scale: __m256,
+            wd: __m256,
+            b1: __m256,
+            b2: __m256,
+            c1: __m256,
+            c2: __m256,
+            b1t: __m256,
+            b2t: __m256,
+            eps: __m256,
+            lr: __m256,
+        ) -> (__m256, __m256, __m256) {
+            // g = scale·grad + wd·data  (two rounded muls, one rounded add)
+            let g = _mm256_add_ps(_mm256_mul_ps(scale, g0), _mm256_mul_ps(wd, d));
+            // m = β₁·m + c₁·g
+            let m1 = _mm256_add_ps(_mm256_mul_ps(b1, m0), _mm256_mul_ps(c1, g));
+            // v = β₂·v + (c₂·g)·g  — left-associated like the scalar arm
+            let v1 = _mm256_add_ps(
+                _mm256_mul_ps(b2, v0),
+                _mm256_mul_ps(_mm256_mul_ps(c2, g), g),
+            );
+            let m_hat = _mm256_div_ps(m1, b1t);
+            let v_hat = _mm256_div_ps(v1, b2t);
+            let denom = _mm256_add_ps(_mm256_sqrt_ps(v_hat), eps);
+            let d1 = _mm256_sub_ps(d, _mm256_div_ps(_mm256_mul_ps(lr, m_hat), denom));
+            (d1, m1, v1)
+        }
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: i + 8 ≤ n for all four equal-length slices.
+            let (d1, m1, v1) = lanes(
+                _mm256_loadu_ps(dp.add(i)),
+                _mm256_loadu_ps(gp.add(i)),
+                _mm256_loadu_ps(mp.add(i)),
+                _mm256_loadu_ps(vp.add(i)),
+                scale,
+                wd,
+                b1,
+                b2,
+                c1,
+                c2,
+                b1t,
+                b2t,
+                eps,
+                lr,
+            );
+            _mm256_storeu_ps(dp.add(i), d1);
+            _mm256_storeu_ps(mp.add(i), m1);
+            _mm256_storeu_ps(vp.add(i), v1);
+            i += 8;
+        }
+        let rem = n - i;
+        if rem > 0 {
+            let mask = tail_mask(rem);
+            // SAFETY: masked loads/stores touch only the first `rem`
+            // lanes; dead lanes load +0.0, compute harmless finite
+            // garbage (√(0/b2t)+eps never traps) and are never stored.
+            let (d1, m1, v1) = lanes(
+                _mm256_maskload_ps(dp.add(i), mask),
+                _mm256_maskload_ps(gp.add(i), mask),
+                _mm256_maskload_ps(mp.add(i), mask),
+                _mm256_maskload_ps(vp.add(i), mask),
+                scale,
+                wd,
+                b1,
+                b2,
+                c1,
+                c2,
+                b1t,
+                b2t,
+                eps,
+                lr,
+            );
+            _mm256_maskstore_ps(dp.add(i), mask, d1);
+            _mm256_maskstore_ps(mp.add(i), mask, m1);
+            _mm256_maskstore_ps(vp.add(i), mask, v1);
+        }
+    }
+
     /// Lane-strided centred second moment `Σ (v[i]−mu)²` for layer-norm.
     ///
     /// # Safety
@@ -487,6 +841,33 @@ mod fallback {
     ) {
         unreachable!("SIMD arm dispatched on a non-x86 target")
     }
+    pub(crate) unsafe fn small_quad_chunk_avx2(
+        _a: &[f32],
+        _a_off: [usize; 4],
+        _a_stride: usize,
+        _b: &[f32],
+        _b_off: usize,
+        _m: usize,
+        _kc: usize,
+        _c: &mut [f32],
+        _c_off: [usize; 4],
+        _cols: usize,
+    ) {
+        unreachable!("SIMD arm dispatched on a non-x86 target")
+    }
+    pub(crate) unsafe fn colvec_quad_chunk_avx2(
+        _a: &[f32],
+        _a_off: [usize; 4],
+        _a_stride: usize,
+        _b: &[f32],
+        _b_off: usize,
+        _kc: usize,
+    ) -> [f32; 4] {
+        unreachable!("SIMD arm dispatched on a non-x86 target")
+    }
+    pub(crate) unsafe fn tanh_slice_avx2(_src: &[f32], _dst: &mut [f32]) {
+        unreachable!("SIMD arm dispatched on a non-x86 target")
+    }
     pub(crate) unsafe fn dot_chain_avx2(_a: &[f32], _b: &[f32]) -> f32 {
         unreachable!("SIMD arm dispatched on a non-x86 target")
     }
@@ -503,6 +884,15 @@ mod fallback {
         unreachable!("SIMD arm dispatched on a non-x86 target")
     }
     pub(crate) unsafe fn row_sq_diff_sum_avx2(_v: &[f32], _mu: f32) -> f32 {
+        unreachable!("SIMD arm dispatched on a non-x86 target")
+    }
+    pub(crate) unsafe fn adam_update_avx2(
+        _data: &mut [f32],
+        _grad: &[f32],
+        _m: &mut [f32],
+        _v: &mut [f32],
+        _k: &super::AdamKernel,
+    ) {
         unreachable!("SIMD arm dispatched on a non-x86 target")
     }
 }
@@ -559,6 +949,24 @@ pub(crate) fn row_dot(a: &[f32], b: &[f32]) -> f32 {
         unsafe { row_dot_avx2(a, b) }
     } else {
         a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+}
+
+/// Elementwise tanh `dst[i] = tanh(src[i])` on the active tier: the
+/// vector rational approximation on the AVX2 arm, libm `tanhf` on the
+/// scalar arm. Like the vector `exp`, the tiers agree to tolerance, not
+/// bitwise; within one tier the kernel is deterministic and its output
+/// is always inside `[-1, 1]`.
+#[inline]
+pub(crate) fn tanh_slice(src: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    if enabled() {
+        // SAFETY: `enabled()` guarantees AVX2+FMA.
+        unsafe { tanh_slice_avx2(src, dst) }
+    } else {
+        for (d, &x) in dst.iter_mut().zip(src) {
+            *d = x.tanh();
+        }
     }
 }
 
@@ -638,6 +1046,107 @@ mod tests {
                 assert_eq!(simd_row[n - 1], 0.0, "masked entry must be exactly zero");
             }
             assert!((simd_sum - ref_sum).abs() <= 1e-5 * ref_sum.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn tanh_matches_libm_to_tolerance_and_stays_bounded() {
+        // Wide range including the saturated region and ragged tails.
+        for n in [1usize, 5, 8, 13, 16, 137] {
+            let src: Vec<f32> = (0..n).map(|i| (i as f32 - n as f32 / 2.0) * 0.37).collect();
+            let mut dst = vec![0.0f32; n];
+            tanh_slice(&src, &mut dst);
+            for (&x, &y) in src.iter().zip(&dst) {
+                let want = x.tanh();
+                assert!(
+                    (y - want).abs() <= 2e-7 + 1e-6 * want.abs(),
+                    "tanh({x}) = {y}, want {want}"
+                );
+                assert!((-1.0..=1.0).contains(&y), "tanh({x}) = {y} out of range");
+            }
+        }
+    }
+
+    fn test_kernel(grad_scale: f32, wd: f32, t: u64) -> AdamKernel {
+        let (beta1, beta2) = (0.9f32, 0.999f32);
+        AdamKernel {
+            lr: 1e-2,
+            beta1,
+            beta2,
+            c1: 1.0 - beta1,
+            c2: 1.0 - beta2,
+            b1t: 1.0 - beta1.powi(t as i32),
+            b2t: 1.0 - beta2.powi(t as i32),
+            eps: 1e-8,
+            wd,
+            grad_scale,
+        }
+    }
+
+    #[test]
+    fn adam_update_matches_reference_two_pass() {
+        // The fused pass must reproduce the retired sequence exactly:
+        // clip-rewrite the gradient in place, then the naive update loop.
+        for n in [1usize, 7, 8, 9, 31, 64, 100] {
+            for (scale, wd) in [(1.0f32, 0.0f32), (0.37, 0.0), (1.0, 0.01), (0.83, 0.003)] {
+                let k = test_kernel(scale, wd, 3);
+                let mut data = vals(n, 11);
+                let grad = vals(n, 19);
+                let mut m = vals(n, 23);
+                let mut v: Vec<f32> = vals(n, 29).iter().map(|x| x * x).collect();
+                let (mut rd, mut rm, mut rv) = (data.clone(), m.clone(), v.clone());
+                let rg: Vec<f32> = grad.iter().map(|g| scale * g).collect();
+                for i in 0..n {
+                    let g = rg[i] + wd * rd[i];
+                    rm[i] = k.beta1 * rm[i] + (1.0 - k.beta1) * g;
+                    rv[i] = k.beta2 * rv[i] + (1.0 - k.beta2) * g * g;
+                    let m_hat = rm[i] / k.b1t;
+                    let v_hat = rv[i] / k.b2t;
+                    rd[i] -= k.lr * m_hat / (v_hat.sqrt() + k.eps);
+                }
+                adam_update(&mut data, &grad, &mut m, &mut v, &k);
+                assert!(
+                    data.iter()
+                        .zip(&rd)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "data diverged at n={n} scale={scale} wd={wd}"
+                );
+                assert!(m.iter().zip(&rm).all(|(a, b)| a.to_bits() == b.to_bits()));
+                assert!(v.iter().zip(&rv).all(|(a, b)| a.to_bits() == b.to_bits()));
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn adam_update_tiers_are_bitwise_identical() {
+        // The AVX arm avoids FMA so every lane op is the correctly-rounded
+        // IEEE operation the scalar arm performs — compare them directly
+        // (runnable regardless of which tier the process dispatches to).
+        if !(std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma"))
+        {
+            return;
+        }
+        for n in [1usize, 5, 8, 13, 16, 27, 96] {
+            let k = test_kernel(0.71, 0.002, 5);
+            let mut d_s = vals(n, 41);
+            let grad = vals(n, 43);
+            let mut m_s = vals(n, 47);
+            let mut v_s: Vec<f32> = vals(n, 53).iter().map(|x| x * x).collect();
+            let (mut d_v, mut m_v, mut v_v) = (d_s.clone(), m_s.clone(), v_s.clone());
+            adam_update_scalar(&mut d_s, &grad, &mut m_s, &mut v_s, &k);
+            // SAFETY: feature-detected above.
+            unsafe { adam_update_avx2(&mut d_v, &grad, &mut m_v, &mut v_v, &k) };
+            for (a, b) in d_s.iter().zip(&d_v) {
+                assert_eq!(a.to_bits(), b.to_bits(), "data lanes diverged at n={n}");
+            }
+            for (a, b) in m_s.iter().zip(&m_v) {
+                assert_eq!(a.to_bits(), b.to_bits(), "m lanes diverged at n={n}");
+            }
+            for (a, b) in v_s.iter().zip(&v_v) {
+                assert_eq!(a.to_bits(), b.to_bits(), "v lanes diverged at n={n}");
+            }
         }
     }
 

@@ -9,7 +9,7 @@ use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tspn_tensor::nn::{Conv2d, Linear, Module};
+use tspn_tensor::nn::{Conv2d, LayerNorm, Linear, Module};
 use tspn_tensor::{batch_causal_mask, key_padding_mask, optim, pool, Tensor};
 
 /// The pool counters are process-global; the steady-state tests must
@@ -146,6 +146,61 @@ fn steady_state_conv_training_step_allocates_nothing() {
     assert_eq!(
         stats.discarded, 0,
         "steady-state conv buffers must all be retained: {stats:?}"
+    );
+}
+
+#[test]
+fn steady_state_fused_optimizer_step_allocates_nothing() {
+    let _guard = COUNTER_LOCK.lock().expect("counter lock");
+    // The PR-9 fused hot path: residual + layer norm folded into one
+    // node (`forward_residual`) and the clip-folded single-pass Adam
+    // update (`grad_global_norm` + `clip_scale` + `step_scaled`). Once
+    // warmed, the whole step — forward, backward, norm, update — must
+    // be served from recycled buffers.
+    let mut rng = StdRng::seed_from_u64(11);
+    let l1 = Linear::new(&mut rng, 16, 16);
+    let l2 = Linear::new(&mut rng, 16, 16);
+    let ln = LayerNorm::new(16);
+    let params = [l1.params(), l2.params(), ln.params()].concat();
+    let mut adam = optim::Adam::new(1e-3);
+
+    let mut step = || {
+        optim::zero_grad(&params);
+        let x = Tensor::full(0.25, vec![6, 16]);
+        let h = l1.forward(&x).relu();
+        let z = l2.forward(&h);
+        // Fused residual + layer norm in one tape node.
+        let y = ln.forward_residual(&h, &z);
+        let loss = y.square().sum_all().scale(0.1);
+        loss.backward();
+        // Fused clip + update: the norm is read without mutating the
+        // gradients, and the scale folds into the single Adam pass.
+        let scale = optim::clip_scale(optim::grad_global_norm(&params), 5.0);
+        let mut touched = 0usize;
+        adam.step_scaled(&params, scale, |_| touched += 1);
+        assert_eq!(touched, params.len(), "every parameter has a gradient");
+    };
+
+    for _ in 0..3 {
+        step();
+    }
+
+    pool::reset_stats();
+    for _ in 0..20 {
+        step();
+    }
+    let stats = pool::stats();
+    assert!(
+        stats.hits > 200,
+        "expected real pool traffic, saw {stats:?}"
+    );
+    assert_eq!(
+        stats.misses, 0,
+        "steady-state fused step must not allocate tensor buffers: {stats:?}"
+    );
+    assert_eq!(
+        stats.discarded, 0,
+        "steady-state fused-step buffers must all be retained: {stats:?}"
     );
 }
 
