@@ -3,7 +3,7 @@
 //! forward passes, the CNN tile embedder, cosine tile ranking, and one
 //! end-to-end prediction.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -75,7 +75,7 @@ fn bench_qrp(c: &mut Criterion) {
         },
     );
     let leaves = tree.leaves();
-    let mut road: HashSet<(NodeId, NodeId)> = HashSet::new();
+    let mut road: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
     for w in leaves.windows(2) {
         road.insert((w[0].min(w[1]), w[0].max(w[1])));
     }

@@ -21,7 +21,7 @@
 //! are appended into the same snapshot file by the `serve_bench` binary
 //! (`--merge BENCH_9.json`), which drives a real `tspn-serve` socket loop.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -151,7 +151,7 @@ fn main() {
         },
     );
     let leaves = tree.leaves();
-    let mut road: HashSet<(NodeId, NodeId)> = HashSet::new();
+    let mut road: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
     for w in leaves.windows(2) {
         road.insert((w[0].min(w[1]), w[0].max(w[1])));
     }

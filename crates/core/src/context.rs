@@ -2,7 +2,7 @@
 //! prepared once per dataset — quad-tree (or grid), rendered imagery,
 //! road-derived tile adjacency, and POI↔tile mappings.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use tspn_data::{LbsnDataset, PoiId};
 use tspn_geo::{NodeId, QuadTree};
@@ -34,8 +34,11 @@ pub struct SpatialContext {
     pub leaf_pois: Vec<Vec<PoiId>>,
     /// Rendered imagery for every tree node.
     pub imagery: ImageryDataset,
-    /// Tile pairs directly connected by a road.
-    pub road_adjacency: HashSet<(NodeId, NodeId)>,
+    /// Tile pairs directly connected by a road. Ordered (`BTreeSet`) so
+    /// edge iteration is identical across processes — QR-P construction
+    /// consumes it in order, and the training contract is bitwise
+    /// cross-process reproducibility.
+    pub road_adjacency: BTreeSet<(NodeId, NodeId)>,
     /// Pre-converted CHW float image buffers, indexed by `NodeId.0`.
     ///
     /// Stored as plain `Vec<f32>` (not tensors) so the whole context is

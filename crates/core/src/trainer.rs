@@ -371,6 +371,7 @@ impl Trainer {
         let batch_size = self.model.config.batch_size;
         let mut order: Vec<usize> = (0..train.len()).collect();
         for epoch in 0..epochs {
+            // tspn-lint: allow(wall-clock) — epoch wall time is reported in EpochStats metadata only and never feeds a computed value
             let started = std::time::Instant::now();
             order.shuffle(&mut self.rng);
             let mut total_loss = 0.0f64;
@@ -438,6 +439,7 @@ impl Trainer {
 
         let mut step = opt.steps();
         for epoch in 0..epochs {
+            // tspn-lint: allow(wall-clock) — epoch wall time is reported in EpochStats metadata only and never feeds a computed value
             let started = std::time::Instant::now();
             order.shuffle(rng);
             let mut total_loss = 0.0f64;

@@ -69,7 +69,10 @@ fn user_radius_of_gyration(ds: &LbsnDataset, user: &UserHistory) -> Option<f64> 
 }
 
 fn user_entropy_bits(user: &UserHistory) -> Option<f64> {
-    let mut counts = std::collections::HashMap::new();
+    // BTreeMap, not HashMap: the -p·log2(p) terms are summed in iteration
+    // order, and float addition is not associative — a hash-seeded order
+    // would make the entropy differ in the last bits across processes.
+    let mut counts = std::collections::BTreeMap::new();
     let mut total = 0usize;
     for t in &user.trajectories {
         for v in &t.visits {

@@ -304,11 +304,16 @@ impl QuadTree {
     /// All (parent, child) pairs within a node subset — the `branch` edges
     /// of the QR-P graph.
     pub fn branch_edges_within(&self, subset: &[NodeId]) -> Vec<(NodeId, NodeId)> {
-        let set: std::collections::HashSet<NodeId> = subset.iter().copied().collect();
+        // Sorted-slice membership rather than a HashSet: the output order
+        // (driven by `subset` order) was already deterministic, but an
+        // ordered structure keeps this QR-P construction step immune to
+        // someone later iterating the membership set directly.
+        let mut set: Vec<NodeId> = subset.to_vec();
+        set.sort_unstable();
         let mut edges = Vec::new();
         for &id in subset {
             if let Some(parent) = self.nodes[id.0].parent {
-                if set.contains(&parent) {
+                if set.binary_search(&parent).is_ok() {
                     edges.push((parent, id));
                 }
             }

@@ -207,7 +207,7 @@ mod tests {
     use crate::qrp::{build_qrp, QrpOptions};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
     use tspn_data::presets::nyc_mini;
     use tspn_data::synth::generate_dataset;
     use tspn_data::Visit;
@@ -227,7 +227,7 @@ mod tests {
             },
         );
         let leaves = tree.leaves();
-        let mut road = HashSet::new();
+        let mut road = BTreeSet::new();
         for w in leaves.windows(2) {
             road.insert((w[0].min(w[1]), w[0].max(w[1])));
         }

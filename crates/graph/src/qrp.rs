@@ -11,7 +11,7 @@
 //!   network,
 //! * **contain** edges — leaf tile → the POIs lying inside it.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 use tspn_data::{LbsnDataset, PoiId, Visit};
@@ -136,7 +136,7 @@ impl QrpGraph {
 /// trajectories, per the paper's phase-1 data extraction).
 pub fn build_qrp(
     tree: &QuadTree,
-    road_adjacency: &HashSet<(NodeId, NodeId)>,
+    road_adjacency: &BTreeSet<(NodeId, NodeId)>,
     visits: &[Visit],
     dataset: &LbsnDataset,
     options: QrpOptions,
@@ -170,21 +170,18 @@ pub fn build_qrp(
         let b = graph.index_of(QrpNode::Tile(child)).expect("in subtree");
         graph.add_edge(EdgeType::Branch, a, b);
     }
-    // Step 2: road edges between subtree leaves. `HashSet` iteration
-    // order is seeded per process, and road-edge insertion order decides
-    // the neighbour lists — and therefore the attention summation order —
-    // so the qualifying edges are sorted before insertion to keep
+    // Step 2: road edges between subtree leaves. Road-edge insertion
+    // order decides the neighbour lists — and therefore the attention
+    // summation order — so the adjacency is a `BTreeSet`: its ascending
+    // iteration is the same sorted order in every process, keeping
     // training bitwise-reproducible across processes, not just within
     // one.
     if options.road_edges {
         let in_subtree: HashSet<NodeId> = leaf_set.iter().copied().collect();
-        let mut road: Vec<(NodeId, NodeId)> = road_adjacency
+        let road = road_adjacency
             .iter()
-            .filter(|(ta, tb)| in_subtree.contains(ta) && in_subtree.contains(tb))
-            .copied()
-            .collect();
-        road.sort_unstable();
-        for (ta, tb) in road {
+            .filter(|(ta, tb)| in_subtree.contains(ta) && in_subtree.contains(tb));
+        for &(ta, tb) in road {
             let a = graph.index_of(QrpNode::Tile(ta)).expect("leaf in graph");
             let b = graph.index_of(QrpNode::Tile(tb)).expect("leaf in graph");
             graph.add_edge(EdgeType::Road, a, b);
@@ -209,7 +206,12 @@ mod tests {
     use tspn_data::synth::generate_dataset;
     use tspn_geo::QuadTreeConfig;
 
-    fn fixture() -> (LbsnDataset, QuadTree, HashSet<(NodeId, NodeId)>, Vec<Visit>) {
+    fn fixture() -> (
+        LbsnDataset,
+        QuadTree,
+        BTreeSet<(NodeId, NodeId)>,
+        Vec<Visit>,
+    ) {
         let mut cfg = nyc_mini(0.15);
         cfg.days = 12;
         let (ds, _world) = generate_dataset(cfg);
@@ -223,7 +225,7 @@ mod tests {
         );
         // Fabricated road adjacency: link consecutive leaves pairwise.
         let leaves = tree.leaves();
-        let mut road = HashSet::new();
+        let mut road = BTreeSet::new();
         for w in leaves.windows(2) {
             let (a, b) = (w[0].min(w[1]), w[0].max(w[1]));
             road.insert((a, b));

@@ -1,0 +1,153 @@
+//! Cross-process bitwise-determinism regression test for QR-P construction.
+//!
+//! Every process seeds `std::collections` hashing differently (SipHash with
+//! a per-process random key), so any hash-order iteration that leaks into
+//! the QR-P graph shows up as two processes disagreeing on the serialized
+//! graph. PR 10 moved the road-adjacency plumbing to `BTreeSet` exactly to
+//! close that hole; this test spawns the test binary twice as child
+//! processes, has each build and serialize the same graph, and asserts the
+//! two outputs are byte-for-byte identical.
+//!
+//! `tspn-lint`'s `hash-order` rule catches reintroductions statically; this
+//! is the dynamic backstop for iteration orders the lexer heuristics miss.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::process::Command;
+
+use tspn_data::{CategoryId, LbsnDataset, Poi, PoiId, UserId, Visit};
+use tspn_geo::{BBox, GeoPoint, NodeId, QuadTree, QuadTreeConfig};
+use tspn_graph::{build_qrp, EdgeType, QrpNode, QrpOptions};
+
+const CHILD_OUT_ENV: &str = "TSPN_XPROC_OUT";
+
+fn fixture_dataset() -> LbsnDataset {
+    // Deterministic LCG world: same bits in every process.
+    let mut x = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let pois: Vec<Poi> = (0..48)
+        .map(|i| Poi {
+            id: PoiId(i),
+            loc: GeoPoint::new(next(), next()),
+            cate: CategoryId(i % 7),
+        })
+        .collect();
+    LbsnDataset {
+        name: "xproc".into(),
+        region: BBox::new(0.0, 0.0, 1.0, 1.0),
+        pois,
+        num_categories: 7,
+        users: vec![tspn_data::UserHistory {
+            user: UserId(0),
+            trajectories: Vec::new(),
+        }],
+    }
+}
+
+/// Builds the fixture graph and serializes it canonically: node table in
+/// dense-index order, then each edge family's adjacency in index order.
+fn serialized_graph() -> String {
+    let ds = fixture_dataset();
+    let tree = QuadTree::build(
+        ds.region,
+        &ds.poi_locations(),
+        QuadTreeConfig {
+            max_depth: 6,
+            leaf_capacity: 4,
+        },
+    );
+    let leaves = tree.leaves();
+    let mut road: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+    let mut x = 0xdeadbeefu64 | 1;
+    for _ in 0..(leaves.len() * 2) {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let a = leaves[(x as usize >> 3) % leaves.len()];
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let b = leaves[(x as usize >> 3) % leaves.len()];
+        if a != b {
+            road.insert((a.min(b), a.max(b)));
+        }
+    }
+    let visits: Vec<Visit> = (0..30)
+        .map(|i| Visit {
+            poi: PoiId((i * 17 + 5) % 48),
+            time: i as i64 * 1800,
+        })
+        .collect();
+    let g = build_qrp(&tree, &road, &visits, &ds, QrpOptions::default());
+
+    let mut out = String::new();
+    let _ = writeln!(out, "nodes {}", g.num_nodes());
+    for (i, id) in g.tile_nodes() {
+        let _ = writeln!(out, "tile {} {}", i, id.0);
+    }
+    for (i, p) in g.poi_nodes() {
+        let _ = writeln!(out, "poi {} {}", i, p.0);
+    }
+    for ty in EdgeType::ALL {
+        let _ = writeln!(out, "edges {:?} {}", ty, g.num_edges(ty));
+        for i in 0..g.num_nodes() {
+            let ns = g.neighbors(ty, i);
+            if !ns.is_empty() {
+                let strs: Vec<String> = ns.iter().map(|n| n.to_string()).collect();
+                let _ = writeln!(out, "adj {:?} {} {}", ty, i, strs.join(","));
+            }
+        }
+    }
+    // Exercise index lookups too — they route through a HashMap whose
+    // *lookups* are order-free; this line only moves if the node table does.
+    let probe = g.index_of(QrpNode::Poi(PoiId(5)));
+    let _ = writeln!(out, "probe {:?}", probe);
+    out
+}
+
+/// Child mode: invoked by the parent test below in a fresh process (fresh
+/// SipHash key). Writes the serialized graph to the path in `TSPN_XPROC_OUT`.
+/// A no-op when run as part of the ordinary test sweep.
+#[test]
+fn child_emit() {
+    let Ok(path) = std::env::var(CHILD_OUT_ENV) else {
+        return;
+    };
+    std::fs::write(&path, serialized_graph()).expect("write child output");
+}
+
+#[test]
+fn qrp_graph_is_bitwise_identical_across_processes() {
+    // Guard against recursing when this test runs inside a child.
+    if std::env::var(CHILD_OUT_ENV).is_ok() {
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let dir = std::env::temp_dir();
+    let outputs: Vec<Vec<u8>> = (0..2)
+        .map(|i| {
+            let path = dir.join(format!("tspn_xproc_qrp_{}_{}.txt", std::process::id(), i));
+            let status = Command::new(&exe)
+                .args(["child_emit", "--exact", "--test-threads=1"])
+                .env(CHILD_OUT_ENV, &path)
+                .status()
+                .expect("spawn child test process");
+            assert!(status.success(), "child process {i} failed: {status}");
+            let bytes = std::fs::read(&path).expect("child output written");
+            let _ = std::fs::remove_file(&path);
+            bytes
+        })
+        .collect();
+    assert!(
+        !outputs[0].is_empty(),
+        "child produced an empty serialization"
+    );
+    assert_eq!(
+        outputs[0], outputs[1],
+        "QR-P serialization differs across processes — a hash-seeded \
+         iteration order is leaking into graph construction"
+    );
+    // The in-process build must agree with the children as well.
+    assert_eq!(serialized_graph().into_bytes(), outputs[0]);
+}

@@ -1,7 +1,7 @@
 //! Property tests for QR-P graph construction over randomised trajectories
 //! and road adjacencies.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 use proptest::prelude::*;
 use tspn_data::{CategoryId, LbsnDataset, Poi, PoiId, UserId, Visit};
@@ -53,7 +53,7 @@ proptest! {
         );
         // Random road adjacency among leaves.
         let leaves = tree.leaves();
-        let mut road: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let mut road: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
         let mut x = seed | 1;
         for _ in 0..leaves.len() {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
@@ -125,7 +125,7 @@ proptest! {
             &ds.poi_locations(),
             QuadTreeConfig { max_depth: 5, leaf_capacity: 4 },
         );
-        let road = HashSet::new();
+        let road = BTreeSet::new();
         let visits: Vec<Visit> = visit_raw
             .iter()
             .enumerate()

@@ -1,0 +1,153 @@
+//! Typed diagnostics and their text / JSON renderers.
+
+use std::fmt;
+
+/// How seriously a finding is taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported, does not fail the build.
+    Warn,
+    /// Fails the build.
+    Deny,
+}
+
+impl Severity {
+    /// Stable lowercase name used in text and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// One finding at a file:line span.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule slug (`hash-order`, `unsafe-safety`, …).
+    pub rule: &'static str,
+    /// Effective severity.
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human message.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] {}:{}: {}",
+            self.severity.name(),
+            self.rule,
+            self.file,
+            self.line,
+            self.message
+        )
+    }
+}
+
+/// Orders diagnostics for stable output: file, then line, then rule.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the diagnostics (already sorted) as a stable JSON document:
+/// `{"diagnostics":[…],"counts":{"deny":N,"warn":M}}`.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            json_escape(d.rule),
+            d.severity.name(),
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    let deny = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Deny)
+        .count();
+    let warn = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warn)
+        .count();
+    out.push_str(&format!(
+        "],\n  \"counts\": {{\"deny\": {deny}, \"warn\": {warn}}}\n}}\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let mut diags = vec![
+            Diagnostic {
+                rule: "b-rule",
+                severity: Severity::Warn,
+                file: "b.rs".into(),
+                line: 2,
+                message: "quote \" and \\ backslash".into(),
+            },
+            Diagnostic {
+                rule: "a-rule",
+                severity: Severity::Deny,
+                file: "a.rs".into(),
+                line: 10,
+                message: "first".into(),
+            },
+        ];
+        sort(&mut diags);
+        assert_eq!(diags[0].file, "a.rs");
+        let json = render_json(&diags);
+        assert!(json.contains("\\\""));
+        assert!(json.contains("\\\\"));
+        assert!(json.contains("\"deny\": 1"));
+        assert!(json.contains("\"warn\": 1"));
+    }
+
+    #[test]
+    fn empty_json() {
+        let json = render_json(&[]);
+        assert!(json.contains("\"diagnostics\": []"));
+        assert!(json.contains("\"deny\": 0"));
+    }
+}

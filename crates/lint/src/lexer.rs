@@ -1,0 +1,481 @@
+//! A small hand-written Rust lexer — just enough structure for the rule
+//! engine: identifiers, punctuation, string/char literals (including raw
+//! strings and byte strings), numbers, lifetimes, and comments.
+//!
+//! The lexer's one job is to make the rules immune to the classic text-grep
+//! failure modes: `HashMap` inside a string literal, `unwrap()` inside a
+//! comment, `// SAFETY:` inside a raw string. Everything that is not code
+//! becomes either a [`Comment`] (kept, with its line — suppressions and
+//! `SAFETY:` markers live there) or an opaque literal token whose *content*
+//! the rules never pattern-match.
+
+/// Token classes the rules dispatch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`let`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// Lifetime (`'a`) — distinct from char literals.
+    Lifetime,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`, `br"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Single punctuation character (`.`, `:`, `{`, `!`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Source text. For [`TokenKind::Str`] this is the *decoded-enough*
+    /// content (the raw/byte prefixes and delimiters stripped, escapes left
+    /// as written) so registry-style rules can match literal values.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment with its 1-based starting line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment body, delimiters stripped (`//`, `///`, `/* … */`).
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+    /// `lines_with_code[l]` is true when 1-based line `l` carries at least
+    /// one non-comment token (index 0 unused).
+    pub lines_with_code: Vec<bool>,
+}
+
+impl Lexed {
+    /// True when 1-based `line` has at least one code token.
+    pub fn line_has_code(&self, line: u32) -> bool {
+        self.lines_with_code
+            .get(line as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Comments that start on 1-based `line`.
+    pub fn comments_on(&self, line: u32) -> impl Iterator<Item = &Comment> {
+        self.comments.iter().filter(move |c| c.line == line)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src`. Never fails: on malformed input (unterminated literal) the
+/// remainder of the file is consumed as one token — the compiler, not the
+/// linter, owns syntax errors.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+    let mut out = Lexed::default();
+    let line_count = src.lines().count() + 2;
+    out.lines_with_code = vec![false; line_count.max(2)];
+
+    let mut push = |kind: TokenKind, text: String, line: u32, lwc: &mut Vec<bool>| {
+        if (line as usize) < lwc.len() {
+            lwc[line as usize] = true;
+        }
+        out.tokens.push(Token { kind, text, line });
+    };
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                // Line comment (incl. doc comments). Body up to newline.
+                let start = i + 2;
+                let mut j = start;
+                while j < n && chars[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                let text = text.trim_start_matches(['/', '!']).to_string();
+                out.comments.push(Comment { text, line });
+                i = j;
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                // Block comment, nested per Rust rules.
+                let start_line = line;
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                let body_start = j;
+                while j < n && depth > 0 {
+                    if chars[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let body_end = if depth == 0 { j - 2 } else { j };
+                let text: String = chars[body_start..body_end].iter().collect();
+                let text = text.trim_start_matches(['*', '!']).trim().to_string();
+                out.comments.push(Comment {
+                    text,
+                    line: start_line,
+                });
+                i = j;
+            }
+            '"' => {
+                let (text, nl, j) = lex_string(&chars, i + 1);
+                push(TokenKind::Str, text, line, &mut out.lines_with_code);
+                line += nl;
+                i = j;
+            }
+            'r' | 'b' if starts_string_prefix(&chars, i) => {
+                let (kind_end, hashes) = string_prefix(&chars, i);
+                if chars.get(kind_end) == Some(&'"') {
+                    // Raw string r"…", r#"…"#, br#"…"#.
+                    if hashes > 0 || raw_prefix(&chars, i) {
+                        let (text, nl, j) = lex_raw_string(&chars, kind_end + 1, hashes);
+                        push(TokenKind::Str, text, line, &mut out.lines_with_code);
+                        line += nl;
+                        i = j;
+                    } else {
+                        // b"…": a plain (escaped) byte string.
+                        let (text, nl, j) = lex_string(&chars, kind_end + 1);
+                        push(TokenKind::Str, text, line, &mut out.lines_with_code);
+                        line += nl;
+                        i = j;
+                    }
+                } else if chars.get(kind_end) == Some(&'\'') {
+                    // Byte char b'…'.
+                    let (text, j) = lex_char(&chars, kind_end + 1);
+                    push(TokenKind::Char, text, line, &mut out.lines_with_code);
+                    i = j;
+                } else {
+                    // Just an identifier starting with r/b after all.
+                    let (text, j) = lex_ident(&chars, i);
+                    push(TokenKind::Ident, text, line, &mut out.lines_with_code);
+                    i = j;
+                }
+            }
+            '\'' => {
+                // Lifetime or char literal. `'a'` is a char, `'a` (no
+                // closing quote right after the ident char) is a lifetime;
+                // `'\…'` is always a char.
+                if i + 1 < n && chars[i + 1] == '\\' {
+                    let (text, j) = lex_char(&chars, i + 1);
+                    push(TokenKind::Char, text, line, &mut out.lines_with_code);
+                    i = j;
+                } else if i + 1 < n
+                    && is_ident_start(chars[i + 1])
+                    && chars.get(i + 2) != Some(&'\'')
+                {
+                    let (text, j) = lex_ident(&chars, i + 1);
+                    push(TokenKind::Lifetime, text, line, &mut out.lines_with_code);
+                    i = j;
+                } else {
+                    let (text, j) = lex_char(&chars, i + 1);
+                    push(TokenKind::Char, text, line, &mut out.lines_with_code);
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < n && (is_ident_continue(chars[j]) || chars[j] == '.') {
+                    // `1..2` range: stop the number before `..`.
+                    if chars[j] == '.' && chars.get(j + 1) == Some(&'.') {
+                        break;
+                    }
+                    j += 1;
+                }
+                let text: String = chars[i..j].iter().collect();
+                push(TokenKind::Num, text, line, &mut out.lines_with_code);
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let (text, j) = lex_ident(&chars, i);
+                push(TokenKind::Ident, text, line, &mut out.lines_with_code);
+                i = j;
+            }
+            c => {
+                push(
+                    TokenKind::Punct,
+                    c.to_string(),
+                    line,
+                    &mut out.lines_with_code,
+                );
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn lex_ident(chars: &[char], start: usize) -> (String, usize) {
+    let mut j = start;
+    while j < chars.len() && is_ident_continue(chars[j]) {
+        j += 1;
+    }
+    (chars[start..j].iter().collect(), j)
+}
+
+/// Escaped string body starting *after* the opening quote. Returns
+/// `(content, newlines_consumed, index_after_closing_quote)`.
+fn lex_string(chars: &[char], start: usize) -> (String, u32, usize) {
+    let mut j = start;
+    let mut nl = 0u32;
+    let mut text = String::new();
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => {
+                if let Some(&e) = chars.get(j + 1) {
+                    text.push('\\');
+                    text.push(e);
+                    if e == '\n' {
+                        nl += 1;
+                    }
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            '"' => return (text, nl, j + 1),
+            '\n' => {
+                nl += 1;
+                text.push('\n');
+                j += 1;
+            }
+            c => {
+                text.push(c);
+                j += 1;
+            }
+        }
+    }
+    (text, nl, j)
+}
+
+/// Raw string body starting *after* the opening quote, closed by
+/// `"` + `hashes` × `#`.
+fn lex_raw_string(chars: &[char], start: usize, hashes: usize) -> (String, u32, usize) {
+    let mut j = start;
+    let mut nl = 0u32;
+    let mut text = String::new();
+    while j < chars.len() {
+        if chars[j] == '"' {
+            let mut k = 0usize;
+            while k < hashes && chars.get(j + 1 + k) == Some(&'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return (text, nl, j + 1 + hashes);
+            }
+        }
+        if chars[j] == '\n' {
+            nl += 1;
+        }
+        text.push(chars[j]);
+        j += 1;
+    }
+    (text, nl, j)
+}
+
+/// Char/byte-char body starting *after* the opening quote.
+fn lex_char(chars: &[char], start: usize) -> (String, usize) {
+    let mut j = start;
+    let mut text = String::new();
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => {
+                if let Some(&e) = chars.get(j + 1) {
+                    text.push('\\');
+                    text.push(e);
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            '\'' => return (text, j + 1),
+            c => {
+                text.push(c);
+                j += 1;
+            }
+        }
+    }
+    (text, j)
+}
+
+/// Could position `i` start a raw/byte string or byte char (`r"`, `r#"`,
+/// `b"`, `b'`, `br#"`, …)? If not, it's an ordinary identifier.
+fn starts_string_prefix(chars: &[char], i: usize) -> bool {
+    let (end, _) = string_prefix(chars, i);
+    matches!(chars.get(end), Some(&'"') | Some(&'\''))
+        // Only a *prefix* — `radius"x"` must stay an ident.
+        && chars[i..end].iter().all(|&c| matches!(c, 'r' | 'b' | '#'))
+        && (end - i) <= 4
+}
+
+/// Walks the `r`/`b`/`#` prefix of a candidate raw/byte string at `i`;
+/// returns (index of the expected opening quote, number of `#`s).
+fn string_prefix(chars: &[char], i: usize) -> (usize, usize) {
+    let mut j = i;
+    while j < chars.len() && matches!(chars[j], 'r' | 'b') && j - i < 2 {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < chars.len() && chars[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    (j, hashes)
+}
+
+/// True when the prefix at `i` contains `r` (raw) — `b"…"` alone is an
+/// escaped byte string, not raw.
+fn raw_prefix(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    while j < chars.len() && matches!(chars[j], 'r' | 'b') {
+        if chars[j] == 'r' {
+            return true;
+        }
+        j += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(l: &Lexed) -> Vec<&str> {
+        l.tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_code() {
+        let l = lex("// HashMap.iter()\nlet x = 1; /* unwrap() */\n");
+        assert_eq!(idents(&l), vec!["let", "x"]);
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(l.comments[0].text.contains("HashMap.iter()"));
+        assert!(!l.line_has_code(1));
+        assert!(l.line_has_code(2));
+    }
+
+    #[test]
+    fn strings_swallow_code_like_content() {
+        let l = lex(r#"let s = "HashMap // not a comment \" escaped";"#);
+        assert_eq!(idents(&l), vec!["let", "s"]);
+        assert!(l.comments.is_empty());
+        let strs: Vec<&Token> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let l = lex("let s = r#\"a \" quote // SAFETY: nope\"#; let t = r\"plain\";");
+        assert_eq!(idents(&l), vec!["let", "s", "let", "t"]);
+        assert!(l.comments.is_empty());
+        let strs: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["a \" quote // SAFETY: nope", "plain"]);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        let charlits: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(charlits, vec!["x", "\\n"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let l = lex("write(b\"HTTP/1.1\"); let b = b'\\n'; let r = br#\"raw\"#;");
+        let strs: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["HTTP/1.1", "raw"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ let x = 1;");
+        assert_eq!(idents(&l), vec!["let", "x"]);
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let l = lex("for i in 0..10 {}");
+        let nums: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10"]);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let l = lex("let a = \"two\nlines\";\nlet b = 2;");
+        let b = l.tokens.iter().find(|t| t.text == "b").expect("b");
+        assert_eq!(b.line, 3);
+    }
+}

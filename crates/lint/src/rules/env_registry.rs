@@ -1,0 +1,179 @@
+//! Rule `env-registry`: every `TSPN_*` env-knob string literal in the
+//! workspace must appear in the `docs/KNOBS.md` registry table, and every
+//! registry row must correspond to a live literal (no dead rows).
+//!
+//! This is the only cross-file rule: knob sites are collected per file
+//! (suppressions apply normally), then the dead-row check runs once over
+//! the whole workspace.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::rules::SourceFile;
+
+/// Registry table parsed from `docs/KNOBS.md`: knob name → 1-based line
+/// of its row. Only markdown table rows (lines starting with `|`) count,
+/// so prose mentioning a knob does not register it.
+pub fn parse_registry(knobs_md: Option<&str>) -> BTreeMap<String, u32> {
+    let mut reg = BTreeMap::new();
+    let Some(md) = knobs_md else {
+        return reg;
+    };
+    for (idx, line) in md.lines().enumerate() {
+        if !line.trim_start().starts_with('|') {
+            continue;
+        }
+        for name in extract_knob_names(line) {
+            reg.entry(name).or_insert(idx as u32 + 1);
+        }
+    }
+    reg
+}
+
+/// Every maximal `TSPN_[A-Z0-9_]+` run in `s`.
+pub fn extract_knob_names(s: &str) -> Vec<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while let Some(pos) = s[start..].find("TSPN_") {
+        let begin = start + pos;
+        // Must not be the tail of a longer identifier run.
+        if begin > 0 && is_knob_byte(bytes[begin - 1]) {
+            start = begin + 5;
+            continue;
+        }
+        let mut end = begin + 5;
+        while end < bytes.len() && is_knob_byte(bytes[end]) {
+            end += 1;
+        }
+        // `TSPN_` alone is a prefix, not a knob.
+        if end > begin + 5 {
+            out.push(s[begin..end].trim_end_matches('_').to_string());
+        }
+        start = end;
+    }
+    out
+}
+
+fn is_knob_byte(b: u8) -> bool {
+    b.is_ascii_uppercase() || b.is_ascii_digit() || b == b'_'
+}
+
+/// Scans one file's non-test string literals for knob names. Names found
+/// are added to `live` (whether or not they diagnose); unregistered names
+/// diagnose at their site. Test scope is exempt: a name only a test
+/// mentions is not a product knob, and CI matrix cells set registered
+/// knobs that source code reads anyway.
+pub fn check_file(
+    file: &SourceFile,
+    registry: &BTreeMap<String, u32>,
+    registry_exists: bool,
+    out: &mut Vec<Diagnostic>,
+    live: &mut BTreeSet<String>,
+) {
+    for t in &file.lexed.tokens {
+        if t.kind != TokenKind::Str || file.in_test(t.line) {
+            continue;
+        }
+        for name in extract_knob_names(&t.text) {
+            let registered = registry.contains_key(&name);
+            live.insert(name.clone());
+            if registered {
+                continue;
+            }
+            let message = if registry_exists {
+                format!(
+                    "`{name}` is not registered in docs/KNOBS.md — add a row \
+                     (name, default, owning crate, effect)"
+                )
+            } else {
+                format!("`{name}` found but docs/KNOBS.md does not exist")
+            };
+            out.push(Diagnostic {
+                rule: "env-registry",
+                severity: Severity::Deny,
+                file: file.rel.clone(),
+                line: t.line,
+                message,
+            });
+        }
+    }
+}
+
+/// Registry rows with no live literal anywhere in the workspace.
+pub fn check_dead_rows(
+    registry: &BTreeMap<String, u32>,
+    live: &BTreeSet<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (name, &line) in registry {
+        if !live.contains(name) {
+            out.push(Diagnostic {
+                rule: "env-registry",
+                severity: Severity::Deny,
+                file: "docs/KNOBS.md".to_string(),
+                line,
+                message: format!(
+                    "registry row `{name}` matches no string literal in the \
+                     workspace — remove the dead row or restore the knob"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::SourceFile;
+
+    #[test]
+    fn extracts_names_and_trims_prefix_only() {
+        assert_eq!(
+            extract_knob_names("set TSPN_SIMD=0 and TSPN_NUM_THREADS"),
+            vec!["TSPN_SIMD".to_string(), "TSPN_NUM_THREADS".to_string()]
+        );
+        assert!(extract_knob_names("just TSPN_ alone").is_empty());
+        // Trailing underscore (format prefix) normalises to the base name.
+        assert_eq!(
+            extract_knob_names("TSPN_SERVE_FAULT_"),
+            vec!["TSPN_SERVE_FAULT".to_string()]
+        );
+    }
+
+    #[test]
+    fn registry_rows_only_from_tables() {
+        let md = "# Knobs\nProse mentions `TSPN_PROSE_ONLY`.\n\n| knob | default |\n| --- | --- |\n| `TSPN_SIMD` | 1 |\n";
+        let reg = parse_registry(Some(md));
+        assert!(reg.contains_key("TSPN_SIMD"));
+        assert!(!reg.contains_key("TSPN_PROSE_ONLY"));
+        assert_eq!(reg["TSPN_SIMD"], 6);
+    }
+
+    #[test]
+    fn unregistered_literal_diagnoses() {
+        let f = SourceFile::new(
+            "crates/core/src/x.rs",
+            "fn f() { std::env::var(\"TSPN_MYSTERY_KNOB\").ok(); }",
+        );
+        let reg = parse_registry(Some("| `TSPN_SIMD` |\n"));
+        let mut out = Vec::new();
+        let mut live = BTreeSet::new();
+        check_file(&f, &reg, true, &mut out, &mut live);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("TSPN_MYSTERY_KNOB"));
+        assert!(live.contains("TSPN_MYSTERY_KNOB"));
+    }
+
+    #[test]
+    fn dead_row_diagnoses() {
+        let reg = parse_registry(Some("| `TSPN_GONE` | 0 |\n"));
+        let live = BTreeSet::new();
+        let mut out = Vec::new();
+        check_dead_rows(&reg, &live, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("TSPN_GONE"));
+        assert_eq!(out[0].file, "docs/KNOBS.md");
+    }
+}

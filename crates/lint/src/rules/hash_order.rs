@@ -1,0 +1,353 @@
+//! Rule `hash-order`: deny iteration over `HashMap`/`HashSet` in the
+//! deterministic crates outside tests.
+//!
+//! `HashMap`/`HashSet` iteration order follows the per-process SipHash
+//! seed, so anything numeric or structural derived from it differs across
+//! processes — the exact bug class PR 9 fixed (road edges inserted in
+//! `HashSet` iteration order perturbed training bitwise). Order-free use
+//! (`get`, `contains`, `insert`, `len`, `remove`) stays allowed.
+//!
+//! Detection is a file-scoped heuristic over the token stream: first
+//! collect every name bound to a hash container (let bindings, fn params,
+//! struct fields, `type X = HashMap<…>` aliases), then flag
+//! `<name>.iter()`-family calls and `for … in <name>` loops on them.
+
+use std::collections::BTreeSet;
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{Token, TokenKind};
+use crate::rules::{is_ident, is_punct, SourceFile};
+
+/// Crates whose non-test code must be hash-iteration free.
+const DETERMINISTIC_CRATES: &[&str] = &["core", "graph", "geo", "roadnet", "tensor", "data"];
+
+/// Methods that expose (or are sensitive to) hash iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+    "extract_if",
+];
+
+/// Built-in hash container type names.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    match file.crate_name() {
+        Some(c) if DETERMINISTIC_CRATES.contains(&c) => {}
+        _ => return,
+    }
+    if file.all_test {
+        return;
+    }
+    let toks = &file.lexed.tokens;
+    let hash_types = collect_hash_type_names(toks);
+    let bound = collect_hash_bound_names(toks, &hash_types);
+
+    for i in 0..toks.len() {
+        if file.in_test(toks[i].line) {
+            continue;
+        }
+        // `<name>.method(` where name is hash-bound and method iterates.
+        if toks[i].kind == TokenKind::Ident
+            && ITER_METHODS.contains(&toks[i].text.as_str())
+            && i >= 2
+            && is_punct(&toks[i - 1], '.')
+            && toks[i - 2].kind == TokenKind::Ident
+            && i + 1 < toks.len()
+            && is_punct(&toks[i + 1], '(')
+        {
+            let recv = toks[i - 2].text.as_str();
+            if bound.contains(recv) || hash_types.contains(recv) {
+                out.push(diag(
+                    file,
+                    toks[i].line,
+                    format!(
+                        "`{recv}.{}()` iterates a hash container in SipHash \
+                         seed order; sort first or use BTreeMap/BTreeSet",
+                        toks[i].text
+                    ),
+                ));
+            }
+        }
+        // `for <pat> in <expr> {` where the loop source is a bare
+        // hash-bound name (possibly behind `&`/`&mut`).
+        if is_ident(&toks[i], "for") {
+            if let Some((name, line)) = for_loop_hash_source(toks, i, &bound) {
+                out.push(diag(
+                    file,
+                    line,
+                    format!(
+                        "`for … in {name}` iterates a hash container in \
+                         SipHash seed order; sort first or use \
+                         BTreeMap/BTreeSet"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn diag(file: &SourceFile, line: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        rule: "hash-order",
+        severity: Severity::Deny,
+        file: file.rel.clone(),
+        line,
+        message,
+    }
+}
+
+/// `type Alias = …HashMap…;` names that behave as hash types.
+fn collect_hash_type_names(toks: &[Token]) -> BTreeSet<String> {
+    let mut names: BTreeSet<String> = HASH_TYPES.iter().map(|s| s.to_string()).collect();
+    let mut i = 0usize;
+    while i + 3 < toks.len() {
+        // `type X = …` or `type X<K> = HashMap<…>` (generics skipped below).
+        if is_ident(&toks[i], "type")
+            && toks[i + 1].kind == TokenKind::Ident
+            && (is_punct(&toks[i + 2], '=') || is_punct(&toks[i + 2], '<'))
+        {
+            let mut j = i + 2;
+            // Find the `=` at angle-depth 0.
+            let mut angle = 0i32;
+            while j < toks.len() && !is_punct(&toks[j], ';') {
+                if is_punct(&toks[j], '<') {
+                    angle += 1;
+                } else if is_punct(&toks[j], '>') {
+                    angle -= 1;
+                } else if is_punct(&toks[j], '=') && angle == 0 {
+                    break;
+                }
+                j += 1;
+            }
+            // RHS until `;`.
+            let mut k = j;
+            let mut is_hash = false;
+            while k < toks.len() && !is_punct(&toks[k], ';') {
+                if toks[k].kind == TokenKind::Ident && HASH_TYPES.contains(&toks[k].text.as_str()) {
+                    is_hash = true;
+                }
+                k += 1;
+            }
+            if is_hash {
+                names.insert(toks[i + 1].text.clone());
+            }
+            i = k;
+        }
+        i += 1;
+    }
+    names
+}
+
+/// Names bound to hash containers anywhere in the file: let bindings,
+/// params/fields (`name: HashMap<…>`), and initializers mentioning a hash
+/// type.
+fn collect_hash_bound_names(toks: &[Token], hash_types: &BTreeSet<String>) -> BTreeSet<String> {
+    let mut bound = BTreeSet::new();
+    let is_hash_tok =
+        |t: &Token| t.kind == TokenKind::Ident && hash_types.contains(t.text.as_str());
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        // `let [mut] NAME … ;` — bound if anything up to the terminating
+        // `;` (type annotation or initializer) names a hash type.
+        if is_ident(&toks[i], "let") {
+            let mut j = i + 1;
+            if j < toks.len() && is_ident(&toks[j], "mut") {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].kind == TokenKind::Ident {
+                let name = toks[j].text.clone();
+                let mut k = j + 1;
+                let mut depth = 0i32;
+                let mut is_hash = false;
+                while k < toks.len() {
+                    let t = &toks[k];
+                    if is_punct(t, '{') || is_punct(t, '(') || is_punct(t, '[') {
+                        depth += 1;
+                    } else if is_punct(t, '}') || is_punct(t, ')') || is_punct(t, ']') {
+                        depth -= 1;
+                        if depth < 0 {
+                            break;
+                        }
+                    } else if is_punct(t, ';') && depth == 0 {
+                        break;
+                    } else if is_hash_tok(t) {
+                        is_hash = true;
+                    }
+                    k += 1;
+                }
+                if is_hash {
+                    bound.insert(name);
+                }
+            }
+        }
+        // `NAME : [& lifetime mut] … HashMap` — params, struct fields and
+        // struct-literal fields whose type/value window names a hash type.
+        if toks[i].kind == TokenKind::Ident
+            && i + 1 < toks.len()
+            && is_punct(&toks[i + 1], ':')
+            // Not the first `:` of a `::` path, and not `name::x`.
+            && !(i + 2 < toks.len() && is_punct(&toks[i + 2], ':'))
+            && !(i >= 1 && is_punct(&toks[i - 1], ':'))
+        {
+            let mut k = i + 2;
+            let mut steps = 0usize;
+            while k < toks.len() && steps < 10 {
+                let t = &toks[k];
+                if is_punct(t, ',')
+                    || is_punct(t, ')')
+                    || is_punct(t, '{')
+                    || is_punct(t, '}')
+                    || is_punct(t, ';')
+                    || is_punct(t, '=')
+                {
+                    break;
+                }
+                if is_hash_tok(t) {
+                    bound.insert(toks[i].text.clone());
+                    break;
+                }
+                k += 1;
+                steps += 1;
+            }
+        }
+        i += 1;
+    }
+    bound
+}
+
+/// For a `for` keyword at `i`, returns `(name, line)` when the loop source
+/// expression is a bare hash-bound name, optionally behind `&`/`&mut`.
+fn for_loop_hash_source(
+    toks: &[Token],
+    i: usize,
+    bound: &BTreeSet<String>,
+) -> Option<(String, u32)> {
+    // Find `in` at depth 0 (patterns can contain parens/tuples).
+    let mut j = i + 1;
+    let mut depth = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        if is_punct(t, '(') || is_punct(t, '[') {
+            depth += 1;
+        } else if is_punct(t, ')') || is_punct(t, ']') {
+            depth -= 1;
+        } else if is_ident(t, "in") && depth == 0 {
+            break;
+        } else if is_punct(t, '{') || is_punct(t, ';') {
+            return None; // `impl … for T {`, not a loop
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    // Source expression: tokens between `in` and the body `{` at depth 0.
+    let mut k = j + 1;
+    depth = 0;
+    let start = k;
+    while k < toks.len() {
+        let t = &toks[k];
+        if is_punct(t, '(') || is_punct(t, '[') {
+            depth += 1;
+        } else if is_punct(t, ')') || is_punct(t, ']') {
+            depth -= 1;
+        } else if is_punct(t, '{') && depth == 0 {
+            break;
+        }
+        k += 1;
+    }
+    let expr = &toks[start..k];
+    // Accept `[&][mut] name` and `[&][mut] self . name` only — anything
+    // with calls or further projection is either already flagged via the
+    // method check or produces an owned, order-defined value.
+    let idents: Vec<&Token> = expr
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident && t.text != "mut" && t.text != "self")
+        .collect();
+    let ok_shape = expr
+        .iter()
+        .all(|t| t.kind == TokenKind::Ident || is_punct(t, '&') || is_punct(t, '.'));
+    if ok_shape && idents.len() == 1 && bound.contains(idents[0].text.as_str()) {
+        return Some((idents[0].text.clone(), idents[0].line));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::SourceFile;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new("crates/graph/src/x.rs", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_iter_on_let_binding() {
+        let d =
+            run("fn f() { let m = std::collections::HashMap::new(); for (k, v) in m.iter() {} }");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("m.iter()"));
+    }
+
+    #[test]
+    fn flags_for_over_param() {
+        let d = run("fn f(edges: &HashSet<(u32, u32)>) { for e in edges { use_it(e); } }");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("for … in edges"));
+    }
+
+    #[test]
+    fn flags_drain_on_alias() {
+        let d = run("type LenMap<V> = HashMap<usize, V>;\nfn f(mut b: LenMap<u32>) { b.drain(); }");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn order_free_use_is_fine() {
+        let d = run("fn f(m: &HashMap<u32, u32>) -> bool { m.contains_key(&1) && m.get(&2).is_some() && m.len() > 0 }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn btree_is_fine() {
+        let d = run("fn f(m: &BTreeMap<u32, u32>) { for (k, v) in m.iter() {} for x in m {} }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        let d = run("#[cfg(test)]\nmod tests {\n    fn f(m: &HashMap<u32, u32>) { for x in m.keys() {} }\n}");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn other_crates_are_exempt() {
+        let f = SourceFile::new(
+            "crates/serve/src/x.rs",
+            "fn f(m: &HashMap<u32, u32>) { for x in m.keys() {} }",
+        );
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn flags_self_field() {
+        let d = run("struct S { index: HashMap<u32, u32> }\nimpl S { fn f(&self) { for k in self.index.keys() {} } }");
+        assert_eq!(d.len(), 1);
+    }
+}

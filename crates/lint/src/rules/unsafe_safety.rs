@@ -1,0 +1,156 @@
+//! Rule `unsafe-safety`: every `unsafe` block/fn/impl outside tests must
+//! carry a `// SAFETY:` comment (or a `# Safety` doc section) on the same
+//! line or the lines directly above it.
+//!
+//! The walk upward tolerates doc comments, attributes (`#[target_feature]`
+//! stacks get long in simd.rs) and blank lines, and stops at the first
+//! unrelated code line so a SAFETY comment cannot leak across items.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::rules::SourceFile;
+
+/// How many lines above the `unsafe` token the justification may sit
+/// (doc-comment + attribute stacks included).
+const LOOKBACK: u32 = 40;
+
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.all_test {
+        return;
+    }
+    let lexed = &file.lexed;
+
+    // First code token per line, to tell attribute lines (walk-through)
+    // from ordinary code lines (walk stops).
+    let mut first_tok: Vec<Option<String>> = vec![None; lexed.lines_with_code.len()];
+    for t in &lexed.tokens {
+        let l = t.line as usize;
+        if l < first_tok.len() && first_tok[l].is_none() {
+            first_tok[l] = Some(t.text.clone());
+        }
+    }
+
+    let marker_on = |line: u32| -> bool {
+        lexed
+            .comments_on(line)
+            .any(|c| c.text.contains("SAFETY") || c.text.contains("Safety"))
+    };
+
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        if file.in_test(t.line) {
+            continue;
+        }
+        let line = t.line;
+        let mut justified = marker_on(line);
+        let mut l = line.saturating_sub(1);
+        while !justified && l > 0 && line - l <= LOOKBACK {
+            if marker_on(l) {
+                justified = true;
+                break;
+            }
+            let has_comment = lexed.comments_on(l).next().is_some();
+            let has_code = lexed.line_has_code(l);
+            if has_code {
+                let attr_line = first_tok
+                    .get(l as usize)
+                    .and_then(|o| o.as_deref())
+                    .map(|s| s == "#")
+                    .unwrap_or(false);
+                if !attr_line {
+                    break; // previous item's code — stop the walk
+                }
+            } else if !has_comment {
+                // Blank line: tolerate, keep walking.
+            }
+            l -= 1;
+        }
+        if !justified {
+            let what = lexed
+                .tokens
+                .get(i + 1)
+                .map(|n| n.text.as_str())
+                .unwrap_or("");
+            let what = match what {
+                "fn" => "unsafe fn",
+                "impl" => "unsafe impl",
+                "extern" => "unsafe extern",
+                "{" => "unsafe block",
+                _ => "unsafe",
+            };
+            out.push(Diagnostic {
+                rule: "unsafe-safety",
+                severity: Severity::Deny,
+                file: file.rel.clone(),
+                line,
+                message: format!(
+                    "{what} without a `// SAFETY:` comment on the preceding \
+                     lines — state why the invariants hold"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::SourceFile;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new("crates/tensor/src/x.rs", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_bare_unsafe_block() {
+        let d = run("fn f() {\n    let x = unsafe { *p };\n}");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("unsafe block"));
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn safety_comment_above_passes() {
+        let d = run("fn f() {\n    // SAFETY: p is valid for reads, checked above.\n    let x = unsafe { *p };\n}");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn safety_comment_same_line_passes() {
+        let d = run("fn f() {\n    let x = unsafe { *p }; // SAFETY: p outlives f.\n}");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn doc_safety_section_passes_through_attributes() {
+        let d = run("/// Does things.\n///\n/// # Safety\n/// Caller must align `p`.\n#[target_feature(enable = \"avx2\")]\n#[inline]\npub unsafe fn f(p: *const f32) {}\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn comment_does_not_leak_across_items() {
+        let d =
+            run("// SAFETY: for g only.\nfn g() { unsafe { a(); } }\nfn f() { unsafe { b(); } }\n");
+        // g's unsafe is on the same line as its fn — the comment above
+        // covers it; f's unsafe sees g's code line first and stops.
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn safety_inside_string_does_not_count() {
+        let d = run("fn f() {\n    let s = \"SAFETY: nope\";\n    unsafe { a(); }\n}");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        let d = run("#[cfg(test)]\nmod tests {\n    fn t() { unsafe { a(); } }\n}");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

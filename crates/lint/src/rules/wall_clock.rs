@@ -1,0 +1,125 @@
+//! Rule `wall-clock`: deny wall-clock and ambient-entropy reads in the
+//! compute crates (`core`, `tensor`, `graph`) outside tests.
+//!
+//! The bitwise contracts (tier-vs-tier, batch-vs-per-sample,
+//! lane-vs-offline) only hold if nothing in the compute path observes
+//! time or an unseeded RNG. Timing *metadata* (epoch stats) is a
+//! legitimate, suppressed exception — the suppression comment is where
+//! the reviewer asserts the value never feeds computation.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::rules::{is_ident, is_punct, SourceFile};
+
+/// Crates whose non-test code must be clock-free.
+const COMPUTE_CRATES: &[&str] = &["core", "tensor", "graph"];
+
+/// Type names whose `::now()` reads the wall clock.
+const CLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
+
+/// Free functions that read ambient entropy.
+const ENTROPY_FNS: &[&str] = &["thread_rng", "from_entropy"];
+
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    match file.crate_name() {
+        Some(c) if COMPUTE_CRATES.contains(&c) => {}
+        _ => return,
+    }
+    if file.all_test {
+        return;
+    }
+    let toks = &file.lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || file.in_test(t.line) {
+            continue;
+        }
+        // `Instant::now` / `SystemTime::now` (any path prefix).
+        if t.text == "now"
+            && i >= 3
+            && is_punct(&toks[i - 1], ':')
+            && is_punct(&toks[i - 2], ':')
+            && toks[i - 3].kind == TokenKind::Ident
+            && CLOCK_TYPES.contains(&toks[i - 3].text.as_str())
+        {
+            out.push(Diagnostic {
+                rule: "wall-clock",
+                severity: Severity::Deny,
+                file: file.rel.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}::now()` in a compute crate breaks cross-process \
+                     reproducibility; thread timing out of the compute path \
+                     or suppress with the reason it never feeds computation",
+                    toks[i - 3].text
+                ),
+            });
+        }
+        // `thread_rng()` / `from_entropy()` — ambient entropy.
+        if ENTROPY_FNS.contains(&t.text.as_str())
+            && i + 1 < toks.len()
+            && is_punct(&toks[i + 1], '(')
+            // Only call position; `use rand::thread_rng;` is caught at the
+            // call site instead.
+            && !(i >= 1 && is_ident(&toks[i - 1], "fn"))
+        {
+            out.push(Diagnostic {
+                rule: "wall-clock",
+                severity: Severity::Deny,
+                file: file.rel.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}()` seeds from ambient entropy; derive randomness \
+                     from the fixed experiment seed instead",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::SourceFile;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new("crates/core/src/x.rs", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_instant_now() {
+        let d = run("fn f() { let t = std::time::Instant::now(); }");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("Instant::now()"));
+    }
+
+    #[test]
+    fn flags_system_time_and_thread_rng() {
+        let d = run("fn f() { let t = SystemTime::now(); let r = thread_rng(); }");
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn duration_and_elapsed_are_fine() {
+        let d = run("fn f(t: Instant) { let d = t.elapsed(); let z = Duration::from_millis(5); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn serve_crate_is_exempt() {
+        let f = SourceFile::new("crates/serve/src/x.rs", "fn f() { Instant::now(); }");
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        let d = run("#[test]\nfn t() { Instant::now(); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

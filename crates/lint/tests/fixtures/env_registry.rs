@@ -1,0 +1,12 @@
+//@ path: crates/serve/src/fixture.rs
+//@ knobs: fixtures-knobs.md
+// Fixture: env-registry. A registered knob passes; an unregistered one is
+// a deny; the registry's dead row (a knob no source file reads) is a deny too.
+
+pub fn registered() -> Option<String> {
+    std::env::var("TSPN_FIXTURE_KNOB").ok()
+}
+
+pub fn unregistered() -> Option<String> {
+    std::env::var("TSPN_PHANTOM_KNOB").ok()
+}

@@ -1,0 +1,48 @@
+//@ path: crates/graph/src/fixture.rs
+// Fixture: hash-order in a deterministic crate. The map iteration and the
+// for-loop must both be flagged; the BTreeMap and lookup-only uses must not.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn bad_iteration(xs: &[u32]) -> Vec<u32> {
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    let mut out = Vec::new();
+    for (k, v) in counts.iter() {
+        out.push(k + v);
+    }
+    out
+}
+
+pub fn bad_for_loop(seen: HashSet<u32>) -> u32 {
+    let mut acc = 0;
+    for v in seen {
+        acc ^= v;
+    }
+    acc
+}
+
+pub fn fine_lookup(counts: &HashMap<u32, u32>, key: u32) -> Option<u32> {
+    // Point lookups are order-free and allowed.
+    counts.get(&key).copied()
+}
+
+pub fn fine_btree(sorted: &BTreeMap<u32, u32>) -> u32 {
+    // Sorted containers iterate in one fixed order. (Named differently from
+    // the HashMap binding above: hash-bound names are collected file-wide.)
+    sorted.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_scope_is_exempt() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        let _: Vec<_> = m.iter().collect();
+    }
+}

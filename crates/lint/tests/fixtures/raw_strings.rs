@@ -1,0 +1,26 @@
+//@ path: crates/tensor/src/fixture.rs
+// Fixture: lexer edge cases. Panic/iteration/clock spellings inside string
+// literals, raw strings, and comments must never produce findings; the one
+// real violation after the noise must still be caught at the right line.
+
+/* A block comment mentioning counts.iter() and Instant::now() and unwrap().
+   /* nested: for k in map.keys() { panic!() } */
+   Still a comment. */
+
+pub const DOC: &str = "for (k, v) in counts.iter() { Instant::now(); }";
+
+pub const RAW: &str = r#"x.unwrap(); map.drain(); "quoted # inside""#;
+
+pub const RAW2: &str = r##"ends with one hash: "# but keeps going"##;
+
+pub const BYTES: &[u8] = b"SystemTime::now() \" escaped";
+
+pub fn lifetimes<'a>(x: &'a str) -> &'a str {
+    // The 'a tokens above must lex as lifetimes, not unterminated chars.
+    let _c = 'a';
+    x
+}
+
+pub fn real_violation() -> std::time::Instant {
+    std::time::Instant::now()
+}

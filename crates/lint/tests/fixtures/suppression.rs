@@ -1,0 +1,20 @@
+//@ path: crates/core/src/fixture.rs
+// Fixture: suppression protocol. One well-formed suppression silences its
+// finding; a reason-less one is itself a deny; an unused one is a warn.
+
+use std::collections::HashMap;
+
+pub fn suppressed_ok(m: &HashMap<u32, u32>) -> u32 {
+    // tspn-lint: allow(hash-order) — the sum is commutative, order cannot matter
+    m.values().sum()
+}
+
+pub fn suppressed_without_reason(m: &HashMap<u32, u32>) -> usize {
+    // tspn-lint: allow(hash-order)
+    m.keys().count()
+}
+
+// tspn-lint: allow(wall-clock) — nothing below reads a clock
+pub fn unused_suppression() -> u32 {
+    7
+}

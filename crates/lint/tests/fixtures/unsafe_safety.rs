@@ -1,0 +1,24 @@
+//@ path: crates/tensor/src/fixture.rs
+// Fixture: unsafe-safety. A commented block passes, a bare one is a deny,
+// and attribute lines between the comment and the item do not break the
+// upward walk.
+
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: caller hands us a pointer into a live, initialised buffer.
+    unsafe { *p }
+}
+
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+// SAFETY: the function only reads thread-local state established at startup.
+#[inline(always)]
+#[allow(dead_code)]
+pub unsafe fn through_attributes() -> u8 {
+    0
+}
+
+pub unsafe fn bare_unsafe_fn() -> u8 {
+    1
+}

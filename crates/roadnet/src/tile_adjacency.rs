@@ -1,7 +1,7 @@
 //! Deriving QR-P `road` edges: which pairs of quad-tree leaf tiles are
 //! connected by a direct road link (paper Sec. II-B construction step 2).
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 use tspn_geo::{BBox, GeoPoint, NodeId, QuadTree};
 
@@ -23,12 +23,16 @@ fn to_geo(region: &BBox, x: f64, y: f64) -> GeoPoint {
 /// "endpoints in different tiles" and "segment crosses a tile it has no
 /// endpoint in" — the situation the paper highlights for small tiles near
 /// large-tile boundaries.
+///
+/// Returns a `BTreeSet` so every consumer iterates the edges in one fixed
+/// (sorted) order regardless of the process's SipHash seed — road-edge
+/// order feeds QR-P graph construction and must be cross-process stable.
 pub fn road_tile_adjacency(
     net: &RoadNetwork,
     tree: &QuadTree,
     region: &BBox,
-) -> HashSet<(NodeId, NodeId)> {
-    let mut edges = HashSet::new();
+) -> BTreeSet<(NodeId, NodeId)> {
+    let mut edges = BTreeSet::new();
     for seg in net.segments() {
         let a = net.node(seg.a);
         let b = net.node(seg.b);
@@ -64,18 +68,17 @@ pub fn road_tile_adjacency(
 }
 
 /// Restricts an adjacency set to tiles inside `subset` — used when building
-/// the QR-P graph over the minimal subtree's leaves only.
+/// the QR-P graph over the minimal subtree's leaves only. `BTreeSet`
+/// iteration is ascending, so the output is already sorted.
 pub fn restrict_adjacency(
-    edges: &HashSet<(NodeId, NodeId)>,
+    edges: &BTreeSet<(NodeId, NodeId)>,
     subset: &HashSet<NodeId>,
 ) -> Vec<(NodeId, NodeId)> {
-    let mut out: Vec<(NodeId, NodeId)> = edges
+    edges
         .iter()
         .filter(|(a, b)| subset.contains(a) && subset.contains(b))
         .copied()
-        .collect();
-    out.sort_unstable();
-    out
+        .collect()
 }
 
 #[cfg(test)]

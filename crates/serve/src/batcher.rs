@@ -190,7 +190,11 @@ fn sweep_expired(state: &mut State, shed: &AtomicU64) {
     while i < state.waiting.len() {
         let dead = state.waiting[i].deadline.is_some_and(|d| d <= now);
         if dead {
-            let w = state.waiting.remove(i).expect("index in bounds");
+            // The loop guard keeps `i` in bounds, but a sweep must never
+            // take down the serve thread: skip rather than panic.
+            let Some(w) = state.waiting.remove(i) else {
+                break;
+            };
             let _ = w.tx.send(Verdict::Expired);
             shed.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -245,9 +249,13 @@ impl Batcher {
     /// [`SubmitError::Closed`] once [`Batcher::close`] has been called.
     pub fn submit(&self, query: Query) -> Result<mpsc::Receiver<Verdict>, SubmitError> {
         let (tx, rx) = mpsc::sync_channel(1);
-        let mut state = self.shared.queue.lock().expect("batcher queue");
+        let mut state = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
         while state.open && state.waiting.len() >= self.cfg.queue_cap {
-            state = self.shared.space.wait(state).expect("batcher queue");
+            state = self
+                .shared
+                .space
+                .wait(state)
+                .unwrap_or_else(|p| p.into_inner());
         }
         if !state.open {
             return Err(SubmitError::Closed);
@@ -278,7 +286,7 @@ impl Batcher {
         deadline: Option<Instant>,
     ) -> Result<mpsc::Receiver<Verdict>, SubmitError> {
         let (tx, rx) = mpsc::sync_channel(1);
-        let mut state = self.shared.queue.lock().expect("batcher queue");
+        let mut state = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
         if !state.open {
             return Err(SubmitError::Closed);
         }
@@ -304,7 +312,7 @@ impl Batcher {
         self.shared
             .queue
             .lock()
-            .expect("batcher queue")
+            .unwrap_or_else(|p| p.into_inner())
             .waiting
             .len()
     }
@@ -317,7 +325,11 @@ impl Batcher {
     /// Closes the queue: pending queries still flush, new submissions are
     /// refused, and [`Batcher::run_loop`] returns once drained.
     pub fn close(&self) {
-        self.shared.queue.lock().expect("batcher queue").open = false;
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .open = false;
         self.shared.nonempty.notify_all();
         self.shared.space.notify_all();
     }
@@ -350,7 +362,7 @@ impl Batcher {
                 return LoopExit::Drained;
             };
             let batch_id = {
-                let mut state = self.shared.queue.lock().expect("batcher queue");
+                let mut state = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
                 let id = state.next_batch;
                 state.next_batch += state.batch_stride;
                 id
@@ -394,7 +406,7 @@ impl Batcher {
     /// One collection attempt; may come back empty if every candidate
     /// expired between the flush decision and the take.
     fn collect_batch_once(&self) -> Option<Vec<Waiting>> {
-        let mut state = self.shared.queue.lock().expect("batcher queue");
+        let mut state = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
         // Phase 1: wait for the first *live* query (or close-and-drained).
         // Expired entries are swept here so a dead oldest entry cannot
         // start the flush clock for a batch that will never include it.
@@ -406,16 +418,21 @@ impl Batcher {
             if !state.open {
                 return None;
             }
-            state = self.shared.nonempty.wait(state).expect("batcher queue");
+            state = self
+                .shared
+                .nonempty
+                .wait(state)
+                .unwrap_or_else(|p| p.into_inner());
         }
         // Phase 2: give companions `deadline` to arrive, up to `max_batch`.
         // The clock runs from the *oldest* queued query, so work that
         // queued while a previous flush was running is not re-penalised.
-        let oldest = state
-            .waiting
-            .front()
-            .expect("phase 1 leaves the queue non-empty")
-            .enqueued;
+        // Phase 1 leaves the queue non-empty; if that ever fails, hand
+        // back an empty batch and let `collect_batch` retry.
+        let Some(front) = state.waiting.front() else {
+            return Some(Vec::new());
+        };
+        let oldest = front.enqueued;
         let flush_at = oldest + self.cfg.deadline;
         while state.waiting.len() < self.cfg.max_batch && state.open {
             let now = Instant::now();
@@ -426,7 +443,7 @@ impl Batcher {
                 .shared
                 .nonempty
                 .wait_timeout(state, flush_at - now)
-                .expect("batcher queue");
+                .unwrap_or_else(|p| p.into_inner());
             state = guard;
         }
         // Entries may have expired while companions were awaited; drop

@@ -184,6 +184,10 @@ fn install_signal_handlers() {
     }
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    // SAFETY: `signal` is the POSIX libc symbol with the declared
+    // signature; the handler only performs an atomic store, which is
+    // async-signal-safe, and registration happens once before any thread
+    // that could receive these signals does meaningful work.
     unsafe {
         signal(SIGTERM, on_signal);
         signal(SIGINT, on_signal);

@@ -224,7 +224,11 @@ impl Pool {
                     .spawn(move || loop {
                         let job = {
                             let (lock, cv) = &*queue;
-                            let mut q = lock.lock().expect("mux pool");
+                            // Poison-recover: the queue is a VecDeque plus
+                            // a bool, both structurally valid after any
+                            // panic mid-hold, so a poisoned worker must
+                            // not cascade into the rest of the pool.
+                            let mut q = lock.lock().unwrap_or_else(|p| p.into_inner());
                             loop {
                                 if let Some(job) = q.jobs.pop_front() {
                                     break job;
@@ -232,7 +236,7 @@ impl Pool {
                                 if q.closed {
                                     return;
                                 }
-                                q = cv.wait(q).expect("mux pool");
+                                q = cv.wait(q).unwrap_or_else(|p| p.into_inner());
                             }
                         };
                         let resp = handler(&job.req);
@@ -257,14 +261,17 @@ impl Pool {
 
     fn dispatch(&self, job: Job) {
         let (lock, cv) = &*self.queue;
-        lock.lock().expect("mux pool").jobs.push_back(job);
+        lock.lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .jobs
+            .push_back(job);
         cv.notify_one();
     }
 
     fn close_and_join(self) {
         {
             let (lock, cv) = &*self.queue;
-            lock.lock().expect("mux pool").closed = true;
+            lock.lock().unwrap_or_else(|p| p.into_inner()).closed = true;
             cv.notify_all();
         }
         for h in self.handles {
@@ -477,7 +484,13 @@ pub fn run(
         let mut dead: Vec<u64> = Vec::new();
         for (i, &id) in fd_ids.iter().enumerate() {
             let revents = fds[base + i].revents;
-            let conn = conns.get_mut(&id).expect("conn ids track the poll set");
+            let Some(conn) = conns.get_mut(&id) else {
+                // Bookkeeping drift between fd_ids and the conn map is a
+                // bug, but retiring the orphaned fd beats aborting the mux
+                // thread with every live connection on it.
+                dead.push(id);
+                continue;
+            };
             if revents & (POLLERR | POLLNVAL) != 0 {
                 dead.push(id);
                 continue;
@@ -584,7 +597,18 @@ fn advance(conn: &mut Conn, id: u64, max_body: usize, pool: &Pool) {
             conn.phase = Phase::Processing;
             conn.partial_since = None;
         }
-        Err(ReadError::Io(_)) => unreachable!("the pure parser never does I/O"),
+        Err(ReadError::Io(_)) => {
+            // The pure parser never produces Io today; if it ever does,
+            // tear the connection down instead of aborting the mux thread.
+            conn.queue_response(
+                400,
+                &crate::protocol::error_response("bad_request", "unreadable request"),
+                false,
+                None,
+            );
+            conn.phase = Phase::Processing;
+            conn.partial_since = None;
+        }
     }
 }
 

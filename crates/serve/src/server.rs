@@ -449,11 +449,15 @@ pub fn start(
     let mut readies = Vec::with_capacity(lanes_n);
     for l in 0..lanes_n {
         let (ready_tx, ready_rx) = mpsc::sync_channel::<Result<(), String>>(1);
+        // The loop consumes `ctx` exactly on the last lane, so both arms
+        // are infallible; a typed error still beats bringing down startup
+        // with a panic if that invariant ever drifts.
         let lane_ctx = if l + 1 == lanes_n {
-            ctx.take().expect("context consumed once")
+            ctx.take()
+                .ok_or_else(|| format!("lane {l}: serving context already consumed"))?
         } else {
             ctx.as_ref()
-                .expect("context present until last lane")
+                .ok_or_else(|| format!("lane {l}: serving context missing"))?
                 .clone()
         };
         let shared = Arc::clone(&shared);
@@ -1160,10 +1164,11 @@ fn reload(shared: &Shared, body: &[u8]) -> (u16, String) {
                 .render();
         }
     };
-    let expected = shared
-        .expected_shapes
-        .get()
-        .expect("set before the listener binds");
+    // Set before the listener binds; answer 500 instead of killing the
+    // connection thread if a future refactor reorders startup.
+    let Some(expected) = shared.expected_shapes.get() else {
+        return ApiError::internal("server shape registry not initialised").render();
+    };
     if let Err(e) = validate_shapes(&ckpt, expected) {
         return ApiError::bad_request(format!("checkpoint rejected: {e}")).render();
     }

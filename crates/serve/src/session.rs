@@ -322,7 +322,7 @@ impl SessionStore {
     /// can never be *observed* alive, because every access path expires
     /// its own id first.
     fn lock_expiring(&self, id: u64) -> std::sync::MutexGuard<'_, Inner> {
-        let mut inner = self.inner.lock().expect("session store");
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         if inner
             .sessions
             .get(&id)
@@ -339,7 +339,7 @@ impl SessionStore {
     /// eviction never victimises a live session while expired ones
     /// linger) and stats reporting.
     fn lock_full_sweep(&self) -> std::sync::MutexGuard<'_, Inner> {
-        let mut inner = self.inner.lock().expect("session store");
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         let ttl = self.cfg.ttl;
         let before = inner.sessions.len();
         inner.sessions.retain(|_, s| s.last_touch.elapsed() <= ttl);

@@ -225,6 +225,10 @@ pub fn run_scoped(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
     let erased: VecDeque<Task> = tasks
         .into_iter()
         .map(|t| {
+            // SAFETY: only the lifetime is transmuted ('scope → 'static,
+            // identical layout). The borrowed data outlives every call:
+            // this frame blocks until the batch's unfinished count hits
+            // zero, and panics unwind only after that same wait.
             let t: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(t) };
             Task(t)
         })

@@ -321,6 +321,7 @@ pub fn flush_thread_local() {
             return Vec::new();
         }
         tl.floats = 0;
+        // tspn-lint: allow(hash-order) — recycled-buffer buckets hold interchangeable capacity, never values; drain order cannot reach any computed number
         tl.buckets.drain().collect()
     });
     if drained.is_empty() {

@@ -203,6 +203,10 @@ mod x86 {
     /// Collapses the 8 lanes of an accumulator through one fixed tree:
     /// `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))` — the lane-strided
     /// reduction order every row kernel shares.
+    // SAFETY: unsafe only for the avx2,fma target_feature; touches
+    // register values exclusively (no pointers, no slices), so the sole
+    // obligation is the caller's — reach this only after `enabled()`
+    // confirmed AVX2+FMA at runtime, as every dispatch site does.
     #[inline]
     #[target_feature(enable = "avx2,fma")]
     unsafe fn reduce_add(v: __m256) -> f32 {
@@ -216,6 +220,10 @@ mod x86 {
 
     /// Lane-wise max collapsed through the same fixed tree (max is exact,
     /// so the tree shape is unobservable — kept fixed anyway).
+    // SAFETY: unsafe only for the avx2,fma target_feature; touches
+    // register values exclusively (no pointers, no slices), so the sole
+    // obligation is the caller's — reach this only after `enabled()`
+    // confirmed AVX2+FMA at runtime, as every dispatch site does.
     #[inline]
     #[target_feature(enable = "avx2,fma")]
     unsafe fn reduce_max(v: __m256) -> f32 {
@@ -231,6 +239,10 @@ mod x86 {
     /// Cody–Waite ln2 split, degree-5 Horner via FMA, exponent-bit 2ⁿ
     /// scale). Deterministic; agrees with libm `expf` to ~1 ulp but is a
     /// **different** function — cross-tier comparisons use tolerance.
+    // SAFETY: unsafe only for the avx2,fma target_feature; touches
+    // register values exclusively (no pointers, no slices), so the sole
+    // obligation is the caller's — reach this only after `enabled()`
+    // confirmed AVX2+FMA at runtime, as every dispatch site does.
     #[inline]
     #[target_feature(enable = "avx2,fma")]
     unsafe fn exp256(x: __m256) -> __m256 {
@@ -268,6 +280,10 @@ mod x86 {
     /// `[-1, 1]`; agrees with libm `tanhf` to a few ulp but is a
     /// **different** function — cross-tier comparisons use tolerance,
     /// exactly like the vector `exp`.
+    // SAFETY: unsafe only for the avx2,fma target_feature; touches
+    // register values exclusively (no pointers, no slices), so the sole
+    // obligation is the caller's — reach this only after `enabled()`
+    // confirmed AVX2+FMA at runtime, as every dispatch site does.
     #[inline]
     #[target_feature(enable = "avx2,fma")]
     unsafe fn tanh256(x: __m256) -> __m256 {
@@ -693,6 +709,9 @@ mod x86 {
             m.as_mut_ptr(),
             v.as_mut_ptr(),
         );
+        // SAFETY: unsafe only for the avx2,fma target_feature; pure
+        // register arithmetic on its arguments. The enclosing kernel is
+        // itself only reached behind the runtime `enabled()` dispatch.
         #[inline]
         #[target_feature(enable = "avx2,fma")]
         #[allow(clippy::too_many_arguments)]
@@ -811,10 +830,17 @@ mod x86 {
 
 // Scalar stand-ins so non-x86 targets still compile the dispatch sites;
 // `enabled()` is always false there, so these are never reached.
+//
+// SAFETY: every stub below is `unsafe fn` purely to mirror the x86
+// signatures at the dispatch sites; the bodies dereference nothing and
+// unconditionally `unreachable!`, so there is no invariant to uphold —
+// calling one is a dispatch bug, not UB.
 #[cfg(not(target_arch = "x86_64"))]
 mod fallback {
     #![allow(dead_code, clippy::too_many_arguments)]
 
+    // SAFETY: signature-mirroring stub; the body is `unreachable!` and
+    // dereferences nothing, so there is no invariant to uphold.
     pub(crate) unsafe fn microkernel_avx2(
         _apack: &[f32],
         _bpack: &[f32],
@@ -828,6 +854,8 @@ mod fallback {
     ) {
         unreachable!("SIMD arm dispatched on a non-x86 target")
     }
+    // SAFETY: signature-mirroring stub; the body is `unreachable!` and
+    // dereferences nothing, so there is no invariant to uphold.
     pub(crate) unsafe fn small_chunk_avx2(
         _a: &[f32],
         _a_off: usize,
@@ -841,6 +869,8 @@ mod fallback {
     ) {
         unreachable!("SIMD arm dispatched on a non-x86 target")
     }
+    // SAFETY: signature-mirroring stub; the body is `unreachable!` and
+    // dereferences nothing, so there is no invariant to uphold.
     pub(crate) unsafe fn small_quad_chunk_avx2(
         _a: &[f32],
         _a_off: [usize; 4],
@@ -855,6 +885,8 @@ mod fallback {
     ) {
         unreachable!("SIMD arm dispatched on a non-x86 target")
     }
+    // SAFETY: signature-mirroring stub; the body is `unreachable!` and
+    // dereferences nothing, so there is no invariant to uphold.
     pub(crate) unsafe fn colvec_quad_chunk_avx2(
         _a: &[f32],
         _a_off: [usize; 4],
@@ -865,27 +897,43 @@ mod fallback {
     ) -> [f32; 4] {
         unreachable!("SIMD arm dispatched on a non-x86 target")
     }
+    // SAFETY: signature-mirroring stub; the body is `unreachable!` and
+    // dereferences nothing, so there is no invariant to uphold.
     pub(crate) unsafe fn tanh_slice_avx2(_src: &[f32], _dst: &mut [f32]) {
         unreachable!("SIMD arm dispatched on a non-x86 target")
     }
+    // SAFETY: signature-mirroring stub; the body is `unreachable!` and
+    // dereferences nothing, so there is no invariant to uphold.
     pub(crate) unsafe fn dot_chain_avx2(_a: &[f32], _b: &[f32]) -> f32 {
         unreachable!("SIMD arm dispatched on a non-x86 target")
     }
+    // SAFETY: signature-mirroring stub; the body is `unreachable!` and
+    // dereferences nothing, so there is no invariant to uphold.
     pub(crate) unsafe fn row_max_avx2(_v: &[f32]) -> f32 {
         unreachable!("SIMD arm dispatched on a non-x86 target")
     }
+    // SAFETY: signature-mirroring stub; the body is `unreachable!` and
+    // dereferences nothing, so there is no invariant to uphold.
     pub(crate) unsafe fn row_exp_sum_avx2(_v: &mut [f32], _max: f32) -> f32 {
         unreachable!("SIMD arm dispatched on a non-x86 target")
     }
+    // SAFETY: signature-mirroring stub; the body is `unreachable!` and
+    // dereferences nothing, so there is no invariant to uphold.
     pub(crate) unsafe fn row_sum_avx2(_v: &[f32]) -> f32 {
         unreachable!("SIMD arm dispatched on a non-x86 target")
     }
+    // SAFETY: signature-mirroring stub; the body is `unreachable!` and
+    // dereferences nothing, so there is no invariant to uphold.
     pub(crate) unsafe fn row_dot_avx2(_a: &[f32], _b: &[f32]) -> f32 {
         unreachable!("SIMD arm dispatched on a non-x86 target")
     }
+    // SAFETY: signature-mirroring stub; the body is `unreachable!` and
+    // dereferences nothing, so there is no invariant to uphold.
     pub(crate) unsafe fn row_sq_diff_sum_avx2(_v: &[f32], _mu: f32) -> f32 {
         unreachable!("SIMD arm dispatched on a non-x86 target")
     }
+    // SAFETY: signature-mirroring stub; the body is `unreachable!` and
+    // dereferences nothing, so there is no invariant to uphold.
     pub(crate) unsafe fn adam_update_avx2(
         _data: &mut [f32],
         _grad: &[f32],
